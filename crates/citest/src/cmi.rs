@@ -1,0 +1,228 @@
+//! Conditional mutual information: the plug-in estimator (used for the
+//! fairness audit in Table 2, `CMI(S; Y′ | A)`) and a permutation CI test
+//! built on it.
+//!
+//! Lemma 2 of the paper: `I(Y′; S | A) = 0` is a *sufficient* condition for
+//! causal fairness, so the audit metric the paper reports is exactly this
+//! estimator. Slightly negative plug-in estimates are truncated to 0
+//! following Mukherjee et al. [39], as footnote 3 of the paper prescribes.
+
+use crate::{CiOutcome, CiTest, VarId};
+use fairsel_table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Plug-in conditional mutual information `I(X; Y | Z)` in nats from joint
+/// codes. Equals `G / (2n)` for the same contingency tables.
+pub fn cmi_from_codes(x: &[u32], y: &[u32], z: &[u32]) -> f64 {
+    let n = x.len();
+    assert_eq!(n, y.len(), "cmi: length mismatch");
+    assert_eq!(n, z.len(), "cmi: length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    #[derive(Default)]
+    struct Stratum {
+        cells: HashMap<(u32, u32), f64>,
+        xm: HashMap<u32, f64>,
+        ym: HashMap<u32, f64>,
+        total: f64,
+    }
+    let mut strata: HashMap<u32, Stratum> = HashMap::new();
+    for i in 0..n {
+        let s = strata.entry(z[i]).or_default();
+        *s.cells.entry((x[i], y[i])).or_insert(0.0) += 1.0;
+        *s.xm.entry(x[i]).or_insert(0.0) += 1.0;
+        *s.ym.entry(y[i]).or_insert(0.0) += 1.0;
+        s.total += 1.0;
+    }
+    let nf = n as f64;
+    let mut cmi = 0.0;
+    for s in strata.values() {
+        for (&(xv, yv), &nxy) in &s.cells {
+            let nx = s.xm[&xv];
+            let ny = s.ym[&yv];
+            cmi += (nxy / nf) * ((nxy * s.total) / (nx * ny)).ln();
+        }
+    }
+    // Truncate tiny negatives (footnote 3 of the paper, after [39]).
+    cmi.max(0.0)
+}
+
+/// Plug-in CMI over table columns (joint-coded sets).
+pub fn cmi_discrete(table: &Table, x: &[VarId], y: &[VarId], z: &[VarId]) -> f64 {
+    let (xc, _) = table.joint_codes(x);
+    let (yc, _) = table.joint_codes(y);
+    let (zc, _) = table.joint_codes(z);
+    cmi_from_codes(&xc, &yc, &zc)
+}
+
+/// Permutation CI test: the null distribution of the CMI statistic is
+/// produced by permuting `X` *within each stratum of Z*, which preserves
+/// both marginals `P(X|Z)` and `P(Y|Z)` while destroying any conditional
+/// association. Assumption-free but `B`× the cost of one statistic.
+pub struct PermutationCmi<'a> {
+    table: &'a Table,
+    alpha: f64,
+    permutations: usize,
+    rng: StdRng,
+}
+
+impl<'a> PermutationCmi<'a> {
+    /// `permutations` controls null resolution (p-values are quantized to
+    /// `1/(B+1)`); 99–499 is typical.
+    pub fn new(table: &'a Table, alpha: f64, permutations: usize, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        assert!(permutations > 0, "need at least one permutation");
+        Self { table, alpha, permutations, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl CiTest for PermutationCmi<'_> {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        if x.is_empty() || y.is_empty() {
+            return CiOutcome::decided(true);
+        }
+        let (xc, _) = self.table.joint_codes(x);
+        let (yc, _) = self.table.joint_codes(y);
+        let (zc, _) = self.table.joint_codes(z);
+        let observed = cmi_from_codes(&xc, &yc, &zc);
+
+        // Pre-compute row indices per stratum for within-stratum shuffles.
+        let mut strata: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, &zv) in zc.iter().enumerate() {
+            strata.entry(zv).or_default().push(i);
+        }
+        let mut xperm = xc.clone();
+        let mut at_least = 1usize; // the observed statistic counts itself
+        for _ in 0..self.permutations {
+            for rows in strata.values() {
+                // Fisher-Yates within the stratum.
+                for i in (1..rows.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    xperm.swap(rows[i], rows[j]);
+                }
+            }
+            if cmi_from_codes(&xperm, &yc, &zc) >= observed {
+                at_least += 1;
+            }
+        }
+        let p = at_least as f64 / (self.permutations + 1) as f64;
+        CiOutcome { independent: p > self.alpha, p_value: p, statistic: observed }
+    }
+
+    fn n_vars(&self) -> usize {
+        self.table.n_cols()
+    }
+
+    fn name(&self) -> &'static str {
+        "perm-cmi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_math::assert_close;
+    use fairsel_table::{Column, Role};
+
+    #[test]
+    fn cmi_of_identical_binary_is_entropy() {
+        // X == Y uniform binary: I(X;Y) = H(X) = ln 2.
+        let codes: Vec<u32> = (0..1000).map(|i| (i % 2) as u32).collect();
+        let z = vec![0u32; 1000];
+        let cmi = cmi_from_codes(&codes, &codes, &z);
+        assert_close!(cmi, std::f64::consts::LN_2, 1e-9);
+    }
+
+    #[test]
+    fn cmi_of_independent_is_near_zero() {
+        // Deterministic interleaving that makes X and Y exactly independent.
+        let x: Vec<u32> = (0..1000).map(|i| ((i / 2) % 2) as u32).collect();
+        let y: Vec<u32> = (0..1000).map(|i| (i % 2) as u32).collect();
+        let z = vec![0u32; 1000];
+        assert_close!(cmi_from_codes(&x, &y, &z), 0.0, 1e-9);
+    }
+
+    #[test]
+    fn cmi_never_negative() {
+        let x = vec![0, 1, 0, 1, 1, 0];
+        let y = vec![1, 0, 1, 1, 0, 0];
+        let z = vec![0, 0, 1, 1, 2, 2];
+        assert!(cmi_from_codes(&x, &y, &z) >= 0.0);
+    }
+
+    #[test]
+    fn conditioning_on_mediator_removes_information() {
+        // X -> Z -> Y deterministic: I(X;Y|Z) = 0 but I(X;Y) = ln 2.
+        let x: Vec<u32> = (0..2000).map(|i| (i % 2) as u32).collect();
+        let z = x.clone();
+        let y = z.clone();
+        let zeros = vec![0u32; 2000];
+        assert_close!(cmi_from_codes(&x, &y, &zeros), std::f64::consts::LN_2, 1e-9);
+        assert_close!(cmi_from_codes(&x, &y, &z), 0.0, 1e-9);
+    }
+
+    fn xor_table(n: usize) -> Table {
+        // y = x1 XOR x2 with uniform inputs: pairwise independent, jointly
+        // dependent — the case marginal tests miss but group tests catch.
+        let mut x1 = Vec::with_capacity(n);
+        let mut x2 = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..n {
+            let a: u32 = rng.gen_range(0..2);
+            let b: u32 = rng.gen_range(0..2);
+            x1.push(a);
+            x2.push(b);
+            y.push(a ^ b);
+        }
+        Table::new(vec![
+            Column::cat("x1", Role::Feature, x1, 2),
+            Column::cat("x2", Role::Feature, x2, 2),
+            Column::cat("y", Role::Target, y, 2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn permutation_test_detects_xor_jointly() {
+        let t = xor_table(1500);
+        let mut tester = PermutationCmi::new(&t, 0.05, 99, 7);
+        // Marginal: x1 ⊥ y.
+        assert!(tester.ci(&[0], &[2], &[]).independent);
+        // Joint: {x1, x2} ̸⊥ y.
+        assert!(!tester.ci(&[0, 1], &[2], &[]).independent);
+        // Conditional: x1 ̸⊥ y | x2.
+        assert!(!tester.ci(&[0], &[2], &[1]).independent);
+    }
+
+    #[test]
+    fn permutation_pvalue_reasonable_under_null() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 400;
+        let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let b: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let t = Table::new(vec![
+            Column::cat("a", Role::Feature, a, 2),
+            Column::cat("b", Role::Feature, b, 2),
+        ])
+        .unwrap();
+        let mut tester = PermutationCmi::new(&t, 0.05, 199, 3);
+        let out = tester.ci(&[0], &[1], &[]);
+        assert!(out.p_value > 0.05, "independent data should not reject");
+    }
+
+    #[test]
+    fn cmi_discrete_on_table_matches_codes() {
+        let t = xor_table(500);
+        let via_table = cmi_discrete(&t, &[0, 1], &[2], &[]);
+        let (xc, _) = t.joint_codes(&[0, 1]);
+        let (yc, _) = t.joint_codes(&[2]);
+        let via_codes = cmi_from_codes(&xc, &yc, &vec![0; 500]);
+        assert_close!(via_table, via_codes, 1e-12);
+    }
+}

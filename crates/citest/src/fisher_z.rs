@@ -1,0 +1,211 @@
+//! Fisher-z partial-correlation test for (linear-)Gaussian data.
+//!
+//! The classical test behind most PC-algorithm implementations: regress
+//! `x` and `y` on the conditioning set, correlate the residuals, apply the
+//! Fisher z-transform, and compare `√(n−|Z|−3)·atanh(r)` to a standard
+//! normal. Exact for multivariate Gaussian data; a useful fast tester for
+//! the linear-Gaussian SCM workloads.
+
+use crate::{CiOutcome, CiTest, VarId};
+use fairsel_math::special::{fisher_z, normal_two_sided_p};
+use fairsel_math::stats::pearson;
+use fairsel_math::Mat;
+use fairsel_table::Table;
+
+/// Fisher-z tester over the columns of a [`Table`] (all columns are read
+/// as `f64`; categorical codes are treated numerically).
+///
+/// Multivariate `X`/`Y` sides are handled by testing every `(xᵢ, yⱼ)` pair
+/// and Bonferroni-combining: the set is declared dependent if any pair is
+/// significant at `alpha / (|X|·|Y|)`.
+pub struct FisherZ<'a> {
+    table: &'a Table,
+    alpha: f64,
+}
+
+impl<'a> FisherZ<'a> {
+    pub fn new(table: &'a Table, alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        Self { table, alpha }
+    }
+
+    /// Residualize a column on the conditioning design matrix (with
+    /// intercept) via ridge-stabilized least squares.
+    fn residualize(col: &[f64], design: &Mat) -> Vec<f64> {
+        let n = col.len();
+        let t = Mat::from_vec(n, 1, col.to_vec());
+        let w = Mat::ridge_solve(design, &t, 1e-8);
+        let fitted = design.matmul(&w);
+        (0..n).map(|i| col[i] - fitted[(i, 0)]).collect()
+    }
+
+    /// Partial correlation of two scalar columns given `z` columns.
+    pub fn partial_correlation(&self, x: VarId, y: VarId, z: &[VarId]) -> f64 {
+        let n = self.table.n_rows();
+        let xv = self.table.col(x).to_f64();
+        let yv = self.table.col(y).to_f64();
+        if z.is_empty() {
+            return pearson(&xv, &yv);
+        }
+        // Design: intercept + z columns.
+        let mut data = Vec::with_capacity(n * (z.len() + 1));
+        for i in 0..n {
+            data.push(1.0);
+            for &zc in z {
+                data.push(self.table.col(zc).value_f64(i));
+            }
+        }
+        let design = Mat::from_vec(n, z.len() + 1, data);
+        let rx = Self::residualize(&xv, &design);
+        let ry = Self::residualize(&yv, &design);
+        pearson(&rx, &ry)
+    }
+
+    /// Scalar test returning `(statistic, p_value)`.
+    pub fn test_pair(&self, x: VarId, y: VarId, z: &[VarId]) -> (f64, f64) {
+        let n = self.table.n_rows() as f64;
+        let dof = n - z.len() as f64 - 3.0;
+        if dof <= 0.0 {
+            return (0.0, 1.0);
+        }
+        let r = self.partial_correlation(x, y, z);
+        let stat = dof.sqrt() * fisher_z(r);
+        (stat, normal_two_sided_p(stat))
+    }
+}
+
+impl CiTest for FisherZ<'_> {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        if x.is_empty() || y.is_empty() {
+            return CiOutcome::decided(true);
+        }
+        let pairs = (x.len() * y.len()) as f64;
+        let level = self.alpha / pairs;
+        let mut min_p = 1.0f64;
+        let mut max_stat = 0.0f64;
+        for &xi in x {
+            for &yj in y {
+                let (stat, p) = self.test_pair(xi, yj, z);
+                if p < min_p {
+                    min_p = p;
+                    max_stat = stat;
+                }
+            }
+        }
+        CiOutcome {
+            independent: min_p > level,
+            p_value: (min_p * pairs).min(1.0), // Bonferroni-adjusted
+            statistic: max_stat,
+        }
+    }
+
+    fn n_vars(&self) -> usize {
+        self.table.n_cols()
+    }
+
+    fn name(&self) -> &'static str {
+        "fisher-z"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_graph::DagBuilder;
+    use fairsel_math::assert_close;
+    use fairsel_scm::GaussianScmBuilder;
+    use fairsel_table::{Column, Role};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Sample z -> x, z -> y (confounder) as a table.
+    fn fork_table(n: usize, seed: u64) -> Table {
+        let g = DagBuilder::new()
+            .nodes(["z", "x", "y"])
+            .edge("z", "x")
+            .edge("z", "y")
+            .build();
+        let z = g.expect_node("z");
+        let x = g.expect_node("x");
+        let y = g.expect_node("y");
+        let scm = GaussianScmBuilder::new(g)
+            .weight(z, x, 1.2)
+            .weight(z, y, -0.9)
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cols = scm.sample(&mut rng, n);
+        Table::new(vec![
+            Column::num("z", Role::Feature, cols[z.index()].clone()),
+            Column::num("x", Role::Feature, cols[x.index()].clone()),
+            Column::num("y", Role::Feature, cols[y.index()].clone()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn confounder_induces_marginal_dependence() {
+        let t = fork_table(2000, 1);
+        let mut f = FisherZ::new(&t, 0.01);
+        assert!(!f.ci(&[1], &[2], &[]).independent);
+    }
+
+    #[test]
+    fn conditioning_on_confounder_restores_independence() {
+        let t = fork_table(2000, 2);
+        let mut f = FisherZ::new(&t, 0.01);
+        let out = f.ci(&[1], &[2], &[0]);
+        assert!(out.independent, "x ⊥ y | z should hold, p={}", out.p_value);
+    }
+
+    #[test]
+    fn partial_correlation_matches_theory() {
+        let t = fork_table(60_000, 3);
+        let f = FisherZ::new(&t, 0.01);
+        // corr(x,y) = (1.2·-0.9) / (sqrt(1+1.44)·sqrt(1+0.81)) ≈ -0.516
+        let r = f.partial_correlation(1, 2, &[]);
+        assert_close!(r, -1.08 / (2.44f64.sqrt() * 1.81f64.sqrt()), 0.02);
+        let rp = f.partial_correlation(1, 2, &[0]);
+        assert_close!(rp, 0.0, 0.02);
+    }
+
+    #[test]
+    fn multivariate_sides_bonferroni() {
+        let t = fork_table(2000, 4);
+        let mut f = FisherZ::new(&t, 0.01);
+        // Group {x, y} vs z: dependent (both members depend on z).
+        assert!(!f.ci(&[1, 2], &[0], &[]).independent);
+    }
+
+    #[test]
+    fn tiny_sample_degrades_to_independent() {
+        let t = fork_table(4, 5);
+        let mut f = FisherZ::new(&t, 0.01);
+        // dof <= 0 with |z|=1 and n=4: must not reject.
+        assert!(f.ci(&[1], &[2], &[0]).independent);
+    }
+
+    #[test]
+    fn null_calibration() {
+        // Independent Gaussians: rejection rate at alpha=0.05 ≈ 5%.
+        use fairsel_math::dist::sample_std_normal;
+        let mut rejections = 0;
+        let trials = 300;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(9000 + seed);
+            let n = 200;
+            let a: Vec<f64> = (0..n).map(|_| sample_std_normal(&mut rng)).collect();
+            let b: Vec<f64> = (0..n).map(|_| sample_std_normal(&mut rng)).collect();
+            let t = Table::new(vec![
+                Column::num("a", Role::Feature, a),
+                Column::num("b", Role::Feature, b),
+            ])
+            .unwrap();
+            let mut f = FisherZ::new(&t, 0.05);
+            if !f.ci(&[0], &[1], &[]).independent {
+                rejections += 1;
+            }
+        }
+        let rate = rejections as f64 / trials as f64;
+        assert!((0.01..=0.10).contains(&rate), "null rejection rate {rate}");
+    }
+}

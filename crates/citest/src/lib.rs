@@ -1,0 +1,183 @@
+//! Conditional-independence (CI) testing.
+//!
+//! The paper's algorithms are *oracle algorithms*: they assume a procedure
+//! answering "is X ⊥ Y | Z?" and they differ only in which and how many
+//! queries they issue (SeqSel: `O(n)`, GrpSel: `O(k log n)`, §4.3). This
+//! crate supplies the oracles:
+//!
+//! * [`GTest`] — likelihood-ratio (G) test on discrete data with adaptive
+//!   degrees of freedom; the workhorse for categorical tables and the PC
+//!   algorithm.
+//! * [`PermutationCmi`] — plug-in conditional mutual information with a
+//!   within-stratum permutation null; slower but assumption-free.
+//! * [`FisherZ`] — partial-correlation test for (linear-)Gaussian data.
+//! * [`Rcit`] — the paper's choice for real datasets (§5.1 uses the RCIT R
+//!   package): random Fourier features + ridge residualization + a
+//!   Satterthwaite–Welch gamma tail approximation. Handles multivariate
+//!   `X`, `Y`, `Z` of mixed type, which is what group testing needs.
+//! * [`OracleCi`] / [`NoisyOracleCi`] — answer queries from ground-truth
+//!   d-separation on a known causal graph, optionally with per-test error
+//!   to model the spurious correlations that §5.3 attributes to running
+//!   too many tests.
+//!
+//! All testers implement [`CiTest`]; [`CountingCi`] wraps any of them to
+//! produce the test counts reported in Table 2 and Figures 4-5.
+
+pub mod cmi;
+pub mod fisher_z;
+pub mod gtest;
+pub mod oracle;
+pub mod rcit;
+
+pub use cmi::{cmi_discrete, PermutationCmi};
+pub use fisher_z::FisherZ;
+pub use gtest::GTest;
+pub use oracle::{NoisyOracleCi, OracleCi};
+pub use rcit::{Rcit, RcitConfig};
+
+/// Variables are identified by opaque indices; each tester defines what an
+/// index means (a table column, a graph node, ...).
+pub type VarId = usize;
+
+/// Result of one CI test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CiOutcome {
+    /// The decision at the tester's significance level.
+    pub independent: bool,
+    /// p-value under the null of independence (1.0 for oracle testers that
+    /// answer "independent", 0.0 otherwise).
+    pub p_value: f64,
+    /// The raw test statistic (tester-specific; 0.0 for oracles).
+    pub statistic: f64,
+}
+
+impl CiOutcome {
+    /// Outcome for an oracle-style decision without a statistic.
+    pub fn decided(independent: bool) -> Self {
+        Self {
+            independent,
+            p_value: if independent { 1.0 } else { 0.0 },
+            statistic: 0.0,
+        }
+    }
+}
+
+/// A conditional-independence tester over variables `0..n_vars()`.
+///
+/// `&mut self` lets implementations cache, count, and consume randomness.
+pub trait CiTest {
+    /// Test `X ⊥ Y | Z`. Sets may be multi-variable; implementations that
+    /// only support scalar sides document the restriction.
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome;
+
+    /// Number of variables in scope.
+    fn n_vars(&self) -> usize;
+
+    /// Short human-readable name for experiment logs.
+    fn name(&self) -> &'static str {
+        "ci"
+    }
+}
+
+/// Forward through mutable references so algorithms can take `&mut dyn CiTest`.
+impl<T: CiTest + ?Sized> CiTest for &mut T {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        (**self).ci(x, y, z)
+    }
+    fn n_vars(&self) -> usize {
+        (**self).n_vars()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Wrapper that counts tests — the instrument behind Table 2 and
+/// Figures 4-5 of the paper.
+pub struct CountingCi<T> {
+    inner: T,
+    count: u64,
+}
+
+impl<T: CiTest> CountingCi<T> {
+    pub fn new(inner: T) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// Number of CI tests issued so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Reset the counter (e.g. between experiment repetitions).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// Unwrap the inner tester.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Borrow the inner tester.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: CiTest> CiTest for CountingCi<T> {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        self.count += 1;
+        self.inner.ci(x, y, z)
+    }
+
+    fn n_vars(&self) -> usize {
+        self.inner.n_vars()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysIndependent(usize);
+    impl CiTest for AlwaysIndependent {
+        fn ci(&mut self, _: &[VarId], _: &[VarId], _: &[VarId]) -> CiOutcome {
+            CiOutcome::decided(true)
+        }
+        fn n_vars(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn counting_wrapper_counts() {
+        let mut c = CountingCi::new(AlwaysIndependent(3));
+        assert_eq!(c.count(), 0);
+        c.ci(&[0], &[1], &[]);
+        c.ci(&[0], &[2], &[1]);
+        assert_eq!(c.count(), 2);
+        c.reset();
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.n_vars(), 3);
+    }
+
+    #[test]
+    fn decided_outcome_pvalues() {
+        assert_eq!(CiOutcome::decided(true).p_value, 1.0);
+        assert_eq!(CiOutcome::decided(false).p_value, 0.0);
+    }
+
+    #[test]
+    fn trait_object_via_mut_ref() {
+        let mut t = AlwaysIndependent(2);
+        let dynref: &mut dyn CiTest = &mut t;
+        let mut counted = CountingCi::new(dynref);
+        counted.ci(&[0], &[1], &[]);
+        assert_eq!(counted.count(), 1);
+    }
+}

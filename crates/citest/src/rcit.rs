@@ -1,0 +1,389 @@
+//! RCIT: the Randomized Conditional Independence Test (Strobl, Zhang &
+//! Visweswaran 2019), the tester the paper uses for all real-dataset
+//! experiments (§5.1: "We use RCIT [50] package in R for CI tests").
+//!
+//! The approach approximates a kernel conditional-independence test with
+//! random Fourier features so its cost is linear in the sample size and
+//! mild in the conditioning-set dimension — exactly the scaling Figure 3(b)
+//! of the paper measures (runtime vs. conditioning-set size 1..256):
+//!
+//! 1. standardize `X`, `Y`, `Z` and pick RBF bandwidths by the median
+//!    heuristic on a subsample;
+//! 2. map each block through random Fourier features
+//!    `f(v) = √(2/D)·cos(vW/σ + b)`;
+//! 3. residualize `f(X)` and `f(Y)` on `f(Z)` with ridge regression
+//!    (the conditional-covariance operator trick);
+//! 4. statistic `S = n·‖Cov(e_x, e_y)‖²_F`, whose null is a weighted sum
+//!    of χ²₁; the tail is approximated by moment-matching a gamma
+//!    distribution (Satterthwaite–Welch).
+//!
+//! With an empty conditioning set this reduces to RIT, an unconditional
+//! kernel independence test.
+
+use crate::{CiOutcome, CiTest, VarId};
+use fairsel_math::dist::sample_std_normal;
+use fairsel_math::special::gamma_sf;
+use fairsel_math::stats::{median_pairwise_distance, standardize};
+use fairsel_math::Mat;
+use fairsel_table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RCIT hyperparameters.
+#[derive(Clone, Debug)]
+pub struct RcitConfig {
+    /// Random Fourier features for the X and Y blocks (RCIT default: 5).
+    pub num_features_xy: usize,
+    /// Random Fourier features for the conditioning block (RCIT default: 25).
+    pub num_features_z: usize,
+    /// Rows subsampled for the median-distance bandwidth heuristic.
+    pub median_sample: usize,
+    /// Ridge regularization for the residualization step.
+    pub ridge: f64,
+    /// Significance level.
+    pub alpha: f64,
+}
+
+impl Default for RcitConfig {
+    fn default() -> Self {
+        Self {
+            num_features_xy: 5,
+            num_features_z: 25,
+            median_sample: 500,
+            ridge: 1e-3,
+            alpha: 0.01,
+        }
+    }
+}
+
+/// RCIT tester over table columns (categorical codes read as numeric, as
+/// the R package does with factor levels).
+pub struct Rcit<'a> {
+    table: &'a Table,
+    cfg: RcitConfig,
+    rng: StdRng,
+}
+
+impl<'a> Rcit<'a> {
+    pub fn new(table: &'a Table, cfg: RcitConfig, seed: u64) -> Self {
+        assert!(cfg.num_features_xy > 0 && cfg.num_features_z > 0);
+        assert!(cfg.ridge > 0.0, "ridge must be positive");
+        Self { table, cfg, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Tester with default hyperparameters at level `alpha`.
+    pub fn with_alpha(table: &'a Table, alpha: f64, seed: u64) -> Self {
+        Self::new(table, RcitConfig { alpha, ..Default::default() }, seed)
+    }
+
+    /// Extract columns as a standardized `n × d` matrix.
+    fn extract(&self, cols: &[VarId]) -> Mat {
+        let n = self.table.n_rows();
+        let d = cols.len();
+        let mut buf = vec![0.0; n * d];
+        for (j, &c) in cols.iter().enumerate() {
+            let mut col = self.table.col(c).to_f64();
+            standardize(&mut col);
+            for i in 0..n {
+                buf[i * d + j] = col[i];
+            }
+        }
+        Mat::from_vec(n, d, buf)
+    }
+
+    /// Random Fourier feature map of `data` with RBF bandwidth `sigma`.
+    fn fourier_features(&mut self, data: &Mat, num: usize, sigma: f64) -> Mat {
+        let n = data.rows();
+        let d = data.cols();
+        // W ~ N(0, 1/σ²) entrywise, b ~ U[0, 2π).
+        let mut w = Mat::zeros(d, num);
+        for i in 0..d {
+            for j in 0..num {
+                w[(i, j)] = sample_std_normal(&mut self.rng) / sigma;
+            }
+        }
+        let b: Vec<f64> = (0..num)
+            .map(|_| self.rng.gen::<f64>() * 2.0 * std::f64::consts::PI)
+            .collect();
+        let mut proj = data.matmul(&w);
+        let scale = (2.0 / num as f64).sqrt();
+        for i in 0..n {
+            let row = proj.row_mut(i);
+            for (v, &bj) in row.iter_mut().zip(&b) {
+                *v = scale * (*v + bj).cos();
+            }
+        }
+        proj
+    }
+
+    fn bandwidth(&self, data: &Mat) -> f64 {
+        median_pairwise_distance(
+            data.as_slice(),
+            data.rows(),
+            data.cols(),
+            self.cfg.median_sample,
+        )
+    }
+
+    /// Full test, returning `(statistic, p_value)`.
+    pub fn test(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> (f64, f64) {
+        let n = self.table.n_rows();
+        if n < 8 {
+            return (0.0, 1.0);
+        }
+        let xm = self.extract(x);
+        let ym = self.extract(y);
+        let sx = self.bandwidth(&xm);
+        let sy = self.bandwidth(&ym);
+        let mut fx = self.fourier_features(&xm, self.cfg.num_features_xy, sx);
+        let mut fy = self.fourier_features(&ym, self.cfg.num_features_xy, sy);
+        fx.center_cols();
+        fy.center_cols();
+        let (ex, ey) = if z.is_empty() {
+            (fx, fy)
+        } else {
+            let zm = self.extract(z);
+            let sz = self.bandwidth(&zm);
+            let mut fz = self.fourier_features(&zm, self.cfg.num_features_z, sz);
+            fz.center_cols();
+            let wx = Mat::ridge_solve(&fz, &fx, self.cfg.ridge);
+            let wy = Mat::ridge_solve(&fz, &fy, self.cfg.ridge);
+            let mut ex = fx.sub(&fz.matmul(&wx));
+            let mut ey = fy.sub(&fz.matmul(&wy));
+            ex.center_cols();
+            ey.center_cols();
+            (ex, ey)
+        };
+        let dx = ex.cols();
+        let dy = ey.cols();
+        // Cross-covariance of residual features and the statistic.
+        let cxy = ex.t_matmul(&ey).scale(1.0 / n as f64);
+        let stat = n as f64 * cxy.frob_sq();
+
+        // Null moments via the covariance of per-sample feature products
+        // v_t = vec(e_x[t] ⊗ e_y[t]).
+        let d = dx * dy;
+        let mut vbar = vec![0.0; d];
+        let mut prods = Mat::zeros(n, d);
+        for t in 0..n {
+            let exr = ex.row(t);
+            let eyr = ey.row(t);
+            let prow = prods.row_mut(t);
+            let mut k = 0;
+            for &a in exr {
+                for &b in eyr {
+                    prow[k] = a * b;
+                    vbar[k] += a * b;
+                    k += 1;
+                }
+            }
+        }
+        for v in &mut vbar {
+            *v /= n as f64;
+        }
+        for t in 0..n {
+            let prow = prods.row_mut(t);
+            for (p, &m) in prow.iter_mut().zip(&vbar) {
+                *p -= m;
+            }
+        }
+        let sigma = prods.t_matmul(&prods).scale(1.0 / n as f64);
+        let mean_null = sigma.trace();
+        let var_null = 2.0 * sigma.frob_sq();
+        if mean_null <= 1e-12 || var_null <= 1e-20 {
+            // Degenerate null: the residual products are (near-)constant,
+            // which happens under *deterministic* relationships (e.g. X a
+            // copy of Y). A positive statistic then has no sampling
+            // variability at all — reject outright; otherwise accept.
+            return if stat > 1e-8 * n as f64 {
+                (stat, 0.0)
+            } else {
+                (stat, 1.0)
+            };
+        }
+        // Satterthwaite–Welch: gamma with k = mean²/var·2, θ = var/(2·mean)
+        // (for a gamma, mean = kθ and var = kθ²).
+        let shape = mean_null * mean_null / var_null;
+        let scale = var_null / mean_null;
+        let p = gamma_sf(stat, shape, scale);
+        (stat, p)
+    }
+}
+
+impl CiTest for Rcit<'_> {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        if x.is_empty() || y.is_empty() {
+            return CiOutcome::decided(true);
+        }
+        let (stat, p) = self.test(x, y, z);
+        CiOutcome { independent: p > self.cfg.alpha, p_value: p, statistic: stat }
+    }
+
+    fn n_vars(&self) -> usize {
+        self.table.n_cols()
+    }
+
+    fn name(&self) -> &'static str {
+        "rcit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_graph::DagBuilder;
+    use fairsel_scm::GaussianScmBuilder;
+    use fairsel_table::{Column, Role};
+
+    fn gauss_table(edges: &[(&str, &str, f64)], nodes: &[&str], n: usize, seed: u64) -> Table {
+        let mut b = DagBuilder::new().nodes(nodes.iter().copied());
+        for &(f, t, _) in edges {
+            b = b.edge(f, t);
+        }
+        let g = b.build();
+        let mut sb = GaussianScmBuilder::new(g.clone());
+        for &(f, t, w) in edges {
+            sb = sb.weight(g.expect_node(f), g.expect_node(t), w);
+        }
+        let scm = sb.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cols = scm.sample(&mut rng, n);
+        Table::new(
+            nodes
+                .iter()
+                .map(|&name| {
+                    Column::num(name, Role::Feature, cols[g.expect_node(name).index()].clone())
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_linear_dependence() {
+        let t = gauss_table(&[("x", "y", 0.8)], &["x", "y"], 1000, 1);
+        let mut r = Rcit::with_alpha(&t, 0.01, 42);
+        let out = r.ci(&[0], &[1], &[]);
+        assert!(!out.independent, "strong dependence missed, p={}", out.p_value);
+    }
+
+    #[test]
+    fn accepts_independence() {
+        let t = gauss_table(&[], &["x", "y"], 1000, 2);
+        let mut r = Rcit::with_alpha(&t, 0.01, 42);
+        let out = r.ci(&[0], &[1], &[]);
+        assert!(out.independent, "independent rejected, p={}", out.p_value);
+    }
+
+    #[test]
+    fn conditional_independence_in_chain() {
+        // x -> m -> y: x ⊥ y | m.
+        let t = gauss_table(&[("x", "m", 1.0), ("m", "y", 1.0)], &["x", "m", "y"], 1500, 3);
+        let mut r = Rcit::with_alpha(&t, 0.01, 7);
+        assert!(!r.ci(&[0], &[2], &[]).independent, "marginal dependence missed");
+        let out = r.ci(&[0], &[2], &[1]);
+        assert!(out.independent, "chain CI missed, p={}", out.p_value);
+    }
+
+    #[test]
+    fn detects_nonlinear_dependence() {
+        // y = x² + noise: zero linear correlation, kernel test must catch it.
+        use fairsel_math::dist::sample_std_normal;
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 1200;
+        let x: Vec<f64> = (0..n).map(|_| sample_std_normal(&mut rng)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| v * v + 0.3 * sample_std_normal(&mut rng))
+            .collect();
+        let t = Table::new(vec![
+            Column::num("x", Role::Feature, x),
+            Column::num("y", Role::Feature, y),
+        ])
+        .unwrap();
+        let mut r = Rcit::with_alpha(&t, 0.01, 11);
+        let out = r.ci(&[0], &[1], &[]);
+        assert!(!out.independent, "nonlinear dependence missed, p={}", out.p_value);
+    }
+
+    #[test]
+    fn conditional_dependence_detected() {
+        // Collider x -> c <- y: conditioning on c induces dependence.
+        let t = gauss_table(
+            &[("x", "c", 1.0), ("y", "c", 1.0)],
+            &["x", "y", "c"],
+            1500,
+            5,
+        );
+        let mut r = Rcit::with_alpha(&t, 0.01, 13);
+        assert!(r.ci(&[0], &[1], &[]).independent, "collider marginal should be independent");
+        let out = r.ci(&[0], &[1], &[2]);
+        assert!(!out.independent, "collider conditioning missed, p={}", out.p_value);
+    }
+
+    #[test]
+    fn multivariate_group_sides() {
+        // z -> x1, z -> x2, z -> y: group {x1, x2} dependent on y
+        // marginally, independent given z.
+        let t = gauss_table(
+            &[("z", "x1", 1.0), ("z", "x2", 1.0), ("z", "y", 1.0)],
+            &["z", "x1", "x2", "y"],
+            2000,
+            6,
+        );
+        let mut r = Rcit::with_alpha(&t, 0.01, 17);
+        assert!(!r.ci(&[1, 2], &[3], &[]).independent);
+        let out = r.ci(&[1, 2], &[3], &[0]);
+        assert!(out.independent, "group CI given z missed, p={}", out.p_value);
+    }
+
+    #[test]
+    fn null_calibration_reasonable() {
+        // Independent pairs: rejection rate at alpha=0.05 should be small
+        // (the gamma approximation is slightly conservative).
+        let mut rejections = 0;
+        let trials = 120;
+        for seed in 0..trials {
+            let t = gauss_table(&[], &["x", "y"], 300, 100 + seed);
+            let mut r = Rcit::with_alpha(&t, 0.05, seed);
+            if !r.ci(&[0], &[1], &[]).independent {
+                rejections += 1;
+            }
+        }
+        let rate = rejections as f64 / trials as f64;
+        assert!(rate <= 0.12, "null rejection rate too high: {rate}");
+    }
+
+    #[test]
+    fn tiny_sample_returns_independent() {
+        let t = gauss_table(&[("x", "y", 2.0)], &["x", "y"], 4, 9);
+        let mut r = Rcit::with_alpha(&t, 0.01, 3);
+        assert!(r.ci(&[0], &[1], &[]).independent);
+    }
+
+    #[test]
+    fn works_on_categorical_codes() {
+        // Binary S copied into X: RCIT reads codes numerically and must
+        // flag dependence.
+        let codes: Vec<u32> = (0..600).map(|i| (i % 2) as u32).collect();
+        let t = Table::new(vec![
+            Column::cat("s", Role::Sensitive, codes.clone(), 2),
+            Column::cat("x", Role::Feature, codes, 2),
+        ])
+        .unwrap();
+        let mut r = Rcit::with_alpha(&t, 0.01, 21);
+        assert!(!r.ci(&[0], &[1], &[]).independent);
+    }
+
+    #[test]
+    fn large_conditioning_set_runs() {
+        // Smoke test for the Figure 3(b) regime: |Z| = 64.
+        let nodes: Vec<String> = (0..66).map(|i| format!("v{i}")).collect();
+        let names: Vec<&str> = nodes.iter().map(String::as_str).collect();
+        let t = gauss_table(&[], &names, 400, 10);
+        let mut r = Rcit::with_alpha(&t, 0.01, 5);
+        let z: Vec<usize> = (2..66).collect();
+        let out = r.ci(&[0], &[1], &z);
+        assert!(out.p_value >= 0.0 && out.p_value <= 1.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! GrpSel — Algorithms 2–4 of the paper: group testing for causal feature
+//! selection.
+//!
+//! SeqSel issues one CI test chain per feature; when `n` is large the sheer
+//! number of tests both costs time and — with finite-sample testers —
+//! manufactures spurious dependence (§5.3). GrpSel instead tests whole
+//! *groups* of features at once and recurses by halving only on failure,
+//! which is sound by the graphoid axioms:
+//!
+//! * **Composition** (Lemma 1.2): if every member of `X` satisfies
+//!   `Xᵢ ⊥ S | Z` then `X ⊥ S | Z` — so a passing group admits all its
+//!   members at once.
+//! * **Decomposition** (Lemma 1.1, = Lemmas 7–8): if `X ̸⊥ S | Z` then at
+//!   least one member is dependent — so a failing group is worth splitting,
+//!   and the recursion terminates at the offending singletons.
+//!
+//! With `k` unsafe features out of `n`, each phase costs `O(k log n)` group
+//! tests (times the `2^|A|` subset factor in phase 1), versus `O(n)` for
+//! SeqSel — the crossover measured in Figures 4 and 5.
+//!
+//! One paper erratum (DESIGN.md substitution 6): Algorithm 4 line 8 passes
+//! `C2` as the conditioning set of the recursive call; Lemma 6 requires
+//! conditioning on `A ∪ C₁`, which is what we do.
+
+use crate::problem::{Problem, SelectConfig, Selection};
+use fairsel_ci::{CiTest, VarId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Run GrpSel (Algorithm 2) with any CI tester. Groups are split at the
+/// midpoint of the (caller-provided) feature order; use
+/// [`grpsel_seeded`] to randomize the initial order, which is what the
+/// paper's `random_partition` amounts to after the first shuffle.
+pub fn grpsel<T: CiTest + ?Sized>(
+    tester: &mut T,
+    problem: &Problem,
+    cfg: &SelectConfig,
+) -> Selection {
+    run(tester, problem, cfg, None)
+}
+
+/// GrpSel with the feature order shuffled once under `seed` before the
+/// recursive halving, making every split a uniform random partition.
+pub fn grpsel_seeded<T: CiTest + ?Sized>(
+    tester: &mut T,
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: u64,
+) -> Selection {
+    run(tester, problem, cfg, Some(seed))
+}
+
+fn run<T: CiTest + ?Sized>(
+    tester: &mut T,
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: Option<u64>,
+) -> Selection {
+    let mut features = problem.features.clone();
+    if let Some(seed) = seed {
+        features.shuffle(&mut StdRng::seed_from_u64(seed));
+    }
+    let subsets = cfg.admissible_subsets(&problem.admissible);
+    let mut out = Selection::default();
+
+    // Phase 1 (Algorithm 3): groups with X ⊥ S | A' for some A' ⊆ A.
+    let mut remaining: Vec<VarId> = Vec::new();
+    first_phase(tester, problem, &subsets, &features, &mut out, &mut remaining);
+
+    // Phase 2 (Algorithm 4): remaining groups with X ⊥ Y | A ∪ C₁.
+    let mut cond: Vec<VarId> = problem.admissible.clone();
+    cond.extend(&out.c1);
+    final_candidates(tester, problem, &cond, &remaining, &mut out);
+    out
+}
+
+/// Algorithm 3. Admits whole groups into `C₁` when conditionally
+/// independent of `S` given some admissible subset; splits on failure;
+/// pushes failing singletons into `remaining` for phase 2.
+fn first_phase<T: CiTest + ?Sized>(
+    tester: &mut T,
+    problem: &Problem,
+    subsets: &[Vec<VarId>],
+    group: &[VarId],
+    out: &mut Selection,
+    remaining: &mut Vec<VarId>,
+) {
+    if group.is_empty() {
+        return;
+    }
+    for sub in subsets {
+        out.tests_used += 1;
+        if tester.ci(group, &problem.sensitive, sub).independent {
+            out.c1.extend_from_slice(group);
+            return;
+        }
+    }
+    if group.len() == 1 {
+        remaining.push(group[0]);
+        return;
+    }
+    let (left, right) = group.split_at(group.len() / 2);
+    first_phase(tester, problem, subsets, left, out, remaining);
+    first_phase(tester, problem, subsets, right, out, remaining);
+}
+
+/// Algorithm 4 with the Lemma-6 conditioning set `A ∪ C₁`.
+fn final_candidates<T: CiTest + ?Sized>(
+    tester: &mut T,
+    problem: &Problem,
+    cond: &[VarId],
+    group: &[VarId],
+    out: &mut Selection,
+) {
+    if group.is_empty() {
+        return;
+    }
+    out.tests_used += 1;
+    if tester.ci(group, &[problem.target], cond).independent {
+        out.c2.extend_from_slice(group);
+        return;
+    }
+    if group.len() == 1 {
+        out.rejected.push(group[0]);
+        return;
+    }
+    let (left, right) = group.split_at(group.len() / 2);
+    final_candidates(tester, problem, cond, left, out);
+    final_candidates(tester, problem, cond, right, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqsel::fixtures::*;
+    use crate::seqsel::seqsel;
+    use fairsel_ci::{CountingCi, OracleCi};
+    use fairsel_graph::{random_dag, RandomDagConfig};
+    use fairsel_table::Role;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn names(dag: &fairsel_graph::Dag, vars: &[usize]) -> Vec<String> {
+        vars.iter()
+            .map(|&v| dag.name(fairsel_graph::NodeId(v as u32)).to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn figure_1a_matches_seqsel() {
+        let (dag, problem) = figure_1a();
+        let cfg = SelectConfig::default();
+        let s = seqsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
+        let g = grpsel(&mut OracleCi::from_dag(dag), &problem, &cfg).normalized();
+        assert_eq!(s.c1, g.c1);
+        assert_eq!(s.c2, g.c2);
+        assert_eq!(s.rejected, g.rejected);
+    }
+
+    #[test]
+    fn figure_1b_all_admitted() {
+        let (dag, problem) = figure_1b();
+        let sel = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &SelectConfig::default())
+            .normalized();
+        assert!(sel.rejected.is_empty(), "{:?}", names(&dag, &sel.rejected));
+        let c2 = names(&dag, &sel.c2);
+        assert!(c2.contains(&"X2".to_owned()), "X2 screened off from Y: {c2:?}");
+    }
+
+    #[test]
+    fn figure_1c_exists_search_over_groups() {
+        let (dag, problem) = figure_1c();
+        let sel = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &SelectConfig::default())
+            .normalized();
+        let c1 = names(&dag, &sel.c1);
+        assert!(c1.contains(&"X1".to_owned()));
+        assert!(c1.contains(&"X3".to_owned()), "needs ∃A'⊆A at group level: {c1:?}");
+    }
+
+    #[test]
+    fn figure_6_limitation_shared_with_seqsel() {
+        let (dag, problem) = figure_6();
+        let sel = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &SelectConfig::default())
+            .normalized();
+        let rejected = names(&dag, &sel.rejected);
+        assert!(rejected.contains(&"X2".to_owned()));
+    }
+
+    /// SeqSel and GrpSel agree on every random DAG under the oracle — the
+    /// soundness consequence of composition + decomposition.
+    #[test]
+    fn agrees_with_seqsel_on_random_dags() {
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = random_dag(
+                &mut rng,
+                &RandomDagConfig { n_features: 14, biased_fraction: 0.3, ..Default::default() },
+            );
+            let problem = problem_from_generated(&dag);
+            let cfg = SelectConfig::default();
+            let s = seqsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
+            let g = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
+            assert_eq!(s.c1, g.c1, "C1 mismatch at seed {seed}");
+            assert_eq!(s.c2, g.c2, "C2 mismatch at seed {seed}");
+            assert_eq!(s.rejected, g.rejected, "rejected mismatch at seed {seed}");
+        }
+    }
+
+    /// Shuffling the recursion order never changes the *set* outcome under
+    /// an oracle tester, only the work done.
+    #[test]
+    fn seeded_partition_is_outcome_invariant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dag = random_dag(
+            &mut rng,
+            &RandomDagConfig { n_features: 20, biased_fraction: 0.25, ..Default::default() },
+        );
+        let problem = problem_from_generated(&dag);
+        let cfg = SelectConfig::default();
+        let base = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
+        for seed in 0..5 {
+            let shuffled =
+                grpsel_seeded(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg, seed)
+                    .normalized();
+            assert_eq!(base.c1, shuffled.c1);
+            assert_eq!(base.c2, shuffled.c2);
+            assert_eq!(base.rejected, shuffled.rejected);
+        }
+    }
+
+    /// With few biased features GrpSel issues far fewer tests than SeqSel —
+    /// the k log n vs n claim of §4.3 at a small scale.
+    #[test]
+    fn fewer_tests_than_seqsel_when_k_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = random_dag(
+            &mut rng,
+            &RandomDagConfig { n_features: 64, biased_fraction: 0.05, ..Default::default() },
+        );
+        let problem = problem_from_generated(&dag);
+        let cfg = SelectConfig::default();
+        let mut sc = CountingCi::new(OracleCi::from_dag(dag.clone()));
+        let s = seqsel(&mut sc, &problem, &cfg);
+        let mut gc = CountingCi::new(OracleCi::from_dag(dag));
+        let g = grpsel(&mut gc, &problem, &cfg);
+        assert!(
+            g.tests_used < s.tests_used,
+            "grpsel {} !< seqsel {}",
+            g.tests_used,
+            s.tests_used
+        );
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let (dag, problem) = figure_1c();
+        let sel = grpsel(&mut OracleCi::from_dag(dag), &problem, &SelectConfig::default());
+        let mut all: Vec<usize> =
+            sel.c1.iter().chain(&sel.c2).chain(&sel.rejected).copied().collect();
+        all.sort_unstable();
+        let mut expected = problem.features.clone();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn empty_feature_set_is_trivial() {
+        let (dag, mut problem) = figure_1a();
+        problem.features.clear();
+        let sel = grpsel(&mut OracleCi::from_dag(dag), &problem, &SelectConfig::default());
+        assert_eq!(sel.tests_used, 0);
+        assert!(sel.selected().is_empty());
+    }
+
+    /// Build a `Problem` from a generated DAG using its naming convention
+    /// (`S*` sensitive, `A*` admissible, `Y` target, rest features).
+    pub(crate) fn problem_from_generated(dag: &fairsel_graph::Dag) -> Problem {
+        let roles: Vec<Role> = dag
+            .nodes()
+            .map(|v| match dag.name(v) {
+                n if n.starts_with('S') => Role::Sensitive,
+                n if n.starts_with('A') => Role::Admissible,
+                "Y" => Role::Target,
+                _ => Role::Feature,
+            })
+            .collect();
+        Problem::from_roles(&roles)
+    }
+}

@@ -1,0 +1,292 @@
+//! Ground truth: the Theorem 1 classification of candidate features,
+//! computed from a *known* causal DAG.
+//!
+//! Theorem 1 says a feature `X` is safe to add without violating causal
+//! fairness iff
+//!
+//! 1. `X ⊥ S | A'` for some `A' ⊆ A` (it carries no new sensitive
+//!    information — the phase-1 certificate), or
+//! 2. `X ⊥ Y | C', A` where `C' ⊥ S | A` (it is screened off from the
+//!    target — the phase-2 certificate), or
+//! 3. `X` is not a descendant of `S` in `G_Ā` (the graph with incoming
+//!    edges of `A` removed).
+//!
+//! Conditions (1) and (2) are testable from observational data; condition
+//! (3) is not (Figure 6 of the paper exhibits a variable that satisfies
+//! only (3)). The [`GroundTruth`] partition therefore distinguishes
+//! `C1`/`C2` (CI-identifiable) from `NonDescendantOnly` (safe, but
+//! invisible to any CI-based selector) — the gap the synthetic-recovery
+//! experiment (§5.3, Figure 6) quantifies.
+
+use crate::problem::{Problem, SelectConfig};
+use fairsel_ci::VarId;
+use fairsel_graph::{d_separated, Dag, NodeId};
+
+/// Which clause of Theorem 1 (if any) certifies a feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FeatureClass {
+    /// Clause (i): `X ⊥ S | A'` for some `A' ⊆ A`.
+    C1,
+    /// Clause (ii): `X ⊥ Y | A ∪ C₁` (and not clause (i)).
+    C2,
+    /// Clause (iii) only: not a descendant of `S` in `G_Ā`, yet no CI
+    /// certificate exists. Safe, but unreachable by SeqSel/GrpSel.
+    NonDescendantOnly,
+    /// No clause applies: adding the feature can worsen causal fairness.
+    Unsafe,
+}
+
+/// The exact Theorem-1 partition of a problem's candidate features.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Clause-(i) features, ascending.
+    pub c1: Vec<VarId>,
+    /// Clause-(ii) features, ascending.
+    pub c2: Vec<VarId>,
+    /// Clause-(iii)-only features, ascending.
+    pub non_descendant_only: Vec<VarId>,
+    /// Unsafe features, ascending.
+    pub unsafe_vars: Vec<VarId>,
+}
+
+impl GroundTruth {
+    /// Everything safe to add (union of the three safe classes), sorted.
+    pub fn safe(&self) -> Vec<VarId> {
+        let mut out: Vec<VarId> = self
+            .c1
+            .iter()
+            .chain(&self.c2)
+            .chain(&self.non_descendant_only)
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The subset of safe features a CI-only selector can certify
+    /// (`C₁ ∪ C₂`), sorted. This is the target SeqSel/GrpSel aim for.
+    pub fn ci_identifiable(&self) -> Vec<VarId> {
+        let mut out: Vec<VarId> = self.c1.iter().chain(&self.c2).copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Class of a single feature.
+    pub fn class_of(&self, x: VarId) -> Option<FeatureClass> {
+        if self.c1.binary_search(&x).is_ok() {
+            Some(FeatureClass::C1)
+        } else if self.c2.binary_search(&x).is_ok() {
+            Some(FeatureClass::C2)
+        } else if self.non_descendant_only.binary_search(&x).is_ok() {
+            Some(FeatureClass::NonDescendantOnly)
+        } else if self.unsafe_vars.binary_search(&x).is_ok() {
+            Some(FeatureClass::Unsafe)
+        } else {
+            None
+        }
+    }
+}
+
+/// Compute the Theorem-1 ground truth for `problem` against the true DAG.
+///
+/// Variable ids must coincide with node indices of `dag` (the convention
+/// used by [`fairsel_ci::OracleCi`] and all generated datasets).
+pub fn theorem1_classification(dag: &Dag, problem: &Problem, cfg: &SelectConfig) -> GroundTruth {
+    let node = |v: VarId| NodeId(v as u32);
+    let sensitive: Vec<NodeId> = problem.sensitive.iter().map(|&v| node(v)).collect();
+    let admissible: Vec<NodeId> = problem.admissible.iter().map(|&v| node(v)).collect();
+    let target = node(problem.target);
+    let subsets = cfg.admissible_subsets(&problem.admissible);
+
+    let mut truth = GroundTruth::default();
+
+    // Clause (i) first — it also fixes the C₁ used by clause (ii).
+    let mut remaining: Vec<VarId> = Vec::new();
+    for &x in &problem.features {
+        let certified = subsets.iter().any(|sub| {
+            let z: Vec<NodeId> = sub.iter().map(|&v| node(v)).collect();
+            d_separated(dag, &[node(x)], &sensitive, &z)
+        });
+        if certified {
+            truth.c1.push(x);
+        } else {
+            remaining.push(x);
+        }
+    }
+
+    // Clause (ii): X ⊥ Y | A ∪ C₁.
+    let mut cond: Vec<NodeId> = admissible.clone();
+    cond.extend(truth.c1.iter().map(|&v| node(v)));
+    let mut rest: Vec<VarId> = Vec::new();
+    for &x in &remaining {
+        if d_separated(dag, &[node(x)], &[target], &cond) {
+            truth.c2.push(x);
+        } else {
+            rest.push(x);
+        }
+    }
+
+    // Clause (iii): descendant status in G_Ā.
+    let g_bar = dag.intervene(&admissible);
+    let descendant_of_s = g_bar.descendant_mask(&sensitive);
+    for &x in &rest {
+        if descendant_of_s[x] {
+            truth.unsafe_vars.push(x);
+        } else {
+            truth.non_descendant_only.push(x);
+        }
+    }
+
+    truth.c1.sort_unstable();
+    truth.c2.sort_unstable();
+    truth.non_descendant_only.sort_unstable();
+    truth.unsafe_vars.sort_unstable();
+    truth
+}
+
+/// Score a selection against ground truth: how many of the CI-identifiable
+/// safe features were recovered, and how many unsafe features leaked in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryScore {
+    /// Safe CI-identifiable features correctly selected.
+    pub true_positives: usize,
+    /// CI-identifiable features wrongly left out ("spurious drops").
+    pub false_negatives: usize,
+    /// Unsafe features wrongly selected.
+    pub false_positives: usize,
+    /// Clause-(iii)-only features (unreachable; reported separately).
+    pub unreachable: usize,
+}
+
+impl RecoveryScore {
+    /// Compare `selected` (any order) with the ground truth.
+    pub fn of(truth: &GroundTruth, selected: &[VarId]) -> RecoveryScore {
+        let sel: std::collections::HashSet<VarId> = selected.iter().copied().collect();
+        let identifiable = truth.ci_identifiable();
+        let mut score = RecoveryScore {
+            unreachable: truth.non_descendant_only.len(),
+            ..Default::default()
+        };
+        for x in &identifiable {
+            if sel.contains(x) {
+                score.true_positives += 1;
+            } else {
+                score.false_negatives += 1;
+            }
+        }
+        for x in &truth.unsafe_vars {
+            if sel.contains(x) {
+                score.false_positives += 1;
+            }
+        }
+        score
+    }
+
+    /// Fraction of CI-identifiable features recovered (1.0 when there are
+    /// none to recover).
+    pub fn recall(&self) -> f64 {
+        let total = self.true_positives + self.false_negatives;
+        if total == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqsel::fixtures::*;
+    use crate::seqsel::seqsel;
+    use crate::SelectConfig;
+    use fairsel_ci::OracleCi;
+
+    fn name_of(dag: &Dag, v: VarId) -> &str {
+        dag.name(NodeId(v as u32))
+    }
+
+    #[test]
+    fn figure_1a_truth() {
+        let (dag, problem) = figure_1a();
+        let t = theorem1_classification(&dag, &problem, &SelectConfig::default());
+        let c1: Vec<&str> = t.c1.iter().map(|&v| name_of(&dag, v)).collect();
+        let unsafe_: Vec<&str> = t.unsafe_vars.iter().map(|&v| name_of(&dag, v)).collect();
+        assert!(c1.contains(&"X1"));
+        assert!(c1.contains(&"C1"));
+        assert_eq!(unsafe_, vec!["X2"], "X2 is the biased variable");
+    }
+
+    #[test]
+    fn figure_1b_truth_all_safe() {
+        let (dag, problem) = figure_1b();
+        let t = theorem1_classification(&dag, &problem, &SelectConfig::default());
+        assert!(t.unsafe_vars.is_empty());
+        let c2: Vec<&str> = t.c2.iter().map(|&v| name_of(&dag, v)).collect();
+        assert_eq!(c2, vec!["X2"], "X2 certified only by clause (ii)");
+    }
+
+    #[test]
+    fn figure_6_x2_is_clause_iii_only() {
+        let (dag, problem) = figure_6();
+        let t = theorem1_classification(&dag, &problem, &SelectConfig::default());
+        let nd: Vec<&str> =
+            t.non_descendant_only.iter().map(|&v| name_of(&dag, v)).collect();
+        assert_eq!(nd, vec!["X2"], "Figure 6's X2 is safe but not CI-identifiable");
+        assert!(t.unsafe_vars.is_empty());
+    }
+
+    #[test]
+    fn classes_partition_features() {
+        for (dag, problem) in [figure_1a(), figure_1b(), figure_1c(), figure_6()] {
+            let t = theorem1_classification(&dag, &problem, &SelectConfig::default());
+            let mut all: Vec<VarId> = t
+                .c1
+                .iter()
+                .chain(&t.c2)
+                .chain(&t.non_descendant_only)
+                .chain(&t.unsafe_vars)
+                .copied()
+                .collect();
+            all.sort_unstable();
+            let mut expected = problem.features.clone();
+            expected.sort_unstable();
+            assert_eq!(all, expected);
+            for &x in &problem.features {
+                assert!(t.class_of(x).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn seqsel_under_oracle_matches_ci_identifiable() {
+        for (dag, problem) in [figure_1a(), figure_1b(), figure_1c(), figure_6()] {
+            let cfg = SelectConfig::default();
+            let t = theorem1_classification(&dag, &problem, &cfg);
+            let sel = seqsel(&mut OracleCi::from_dag(dag), &problem, &cfg);
+            assert_eq!(sel.selected(), t.ci_identifiable());
+        }
+    }
+
+    #[test]
+    fn recovery_score_accounting() {
+        let truth = GroundTruth {
+            c1: vec![1, 2],
+            c2: vec![3],
+            non_descendant_only: vec![4],
+            unsafe_vars: vec![5, 6],
+        };
+        let score = RecoveryScore::of(&truth, &[1, 3, 5]);
+        assert_eq!(score.true_positives, 2);
+        assert_eq!(score.false_negatives, 1);
+        assert_eq!(score.false_positives, 1);
+        assert_eq!(score.unreachable, 1);
+        assert!((score.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_is_one_when_nothing_identifiable() {
+        let truth = GroundTruth { unsafe_vars: vec![0], ..Default::default() };
+        assert_eq!(RecoveryScore::of(&truth, &[]).recall(), 1.0);
+    }
+}

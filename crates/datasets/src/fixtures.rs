@@ -1,0 +1,224 @@
+//! The paper's worked examples as reusable fixtures: the three causal
+//! graphs of Figure 1, and the Figure 6 counterexample where a safe
+//! variable has no conditional-independence certificate.
+//!
+//! Each fixture ships the graph, role annotations (aligned with node ids),
+//! and a parameterized [`DiscreteScm`] so both oracle-level and data-level
+//! tests can run against the same ground truth.
+
+use fairsel_graph::{Dag, DagBuilder, NodeId};
+use fairsel_scm::{DiscreteScm, DiscreteScmBuilder};
+use fairsel_table::Role;
+
+use crate::sim::{bernoulli, logistic_cpt};
+
+/// A fixture: graph, roles, and a sampled-data generator.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Paper figure this reproduces ("1a", "1b", "1c", "6").
+    pub id: &'static str,
+    pub dag: Dag,
+    pub roles: Vec<Role>,
+}
+
+impl Fixture {
+    /// Build the discrete SCM with all binary variables and edge strength
+    /// `w` on every causal mechanism (|w| ≈ 1.5 gives strong, easily
+    /// detectable effects at a few thousand samples).
+    pub fn scm(&self, w: f64) -> DiscreteScm {
+        let dag = &self.dag;
+        let arities = vec![2u32; dag.len()];
+        let mut b = DiscreteScmBuilder::with_arities(dag.clone(), arities.clone());
+        for v in dag.nodes() {
+            let parents = dag.parents(v);
+            let probs = if parents.is_empty() {
+                bernoulli(0.5)
+            } else {
+                let weights: Vec<(NodeId, f64)> = parents.iter().map(|&p| (p, w)).collect();
+                logistic_cpt(dag, &arities, v, 0.0, &weights)
+            };
+            b = b.cpt(v, probs).expect("fixture CPTs are valid");
+        }
+        b.build().expect("all nodes covered")
+    }
+
+    /// Variable id of a named node.
+    pub fn var(&self, name: &str) -> usize {
+        self.dag.expect_node(name).index()
+    }
+}
+
+fn roles_for(dag: &Dag, sensitive: &[&str], admissible: &[&str], target: &str) -> Vec<Role> {
+    dag.nodes()
+        .map(|v| {
+            let n = dag.name(v);
+            if sensitive.contains(&n) {
+                Role::Sensitive
+            } else if admissible.contains(&n) {
+                Role::Admissible
+            } else if n == target {
+                Role::Target
+            } else {
+                Role::Feature
+            }
+        })
+        .collect()
+}
+
+/// Figure 1(a): `X1` is fair (`X1 ⊥ S1 | A1`), `X2` is biased
+/// (`S1 → X2 → Y`).
+pub fn figure_1a() -> Fixture {
+    let dag = DagBuilder::new()
+        .nodes(["S1", "A1", "X1", "X2", "C1", "Y"])
+        .edge("S1", "A1")
+        .edge("S1", "X2")
+        .edge("A1", "X1")
+        .edge("C1", "X1")
+        .edge("X1", "Y")
+        .edge("X2", "Y")
+        .build();
+    let roles = roles_for(&dag, &["S1"], &["A1"], "Y");
+    Fixture { id: "1a", dag, roles }
+}
+
+/// Figure 1(b): `X1, X3 ∈ C₁`; `X2` carries sensitive information but is
+/// screened off from `Y` (`X2 ⊥ Y | A1, X1, X3`) so it lands in `C₂`.
+pub fn figure_1b() -> Fixture {
+    let dag = DagBuilder::new()
+        .nodes(["S1", "A1", "X1", "X2", "X3", "C1", "C2", "Y"])
+        .edge("S1", "A1")
+        .edge("S1", "X2")
+        .edge("C2", "X2")
+        .edge("A1", "X1")
+        .edge("C1", "X1")
+        .edge("X3", "Y")
+        .edge("X1", "Y")
+        .build();
+    let roles = roles_for(&dag, &["S1"], &["A1"], "Y");
+    Fixture { id: "1b", dag, roles }
+}
+
+/// Figure 1(c): two admissible attributes; `X3 ⊥ S1 | A2` but not given
+/// `A1`, exercising the `∃A' ⊆ A` subset search.
+pub fn figure_1c() -> Fixture {
+    let dag = DagBuilder::new()
+        .nodes(["S1", "A1", "A2", "X1", "X2", "X3", "C1", "C2", "Y"])
+        .edge("S1", "A1")
+        .edge("S1", "A2")
+        .edge("A1", "X1")
+        .edge("A2", "X3")
+        .edge("S1", "X2")
+        .edge("C2", "X2")
+        .edge("C1", "X1")
+        .edge("X1", "Y")
+        .edge("X2", "Y")
+        .build();
+    let roles = roles_for(&dag, &["S1"], &["A1", "A2"], "Y");
+    Fixture { id: "1c", dag, roles }
+}
+
+/// Figure 6: `X2 → A1 ← S1`, `X2 → X3 → Y`. `X2` is safe by Theorem
+/// 1(iii) — not a descendant of `S1` in `G_Ā` — but `X2 ̸⊥ S1 | A1`
+/// (conditioning on the collider `A1` opens the path), so CI-based
+/// selection must reject it. The appendix's identifiability gap.
+pub fn figure_6() -> Fixture {
+    let dag = DagBuilder::new()
+        .nodes(["S1", "A1", "X2", "X3", "Y"])
+        .edge("S1", "A1")
+        .edge("X2", "A1")
+        .edge("X2", "X3")
+        .edge("X3", "Y")
+        .build();
+    let roles = roles_for(&dag, &["S1"], &["A1"], "Y");
+    Fixture { id: "6", dag, roles }
+}
+
+/// All four fixtures.
+pub fn all_fixtures() -> Vec<Fixture> {
+    vec![figure_1a(), figure_1b(), figure_1c(), figure_6()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_ci::{CiTest, OracleCi};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roles_align_with_nodes() {
+        for f in all_fixtures() {
+            assert_eq!(f.roles.len(), f.dag.len(), "fixture {}", f.id);
+            let n_targets = f.roles.iter().filter(|r| **r == Role::Target).count();
+            assert_eq!(n_targets, 1, "fixture {}", f.id);
+        }
+    }
+
+    #[test]
+    fn figure_1a_dsep_statements() {
+        let f = figure_1a();
+        let mut o = OracleCi::from_dag(f.dag.clone());
+        let (s, a, x1, x2) = (f.var("S1"), f.var("A1"), f.var("X1"), f.var("X2"));
+        assert!(o.ci(&[x1], &[s], &[a]).independent, "X1 ⊥ S1 | A1");
+        assert!(!o.ci(&[x2], &[s], &[a]).independent, "X2 ̸⊥ S1 | A1");
+    }
+
+    #[test]
+    fn figure_1b_x2_screened_from_y() {
+        let f = figure_1b();
+        let mut o = OracleCi::from_dag(f.dag.clone());
+        let (x2, y) = (f.var("X2"), f.var("Y"));
+        let cond = [f.var("A1"), f.var("X1"), f.var("X3")];
+        assert!(o.ci(&[x2], &[y], &cond).independent, "X2 ⊥ Y | A1,X1,X3");
+    }
+
+    #[test]
+    fn figure_1c_x3_needs_a2() {
+        let f = figure_1c();
+        let mut o = OracleCi::from_dag(f.dag.clone());
+        let (s, x3) = (f.var("S1"), f.var("X3"));
+        assert!(!o.ci(&[x3], &[s], &[f.var("A1")]).independent);
+        assert!(o.ci(&[x3], &[s], &[f.var("A2")]).independent);
+    }
+
+    #[test]
+    fn figure_6_collider_opens_on_conditioning() {
+        let f = figure_6();
+        let mut o = OracleCi::from_dag(f.dag.clone());
+        let (s, a, x2) = (f.var("S1"), f.var("A1"), f.var("X2"));
+        assert!(o.ci(&[x2], &[s], &[]).independent, "marginally independent");
+        assert!(!o.ci(&[x2], &[s], &[a]).independent, "collider at A1 opens");
+    }
+
+    #[test]
+    fn scm_samples_and_matches_shape() {
+        for f in all_fixtures() {
+            let scm = f.scm(1.5);
+            let mut rng = StdRng::seed_from_u64(11);
+            let cols = scm.sample(&mut rng, 500);
+            assert_eq!(cols.len(), f.dag.len());
+            assert!(cols.iter().all(|c| c.len() == 500));
+            // Binary everywhere.
+            assert!(cols.iter().flatten().all(|&v| v <= 1));
+        }
+    }
+
+    #[test]
+    fn scm_effects_visible_in_data() {
+        // In Figure 1(a), X2 ← S1 with strength 1.5: the conditional means
+        // must differ markedly.
+        let f = figure_1a();
+        let scm = f.scm(1.5);
+        let mut rng = StdRng::seed_from_u64(13);
+        let cols = scm.sample(&mut rng, 8000);
+        let (s, x2) = (f.var("S1"), f.var("X2"));
+        let mut mean = [0f64; 2];
+        let mut count = [0f64; 2];
+        for r in 0..8000 {
+            mean[cols[s][r] as usize] += cols[x2][r] as f64;
+            count[cols[s][r] as usize] += 1.0;
+        }
+        let diff = (mean[1] / count[1] - mean[0] / count[0]).abs();
+        assert!(diff > 0.3, "S1 → X2 effect too weak: {diff}");
+    }
+}

@@ -1,0 +1,337 @@
+//! Shared machinery for simulated datasets: CPT constructors that express
+//! causal effects the way a data modeler would (logistic / ordinal response
+//! to parents), and the sampler that turns a [`DiscreteScm`] plus a role
+//! vector into role-annotated train/test [`Table`]s.
+//!
+//! Every generated table keeps **column order equal to node order**, so a
+//! table column id, a `Problem` variable id, and a DAG `NodeId` index all
+//! agree — the convention the whole workspace relies on.
+
+use fairsel_graph::{Dag, NodeId};
+use fairsel_scm::DiscreteScm;
+use fairsel_table::{Column, Role, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Logistic response: `P(child = 1 | parents) = σ(bias + Σ wᵢ·x̃ᵢ)` where
+/// `x̃` is the parent value rescaled to `[-1, 1]`. Returns the flat CPT
+/// buffer for a **binary** child in the mixed-radix row order used by
+/// [`fairsel_scm::Cpt`] (parents ascending by node id, first parent most
+/// significant).
+///
+/// `weights` maps parent node → coefficient; parents of `node` missing
+/// from `weights` get coefficient 0 (pure noise parents).
+///
+/// # Panics
+/// Panics if a weight refers to a non-parent of `node`.
+pub fn logistic_cpt(
+    dag: &Dag,
+    arities: &[u32],
+    node: NodeId,
+    bias: f64,
+    weights: &[(NodeId, f64)],
+) -> Vec<f64> {
+    let parents = dag.parents(node);
+    for (w, _) in weights {
+        assert!(
+            parents.contains(w),
+            "logistic_cpt: {} is not a parent of {}",
+            dag.name(*w),
+            dag.name(node)
+        );
+    }
+    let mut probs = Vec::new();
+    for_each_parent_row(parents, arities, |values| {
+        let mut z = bias;
+        for (i, &p) in parents.iter().enumerate() {
+            if let Some(&(_, w)) = weights.iter().find(|(n, _)| *n == p) {
+                z += w * rescale(values[i], arities[p.index()]);
+            }
+        }
+        let p1 = sigmoid(z);
+        probs.push(1.0 - p1);
+        probs.push(p1);
+    });
+    probs
+}
+
+/// Ordinal (graded) response for a child of arity `k`: the child level is
+/// distributed `Binomial(k - 1, σ(bias + Σ wᵢ·x̃ᵢ))`, so increasing the
+/// linear predictor monotonically shifts mass to higher levels. With
+/// `k = 2` this coincides with [`logistic_cpt`].
+pub fn ordinal_cpt(
+    dag: &Dag,
+    arities: &[u32],
+    node: NodeId,
+    bias: f64,
+    weights: &[(NodeId, f64)],
+) -> Vec<f64> {
+    let parents = dag.parents(node);
+    for (w, _) in weights {
+        assert!(
+            parents.contains(w),
+            "ordinal_cpt: {} is not a parent of {}",
+            dag.name(*w),
+            dag.name(node)
+        );
+    }
+    let k = arities[node.index()];
+    assert!(k >= 2, "ordinal_cpt: child arity must be >= 2");
+    let mut probs = Vec::new();
+    for_each_parent_row(parents, arities, |values| {
+        let mut z = bias;
+        for (i, &p) in parents.iter().enumerate() {
+            if let Some(&(_, w)) = weights.iter().find(|(n, _)| *n == p) {
+                z += w * rescale(values[i], arities[p.index()]);
+            }
+        }
+        let p = sigmoid(z);
+        for level in 0..k {
+            probs.push(binomial_pmf(k - 1, level, p));
+        }
+    });
+    probs
+}
+
+/// Root distribution: Bernoulli(`p1`) for a binary root node.
+pub fn bernoulli(p1: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&p1), "bernoulli: p out of range");
+    vec![1.0 - p1, p1]
+}
+
+/// Root distribution: explicit categorical probabilities (must sum to 1).
+pub fn categorical(probs: &[f64]) -> Vec<f64> {
+    let sum: f64 = probs.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "categorical: probs sum to {sum}");
+    probs.to_vec()
+}
+
+/// Noisy-copy CPT: the child (same arity `a` as its single parent) copies
+/// the parent with probability `1 - eps` and is uniform otherwise. The
+/// classic "proxy variable" mechanism (zip code ≈ race).
+pub fn noisy_copy(a: u32, eps: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&eps), "noisy_copy: eps out of range");
+    let a_us = a as usize;
+    let off = eps / a as f64;
+    let mut probs = vec![off; a_us * a_us];
+    for v in 0..a_us {
+        probs[v * a_us + v] += 1.0 - eps;
+    }
+    probs
+}
+
+/// Enumerate parent rows in the CPT's mixed-radix order, calling `f` with
+/// the parent values of each row (parents in ascending node-id order).
+fn for_each_parent_row<F: FnMut(&[u32])>(parents: &[NodeId], arities: &[u32], mut f: F) {
+    let pa: Vec<u32> = parents.iter().map(|p| arities[p.index()]).collect();
+    let rows: usize = pa.iter().map(|&a| a as usize).product();
+    let mut values = vec![0u32; parents.len()];
+    for r in 0..rows {
+        let mut rem = r;
+        // First parent is most significant: decode from the right.
+        for i in (0..pa.len()).rev() {
+            values[i] = (rem % pa[i] as usize) as u32;
+            rem /= pa[i] as usize;
+        }
+        f(&values);
+    }
+}
+
+/// Map a categorical value in `0..a` onto `[-1, 1]` (binary: −1 / +1).
+fn rescale(v: u32, a: u32) -> f64 {
+    if a <= 1 {
+        0.0
+    } else {
+        2.0 * v as f64 / (a - 1) as f64 - 1.0
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
+    let mut c = 1.0;
+    for i in 0..k {
+        c = c * (n - i) as f64 / (i + 1) as f64;
+    }
+    c * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+/// A simulated dataset: the generating SCM (ground truth), per-node roles,
+/// and sampled train/test tables whose columns follow node order.
+#[derive(Clone, Debug)]
+pub struct SimulatedDataset {
+    /// Short dataset name as used in the paper's tables ("MEPS(1)", ...).
+    pub name: String,
+    /// The generating structural causal model — ground truth for audits.
+    pub scm: DiscreteScm,
+    /// Role of each node/column.
+    pub roles: Vec<Role>,
+    /// Training split.
+    pub train: Table,
+    /// Held-out test split.
+    pub test: Table,
+}
+
+impl SimulatedDataset {
+    /// Sample `n_train + n_test` rows from `scm` and package them.
+    pub fn generate(
+        name: impl Into<String>,
+        scm: DiscreteScm,
+        roles: Vec<Role>,
+        n_train: usize,
+        n_test: usize,
+        seed: u64,
+    ) -> SimulatedDataset {
+        assert_eq!(roles.len(), scm.len(), "one role per node required");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = sample_table(&scm, &roles, n_train, &mut rng);
+        let test = sample_table(&scm, &roles, n_test, &mut rng);
+        SimulatedDataset { name: name.into(), scm, roles, train, test }
+    }
+
+    /// Sample a fresh table of `n` rows from a *different* SCM over the
+    /// same graph/roles — used by the §5.4 distribution-shift experiment.
+    pub fn resample_from(&self, shifted: &DiscreteScm, n: usize, seed: u64) -> Table {
+        assert_eq!(shifted.len(), self.scm.len(), "shifted SCM must match shape");
+        let mut rng = StdRng::seed_from_u64(seed);
+        sample_table(shifted, &self.roles, n, &mut rng)
+    }
+
+    /// The causal graph behind the data.
+    pub fn dag(&self) -> &Dag {
+        self.scm.dag()
+    }
+
+    /// Number of candidate (non-sensitive, non-admissible) features.
+    pub fn n_features(&self) -> usize {
+        self.roles.iter().filter(|r| **r == Role::Feature).count()
+    }
+}
+
+/// Sample `n` rows of `scm` into a role-annotated [`Table`].
+pub fn sample_table<R: rand::Rng + ?Sized>(
+    scm: &DiscreteScm,
+    roles: &[Role],
+    n: usize,
+    rng: &mut R,
+) -> Table {
+    let cols = scm.sample(rng, n);
+    let dag = scm.dag();
+    let columns: Vec<Column> = cols
+        .into_iter()
+        .enumerate()
+        .map(|(i, codes)| {
+            let v = NodeId(i as u32);
+            Column::cat(dag.name(v).to_owned(), roles[i], codes, scm.arity(v))
+        })
+        .collect();
+    Table::new(columns).expect("sampled columns are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_graph::DagBuilder;
+    use fairsel_scm::DiscreteScmBuilder;
+
+    fn chain_dag() -> Dag {
+        DagBuilder::new().nodes(["S", "A", "Y"]).edge("S", "A").edge("A", "Y").build()
+    }
+
+    #[test]
+    fn logistic_cpt_rows_normalized_and_monotone() {
+        let dag = chain_dag();
+        let arities = vec![2, 2, 2];
+        let a = dag.expect_node("A");
+        let s = dag.expect_node("S");
+        let probs = logistic_cpt(&dag, &arities, a, 0.0, &[(s, 1.5)]);
+        assert_eq!(probs.len(), 4);
+        assert!((probs[0] + probs[1] - 1.0).abs() < 1e-12);
+        assert!((probs[2] + probs[3] - 1.0).abs() < 1e-12);
+        // Positive weight: P(A=1 | S=1) > P(A=1 | S=0).
+        assert!(probs[3] > probs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a parent")]
+    fn logistic_cpt_rejects_non_parent() {
+        let dag = chain_dag();
+        let y = dag.expect_node("Y");
+        let s = dag.expect_node("S");
+        logistic_cpt(&dag, &[2, 2, 2], y, 0.0, &[(s, 1.0)]);
+    }
+
+    #[test]
+    fn ordinal_cpt_shifts_mass_with_parent() {
+        let dag = chain_dag();
+        let arities = vec![2, 4, 2];
+        let a = dag.expect_node("A");
+        let s = dag.expect_node("S");
+        let probs = ordinal_cpt(&dag, &arities, a, 0.0, &[(s, 2.0)]);
+        assert_eq!(probs.len(), 8);
+        for row in probs.chunks(4) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Expected level is higher when S = 1.
+        let ev = |row: &[f64]| row.iter().enumerate().map(|(i, p)| i as f64 * p).sum::<f64>();
+        assert!(ev(&probs[4..8]) > ev(&probs[0..4]));
+    }
+
+    #[test]
+    fn noisy_copy_diagonal_dominates() {
+        let probs = noisy_copy(3, 0.3);
+        assert_eq!(probs.len(), 9);
+        for r in 0..3 {
+            let row = &probs[r * 3..(r + 1) * 3];
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(row[r] > 0.7);
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=5).map(|k| binomial_pmf(5, k, 0.37)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generate_produces_role_annotated_splits() {
+        let dag = chain_dag();
+        let s = dag.expect_node("S");
+        let a = dag.expect_node("A");
+        let y = dag.expect_node("Y");
+        let arities = vec![2u32, 2, 2];
+        let scm = DiscreteScmBuilder::with_arities(dag.clone(), arities.clone())
+            .cpt(s, bernoulli(0.5))
+            .unwrap()
+            .cpt(a, logistic_cpt(&dag, &arities, a, 0.0, &[(s, 1.0)]))
+            .unwrap()
+            .cpt(y, logistic_cpt(&dag, &arities, y, 0.0, &[(a, 1.0)]))
+            .unwrap()
+            .build()
+            .unwrap();
+        let roles = vec![Role::Sensitive, Role::Admissible, Role::Target];
+        let ds = SimulatedDataset::generate("toy", scm, roles, 100, 40, 7);
+        assert_eq!(ds.train.n_rows(), 100);
+        assert_eq!(ds.test.n_rows(), 40);
+        assert_eq!(ds.train.sensitive_cols(), vec![0]);
+        assert_eq!(ds.train.target_col(), 2);
+        assert_eq!(ds.n_features(), 0);
+        // Determinism.
+        let again = SimulatedDataset::generate("toy", ds.scm.clone(), ds.roles.clone(), 100, 40, 7);
+        assert_eq!(
+            ds.train.col(1).codes().unwrap(),
+            again.train.col(1).codes().unwrap()
+        );
+    }
+
+    #[test]
+    fn rescale_maps_to_unit_interval() {
+        assert_eq!(rescale(0, 2), -1.0);
+        assert_eq!(rescale(1, 2), 1.0);
+        assert_eq!(rescale(1, 3), 0.0);
+        assert_eq!(rescale(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Fairness-structured synthetic graphs — the workload generator behind the
+//! paper's scaling and recovery experiments (§5.3, Figures 4–6).
+//!
+//! Each instance contains sensitive roots `S`, admissible mediators `A`
+//! (children of `S`), a target `Y`, and `n` candidate features drawn from
+//! four causal archetypes:
+//!
+//! * **Biased** — `S → X → Y`: carries fresh sensitive information and
+//!   feeds the target; Theorem-1 unsafe. The fraction of these is the
+//!   paper's `p` (Figure 4) / `k` (Figure 5) knob.
+//! * **Mediated** — `A → X (→ Y)`: sensitive influence flows only through
+//!   the admissible set, so `X ⊥ S | A` certifies it into `C₁`.
+//! * **Exogenous** — root `X (→ Y)`: marginally independent of `S`,
+//!   certified by the empty conditioning set.
+//! * **Fig-6** — `X → A ← S`, `X → M → Y`: safe by Theorem 1(iii) only
+//!   (not a descendant of `S` in `G_Ā`) but invisible to every CI
+//!   pattern — the documented blind spot of observational selection.
+
+use fairsel_graph::{Dag, NodeId};
+use fairsel_scm::{DiscreteScm, DiscreteScmBuilder};
+use fairsel_table::Role;
+use rand::Rng;
+
+use crate::sim::{bernoulli, logistic_cpt};
+
+/// Knobs for [`synthetic_instance`].
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of candidate features `n` (excluding S, A, Y and the hidden
+    /// mediators attached to Fig-6 features).
+    pub n_features: usize,
+    /// Fraction of features that are biased (`S → X → Y`).
+    pub biased_fraction: f64,
+    /// Among non-biased features, fraction mediated through `A`
+    /// (the rest are exogenous roots).
+    pub mediated_fraction: f64,
+    /// Fraction of features wired as the Figure-6 pattern (clause-(iii)
+    /// only). Carved out of the non-biased share.
+    pub fig6_fraction: f64,
+    /// Probability that a mediated/exogenous feature also feeds `Y`.
+    pub predictive_fraction: f64,
+    /// Number of sensitive roots.
+    pub n_sensitive: usize,
+    /// Number of admissible mediators.
+    pub n_admissible: usize,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            n_features: 100,
+            biased_fraction: 0.05,
+            mediated_fraction: 0.4,
+            fig6_fraction: 0.0,
+            predictive_fraction: 0.3,
+            n_sensitive: 1,
+            n_admissible: 1,
+        }
+    }
+}
+
+/// The causal archetype assigned to each feature (ground truth labels for
+/// scoring recovery).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Archetype {
+    Biased,
+    Mediated,
+    Exogenous,
+    Fig6,
+    /// Hidden mediator `M` attached to a Fig-6 feature (also a candidate
+    /// feature; it is a descendant of the Fig-6 variable but not of `S`).
+    Fig6Mediator,
+}
+
+/// A generated instance: graph, per-node roles (aligned with node ids),
+/// and the archetype of every feature node.
+#[derive(Clone, Debug)]
+pub struct SyntheticInstance {
+    pub dag: Dag,
+    pub roles: Vec<Role>,
+    /// `(variable id, archetype)` for every candidate feature.
+    pub archetypes: Vec<(usize, Archetype)>,
+}
+
+impl SyntheticInstance {
+    /// Variable ids of the biased features.
+    pub fn biased(&self) -> Vec<usize> {
+        self.archetypes
+            .iter()
+            .filter(|(_, a)| *a == Archetype::Biased)
+            .map(|&(v, _)| v)
+            .collect()
+    }
+
+    /// Number of biased features `k`.
+    pub fn n_biased(&self) -> usize {
+        self.biased().len()
+    }
+}
+
+/// Generate a fairness-structured random DAG. Archetypes are assigned to
+/// feature slots uniformly at random (so biased features are interleaved
+/// among fair ones, the adversarial case for midpoint group splits).
+pub fn synthetic_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &SyntheticConfig,
+) -> SyntheticInstance {
+    assert!(cfg.n_features > 0, "need at least one feature");
+    assert!(cfg.n_sensitive > 0 && cfg.n_admissible > 0, "need S and A");
+    let f = |x: f64| (0.0..=1.0).contains(&x);
+    assert!(
+        f(cfg.biased_fraction) && f(cfg.mediated_fraction) && f(cfg.fig6_fraction),
+        "fractions must be in [0,1]"
+    );
+
+    let mut dag = Dag::new();
+    let sensitive: Vec<NodeId> = (0..cfg.n_sensitive)
+        .map(|i| dag.add_node(format!("S{}", i + 1)).expect("fresh name"))
+        .collect();
+    let admissible: Vec<NodeId> = (0..cfg.n_admissible)
+        .map(|i| dag.add_node(format!("A{}", i + 1)).expect("fresh name"))
+        .collect();
+    for &a in &admissible {
+        // Every admissible mediates every sensitive root (the Figure 1
+        // shape); randomizing this adds nothing to the experiments.
+        for &s in &sensitive {
+            dag.add_edge(s, a).expect("S → A");
+        }
+    }
+
+    // Assign archetypes to the n feature slots.
+    let n = cfg.n_features;
+    let n_biased = (cfg.biased_fraction * n as f64).round() as usize;
+    let n_fig6 = (cfg.fig6_fraction * n as f64).round() as usize;
+    let n_fair = n.saturating_sub(n_biased + n_fig6);
+    let n_mediated = (cfg.mediated_fraction * n_fair as f64).round() as usize;
+    let mut kinds = Vec::with_capacity(n);
+    kinds.extend(std::iter::repeat(Archetype::Biased).take(n_biased));
+    kinds.extend(std::iter::repeat(Archetype::Fig6).take(n_fig6));
+    kinds.extend(std::iter::repeat(Archetype::Mediated).take(n_mediated));
+    kinds.extend(std::iter::repeat(Archetype::Exogenous).take(n - kinds.len().min(n)));
+    kinds.truncate(n);
+    // Fisher–Yates interleave so archetypes are not contiguous in id order.
+    for i in (1..kinds.len()).rev() {
+        kinds.swap(i, rng.gen_range(0..=i));
+    }
+
+    let mut features: Vec<NodeId> = Vec::with_capacity(n);
+    let mut archetypes: Vec<(usize, Archetype)> = Vec::with_capacity(n);
+    let mut fig6_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for (i, &kind) in kinds.iter().enumerate() {
+        let x = dag.add_node(format!("X{}", i + 1)).expect("fresh name");
+        features.push(x);
+        archetypes.push((x.index(), kind));
+        match kind {
+            Archetype::Biased => {
+                let s = sensitive[rng.gen_range(0..sensitive.len())];
+                dag.add_edge(s, x).expect("S → X");
+            }
+            Archetype::Mediated => {
+                let a = admissible[rng.gen_range(0..admissible.len())];
+                dag.add_edge(a, x).expect("A → X");
+            }
+            Archetype::Exogenous => {}
+            Archetype::Fig6 => {
+                let a = admissible[rng.gen_range(0..admissible.len())];
+                dag.add_edge(x, a).expect("X → A");
+                let m = dag.add_node(format!("M{}", i + 1)).expect("fresh name");
+                dag.add_edge(x, m).expect("X → M");
+                archetypes.push((m.index(), Archetype::Fig6Mediator));
+                fig6_pairs.push((x, m));
+            }
+            Archetype::Fig6Mediator => unreachable!("mediators are added inline"),
+        }
+    }
+
+    // Target last; its parents: every biased feature, each predictive fair
+    // feature, the admissible set, and the Fig-6 mediators.
+    let y = dag.add_node("Y").expect("fresh name");
+    for &a in &admissible {
+        dag.add_edge(a, y).expect("A → Y");
+    }
+    for (i, &x) in features.iter().enumerate() {
+        match kinds[i] {
+            Archetype::Biased => {
+                dag.add_edge(x, y).expect("X → Y");
+            }
+            Archetype::Mediated | Archetype::Exogenous => {
+                if rng.gen::<f64>() < cfg.predictive_fraction {
+                    dag.add_edge(x, y).expect("X → Y");
+                }
+            }
+            _ => {}
+        }
+    }
+    for &(_, m) in &fig6_pairs {
+        dag.add_edge(m, y).expect("M → Y");
+    }
+
+    let mut roles = vec![Role::Feature; dag.len()];
+    for &s in &sensitive {
+        roles[s.index()] = Role::Sensitive;
+    }
+    for &a in &admissible {
+        roles[a.index()] = Role::Admissible;
+    }
+    roles[y.index()] = Role::Target;
+
+    SyntheticInstance { dag, roles, archetypes }
+}
+
+/// Attach CPTs to a synthetic instance so it can be *sampled* (the
+/// spuriousness experiment needs data, not just a graph). All nodes are
+/// binary; edge effects use a logistic response with weight `strength`.
+///
+/// The target's parent count is capped implicitly by the caller choosing a
+/// small `predictive_fraction`: CPT size is `2^{|parents|}`, so keep
+/// `|Pa(Y)| ≲ 20`.
+pub fn synthetic_scm<R: Rng + ?Sized>(
+    rng: &mut R,
+    instance: &SyntheticInstance,
+    strength: f64,
+) -> DiscreteScm {
+    let dag = &instance.dag;
+    let arities = vec![2u32; dag.len()];
+    let y_parents = dag
+        .nodes()
+        .filter(|&v| instance.roles[v.index()] == Role::Target)
+        .map(|v| dag.parents(v).len())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        y_parents <= 22,
+        "synthetic_scm: target has {y_parents} parents; CPT would need 2^{y_parents} rows"
+    );
+    let mut builder = DiscreteScmBuilder::with_arities(dag.clone(), arities.clone());
+    for v in dag.nodes() {
+        let parents = dag.parents(v).to_vec();
+        let probs = if parents.is_empty() {
+            bernoulli(0.3 + 0.4 * rng.gen::<f64>())
+        } else {
+            let weights: Vec<(NodeId, f64)> = parents
+                .iter()
+                .map(|&p| (p, strength * if rng.gen::<bool>() { 1.0 } else { -1.0 }))
+                .collect();
+            logistic_cpt(dag, &arities, v, 0.0, &weights)
+        };
+        builder = builder.cpt(v, probs).expect("constructed CPTs are valid");
+    }
+    builder.build().expect("every node got a CPT")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_ci::{CiTest, OracleCi};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(seed: u64, cfg: &SyntheticConfig) -> SyntheticInstance {
+        synthetic_instance(&mut StdRng::seed_from_u64(seed), cfg)
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = SyntheticConfig {
+            n_features: 200,
+            biased_fraction: 0.1,
+            fig6_fraction: 0.05,
+            ..Default::default()
+        };
+        let inst = instance(1, &cfg);
+        assert_eq!(inst.n_biased(), 20);
+        let fig6 = inst
+            .archetypes
+            .iter()
+            .filter(|(_, a)| *a == Archetype::Fig6)
+            .count();
+        assert_eq!(fig6, 10);
+        // Features + mediators + S + A + Y.
+        assert_eq!(inst.dag.len(), 200 + 10 + 1 + 1 + 1);
+        let n_feature_roles = inst.roles.iter().filter(|r| **r == Role::Feature).count();
+        assert_eq!(n_feature_roles, 210);
+    }
+
+    #[test]
+    fn biased_features_are_dependent_on_s_given_a() {
+        let cfg = SyntheticConfig { n_features: 50, biased_fraction: 0.2, ..Default::default() };
+        let inst = instance(2, &cfg);
+        let s = inst.dag.expect_node("S1");
+        let a = inst.dag.expect_node("A1");
+        let mut oracle = OracleCi::from_dag(inst.dag.clone());
+        for &x in &inst.biased() {
+            assert!(
+                !oracle.ci(&[x], &[s.index()], &[a.index()]).independent,
+                "biased X{x} should remain dependent on S given A"
+            );
+        }
+    }
+
+    #[test]
+    fn mediated_and_exogenous_are_certified_fair() {
+        let cfg = SyntheticConfig {
+            n_features: 50,
+            biased_fraction: 0.2,
+            mediated_fraction: 0.5,
+            ..Default::default()
+        };
+        let inst = instance(3, &cfg);
+        let s = inst.dag.expect_node("S1").index();
+        let a = inst.dag.expect_node("A1").index();
+        let mut oracle = OracleCi::from_dag(inst.dag.clone());
+        for &(v, kind) in &inst.archetypes {
+            match kind {
+                Archetype::Mediated => {
+                    assert!(oracle.ci(&[v], &[s], &[a]).independent, "mediated X{v}");
+                }
+                Archetype::Exogenous => {
+                    assert!(oracle.ci(&[v], &[s], &[]).independent, "exogenous X{v}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_features_have_no_ci_certificate() {
+        let cfg = SyntheticConfig {
+            n_features: 20,
+            biased_fraction: 0.0,
+            fig6_fraction: 0.2,
+            mediated_fraction: 0.0,
+            predictive_fraction: 0.0,
+            ..Default::default()
+        };
+        let inst = instance(4, &cfg);
+        let s = inst.dag.expect_node("S1").index();
+        let a = inst.dag.expect_node("A1").index();
+        let y = inst.dag.expect_node("Y").index();
+        let mut oracle = OracleCi::from_dag(inst.dag.clone());
+        for &(v, kind) in &inst.archetypes {
+            if kind != Archetype::Fig6 {
+                continue;
+            }
+            assert!(!oracle.ci(&[v], &[s], &[a]).independent, "X{v} ̸⊥ S | A (collider)");
+            // Predictive of Y through its mediator, so phase 2 cannot
+            // rescue it either.
+            assert!(!oracle.ci(&[v], &[y], &[a]).independent, "X{v} ̸⊥ Y | A");
+            // Yet it is not a descendant of S in G_Ā.
+            let g_bar = inst.dag.intervene(&[fairsel_graph::NodeId(a as u32)]);
+            assert!(!g_bar.descendant_mask(&[fairsel_graph::NodeId(s as u32)])[v]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig { n_features: 60, ..Default::default() };
+        let a = instance(9, &cfg);
+        let b = instance(9, &cfg);
+        assert_eq!(a.dag.edges(), b.dag.edges());
+        assert_eq!(a.archetypes, b.archetypes);
+    }
+
+    #[test]
+    fn sampled_scm_reflects_bias_structure() {
+        let cfg = SyntheticConfig {
+            n_features: 12,
+            biased_fraction: 0.25,
+            predictive_fraction: 0.3,
+            ..Default::default()
+        };
+        let inst = instance(5, &cfg);
+        let mut rng = StdRng::seed_from_u64(6);
+        let scm = synthetic_scm(&mut rng, &inst, 2.0);
+        let cols = scm.sample(&mut rng, 4000);
+        let s = inst.dag.expect_node("S1").index();
+        // Empirical dependence: biased features correlate with S.
+        for &x in &inst.biased() {
+            let mut joint = [[0f64; 2]; 2];
+            for r in 0..4000 {
+                joint[cols[s][r] as usize][cols[x][r] as usize] += 1.0;
+            }
+            let n = 4000f64;
+            let ps = (joint[1][0] + joint[1][1]) / n;
+            let px = (joint[0][1] + joint[1][1]) / n;
+            let corr = joint[1][1] / n - ps * px;
+            assert!(corr.abs() > 0.02, "biased X{x} uncorrelated with S ({corr})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parents")]
+    fn scm_guard_against_huge_target_cpt() {
+        let cfg = SyntheticConfig {
+            n_features: 100,
+            biased_fraction: 0.5,
+            predictive_fraction: 1.0,
+            ..Default::default()
+        };
+        let inst = instance(7, &cfg);
+        synthetic_scm(&mut StdRng::seed_from_u64(1), &inst, 1.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! d-separation (Definition 3 of the paper) via the linear-time
+//! reachable-set algorithm ("Bayes ball", Koller & Friedman Alg. 3.1).
+//!
+//! A path is *blocked* by `Z` when it contains a chain or fork whose middle
+//! node is in `Z`, or a collider whose middle node (and all of its
+//! descendants) is outside `Z`. `X ⊥_d Y | Z` holds when every path between
+//! `X` and `Y` is blocked. Under the paper's faithfulness assumption
+//! (Assumption 1) this graphical criterion coincides with conditional
+//! independence in the data distribution, which is why the d-separation
+//! oracle in `fairsel-ci` can stand in for a statistical CI test in the
+//! complexity experiments.
+
+use crate::dag::{Dag, NodeId};
+
+/// Travel direction of the "ball" when it arrives at a node.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// Arrived from a child (moving towards parents).
+    Up,
+    /// Arrived from a parent (moving towards children).
+    Down,
+}
+
+/// Set of nodes reachable from `sources` via paths that are active given
+/// `given` (the conditioning set). `sources` themselves are included.
+///
+/// Runs in `O(V + E)` using two visit bits per node (one per direction).
+pub fn reachable(dag: &Dag, sources: &[NodeId], given: &[NodeId]) -> Vec<bool> {
+    let n = dag.len();
+    let mut in_z = vec![false; n];
+    for &z in given {
+        in_z[z.index()] = true;
+    }
+    // A = Z ∪ ancestors(Z): the nodes at which a collider is unblocked.
+    let mut in_anc_z = dag.ancestor_mask(given);
+    for &z in given {
+        in_anc_z[z.index()] = true;
+    }
+
+    let mut visited_up = vec![false; n];
+    let mut visited_down = vec![false; n];
+    let mut reach = vec![false; n];
+    let mut stack: Vec<(NodeId, Dir)> = Vec::with_capacity(sources.len() * 2);
+    for &s in sources {
+        stack.push((s, Dir::Up));
+    }
+    while let Some((v, dir)) = stack.pop() {
+        let i = v.index();
+        let seen = match dir {
+            Dir::Up => &mut visited_up[i],
+            Dir::Down => &mut visited_down[i],
+        };
+        if *seen {
+            continue;
+        }
+        *seen = true;
+        if !in_z[i] {
+            reach[i] = true;
+        }
+        match dir {
+            Dir::Up => {
+                if !in_z[i] {
+                    for &p in dag.parents(v) {
+                        stack.push((p, Dir::Up));
+                    }
+                    for &c in dag.children(v) {
+                        stack.push((c, Dir::Down));
+                    }
+                }
+            }
+            Dir::Down => {
+                if !in_z[i] {
+                    // Chain: continue downwards.
+                    for &c in dag.children(v) {
+                        stack.push((c, Dir::Down));
+                    }
+                }
+                if in_anc_z[i] {
+                    // Collider at v is open (v ∈ Z or has a descendant in Z):
+                    // bounce back up to the other parents.
+                    for &p in dag.parents(v) {
+                        stack.push((p, Dir::Up));
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Test `X ⊥_d Y | Z` in `dag`.
+///
+/// Conventions for degenerate inputs, chosen to match how CI testers treat
+/// them statistically:
+/// * members of `x` or `y` that also appear in `z` are dropped (a variable
+///   is trivially independent of anything given itself);
+/// * if after dropping, `x` and `y` still share a variable, they are
+///   d-connected;
+/// * an empty side is d-separated from everything.
+pub fn d_separated(dag: &Dag, x: &[NodeId], y: &[NodeId], z: &[NodeId]) -> bool {
+    let in_z = |v: &NodeId| z.contains(v);
+    let xs: Vec<NodeId> = x.iter().copied().filter(|v| !in_z(v)).collect();
+    let ys: Vec<NodeId> = y.iter().copied().filter(|v| !in_z(v)).collect();
+    if xs.is_empty() || ys.is_empty() {
+        return true;
+    }
+    if xs.iter().any(|v| ys.contains(v)) {
+        return false;
+    }
+    let reach = reachable(dag, &xs, z);
+    !ys.iter().any(|v| reach[v.index()])
+}
+
+/// Convenience negation of [`d_separated`].
+pub fn d_connected(dag: &Dag, x: &[NodeId], y: &[NodeId], z: &[NodeId]) -> bool {
+    !d_separated(dag, x, y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DagBuilder;
+
+    fn ids(dag: &Dag, names: &[&str]) -> Vec<NodeId> {
+        names.iter().map(|n| dag.expect_node(n)).collect()
+    }
+
+    /// Assert X ⊥ Y | Z (or its negation) by names.
+    fn check(dag: &Dag, x: &[&str], y: &[&str], z: &[&str], sep: bool) {
+        let got = d_separated(dag, &ids(dag, x), &ids(dag, y), &ids(dag, z));
+        assert_eq!(
+            got, sep,
+            "{x:?} ⊥ {y:?} | {z:?} expected {sep} in [{}]",
+            dag.to_text()
+        );
+    }
+
+    #[test]
+    fn chain_blocked_by_middle() {
+        let g = DagBuilder::new()
+            .nodes(["a", "b", "c"])
+            .edge("a", "b")
+            .edge("b", "c")
+            .build();
+        check(&g, &["a"], &["c"], &[], false);
+        check(&g, &["a"], &["c"], &["b"], true);
+    }
+
+    #[test]
+    fn fork_blocked_by_middle() {
+        let g = DagBuilder::new()
+            .nodes(["a", "b", "c"])
+            .edge("b", "a")
+            .edge("b", "c")
+            .build();
+        check(&g, &["a"], &["c"], &[], false);
+        check(&g, &["a"], &["c"], &["b"], true);
+    }
+
+    #[test]
+    fn collider_blocks_unless_conditioned() {
+        let g = DagBuilder::new()
+            .nodes(["a", "b", "c"])
+            .edge("a", "b")
+            .edge("c", "b")
+            .build();
+        check(&g, &["a"], &["c"], &[], true);
+        check(&g, &["a"], &["c"], &["b"], false);
+    }
+
+    #[test]
+    fn collider_descendant_opens_path() {
+        // a -> b <- c, b -> d: conditioning on d (descendant of the
+        // collision node) opens the path.
+        let g = DagBuilder::new()
+            .nodes(["a", "b", "c", "d"])
+            .edge("a", "b")
+            .edge("c", "b")
+            .edge("b", "d")
+            .build();
+        check(&g, &["a"], &["c"], &["d"], false);
+        check(&g, &["a"], &["c"], &[], true);
+    }
+
+    #[test]
+    fn mixed_path_with_open_and_blocked_routes() {
+        // Two routes a->m->y and a->k<-y: with Z={} the chain route is open.
+        // Conditioning on m blocks it and the collider stays blocked.
+        let g = DagBuilder::new()
+            .nodes(["a", "m", "k", "y"])
+            .edge("a", "m")
+            .edge("m", "y")
+            .edge("a", "k")
+            .edge("y", "k")
+            .build();
+        check(&g, &["a"], &["y"], &[], false);
+        check(&g, &["a"], &["y"], &["m"], true);
+        // Conditioning on m AND k re-opens via the collider.
+        check(&g, &["a"], &["y"], &["m", "k"], false);
+    }
+
+    #[test]
+    fn disconnected_nodes_always_separated() {
+        let g = DagBuilder::new().nodes(["a", "b", "z"]).edge("a", "z").build();
+        check(&g, &["a"], &["b"], &[], true);
+        check(&g, &["a"], &["b"], &["z"], true);
+    }
+
+    #[test]
+    fn set_valued_queries() {
+        // s -> x1, s -> x2, x1 -> y
+        let g = DagBuilder::new()
+            .nodes(["s", "x1", "x2", "y"])
+            .edge("s", "x1")
+            .edge("s", "x2")
+            .edge("x1", "y")
+            .build();
+        check(&g, &["x1", "x2"], &["y"], &[], false);
+        check(&g, &["x2"], &["y"], &["s"], true);
+        check(&g, &["x1", "x2"], &["y"], &["x1"], true); // x1 dropped into Z, x2 ⊥ y | x1? x2-s-x1-y blocked at x1
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        let g = DagBuilder::new().nodes(["a", "b"]).edge("a", "b").build();
+        // Shared variable -> connected.
+        check(&g, &["a"], &["a"], &[], false);
+        // Conditioning drops the shared variable -> separated.
+        check(&g, &["a"], &["a"], &["a"], true);
+        // Empty side -> separated.
+        let a = ids(&g, &["a"]);
+        assert!(d_separated(&g, &a, &[], &[]));
+    }
+
+    #[test]
+    fn figure_1a_properties() {
+        // Paper Figure 1(a): S1 -> A1, S1 -> X2, A1 -> X1, X1 -> Y', X2 -> Y',
+        // C1 -> X1 (C1 an exogenous cause). X1 ⊥ S1 | A1 must hold; X2 is
+        // biased (X2 ̸⊥ S1 | A1).
+        let g = DagBuilder::new()
+            .nodes(["S1", "A1", "X1", "X2", "C1", "Y"])
+            .edge("S1", "A1")
+            .edge("S1", "X2")
+            .edge("A1", "X1")
+            .edge("C1", "X1")
+            .edge("X1", "Y")
+            .edge("X2", "Y")
+            .build();
+        check(&g, &["X1"], &["S1"], &["A1"], true);
+        check(&g, &["X2"], &["S1"], &["A1"], false);
+        check(&g, &["X1"], &["S1"], &[], false);
+    }
+
+    #[test]
+    fn figure_1c_properties() {
+        // Paper Figure 1(c): X1 ⊥ S1 | A1 and X3 ⊥ S1 | A2 but X3 ̸⊥ S1.
+        // Edges: S1 -> A1 -> X1, S1 -> A2 -> X3, S1 -> X2, X2 -> Y, X1 -> Y,
+        // C1 -> X1, C2 -> X2.
+        let g = DagBuilder::new()
+            .nodes(["S1", "A1", "A2", "X1", "X2", "X3", "C1", "C2", "Y"])
+            .edge("S1", "A1")
+            .edge("S1", "A2")
+            .edge("A1", "X1")
+            .edge("A2", "X3")
+            .edge("S1", "X2")
+            .edge("C1", "X1")
+            .edge("C2", "X2")
+            .edge("X1", "Y")
+            .edge("X2", "Y")
+            .build();
+        check(&g, &["X1"], &["S1"], &["A1"], true);
+        check(&g, &["X3"], &["S1"], &["A2"], true);
+        check(&g, &["X3"], &["S1"], &[], false);
+        check(&g, &["X2"], &["S1"], &["A1", "A2"], false);
+    }
+
+    #[test]
+    fn conditioning_on_collider_ancestor_does_not_open() {
+        // a -> b <- c, p -> a. Conditioning on p (ancestor of collider's
+        // parent, NOT of the collider through b) must not open a-c.
+        let g = DagBuilder::new()
+            .nodes(["p", "a", "b", "c"])
+            .edge("p", "a")
+            .edge("a", "b")
+            .edge("c", "b")
+            .build();
+        check(&g, &["a"], &["c"], &["p"], true);
+    }
+
+    #[test]
+    fn long_chain_scales() {
+        // 10k-node chain: endpoint pair separated by any interior node.
+        let mut g = Dag::new();
+        let n = 10_000;
+        let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("v{i}")).unwrap()).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        assert!(!d_separated(&g, &[nodes[0]], &[nodes[n - 1]], &[]));
+        assert!(d_separated(&g, &[nodes[0]], &[nodes[n - 1]], &[nodes[n / 2]]));
+    }
+
+    #[test]
+    fn intervention_changes_separation() {
+        // s -> a -> x, with also s -> x. In G, x ̸⊥ s | {} and x ̸⊥ s | a.
+        // In G with do(a) (cut s -> a), x ̸⊥ s still via direct edge; but for
+        // x2 with only path through a: s -> a -> x2, in G_do(a): x2 ⊥ s.
+        let g = DagBuilder::new()
+            .nodes(["s", "a", "x", "x2"])
+            .edge("s", "a")
+            .edge("s", "x")
+            .edge("a", "x")
+            .edge("a", "x2")
+            .build();
+        let cut = g.intervene(&[g.expect_node("a")]);
+        check(&cut, &["x2"], &["s"], &[], true);
+        check(&cut, &["x"], &["s"], &[], false);
+        check(&g, &["x2"], &["s"], &[], false);
+    }
+}

@@ -1,0 +1,347 @@
+//! Sampling distributions not provided by `rand` itself.
+//!
+//! The SCM sampler draws billions of categorical values when generating the
+//! 5000-node synthetic graphs from §5.3 of the paper, so categorical
+//! sampling uses a Walker alias table (O(1) per draw after O(k) setup).
+//! Gamma variates (Marsaglia–Tsang) exist to build Dirichlet-distributed
+//! CPT rows with controllable concentration, which is how "bias strength"
+//! of an edge is tuned in the synthetic generators.
+
+use rand::Rng;
+
+/// Draw a standard normal variate via the Box–Muller transform.
+///
+/// Stateless (no cached second value) to stay `Rng`-generic and simple;
+/// the workspace's normal draws are never the bottleneck.
+pub fn sample_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would send ln to -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draw `N(mu, sigma²)`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sample_normal: sigma must be non-negative");
+    mu + sigma * sample_std_normal(rng)
+}
+
+/// Draw a Gamma(shape, 1) variate using the Marsaglia–Tsang squeeze method,
+/// with the standard boost for shape < 1.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "sample_gamma: shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}
+        let u: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_std_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u > 0.0 && u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Draw a Dirichlet(α₁..α_k) sample: a random probability vector.
+///
+/// Small concentrations give near-deterministic (spiky) rows — used for
+/// strong causal edges; large concentrations give near-uniform rows.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
+    assert!(!alphas.is_empty(), "sample_dirichlet: empty alphas");
+    let mut draws: Vec<f64> = alphas.iter().map(|&a| sample_gamma(rng, a)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate (all gammas underflowed): fall back to uniform.
+        let k = alphas.len() as f64;
+        return vec![1.0 / k; alphas.len()];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Walker alias table for O(1) categorical sampling.
+///
+/// Build once per CPT row, then draw millions of values with two uniform
+/// draws each. Probabilities are normalized internally.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Construct from (unnormalized, non-negative) weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable: empty weights");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "AliasTable: bad weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "AliasTable: weights sum to zero");
+        let k = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut alias = vec![0u32; k];
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l as u32;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: both stacks drain to probability 1.
+        for l in large {
+            prob[l] = 1.0;
+        }
+        for s in small {
+            prob[s] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there is exactly one category (always sampled).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let k = self.prob.len();
+        let i = rng.gen_range(0..k);
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Sample an index from unnormalized weights by linear scan (no table).
+/// Prefer [`AliasTable`] when the same weights are reused.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> u32 {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "sample_weighted: weights sum to zero");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i as u32;
+        }
+    }
+    (weights.len() - 1) as u32
+}
+
+/// Fisher–Yates shuffle of indices `0..n`, returned as a permutation vector.
+pub fn random_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA1B_5E17)
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| sample_std_normal(&mut r)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert_close!(mean, 0.0, 0.02);
+        assert_close!(var, 1.0, 0.03);
+    }
+
+    #[test]
+    fn normal_location_scale() {
+        let mut r = rng();
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| sample_normal(&mut r, 3.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert_close!(mean, 3.0, 0.05);
+        assert_close!(var, 4.0, 0.15);
+    }
+
+    #[test]
+    fn gamma_moments_match_theory() {
+        // Gamma(k, 1): mean k, variance k.
+        let mut r = rng();
+        for &shape in &[0.5, 1.0, 2.5, 9.0] {
+            let n = 100_000;
+            let draws: Vec<f64> = (0..n).map(|_| sample_gamma(&mut r, shape)).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+            assert_close!(mean, shape, shape * 0.05 + 0.02);
+            assert_close!(var, shape, shape * 0.15 + 0.05);
+        }
+    }
+
+    #[test]
+    fn gamma_always_positive() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(sample_gamma(&mut r, 0.3) > 0.0);
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_alphas() {
+        let mut r = rng();
+        let alphas = [2.0, 4.0, 6.0];
+        let mut acc = [0.0; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            let d = sample_dirichlet(&mut r, &alphas);
+            assert_close!(d.iter().sum::<f64>(), 1.0, 1e-12);
+            for (a, v) in acc.iter_mut().zip(&d) {
+                *a += v;
+            }
+        }
+        // E[Dirichlet component i] = αᵢ / Σα
+        for (i, &a) in alphas.iter().enumerate() {
+            assert_close!(acc[i] / n as f64, a / 12.0, 0.01);
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let mut r = rng();
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut counts = [0usize; 4];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[table.sample(&mut r) as usize] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            assert_close!(counts[i] as f64 / n as f64, w / 10.0, 0.005);
+        }
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let mut r = rng();
+        let table = AliasTable::new(&[5.0]);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_zero_weight_categories() {
+        let mut r = rng();
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..1_000 {
+            assert_eq!(table.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn alias_table_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_weighted_agrees_with_alias() {
+        let mut r = rng();
+        let weights = [3.0, 1.0];
+        let mut count0 = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            if sample_weighted(&mut r, &weights) == 0 {
+                count0 += 1;
+            }
+        }
+        assert_close!(count0 as f64 / n as f64, 0.75, 0.01);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut r = rng();
+        for n in [0usize, 1, 2, 17, 100] {
+            let p = random_permutation(&mut r, n);
+            let mut seen = vec![false; n];
+            for &i in &p {
+                assert!(!seen[i], "duplicate index");
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn permutation_is_uniformish() {
+        // Position of element 0 should be uniform over 0..4.
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            let p = random_permutation(&mut r, 4);
+            counts[p.iter().position(|&x| x == 0).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert_close!(c as f64 / n as f64, 0.25, 0.02);
+        }
+    }
+}

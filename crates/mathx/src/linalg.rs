@@ -1,0 +1,436 @@
+//! Dense row-major matrix with the handful of operations the workspace
+//! needs: products, Cholesky factorization, SPD solves (plain and ridge),
+//! column means, and sample covariance.
+//!
+//! This is deliberately not a general linear-algebra library — it exists so
+//! the RCIT conditional-independence test and the logistic-regression IRLS
+//! step have exactly the kernels they need, with no `unsafe` and no
+//! dependencies. Dimensions in this workspace stay small (≤ a few hundred
+//! columns), so simple cache-friendly triple loops are fast enough.
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Mat::from_vec: buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a slice of rows (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        assert!(r > 0, "Mat::from_rows: empty");
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Mat::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    pub fn t(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams through `rhs` rows, cache-friendly for
+        // row-major storage.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul: {}x{} ᵀ* {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let lrow = self.row(r);
+            let rrow = rhs.row(r);
+            for (i, &l) in lrow.iter().enumerate() {
+                if l == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, &v) in orow.iter_mut().zip(rrow) {
+                    *o += l * v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self + rhs`.
+    pub fn add(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise `self - rhs`.
+    pub fn sub(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale every entry by `s`.
+    pub fn scale(&self, s: f64) -> Mat {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Frobenius norm squared `Σ aᵢⱼ²`.
+    pub fn frob_sq(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum()
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace: non-square");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Per-column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (acc, &v) in m.iter_mut().zip(self.row(i)) {
+                *acc += v;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for v in &mut m {
+            *v /= n;
+        }
+        m
+    }
+
+    /// Center columns in place (subtract each column's mean); returns the means.
+    pub fn center_cols(&mut self) -> Vec<f64> {
+        let means = self.col_means();
+        for i in 0..self.rows {
+            for (v, &m) in self.row_mut(i).iter_mut().zip(&means) {
+                *v -= m;
+            }
+        }
+        means
+    }
+
+    /// Sample covariance of the columns of `x` and `y` (both `n × ·`,
+    /// normalized by `n`): `Cov = Xcᵀ Yc / n` where `Xc`, `Yc` are centered.
+    pub fn cross_cov(x: &Mat, y: &Mat) -> Mat {
+        assert_eq!(x.rows, y.rows, "cross_cov: row mismatch");
+        let mut xc = x.clone();
+        let mut yc = y.clone();
+        xc.center_cols();
+        yc.center_cols();
+        xc.t_matmul(&yc).scale(1.0 / x.rows.max(1) as f64)
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix; returns lower-triangular `L`, or `None` if the matrix is not
+    /// (numerically) positive definite.
+    pub fn cholesky(&self) -> Option<Mat> {
+        assert_eq!(self.rows, self.cols, "cholesky: non-square");
+        let n = self.rows;
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `A X = B` for SPD `A` (self) via Cholesky. Returns `None` when
+    /// `A` is not positive definite.
+    pub fn solve_spd(&self, b: &Mat) -> Option<Mat> {
+        assert_eq!(self.rows, b.rows, "solve_spd: dimension mismatch");
+        let l = self.cholesky()?;
+        let n = self.rows;
+        let m = b.cols;
+        // Forward substitution: L Y = B
+        let mut y = b.clone();
+        for i in 0..n {
+            for c in 0..m {
+                let mut v = y[(i, c)];
+                for k in 0..i {
+                    v -= l[(i, k)] * y[(k, c)];
+                }
+                y[(i, c)] = v / l[(i, i)];
+            }
+        }
+        // Back substitution: Lᵀ X = Y
+        let mut x = y;
+        for i in (0..n).rev() {
+            for c in 0..m {
+                let mut v = x[(i, c)];
+                for k in i + 1..n {
+                    v -= l[(k, i)] * x[(k, c)];
+                }
+                x[(i, c)] = v / l[(i, i)];
+            }
+        }
+        Some(x)
+    }
+
+    /// Ridge-regularized least squares: returns `W` minimizing
+    /// `‖Z W - T‖² + λ‖W‖²`, i.e. `W = (ZᵀZ + λI)⁻¹ ZᵀT`.
+    ///
+    /// Used by RCIT to residualize feature maps on the conditioning set.
+    /// `lambda` must be positive, which guarantees positive-definiteness.
+    pub fn ridge_solve(z: &Mat, t: &Mat, lambda: f64) -> Mat {
+        assert!(lambda > 0.0, "ridge_solve: lambda must be positive");
+        let mut ztz = z.t_matmul(z);
+        for i in 0..ztz.rows {
+            ztz[(i, i)] += lambda;
+        }
+        let ztt = z.t_matmul(t);
+        ztz.solve_spd(&ztt)
+            .expect("ridge_solve: ZᵀZ + λI must be positive definite")
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "Mat index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "Mat index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Mat::from_rows(&[&[1.0, -2.0, 0.5], &[3.5, 4.0, -1.0]]);
+        assert_eq!(a.matmul(&Mat::eye(3)), a);
+        assert_eq!(Mat::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 0.0]]);
+        assert_eq!(a.t_matmul(&b), a.t().matmul(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.t().t(), a);
+    }
+
+    #[test]
+    fn cholesky_recomposes() {
+        // SPD matrix
+        let a = Mat::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]);
+        let l = a.cholesky().expect("SPD");
+        let recon = l.matmul(&l.t());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close!(recon[(i, j)], a[(i, j)], 1e-12);
+            }
+        }
+        // Strictly lower triangular above diagonal must be zero.
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(l[(0, 2)], 0.0);
+        assert_eq!(l[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = Mat::from_rows(&[&[1.0], &[2.0]]);
+        let x = a.solve_spd(&b).unwrap();
+        let ax = a.matmul(&x);
+        assert_close!(ax[(0, 0)], 1.0, 1e-12);
+        assert_close!(ax[(1, 0)], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn ridge_solve_shrinks_towards_zero() {
+        // With huge lambda the solution goes to ~0; with tiny lambda it
+        // approaches the least-squares solution of a well-posed system.
+        let z = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let t = Mat::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let w_small = Mat::ridge_solve(&z, &t, 1e-9);
+        let w_big = Mat::ridge_solve(&z, &t, 1e9);
+        assert_close!(w_small[(0, 0)], 1.0, 1e-5);
+        assert_close!(w_small[(1, 0)], 2.0, 1e-5);
+        assert!(w_big[(0, 0)].abs() < 1e-6);
+        assert!(w_big[(1, 0)].abs() < 1e-6);
+    }
+
+    #[test]
+    fn col_means_and_centering() {
+        let mut a = Mat::from_rows(&[&[1.0, 10.0], &[3.0, 20.0]]);
+        let means = a.center_cols();
+        assert_eq!(means, vec![2.0, 15.0]);
+        assert_eq!(a, Mat::from_rows(&[&[-1.0, -5.0], &[1.0, 5.0]]));
+        assert_eq!(a.col_means(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_cov_of_identical_columns_is_variance() {
+        let x = Mat::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let c = Mat::cross_cov(&x, &x);
+        // population variance of {1,2,3,4} = 1.25
+        assert_close!(c[(0, 0)], 1.25, 1e-12);
+    }
+
+    #[test]
+    fn cross_cov_independent_columns_near_zero() {
+        // Orthogonal patterns -> zero covariance.
+        let x = Mat::from_rows(&[&[1.0], &[-1.0], &[1.0], &[-1.0]]);
+        let y = Mat::from_rows(&[&[1.0], &[1.0], &[-1.0], &[-1.0]]);
+        let c = Mat::cross_cov(&x, &y);
+        assert_close!(c[(0, 0)], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn frob_and_trace() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[4.0, 1.0]]);
+        assert_close!(a.frob_sq(), 26.0, 1e-12);
+        assert_close!(a.trace(), 4.0, 1e-12);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.scale(2.0).scale(0.5), a);
+    }
+}

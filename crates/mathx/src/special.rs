@@ -1,0 +1,403 @@
+//! Special functions: log-gamma, regularized incomplete gamma, error
+//! function, and the distribution CDFs derived from them.
+//!
+//! All conditional-independence testers in `fairsel-ci` reduce their test
+//! statistics to a chi-square, gamma, or normal tail probability, so the
+//! quality of these routines directly controls the reproduction's p-values.
+//! Implementations follow the classical series / continued-fraction
+//! decomposition (Numerical Recipes §6.1-6.2) with a Lanczos approximation
+//! for `ln Γ`.
+
+use crate::EPS;
+
+/// Lanczos coefficients (g = 7, n = 9), accurate to ~1e-15 over the real line.
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// # Panics
+/// Panics if `x` is NaN or `x <= 0` after reflection would be required at a
+/// pole (non-positive integers).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(!x.is_nan(), "ln_gamma: NaN input");
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        let sin_pi_x = (std::f64::consts::PI * x).sin();
+        assert!(
+            sin_pi_x != 0.0,
+            "ln_gamma: pole at non-positive integer {x}"
+        );
+        return std::f64::consts::PI.ln() - sin_pi_x.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(a, 0) = 0`, `P(a, ∞) = 1`. Uses the series expansion for `x < a + 1`
+/// and the continued fraction for the complement otherwise, which keeps both
+/// branches rapidly convergent.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p: shape must be positive, got {a}");
+    assert!(x >= 0.0, "gamma_p: x must be non-negative, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q: shape must be positive, got {a}");
+    assert!(x >= 0.0, "gamma_q: x must be non-negative, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series representation of P(a, x); converges fast for x < a + 1.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction (modified Lentz) representation of Q(a, x).
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function `erf(x)`, via the incomplete gamma identity
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else if x > 0.0 {
+        gamma_p(0.5, x * x)
+    } else {
+        -gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`, with a stable tail.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x).max(0.0)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// CDF of the standard normal distribution.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Two-sided p-value for a standard-normal test statistic.
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    (erfc(z.abs() / std::f64::consts::SQRT_2)).clamp(0.0, 1.0)
+}
+
+/// CDF of the chi-square distribution with `df` degrees of freedom.
+pub fn chi2_cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi2_cdf: df must be positive, got {df}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(df / 2.0, x / 2.0)
+}
+
+/// Survival function (upper tail) of the chi-square distribution; this is
+/// the p-value of a chi-square / G test statistic.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi2_sf: df must be positive, got {df}");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(df / 2.0, x / 2.0)
+}
+
+/// CDF of a gamma distribution with `shape` and `scale` (mean = shape·scale).
+pub fn gamma_cdf(x: f64, shape: f64, scale: f64) -> f64 {
+    assert!(scale > 0.0, "gamma_cdf: scale must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(shape, x / scale)
+}
+
+/// Survival function of the gamma distribution (used by the RCIT
+/// Satterthwaite–Welch approximation).
+pub fn gamma_sf(x: f64, shape: f64, scale: f64) -> f64 {
+    assert!(scale > 0.0, "gamma_sf: scale must be positive");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(shape, x / scale)
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |ε| < 1.15e-9), refined with one Halley step.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    let x = if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step against the true CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Fisher z-transform of a correlation coefficient: `atanh(r)`.
+///
+/// Saturates rather than panicking for |r| marginally ≥ 1 (which occurs with
+/// degenerate columns in partial-correlation testing).
+pub fn fisher_z(r: f64) -> f64 {
+    let r = r.clamp(-0.999_999_999, 0.999_999_999);
+    0.5 * ((1.0 + r) / (1.0 - r)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            assert_close!(ln_gamma(n as f64), fact.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π
+        assert_close!(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = √π / 2
+        assert_close!(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12
+        );
+    }
+
+    #[test]
+    fn ln_gamma_reflection_branch() {
+        // Γ(0.25)Γ(0.75) = π / sin(π/4) = π√2
+        let lhs = ln_gamma(0.25) + ln_gamma(0.75);
+        let rhs = (std::f64::consts::PI * std::f64::consts::SQRT_2).ln();
+        assert_close!(lhs, rhs, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn ln_gamma_pole_panics() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn gamma_p_q_complementary() {
+        for &a in &[0.3, 1.0, 2.5, 10.0, 50.0] {
+            for &x in &[0.01, 0.5, 1.0, 3.0, 10.0, 60.0] {
+                assert_close!(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // For a = 1 the gamma distribution is Exp(1): P(1, x) = 1 - e^{-x}.
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0] {
+            assert_close!(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_boundaries() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert_eq!(gamma_q(2.0, 0.0), 1.0);
+        assert!(gamma_p(2.0, 1e6) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn chi2_known_values() {
+        // Median of chi2(1) ≈ 0.4549; SciPy chi2.cdf reference values.
+        assert_close!(chi2_cdf(0.454_936, 1.0), 0.5, 1e-5);
+        assert_close!(chi2_cdf(3.841_458_8, 1.0), 0.95, 1e-6);
+        assert_close!(chi2_cdf(5.991_464_5, 2.0), 0.95, 1e-6);
+        assert_close!(chi2_cdf(18.307_038, 10.0), 0.95, 1e-6);
+        assert_close!(chi2_sf(3.841_458_8, 1.0), 0.05, 1e-6);
+    }
+
+    #[test]
+    fn chi2_cdf_monotone_in_x() {
+        let mut last = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.25;
+            let v = chi2_cdf(x, 5.0);
+            assert!(v >= last - 1e-15, "chi2_cdf must be monotone");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert_close!(erf(0.0), 0.0, 1e-15);
+        assert_close!(erf(1.0), 0.842_700_792_949_715, 1e-9);
+        assert_close!(erf(-1.0), -0.842_700_792_949_715, 1e-9);
+        assert_close!(erf(2.0), 0.995_322_265_018_953, 1e-9);
+        assert_close!(erfc(1.0), 0.157_299_207_050_285, 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_known_values() {
+        assert_close!(normal_cdf(0.0), 0.5, 1e-12);
+        assert_close!(normal_cdf(1.959_963_985), 0.975, 1e-8);
+        assert_close!(normal_cdf(-1.959_963_985), 0.025, 1e-8);
+        for &z in &[0.1, 0.7, 1.3, 2.8] {
+            assert_close!(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for &p in &[0.001, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.999] {
+            assert_close!(normal_cdf(normal_quantile(p)), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn gamma_cdf_scale_invariance() {
+        // X ~ Gamma(k, θ)  ⇒  X/θ ~ Gamma(k, 1)
+        assert_close!(gamma_cdf(6.0, 2.0, 3.0), gamma_cdf(2.0, 2.0, 1.0), 1e-12);
+        assert_close!(gamma_sf(6.0, 2.0, 3.0), 1.0 - gamma_cdf(6.0, 2.0, 3.0), 1e-12);
+    }
+
+    #[test]
+    fn fisher_z_roundtrip() {
+        for &r in &[-0.9, -0.5, 0.0, 0.3, 0.77] {
+            assert_close!(fisher_z(r).tanh(), r, 1e-12);
+        }
+        // Saturation instead of infinity.
+        assert!(fisher_z(1.0).is_finite());
+        assert!(fisher_z(-1.0).is_finite());
+    }
+
+    #[test]
+    fn two_sided_p_matches_tails() {
+        for &z in &[0.5, 1.0, 1.96, 3.0] {
+            let p = normal_two_sided_p(z);
+            assert_close!(p, 2.0 * (1.0 - normal_cdf(z)), 1e-10);
+            assert_close!(normal_two_sided_p(-z), p, 1e-12);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Column → dense-matrix featurization.
+//!
+//! Categorical columns of arity 2 become a single 0/1 column; higher
+//! arities are one-hot encoded with the first level dropped (reference
+//! coding, avoiding perfect collinearity for the linear model). Numeric
+//! columns are standardized with statistics *fit on the training table* and
+//! reused at transform time, as any leakage-free pipeline must.
+
+use fairsel_math::stats::{mean, std_dev};
+use fairsel_math::Mat;
+use fairsel_table::{ColId, Table};
+
+#[derive(Clone, Debug)]
+enum Spec {
+    /// Binary categorical: emit the code itself.
+    Binary { col: ColId },
+    /// One-hot with the first level dropped: emits `arity - 1` indicators.
+    OneHot { col: ColId, arity: u32 },
+    /// Standardized numeric.
+    Numeric { col: ColId, mean: f64, std: f64 },
+}
+
+/// Fitted featurization plan for a fixed set of columns.
+#[derive(Clone, Debug)]
+pub struct Featurizer {
+    specs: Vec<Spec>,
+    n_features: usize,
+    cols: Vec<ColId>,
+}
+
+impl Featurizer {
+    /// Fit on the training table over `cols` (order preserved).
+    pub fn fit(table: &Table, cols: &[ColId]) -> Self {
+        let mut specs = Vec::with_capacity(cols.len());
+        let mut n_features = 0;
+        for &c in cols {
+            let col = table.col(c);
+            match col.arity() {
+                Some(2) => {
+                    specs.push(Spec::Binary { col: c });
+                    n_features += 1;
+                }
+                Some(a) => {
+                    specs.push(Spec::OneHot { col: c, arity: a });
+                    n_features += (a - 1) as usize;
+                }
+                None => {
+                    let values = col.to_f64();
+                    specs.push(Spec::Numeric {
+                        col: c,
+                        mean: mean(&values),
+                        std: std_dev(&values),
+                    });
+                    n_features += 1;
+                }
+            }
+        }
+        Self { specs, n_features, cols: cols.to_vec() }
+    }
+
+    /// Number of emitted feature dimensions.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The source columns, in featurization order.
+    pub fn columns(&self) -> &[ColId] {
+        &self.cols
+    }
+
+    /// Column id that produced feature dimension `f`.
+    pub fn source_column(&self, f: usize) -> ColId {
+        let mut offset = 0;
+        for s in &self.specs {
+            let width = match s {
+                Spec::Binary { .. } | Spec::Numeric { .. } => 1,
+                Spec::OneHot { arity, .. } => (*arity - 1) as usize,
+            };
+            if f < offset + width {
+                return match s {
+                    Spec::Binary { col } | Spec::Numeric { col, .. } | Spec::OneHot { col, .. } => {
+                        *col
+                    }
+                };
+            }
+            offset += width;
+        }
+        panic!("feature index {f} out of range ({} features)", self.n_features);
+    }
+
+    /// Transform a table (train or test) into an `n × d` matrix.
+    ///
+    /// # Panics
+    /// Panics if a referenced column is missing or changed type/arity.
+    pub fn transform(&self, table: &Table) -> Mat {
+        let n = table.n_rows();
+        let mut out = Mat::zeros(n, self.n_features);
+        let mut j = 0;
+        for s in &self.specs {
+            match s {
+                Spec::Binary { col } => {
+                    let codes = table
+                        .col(*col)
+                        .codes()
+                        .expect("featurizer: binary column became numeric");
+                    for i in 0..n {
+                        out[(i, j)] = codes[i] as f64;
+                    }
+                    j += 1;
+                }
+                Spec::OneHot { col, arity } => {
+                    let codes = table
+                        .col(*col)
+                        .codes()
+                        .expect("featurizer: one-hot column became numeric");
+                    let width = (*arity - 1) as usize;
+                    for i in 0..n {
+                        let v = codes[i];
+                        assert!(v < *arity, "featurizer: unseen category {v}");
+                        if v > 0 {
+                            out[(i, j + (v as usize - 1))] = 1.0;
+                        }
+                    }
+                    j += width;
+                }
+                Spec::Numeric { col, mean, std } => {
+                    let c = table.col(*col);
+                    let denom = if *std > 0.0 { *std } else { 1.0 };
+                    for i in 0..n {
+                        out[(i, j)] = (c.value_f64(i) - mean) / denom;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate per-feature importances (one per emitted dimension) back
+    /// to per-source-column importances by summing absolute values.
+    /// Returns `(col, importance)` pairs in featurization order.
+    pub fn aggregate_importance(&self, per_feature: &[f64]) -> Vec<(ColId, f64)> {
+        assert_eq!(per_feature.len(), self.n_features, "importance length mismatch");
+        let mut out: Vec<(ColId, f64)> = self.cols.iter().map(|&c| (c, 0.0)).collect();
+        for (f, &v) in per_feature.iter().enumerate() {
+            let col = self.source_column(f);
+            let slot = out
+                .iter_mut()
+                .find(|(c, _)| *c == col)
+                .expect("source column present");
+            slot.1 += v.abs();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_math::assert_close;
+    use fairsel_table::{Column, Role};
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::cat("bin", Role::Feature, vec![0, 1, 1, 0], 2),
+            Column::cat("tri", Role::Feature, vec![0, 1, 2, 1], 3),
+            Column::num("num", Role::Feature, vec![10.0, 20.0, 30.0, 40.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn feature_layout() {
+        let t = table();
+        let f = Featurizer::fit(&t, &[0, 1, 2]);
+        // 1 (binary) + 2 (tri one-hot minus reference) + 1 (numeric) = 4
+        assert_eq!(f.n_features(), 4);
+        assert_eq!(f.source_column(0), 0);
+        assert_eq!(f.source_column(1), 1);
+        assert_eq!(f.source_column(2), 1);
+        assert_eq!(f.source_column(3), 2);
+    }
+
+    #[test]
+    fn transform_values() {
+        let t = table();
+        let f = Featurizer::fit(&t, &[0, 1, 2]);
+        let m = f.transform(&t);
+        assert_eq!(m.rows(), 4);
+        // Binary passthrough.
+        assert_eq!(m[(1, 0)], 1.0);
+        // One-hot: row 0 has tri=0 (reference) -> both zero.
+        assert_eq!((m[(0, 1)], m[(0, 2)]), (0.0, 0.0));
+        // Row 2 has tri=2 -> second indicator.
+        assert_eq!((m[(2, 1)], m[(2, 2)]), (0.0, 1.0));
+        // Numeric standardized: mean 25, std ~11.18.
+        assert_close!(m[(0, 3)], (10.0 - 25.0) / 11.180339887498949, 1e-9);
+        let col: Vec<f64> = (0..4).map(|i| m[(i, 3)]).collect();
+        assert_close!(fairsel_math::stats::mean(&col), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn transform_reuses_train_statistics() {
+        let train = table();
+        let f = Featurizer::fit(&train, &[2]);
+        // Same schema as `table()`, different numeric values.
+        let test = Table::new(vec![
+            Column::cat("bin", Role::Feature, vec![0], 2),
+            Column::cat("tri", Role::Feature, vec![0], 3),
+            Column::num("num", Role::Feature, vec![25.0]),
+        ])
+        .unwrap();
+        let m = f.transform(&test);
+        // 25 is the training mean -> standardizes to 0 even though the test
+        // table's own statistics differ.
+        assert_close!(m[(0, 0)], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn constant_numeric_column_safe() {
+        let t = Table::new(vec![Column::num("c", Role::Feature, vec![5.0; 3])]).unwrap();
+        let f = Featurizer::fit(&t, &[0]);
+        let m = f.transform(&t);
+        for i in 0..3 {
+            assert_eq!(m[(i, 0)], 0.0);
+        }
+    }
+
+    #[test]
+    fn subset_and_order_respected() {
+        let t = table();
+        let f = Featurizer::fit(&t, &[2, 0]);
+        assert_eq!(f.n_features(), 2);
+        assert_eq!(f.columns(), &[2, 0]);
+        let m = f.transform(&t);
+        assert_eq!(m[(1, 1)], 1.0); // binary column now second
+    }
+
+    #[test]
+    fn importance_aggregation() {
+        let t = table();
+        let f = Featurizer::fit(&t, &[0, 1, 2]);
+        let agg = f.aggregate_importance(&[0.5, 1.0, -2.0, 0.25]);
+        assert_eq!(agg.len(), 3);
+        assert_close!(agg[0].1, 0.5, 1e-12);
+        assert_close!(agg[1].1, 3.0, 1e-12); // |1.0| + |-2.0|
+        assert_close!(agg[2].1, 0.25, 1e-12);
+    }
+
+    #[test]
+    fn empty_feature_set() {
+        let t = table();
+        let f = Featurizer::fit(&t, &[]);
+        assert_eq!(f.n_features(), 0);
+        let m = f.transform(&t);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The machine-learning substrate: everything the paper's pipeline needs
+//! *after* feature selection.
+//!
+//! §5.1 of the paper trains scikit-learn logistic regression on the
+//! selected features and also validates with random forest and AdaBoost
+//! ("Model Selection"). This crate reimplements that stack:
+//!
+//! * [`Featurizer`] — one-hot encodes categoricals and standardizes
+//!   numerics, mapping table columns to a dense [`fairsel_math::Mat`];
+//! * [`LogisticRegression`] (IRLS/Newton), [`DecisionTree`] (CART),
+//!   [`RandomForest`], [`AdaBoost`] (SAMME on stumps), and
+//!   [`NaiveBayes`] — all implementing the binary [`Classifier`] trait
+//!   with optional per-sample weights (needed by the Reweighing and
+//!   Capuchin-repair baselines);
+//! * [`metrics`] — accuracy plus the fairness metrics the evaluation
+//!   reports: absolute odds difference (Figure 2/3), statistical parity,
+//!   disparate impact, equal-opportunity difference, and the conditional
+//!   mutual information audit `CMI(S; Ŷ | A)` of Table 2.
+
+pub mod boost;
+pub mod features;
+pub mod linear;
+pub mod metrics;
+pub mod nb;
+pub mod tree;
+
+pub use boost::AdaBoost;
+pub use features::Featurizer;
+pub use linear::LogisticRegression;
+pub use metrics::FairnessReport;
+pub use nb::NaiveBayes;
+pub use tree::{DecisionTree, RandomForest};
+
+use fairsel_math::Mat;
+
+/// A binary classifier over dense feature matrices. Labels are `0`/`1`.
+pub trait Classifier {
+    /// Fit on features `x` (`n × d`) and labels `y`, optionally weighted
+    /// per sample.
+    fn fit(&mut self, x: &Mat, y: &[u32], sample_weights: Option<&[f64]>);
+
+    /// Probability of the positive class per row.
+    fn predict_proba(&self, x: &Mat) -> Vec<f64>;
+
+    /// Hard labels at the 0.5 threshold.
+    fn predict(&self, x: &Mat) -> Vec<u32> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| u32::from(p >= 0.5))
+            .collect()
+    }
+
+    /// Short name for experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Validate fit() inputs; shared by all classifiers.
+pub(crate) fn check_fit_inputs(x: &Mat, y: &[u32], w: Option<&[f64]>) {
+    assert_eq!(x.rows(), y.len(), "fit: row/label count mismatch");
+    assert!(x.rows() > 0, "fit: empty training set");
+    assert!(y.iter().all(|&v| v <= 1), "fit: labels must be binary 0/1");
+    if let Some(w) = w {
+        assert_eq!(w.len(), y.len(), "fit: weight count mismatch");
+        assert!(w.iter().all(|&v| v >= 0.0 && v.is_finite()), "fit: bad weights");
+        assert!(w.iter().sum::<f64>() > 0.0, "fit: weights sum to zero");
+    }
+}

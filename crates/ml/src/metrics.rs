@@ -1,0 +1,309 @@
+//! Classification accuracy and the fairness metrics of the paper's
+//! evaluation (§5.1):
+//!
+//! * **absolute odds difference** — the x-axis of Figures 2 and 3(a):
+//!   mean of |ΔFPR| and |ΔTPR| across sensitive groups;
+//! * statistical parity difference and disparate impact;
+//! * equal-opportunity difference (ΔTPR);
+//! * **conditional mutual information** `CMI(S; Ŷ | A)` — the causal-
+//!   fairness audit of Table 2 (zero CMI ⇒ causal fairness by Lemma 2).
+//!
+//! Groups may take more than two values; pairwise metrics report the
+//! worst (maximum) pairwise disparity, which reduces to the usual
+//! privileged/unprivileged difference in the binary case.
+
+use fairsel_ci::cmi::cmi_from_codes;
+use std::collections::HashMap;
+
+/// Confusion counts for one group.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GroupCounts {
+    pub tp: f64,
+    pub fp: f64,
+    pub tn: f64,
+    pub fn_: f64,
+}
+
+impl GroupCounts {
+    /// True-positive rate; 0 when the group has no positives.
+    pub fn tpr(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom > 0.0 {
+            self.tp / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// False-positive rate; 0 when the group has no negatives.
+    pub fn fpr(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom > 0.0 {
+            self.fp / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction predicted positive.
+    pub fn selection_rate(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total > 0.0 {
+            (self.tp + self.fp) / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Total rows in the group.
+    pub fn total(&self) -> f64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// Overall classification accuracy.
+pub fn accuracy(y_true: &[u32], y_pred: &[u32]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "accuracy: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|(t, p)| t == p)
+        .count() as f64
+        / y_true.len() as f64
+}
+
+/// Per-group confusion counts keyed by the group code.
+pub fn group_counts(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> HashMap<u32, GroupCounts> {
+    assert_eq!(y_true.len(), y_pred.len(), "metrics: length mismatch");
+    assert_eq!(y_true.len(), group.len(), "metrics: length mismatch");
+    let mut out: HashMap<u32, GroupCounts> = HashMap::new();
+    for i in 0..y_true.len() {
+        let c = out.entry(group[i]).or_default();
+        match (y_true[i], y_pred[i]) {
+            (1, 1) => c.tp += 1.0,
+            (0, 1) => c.fp += 1.0,
+            (0, 0) => c.tn += 1.0,
+            (1, 0) => c.fn_ += 1.0,
+            _ => panic!("metrics: labels must be binary"),
+        }
+    }
+    out
+}
+
+/// Maximum pairwise absolute difference of a per-group scalar.
+fn max_pairwise_diff(values: &[f64]) -> f64 {
+    let mut max = 0.0f64;
+    for i in 0..values.len() {
+        for j in (i + 1)..values.len() {
+            max = max.max((values[i] - values[j]).abs());
+        }
+    }
+    max
+}
+
+/// Absolute odds difference: `(|ΔFPR| + |ΔTPR|) / 2`, maximized over group
+/// pairs. 0 = perfectly equalized odds.
+pub fn abs_odds_difference(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
+    let counts = group_counts(y_true, y_pred, group);
+    if counts.len() < 2 {
+        return 0.0;
+    }
+    let groups: Vec<&GroupCounts> = counts.values().collect();
+    let mut max = 0.0f64;
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            let d = 0.5
+                * ((groups[i].fpr() - groups[j].fpr()).abs()
+                    + (groups[i].tpr() - groups[j].tpr()).abs());
+            max = max.max(d);
+        }
+    }
+    max
+}
+
+/// Statistical parity difference: max pairwise |selection-rate gap|.
+pub fn statistical_parity_difference(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
+    let counts = group_counts(y_true, y_pred, group);
+    let rates: Vec<f64> = counts.values().map(GroupCounts::selection_rate).collect();
+    max_pairwise_diff(&rates)
+}
+
+/// Disparate impact: min over pairs of (lower rate / higher rate); 1.0 is
+/// perfectly balanced, small values indicate adverse impact. Returns 1.0
+/// when fewer than two groups appear, 0.0 when a group is never selected
+/// while another is.
+pub fn disparate_impact(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
+    let counts = group_counts(y_true, y_pred, group);
+    if counts.len() < 2 {
+        return 1.0;
+    }
+    let rates: Vec<f64> = counts.values().map(GroupCounts::selection_rate).collect();
+    let mut min_ratio = 1.0f64;
+    for i in 0..rates.len() {
+        for j in (i + 1)..rates.len() {
+            let (lo, hi) = if rates[i] < rates[j] { (rates[i], rates[j]) } else { (rates[j], rates[i]) };
+            let ratio = if hi > 0.0 { lo / hi } else { 1.0 };
+            min_ratio = min_ratio.min(ratio);
+        }
+    }
+    min_ratio
+}
+
+/// Equal-opportunity difference: max pairwise |ΔTPR|.
+pub fn equal_opportunity_difference(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
+    let counts = group_counts(y_true, y_pred, group);
+    let tprs: Vec<f64> = counts.values().map(GroupCounts::tpr).collect();
+    max_pairwise_diff(&tprs)
+}
+
+/// The Table 2 audit: plug-in `CMI(S; Ŷ | A)` in nats, with negatives
+/// truncated to zero (footnote 3 of the paper).
+pub fn cmi_fairness(s_codes: &[u32], y_pred: &[u32], a_codes: &[u32]) -> f64 {
+    cmi_from_codes(s_codes, y_pred, a_codes)
+}
+
+/// Bundle of everything the evaluation section reports for one pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FairnessReport {
+    pub accuracy: f64,
+    pub abs_odds_difference: f64,
+    pub statistical_parity_difference: f64,
+    pub disparate_impact: f64,
+    pub equal_opportunity_difference: f64,
+    /// `CMI(S; Ŷ | A)` in nats.
+    pub cmi_s_pred_given_a: f64,
+}
+
+impl FairnessReport {
+    /// Compute all metrics. `s_codes` are (joint) sensitive codes,
+    /// `a_codes` (joint) admissible codes for the CMI audit.
+    pub fn compute(
+        y_true: &[u32],
+        y_pred: &[u32],
+        s_codes: &[u32],
+        a_codes: &[u32],
+    ) -> FairnessReport {
+        FairnessReport {
+            accuracy: accuracy(y_true, y_pred),
+            abs_odds_difference: abs_odds_difference(y_true, y_pred, s_codes),
+            statistical_parity_difference: statistical_parity_difference(y_true, y_pred, s_codes),
+            disparate_impact: disparate_impact(y_true, y_pred, s_codes),
+            equal_opportunity_difference: equal_opportunity_difference(y_true, y_pred, s_codes),
+            cmi_s_pred_given_a: cmi_fairness(s_codes, y_pred, a_codes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_math::assert_close;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_close!(accuracy(&[1, 0, 1, 0], &[1, 0, 0, 0]), 0.75, 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn group_counts_partition() {
+        let y = [1, 1, 0, 0, 1, 0];
+        let p = [1, 0, 0, 1, 1, 0];
+        let g = [0, 0, 0, 1, 1, 1];
+        let counts = group_counts(&y, &p, &g);
+        let g0 = counts[&0];
+        assert_eq!((g0.tp, g0.fn_, g0.tn, g0.fp), (1.0, 1.0, 1.0, 0.0));
+        let g1 = counts[&1];
+        assert_eq!((g1.tp, g1.fn_, g1.tn, g1.fp), (1.0, 0.0, 1.0, 1.0));
+        assert_eq!(g0.total() + g1.total(), 6.0);
+    }
+
+    #[test]
+    fn perfect_predictor_equal_base_rates_is_fair() {
+        // Same base rate in both groups and perfect predictions -> zero
+        // odds difference and parity difference.
+        let y = [1, 0, 1, 0];
+        let g = [0, 0, 1, 1];
+        assert_close!(abs_odds_difference(&y, &y, &g), 0.0, 1e-12);
+        assert_close!(statistical_parity_difference(&y, &y, &g), 0.0, 1e-12);
+        assert_close!(disparate_impact(&y, &y, &g), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn group_blind_constant_predictor_is_fair() {
+        let y = [1, 0, 1, 0, 1, 0];
+        let p = [1, 1, 1, 1, 1, 1];
+        let g = [0, 0, 0, 1, 1, 1];
+        assert_close!(abs_odds_difference(&y, &p, &g), 0.0, 1e-12);
+        assert_close!(statistical_parity_difference(&y, &p, &g), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn discriminating_predictor_flagged() {
+        // Predict positive iff group 1, labels independent of group.
+        let y = [1, 0, 1, 0];
+        let p = [0, 0, 1, 1];
+        let g = [0, 0, 1, 1];
+        // Group 0: TPR 0, FPR 0. Group 1: TPR 1, FPR 1.
+        assert_close!(abs_odds_difference(&y, &p, &g), 1.0, 1e-12);
+        assert_close!(statistical_parity_difference(&y, &p, &g), 1.0, 1e-12);
+        assert_close!(disparate_impact(&y, &p, &g), 0.0, 1e-12);
+        assert_close!(equal_opportunity_difference(&y, &p, &g), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn single_group_defaults() {
+        let y = [1, 0];
+        let p = [1, 1];
+        let g = [0, 0];
+        assert_close!(abs_odds_difference(&y, &p, &g), 0.0, 1e-12);
+        assert_close!(disparate_impact(&y, &p, &g), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn multi_group_takes_worst_pair() {
+        // Three groups with selection rates 0, 0.5, 1.
+        let y = [0, 0, 1, 0, 1, 1];
+        let p = [0, 0, 1, 0, 1, 1];
+        let g = [0, 0, 1, 1, 2, 2];
+        assert_close!(statistical_parity_difference(&y, &p, &g), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn cmi_audit_zero_for_group_blind() {
+        // Predictions depend only on A, not on S.
+        let s = [0, 1, 0, 1, 0, 1, 0, 1];
+        let a = [0, 0, 1, 1, 0, 0, 1, 1];
+        let pred = [0, 0, 1, 1, 0, 0, 1, 1];
+        assert_close!(cmi_fairness(&s, &pred, &a), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn cmi_audit_positive_for_group_tracking() {
+        let s = [0, 1, 0, 1, 0, 1, 0, 1];
+        let a = [0; 8];
+        let pred = s;
+        assert!(cmi_fairness(&s, &pred, &a) > 0.5);
+    }
+
+    #[test]
+    fn report_bundles_consistently() {
+        let y = [1, 0, 1, 0];
+        let p = [0, 0, 1, 1];
+        let s = [0, 0, 1, 1];
+        let a = [0, 0, 0, 0];
+        let r = FairnessReport::compute(&y, &p, &s, &a);
+        assert_close!(r.accuracy, accuracy(&y, &p), 1e-12);
+        assert_close!(r.abs_odds_difference, 1.0, 1e-12);
+        assert!(r.cmi_s_pred_given_a > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        accuracy(&[1], &[1, 0]);
+    }
+}

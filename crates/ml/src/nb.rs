@@ -1,0 +1,231 @@
+//! Naive Bayes over table columns: categorical likelihoods with Laplace
+//! smoothing, Gaussian likelihoods for numeric columns.
+//!
+//! Unlike the other classifiers this one consumes the [`Table`] directly
+//! (no featurizer), which makes it a handy fast probe for dataset sanity
+//! checks and a convenient Bayes-approximating reference in tests.
+
+use crate::Classifier;
+use fairsel_math::Mat;
+use fairsel_table::{ColId, Table};
+
+#[derive(Clone, Debug)]
+enum Likelihood {
+    /// `log P(value | class)` per class (rows) and value (cols).
+    Cat { log_probs: [Vec<f64>; 2], arity: u32 },
+    /// Gaussian per class.
+    Gauss { mean: [f64; 2], var: [f64; 2] },
+}
+
+/// Fitted naive-Bayes model over an explicit column subset.
+pub struct NaiveBayes {
+    cols: Vec<ColId>,
+    log_prior: [f64; 2],
+    likelihoods: Vec<Likelihood>,
+    fitted: bool,
+}
+
+impl NaiveBayes {
+    /// Model over the given columns; call [`NaiveBayes::fit_table`].
+    pub fn new(cols: Vec<ColId>) -> Self {
+        Self { cols, log_prior: [0.0; 2], likelihoods: Vec::new(), fitted: false }
+    }
+
+    /// Fit from a table and binary labels.
+    pub fn fit_table(&mut self, table: &Table, y: &[u32]) {
+        assert_eq!(table.n_rows(), y.len(), "fit: row/label mismatch");
+        assert!(!y.is_empty(), "fit: empty training set");
+        assert!(y.iter().all(|&v| v <= 1), "fit: labels must be binary");
+        let n = y.len() as f64;
+        let n1 = y.iter().filter(|&&v| v == 1).count() as f64;
+        let n0 = n - n1;
+        // Laplace-smoothed priors.
+        self.log_prior = [((n0 + 1.0) / (n + 2.0)).ln(), ((n1 + 1.0) / (n + 2.0)).ln()];
+        self.likelihoods.clear();
+        for &c in &self.cols {
+            let col = table.col(c);
+            let lik = match col.arity() {
+                Some(arity) => {
+                    let codes = col.codes().expect("categorical");
+                    let mut counts = [vec![0.0f64; arity as usize], vec![0.0f64; arity as usize]];
+                    for (i, &v) in codes.iter().enumerate() {
+                        counts[y[i] as usize][v as usize] += 1.0;
+                    }
+                    let class_tot = [n0, n1];
+                    let log_probs = [0, 1].map(|k| {
+                        counts[k]
+                            .iter()
+                            .map(|&cnt| ((cnt + 1.0) / (class_tot[k] + arity as f64)).ln())
+                            .collect::<Vec<f64>>()
+                    });
+                    Likelihood::Cat { log_probs, arity }
+                }
+                None => {
+                    let mut sums = [0.0f64; 2];
+                    let mut cnts = [0.0f64; 2];
+                    for i in 0..y.len() {
+                        sums[y[i] as usize] += col.value_f64(i);
+                        cnts[y[i] as usize] += 1.0;
+                    }
+                    let mean = [0, 1].map(|k| if cnts[k] > 0.0 { sums[k] / cnts[k] } else { 0.0 });
+                    let mut ss = [0.0f64; 2];
+                    for i in 0..y.len() {
+                        let d = col.value_f64(i) - mean[y[i] as usize];
+                        ss[y[i] as usize] += d * d;
+                    }
+                    let var = [0, 1].map(|k| {
+                        if cnts[k] > 1.0 {
+                            (ss[k] / cnts[k]).max(1e-9)
+                        } else {
+                            1.0
+                        }
+                    });
+                    Likelihood::Gauss { mean, var }
+                }
+            };
+            self.likelihoods.push(lik);
+        }
+        self.fitted = true;
+    }
+
+    /// Per-row log-odds `log P(y=1|x) − log P(y=0|x)` on a table.
+    pub fn log_odds(&self, table: &Table) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        let n = table.n_rows();
+        let mut out = vec![self.log_prior[1] - self.log_prior[0]; n];
+        for (slot, &c) in self.cols.iter().enumerate() {
+            let col = table.col(c);
+            match &self.likelihoods[slot] {
+                Likelihood::Cat { log_probs, arity } => {
+                    let codes = col.codes().expect("categorical column changed type");
+                    for (o, &v) in out.iter_mut().zip(codes) {
+                        assert!(v < *arity, "unseen category at predict time");
+                        *o += log_probs[1][v as usize] - log_probs[0][v as usize];
+                    }
+                }
+                Likelihood::Gauss { mean, var } => {
+                    for (i, o) in out.iter_mut().enumerate() {
+                        let v = col.value_f64(i);
+                        let ll = |k: usize| {
+                            -0.5 * ((v - mean[k]) * (v - mean[k]) / var[k] + var[k].ln())
+                        };
+                        *o += ll(1) - ll(0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `P(y=1|x)` on a table.
+    pub fn predict_proba_table(&self, table: &Table) -> Vec<f64> {
+        self.log_odds(table)
+            .into_iter()
+            .map(crate::linear::sigmoid)
+            .collect()
+    }
+
+    /// Hard labels on a table.
+    pub fn predict_table(&self, table: &Table) -> Vec<u32> {
+        self.predict_proba_table(table)
+            .into_iter()
+            .map(|p| u32::from(p >= 0.5))
+            .collect()
+    }
+}
+
+/// The [`Classifier`] impl is deliberately unsupported — naive Bayes works
+/// on tables, not featurized matrices. It panics with guidance.
+impl Classifier for NaiveBayes {
+    fn fit(&mut self, _x: &Mat, _y: &[u32], _w: Option<&[f64]>) {
+        panic!("NaiveBayes consumes tables; use fit_table()");
+    }
+
+    fn predict_proba(&self, _x: &Mat) -> Vec<f64> {
+        panic!("NaiveBayes consumes tables; use predict_proba_table()");
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_table::{Column, Role};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy(n: usize, seed: u64) -> (Table, Vec<u32>) {
+        // y depends on cat feature and on a numeric shift.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cat = Vec::with_capacity(n);
+        let mut num = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label: u32 = rng.gen_range(0..2);
+            let c = if rng.gen::<f64>() < 0.8 { label } else { 1 - label };
+            let x = label as f64 * 2.0 + fairsel_math::dist::sample_std_normal(&mut rng);
+            cat.push(c);
+            num.push(x);
+            y.push(label);
+        }
+        let t = Table::new(vec![
+            Column::cat("c", Role::Feature, cat, 2),
+            Column::num("x", Role::Feature, num),
+        ])
+        .unwrap();
+        (t, y)
+    }
+
+    #[test]
+    fn learns_informative_features() {
+        let (t, y) = toy(4000, 1);
+        let mut nb = NaiveBayes::new(vec![0, 1]);
+        nb.fit_table(&t, &y);
+        let preds = nb.predict_table(&t);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.85, "NB accuracy {acc}");
+    }
+
+    #[test]
+    fn prior_only_when_no_columns() {
+        let (t, mut y) = toy(100, 2);
+        y.iter_mut().for_each(|v| *v = 1);
+        y[0] = 0;
+        let mut nb = NaiveBayes::new(vec![]);
+        nb.fit_table(&t, &y);
+        let p = nb.predict_proba_table(&t);
+        assert!(p.iter().all(|&v| v > 0.9), "prior should dominate");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (t, y) = toy(500, 3);
+        let mut nb = NaiveBayes::new(vec![0, 1]);
+        nb.fit_table(&t, &y);
+        assert!(nb
+            .predict_proba_table(&t)
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "use fit_table")]
+    fn matrix_api_guides_to_table_api() {
+        let mut nb = NaiveBayes::new(vec![]);
+        nb.fit(&Mat::zeros(1, 1), &[0], None);
+    }
+
+    #[test]
+    fn laplace_smoothing_handles_unseen_combinations() {
+        // Class 1 never sees category 1; prediction must stay finite.
+        let t = Table::new(vec![Column::cat("c", Role::Feature, vec![0, 0, 1, 0], 2)]).unwrap();
+        let y = vec![1, 1, 0, 0];
+        let mut nb = NaiveBayes::new(vec![0]);
+        nb.fit_table(&t, &y);
+        let odds = nb.log_odds(&t);
+        assert!(odds.iter().all(|o| o.is_finite()));
+    }
+}

@@ -1,0 +1,396 @@
+//! CART decision trees and bagged random forests.
+//!
+//! Trees split on `feature < threshold` minimizing weighted Gini impurity;
+//! forests bag bootstrap samples with √d feature subsampling. Used for the
+//! paper's "Model Selection" robustness paragraph (§5.2): SeqSel/GrpSel
+//! fairness must persist when logistic regression is swapped for random
+//! forest or AdaBoost.
+
+use crate::{check_fit_inputs, Classifier};
+use fairsel_math::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decision tree configuration.
+#[derive(Clone, Debug)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Features inspected per split; `None` = all (single tree),
+    /// `Some(k)` = random subset of k (forest member).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_leaf: 5, max_features: None }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        /// Weighted fraction of positives.
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART tree (arena-allocated nodes).
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    cfg: TreeConfig,
+    nodes: Vec<Node>,
+    rng: StdRng,
+}
+
+impl DecisionTree {
+    pub fn new(cfg: TreeConfig) -> Self {
+        Self::with_seed(cfg, 0)
+    }
+
+    /// Seeded variant (the forest seeds each member differently so feature
+    /// subsampling decorrelates).
+    pub fn with_seed(cfg: TreeConfig, seed: u64) -> Self {
+        assert!(cfg.max_depth >= 1, "max_depth must be >= 1");
+        assert!(cfg.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+        Self { cfg, nodes: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn leaf(&mut self, pos_weight: f64, total_weight: f64) -> usize {
+        let proba = if total_weight > 0.0 { pos_weight / total_weight } else { 0.5 };
+        self.nodes.push(Node::Leaf { proba });
+        self.nodes.len() - 1
+    }
+
+    /// Recursive split search over the rows in `idx`.
+    fn grow(&mut self, x: &Mat, y: &[u32], w: &[f64], idx: &mut [usize], depth: usize) -> usize {
+        let total_w: f64 = idx.iter().map(|&i| w[i]).sum();
+        let pos_w: f64 = idx.iter().filter(|&&i| y[i] == 1).map(|&i| w[i]).sum();
+        // Stopping conditions: purity, depth, size.
+        if depth >= self.cfg.max_depth
+            || idx.len() < 2 * self.cfg.min_samples_leaf
+            || pos_w == 0.0
+            || pos_w == total_w
+        {
+            return self.leaf(pos_w, total_w);
+        }
+        let d = x.cols();
+        let features: Vec<usize> = match self.cfg.max_features {
+            Some(k) if k < d => {
+                // Partial Fisher–Yates to pick k distinct features.
+                let mut all: Vec<usize> = (0..d).collect();
+                for i in 0..k {
+                    let j = self.rng.gen_range(i..d);
+                    all.swap(i, j);
+                }
+                all.truncate(k);
+                all
+            }
+            _ => (0..d).collect(),
+        };
+
+        let parent_gini = gini(pos_w, total_w);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut vals: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
+        for &f in &features {
+            vals.clear();
+            vals.extend(idx.iter().map(|&i| (x[(i, f)], i)));
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+            let mut lw = 0.0;
+            let mut lp = 0.0;
+            for s in 0..vals.len() - 1 {
+                let (v, i) = vals[s];
+                lw += w[i];
+                if y[i] == 1 {
+                    lp += w[i];
+                }
+                let next_v = vals[s + 1].0;
+                if v == next_v {
+                    continue; // can't split between equal values
+                }
+                if s + 1 < self.cfg.min_samples_leaf
+                    || vals.len() - s - 1 < self.cfg.min_samples_leaf
+                {
+                    continue;
+                }
+                let rw = total_w - lw;
+                let rp = pos_w - lp;
+                if lw <= 0.0 || rw <= 0.0 {
+                    continue;
+                }
+                let child = (lw * gini(lp, lw) + rw * gini(rp, rw)) / total_w;
+                let gain = parent_gini - child;
+                if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-12 {
+                    best = Some((f, (v + next_v) / 2.0, gain));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            return self.leaf(pos_w, total_w);
+        };
+        // Partition indices in place.
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        for &i in idx.iter() {
+            if x[(i, feature)] < threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        let left_id = self.grow(x, y, w, &mut left, depth + 1);
+        let right_id = self.grow(x, y, w, &mut right, depth + 1);
+        self.nodes.push(Node::Split { feature, threshold, left: left_id, right: right_id });
+        self.nodes.len() - 1
+    }
+
+    fn proba_row(&self, x: &Mat, row: usize) -> f64 {
+        let mut node = self.nodes.len() - 1; // root is pushed last
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[(row, *feature)] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Mat, y: &[u32], sample_weights: Option<&[f64]>) {
+        check_fit_inputs(x, y, sample_weights);
+        self.nodes.clear();
+        let unit = vec![1.0; y.len()];
+        let w = sample_weights.unwrap_or(&unit);
+        let mut idx: Vec<usize> = (0..y.len()).collect();
+        if x.cols() == 0 {
+            let total: f64 = w.iter().sum();
+            let pos: f64 = idx.iter().filter(|&&i| y[i] == 1).map(|&i| w[i]).sum();
+            self.leaf(pos, total);
+            return;
+        }
+        self.grow(x, y, w, &mut idx, 0);
+    }
+
+    fn predict_proba(&self, x: &Mat) -> Vec<f64> {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        (0..x.rows()).map(|i| self.proba_row(x, i)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+/// Bagged random forest of CART trees.
+pub struct RandomForest {
+    n_trees: usize,
+    tree_cfg: TreeConfig,
+    trees: Vec<DecisionTree>,
+    seed: u64,
+}
+
+impl RandomForest {
+    pub fn new(n_trees: usize, mut tree_cfg: TreeConfig, seed: u64) -> Self {
+        assert!(n_trees >= 1, "need at least one tree");
+        // Forest members default to √d feature subsampling at fit time if
+        // not set explicitly; mark with None here and resolve in fit.
+        if tree_cfg.min_samples_leaf == 0 {
+            tree_cfg.min_samples_leaf = 1;
+        }
+        Self { n_trees, tree_cfg, trees: Vec::new(), seed }
+    }
+
+    /// Forest with reasonable defaults (50 trees, depth 10).
+    pub fn default_model(seed: u64) -> Self {
+        Self::new(
+            50,
+            TreeConfig { max_depth: 10, min_samples_leaf: 2, max_features: None },
+            seed,
+        )
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Mat, y: &[u32], sample_weights: Option<&[f64]>) {
+        check_fit_inputs(x, y, sample_weights);
+        self.trees.clear();
+        let n = y.len();
+        let d = x.cols();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let unit = vec![1.0; n];
+        let base_w = sample_weights.unwrap_or(&unit);
+        let subsample = self
+            .tree_cfg
+            .max_features
+            .unwrap_or_else(|| ((d as f64).sqrt().ceil() as usize).max(1));
+        for t in 0..self.n_trees {
+            // Bootstrap: draw weights from a multinomial resample, keeping
+            // provided sample weights multiplicative.
+            let mut w = vec![0.0; n];
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                w[i] += base_w[i];
+            }
+            // Guard: if the bootstrap missed every positive-weight row,
+            // fall back to the base weights.
+            if w.iter().sum::<f64>() <= 0.0 {
+                w.copy_from_slice(base_w);
+            }
+            let cfg = TreeConfig { max_features: Some(subsample.min(d.max(1))), ..self.tree_cfg.clone() };
+            let mut tree = DecisionTree::with_seed(cfg, self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            if d == 0 {
+                tree.fit(x, y, Some(&w));
+            } else {
+                tree.fit(x, y, Some(&w));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &Mat) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut acc = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(x)) {
+                *a += p;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.trees.len() as f64;
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_math::dist::sample_std_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data(n: usize, seed: u64) -> (Mat, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = sample_std_normal(&mut rng);
+            let b = sample_std_normal(&mut rng);
+            data.push(a);
+            data.push(b);
+            y.push(u32::from((a > 0.0) != (b > 0.0)));
+        }
+        (Mat::from_vec(n, 2, data), y)
+    }
+
+    fn accuracy(pred: &[u32], truth: &[u32]) -> f64 {
+        pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn tree_learns_xor() {
+        // XOR is the canonical non-linear pattern a depth≥2 tree nails and
+        // logistic regression cannot.
+        let (x, y) = xor_data(2000, 1);
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y, None);
+        let acc = accuracy(&tree.predict(&x), &y);
+        assert!(acc > 0.9, "tree XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn tree_respects_max_depth_one() {
+        let (x, y) = xor_data(500, 2);
+        let mut stump = DecisionTree::new(TreeConfig { max_depth: 1, ..Default::default() });
+        stump.fit(&x, &y, None);
+        // A stump has at most 3 nodes (2 leaves + 1 split).
+        assert!(stump.n_nodes() <= 3);
+        // XOR is 50/50 for any single split.
+        let acc = accuracy(&stump.predict(&x), &y);
+        assert!(acc < 0.62, "stump should not solve XOR, got {acc}");
+    }
+
+    #[test]
+    fn pure_labels_single_leaf() {
+        let (x, _) = xor_data(100, 3);
+        let y = vec![1u32; 100];
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y, None);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!(tree.predict_proba(&x).iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn tree_sample_weights_matter() {
+        // Two clusters with conflicting labels; weighting one side wins.
+        let x = Mat::from_rows(&[&[0.0], &[0.0], &[1.0], &[1.0]]);
+        let y = vec![0, 1, 0, 1];
+        let w_pos = vec![0.1, 10.0, 0.1, 10.0];
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 2, min_samples_leaf: 1, max_features: None });
+        tree.fit(&x, &y, Some(&w_pos));
+        assert!(tree.predict_proba(&x).iter().all(|&p| p > 0.9));
+    }
+
+    #[test]
+    fn forest_learns_xor_and_beats_chance_oos() {
+        let (xtr, ytr) = xor_data(1500, 4);
+        let (xte, yte) = xor_data(800, 5);
+        let mut f = RandomForest::default_model(9);
+        f.fit(&xtr, &ytr, None);
+        let acc = accuracy(&f.predict(&xte), &yte);
+        assert!(acc > 0.85, "forest OOS accuracy {acc}");
+    }
+
+    #[test]
+    fn forest_deterministic_given_seed() {
+        let (x, y) = xor_data(400, 6);
+        let mut a = RandomForest::new(10, TreeConfig::default(), 3);
+        let mut b = RandomForest::new(10, TreeConfig::default(), 3);
+        a.fit(&x, &y, None);
+        b.fit(&x, &y, None);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn zero_feature_matrix_predicts_base_rate() {
+        let x = Mat::zeros(10, 0);
+        let y = vec![1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y, None);
+        let p = tree.predict_proba(&x);
+        assert!((p[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let tree = DecisionTree::new(TreeConfig::default());
+        tree.predict_proba(&Mat::zeros(1, 1));
+    }
+}

@@ -1,0 +1,662 @@
+//! Discrete (categorical) structural causal models.
+
+use fairsel_graph::{Dag, NodeId};
+use fairsel_math::dist::{sample_dirichlet, AliasTable};
+use rand::Rng;
+use std::fmt;
+
+/// Errors from SCM construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScmError {
+    /// A CPT row does not sum to 1 (within tolerance) or has negatives.
+    BadProbabilities { node: String, row: usize },
+    /// CPT shape does not match the node's parents/arity.
+    ShapeMismatch { node: String, expected_rows: usize, got_rows: usize },
+    /// A node was given no CPT.
+    MissingCpt(String),
+    /// Intervention or query used a value outside a node's arity.
+    ValueOutOfRange { node: String, value: u32, arity: u32 },
+}
+
+impl fmt::Display for ScmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScmError::BadProbabilities { node, row } => {
+                write!(f, "CPT for {node} has an invalid probability row {row}")
+            }
+            ScmError::ShapeMismatch { node, expected_rows, got_rows } => write!(
+                f,
+                "CPT for {node} has {got_rows} rows, expected {expected_rows}"
+            ),
+            ScmError::MissingCpt(n) => write!(f, "no CPT provided for node {n}"),
+            ScmError::ValueOutOfRange { node, value, arity } => {
+                write!(f, "value {value} out of range for {node} (arity {arity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScmError {}
+
+/// Conditional probability table of one node.
+///
+/// Rows are indexed by the mixed-radix code of the parent values (parents in
+/// the node's sorted parent order); each row is a distribution over the
+/// node's `arity` values. An [`AliasTable`] per row makes repeated sampling
+/// O(1).
+#[derive(Clone, Debug)]
+pub struct Cpt {
+    arity: u32,
+    parent_arities: Vec<u32>,
+    /// Row-major `rows × arity` probabilities.
+    probs: Vec<f64>,
+    alias: Vec<AliasTable>,
+}
+
+impl Cpt {
+    /// Build a CPT, validating shape and row normalization.
+    pub fn new(arity: u32, parent_arities: Vec<u32>, probs: Vec<f64>) -> Result<Self, String> {
+        assert!(arity >= 1, "Cpt: arity must be >= 1");
+        let rows: usize = parent_arities.iter().map(|&a| a as usize).product();
+        if probs.len() != rows * arity as usize {
+            return Err(format!(
+                "CPT buffer has {} entries, expected {} rows x {} values",
+                probs.len(),
+                rows,
+                arity
+            ));
+        }
+        let mut alias = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &probs[r * arity as usize..(r + 1) * arity as usize];
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|&p| !(0.0..=1.0 + 1e-9).contains(&p)) || (sum - 1.0).abs() > 1e-6 {
+                return Err(format!("CPT row {r} is not a probability distribution (sum {sum})"));
+            }
+            alias.push(AliasTable::new(row));
+        }
+        Ok(Self { arity, parent_arities, probs, alias })
+    }
+
+    /// Point-mass CPT on `value` with no parents (used by interventions).
+    pub fn point_mass(arity: u32, value: u32) -> Self {
+        assert!(value < arity, "point_mass: value {value} >= arity {arity}");
+        let mut probs = vec![0.0; arity as usize];
+        probs[value as usize] = 1.0;
+        Self::new(arity, Vec::new(), probs).expect("point mass is valid")
+    }
+
+    /// Uniform CPT with no parents.
+    pub fn uniform(arity: u32) -> Self {
+        let probs = vec![1.0 / arity as f64; arity as usize];
+        Self::new(arity, Vec::new(), probs).expect("uniform is valid")
+    }
+
+    /// Random CPT with dependence `strength ∈ [0,1]` on the parents:
+    /// 0 ⇒ every row identical (child independent of parents);
+    /// 1 ⇒ rows drawn independently from a sparse Dirichlet (strong,
+    /// near-deterministic dependence).
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        arity: u32,
+        parent_arities: &[u32],
+        strength: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&strength), "strength must be in [0,1]");
+        let rows: usize = parent_arities.iter().map(|&a| a as usize).product();
+        let k = arity as usize;
+        // Base distribution shared by all rows; sparse Dirichlet rows pull
+        // probability mass to different values per parent state.
+        let base = sample_dirichlet(rng, &vec![2.0; k]);
+        let mut probs = Vec::with_capacity(rows * k);
+        for _ in 0..rows {
+            let spiky = sample_dirichlet(rng, &vec![0.35; k]);
+            for i in 0..k {
+                probs.push((1.0 - strength) * base[i] + strength * spiky[i]);
+            }
+        }
+        Self::new(arity, parent_arities.to_vec(), probs).expect("mixture rows are normalized")
+    }
+
+    /// Number of values this node takes.
+    pub fn arity(&self) -> u32 {
+        self.arity
+    }
+
+    /// Number of parent-state rows.
+    pub fn rows(&self) -> usize {
+        self.alias.len()
+    }
+
+    /// Mixed-radix row index for the given parent values.
+    #[inline]
+    fn row_index(&self, parent_values: &[u32]) -> usize {
+        debug_assert_eq!(parent_values.len(), self.parent_arities.len());
+        let mut idx = 0usize;
+        for (&v, &a) in parent_values.iter().zip(&self.parent_arities) {
+            debug_assert!(v < a, "parent value out of range");
+            idx = idx * a as usize + v as usize;
+        }
+        idx
+    }
+
+    /// Probability `P(value | parent_values)`.
+    pub fn prob(&self, parent_values: &[u32], value: u32) -> f64 {
+        let r = self.row_index(parent_values);
+        self.probs[r * self.arity as usize + value as usize]
+    }
+
+    /// Sample a value given parent values.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, parent_values: &[u32]) -> u32 {
+        self.alias[self.row_index(parent_values)].sample(rng)
+    }
+
+    /// Borrow a probability row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.probs[r * self.arity as usize..(r + 1) * self.arity as usize]
+    }
+}
+
+/// A fully specified discrete structural causal model.
+#[derive(Clone, Debug)]
+pub struct DiscreteScm {
+    dag: Dag,
+    cpts: Vec<Cpt>,
+    topo: Vec<NodeId>,
+}
+
+impl DiscreteScm {
+    /// Underlying causal graph.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Arity of a node.
+    pub fn arity(&self, v: NodeId) -> u32 {
+        self.cpts[v.index()].arity()
+    }
+
+    /// Borrow a node's CPT.
+    pub fn cpt(&self, v: NodeId) -> &Cpt {
+        &self.cpts[v.index()]
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// True when the model has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.dag.is_empty()
+    }
+
+    /// Sample one joint assignment into `out` (indexed by `NodeId`).
+    pub fn sample_row<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
+        assert_eq!(out.len(), self.len(), "sample_row: buffer size mismatch");
+        let mut parent_buf: Vec<u32> = Vec::with_capacity(8);
+        for &v in &self.topo {
+            parent_buf.clear();
+            parent_buf.extend(self.dag.parents(v).iter().map(|p| out[p.index()]));
+            out[v.index()] = self.cpts[v.index()].sample(rng, &parent_buf);
+        }
+    }
+
+    /// Sample `n` rows, returned column-major (`columns[node][row]`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vec<u32>> {
+        let mut cols = vec![Vec::with_capacity(n); self.len()];
+        let mut row = vec![0u32; self.len()];
+        for _ in 0..n {
+            self.sample_row(rng, &mut row);
+            for (c, &v) in cols.iter_mut().zip(&row) {
+                c.push(v);
+            }
+        }
+        cols
+    }
+
+    /// Pearl's `do`-operator: returns the mutilated SCM where each
+    /// `(node, value)` has its incoming edges removed and its mechanism
+    /// replaced with a point mass.
+    pub fn intervene(&self, assignments: &[(NodeId, u32)]) -> Result<DiscreteScm, ScmError> {
+        for &(v, val) in assignments {
+            let a = self.arity(v);
+            if val >= a {
+                return Err(ScmError::ValueOutOfRange {
+                    node: self.dag.name(v).to_owned(),
+                    value: val,
+                    arity: a,
+                });
+            }
+        }
+        let targets: Vec<NodeId> = assignments.iter().map(|&(v, _)| v).collect();
+        let dag = self.dag.intervene(&targets);
+        let mut cpts = self.cpts.clone();
+        for &(v, val) in assignments {
+            cpts[v.index()] = Cpt::point_mass(self.arity(v), val);
+        }
+        let topo = dag.topological_order();
+        Ok(DiscreteScm { dag, cpts, topo })
+    }
+
+    /// Log-probability of a full assignment under the model.
+    pub fn log_prob(&self, assignment: &[u32]) -> f64 {
+        assert_eq!(assignment.len(), self.len());
+        let mut parent_buf: Vec<u32> = Vec::with_capacity(8);
+        let mut lp = 0.0;
+        for v in self.dag.nodes() {
+            parent_buf.clear();
+            parent_buf.extend(self.dag.parents(v).iter().map(|p| assignment[p.index()]));
+            let p = self.cpts[v.index()].prob(&parent_buf, assignment[v.index()]);
+            if p == 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            lp += p.ln();
+        }
+        lp
+    }
+
+    /// Total joint state-space size, saturating at `usize::MAX`.
+    pub fn state_space(&self) -> usize {
+        self.cpts
+            .iter()
+            .map(|c| c.arity() as usize)
+            .try_fold(1usize, |acc, a| acc.checked_mul(a))
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Enumerate the exact joint distribution, invoking `visit(assignment,
+    /// probability)` once per assignment with positive probability mass
+    /// potential (zero-probability assignments may also be visited).
+    ///
+    /// # Panics
+    /// Panics when the state space exceeds `2^22` (≈4.2M) assignments —
+    /// exact enumeration is a test/verification tool for small fixtures.
+    pub fn enumerate_joint<F: FnMut(&[u32], f64)>(&self, mut visit: F) {
+        let space = self.state_space();
+        assert!(
+            space <= 1 << 22,
+            "enumerate_joint: state space {space} too large for exact enumeration"
+        );
+        let n = self.len();
+        let mut assignment = vec![0u32; n];
+        // Depth-first over the topological order, accumulating probability.
+        // Iterative stack of (depth, prob) with explicit value counters.
+        self.enumerate_rec(0, 1.0, &mut assignment, &mut visit);
+    }
+
+    fn enumerate_rec<F: FnMut(&[u32], f64)>(
+        &self,
+        depth: usize,
+        prob: f64,
+        assignment: &mut Vec<u32>,
+        visit: &mut F,
+    ) {
+        if depth == self.topo.len() {
+            visit(assignment, prob);
+            return;
+        }
+        let v = self.topo[depth];
+        let parent_vals: Vec<u32> = self
+            .dag
+            .parents(v)
+            .iter()
+            .map(|p| assignment[p.index()])
+            .collect();
+        for val in 0..self.arity(v) {
+            let p = self.cpts[v.index()].prob(&parent_vals, val);
+            if p == 0.0 {
+                continue;
+            }
+            assignment[v.index()] = val;
+            self.enumerate_rec(depth + 1, prob * p, assignment, visit);
+        }
+        assignment[v.index()] = 0;
+    }
+
+    /// Exact marginal distribution of one node (by enumeration).
+    pub fn exact_marginal(&self, v: NodeId) -> Vec<f64> {
+        let mut dist = vec![0.0; self.arity(v) as usize];
+        self.enumerate_joint(|a, p| dist[a[v.index()] as usize] += p);
+        dist
+    }
+}
+
+/// Builder for [`DiscreteScm`]. Declare arities first, then either attach
+/// explicit CPTs or fill the remainder randomly with a chosen dependence
+/// strength.
+pub struct DiscreteScmBuilder {
+    dag: Dag,
+    arities: Vec<u32>,
+    cpts: Vec<Option<Cpt>>,
+}
+
+impl DiscreteScmBuilder {
+    /// Start from a DAG with every node given the same arity.
+    pub fn uniform_arity(dag: Dag, arity: u32) -> Self {
+        let n = dag.len();
+        Self { dag, arities: vec![arity; n], cpts: vec![None; n] }
+    }
+
+    /// Start from a DAG with per-node arities (indexed by `NodeId`).
+    pub fn with_arities(dag: Dag, arities: Vec<u32>) -> Self {
+        assert_eq!(dag.len(), arities.len(), "arity per node required");
+        let n = dag.len();
+        Self { dag, arities, cpts: vec![None; n] }
+    }
+
+    /// Attach an explicit CPT (probabilities over rows of parent states in
+    /// sorted-parent mixed-radix order).
+    pub fn cpt(mut self, node: NodeId, probs: Vec<f64>) -> Result<Self, ScmError> {
+        let parent_arities: Vec<u32> = self
+            .dag
+            .parents(node)
+            .iter()
+            .map(|p| self.arities[p.index()])
+            .collect();
+        let cpt = Cpt::new(self.arities[node.index()], parent_arities, probs).map_err(|_| {
+            ScmError::BadProbabilities { node: self.dag.name(node).to_owned(), row: 0 }
+        })?;
+        self.cpts[node.index()] = Some(cpt);
+        Ok(self)
+    }
+
+    /// Fill every node that lacks a CPT with a random one of the given
+    /// dependence `strength`.
+    pub fn fill_random<R: Rng + ?Sized>(mut self, rng: &mut R, strength: f64) -> Self {
+        for v in self.dag.nodes() {
+            if self.cpts[v.index()].is_none() {
+                let parent_arities: Vec<u32> = self
+                    .dag
+                    .parents(v)
+                    .iter()
+                    .map(|p| self.arities[p.index()])
+                    .collect();
+                self.cpts[v.index()] =
+                    Some(Cpt::random(rng, self.arities[v.index()], &parent_arities, strength));
+            }
+        }
+        self
+    }
+
+    /// Fill a specific node with a random CPT of the given strength.
+    pub fn fill_node_random<R: Rng + ?Sized>(
+        mut self,
+        rng: &mut R,
+        node: NodeId,
+        strength: f64,
+    ) -> Self {
+        let parent_arities: Vec<u32> = self
+            .dag
+            .parents(node)
+            .iter()
+            .map(|p| self.arities[p.index()])
+            .collect();
+        self.cpts[node.index()] =
+            Some(Cpt::random(rng, self.arities[node.index()], &parent_arities, strength));
+        self
+    }
+
+    /// Finish; errors if any node is missing a CPT.
+    pub fn build(self) -> Result<DiscreteScm, ScmError> {
+        let mut cpts = Vec::with_capacity(self.cpts.len());
+        for (i, c) in self.cpts.into_iter().enumerate() {
+            match c {
+                Some(c) => cpts.push(c),
+                None => {
+                    return Err(ScmError::MissingCpt(
+                        self.dag.name(NodeId(i as u32)).to_owned(),
+                    ))
+                }
+            }
+        }
+        let topo = self.dag.topological_order();
+        Ok(DiscreteScm { dag: self.dag, cpts, topo })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_graph::DagBuilder;
+    use fairsel_math::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    /// S -> X -> Y with binary variables and hand-written CPTs.
+    fn chain_scm() -> DiscreteScm {
+        let g = DagBuilder::new()
+            .nodes(["S", "X", "Y"])
+            .edge("S", "X")
+            .edge("X", "Y")
+            .build();
+        let s = g.expect_node("S");
+        let x = g.expect_node("X");
+        let y = g.expect_node("Y");
+        DiscreteScmBuilder::uniform_arity(g, 2)
+            .cpt(s, vec![0.4, 0.6])
+            .unwrap()
+            // P(X|S): S=0 -> [0.9, 0.1]; S=1 -> [0.2, 0.8]
+            .cpt(x, vec![0.9, 0.1, 0.2, 0.8])
+            .unwrap()
+            // P(Y|X): X=0 -> [0.7, 0.3]; X=1 -> [0.1, 0.9]
+            .cpt(y, vec![0.7, 0.3, 0.1, 0.9])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cpt_validates_rows() {
+        assert!(Cpt::new(2, vec![], vec![0.5, 0.5]).is_ok());
+        assert!(Cpt::new(2, vec![], vec![0.5, 0.6]).is_err());
+        assert!(Cpt::new(2, vec![], vec![0.5]).is_err());
+        assert!(Cpt::new(2, vec![2], vec![0.5, 0.5, 1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn cpt_row_indexing_mixed_radix() {
+        // Two parents with arities 2 and 3: rows ordered (0,0),(0,1),(0,2),(1,0)...
+        let mut probs = Vec::new();
+        for r in 0..6 {
+            probs.extend([1.0 - r as f64 * 0.1, r as f64 * 0.1]);
+        }
+        let cpt = Cpt::new(2, vec![2, 3], probs).unwrap();
+        assert_close!(cpt.prob(&[0, 0], 1), 0.0, 1e-12);
+        assert_close!(cpt.prob(&[0, 2], 1), 0.2, 1e-12);
+        assert_close!(cpt.prob(&[1, 0], 1), 0.3, 1e-12);
+        assert_close!(cpt.prob(&[1, 2], 1), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn point_mass_is_deterministic() {
+        let cpt = Cpt::point_mass(4, 2);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(cpt.sample(&mut r, &[]), 2);
+        }
+    }
+
+    #[test]
+    fn exact_marginal_of_chain() {
+        let scm = chain_scm();
+        let x = scm.dag().expect_node("X");
+        // P(X=1) = P(S=0)·0.1 + P(S=1)·0.8 = 0.04 + 0.48 = 0.52
+        let m = scm.exact_marginal(x);
+        assert_close!(m[1], 0.52, 1e-12);
+        assert_close!(m[0] + m[1], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_exact_marginal() {
+        let scm = chain_scm();
+        let y = scm.dag().expect_node("Y");
+        let exact = scm.exact_marginal(y);
+        let mut r = rng();
+        let n = 200_000;
+        let cols = scm.sample(&mut r, n);
+        let freq1 = cols[y.index()].iter().filter(|&&v| v == 1).count() as f64 / n as f64;
+        assert_close!(freq1, exact[1], 0.01);
+    }
+
+    #[test]
+    fn enumerate_joint_sums_to_one() {
+        let scm = chain_scm();
+        let mut total = 0.0;
+        scm.enumerate_joint(|_, p| total += p);
+        assert_close!(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn log_prob_consistent_with_enumeration() {
+        let scm = chain_scm();
+        scm.enumerate_joint(|a, p| {
+            assert_close!(scm.log_prob(a).exp(), p, 1e-12);
+        });
+    }
+
+    #[test]
+    fn intervention_clamps_and_cuts() {
+        let scm = chain_scm();
+        let s = scm.dag().expect_node("S");
+        let x = scm.dag().expect_node("X");
+        let cut = scm.intervene(&[(x, 1)]).unwrap();
+        // X no longer depends on S.
+        assert!(cut.dag().parents(x).is_empty());
+        // P(X=1) = 1 under do(X=1).
+        let m = cut.exact_marginal(x);
+        assert_close!(m[1], 1.0, 1e-12);
+        // S marginal unchanged by intervening downstream.
+        let ms = cut.exact_marginal(s);
+        assert_close!(ms[1], 0.6, 1e-12);
+    }
+
+    #[test]
+    fn truncated_factorization_identity() {
+        // For chain S -> X -> Y: P(Y | do(X=x)) == P(Y | X=x).
+        let scm = chain_scm();
+        let x = scm.dag().expect_node("X");
+        let y = scm.dag().expect_node("Y");
+        let cut = scm.intervene(&[(x, 1)]).unwrap();
+        let m = cut.exact_marginal(y);
+        assert_close!(m[1], 0.9, 1e-12); // = P(Y=1|X=1)
+    }
+
+    #[test]
+    fn intervention_value_out_of_range() {
+        let scm = chain_scm();
+        let x = scm.dag().expect_node("X");
+        assert!(matches!(
+            scm.intervene(&[(x, 5)]),
+            Err(ScmError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_missing_cpt_errors() {
+        let g = DagBuilder::new().nodes(["a", "b"]).edge("a", "b").build();
+        let a = g.expect_node("a");
+        let res = DiscreteScmBuilder::uniform_arity(g, 2)
+            .cpt(a, vec![0.5, 0.5])
+            .unwrap()
+            .build();
+        assert!(matches!(res, Err(ScmError::MissingCpt(_))));
+    }
+
+    #[test]
+    fn random_cpt_strength_zero_is_parent_independent() {
+        let mut r = rng();
+        let cpt = Cpt::random(&mut r, 3, &[2, 2], 0.0);
+        for v in 0..3 {
+            let p00 = cpt.prob(&[0, 0], v);
+            for pv in [[0, 1], [1, 0], [1, 1]] {
+                assert_close!(cpt.prob(&pv, v), p00, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn random_cpt_strength_one_varies_rows() {
+        let mut r = rng();
+        let cpt = Cpt::random(&mut r, 3, &[2], 1.0);
+        // The two rows should not be (near-)identical.
+        let d: f64 = (0..3)
+            .map(|v| (cpt.prob(&[0], v) - cpt.prob(&[1], v)).abs())
+            .sum();
+        assert!(d > 0.05, "strength-1 rows too similar: total diff {d}");
+    }
+
+    #[test]
+    fn random_fill_produces_valid_model() {
+        let mut r = rng();
+        let g = DagBuilder::new()
+            .nodes(["a", "b", "c", "d"])
+            .edge("a", "b")
+            .edge("b", "c")
+            .edge("a", "d")
+            .build();
+        let scm = DiscreteScmBuilder::uniform_arity(g, 3)
+            .fill_random(&mut r, 0.8)
+            .build()
+            .unwrap();
+        let mut total = 0.0;
+        scm.enumerate_joint(|_, p| total += p);
+        assert_close!(total, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn faithfulness_sanity_chain_dependence() {
+        // In the chain SCM, X and Y are dependent; conditioning on X makes
+        // S and Y independent. Verify via exact joint.
+        let scm = chain_scm();
+        let (s, x, y) = (
+            scm.dag().expect_node("S"),
+            scm.dag().expect_node("X"),
+            scm.dag().expect_node("Y"),
+        );
+        // Compute P(S, X, Y) table.
+        let mut joint = vec![0.0; 8];
+        scm.enumerate_joint(|a, p| {
+            joint[(a[s.index()] * 4 + a[x.index()] * 2 + a[y.index()]) as usize] += p
+        });
+        // CMI(S; Y | X) should be ~0; MI(S; Y) > 0.
+        let p3 = |sv: usize, xv: usize, yv: usize| joint[sv * 4 + xv * 2 + yv];
+        let mut cmi = 0.0;
+        for xv in 0..2 {
+            let px: f64 = (0..2).flat_map(|sv| (0..2).map(move |yv| (sv, yv)))
+                .map(|(sv, yv)| p3(sv, xv, yv)).sum();
+            for sv in 0..2 {
+                for yv in 0..2 {
+                    let pxy = p3(sv, xv, yv);
+                    if pxy == 0.0 { continue; }
+                    let ps_x: f64 = (0..2).map(|yy| p3(sv, xv, yy)).sum();
+                    let py_x: f64 = (0..2).map(|ss| p3(ss, xv, yv)).sum();
+                    cmi += pxy * ((pxy * px) / (ps_x * py_x)).ln();
+                }
+            }
+        }
+        assert_close!(cmi, 0.0, 1e-10);
+    }
+
+    #[test]
+    fn state_space_guard() {
+        let mut g = Dag::new();
+        for i in 0..40 {
+            g.add_node(format!("v{i}")).unwrap();
+        }
+        let scm = DiscreteScmBuilder::uniform_arity(g, 2)
+            .fill_random(&mut rng(), 0.5)
+            .build()
+            .unwrap();
+        assert_eq!(scm.state_space(), 1usize << 40);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scm.enumerate_joint(|_, _| {});
+        }));
+        assert!(res.is_err(), "enumeration guard should trip");
+    }
+}

@@ -1,0 +1,228 @@
+//! CSV persistence with a role-annotated header.
+//!
+//! Header cells have the form `name:type[role]` where `type` is `catK` or
+//! `num` — self-describing enough to round-trip a [`Table`] exactly, while
+//! remaining an ordinary CSV any spreadsheet can open.
+
+use crate::table::{Column, ColumnData, Role, Table, TableError};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Serialize a table to CSV text.
+pub fn to_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    // Header.
+    let header: Vec<String> = table
+        .columns()
+        .iter()
+        .map(|c| {
+            let ty = match &c.data {
+                ColumnData::Cat { arity, .. } => format!("cat{arity}"),
+                ColumnData::Num(_) => "num".to_owned(),
+            };
+            format!("{}:{}[{}]", c.name, ty, c.role)
+        })
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    // Rows.
+    for row in 0..table.n_rows() {
+        for (i, c) in table.columns().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match &c.data {
+                ColumnData::Cat { codes, .. } => {
+                    write!(out, "{}", codes[row]).expect("string write");
+                }
+                ColumnData::Num(v) => {
+                    // Full round-trip precision.
+                    write!(out, "{:?}", v[row]).expect("string write");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv(table: &Table, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv_string(table).as_bytes())
+}
+
+/// Parse a table from CSV text produced by [`to_csv_string`].
+pub fn from_csv_string(text: &str) -> Result<Table, TableError> {
+    from_csv_reader(text.as_bytes())
+}
+
+/// Read a table from a CSV file.
+pub fn read_csv(path: &Path) -> Result<Table, TableError> {
+    let f = std::fs::File::open(path)
+        .map_err(|e| TableError::JoinError(format!("io error opening {}: {e}", path.display())))?;
+    from_csv_reader(f)
+}
+
+fn from_csv_reader<R: Read>(reader: R) -> Result<Table, TableError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty csv"))?
+        .map_err(|e| bad(&format!("io error: {e}")))?;
+    #[derive(Clone)]
+    enum Ty {
+        Cat(u32),
+        Num,
+    }
+    let mut names = Vec::new();
+    let mut roles = Vec::new();
+    let mut types = Vec::new();
+    for cell in header.split(',') {
+        let (name, rest) = cell
+            .split_once(':')
+            .ok_or_else(|| bad(&format!("header cell missing type: {cell}")))?;
+        let (ty, role) = rest
+            .strip_suffix(']')
+            .and_then(|r| r.split_once('['))
+            .ok_or_else(|| bad(&format!("header cell missing role: {cell}")))?;
+        let role = Role::parse(role).ok_or_else(|| bad(&format!("unknown role: {role}")))?;
+        let ty = if ty == "num" {
+            Ty::Num
+        } else if let Some(k) = ty.strip_prefix("cat") {
+            Ty::Cat(
+                k.parse::<u32>()
+                    .map_err(|_| bad(&format!("bad arity in {cell}")))?,
+            )
+        } else {
+            return Err(bad(&format!("unknown type: {ty}")));
+        };
+        names.push(name.to_owned());
+        roles.push(role);
+        types.push(ty);
+    }
+    let ncols = names.len();
+    let mut cat_data: Vec<Vec<u32>> = vec![Vec::new(); ncols];
+    let mut num_data: Vec<Vec<f64>> = vec![Vec::new(); ncols];
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| bad(&format!("io error: {e}")))?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != ncols {
+            return Err(bad(&format!(
+                "row {} has {} cells, expected {ncols}",
+                lineno + 2,
+                cells.len()
+            )));
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            match types[i] {
+                Ty::Cat(arity) => {
+                    let v = cell
+                        .parse::<u32>()
+                        .map_err(|_| bad(&format!("bad categorical value {cell:?}")))?;
+                    if v >= arity {
+                        return Err(bad(&format!(
+                            "categorical value {v} out of range for arity {arity}"
+                        )));
+                    }
+                    cat_data[i].push(v);
+                }
+                Ty::Num => num_data[i].push(
+                    cell.parse::<f64>()
+                        .map_err(|_| bad(&format!("bad numeric value {cell:?}")))?,
+                ),
+            }
+        }
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for i in 0..ncols {
+        let col = match types[i] {
+            Ty::Cat(arity) => Column::cat(
+                names[i].clone(),
+                roles[i],
+                std::mem::take(&mut cat_data[i]),
+                arity,
+            ),
+            Ty::Num => Column::num(names[i].clone(), roles[i], std::mem::take(&mut num_data[i])),
+        };
+        columns.push(col);
+    }
+    Table::new(columns)
+}
+
+fn bad(msg: &str) -> TableError {
+    TableError::JoinError(format!("csv: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Role;
+
+    fn sample() -> Table {
+        Table::new(vec![
+            Column::cat("s", Role::Sensitive, vec![0, 1, 1], 2),
+            Column::num("x", Role::Feature, vec![1.5, -2.25, 1e-9]),
+            Column::cat("y", Role::Target, vec![1, 0, 1], 2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let t = sample();
+        let text = to_csv_string(&t);
+        let back = from_csv_string(&text).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.schema_string(), t.schema_string());
+        assert_eq!(back.expect_column("x").to_f64(), t.expect_column("x").to_f64());
+        assert_eq!(
+            back.expect_column("s").codes().unwrap(),
+            t.expect_column("s").codes().unwrap()
+        );
+    }
+
+    #[test]
+    fn header_format() {
+        let text = to_csv_string(&sample());
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, "s:cat2[sensitive],x:num[feature],y:cat2[target]");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("fairsel_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&t, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.schema_string(), t.schema_string());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_csv_string("").is_err());
+        assert!(from_csv_string("noheader\n1\n").is_err());
+        assert!(from_csv_string("a:cat2[feature]\n5\n").is_err()); // code 5 >= arity 2
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "a:num[feature],b:num[feature]\n1.0,2.0\n3.0\n";
+        assert!(from_csv_string(text).is_err());
+    }
+
+    #[test]
+    fn empty_rows_table() {
+        let t = Table::new(vec![Column::num("x", Role::Feature, vec![])]).unwrap();
+        let back = from_csv_string(&to_csv_string(&t)).unwrap();
+        assert_eq!(back.n_rows(), 0);
+        assert_eq!(back.n_cols(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! The data-integration pipeline: a base training table plus feature
+//! sources joined in by PK-FK keys (§1, §3 of the paper).
+//!
+//! The paper's setting is exactly this: a data engineer has `D = {S, A, Y}`
+//! and a catalogue of candidate sources whose features would improve
+//! accuracy, some of which would also leak protected information. The
+//! [`SourceRegistry`] materializes the exhaustive join, and the selection
+//! algorithms in `fairsel-core` then decide which of the integrated columns
+//! are safe to keep.
+
+use crate::table::{Table, TableError};
+
+/// A named feature source joined to the base table by a PK-FK pair.
+#[derive(Clone, Debug)]
+pub struct Source {
+    /// Human-readable source name (provenance, shows up in errors).
+    pub name: String,
+    /// The dimension table.
+    pub table: Table,
+    /// Foreign-key column in the base table.
+    pub fk: String,
+    /// Primary-key column in `table`.
+    pub pk: String,
+}
+
+/// Registry of sources to integrate with a base table.
+#[derive(Clone, Debug)]
+pub struct SourceRegistry {
+    base: Table,
+    sources: Vec<Source>,
+}
+
+impl SourceRegistry {
+    /// Start from the base training table (must already contain the FK
+    /// columns the sources will join on).
+    pub fn new(base: Table) -> Self {
+        Self { base, sources: Vec::new() }
+    }
+
+    /// Register a feature source.
+    pub fn add_source(
+        mut self,
+        name: impl Into<String>,
+        table: Table,
+        fk: impl Into<String>,
+        pk: impl Into<String>,
+    ) -> Self {
+        self.sources.push(Source {
+            name: name.into(),
+            table,
+            fk: fk.into(),
+            pk: pk.into(),
+        });
+        self
+    }
+
+    /// Number of registered sources.
+    pub fn n_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The base table.
+    pub fn base(&self) -> &Table {
+        &self.base
+    }
+
+    /// Materialize the exhaustive integrated table (all sources joined).
+    ///
+    /// Join failures are decorated with the offending source name so data
+    /// engineers can see which feed broke referential integrity.
+    pub fn integrate(&self) -> Result<Table, TableError> {
+        let mut out = self.base.clone();
+        for s in &self.sources {
+            out = out.join(&s.table, &s.fk, &s.pk).map_err(|e| {
+                TableError::JoinError(format!("source {:?}: {e}", s.name))
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Names of feature columns contributed by each source (provenance
+    /// map: source name → feature names).
+    pub fn provenance(&self) -> Vec<(String, Vec<String>)> {
+        self.sources
+            .iter()
+            .map(|s| {
+                let feats = s
+                    .table
+                    .columns()
+                    .iter()
+                    .filter(|c| c.name != s.pk)
+                    .map(|c| c.name.clone())
+                    .collect();
+                (s.name.clone(), feats)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Role};
+
+    fn base() -> Table {
+        Table::new(vec![
+            Column::cat("id", Role::Key, vec![0, 1, 2], 3),
+            Column::cat("race", Role::Sensitive, vec![0, 1, 0], 2),
+            Column::cat("y", Role::Target, vec![1, 0, 1], 2),
+        ])
+        .unwrap()
+    }
+
+    fn source_a() -> Table {
+        Table::new(vec![
+            Column::cat("pid", Role::Key, vec![2, 1, 0], 3),
+            Column::num("credit", Role::Feature, vec![0.2, 0.5, 0.9]),
+        ])
+        .unwrap()
+    }
+
+    fn source_b() -> Table {
+        Table::new(vec![
+            Column::cat("pid", Role::Key, vec![0, 1, 2], 3),
+            Column::cat("zip", Role::Feature, vec![0, 1, 2], 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn integrates_all_sources_in_order() {
+        let reg = SourceRegistry::new(base())
+            .add_source("credit-bureau", source_a(), "id", "pid")
+            .add_source("census", source_b(), "id", "pid");
+        assert_eq!(reg.n_sources(), 2);
+        let t = reg.integrate().unwrap();
+        assert_eq!(t.n_cols(), 5);
+        // id 0 -> source_a row 2 -> credit 0.9
+        assert_eq!(t.expect_column("credit").to_f64(), vec![0.9, 0.5, 0.2]);
+        assert_eq!(t.expect_column("zip").codes().unwrap(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn join_error_names_the_source() {
+        let broken = Table::new(vec![
+            Column::cat("pid", Role::Key, vec![0], 3),
+            Column::num("v", Role::Feature, vec![1.0]),
+        ])
+        .unwrap();
+        let reg = SourceRegistry::new(base()).add_source("broken-feed", broken, "id", "pid");
+        let err = reg.integrate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken-feed"), "error should name the source: {msg}");
+    }
+
+    #[test]
+    fn provenance_lists_feature_columns() {
+        let reg = SourceRegistry::new(base())
+            .add_source("credit-bureau", source_a(), "id", "pid");
+        let prov = reg.provenance();
+        assert_eq!(prov.len(), 1);
+        assert_eq!(prov[0].0, "credit-bureau");
+        assert_eq!(prov[0].1, vec!["credit".to_owned()]);
+    }
+
+    #[test]
+    fn empty_registry_returns_base() {
+        let reg = SourceRegistry::new(base());
+        let t = reg.integrate().unwrap();
+        assert_eq!(t.n_cols(), base().n_cols());
+    }
+}

@@ -1,0 +1,24 @@
+//! Columnar in-memory tables — the data-management substrate of the
+//! reproduction.
+//!
+//! The paper frames fair feature selection inside *data integration*: an
+//! initial training table (sensitive attributes `S`, admissible attributes
+//! `A`, target `Y`) is augmented with candidate features `X` arriving from
+//! other sources via PK-FK joins (§1, §3). This crate provides that
+//! machinery:
+//!
+//! * [`Table`] — a columnar table whose columns carry a fairness
+//!   [`Role`] (`Sensitive` / `Admissible` / `Feature` / `Target` / `Key`);
+//! * [`Table::join`] — hash PK-FK join used to integrate feature sources;
+//! * [`SourceRegistry`] — the integration pipeline: register sources, call
+//!   [`SourceRegistry::integrate`], get the exhaustive feature table the
+//!   selection algorithms then prune;
+//! * CSV round-tripping with a role-annotated header so generated datasets
+//!   can be persisted and inspected.
+
+pub mod csv;
+pub mod integrate;
+pub mod table;
+
+pub use integrate::SourceRegistry;
+pub use table::{ColId, Column, ColumnData, Role, Table, TableError};
