@@ -1,1 +1,292 @@
-// placeholder
+//! Dependency-light timing harness: SeqSel vs GrpSel through the
+//! execution engine, on oracle and data testers, over the synthetic
+//! fixtures — the numbers behind `BENCH_engine.json`.
+//!
+//! Everything is measured with `std::time::Instant`; no external
+//! benchmarking framework. Each scenario reports CI tests issued (the
+//! paper's complexity currency), engine cache behavior, and wall time.
+
+use fairsel_ci::{CiTest, GTest, OracleCi};
+use fairsel_core::{grpsel_in, grpsel_par_in, seqsel_in, Problem, SelectConfig};
+use fairsel_datasets::sim::sample_table;
+use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+use fairsel_engine::{default_workers, CiSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One measured run.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Scenario label, e.g. `oracle/n=256`.
+    pub scenario: String,
+    /// Algorithm label, e.g. `grpsel-par4`.
+    pub algo: String,
+    /// Number of candidate features in the instance.
+    pub n_features: usize,
+    /// Logical queries routed through the engine.
+    pub requested: u64,
+    /// CI tests actually issued (post-cache).
+    pub issued: u64,
+    /// Cache hits (memo + in-batch dedup).
+    pub cache_hits: u64,
+    /// End-to-end selection wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Features the run selected.
+    pub selected: usize,
+}
+
+impl BenchResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"algo\":\"{}\",\"n_features\":{},\
+             \"requested\":{},\"issued\":{},\"cache_hits\":{},\
+             \"wall_ms\":{:.3},\"selected\":{}}}",
+            self.scenario,
+            self.algo,
+            self.n_features,
+            self.requested,
+            self.issued,
+            self.cache_hits,
+            self.wall_ms,
+            self.selected
+        )
+    }
+}
+
+/// Serialize a suite to a JSON document (an object with a `runs` array),
+/// ready to be written as `BENCH_engine.json`.
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut s = String::from("{\"bench\":\"fairsel-engine\",\"runs\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&r.json());
+    }
+    s.push_str("]}");
+    s
+}
+
+fn measure<T: CiTest, F>(
+    scenario: &str,
+    algo: &str,
+    n_features: usize,
+    session: &mut CiSession<T>,
+    run: F,
+) -> BenchResult
+where
+    F: FnOnce(&mut CiSession<T>) -> usize,
+{
+    let t0 = Instant::now();
+    let selected = run(session);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = session.stats();
+    BenchResult {
+        scenario: scenario.to_owned(),
+        algo: algo.to_owned(),
+        n_features,
+        requested: stats.requested,
+        issued: stats.issued,
+        cache_hits: stats.cache_hits,
+        wall_ms,
+        selected,
+    }
+}
+
+/// SeqSel vs GrpSel (sequential and parallel) against the d-separation
+/// oracle on fairness-structured synthetic DAGs of growing width — the
+/// `O(n)` vs `O(k log n)` curve of Figures 4–5.
+pub fn oracle_scaling(sizes: &[usize], workers: usize) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let cfg = SyntheticConfig {
+            n_features: n,
+            biased_fraction: 0.05,
+            ..Default::default()
+        };
+        let inst = synthetic_instance(&mut StdRng::seed_from_u64(n as u64), &cfg);
+        let problem = Problem::from_roles(&inst.roles);
+        let select = SelectConfig::default();
+        let scenario = format!("oracle/n={n}");
+
+        let mut tester = OracleCi::from_dag(inst.dag.clone());
+        let mut session = CiSession::new(&mut tester);
+        out.push(measure(&scenario, "seqsel", n, &mut session, |s| {
+            seqsel_in(s, &problem, &select).selected().len()
+        }));
+
+        let mut tester = OracleCi::from_dag(inst.dag.clone());
+        let mut session = CiSession::new(&mut tester);
+        out.push(measure(&scenario, "grpsel", n, &mut session, |s| {
+            grpsel_in(s, &problem, &select, None).selected().len()
+        }));
+
+        let mut tester = OracleCi::from_dag(inst.dag.clone());
+        let mut session = CiSession::new(&mut tester);
+        let algo = format!("grpsel-par{workers}");
+        out.push(measure(&scenario, &algo, n, &mut session, |s| {
+            grpsel_par_in(s, &problem, &select, None, workers)
+                .selected()
+                .len()
+        }));
+    }
+    out
+}
+
+/// SeqSel vs GrpSel with the G-test on sampled data — the finite-sample
+/// regime where each CI test costs real work and parallel batches pay off.
+pub fn data_scaling(n_features: usize, rows: usize, workers: usize) -> Vec<BenchResult> {
+    let cfg = SyntheticConfig {
+        n_features,
+        biased_fraction: 0.1,
+        predictive_fraction: 0.25,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = synthetic_instance(&mut rng, &cfg);
+    let scm = synthetic_scm(&mut rng, &inst, 1.5);
+    let table = sample_table(&scm, &inst.roles, rows, &mut rng);
+    let problem = Problem::from_table(&table);
+    let select = SelectConfig::default();
+    let scenario = format!("gtest/n={n_features}/rows={rows}");
+    let mut out = Vec::new();
+
+    let mut tester = GTest::new(&table, 0.01);
+    let mut session = CiSession::new(&mut tester);
+    out.push(measure(
+        &scenario,
+        "seqsel",
+        n_features,
+        &mut session,
+        |s| seqsel_in(s, &problem, &select).selected().len(),
+    ));
+
+    let mut tester = GTest::new(&table, 0.01);
+    let mut session = CiSession::new(&mut tester);
+    out.push(measure(
+        &scenario,
+        "grpsel",
+        n_features,
+        &mut session,
+        |s| grpsel_in(s, &problem, &select, None).selected().len(),
+    ));
+
+    let mut tester = GTest::new(&table, 0.01);
+    let mut session = CiSession::new(&mut tester);
+    let algo = format!("grpsel-par{workers}");
+    out.push(measure(&scenario, &algo, n_features, &mut session, |s| {
+        grpsel_par_in(s, &problem, &select, None, workers)
+            .selected()
+            .len()
+    }));
+    out
+}
+
+/// The cache story: the same workload replayed inside one session issues
+/// zero new tests the second time.
+pub fn cache_replay(n_features: usize) -> Vec<BenchResult> {
+    let cfg = SyntheticConfig {
+        n_features,
+        biased_fraction: 0.1,
+        ..Default::default()
+    };
+    let inst = synthetic_instance(&mut StdRng::seed_from_u64(7), &cfg);
+    let problem = Problem::from_roles(&inst.roles);
+    let select = SelectConfig::default();
+    let scenario = format!("replay/n={n_features}");
+
+    let mut tester = OracleCi::from_dag(inst.dag.clone());
+    let mut session = CiSession::new(&mut tester);
+    let first = measure(&scenario, "seqsel-cold", n_features, &mut session, |s| {
+        seqsel_in(s, &problem, &select).selected().len()
+    });
+    // Second run in the same session: everything is a cache hit, so the
+    // deltas below come out as issued = 0.
+    let before = (
+        session.stats().requested,
+        session.stats().issued,
+        session.stats().cache_hits,
+    );
+    let t0 = Instant::now();
+    let selected = seqsel_in(&mut session, &problem, &select).selected().len();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = session.stats();
+    let second = BenchResult {
+        scenario,
+        algo: "seqsel-warm".to_owned(),
+        n_features,
+        requested: stats.requested - before.0,
+        issued: stats.issued - before.1,
+        cache_hits: stats.cache_hits - before.2,
+        wall_ms,
+        selected,
+    };
+    vec![first, second]
+}
+
+/// The full suite. `quick` keeps sizes small enough for CI.
+pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
+    let oracle_sizes: &[usize] = if quick {
+        &[32, 128]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let (data_n, data_rows) = if quick { (16, 1500) } else { (24, 6000) };
+    let mut out = oracle_scaling(oracle_sizes, workers);
+    out.extend(data_scaling(data_n, data_rows, workers));
+    out.extend(cache_replay(if quick { 32 } else { 128 }));
+    out
+}
+
+/// Suite with the default worker count.
+pub fn default_suite(quick: bool) -> Vec<BenchResult> {
+    bench_suite(quick, default_workers())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_runs_and_serializes() {
+        let results = bench_suite(true, 2);
+        assert!(results.len() >= 8);
+        let json = to_json(&results);
+        assert!(json.starts_with("{\"bench\":\"fairsel-engine\""));
+        assert!(json.contains("\"algo\":\"grpsel\""));
+        assert!(json.contains("\"scenario\":\"replay/n=32\""));
+    }
+
+    #[test]
+    fn grpsel_issues_fewer_tests_at_scale() {
+        let results = oracle_scaling(&[256], 2);
+        let issued = |algo: &str| {
+            results
+                .iter()
+                .find(|r| r.algo == algo)
+                .map(|r| r.issued)
+                .expect("algo present")
+        };
+        assert!(
+            issued("grpsel") < issued("seqsel"),
+            "grpsel {} !< seqsel {}",
+            issued("grpsel"),
+            issued("seqsel")
+        );
+        assert_eq!(
+            issued("grpsel"),
+            issued("grpsel-par2"),
+            "parallelism is free"
+        );
+    }
+
+    #[test]
+    fn warm_replay_issues_nothing() {
+        let results = cache_replay(24);
+        let warm = results.iter().find(|r| r.algo == "seqsel-warm").unwrap();
+        assert_eq!(warm.issued, 0, "warm run must be fully cached");
+        assert!(warm.cache_hits > 0);
+        assert_eq!(warm.requested, warm.cache_hits);
+    }
+}

@@ -1,0 +1,31 @@
+//! Emit `BENCH_engine.json`: SeqSel vs GrpSel trajectories through the
+//! execution engine (tests issued, cache hits, wall ms).
+//!
+//! ```text
+//! cargo run --release -p fairsel-bench            # full suite
+//! cargo run --release -p fairsel-bench -- --quick # CI-sized
+//! cargo run --release -p fairsel-bench -- --out path.json
+//! ```
+
+use fairsel_bench::{default_suite, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_engine.json".to_owned());
+
+    let results = default_suite(quick);
+    for r in &results {
+        println!(
+            "{:<20} {:<14} issued {:>8}  hits {:>6}  {:>10.2} ms  selected {:>5}/{}",
+            r.scenario, r.algo, r.issued, r.cache_hits, r.wall_ms, r.selected, r.n_features
+        );
+    }
+    let json = to_json(&results);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path} ({} runs)", results.len());
+}

@@ -52,9 +52,9 @@ pub fn cmi_from_codes(x: &[u32], y: &[u32], z: &[u32]) -> f64 {
 
 /// Plug-in CMI over table columns (joint-coded sets).
 pub fn cmi_discrete(table: &Table, x: &[VarId], y: &[VarId], z: &[VarId]) -> f64 {
-    let (xc, _) = table.joint_codes(x);
-    let (yc, _) = table.joint_codes(y);
-    let (zc, _) = table.joint_codes(z);
+    let (xc, _) = table.joint_codes_dense(x);
+    let (yc, _) = table.joint_codes_dense(y);
+    let (zc, _) = table.joint_codes_dense(z);
     cmi_from_codes(&xc, &yc, &zc)
 }
 
@@ -75,7 +75,12 @@ impl<'a> PermutationCmi<'a> {
     pub fn new(table: &'a Table, alpha: f64, permutations: usize, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
         assert!(permutations > 0, "need at least one permutation");
-        Self { table, alpha, permutations, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            table,
+            alpha,
+            permutations,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -84,9 +89,9 @@ impl CiTest for PermutationCmi<'_> {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
         }
-        let (xc, _) = self.table.joint_codes(x);
-        let (yc, _) = self.table.joint_codes(y);
-        let (zc, _) = self.table.joint_codes(z);
+        let (xc, _) = self.table.joint_codes_dense(x);
+        let (yc, _) = self.table.joint_codes_dense(y);
+        let (zc, _) = self.table.joint_codes_dense(z);
         let observed = cmi_from_codes(&xc, &yc, &zc);
 
         // Pre-compute row indices per stratum for within-stratum shuffles.
@@ -109,7 +114,11 @@ impl CiTest for PermutationCmi<'_> {
             }
         }
         let p = at_least as f64 / (self.permutations + 1) as f64;
-        CiOutcome { independent: p > self.alpha, p_value: p, statistic: observed }
+        CiOutcome {
+            independent: p > self.alpha,
+            p_value: p,
+            statistic: observed,
+        }
     }
 
     fn n_vars(&self) -> usize {

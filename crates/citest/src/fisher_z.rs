@@ -76,6 +76,20 @@ impl<'a> FisherZ<'a> {
 
 impl CiTest for FisherZ<'_> {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        crate::CiTestShared::ci_shared(self, x, y, z)
+    }
+
+    fn n_vars(&self) -> usize {
+        self.table.n_cols()
+    }
+
+    fn name(&self) -> &'static str {
+        "fisher-z"
+    }
+}
+
+impl crate::CiTestShared for FisherZ<'_> {
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
         }
@@ -97,14 +111,6 @@ impl CiTest for FisherZ<'_> {
             p_value: (min_p * pairs).min(1.0), // Bonferroni-adjusted
             statistic: max_stat,
         }
-    }
-
-    fn n_vars(&self) -> usize {
-        self.table.n_cols()
-    }
-
-    fn name(&self) -> &'static str {
-        "fisher-z"
     }
 }
 

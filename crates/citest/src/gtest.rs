@@ -39,20 +39,19 @@ impl<'a> GTest<'a> {
 
     /// Raw statistic and p-value for `X ⊥ Y | Z` without thresholding.
     pub fn g_statistic(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> (f64, f64) {
-        let (xc, _) = self.table.joint_codes(x);
-        let (yc, _) = self.table.joint_codes(y);
-        let (zc, _) = self.table.joint_codes(z);
+        // Dense joint encoding: group queries can multiply arities past
+        // u32 (32 binary features already overflow); the G statistic only
+        // depends on the induced partition, so dense re-encoding is exact.
+        let (xc, _) = self.table.joint_codes_dense(x);
+        let (yc, _) = self.table.joint_codes_dense(y);
+        let (zc, _) = self.table.joint_codes_dense(z);
         g_test_from_codes(&xc, &yc, &zc)
     }
 }
 
 impl CiTest for GTest<'_> {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
-        if x.is_empty() || y.is_empty() {
-            return CiOutcome::decided(true);
-        }
-        let (g, p) = self.g_statistic(x, y, z);
-        CiOutcome { independent: p > self.alpha, p_value: p, statistic: g }
+        crate::CiTestShared::ci_shared(self, x, y, z)
     }
 
     fn n_vars(&self) -> usize {
@@ -61,6 +60,20 @@ impl CiTest for GTest<'_> {
 
     fn name(&self) -> &'static str {
         "g-test"
+    }
+}
+
+impl crate::CiTestShared for GTest<'_> {
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        if x.is_empty() || y.is_empty() {
+            return CiOutcome::decided(true);
+        }
+        let (g, p) = self.g_statistic(x, y, z);
+        CiOutcome {
+            independent: p > self.alpha,
+            p_value: p,
+            statistic: g,
+        }
     }
 }
 

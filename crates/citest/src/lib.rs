@@ -79,8 +79,43 @@ pub trait CiTest {
     }
 }
 
+/// CI testers that can also answer queries through a *shared* reference.
+///
+/// This is the capability the execution engine's parallel batch scheduler
+/// needs: a batch of independent queries is fanned out across worker
+/// threads that all borrow the tester immutably. Testers that are pure
+/// functions of their inputs (d-separation oracle, G-test, Fisher-z)
+/// implement it; testers that consume randomness per call
+/// ([`NoisyOracleCi`], [`PermutationCmi`], [`Rcit`]) cannot, and fall back
+/// to the engine's sequential path.
+///
+/// Contract: `ci_shared` must return exactly what [`CiTest::ci`] would.
+pub trait CiTestShared: CiTest + Sync {
+    /// Test `X ⊥ Y | Z` without mutating the tester.
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome;
+}
+
+impl<T: CiTestShared + ?Sized> CiTestShared for &mut T {
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        (**self).ci_shared(x, y, z)
+    }
+}
+
 /// Forward through mutable references so algorithms can take `&mut dyn CiTest`.
 impl<T: CiTest + ?Sized> CiTest for &mut T {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        (**self).ci(x, y, z)
+    }
+    fn n_vars(&self) -> usize {
+        (**self).n_vars()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Forward through boxes so factories can hand out `Box<dyn CiTest>`.
+impl<T: CiTest + ?Sized> CiTest for Box<T> {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         (**self).ci(x, y, z)
     }

@@ -44,12 +44,18 @@ impl OracleCi {
     fn map(&self, vs: &[VarId]) -> Vec<NodeId> {
         vs.iter().map(|&v| self.vars[v]).collect()
     }
+
+    /// Answer a query through a shared reference (d-separation is a pure
+    /// function of the graph, so no mutation is ever needed).
+    pub fn ci_ref(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        let sep = d_separated(&self.dag, &self.map(x), &self.map(y), &self.map(z));
+        CiOutcome::decided(sep)
+    }
 }
 
 impl CiTest for OracleCi {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
-        let sep = d_separated(&self.dag, &self.map(x), &self.map(y), &self.map(z));
-        CiOutcome::decided(sep)
+        self.ci_ref(x, y, z)
     }
 
     fn n_vars(&self) -> usize {
@@ -58,6 +64,12 @@ impl CiTest for OracleCi {
 
     fn name(&self) -> &'static str {
         "oracle"
+    }
+}
+
+impl crate::CiTestShared for OracleCi {
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        self.ci_ref(x, y, z)
     }
 }
 
@@ -76,7 +88,12 @@ pub struct NoisyOracleCi {
 impl NoisyOracleCi {
     pub fn new(inner: OracleCi, flip_prob: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&flip_prob), "flip_prob in [0,1)");
-        Self { inner, flip_prob, rng: StdRng::seed_from_u64(seed), flips: 0 }
+        Self {
+            inner,
+            flip_prob,
+            rng: StdRng::seed_from_u64(seed),
+            flips: 0,
+        }
     }
 
     /// How many answers have been flipped so far.
@@ -152,7 +169,10 @@ mod tests {
             noisy.ci(&[0], &[2], &[1]);
         }
         let rate = noisy.flips() as f64 / trials as f64;
-        assert!((0.20..=0.30).contains(&rate), "flip rate {rate} far from 0.25");
+        assert!(
+            (0.20..=0.30).contains(&rate),
+            "flip rate {rate} far from 0.25"
+        );
     }
 
     #[test]

@@ -68,12 +68,23 @@ impl<'a> Rcit<'a> {
     pub fn new(table: &'a Table, cfg: RcitConfig, seed: u64) -> Self {
         assert!(cfg.num_features_xy > 0 && cfg.num_features_z > 0);
         assert!(cfg.ridge > 0.0, "ridge must be positive");
-        Self { table, cfg, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            table,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Tester with default hyperparameters at level `alpha`.
     pub fn with_alpha(table: &'a Table, alpha: f64, seed: u64) -> Self {
-        Self::new(table, RcitConfig { alpha, ..Default::default() }, seed)
+        Self::new(
+            table,
+            RcitConfig {
+                alpha,
+                ..Default::default()
+            },
+            seed,
+        )
     }
 
     /// Extract columns as a standardized `n × d` matrix.
@@ -216,7 +227,11 @@ impl CiTest for Rcit<'_> {
             return CiOutcome::decided(true);
         }
         let (stat, p) = self.test(x, y, z);
-        CiOutcome { independent: p > self.cfg.alpha, p_value: p, statistic: stat }
+        CiOutcome {
+            independent: p > self.cfg.alpha,
+            p_value: p,
+            statistic: stat,
+        }
     }
 
     fn n_vars(&self) -> usize {
@@ -252,7 +267,11 @@ mod tests {
             nodes
                 .iter()
                 .map(|&name| {
-                    Column::num(name, Role::Feature, cols[g.expect_node(name).index()].clone())
+                    Column::num(
+                        name,
+                        Role::Feature,
+                        cols[g.expect_node(name).index()].clone(),
+                    )
                 })
                 .collect(),
         )
@@ -264,7 +283,11 @@ mod tests {
         let t = gauss_table(&[("x", "y", 0.8)], &["x", "y"], 1000, 1);
         let mut r = Rcit::with_alpha(&t, 0.01, 42);
         let out = r.ci(&[0], &[1], &[]);
-        assert!(!out.independent, "strong dependence missed, p={}", out.p_value);
+        assert!(
+            !out.independent,
+            "strong dependence missed, p={}",
+            out.p_value
+        );
     }
 
     #[test]
@@ -278,9 +301,17 @@ mod tests {
     #[test]
     fn conditional_independence_in_chain() {
         // x -> m -> y: x ⊥ y | m.
-        let t = gauss_table(&[("x", "m", 1.0), ("m", "y", 1.0)], &["x", "m", "y"], 1500, 3);
+        let t = gauss_table(
+            &[("x", "m", 1.0), ("m", "y", 1.0)],
+            &["x", "m", "y"],
+            1500,
+            3,
+        );
         let mut r = Rcit::with_alpha(&t, 0.01, 7);
-        assert!(!r.ci(&[0], &[2], &[]).independent, "marginal dependence missed");
+        assert!(
+            !r.ci(&[0], &[2], &[]).independent,
+            "marginal dependence missed"
+        );
         let out = r.ci(&[0], &[2], &[1]);
         assert!(out.independent, "chain CI missed, p={}", out.p_value);
     }
@@ -303,7 +334,11 @@ mod tests {
         .unwrap();
         let mut r = Rcit::with_alpha(&t, 0.01, 11);
         let out = r.ci(&[0], &[1], &[]);
-        assert!(!out.independent, "nonlinear dependence missed, p={}", out.p_value);
+        assert!(
+            !out.independent,
+            "nonlinear dependence missed, p={}",
+            out.p_value
+        );
     }
 
     #[test]
@@ -316,9 +351,16 @@ mod tests {
             5,
         );
         let mut r = Rcit::with_alpha(&t, 0.01, 13);
-        assert!(r.ci(&[0], &[1], &[]).independent, "collider marginal should be independent");
+        assert!(
+            r.ci(&[0], &[1], &[]).independent,
+            "collider marginal should be independent"
+        );
         let out = r.ci(&[0], &[1], &[2]);
-        assert!(!out.independent, "collider conditioning missed, p={}", out.p_value);
+        assert!(
+            !out.independent,
+            "collider conditioning missed, p={}",
+            out.p_value
+        );
     }
 
     #[test]
@@ -334,7 +376,11 @@ mod tests {
         let mut r = Rcit::with_alpha(&t, 0.01, 17);
         assert!(!r.ci(&[1, 2], &[3], &[]).independent);
         let out = r.ci(&[1, 2], &[3], &[0]);
-        assert!(out.independent, "group CI given z missed, p={}", out.p_value);
+        assert!(
+            out.independent,
+            "group CI given z missed, p={}",
+            out.p_value
+        );
     }
 
     #[test]

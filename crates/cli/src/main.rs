@@ -1,0 +1,314 @@
+//! `fairsel` — CSV → causal feature selection → classifier → fairness
+//! report, end to end, with engine telemetry.
+//!
+//! ```text
+//! fairsel gen    --fixture 1a --rows 4000 --out data.csv
+//! fairsel gen    --synthetic 64 --biased 0.1 --rows 4000 --out data.csv
+//! fairsel select --csv data.csv --algo grpsel --workers 4
+//! fairsel methods --csv data.csv
+//! ```
+//!
+//! CSV headers are role-annotated (`name:catK[role]` / `name:num[role]`),
+//! the format `fairsel_table::csv` round-trips; `fairsel gen` produces
+//! them from the paper's fixtures or the synthetic workload generator.
+
+use fairsel_ci::{FisherZ, GTest};
+use fairsel_core::{
+    run_all_methods, run_pipeline_par, ClassifierKind, PipelineConfig, Problem, SelectConfig,
+    SelectionAlgo, TesterSpec,
+};
+use fairsel_datasets::fixtures;
+use fairsel_datasets::sim::sample_table;
+use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+use fairsel_engine::{default_workers, EngineStats};
+use fairsel_table::{csv, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fairsel — causal feature selection for algorithmic fairness
+
+USAGE:
+  fairsel gen     --out <file.csv> [--fixture 1a|1b|1c|6] [--synthetic N]
+                  [--biased F] [--rows N] [--seed N] [--strength W]
+  fairsel select  --csv <file.csv> [--algo seqsel|grpsel] [--tester gtest|fisherz]
+                  [--alpha F] [--classifier logistic|tree|forest|adaboost|nb]
+                  [--workers N] [--train-frac F] [--seed N] [--stats-out <file.json>]
+  fairsel methods --csv <file.csv> [--tester gtest|fisherz] [--alpha F]
+                  [--classifier ...] [--train-frac F] [--seed N]
+
+`gen` writes a role-annotated CSV sampled from a paper fixture (default 1a)
+or from a fairness-structured synthetic DAG (--synthetic <n_features>).
+`select` runs the full pipeline and prints selection, fairness report, and
+engine telemetry. `methods` sweeps the baseline pipelines (a-only, all,
+seqsel, grpsel, fair-pc) on one split.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "select" => cmd_select(&opts),
+        "methods" => cmd_methods(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `--key value` options.
+struct Opts {
+    pairs: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {k}"))?;
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_owned(), val.clone()));
+        }
+        Ok(Opts { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v:?}")),
+        }
+    }
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let out = opts.get("out").ok_or("gen: --out is required")?;
+    let rows: usize = opts.num("rows", 4000)?;
+    let seed: u64 = opts.num("seed", 7)?;
+    let strength: f64 = opts.num("strength", 1.5)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (table, origin) = if let Some(n) = opts.get("synthetic") {
+        let n_features: usize = n.parse().map_err(|_| "--synthetic: bad count")?;
+        let biased: f64 = opts.num("biased", 0.1)?;
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: biased,
+            ..Default::default()
+        };
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, strength);
+        let table = sample_table(&scm, &inst.roles, rows, &mut rng);
+        (table, format!("synthetic n={n_features} biased={biased}"))
+    } else {
+        let id = opts.get("fixture").unwrap_or("1a");
+        let fixture = match id {
+            "1a" => fixtures::figure_1a(),
+            "1b" => fixtures::figure_1b(),
+            "1c" => fixtures::figure_1c(),
+            "6" => fixtures::figure_6(),
+            other => return Err(format!("unknown fixture: {other} (1a|1b|1c|6)")),
+        };
+        let scm = fixture.scm(strength);
+        let table = sample_table(&scm, &fixture.roles, rows, &mut rng);
+        (table, format!("figure {id}"))
+    };
+    csv::write_csv(&table, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} rows x {} cols from {origin}\nschema: {}",
+        table.n_rows(),
+        table.n_cols(),
+        table.schema_string()
+    );
+    Ok(())
+}
+
+/// Shared select/methods setup: load CSV, split, read common options.
+struct Workload {
+    train: Table,
+    test: Table,
+    cfg: PipelineConfig,
+    tester: String,
+    alpha: f64,
+}
+
+fn load_workload(opts: &Opts) -> Result<Workload, String> {
+    let path = opts.get("csv").ok_or("--csv is required")?;
+    let table = csv::read_csv(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if table.n_rows() < 10 {
+        return Err(format!("{path}: too few rows ({})", table.n_rows()));
+    }
+    let train_frac: f64 = opts.num("train-frac", 0.7)?;
+    let seed: u64 = opts.num("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (train, test) = table.split_train_test(&mut rng, train_frac);
+
+    let algo = match opts.get("algo").unwrap_or("grpsel") {
+        "seqsel" => SelectionAlgo::SeqSel,
+        "grpsel" => SelectionAlgo::GrpSel { seed: Some(seed) },
+        other => return Err(format!("unknown --algo: {other}")),
+    };
+    let classifier = ClassifierKind::parse(opts.get("classifier").unwrap_or("logistic"))
+        .ok_or("unknown --classifier")?;
+    let workers: usize = opts.num("workers", default_workers())?;
+    let cfg = PipelineConfig {
+        select: SelectConfig::default(),
+        algo,
+        classifier,
+        workers,
+        model_seed: seed,
+    };
+    let tester = opts.get("tester").unwrap_or("gtest").to_owned();
+    let alpha: f64 = opts.num("alpha", 0.01)?;
+    Ok(Workload {
+        train,
+        test,
+        cfg,
+        tester,
+        alpha,
+    })
+}
+
+fn cmd_select(opts: &Opts) -> Result<(), String> {
+    let w = load_workload(opts)?;
+    let out = match w.tester.as_str() {
+        "gtest" => {
+            let tester = GTest::new(&w.train, w.alpha);
+            run_pipeline_par(tester, &w.train, &w.test, &w.cfg)
+        }
+        "fisherz" => {
+            let tester = FisherZ::new(&w.train, w.alpha);
+            run_pipeline_par(tester, &w.train, &w.test, &w.cfg)
+        }
+        other => return Err(format!("unknown --tester: {other} (gtest|fisherz)")),
+    };
+
+    let name = |c: usize| w.train.col(c).name.clone();
+    println!("== selection ({:?}) ==", w.cfg.algo);
+    println!(
+        "c1 (no new sensitive info): {:?}",
+        ids_to_names(&out.selection.c1, &name)
+    );
+    println!(
+        "c2 (screened from target):  {:?}",
+        ids_to_names(&out.selection.c2, &name)
+    );
+    println!(
+        "rejected:                   {:?}",
+        ids_to_names(&out.selection.rejected, &name)
+    );
+    println!(
+        "model columns:              {:?}",
+        ids_to_names(&out.model_cols, &name)
+    );
+    println!();
+    println!(
+        "== fairness report ({:?}, test split n={}) ==",
+        w.cfg.classifier,
+        w.test.n_rows()
+    );
+    let r = &out.report;
+    println!("accuracy                    {:.4}", r.accuracy);
+    println!("abs odds difference         {:.4}", r.abs_odds_difference);
+    println!(
+        "statistical parity diff     {:.4}",
+        r.statistical_parity_difference
+    );
+    println!("disparate impact            {:.4}", r.disparate_impact);
+    println!(
+        "equal opportunity diff      {:.4}",
+        r.equal_opportunity_difference
+    );
+    println!("CMI(S; Yhat | A)            {:.6}", r.cmi_s_pred_given_a);
+    println!();
+    print_engine_stats(&out.engine, w.cfg.workers);
+
+    if let Some(path) = opts.get("stats-out") {
+        std::fs::write(path, out.engine.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nengine stats written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_methods(opts: &Opts) -> Result<(), String> {
+    let w = load_workload(opts)?;
+    let spec = match w.tester.as_str() {
+        "gtest" => TesterSpec::GTest { alpha: w.alpha },
+        "fisherz" => TesterSpec::FisherZ { alpha: w.alpha },
+        other => return Err(format!("unknown --tester: {other} (gtest|fisherz)")),
+    };
+    let outs = run_all_methods(&spec, None, &w.train, &w.test, &w.cfg);
+    let problem = Problem::from_table(&w.train);
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>12}",
+        "method", "selected", "tests", "issued", "accuracy", "odds-diff", "cmi"
+    );
+    for out in &outs {
+        println!(
+            "{:<10} {:>6}/{:<2} {:>9} {:>9} {:>10.4} {:>10.4} {:>12.6}",
+            out.method.name(),
+            out.selected.len(),
+            problem.n_features(),
+            out.tests_used,
+            out.engine.issued,
+            out.report.accuracy,
+            out.report.abs_odds_difference,
+            out.report.cmi_s_pred_given_a,
+        );
+    }
+    Ok(())
+}
+
+fn ids_to_names(ids: &[usize], name: &dyn Fn(usize) -> String) -> Vec<String> {
+    ids.iter().map(|&c| name(c)).collect()
+}
+
+fn print_engine_stats(stats: &EngineStats, workers: usize) {
+    println!("== engine telemetry (workers={workers}) ==");
+    println!("queries requested           {}", stats.requested);
+    println!("tests issued                {}", stats.issued);
+    println!("cache hits                  {}", stats.cache_hits);
+    println!("dedup rate                  {:.4}", stats.dedup_rate());
+    println!(
+        "batches (parallel)          {} ({})",
+        stats.batches, stats.parallel_batches
+    );
+    println!("ci wall time                {:.2} ms", stats.wall_ms);
+    for p in &stats.phases {
+        println!(
+            "  {:<24} requested {:>6}  issued {:>6}  hits {:>6}  {:>9.2} ms",
+            p.name, p.requested, p.issued, p.cache_hits, p.wall_ms
+        );
+    }
+}

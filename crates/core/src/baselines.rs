@@ -1,0 +1,316 @@
+//! Comparison pipelines for the evaluation (§5): the trivial endpoints
+//! (train on `A` only, train on everything), the paper's two selectors,
+//! and the Fair-PC baseline that learns a CPDAG with the PC algorithm and
+//! drops every feature that *may* descend from a sensitive attribute in
+//! `G_Ā` (Theorem 1(iii) applied to the equivalence class).
+//!
+//! Every method that issues CI tests runs inside one engine
+//! [`fairsel_engine::CiSession`], so a method's cost is reported in tests
+//! *issued* (after caching) and methods sharing a session share answers —
+//! e.g. Fair-PC's marginal-independence layer overlaps SeqSel's ∅-subset
+//! queries.
+
+use crate::pipeline::{score_columns, ClassifierKind, PipelineConfig, SelectionAlgo};
+use crate::problem::{Problem, Selection};
+use crate::{grpsel_in, seqsel_in};
+use fairsel_ci::{CiTest, FisherZ, GTest, OracleCi};
+use fairsel_engine::{CiSession, EngineStats};
+use fairsel_graph::Dag;
+use fairsel_ml::FairnessReport;
+use fairsel_table::{ColId, Table};
+
+/// A comparison pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Train on the admissible attributes only (the paper's "A").
+    AdmissibleOnly,
+    /// Train on every candidate feature (the paper's "ALL").
+    All,
+    /// Algorithm 1.
+    SeqSel,
+    /// Algorithms 2–4.
+    GrpSel,
+    /// PC-learned CPDAG + possible-descendant pruning.
+    FairPc,
+}
+
+impl Method {
+    /// All methods, in reporting order.
+    pub fn all() -> [Method; 5] {
+        [
+            Method::AdmissibleOnly,
+            Method::All,
+            Method::SeqSel,
+            Method::GrpSel,
+            Method::FairPc,
+        ]
+    }
+
+    /// Short name used in experiment logs and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::AdmissibleOnly => "a-only",
+            Method::All => "all",
+            Method::SeqSel => "seqsel",
+            Method::GrpSel => "grpsel",
+            Method::FairPc => "fair-pc",
+        }
+    }
+
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "a-only" | "a" => Some(Method::AdmissibleOnly),
+            "all" => Some(Method::All),
+            "seqsel" => Some(Method::SeqSel),
+            "grpsel" => Some(Method::GrpSel),
+            "fair-pc" | "fairpc" => Some(Method::FairPc),
+            _ => None,
+        }
+    }
+}
+
+/// How to construct the CI tester a method runs against.
+#[derive(Clone, Debug)]
+pub enum TesterSpec {
+    /// Ground-truth d-separation on a known DAG (requires `dag`).
+    Oracle,
+    /// Discrete G-test on the training table at significance `alpha`.
+    GTest { alpha: f64 },
+    /// Fisher-z partial-correlation test at significance `alpha`.
+    FisherZ { alpha: f64 },
+}
+
+impl TesterSpec {
+    /// Instantiate the tester over the training table (and ground-truth
+    /// DAG for [`TesterSpec::Oracle`]).
+    ///
+    /// # Panics
+    /// Panics when `Oracle` is requested without a DAG.
+    pub fn build<'a>(&self, train: &'a Table, dag: Option<&Dag>) -> Box<dyn CiTest + 'a> {
+        match *self {
+            TesterSpec::Oracle => {
+                let dag = dag.expect("TesterSpec::Oracle requires the ground-truth DAG");
+                Box::new(OracleCi::from_dag(dag.clone()))
+            }
+            TesterSpec::GTest { alpha } => Box::new(GTest::new(train, alpha)),
+            TesterSpec::FisherZ { alpha } => Box::new(FisherZ::new(train, alpha)),
+        }
+    }
+
+    /// Short name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TesterSpec::Oracle => "oracle",
+            TesterSpec::GTest { .. } => "g-test",
+            TesterSpec::FisherZ { .. } => "fisher-z",
+        }
+    }
+}
+
+/// What one method produced.
+#[derive(Clone, Debug)]
+pub struct MethodOutput {
+    pub method: Method,
+    /// Features the method selected (excluding admissibles), ascending.
+    pub selected: Vec<ColId>,
+    /// Columns the classifier trained on (admissible ∪ selected).
+    pub model_cols: Vec<ColId>,
+    /// Test-split metrics.
+    pub report: FairnessReport,
+    /// CI tests actually issued (0 for the trivial endpoints).
+    pub tests_used: u64,
+    /// Engine telemetry (empty for the trivial endpoints).
+    pub engine: EngineStats,
+}
+
+/// Maximum conditioning-set size the Fair-PC skeleton explores. Remark 3:
+/// unbounded PC is exponential; bounding the depth is the standard
+/// practical compromise.
+pub const FAIR_PC_MAX_COND: usize = 3;
+
+/// Run one comparison method end-to-end on a train/test split.
+///
+/// `cfg.classifier` / `cfg.select` apply to every method;
+/// `cfg.algo` is ignored (the method determines the selector).
+pub fn run_method(
+    method: Method,
+    spec: &TesterSpec,
+    dag: Option<&Dag>,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> MethodOutput {
+    let problem = Problem::from_table(train);
+    let (selected, tests_used, engine) = match method {
+        Method::AdmissibleOnly => (Vec::new(), 0, EngineStats::default()),
+        Method::All => (problem.features.clone(), 0, EngineStats::default()),
+        Method::SeqSel | Method::GrpSel => {
+            let mut session = CiSession::new(spec.build(train, dag));
+            let sel: Selection = if method == Method::SeqSel {
+                seqsel_in(&mut session, &problem, &cfg.select)
+            } else {
+                let seed = match cfg.algo {
+                    SelectionAlgo::GrpSel { seed } => seed,
+                    _ => None,
+                };
+                grpsel_in(&mut session, &problem, &cfg.select, seed)
+            };
+            (sel.selected(), sel.tests_used, session.stats().clone())
+        }
+        Method::FairPc => {
+            let mut session = CiSession::new(spec.build(train, dag));
+            session.set_phase("fair-pc");
+            let mut vars: Vec<ColId> = problem.sensitive.clone();
+            vars.extend(&problem.admissible);
+            vars.extend(&problem.features);
+            vars.push(problem.target);
+            vars.sort_unstable();
+            let cpdag = fairsel_discovery::pc_in(&mut session, &vars, FAIR_PC_MAX_COND);
+            let maybe_desc =
+                cpdag.possible_descendants_avoiding(&problem.sensitive, &problem.admissible);
+            let selected: Vec<ColId> = problem
+                .features
+                .iter()
+                .copied()
+                .filter(|&x| !maybe_desc[x])
+                .collect();
+            (selected, session.stats().issued, session.stats().clone())
+        }
+    };
+    let model_cols = crate::pipeline::model_columns(&problem, &selected);
+    let report = score_columns(train, test, &problem, &model_cols, cfg);
+    MethodOutput {
+        method,
+        selected,
+        model_cols,
+        report,
+        tests_used,
+        engine,
+    }
+}
+
+/// Run every method of [`Method::all`] on the same split with the same
+/// tester spec and classifier — the Table 2 / Figure 2 sweep.
+pub fn run_all_methods(
+    spec: &TesterSpec,
+    dag: Option<&Dag>,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> Vec<MethodOutput> {
+    Method::all()
+        .into_iter()
+        .map(|m| run_method(m, spec, dag, train, test, cfg))
+        .collect()
+}
+
+/// Convenience: default pipeline config with a chosen classifier.
+pub fn method_config(classifier: ClassifierKind) -> PipelineConfig {
+    PipelineConfig {
+        classifier,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_datasets::fixtures::figure_1a;
+    use fairsel_datasets::sim::sample_table;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn splits() -> (Dag, Table, Table) {
+        let f = figure_1a();
+        let scm = f.scm(1.5);
+        let mut rng = StdRng::seed_from_u64(21);
+        let train = sample_table(&scm, &f.roles, 3000, &mut rng);
+        let test = sample_table(&scm, &f.roles, 1500, &mut rng);
+        (f.dag, train, test)
+    }
+
+    #[test]
+    fn endpoints_bracket_selection() {
+        let (dag, train, test) = splits();
+        let cfg = PipelineConfig::default();
+        let spec = TesterSpec::Oracle;
+        let a = run_method(
+            Method::AdmissibleOnly,
+            &spec,
+            Some(&dag),
+            &train,
+            &test,
+            &cfg,
+        );
+        let all = run_method(Method::All, &spec, Some(&dag), &train, &test, &cfg);
+        assert!(a.selected.is_empty());
+        assert_eq!(a.tests_used, 0);
+        assert_eq!(all.selected.len(), Problem::from_table(&train).n_features());
+        // ALL trains on more columns than A-only.
+        assert!(all.model_cols.len() > a.model_cols.len());
+    }
+
+    #[test]
+    fn selectors_exclude_biased_feature_under_oracle() {
+        let (dag, train, test) = splits();
+        let cfg = PipelineConfig::default();
+        let x2 = train.col_id("X2").unwrap();
+        for method in [Method::SeqSel, Method::GrpSel] {
+            let out = run_method(method, &TesterSpec::Oracle, Some(&dag), &train, &test, &cfg);
+            assert!(!out.selected.contains(&x2), "{:?} kept biased X2", method);
+            assert!(out.tests_used > 0);
+            assert_eq!(out.engine.issued, out.tests_used);
+        }
+    }
+
+    #[test]
+    fn fair_pc_runs_and_reports() {
+        let (dag, train, test) = splits();
+        let cfg = PipelineConfig::default();
+        let out = run_method(
+            Method::FairPc,
+            &TesterSpec::Oracle,
+            Some(&dag),
+            &train,
+            &test,
+            &cfg,
+        );
+        // The oracle CPDAG of Figure 1a has X2 as a possible descendant of
+        // S1 in G_Ā, so Fair-PC must drop it.
+        let x2 = train.col_id("X2").unwrap();
+        assert!(!out.selected.contains(&x2), "Fair-PC kept biased X2");
+        assert!(out.tests_used > 0);
+        assert!(out.engine.phases.iter().any(|p| p.name.starts_with("pc/")));
+    }
+
+    #[test]
+    fn data_testers_run_all_methods() {
+        let (_, train, test) = splits();
+        let cfg = PipelineConfig::default();
+        let outs = run_all_methods(
+            &TesterSpec::GTest { alpha: 0.01 },
+            None,
+            &train,
+            &test,
+            &cfg,
+        );
+        assert_eq!(outs.len(), 5);
+        for out in &outs {
+            assert!(
+                out.report.accuracy > 0.4,
+                "{:?} collapsed: {}",
+                out.method,
+                out.report.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn method_parsing_roundtrip() {
+        for m in Method::all() {
+            assert_eq!(Method::parse(m.name()), Some(m));
+        }
+        assert_eq!(Method::parse("bogus"), None);
+    }
+}

@@ -23,7 +23,8 @@
 //! conditioning on `A ∪ C₁`, which is what we do.
 
 use crate::problem::{Problem, SelectConfig, Selection};
-use fairsel_ci::{CiTest, VarId};
+use fairsel_ci::{CiOutcome, CiTest, CiTestShared, VarId};
+use fairsel_engine::{CiQuery, CiSession, HalvingPlanner};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -32,12 +33,18 @@ use rand::SeedableRng;
 /// midpoint of the (caller-provided) feature order; use
 /// [`grpsel_seeded`] to randomize the initial order, which is what the
 /// paper's `random_partition` amounts to after the first shuffle.
+///
+/// Execution routes through the engine: each recursion level becomes a
+/// *frontier* of independent group queries, issued as engine batches (see
+/// [`fairsel_engine::HalvingPlanner`]). The query multiset — and therefore
+/// [`Selection::tests_used`] — is identical to the depth-first recursion.
 pub fn grpsel<T: CiTest + ?Sized>(
     tester: &mut T,
     problem: &Problem,
     cfg: &SelectConfig,
 ) -> Selection {
-    run(tester, problem, cfg, None)
+    let mut session = CiSession::new(tester);
+    grpsel_in(&mut session, problem, cfg, None)
 }
 
 /// GrpSel with the feature order shuffled once under `seed` before the
@@ -48,15 +55,69 @@ pub fn grpsel_seeded<T: CiTest + ?Sized>(
     cfg: &SelectConfig,
     seed: u64,
 ) -> Selection {
-    run(tester, problem, cfg, Some(seed))
+    let mut session = CiSession::new(tester);
+    grpsel_in(&mut session, problem, cfg, Some(seed))
 }
 
-fn run<T: CiTest + ?Sized>(
+/// GrpSel whose frontier batches fan out across `workers` threads — the
+/// tester must support shared-reference evaluation ([`CiTestShared`]).
+/// Results are byte-identical to [`grpsel`] / [`grpsel_seeded`].
+pub fn grpsel_par<T: CiTestShared + ?Sized>(
     tester: &mut T,
     problem: &Problem,
     cfg: &SelectConfig,
     seed: Option<u64>,
+    workers: usize,
 ) -> Selection {
+    let mut session = CiSession::new(tester);
+    grpsel_par_in(&mut session, problem, cfg, seed, workers)
+}
+
+/// Sequential GrpSel inside a caller-provided session.
+pub fn grpsel_in<T: CiTest>(
+    session: &mut CiSession<T>,
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: Option<u64>,
+) -> Selection {
+    run(
+        problem,
+        cfg,
+        seed,
+        &mut |s: &mut CiSession<T>, qs| s.run_batch(qs),
+        session,
+    )
+}
+
+/// Parallel GrpSel inside a caller-provided session.
+pub fn grpsel_par_in<T: CiTestShared>(
+    session: &mut CiSession<T>,
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: Option<u64>,
+    workers: usize,
+) -> Selection {
+    run(
+        problem,
+        cfg,
+        seed,
+        &mut |s: &mut CiSession<T>, qs| s.run_batch_parallel(qs, workers),
+        session,
+    )
+}
+
+/// How a batch of frontier queries is executed against the session —
+/// sequentially or across the worker pool.
+type BatchExec<'a, T> = &'a mut dyn FnMut(&mut CiSession<T>, &[CiQuery]) -> Vec<CiOutcome>;
+
+fn run<T: CiTest>(
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: Option<u64>,
+    exec: BatchExec<'_, T>,
+    session: &mut CiSession<T>,
+) -> Selection {
+    let issued_before = session.stats().issued;
     let mut features = problem.features.clone();
     if let Some(seed) = seed {
         features.shuffle(&mut StdRng::seed_from_u64(seed));
@@ -64,70 +125,77 @@ fn run<T: CiTest + ?Sized>(
     let subsets = cfg.admissible_subsets(&problem.admissible);
     let mut out = Selection::default();
 
-    // Phase 1 (Algorithm 3): groups with X ⊥ S | A' for some A' ⊆ A.
+    // Phase 1 (Algorithm 3): a frontier of groups seeking some A' ⊆ A
+    // with group ⊥ S | A'. Each (frontier level × subset) wave is one
+    // engine batch; groups certified at an earlier subset drop out of
+    // later waves, mirroring the sequential ∃-search's early exit.
+    session.set_phase("grpsel/phase1");
     let mut remaining: Vec<VarId> = Vec::new();
-    first_phase(tester, problem, &subsets, &features, &mut out, &mut remaining);
+    let mut planner = HalvingPlanner::new(&features);
+    while !planner.is_done() {
+        let verdicts = exists_over_frontier(
+            session,
+            exec,
+            planner.frontier(),
+            &problem.sensitive,
+            &subsets,
+        );
+        let step = planner.advance(&verdicts);
+        for group in step.admitted {
+            out.c1.extend(group);
+        }
+        remaining.extend(step.exhausted);
+    }
+    // Level-order traversal exhausts singletons in BFS order; the
+    // depth-first recursion this mirrors emits them left to right. Phase 2
+    // halves over `remaining`, so its composition must match the DFS
+    // reference exactly — restore feature order before continuing.
+    {
+        let exhausted: std::collections::HashSet<VarId> = remaining.iter().copied().collect();
+        remaining = features
+            .iter()
+            .copied()
+            .filter(|v| exhausted.contains(v))
+            .collect();
+    }
 
-    // Phase 2 (Algorithm 4): remaining groups with X ⊥ Y | A ∪ C₁.
+    // Phase 2 (Algorithm 4): remaining groups against Y given A ∪ C₁
+    // (the Lemma-6 conditioning set; see the erratum note above).
+    session.set_phase("grpsel/phase2");
     let mut cond: Vec<VarId> = problem.admissible.clone();
     cond.extend(&out.c1);
-    final_candidates(tester, problem, &cond, &remaining, &mut out);
+    let mut planner = HalvingPlanner::new(&remaining);
+    while !planner.is_done() {
+        let batch: Vec<CiQuery> = planner
+            .frontier()
+            .iter()
+            .map(|g| CiQuery::new(g, &[problem.target], &cond))
+            .collect();
+        let outcomes = exec(session, &batch);
+        let verdicts: Vec<bool> = outcomes.iter().map(|o| o.independent).collect();
+        let step = planner.advance(&verdicts);
+        for group in step.admitted {
+            out.c2.extend(group);
+        }
+        out.rejected.extend(step.exhausted);
+    }
+    session.clear_phase();
+    out.tests_used = session.stats().issued - issued_before;
     out
 }
 
-/// Algorithm 3. Admits whole groups into `C₁` when conditionally
-/// independent of `S` given some admissible subset; splits on failure;
-/// pushes failing singletons into `remaining` for phase 2.
-fn first_phase<T: CiTest + ?Sized>(
-    tester: &mut T,
-    problem: &Problem,
+/// One frontier's ∃-search: wave `k` batches subset `k` for every group
+/// not yet certified. Delegates to the engine's wave machinery
+/// ([`fairsel_engine::exists_with`]), plugging in this run's batch
+/// dispatch (sequential or worker pool).
+fn exists_over_frontier<T: CiTest>(
+    session: &mut CiSession<T>,
+    exec: BatchExec<'_, T>,
+    groups: &[Vec<VarId>],
+    sensitive: &[VarId],
     subsets: &[Vec<VarId>],
-    group: &[VarId],
-    out: &mut Selection,
-    remaining: &mut Vec<VarId>,
-) {
-    if group.is_empty() {
-        return;
-    }
-    for sub in subsets {
-        out.tests_used += 1;
-        if tester.ci(group, &problem.sensitive, sub).independent {
-            out.c1.extend_from_slice(group);
-            return;
-        }
-    }
-    if group.len() == 1 {
-        remaining.push(group[0]);
-        return;
-    }
-    let (left, right) = group.split_at(group.len() / 2);
-    first_phase(tester, problem, subsets, left, out, remaining);
-    first_phase(tester, problem, subsets, right, out, remaining);
-}
-
-/// Algorithm 4 with the Lemma-6 conditioning set `A ∪ C₁`.
-fn final_candidates<T: CiTest + ?Sized>(
-    tester: &mut T,
-    problem: &Problem,
-    cond: &[VarId],
-    group: &[VarId],
-    out: &mut Selection,
-) {
-    if group.is_empty() {
-        return;
-    }
-    out.tests_used += 1;
-    if tester.ci(group, &[problem.target], cond).independent {
-        out.c2.extend_from_slice(group);
-        return;
-    }
-    if group.len() == 1 {
-        out.rejected.push(group[0]);
-        return;
-    }
-    let (left, right) = group.split_at(group.len() / 2);
-    final_candidates(tester, problem, cond, left, out);
-    final_candidates(tester, problem, cond, right, out);
+) -> Vec<bool> {
+    fairsel_engine::exists_with(groups, sensitive, subsets, |qs| exec(session, qs))
 }
 
 #[cfg(test)]
@@ -136,8 +204,7 @@ mod tests {
     use crate::seqsel::fixtures::*;
     use crate::seqsel::seqsel;
     use fairsel_ci::{CountingCi, OracleCi};
-    use fairsel_graph::{random_dag, RandomDagConfig};
-    use fairsel_table::Role;
+    use fairsel_datasets::synthetic::{synthetic_instance, SyntheticConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -161,43 +228,67 @@ mod tests {
     #[test]
     fn figure_1b_all_admitted() {
         let (dag, problem) = figure_1b();
-        let sel = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &SelectConfig::default())
-            .normalized();
+        let sel = grpsel(
+            &mut OracleCi::from_dag(dag.clone()),
+            &problem,
+            &SelectConfig::default(),
+        )
+        .normalized();
         assert!(sel.rejected.is_empty(), "{:?}", names(&dag, &sel.rejected));
         let c2 = names(&dag, &sel.c2);
-        assert!(c2.contains(&"X2".to_owned()), "X2 screened off from Y: {c2:?}");
+        assert!(
+            c2.contains(&"X2".to_owned()),
+            "X2 screened off from Y: {c2:?}"
+        );
     }
 
     #[test]
     fn figure_1c_exists_search_over_groups() {
         let (dag, problem) = figure_1c();
-        let sel = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &SelectConfig::default())
-            .normalized();
+        let sel = grpsel(
+            &mut OracleCi::from_dag(dag.clone()),
+            &problem,
+            &SelectConfig::default(),
+        )
+        .normalized();
         let c1 = names(&dag, &sel.c1);
         assert!(c1.contains(&"X1".to_owned()));
-        assert!(c1.contains(&"X3".to_owned()), "needs ∃A'⊆A at group level: {c1:?}");
+        assert!(
+            c1.contains(&"X3".to_owned()),
+            "needs ∃A'⊆A at group level: {c1:?}"
+        );
     }
 
     #[test]
     fn figure_6_limitation_shared_with_seqsel() {
         let (dag, problem) = figure_6();
-        let sel = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &SelectConfig::default())
-            .normalized();
+        let sel = grpsel(
+            &mut OracleCi::from_dag(dag.clone()),
+            &problem,
+            &SelectConfig::default(),
+        )
+        .normalized();
         let rejected = names(&dag, &sel.rejected);
         assert!(rejected.contains(&"X2".to_owned()));
     }
 
-    /// SeqSel and GrpSel agree on every random DAG under the oracle — the
-    /// soundness consequence of composition + decomposition.
+    /// SeqSel and GrpSel agree on every random fairness-structured DAG
+    /// under the oracle — the soundness consequence of composition +
+    /// decomposition.
     #[test]
     fn agrees_with_seqsel_on_random_dags() {
         for seed in 0..25u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let dag = random_dag(
+            let inst = synthetic_instance(
                 &mut rng,
-                &RandomDagConfig { n_features: 14, biased_fraction: 0.3, ..Default::default() },
+                &SyntheticConfig {
+                    n_features: 14,
+                    biased_fraction: 0.3,
+                    ..Default::default()
+                },
             );
-            let problem = problem_from_generated(&dag);
+            let problem = Problem::from_roles(&inst.roles);
+            let dag = inst.dag;
             let cfg = SelectConfig::default();
             let s = seqsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
             let g = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
@@ -207,16 +298,49 @@ mod tests {
         }
     }
 
+    /// The parallel path must be byte-identical to the sequential one.
+    #[test]
+    fn parallel_matches_sequential_grpsel() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = synthetic_instance(
+                &mut rng,
+                &SyntheticConfig {
+                    n_features: 40,
+                    biased_fraction: 0.2,
+                    ..Default::default()
+                },
+            );
+            let problem = Problem::from_roles(&inst.roles);
+            let dag = inst.dag;
+            let cfg = SelectConfig::default();
+            let seq = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg);
+            for workers in [2usize, 4] {
+                let mut oracle = OracleCi::from_dag(dag.clone());
+                let par = grpsel_par(&mut oracle, &problem, &cfg, None, workers);
+                assert_eq!(seq.c1, par.c1, "seed {seed}, workers {workers}");
+                assert_eq!(seq.c2, par.c2);
+                assert_eq!(seq.rejected, par.rejected);
+                assert_eq!(seq.tests_used, par.tests_used, "test counts must agree");
+            }
+        }
+    }
+
     /// Shuffling the recursion order never changes the *set* outcome under
     /// an oracle tester, only the work done.
     #[test]
     fn seeded_partition_is_outcome_invariant() {
         let mut rng = StdRng::seed_from_u64(7);
-        let dag = random_dag(
+        let inst = synthetic_instance(
             &mut rng,
-            &RandomDagConfig { n_features: 20, biased_fraction: 0.25, ..Default::default() },
+            &SyntheticConfig {
+                n_features: 20,
+                biased_fraction: 0.25,
+                ..Default::default()
+            },
         );
-        let problem = problem_from_generated(&dag);
+        let problem = Problem::from_roles(&inst.roles);
+        let dag = inst.dag;
         let cfg = SelectConfig::default();
         let base = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
         for seed in 0..5 {
@@ -234,11 +358,16 @@ mod tests {
     #[test]
     fn fewer_tests_than_seqsel_when_k_small() {
         let mut rng = StdRng::seed_from_u64(3);
-        let dag = random_dag(
+        let inst = synthetic_instance(
             &mut rng,
-            &RandomDagConfig { n_features: 64, biased_fraction: 0.05, ..Default::default() },
+            &SyntheticConfig {
+                n_features: 64,
+                biased_fraction: 0.05,
+                ..Default::default()
+            },
         );
-        let problem = problem_from_generated(&dag);
+        let problem = Problem::from_roles(&inst.roles);
+        let dag = inst.dag;
         let cfg = SelectConfig::default();
         let mut sc = CountingCi::new(OracleCi::from_dag(dag.clone()));
         let s = seqsel(&mut sc, &problem, &cfg);
@@ -255,9 +384,18 @@ mod tests {
     #[test]
     fn partition_is_exhaustive_and_disjoint() {
         let (dag, problem) = figure_1c();
-        let sel = grpsel(&mut OracleCi::from_dag(dag), &problem, &SelectConfig::default());
-        let mut all: Vec<usize> =
-            sel.c1.iter().chain(&sel.c2).chain(&sel.rejected).copied().collect();
+        let sel = grpsel(
+            &mut OracleCi::from_dag(dag),
+            &problem,
+            &SelectConfig::default(),
+        );
+        let mut all: Vec<usize> = sel
+            .c1
+            .iter()
+            .chain(&sel.c2)
+            .chain(&sel.rejected)
+            .copied()
+            .collect();
         all.sort_unstable();
         let mut expected = problem.features.clone();
         expected.sort_unstable();
@@ -268,23 +406,12 @@ mod tests {
     fn empty_feature_set_is_trivial() {
         let (dag, mut problem) = figure_1a();
         problem.features.clear();
-        let sel = grpsel(&mut OracleCi::from_dag(dag), &problem, &SelectConfig::default());
+        let sel = grpsel(
+            &mut OracleCi::from_dag(dag),
+            &problem,
+            &SelectConfig::default(),
+        );
         assert_eq!(sel.tests_used, 0);
         assert!(sel.selected().is_empty());
-    }
-
-    /// Build a `Problem` from a generated DAG using its naming convention
-    /// (`S*` sensitive, `A*` admissible, `Y` target, rest features).
-    pub(crate) fn problem_from_generated(dag: &fairsel_graph::Dag) -> Problem {
-        let roles: Vec<Role> = dag
-            .nodes()
-            .map(|v| match dag.name(v) {
-                n if n.starts_with('S') => Role::Sensitive,
-                n if n.starts_with('A') => Role::Admissible,
-                "Y" => Role::Target,
-                _ => Role::Feature,
-            })
-            .collect();
-        Problem::from_roles(&roles)
     }
 }

@@ -19,15 +19,20 @@
 //!   sound, giving `O(2^|A| · k log n)` tests for `k` unsafe features —
 //!   and, empirically, far fewer spurious results (§5.3).
 //!
+//! Both selectors route every query through the execution engine
+//! ([`fairsel_engine::CiSession`]): canonicalized keys, a memo cache, and
+//! — for GrpSel — level-synchronous frontier batches a worker pool can
+//! evaluate in parallel ([`grpsel::grpsel_par`]).
+//!
 //! Supporting modules:
 //! * [`oracle`] — the Theorem 1 ground-truth classification computed from
 //!   a known causal DAG (used to validate the algorithms and to score the
 //!   synthetic-recovery experiments);
-//! * [`baselines`] — the six comparison pipelines of §5 (A, ALL, Hamlet,
-//!   SPred, Capuchin-style repair, Fair-PC) plus Reweighing for the
-//!   robustness experiment;
+//! * [`baselines`] — comparison pipelines of §5: the A / ALL endpoints,
+//!   SeqSel, GrpSel, and the Fair-PC causal-discovery baseline;
 //! * [`pipeline`] — feature selection → featurization → classifier →
-//!   fairness report, the loop behind Figures 2-3 and Table 2.
+//!   fairness report, the loop behind Figures 2-3 and Table 2, with
+//!   engine telemetry attached to every run.
 
 pub mod baselines;
 pub mod grpsel;
@@ -36,9 +41,11 @@ pub mod pipeline;
 pub mod problem;
 pub mod seqsel;
 
-pub use baselines::{Method, MethodOutput, TesterSpec};
-pub use grpsel::grpsel;
+pub use baselines::{run_all_methods, run_method, Method, MethodOutput, TesterSpec};
+pub use grpsel::{grpsel, grpsel_in, grpsel_par, grpsel_par_in, grpsel_seeded};
 pub use oracle::{theorem1_classification, GroundTruth};
-pub use pipeline::{run_pipeline, ClassifierKind, PipelineResult};
+pub use pipeline::{
+    run_pipeline, run_pipeline_par, ClassifierKind, PipelineConfig, PipelineResult, SelectionAlgo,
+};
 pub use problem::{Problem, SelectConfig, Selection};
-pub use seqsel::seqsel;
+pub use seqsel::{seqsel, seqsel_in};

@@ -230,9 +230,16 @@ mod tests {
     fn figure_6_x2_is_clause_iii_only() {
         let (dag, problem) = figure_6();
         let t = theorem1_classification(&dag, &problem, &SelectConfig::default());
-        let nd: Vec<&str> =
-            t.non_descendant_only.iter().map(|&v| name_of(&dag, v)).collect();
-        assert_eq!(nd, vec!["X2"], "Figure 6's X2 is safe but not CI-identifiable");
+        let nd: Vec<&str> = t
+            .non_descendant_only
+            .iter()
+            .map(|&v| name_of(&dag, v))
+            .collect();
+        assert_eq!(
+            nd,
+            vec!["X2"],
+            "Figure 6's X2 is safe but not CI-identifiable"
+        );
         assert!(t.unsafe_vars.is_empty());
     }
 
@@ -240,14 +247,13 @@ mod tests {
     fn classes_partition_features() {
         for (dag, problem) in [figure_1a(), figure_1b(), figure_1c(), figure_6()] {
             let t = theorem1_classification(&dag, &problem, &SelectConfig::default());
-            let mut all: Vec<VarId> = t
-                .c1
-                .iter()
-                .chain(&t.c2)
-                .chain(&t.non_descendant_only)
-                .chain(&t.unsafe_vars)
-                .copied()
-                .collect();
+            let mut all: Vec<VarId> =
+                t.c1.iter()
+                    .chain(&t.c2)
+                    .chain(&t.non_descendant_only)
+                    .chain(&t.unsafe_vars)
+                    .copied()
+                    .collect();
             all.sort_unstable();
             let mut expected = problem.features.clone();
             expected.sort_unstable();
@@ -286,7 +292,10 @@ mod tests {
 
     #[test]
     fn recall_is_one_when_nothing_identifiable() {
-        let truth = GroundTruth { unsafe_vars: vec![0], ..Default::default() };
+        let truth = GroundTruth {
+            unsafe_vars: vec![0],
+            ..Default::default()
+        };
         assert_eq!(RecoveryScore::of(&truth, &[]).recall(), 1.0);
     }
 }

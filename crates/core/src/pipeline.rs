@@ -1,0 +1,318 @@
+//! The end-to-end loop behind Figures 2–3 and Table 2: causal feature
+//! selection → featurization → classifier → fairness report.
+//!
+//! All CI queries route through one engine [`CiSession`], whose telemetry
+//! (tests issued, cache hits, dedup rate, per-phase wall time) is returned
+//! in [`PipelineResult::engine`] — the numbers the paper reports alongside
+//! accuracy and odds difference.
+
+use crate::grpsel::{grpsel_in, grpsel_par_in};
+use crate::problem::{Problem, SelectConfig, Selection};
+use crate::seqsel::seqsel_in;
+use fairsel_ci::{CiTest, CiTestShared};
+use fairsel_engine::{CiSession, EngineStats};
+use fairsel_ml::{
+    AdaBoost, Classifier, DecisionTree, FairnessReport, Featurizer, LogisticRegression, NaiveBayes,
+    RandomForest,
+};
+use fairsel_table::{ColId, Table};
+
+/// Which selection algorithm the pipeline runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionAlgo {
+    /// Algorithm 1 — one CI chain per feature.
+    SeqSel,
+    /// Algorithms 2–4 — group testing with recursive halving; `seed`
+    /// shuffles the initial partition (None = table column order).
+    GrpSel { seed: Option<u64> },
+}
+
+/// Classifier trained on the selected features (§5.1 "Model Selection").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassifierKind {
+    Logistic,
+    DecisionTree,
+    RandomForest,
+    AdaBoost,
+    /// Table-native naive Bayes (no featurization step).
+    NaiveBayes,
+}
+
+impl ClassifierKind {
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<ClassifierKind> {
+        match s {
+            "logistic" => Some(Self::Logistic),
+            "tree" => Some(Self::DecisionTree),
+            "forest" => Some(Self::RandomForest),
+            "adaboost" => Some(Self::AdaBoost),
+            "nb" | "naive-bayes" => Some(Self::NaiveBayes),
+            _ => None,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    pub select: SelectConfig,
+    pub algo: SelectionAlgo,
+    pub classifier: ClassifierKind,
+    /// Worker threads for engine batches (`<= 1` = sequential). Only the
+    /// shared-tester entry point [`run_pipeline_par`] can exploit more.
+    pub workers: usize,
+    /// Seed for stochastic models (random forest).
+    pub model_seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            select: SelectConfig::default(),
+            algo: SelectionAlgo::SeqSel,
+            classifier: ClassifierKind::Logistic,
+            workers: 1,
+            model_seed: 0,
+        }
+    }
+}
+
+/// Everything one pipeline run produces.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The selection partition (C₁ / C₂ / rejected) over train columns.
+    pub selection: Selection,
+    /// Columns the model trained on: admissible ∪ selected, ascending.
+    pub model_cols: Vec<ColId>,
+    /// Test-split fairness and accuracy metrics.
+    pub report: FairnessReport,
+    /// Engine telemetry for the whole run.
+    pub engine: EngineStats,
+}
+
+/// Run the full pipeline with any CI tester (commonly `&mut GTest`,
+/// `&mut OracleCi`, ...). Sequential engine batches.
+pub fn run_pipeline<T: CiTest>(
+    tester: T,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> PipelineResult {
+    let problem = Problem::from_table(train);
+    let mut session = CiSession::new(tester);
+    let selection = match cfg.algo {
+        SelectionAlgo::SeqSel => seqsel_in(&mut session, &problem, &cfg.select),
+        SelectionAlgo::GrpSel { seed } => grpsel_in(&mut session, &problem, &cfg.select, seed),
+    };
+    let engine = session.stats().clone();
+    train_and_score(train, test, &problem, selection, engine, cfg)
+}
+
+/// Like [`run_pipeline`] but fanning engine batches across
+/// `cfg.workers` threads; requires a shared-capable tester.
+pub fn run_pipeline_par<T: CiTestShared>(
+    tester: T,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> PipelineResult {
+    let problem = Problem::from_table(train);
+    let mut session = CiSession::new(tester);
+    let selection = match cfg.algo {
+        SelectionAlgo::SeqSel => seqsel_in(&mut session, &problem, &cfg.select),
+        SelectionAlgo::GrpSel { seed } => grpsel_par_in(
+            &mut session,
+            &problem,
+            &cfg.select,
+            seed,
+            cfg.workers.max(1),
+        ),
+    };
+    let engine = session.stats().clone();
+    train_and_score(train, test, &problem, selection, engine, cfg)
+}
+
+/// Train the configured classifier on `A ∪ C₁ ∪ C₂` and score the test
+/// split. Shared by the pipeline entry points and the baselines module.
+pub(crate) fn train_and_score(
+    train: &Table,
+    test: &Table,
+    problem: &Problem,
+    selection: Selection,
+    engine: EngineStats,
+    cfg: &PipelineConfig,
+) -> PipelineResult {
+    let model_cols = model_columns(problem, &selection.selected());
+    let report = score_columns(train, test, problem, &model_cols, cfg);
+    PipelineResult {
+        selection,
+        model_cols,
+        report,
+        engine,
+    }
+}
+
+/// The columns a model trains on: admissible ∪ selected, ascending and
+/// deduplicated. The single definition shared by the pipeline and every
+/// baseline method.
+pub(crate) fn model_columns(problem: &Problem, selected: &[ColId]) -> Vec<ColId> {
+    let mut model_cols: Vec<ColId> = problem.admissible.clone();
+    model_cols.extend(selected);
+    model_cols.sort_unstable();
+    model_cols.dedup();
+    model_cols
+}
+
+/// Featurize → fit → predict → fairness metrics for an explicit column
+/// set (also used directly by the ALL / A-only baselines).
+pub(crate) fn score_columns(
+    train: &Table,
+    test: &Table,
+    problem: &Problem,
+    model_cols: &[ColId],
+    cfg: &PipelineConfig,
+) -> FairnessReport {
+    let y_train = target_codes(train, problem.target);
+    let y_test = target_codes(test, problem.target);
+    let y_pred = if cfg.classifier == ClassifierKind::NaiveBayes {
+        let mut nb = NaiveBayes::new(model_cols.to_vec());
+        nb.fit_table(train, &y_train);
+        nb.predict_table(test)
+    } else if model_cols.is_empty() {
+        // No usable features: predict the training majority class.
+        let ones = y_train.iter().filter(|&&v| v == 1).count() * 2;
+        vec![u32::from(ones > y_train.len()); test.n_rows()]
+    } else {
+        let featurizer = Featurizer::fit(train, model_cols);
+        let x_train = featurizer.transform(train);
+        let x_test = featurizer.transform(test);
+        let mut model: Box<dyn Classifier> = match cfg.classifier {
+            ClassifierKind::Logistic => Box::new(LogisticRegression::default_model()),
+            ClassifierKind::DecisionTree => Box::new(DecisionTree::new(Default::default())),
+            ClassifierKind::RandomForest => Box::new(RandomForest::default_model(cfg.model_seed)),
+            ClassifierKind::AdaBoost => Box::new(AdaBoost::default_model()),
+            ClassifierKind::NaiveBayes => unreachable!("handled above"),
+        };
+        model.fit(&x_train, &y_train, None);
+        model.predict(&x_test)
+    };
+    let (s_codes, _) = test.joint_codes(&problem.sensitive);
+    let (a_codes, _) = test.joint_codes(&problem.admissible);
+    FairnessReport::compute(&y_test, &y_pred, &s_codes, &a_codes)
+}
+
+fn target_codes(table: &Table, target: ColId) -> Vec<u32> {
+    table
+        .col(target)
+        .codes()
+        .expect("pipeline: target column must be categorical")
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_ci::{GTest, OracleCi};
+    use fairsel_datasets::fixtures::figure_1a;
+    use fairsel_datasets::sim::sample_table;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn figure_1a_splits(n: usize, seed: u64) -> (fairsel_graph::Dag, Table, Table) {
+        let f = figure_1a();
+        let scm = f.scm(1.5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = sample_table(&scm, &f.roles, n, &mut rng);
+        let test = sample_table(&scm, &f.roles, n / 2, &mut rng);
+        (f.dag, train, test)
+    }
+
+    #[test]
+    fn oracle_pipeline_selects_and_scores() {
+        let (dag, train, test) = figure_1a_splits(3000, 5);
+        let cfg = PipelineConfig::default();
+        let out = run_pipeline(&mut OracleCi::from_dag(dag), &train, &test, &cfg);
+        // X2 (the biased feature) must not be among the model columns.
+        let x2 = train.col_id("X2").unwrap();
+        assert!(
+            !out.model_cols.contains(&x2),
+            "biased X2 leaked into the model"
+        );
+        // The admissible column is always present.
+        let a1 = train.col_id("A1").unwrap();
+        assert!(out.model_cols.contains(&a1));
+        assert!(out.report.accuracy > 0.5, "model should beat chance");
+        assert!(out.engine.issued > 0);
+        assert_eq!(out.engine.issued, out.selection.tests_used);
+    }
+
+    #[test]
+    fn data_pipeline_runs_with_gtest() {
+        let (_, train, test) = figure_1a_splits(4000, 9);
+        let cfg = PipelineConfig {
+            algo: SelectionAlgo::GrpSel { seed: Some(1) },
+            ..Default::default()
+        };
+        let out = run_pipeline(&mut GTest::new(&train, 0.01), &train, &test, &cfg);
+        assert!(out.report.accuracy > 0.5);
+        assert!(!out.model_cols.is_empty());
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        let (_, train, test) = figure_1a_splits(3000, 11);
+        let base = PipelineConfig {
+            algo: SelectionAlgo::GrpSel { seed: Some(3) },
+            ..Default::default()
+        };
+        let seq = run_pipeline(&mut GTest::new(&train, 0.01), &train, &test, &base);
+        let par_cfg = PipelineConfig { workers: 4, ..base };
+        let par = run_pipeline_par(GTest::new(&train, 0.01), &train, &test, &par_cfg);
+        assert_eq!(seq.model_cols, par.model_cols);
+        assert_eq!(seq.report.accuracy, par.report.accuracy);
+        assert_eq!(
+            seq.report.abs_odds_difference,
+            par.report.abs_odds_difference
+        );
+        // CMI sums over HashMap iteration order, so it is only
+        // reproducible up to float associativity.
+        assert!((seq.report.cmi_s_pred_given_a - par.report.cmi_s_pred_given_a).abs() < 1e-9);
+        assert_eq!(seq.engine.issued, par.engine.issued);
+    }
+
+    #[test]
+    fn classifier_kinds_all_run() {
+        let (_, train, test) = figure_1a_splits(800, 13);
+        for kind in [
+            ClassifierKind::Logistic,
+            ClassifierKind::DecisionTree,
+            ClassifierKind::RandomForest,
+            ClassifierKind::AdaBoost,
+            ClassifierKind::NaiveBayes,
+        ] {
+            let cfg = PipelineConfig {
+                classifier: kind,
+                ..Default::default()
+            };
+            let out = run_pipeline(&mut GTest::new(&train, 0.01), &train, &test, &cfg);
+            assert!(
+                out.report.accuracy > 0.4,
+                "{kind:?} collapsed: {}",
+                out.report.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_kind_parsing() {
+        assert_eq!(
+            ClassifierKind::parse("logistic"),
+            Some(ClassifierKind::Logistic)
+        );
+        assert_eq!(
+            ClassifierKind::parse("forest"),
+            Some(ClassifierKind::RandomForest)
+        );
+        assert_eq!(ClassifierKind::parse("nope"), None);
+    }
+}

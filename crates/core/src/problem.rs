@@ -85,7 +85,10 @@ pub struct SelectConfig {
 
 impl Default for SelectConfig {
     fn default() -> Self {
-        Self { max_admissible_subset: usize::MAX, admissible_guard: 12 }
+        Self {
+            max_admissible_subset: usize::MAX,
+            admissible_guard: 12,
+        }
     }
 }
 
@@ -205,7 +208,10 @@ mod tests {
 
     #[test]
     fn subset_cap_respected() {
-        let cfg = SelectConfig { max_admissible_subset: 1, ..Default::default() };
+        let cfg = SelectConfig {
+            max_admissible_subset: 1,
+            ..Default::default()
+        };
         let subsets = cfg.admissible_subsets(&[1, 2, 3]);
         // ∅ + three singletons
         assert_eq!(subsets.len(), 4);
@@ -222,7 +228,12 @@ mod tests {
 
     #[test]
     fn selection_selected_sorted_union() {
-        let s = Selection { c1: vec![5, 1], c2: vec![3], rejected: vec![], tests_used: 0 };
+        let s = Selection {
+            c1: vec![5, 1],
+            c2: vec![3],
+            rejected: vec![],
+            tests_used: 0,
+        };
         assert_eq!(s.selected(), vec![1, 3, 5]);
     }
 }

@@ -15,24 +15,40 @@
 
 use crate::problem::{Problem, SelectConfig, Selection};
 use fairsel_ci::CiTest;
+use fairsel_engine::CiSession;
 
-/// Run SeqSel with any CI tester. Test count is returned in
-/// [`Selection::tests_used`].
+/// Run SeqSel with any CI tester. Every query routes through a fresh
+/// engine [`CiSession`] (memo cache + telemetry); the number of tests the
+/// tester actually evaluated is returned in [`Selection::tests_used`].
 pub fn seqsel<T: CiTest + ?Sized>(
     tester: &mut T,
     problem: &Problem,
     cfg: &SelectConfig,
 ) -> Selection {
+    let mut session = CiSession::new(tester);
+    seqsel_in(&mut session, problem, cfg)
+}
+
+/// SeqSel inside a caller-provided session, so repeated runs — or other
+/// algorithms sharing the session — reuse each other's answers. The
+/// returned [`Selection::tests_used`] counts only tests *issued* by this
+/// call (cache hits are free).
+pub fn seqsel_in<T: CiTest>(
+    session: &mut CiSession<T>,
+    problem: &Problem,
+    cfg: &SelectConfig,
+) -> Selection {
+    let issued_before = session.stats().issued;
     let subsets = cfg.admissible_subsets(&problem.admissible);
     let mut out = Selection::default();
 
     // Phase 1: X ⊥ S | A' for some A' ⊆ A.
+    session.set_phase("seqsel/phase1");
     let mut remaining = Vec::new();
     for &x in &problem.features {
         let mut admitted = false;
         for sub in &subsets {
-            out.tests_used += 1;
-            if tester.ci(&[x], &problem.sensitive, sub).independent {
+            if session.query(&[x], &problem.sensitive, sub).independent {
                 admitted = true;
                 break;
             }
@@ -45,16 +61,18 @@ pub fn seqsel<T: CiTest + ?Sized>(
     }
 
     // Phase 2: X ⊥ Y | A ∪ C1.
+    session.set_phase("seqsel/phase2");
     let mut cond: Vec<usize> = problem.admissible.clone();
     cond.extend(&out.c1);
     for &x in &remaining {
-        out.tests_used += 1;
-        if tester.ci(&[x], &[problem.target], &cond).independent {
+        if session.query(&[x], &[problem.target], &cond).independent {
             out.c2.push(x);
         } else {
             out.rejected.push(x);
         }
     }
+    session.clear_phase();
+    out.tests_used = session.stats().issued - issued_before;
     out
 }
 
@@ -103,7 +121,9 @@ pub(crate) mod fixtures {
     }
 
     /// Figure 1(c): two admissible attributes; `X3 ⊥ S1 | A2` (but not
-    /// given A1 alone), exercising the ∃A′⊆A search.
+    /// given A1 alone), exercising the ∃A′⊆A search. `X2` carries
+    /// sensitive information but is screened off from `Y` given
+    /// `A ∪ C₁`, so phase 2 admits it into `C₂`.
     pub fn figure_1c() -> (Dag, Problem) {
         let g = DagBuilder::new()
             .nodes(["S1", "A1", "A2", "X1", "X2", "X3", "C1", "C2", "Y"])
@@ -115,7 +135,6 @@ pub(crate) mod fixtures {
             .edge("C2", "X2")
             .edge("C1", "X1")
             .edge("X1", "Y")
-            .edge("X2", "Y")
             .build();
         let roles = roles_of(
             &g,
@@ -127,15 +146,17 @@ pub(crate) mod fixtures {
         (g, Problem::from_roles(&roles))
     }
 
-    /// Figure 6: `X2` is causally fair only by Theorem 1(iii) — it is not
-    /// a descendant of S1 in `G_Ā` — but `X2 ̸⊥ S1` and `X2 ̸⊥ S1 | A1`,
-    /// so no CI test can certify it. Edges: `X2 → A1 ← S1`, `X2 → X3 → Y`.
+    /// Figure 6: `X2` is causally fair only by Theorem 1(iii) — it is an
+    /// *ancestor* of `S1`, so it is not a descendant of `S1` in `G_Ā` —
+    /// but the direct edge onto `S1` means `X2 ̸⊥ S1` under every
+    /// conditioning set, so no CI pattern can certify it. Edges:
+    /// `X2 → S1 → A1`, `X2 → Y`, `X3 → Y`.
     pub fn figure_6() -> (Dag, Problem) {
         let g = DagBuilder::new()
             .nodes(["S1", "A1", "X2", "X3", "Y"])
+            .edge("X2", "S1")
             .edge("S1", "A1")
-            .edge("X2", "A1")
-            .edge("X2", "X3")
+            .edge("X2", "Y")
             .edge("X3", "Y")
             .build();
         let roles = roles_of(&g, &["S1"], &["A1"], &["X2", "X3"], "Y");
@@ -188,8 +209,14 @@ mod tests {
         let c1 = names(&dag, &sel.c1);
         let rejected = names(&dag, &sel.rejected);
         assert!(c1.contains(&"X1".to_owned()), "X1 ⊥ S1 | A1 -> C1");
-        assert!(c1.contains(&"C1".to_owned()), "exogenous cause is independent of S");
-        assert!(rejected.contains(&"X2".to_owned()), "X2 is biased: {rejected:?}");
+        assert!(
+            c1.contains(&"C1".to_owned()),
+            "exogenous cause is independent of S"
+        );
+        assert!(
+            rejected.contains(&"X2".to_owned()),
+            "X2 is biased: {rejected:?}"
+        );
     }
 
     #[test]
@@ -212,7 +239,10 @@ mod tests {
         let sel = seqsel(&mut oracle, &problem, &SelectConfig::default()).normalized();
         let c1 = names(&dag, &sel.c1);
         assert!(c1.contains(&"X1".to_owned()), "X1 ⊥ S1 | A1");
-        assert!(c1.contains(&"X3".to_owned()), "X3 ⊥ S1 | A2 — needs the ∃ search");
+        assert!(
+            c1.contains(&"X3".to_owned()),
+            "X3 ⊥ S1 | A2 — needs the ∃ search"
+        );
         let c2 = names(&dag, &sel.c2);
         assert!(c2.contains(&"X2".to_owned()), "X2 screened from Y: {c2:?}");
     }
@@ -225,10 +255,16 @@ mod tests {
         // X3 is missed.
         let (dag, problem) = figure_1c();
         let mut oracle = OracleCi::from_dag(dag.clone());
-        let cfg = SelectConfig { max_admissible_subset: 0, ..Default::default() };
+        let cfg = SelectConfig {
+            max_admissible_subset: 0,
+            ..Default::default()
+        };
         let sel = seqsel(&mut oracle, &problem, &cfg).normalized();
         let c1 = names(&dag, &sel.c1);
-        assert!(!c1.contains(&"X3".to_owned()), "∅-only search cannot certify X3");
+        assert!(
+            !c1.contains(&"X3".to_owned()),
+            "∅-only search cannot certify X3"
+        );
     }
 
     #[test]
@@ -243,10 +279,8 @@ mod tests {
             rejected.contains(&"X2".to_owned()),
             "X2 must be missed by CI-only selection: {rejected:?}"
         );
-        // X3 is a child of X2 only; X3 ̸⊥ S1 | A1 (collider at A1 opens
-        // S1—X2 path? No: conditioning on A1 opens X2—S1, and X3—X2—...).
-        // X3 ⊥ S1 with empty conditioning? Path X3 <- X2 -> A1 <- S1 is
-        // blocked at the collider A1. So X3 ∈ C1 via the ∅ subset.
+        // X3 ⊥ S1 marginally: the only path X3 → Y ← X2 → S1 is blocked
+        // at the collider Y. So X3 ∈ C1 via the ∅ subset.
         let c1 = names(&dag, &sel.c1);
         assert!(c1.contains(&"X3".to_owned()), "X3 ⊥ S1 marginally: {c1:?}");
     }

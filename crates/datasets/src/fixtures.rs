@@ -78,7 +78,11 @@ pub fn figure_1a() -> Fixture {
         .edge("X2", "Y")
         .build();
     let roles = roles_for(&dag, &["S1"], &["A1"], "Y");
-    Fixture { id: "1a", dag, roles }
+    Fixture {
+        id: "1a",
+        dag,
+        roles,
+    }
 }
 
 /// Figure 1(b): `X1, X3 ∈ C₁`; `X2` carries sensitive information but is
@@ -95,11 +99,16 @@ pub fn figure_1b() -> Fixture {
         .edge("X1", "Y")
         .build();
     let roles = roles_for(&dag, &["S1"], &["A1"], "Y");
-    Fixture { id: "1b", dag, roles }
+    Fixture {
+        id: "1b",
+        dag,
+        roles,
+    }
 }
 
 /// Figure 1(c): two admissible attributes; `X3 ⊥ S1 | A2` but not given
-/// `A1`, exercising the `∃A' ⊆ A` subset search.
+/// `A1`, exercising the `∃A' ⊆ A` subset search. `X2` is sensitive-laden
+/// but screened off from `Y` given `A ∪ C₁` (phase-2 admissible).
 pub fn figure_1c() -> Fixture {
     let dag = DagBuilder::new()
         .nodes(["S1", "A1", "A2", "X1", "X2", "X3", "C1", "C2", "Y"])
@@ -111,26 +120,34 @@ pub fn figure_1c() -> Fixture {
         .edge("C2", "X2")
         .edge("C1", "X1")
         .edge("X1", "Y")
-        .edge("X2", "Y")
         .build();
     let roles = roles_for(&dag, &["S1"], &["A1", "A2"], "Y");
-    Fixture { id: "1c", dag, roles }
+    Fixture {
+        id: "1c",
+        dag,
+        roles,
+    }
 }
 
-/// Figure 6: `X2 → A1 ← S1`, `X2 → X3 → Y`. `X2` is safe by Theorem
-/// 1(iii) — not a descendant of `S1` in `G_Ā` — but `X2 ̸⊥ S1 | A1`
-/// (conditioning on the collider `A1` opens the path), so CI-based
-/// selection must reject it. The appendix's identifiability gap.
+/// Figure 6: `X2 → S1 → A1`, `X2 → Y`, `X3 → Y`. `X2` is safe by Theorem
+/// 1(iii) — as an ancestor of `S1` it is not a descendant of `S1` in
+/// `G_Ā` — but the direct edge onto `S1` keeps `X2 ̸⊥ S1` under every
+/// `A' ⊆ A`, so CI-based selection must reject it. The appendix's
+/// identifiability gap.
 pub fn figure_6() -> Fixture {
     let dag = DagBuilder::new()
         .nodes(["S1", "A1", "X2", "X3", "Y"])
+        .edge("X2", "S1")
         .edge("S1", "A1")
-        .edge("X2", "A1")
-        .edge("X2", "X3")
+        .edge("X2", "Y")
         .edge("X3", "Y")
         .build();
     let roles = roles_for(&dag, &["S1"], &["A1"], "Y");
-    Fixture { id: "6", dag, roles }
+    Fixture {
+        id: "6",
+        dag,
+        roles,
+    }
 }
 
 /// All four fixtures.
@@ -182,12 +199,20 @@ mod tests {
     }
 
     #[test]
-    fn figure_6_collider_opens_on_conditioning() {
+    fn figure_6_x2_has_no_ci_certificate_yet_is_safe() {
         let f = figure_6();
         let mut o = OracleCi::from_dag(f.dag.clone());
         let (s, a, x2) = (f.var("S1"), f.var("A1"), f.var("X2"));
-        assert!(o.ci(&[x2], &[s], &[]).independent, "marginally independent");
-        assert!(!o.ci(&[x2], &[s], &[a]).independent, "collider at A1 opens");
+        assert!(!o.ci(&[x2], &[s], &[]).independent, "direct edge X2 → S1");
+        assert!(
+            !o.ci(&[x2], &[s], &[a]).independent,
+            "still dependent given A1"
+        );
+        // Yet X2 is not a descendant of S1 in G_Ā — Theorem 1(iii) safe.
+        let a_node = fairsel_graph::NodeId(a as u32);
+        let s_node = fairsel_graph::NodeId(s as u32);
+        let g_bar = f.dag.intervene(&[a_node]);
+        assert!(!g_bar.descendant_mask(&[s_node])[x2]);
     }
 
     #[test]

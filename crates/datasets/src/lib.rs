@@ -1,1 +1,15 @@
-// placeholder
+//! Datasets for the reproduction: the paper's worked examples (Figures 1
+//! and 6) as parameterized fixtures, the shared simulation machinery that
+//! turns a [`fairsel_scm::DiscreteScm`] plus roles into role-annotated
+//! train/test tables, and the fairness-structured synthetic workload
+//! generator behind the §5.3 scaling and recovery experiments.
+
+pub mod fixtures;
+pub mod sim;
+pub mod synthetic;
+
+pub use fixtures::{all_fixtures, figure_1a, figure_1b, figure_1c, figure_6, Fixture};
+pub use sim::{sample_table, SimulatedDataset};
+pub use synthetic::{
+    synthetic_instance, synthetic_scm, Archetype, SyntheticConfig, SyntheticInstance,
+};

@@ -188,13 +188,23 @@ impl SimulatedDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let train = sample_table(&scm, &roles, n_train, &mut rng);
         let test = sample_table(&scm, &roles, n_test, &mut rng);
-        SimulatedDataset { name: name.into(), scm, roles, train, test }
+        SimulatedDataset {
+            name: name.into(),
+            scm,
+            roles,
+            train,
+            test,
+        }
     }
 
     /// Sample a fresh table of `n` rows from a *different* SCM over the
     /// same graph/roles — used by the §5.4 distribution-shift experiment.
     pub fn resample_from(&self, shifted: &DiscreteScm, n: usize, seed: u64) -> Table {
-        assert_eq!(shifted.len(), self.scm.len(), "shifted SCM must match shape");
+        assert_eq!(
+            shifted.len(),
+            self.scm.len(),
+            "shifted SCM must match shape"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         sample_table(shifted, &self.roles, n, &mut rng)
     }
@@ -237,7 +247,11 @@ mod tests {
     use fairsel_scm::DiscreteScmBuilder;
 
     fn chain_dag() -> Dag {
-        DagBuilder::new().nodes(["S", "A", "Y"]).edge("S", "A").edge("A", "Y").build()
+        DagBuilder::new()
+            .nodes(["S", "A", "Y"])
+            .edge("S", "A")
+            .edge("A", "Y")
+            .build()
     }
 
     #[test]
@@ -275,7 +289,12 @@ mod tests {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
         // Expected level is higher when S = 1.
-        let ev = |row: &[f64]| row.iter().enumerate().map(|(i, p)| i as f64 * p).sum::<f64>();
+        let ev = |row: &[f64]| {
+            row.iter()
+                .enumerate()
+                .map(|(i, p)| i as f64 * p)
+                .sum::<f64>()
+        };
         assert!(ev(&probs[4..8]) > ev(&probs[0..4]));
     }
 

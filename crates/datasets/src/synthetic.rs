@@ -135,10 +135,13 @@ pub fn synthetic_instance<R: Rng + ?Sized>(
     let n_fair = n.saturating_sub(n_biased + n_fig6);
     let n_mediated = (cfg.mediated_fraction * n_fair as f64).round() as usize;
     let mut kinds = Vec::with_capacity(n);
-    kinds.extend(std::iter::repeat(Archetype::Biased).take(n_biased));
-    kinds.extend(std::iter::repeat(Archetype::Fig6).take(n_fig6));
-    kinds.extend(std::iter::repeat(Archetype::Mediated).take(n_mediated));
-    kinds.extend(std::iter::repeat(Archetype::Exogenous).take(n - kinds.len().min(n)));
+    kinds.extend(std::iter::repeat_n(Archetype::Biased, n_biased));
+    kinds.extend(std::iter::repeat_n(Archetype::Fig6, n_fig6));
+    kinds.extend(std::iter::repeat_n(Archetype::Mediated, n_mediated));
+    kinds.extend(std::iter::repeat_n(
+        Archetype::Exogenous,
+        n - kinds.len().min(n),
+    ));
     kinds.truncate(n);
     // Fisher–Yates interleave so archetypes are not contiguous in id order.
     for i in (1..kinds.len()).rev() {
@@ -185,10 +188,10 @@ pub fn synthetic_instance<R: Rng + ?Sized>(
             Archetype::Biased => {
                 dag.add_edge(x, y).expect("X → Y");
             }
-            Archetype::Mediated | Archetype::Exogenous => {
-                if rng.gen::<f64>() < cfg.predictive_fraction {
-                    dag.add_edge(x, y).expect("X → Y");
-                }
+            Archetype::Mediated | Archetype::Exogenous
+                if rng.gen::<f64>() < cfg.predictive_fraction =>
+            {
+                dag.add_edge(x, y).expect("X → Y");
             }
             _ => {}
         }
@@ -206,7 +209,11 @@ pub fn synthetic_instance<R: Rng + ?Sized>(
     }
     roles[y.index()] = Role::Target;
 
-    SyntheticInstance { dag, roles, archetypes }
+    SyntheticInstance {
+        dag,
+        roles,
+        archetypes,
+    }
 }
 
 /// Attach CPTs to a synthetic instance so it can be *sampled* (the
@@ -285,7 +292,11 @@ mod tests {
 
     #[test]
     fn biased_features_are_dependent_on_s_given_a() {
-        let cfg = SyntheticConfig { n_features: 50, biased_fraction: 0.2, ..Default::default() };
+        let cfg = SyntheticConfig {
+            n_features: 50,
+            biased_fraction: 0.2,
+            ..Default::default()
+        };
         let inst = instance(2, &cfg);
         let s = inst.dag.expect_node("S1");
         let a = inst.dag.expect_node("A1");
@@ -342,7 +353,10 @@ mod tests {
             if kind != Archetype::Fig6 {
                 continue;
             }
-            assert!(!oracle.ci(&[v], &[s], &[a]).independent, "X{v} ̸⊥ S | A (collider)");
+            assert!(
+                !oracle.ci(&[v], &[s], &[a]).independent,
+                "X{v} ̸⊥ S | A (collider)"
+            );
             // Predictive of Y through its mediator, so phase 2 cannot
             // rescue it either.
             assert!(!oracle.ci(&[v], &[y], &[a]).independent, "X{v} ̸⊥ Y | A");
@@ -354,7 +368,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SyntheticConfig { n_features: 60, ..Default::default() };
+        let cfg = SyntheticConfig {
+            n_features: 60,
+            ..Default::default()
+        };
         let a = instance(9, &cfg);
         let b = instance(9, &cfg);
         assert_eq!(a.dag.edges(), b.dag.edges());
@@ -384,7 +401,10 @@ mod tests {
             let ps = (joint[1][0] + joint[1][1]) / n;
             let px = (joint[0][1] + joint[1][1]) / n;
             let corr = joint[1][1] / n - ps * px;
-            assert!(corr.abs() > 0.02, "biased X{x} uncorrelated with S ({corr})");
+            assert!(
+                corr.abs() > 0.02,
+                "biased X{x} uncorrelated with S ({corr})"
+            );
         }
     }
 

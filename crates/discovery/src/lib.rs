@@ -18,6 +18,7 @@
 //! against the d-separation oracle (for exact tests) or against data.
 
 use fairsel_ci::{CiTest, VarId};
+use fairsel_engine::CiSession;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A completed partially directed acyclic graph: the Markov equivalence
@@ -34,7 +35,11 @@ pub struct Cpdag {
 impl Cpdag {
     /// Empty CPDAG over `n` variables.
     pub fn new(n: usize) -> Self {
-        Self { n, directed: BTreeSet::new(), undirected: BTreeSet::new() }
+        Self {
+            n,
+            directed: BTreeSet::new(),
+            undirected: BTreeSet::new(),
+        }
     }
 
     /// Number of variables.
@@ -118,7 +123,7 @@ impl Cpdag {
         }
         // Sources themselves are not their own descendants.
         for &s in sources {
-            seen[s] = sources.contains(&s) && false;
+            seen[s] = false;
         }
         seen
     }
@@ -140,12 +145,26 @@ pub type SepSets = BTreeMap<(VarId, VarId), Vec<VarId>>;
 /// PC skeleton search over variables `vars`, testing conditioning sets up
 /// to size `max_cond`. Returns the undirected skeleton (as a CPDAG with
 /// only undirected edges) and the separating sets.
+///
+/// Queries route through a fresh engine [`CiSession`] (memo cache +
+/// telemetry); use [`pc_skeleton_in`] to share a session — and therefore
+/// cached answers — with other algorithms (the Fair-PC baseline does).
 pub fn pc_skeleton<T: CiTest + ?Sized>(
     tester: &mut T,
     vars: &[VarId],
     max_cond: usize,
 ) -> (Cpdag, SepSets) {
-    let n_total = tester.n_vars();
+    let mut session = CiSession::new(tester);
+    pc_skeleton_in(&mut session, vars, max_cond)
+}
+
+/// [`pc_skeleton`] inside a caller-provided engine session.
+pub fn pc_skeleton_in<T: CiTest>(
+    session: &mut CiSession<T>,
+    vars: &[VarId],
+    max_cond: usize,
+) -> (Cpdag, SepSets) {
+    let n_total = session.n_vars();
     let mut g = Cpdag::new(n_total);
     for (a, &i) in vars.iter().enumerate() {
         for &j in &vars[a + 1..] {
@@ -159,6 +178,7 @@ pub fn pc_skeleton<T: CiTest + ?Sized>(
     }
 
     for level in 0..=max_cond {
+        session.set_phase(&format!("pc/skeleton-L{level}"));
         let mut removed_any = false;
         // Snapshot pairs at this level to keep iteration stable.
         let pairs: Vec<(VarId, VarId)> = g.undirected_edges().collect();
@@ -171,16 +191,13 @@ pub fn pc_skeleton<T: CiTest + ?Sized>(
             let mut found = false;
             for side in [i, j] {
                 let other = if side == i { j } else { i };
-                let candidates: Vec<VarId> = adj[&side]
-                    .iter()
-                    .copied()
-                    .filter(|&k| k != other)
-                    .collect();
+                let candidates: Vec<VarId> =
+                    adj[&side].iter().copied().filter(|&k| k != other).collect();
                 if candidates.len() < level {
                     continue;
                 }
                 for subset in subsets_of_size(&candidates, level) {
-                    if tester.ci(&[i], &[j], &subset).independent {
+                    if session.query(&[i], &[j], &subset).independent {
                         g.undirected.remove(&norm(i, j));
                         adj.get_mut(&i).expect("present").remove(&j);
                         adj.get_mut(&j).expect("present").remove(&i);
@@ -201,6 +218,7 @@ pub fn pc_skeleton<T: CiTest + ?Sized>(
             break;
         }
     }
+    session.clear_phase();
     (g, sepsets)
 }
 
@@ -232,8 +250,15 @@ fn subsets_of_size(items: &[VarId], k: usize) -> Vec<Vec<VarId>> {
 }
 
 /// Full PC: skeleton, v-structure orientation, and Meek rules R1–R3.
+/// Queries route through a fresh engine session; see [`pc_in`].
 pub fn pc<T: CiTest + ?Sized>(tester: &mut T, vars: &[VarId], max_cond: usize) -> Cpdag {
-    let (mut g, sepsets) = pc_skeleton(tester, vars, max_cond);
+    let mut session = CiSession::new(tester);
+    pc_in(&mut session, vars, max_cond)
+}
+
+/// [`pc`] inside a caller-provided engine session.
+pub fn pc_in<T: CiTest>(session: &mut CiSession<T>, vars: &[VarId], max_cond: usize) -> Cpdag {
+    let (mut g, sepsets) = pc_skeleton_in(session, vars, max_cond);
 
     // Orient v-structures: for every path i - k - j with i,j non-adjacent
     // and k not in sepset(i,j): i -> k <- j.
@@ -249,7 +274,7 @@ pub fn pc<T: CiTest + ?Sized>(tester: &mut T, vars: &[VarId], max_cond: usize) -
                 }
                 if g.has_undirected(i, k) && g.has_undirected(j, k) {
                     let sep = sepsets.get(&norm(i, j));
-                    let k_in_sep = sep.map_or(true, |s| s.contains(&k));
+                    let k_in_sep = sep.is_none_or(|s| s.contains(&k));
                     if !k_in_sep {
                         orientations.push((i, k));
                         orientations.push((j, k));
@@ -272,9 +297,7 @@ pub fn pc<T: CiTest + ?Sized>(tester: &mut T, vars: &[VarId], max_cond: usize) -
             }
             for (x, y) in [(a, b), (b, a)] {
                 // R1: z -> x and z not adjacent to y  =>  x -> y.
-                let r1 = (0..g.n).any(|z| {
-                    z != y && g.has_directed(z, x) && !g.adjacent(z, y)
-                });
+                let r1 = (0..g.n).any(|z| z != y && g.has_directed(z, x) && !g.adjacent(z, y));
                 // R2: x -> w -> y  =>  x -> y.
                 let r2 = (0..g.n).any(|w| g.has_directed(x, w) && g.has_directed(w, y));
                 // R3: x - z1 -> y, x - z2 -> y, z1 ≠ z2 non-adjacent  =>  x -> y.
@@ -282,9 +305,9 @@ pub fn pc<T: CiTest + ?Sized>(tester: &mut T, vars: &[VarId], max_cond: usize) -
                     let zs: Vec<VarId> = (0..g.n)
                         .filter(|&z| g.has_undirected(x, z) && g.has_directed(z, y))
                         .collect();
-                    zs.iter().enumerate().any(|(ii, &z1)| {
-                        zs[ii + 1..].iter().any(|&z2| !g.adjacent(z1, z2))
-                    })
+                    zs.iter()
+                        .enumerate()
+                        .any(|(ii, &z1)| zs[ii + 1..].iter().any(|&z2| !g.adjacent(z1, z2)))
                 };
                 if r1 || r2 || r3 {
                     g.orient(x, y);
@@ -397,10 +420,9 @@ mod tests {
         let g = pc(&mut oracle, &vars(4), 3);
         for i in 0..4usize {
             for j in (i + 1)..4 {
-                let truly_adjacent = dag
-                    .edges()
-                    .iter()
-                    .any(|&(f, t)| (f.index(), t.index()) == (i, j) || (f.index(), t.index()) == (j, i));
+                let truly_adjacent = dag.edges().iter().any(|&(f, t)| {
+                    (f.index(), t.index()) == (i, j) || (f.index(), t.index()) == (j, i)
+                });
                 assert_eq!(
                     g.adjacent(i, j),
                     truly_adjacent,

@@ -1,0 +1,280 @@
+//! Batch execution: cache-aware deduplication plus the worker pool.
+
+use crate::key::{CiQuery, QueryKey};
+use crate::session::CiSession;
+use fairsel_ci::{CiOutcome, CiTest, CiTestShared};
+use std::time::Instant;
+
+/// Worker count the parallel scheduler defaults to: one per available
+/// hardware thread.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Cache-resolution plan for one batch.
+struct BatchPlan {
+    /// Pre-resolved outcomes (cache hits); `None` awaits evaluation.
+    results: Vec<Option<CiOutcome>>,
+    /// Unique missing keys, first-occurrence order.
+    miss_keys: Vec<QueryKey>,
+    /// Index into `queries` of the representative of each missing key.
+    miss_repr: Vec<usize>,
+    /// For each query: which miss slot answers it (None = already resolved).
+    assign: Vec<Option<usize>>,
+    /// Queries answered without a tester invocation (cache + in-batch dedup).
+    hits: u64,
+}
+
+fn plan<T: CiTest>(session: &CiSession<T>, queries: &[CiQuery]) -> BatchPlan {
+    let mut plan = BatchPlan {
+        results: vec![None; queries.len()],
+        miss_keys: Vec::new(),
+        miss_repr: Vec::new(),
+        assign: vec![None; queries.len()],
+        hits: 0,
+    };
+    let mut slot_of: std::collections::HashMap<QueryKey, usize> = std::collections::HashMap::new();
+    for (i, q) in queries.iter().enumerate() {
+        let key = q.key();
+        if let Some(hit) = session.cache_get(&key) {
+            plan.results[i] = Some(hit);
+            plan.hits += 1;
+            continue;
+        }
+        match slot_of.get(&key) {
+            Some(&slot) => {
+                // In-batch duplicate: evaluated once, counted as a hit.
+                plan.assign[i] = Some(slot);
+                plan.hits += 1;
+            }
+            None => {
+                let slot = plan.miss_keys.len();
+                slot_of.insert(key.clone(), slot);
+                plan.miss_keys.push(key);
+                plan.miss_repr.push(i);
+                plan.assign[i] = Some(slot);
+            }
+        }
+    }
+    plan
+}
+
+fn finish<T: CiTest>(
+    session: &mut CiSession<T>,
+    queries: &[CiQuery],
+    mut plan: BatchPlan,
+    evaluated: Vec<CiOutcome>,
+    wall_ms: f64,
+    parallel: bool,
+) -> Vec<CiOutcome> {
+    debug_assert_eq!(evaluated.len(), plan.miss_keys.len());
+    for (key, &out) in plan.miss_keys.drain(..).zip(&evaluated) {
+        session.cache_insert(key, out);
+    }
+    let issued = evaluated.len() as u64;
+    session.account_batch(queries.len() as u64, issued, plan.hits, wall_ms, parallel);
+    plan.results
+        .into_iter()
+        .zip(plan.assign)
+        .map(|(res, slot)| match res {
+            Some(out) => out,
+            None => evaluated[slot.expect("unresolved query has a miss slot")],
+        })
+        .collect()
+}
+
+impl<T: CiTest> CiSession<T> {
+    /// Evaluate a batch of independent queries sequentially, deduplicated
+    /// against the memo cache and against each other. Results come back in
+    /// input order.
+    pub fn run_batch(&mut self, queries: &[CiQuery]) -> Vec<CiOutcome> {
+        let plan = plan(self, queries);
+        let t0 = Instant::now();
+        let evaluated: Vec<CiOutcome> = plan
+            .miss_repr
+            .iter()
+            .map(|&i| {
+                let q = &queries[i];
+                self.tester_mut().ci(&q.x, &q.y, &q.z)
+            })
+            .collect();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        finish(self, queries, plan, evaluated, wall_ms, false)
+    }
+}
+
+impl<T: CiTestShared> CiSession<T> {
+    /// Evaluate a batch of independent queries across `workers` threads.
+    ///
+    /// The unique cache misses are split into contiguous chunks, one per
+    /// worker; each worker evaluates through a shared reference
+    /// ([`CiTestShared::ci_shared`]), and results are reassembled by slot
+    /// index — so the output is byte-identical to [`CiSession::run_batch`]
+    /// regardless of thread scheduling. Small batches (or `workers <= 1`)
+    /// take the sequential path to avoid spawn overhead.
+    pub fn run_batch_parallel(&mut self, queries: &[CiQuery], workers: usize) -> Vec<CiOutcome> {
+        let plan = plan(self, queries);
+        let n_miss = plan.miss_repr.len();
+        let workers = workers.min(n_miss);
+        if workers <= 1 {
+            // Evaluate the misses inline (identical to run_batch) but keep
+            // the plan we already computed.
+            let t0 = Instant::now();
+            let evaluated: Vec<CiOutcome> = plan
+                .miss_repr
+                .iter()
+                .map(|&i| {
+                    let q = &queries[i];
+                    self.tester_mut().ci(&q.x, &q.y, &q.z)
+                })
+                .collect();
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            return finish(self, queries, plan, evaluated, wall_ms, false);
+        }
+
+        let t0 = Instant::now();
+        let repr: Vec<&CiQuery> = plan.miss_repr.iter().map(|&i| &queries[i]).collect();
+        let chunk = n_miss.div_ceil(workers);
+        let tester = self.tester();
+        let mut evaluated: Vec<CiOutcome> = Vec::with_capacity(n_miss);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = repr
+                .chunks(chunk)
+                .map(|qs| {
+                    scope.spawn(move || {
+                        qs.iter()
+                            .map(|q| tester.ci_shared(&q.x, &q.y, &q.z))
+                            .collect::<Vec<CiOutcome>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                evaluated.extend(h.join().expect("CI worker panicked"));
+            }
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        finish(self, queries, plan, evaluated, wall_ms, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_ci::{CiTestShared, VarId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Shared-capable tester: independent iff |x0 − y0| > 1. Counts calls
+    /// atomically so parallel tests can assert issue counts.
+    struct GapCi {
+        n: usize,
+        calls: AtomicU64,
+    }
+
+    impl GapCi {
+        fn new(n: usize) -> Self {
+            Self {
+                n,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CiTest for GapCi {
+        fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+            self.ci_shared(x, y, z)
+        }
+        fn n_vars(&self) -> usize {
+            self.n
+        }
+    }
+
+    impl CiTestShared for GapCi {
+        fn ci_shared(&self, x: &[VarId], y: &[VarId], _z: &[VarId]) -> CiOutcome {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            CiOutcome::decided(x[0].abs_diff(y[0]) > 1)
+        }
+    }
+
+    fn queries(n: usize) -> Vec<CiQuery> {
+        (0..n).map(|i| CiQuery::new(&[i], &[i + 2], &[])).collect()
+    }
+
+    #[test]
+    fn batch_results_in_input_order() {
+        let mut s = CiSession::new(GapCi::new(64));
+        let qs = queries(10);
+        let out = s.run_batch(&qs);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|o| o.independent));
+        assert_eq!(s.stats().issued, 10);
+        assert_eq!(s.stats().batches, 1);
+    }
+
+    #[test]
+    fn batch_dedups_within_and_across() {
+        let mut s = CiSession::new(GapCi::new(64));
+        // Same canonical key three times (plain repeat + symmetric flip).
+        let qs = vec![
+            CiQuery::new(&[0], &[2], &[]),
+            CiQuery::new(&[0], &[2], &[]),
+            CiQuery::new(&[2], &[0], &[]),
+            CiQuery::new(&[5], &[6], &[]),
+        ];
+        let out = s.run_batch(&qs);
+        assert_eq!(s.stats().issued, 2, "two unique keys");
+        assert_eq!(s.stats().cache_hits, 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0], out[2]);
+        assert!(!out[3].independent);
+        // A second batch of the same queries is all hits.
+        s.run_batch(&qs);
+        assert_eq!(s.stats().issued, 2);
+        assert_eq!(s.stats().cache_hits, 6);
+        assert_eq!(s.tester().calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let qs = queries(257);
+        let mut seq = CiSession::new(GapCi::new(1024));
+        let a = seq.run_batch(&qs);
+        for workers in [2, 3, 8] {
+            let mut par = CiSession::new(GapCi::new(1024));
+            let b = par.run_batch_parallel(&qs, workers);
+            assert_eq!(a, b, "parallel({workers}) diverged");
+            assert_eq!(par.stats().issued, seq.stats().issued);
+            assert_eq!(par.stats().parallel_batches, 1);
+        }
+    }
+
+    #[test]
+    fn parallel_small_batch_falls_back() {
+        let mut s = CiSession::new(GapCi::new(8));
+        let out = s.run_batch_parallel(&[CiQuery::new(&[0], &[3], &[])], 8);
+        assert!(out[0].independent);
+        assert_eq!(
+            s.stats().parallel_batches,
+            0,
+            "single miss should not spawn"
+        );
+    }
+
+    #[test]
+    fn parallel_only_issues_misses() {
+        let mut s = CiSession::new(GapCi::new(64));
+        let qs = queries(20);
+        s.run_batch(&qs[..10]);
+        s.run_batch_parallel(&qs, 4);
+        assert_eq!(s.stats().issued, 20);
+        assert_eq!(s.tester().calls.load(Ordering::Relaxed), 20);
+        assert_eq!(s.stats().cache_hits, 10);
+        assert_eq!(s.stats().max_batch, 10);
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

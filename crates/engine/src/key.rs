@@ -1,0 +1,139 @@
+//! Canonical query identity.
+//!
+//! A CI query `X ⊥ Y | Z` is invariant under (a) reordering variables
+//! within each side, (b) repeating a variable within a side, and (c)
+//! swapping `X` and `Y` (symmetry of conditional independence). The
+//! [`QueryKey`] quotient makes all equivalent spellings hash to the same
+//! cache slot, so `seqsel`'s `(x, S, A')` and a later `(S, x, A')` from PC
+//! hit the same memo entry.
+
+use fairsel_ci::VarId;
+
+/// An unevaluated CI query, sides in caller order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CiQuery {
+    pub x: Vec<VarId>,
+    pub y: Vec<VarId>,
+    pub z: Vec<VarId>,
+}
+
+impl CiQuery {
+    /// Build a query from borrowed sides.
+    pub fn new(x: &[VarId], y: &[VarId], z: &[VarId]) -> Self {
+        Self {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            z: z.to_vec(),
+        }
+    }
+
+    /// The canonical identity of this query.
+    pub fn key(&self) -> QueryKey {
+        QueryKey::new(&self.x, &self.y, &self.z)
+    }
+}
+
+/// Canonicalized query key: each side sorted and deduplicated, and the two
+/// test sides ordered so the lexicographically smaller one comes first.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryKey {
+    x: Vec<VarId>,
+    y: Vec<VarId>,
+    z: Vec<VarId>,
+}
+
+fn sorted_dedup(vs: &[VarId]) -> Vec<VarId> {
+    let mut out = vs.to_vec();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl QueryKey {
+    /// Canonicalize `(x, y, z)`.
+    pub fn new(x: &[VarId], y: &[VarId], z: &[VarId]) -> Self {
+        let mut xs = sorted_dedup(x);
+        let mut ys = sorted_dedup(y);
+        if ys < xs {
+            std::mem::swap(&mut xs, &mut ys);
+        }
+        Self {
+            x: xs,
+            y: ys,
+            z: sorted_dedup(z),
+        }
+    }
+
+    /// First (canonically smaller) test side.
+    pub fn x(&self) -> &[VarId] {
+        &self.x
+    }
+
+    /// Second test side.
+    pub fn y(&self) -> &[VarId] {
+        &self.y
+    }
+
+    /// Conditioning set, sorted.
+    pub fn z(&self) -> &[VarId] {
+        &self.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_in_x_and_y() {
+        assert_eq!(
+            QueryKey::new(&[3], &[1, 2], &[0]),
+            QueryKey::new(&[1, 2], &[3], &[0])
+        );
+    }
+
+    #[test]
+    fn order_within_sides_irrelevant() {
+        assert_eq!(
+            QueryKey::new(&[2, 1], &[5], &[9, 7]),
+            QueryKey::new(&[1, 2], &[5], &[7, 9])
+        );
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        assert_eq!(
+            QueryKey::new(&[1, 1], &[2], &[3, 3]),
+            QueryKey::new(&[1], &[2], &[3])
+        );
+    }
+
+    #[test]
+    fn different_conditioning_distinguished() {
+        assert_ne!(
+            QueryKey::new(&[1], &[2], &[]),
+            QueryKey::new(&[1], &[2], &[3])
+        );
+    }
+
+    #[test]
+    fn different_sides_distinguished() {
+        assert_ne!(
+            QueryKey::new(&[1], &[2], &[]),
+            QueryKey::new(&[1], &[3], &[])
+        );
+        assert_ne!(
+            QueryKey::new(&[1, 2], &[3], &[]),
+            QueryKey::new(&[1], &[2, 3], &[])
+        );
+    }
+
+    #[test]
+    fn query_key_roundtrip() {
+        let q = CiQuery::new(&[4, 2], &[1], &[8, 6]);
+        let k = q.key();
+        assert_eq!(k.x(), &[1]);
+        assert_eq!(k.y(), &[2, 4]);
+        assert_eq!(k.z(), &[6, 8]);
+    }
+}

@@ -1,0 +1,374 @@
+//! The memoizing session and its telemetry.
+
+use crate::key::QueryKey;
+use fairsel_ci::{CiOutcome, CiTest, VarId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Telemetry for one phase of a session (e.g. "phase1", "skeleton-L2").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Phase label.
+    pub name: String,
+    /// Logical queries routed through the session during this phase.
+    pub requested: u64,
+    /// Tester invocations actually issued (cache misses).
+    pub issued: u64,
+    /// Queries answered from the memo cache.
+    pub cache_hits: u64,
+    /// Wall time spent evaluating this phase's queries, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Whole-session telemetry, serializable to JSON for `BENCH_*.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Logical queries routed through the session.
+    pub requested: u64,
+    /// Tester invocations actually issued (requested − cache hits).
+    pub issued: u64,
+    /// Queries answered from the memo cache (or deduplicated in-batch).
+    pub cache_hits: u64,
+    /// Batches executed (sequential and parallel).
+    pub batches: u64,
+    /// Batches that ran on the parallel worker pool.
+    pub parallel_batches: u64,
+    /// Largest number of unique misses a single batch fanned out.
+    pub max_batch: usize,
+    /// Wall time spent inside tester evaluation, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-phase breakdown, in phase order.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl EngineStats {
+    /// Fraction of requested queries that never reached the tester.
+    pub fn dedup_rate(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requested as f64
+        }
+    }
+
+    /// Serialize to a self-contained JSON object (no external deps — the
+    /// bench files only need numbers and short ASCII labels).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_kv(&mut s, "requested", self.requested as f64, false);
+        push_kv(&mut s, "issued", self.issued as f64, false);
+        push_kv(&mut s, "cache_hits", self.cache_hits as f64, false);
+        push_kv(&mut s, "batches", self.batches as f64, false);
+        push_kv(
+            &mut s,
+            "parallel_batches",
+            self.parallel_batches as f64,
+            false,
+        );
+        push_kv(&mut s, "max_batch", self.max_batch as f64, false);
+        push_kv(&mut s, "dedup_rate", self.dedup_rate(), false);
+        push_kv(&mut s, "wall_ms", self.wall_ms, false);
+        s.push_str("\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            s.push_str(&format!("\"name\":\"{}\",", escape(&p.name)));
+            push_kv(&mut s, "requested", p.requested as f64, false);
+            push_kv(&mut s, "issued", p.issued as f64, false);
+            push_kv(&mut s, "cache_hits", p.cache_hits as f64, false);
+            push_kv(&mut s, "wall_ms", p.wall_ms, true);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+pub(crate) fn push_kv(s: &mut String, k: &str, v: f64, last: bool) {
+    s.push('"');
+    s.push_str(k);
+    s.push_str("\":");
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        s.push_str(&format!("{}", v as i64));
+    } else {
+        s.push_str(&format!("{v:.6}"));
+    }
+    if !last {
+        s.push(',');
+    }
+}
+
+pub(crate) fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A memoizing execution session around any CI tester.
+///
+/// Every query is canonicalized to a [`QueryKey`]; answers are cached so a
+/// repeated query — from the same algorithm, a later phase, or an entirely
+/// different caller sharing the session — costs a hash lookup instead of a
+/// test. The session itself implements [`CiTest`], so it drops into every
+/// existing call site (and nests: a session of a session is harmless).
+///
+/// Caching assumes the tester is a deterministic function of `(x, y, z)` up
+/// to the key's equivalences — true for every tester in `fairsel_ci`. For
+/// stochastic testers ([`fairsel_ci::NoisyOracleCi`]) the cache *pins* the
+/// first answer, trading per-call flip independence for self-consistency
+/// (the behavior a real cached service would exhibit).
+pub struct CiSession<T> {
+    tester: T,
+    cache: HashMap<QueryKey, CiOutcome>,
+    stats: EngineStats,
+    /// Index into `stats.phases` receiving current accounting.
+    current_phase: Option<usize>,
+}
+
+impl<T: CiTest> CiSession<T> {
+    /// Wrap a tester (commonly `&mut tester`, since `&mut T: CiTest`).
+    pub fn new(tester: T) -> Self {
+        Self {
+            tester,
+            cache: HashMap::new(),
+            stats: EngineStats::default(),
+            current_phase: None,
+        }
+    }
+
+    /// Direct accounting of a cached single query.
+    pub fn query(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        let key = QueryKey::new(x, y, z);
+        self.stats.requested += 1;
+        self.bump_phase(|p| p.requested += 1);
+        if let Some(&hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            self.bump_phase(|p| p.cache_hits += 1);
+            return hit;
+        }
+        let t0 = Instant::now();
+        let out = self.tester.ci(x, y, z);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.stats.issued += 1;
+        self.stats.wall_ms += ms;
+        self.bump_phase(|p| {
+            p.issued += 1;
+            p.wall_ms += ms;
+        });
+        self.cache.insert(key, out);
+        out
+    }
+
+    /// Switch telemetry accounting to the named phase (creating it on
+    /// first use; re-entering a name resumes its bucket).
+    pub fn set_phase(&mut self, name: &str) {
+        let idx = match self.stats.phases.iter().position(|p| p.name == name) {
+            Some(i) => i,
+            None => {
+                self.stats.phases.push(PhaseStats {
+                    name: name.to_owned(),
+                    ..Default::default()
+                });
+                self.stats.phases.len() - 1
+            }
+        };
+        self.current_phase = Some(idx);
+    }
+
+    /// Stop attributing queries to any phase.
+    pub fn clear_phase(&mut self) {
+        self.current_phase = None;
+    }
+
+    fn bump_phase<F: FnOnce(&mut PhaseStats)>(&mut self, f: F) {
+        if let Some(i) = self.current_phase {
+            f(&mut self.stats.phases[i]);
+        }
+    }
+
+    /// Session telemetry so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Telemetry as JSON.
+    pub fn stats_json(&self) -> String {
+        self.stats.to_json()
+    }
+
+    /// Number of distinct canonical queries memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop all memoized answers (telemetry is kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Borrow the wrapped tester.
+    pub fn tester(&self) -> &T {
+        &self.tester
+    }
+
+    /// Unwrap the tester.
+    pub fn into_inner(self) -> T {
+        self.tester
+    }
+
+    pub(crate) fn cache_get(&self, key: &QueryKey) -> Option<CiOutcome> {
+        self.cache.get(key).copied()
+    }
+
+    pub(crate) fn cache_insert(&mut self, key: QueryKey, out: CiOutcome) {
+        self.cache.insert(key, out);
+    }
+
+    pub(crate) fn tester_mut(&mut self) -> &mut T {
+        &mut self.tester
+    }
+
+    pub(crate) fn account_batch(
+        &mut self,
+        requested: u64,
+        issued: u64,
+        hits: u64,
+        wall_ms: f64,
+        parallel: bool,
+    ) {
+        let st = &mut self.stats;
+        st.requested += requested;
+        st.issued += issued;
+        st.cache_hits += hits;
+        st.batches += 1;
+        if parallel {
+            st.parallel_batches += 1;
+        }
+        st.max_batch = st.max_batch.max(issued as usize);
+        st.wall_ms += wall_ms;
+        if let Some(i) = self.current_phase {
+            let p = &mut self.stats.phases[i];
+            p.requested += requested;
+            p.issued += issued;
+            p.cache_hits += hits;
+            p.wall_ms += wall_ms;
+        }
+    }
+}
+
+impl<T: CiTest> CiTest for CiSession<T> {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        self.query(x, y, z)
+    }
+
+    fn n_vars(&self) -> usize {
+        self.tester.n_vars()
+    }
+
+    fn name(&self) -> &'static str {
+        self.tester.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dependent iff x and y share parity; counts invocations.
+    struct ParityCi {
+        n: usize,
+        calls: u64,
+    }
+
+    impl CiTest for ParityCi {
+        fn ci(&mut self, x: &[VarId], y: &[VarId], _z: &[VarId]) -> CiOutcome {
+            self.calls += 1;
+            CiOutcome::decided((x[0] + y[0]) % 2 == 1)
+        }
+        fn n_vars(&self) -> usize {
+            self.n
+        }
+    }
+
+    #[test]
+    fn cache_hit_on_repeat_and_symmetry() {
+        let mut s = CiSession::new(ParityCi { n: 4, calls: 0 });
+        let a = s.query(&[0], &[1], &[2]);
+        let b = s.query(&[0], &[1], &[2]); // repeat
+        let c = s.query(&[1], &[0], &[2]); // symmetric spelling
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(s.stats().requested, 3);
+        assert_eq!(s.stats().issued, 1);
+        assert_eq!(s.stats().cache_hits, 2);
+        assert_eq!(s.tester().calls, 1);
+        assert!((s.stats().dedup_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_conditioning_not_conflated() {
+        let mut s = CiSession::new(ParityCi { n: 4, calls: 0 });
+        s.query(&[0], &[1], &[]);
+        s.query(&[0], &[1], &[2]);
+        assert_eq!(s.stats().issued, 2);
+        assert_eq!(s.cache_len(), 2);
+    }
+
+    #[test]
+    fn phase_accounting_splits() {
+        let mut s = CiSession::new(ParityCi { n: 6, calls: 0 });
+        s.set_phase("p1");
+        s.query(&[0], &[1], &[]);
+        s.query(&[0], &[1], &[]);
+        s.set_phase("p2");
+        s.query(&[2], &[3], &[]);
+        let st = s.stats();
+        assert_eq!(st.phases.len(), 2);
+        assert_eq!(st.phases[0].requested, 2);
+        assert_eq!(st.phases[0].issued, 1);
+        assert_eq!(st.phases[0].cache_hits, 1);
+        assert_eq!(st.phases[1].requested, 1);
+        assert_eq!(st.phases[1].issued, 1);
+    }
+
+    #[test]
+    fn works_as_ci_test_and_nests() {
+        let mut inner = CiSession::new(ParityCi { n: 4, calls: 0 });
+        inner.query(&[0], &[1], &[]);
+        let mut outer = CiSession::new(&mut inner);
+        let out = outer.ci(&[1], &[0], &[]);
+        assert!(out.independent);
+        // Outer session missed; inner session answered from its cache.
+        assert_eq!(outer.stats().issued, 1);
+        assert_eq!(inner.stats().cache_hits, 1);
+        assert_eq!(inner.tester().calls, 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut s = CiSession::new(ParityCi { n: 4, calls: 0 });
+        s.set_phase("only");
+        s.query(&[0], &[1], &[]);
+        let j = s.stats_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        for needle in [
+            "\"requested\":1",
+            "\"issued\":1",
+            "\"cache_hits\":0",
+            "\"phases\":[",
+            "\"name\":\"only\"",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn clear_cache_forces_reissue() {
+        let mut s = CiSession::new(ParityCi { n: 4, calls: 0 });
+        s.query(&[0], &[1], &[]);
+        s.clear_cache();
+        s.query(&[0], &[1], &[]);
+        assert_eq!(s.stats().issued, 2);
+    }
+}

@@ -222,10 +222,7 @@ impl Dag {
     pub fn topological_order(&self) -> Vec<NodeId> {
         let n = self.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
-        let mut queue: Vec<NodeId> = self
-            .nodes()
-            .filter(|v| indeg[v.index()] == 0)
-            .collect();
+        let mut queue: Vec<NodeId> = self.nodes().filter(|v| indeg[v.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
@@ -490,7 +487,10 @@ mod tests {
             .map(|v| order.iter().position(|&o| o == v).unwrap())
             .collect();
         for (f, t) in g.edges() {
-            assert!(pos[f.index()] < pos[t.index()], "edge {f:?}->{t:?} out of order");
+            assert!(
+                pos[f.index()] < pos[t.index()],
+                "edge {f:?}->{t:?} out of order"
+            );
         }
     }
 
@@ -539,10 +539,7 @@ mod tests {
 
     #[test]
     fn edges_listing_and_text() {
-        let g = DagBuilder::new()
-            .nodes(["s", "y"])
-            .edge("s", "y")
-            .build();
+        let g = DagBuilder::new().nodes(["s", "y"]).edge("s", "y").build();
         assert_eq!(g.edges().len(), 1);
         assert_eq!(g.to_text(), "s -> y");
     }

@@ -129,7 +129,8 @@ mod tests {
     fn check(dag: &Dag, x: &[&str], y: &[&str], z: &[&str], sep: bool) {
         let got = d_separated(dag, &ids(dag, x), &ids(dag, y), &ids(dag, z));
         assert_eq!(
-            got, sep,
+            got,
+            sep,
             "{x:?} ⊥ {y:?} | {z:?} expected {sep} in [{}]",
             dag.to_text()
         );
@@ -201,7 +202,10 @@ mod tests {
 
     #[test]
     fn disconnected_nodes_always_separated() {
-        let g = DagBuilder::new().nodes(["a", "b", "z"]).edge("a", "z").build();
+        let g = DagBuilder::new()
+            .nodes(["a", "b", "z"])
+            .edge("a", "z")
+            .build();
         check(&g, &["a"], &["b"], &[], true);
         check(&g, &["a"], &["b"], &["z"], true);
     }
@@ -292,12 +296,19 @@ mod tests {
         // 10k-node chain: endpoint pair separated by any interior node.
         let mut g = Dag::new();
         let n = 10_000;
-        let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("v{i}")).unwrap()).collect();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| g.add_node(format!("v{i}")).unwrap())
+            .collect();
         for w in nodes.windows(2) {
             g.add_edge(w[0], w[1]).unwrap();
         }
         assert!(!d_separated(&g, &[nodes[0]], &[nodes[n - 1]], &[]));
-        assert!(d_separated(&g, &[nodes[0]], &[nodes[n - 1]], &[nodes[n / 2]]));
+        assert!(d_separated(
+            &g,
+            &[nodes[0]],
+            &[nodes[n - 1]],
+            &[nodes[n / 2]]
+        ));
     }
 
     #[test]

@@ -79,7 +79,13 @@ mod tests {
     #[test]
     fn generates_requested_size() {
         let mut rng = StdRng::seed_from_u64(7);
-        let g = random_dag(&mut rng, &RandomDagConfig { nodes: 50, ..Default::default() });
+        let g = random_dag(
+            &mut rng,
+            &RandomDagConfig {
+                nodes: 50,
+                ..Default::default()
+            },
+        );
         assert_eq!(g.len(), 50);
         assert_eq!(g.topological_order().len(), 50);
     }
@@ -87,7 +93,12 @@ mod tests {
     #[test]
     fn respects_max_parents() {
         let mut rng = StdRng::seed_from_u64(13);
-        let cfg = RandomDagConfig { nodes: 200, max_parents: 2, density: 1.0, ..Default::default() };
+        let cfg = RandomDagConfig {
+            nodes: 200,
+            max_parents: 2,
+            density: 1.0,
+            ..Default::default()
+        };
         let g = random_dag(&mut rng, &cfg);
         for v in g.nodes() {
             assert!(g.parents(v).len() <= 2, "node {v:?} has too many parents");
@@ -99,7 +110,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = RandomDagConfig { nodes: 80, ..Default::default() };
+        let cfg = RandomDagConfig {
+            nodes: 80,
+            ..Default::default()
+        };
         let g1 = random_dag(&mut StdRng::seed_from_u64(42), &cfg);
         let g2 = random_dag(&mut StdRng::seed_from_u64(42), &cfg);
         assert_eq!(g1.edges(), g2.edges());
@@ -111,7 +125,12 @@ mod tests {
     #[test]
     fn zero_density_still_valid() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = RandomDagConfig { nodes: 30, max_parents: 4, density: 0.0, ..Default::default() };
+        let cfg = RandomDagConfig {
+            nodes: 30,
+            max_parents: 4,
+            density: 0.0,
+            ..Default::default()
+        };
         let g = random_dag(&mut rng, &cfg);
         assert_eq!(g.len(), 30);
     }
@@ -119,7 +138,12 @@ mod tests {
     #[test]
     fn large_graph_smoke() {
         let mut rng = StdRng::seed_from_u64(99);
-        let cfg = RandomDagConfig { nodes: 5000, max_parents: 3, density: 0.4, ..Default::default() };
+        let cfg = RandomDagConfig {
+            nodes: 5000,
+            max_parents: 3,
+            density: 0.4,
+            ..Default::default()
+        };
         let g = random_dag(&mut rng, &cfg);
         assert_eq!(g.len(), 5000);
         assert!(g.edge_count() > 4000);

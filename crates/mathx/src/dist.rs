@@ -34,7 +34,10 @@ pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// Draw a Gamma(shape, 1) variate using the Marsaglia–Tsang squeeze method,
 /// with the standard boost for shape < 1.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    assert!(shape > 0.0, "sample_gamma: shape must be positive, got {shape}");
+    assert!(
+        shape > 0.0,
+        "sample_gamma: shape must be positive, got {shape}"
+    );
     if shape < 1.0 {
         // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}
         let u: f64 = loop {

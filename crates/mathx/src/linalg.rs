@@ -19,7 +19,11 @@ pub struct Mat {
 impl Mat {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -55,7 +59,11 @@ impl Mat {
             assert_eq!(row.len(), c, "Mat::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -147,22 +155,52 @@ impl Mat {
 
     /// Elementwise `self + rhs`.
     pub fn add(&self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise `self - rhs`.
     pub fn sub(&self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale every entry by `s`.
     pub fn scale(&self, s: f64) -> Mat {
         let data = self.data.iter().map(|a| a * s).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm squared `Σ aᵢⱼ²`.

@@ -21,7 +21,10 @@ pub struct BoostConfig {
 
 impl Default for BoostConfig {
     fn default() -> Self {
-        Self { rounds: 50, learning_rate: 1.0 }
+        Self {
+            rounds: 50,
+            learning_rate: 1.0,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ impl AdaBoost {
     pub fn new(cfg: BoostConfig) -> Self {
         assert!(cfg.rounds >= 1, "need at least one round");
         assert!(cfg.learning_rate > 0.0, "learning rate must be positive");
-        Self { cfg, stumps: Vec::new() }
+        Self {
+            cfg,
+            stumps: Vec::new(),
+        }
     }
 
     /// Ensemble with default hyperparameters.
@@ -81,7 +87,11 @@ impl Classifier for AdaBoost {
         }
         for round in 0..self.cfg.rounds {
             let mut stump = DecisionTree::with_seed(
-                TreeConfig { max_depth: 1, min_samples_leaf: 1, max_features: None },
+                TreeConfig {
+                    max_depth: 1,
+                    min_samples_leaf: 1,
+                    max_features: None,
+                },
                 round as u64,
             );
             stump.fit(x, y, Some(&w));
@@ -123,7 +133,10 @@ impl Classifier for AdaBoost {
     fn predict_proba(&self, x: &Mat) -> Vec<f64> {
         assert!(!self.stumps.is_empty(), "predict before fit");
         // Logistic link on the normalized margin (scaled for contrast).
-        self.margin(x).into_iter().map(|m| sigmoid(4.0 * m)).collect()
+        self.margin(x)
+            .into_iter()
+            .map(|m| sigmoid(4.0 * m))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -160,10 +173,16 @@ mod tests {
     #[test]
     fn boosting_beats_single_stump() {
         let (x, y) = ring_data(1500, 1);
-        let mut single = AdaBoost::new(BoostConfig { rounds: 1, learning_rate: 1.0 });
+        let mut single = AdaBoost::new(BoostConfig {
+            rounds: 1,
+            learning_rate: 1.0,
+        });
         single.fit(&x, &y, None);
         let acc1 = accuracy(&single.predict(&x), &y);
-        let mut many = AdaBoost::new(BoostConfig { rounds: 100, learning_rate: 1.0 });
+        let mut many = AdaBoost::new(BoostConfig {
+            rounds: 100,
+            learning_rate: 1.0,
+        });
         many.fit(&x, &y, None);
         let acc100 = accuracy(&many.predict(&x), &y);
         assert!(
@@ -220,7 +239,10 @@ mod tests {
         // Conflicting points; massive weight decides the vote.
         let x = Mat::from_rows(&[&[0.0], &[0.0]]);
         let y = vec![0, 1];
-        let mut ada = AdaBoost::new(BoostConfig { rounds: 5, learning_rate: 1.0 });
+        let mut ada = AdaBoost::new(BoostConfig {
+            rounds: 5,
+            learning_rate: 1.0,
+        });
         ada.fit(&x, &y, Some(&[100.0, 0.001]));
         assert_eq!(ada.predict(&x), vec![0, 0]);
     }

@@ -55,7 +55,11 @@ impl Featurizer {
                 }
             }
         }
-        Self { specs, n_features, cols: cols.to_vec() }
+        Self {
+            specs,
+            n_features,
+            cols: cols.to_vec(),
+        }
     }
 
     /// Number of emitted feature dimensions.
@@ -85,7 +89,10 @@ impl Featurizer {
             }
             offset += width;
         }
-        panic!("feature index {f} out of range ({} features)", self.n_features);
+        panic!(
+            "feature index {f} out of range ({} features)",
+            self.n_features
+        );
     }
 
     /// Transform a table (train or test) into an `n × d` matrix.
@@ -140,7 +147,11 @@ impl Featurizer {
     /// to per-source-column importances by summing absolute values.
     /// Returns `(col, importance)` pairs in featurization order.
     pub fn aggregate_importance(&self, per_feature: &[f64]) -> Vec<(ColId, f64)> {
-        assert_eq!(per_feature.len(), self.n_features, "importance length mismatch");
+        assert_eq!(
+            per_feature.len(),
+            self.n_features,
+            "importance length mismatch"
+        );
         let mut out: Vec<(ColId, f64)> = self.cols.iter().map(|&c| (c, 0.0)).collect();
         for (f, &v) in per_feature.iter().enumerate() {
             let col = self.source_column(f);

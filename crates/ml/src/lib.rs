@@ -61,7 +61,10 @@ pub(crate) fn check_fit_inputs(x: &Mat, y: &[u32], w: Option<&[f64]>) {
     assert!(y.iter().all(|&v| v <= 1), "fit: labels must be binary 0/1");
     if let Some(w) = w {
         assert_eq!(w.len(), y.len(), "fit: weight count mismatch");
-        assert!(w.iter().all(|&v| v >= 0.0 && v.is_finite()), "fit: bad weights");
+        assert!(
+            w.iter().all(|&v| v >= 0.0 && v.is_finite()),
+            "fit: bad weights"
+        );
         assert!(w.iter().sum::<f64>() > 0.0, "fit: weights sum to zero");
     }
 }

@@ -22,7 +22,11 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        Self { l2: 1.0, max_iter: 50, tol: 1e-8 }
+        Self {
+            l2: 1.0,
+            max_iter: 50,
+            tol: 1e-8,
+        }
     }
 }
 
@@ -37,7 +41,11 @@ pub struct LogisticRegression {
 
 impl LogisticRegression {
     pub fn new(cfg: LogisticConfig) -> Self {
-        Self { cfg, weights: Vec::new(), intercept: 0.0 }
+        Self {
+            cfg,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Model with default hyperparameters.
@@ -155,7 +163,9 @@ impl Classifier for LogisticRegression {
 
     fn predict_proba(&self, x: &Mat) -> Vec<f64> {
         assert_eq!(x.cols(), self.weights.len(), "predict: dimension mismatch");
-        (0..x.rows()).map(|i| sigmoid(self.decision(x, i))).collect()
+        (0..x.rows())
+            .map(|i| sigmoid(self.decision(x, i)))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -200,8 +210,16 @@ mod tests {
         let (x, y) = synthetic(2000, 1);
         let mut lr = LogisticRegression::default_model();
         lr.fit(&x, &y, None);
-        assert!(lr.weights()[0] > 0.5, "w0 should be positive: {:?}", lr.weights());
-        assert!(lr.weights()[1] < -0.2, "w1 should be negative: {:?}", lr.weights());
+        assert!(
+            lr.weights()[0] > 0.5,
+            "w0 should be positive: {:?}",
+            lr.weights()
+        );
+        assert!(
+            lr.weights()[1] < -0.2,
+            "w1 should be negative: {:?}",
+            lr.weights()
+        );
         let preds = lr.predict(&x);
         let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.93, "training accuracy {acc} too low");
@@ -232,8 +250,14 @@ mod tests {
     #[test]
     fn strong_l2_shrinks_weights() {
         let (x, y) = synthetic(500, 5);
-        let mut loose = LogisticRegression::new(LogisticConfig { l2: 0.01, ..Default::default() });
-        let mut tight = LogisticRegression::new(LogisticConfig { l2: 1000.0, ..Default::default() });
+        let mut loose = LogisticRegression::new(LogisticConfig {
+            l2: 0.01,
+            ..Default::default()
+        });
+        let mut tight = LogisticRegression::new(LogisticConfig {
+            l2: 1000.0,
+            ..Default::default()
+        });
         loose.fit(&x, &y, None);
         tight.fit(&x, &y, None);
         assert!(tight.weights()[0].abs() < loose.weights()[0].abs() * 0.2);
@@ -262,7 +286,10 @@ mod tests {
         let mut lr = LogisticRegression::default_model();
         lr.fit(&x, &y, None);
         let proba = lr.predict_proba(&x);
-        assert!(proba.iter().all(|&p| p > 0.9), "all-ones data should predict ~1");
+        assert!(
+            proba.iter().all(|&p| p > 0.9),
+            "all-ones data should predict ~1"
+        );
     }
 
     #[test]

@@ -67,12 +67,7 @@ pub fn accuracy(y_true: &[u32], y_pred: &[u32]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|(t, p)| t == p)
-        .count() as f64
-        / y_true.len() as f64
+    y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count() as f64 / y_true.len() as f64
 }
 
 /// Per-group confusion counts keyed by the group code.
@@ -144,7 +139,11 @@ pub fn disparate_impact(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
     let mut min_ratio = 1.0f64;
     for i in 0..rates.len() {
         for j in (i + 1)..rates.len() {
-            let (lo, hi) = if rates[i] < rates[j] { (rates[i], rates[j]) } else { (rates[j], rates[i]) };
+            let (lo, hi) = if rates[i] < rates[j] {
+                (rates[i], rates[j])
+            } else {
+                (rates[j], rates[i])
+            };
             let ratio = if hi > 0.0 { lo / hi } else { 1.0 };
             min_ratio = min_ratio.min(ratio);
         }

@@ -12,7 +12,10 @@ use fairsel_table::{ColId, Table};
 #[derive(Clone, Debug)]
 enum Likelihood {
     /// `log P(value | class)` per class (rows) and value (cols).
-    Cat { log_probs: [Vec<f64>; 2], arity: u32 },
+    Cat {
+        log_probs: [Vec<f64>; 2],
+        arity: u32,
+    },
     /// Gaussian per class.
     Gauss { mean: [f64; 2], var: [f64; 2] },
 }
@@ -28,7 +31,12 @@ pub struct NaiveBayes {
 impl NaiveBayes {
     /// Model over the given columns; call [`NaiveBayes::fit_table`].
     pub fn new(cols: Vec<ColId>) -> Self {
-        Self { cols, log_prior: [0.0; 2], likelihoods: Vec::new(), fitted: false }
+        Self {
+            cols,
+            log_prior: [0.0; 2],
+            likelihoods: Vec::new(),
+            fitted: false,
+        }
     }
 
     /// Fit from a table and binary labels.
@@ -67,7 +75,13 @@ impl NaiveBayes {
                         sums[y[i] as usize] += col.value_f64(i);
                         cnts[y[i] as usize] += 1.0;
                     }
-                    let mean = [0, 1].map(|k| if cnts[k] > 0.0 { sums[k] / cnts[k] } else { 0.0 });
+                    let mean = [0, 1].map(|k| {
+                        if cnts[k] > 0.0 {
+                            sums[k] / cnts[k]
+                        } else {
+                            0.0
+                        }
+                    });
                     let mut ss = [0.0f64; 2];
                     for i in 0..y.len() {
                         let d = col.value_f64(i) - mean[y[i] as usize];
@@ -165,7 +179,11 @@ mod tests {
         let mut y = Vec::with_capacity(n);
         for _ in 0..n {
             let label: u32 = rng.gen_range(0..2);
-            let c = if rng.gen::<f64>() < 0.8 { label } else { 1 - label };
+            let c = if rng.gen::<f64>() < 0.8 {
+                label
+            } else {
+                1 - label
+            };
             let x = label as f64 * 2.0 + fairsel_math::dist::sample_std_normal(&mut rng);
             cat.push(c);
             num.push(x);

@@ -23,7 +23,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 8, min_samples_leaf: 5, max_features: None }
+        Self {
+            max_depth: 8,
+            min_samples_leaf: 5,
+            max_features: None,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ impl DecisionTree {
     pub fn with_seed(cfg: TreeConfig, seed: u64) -> Self {
         assert!(cfg.max_depth >= 1, "max_depth must be >= 1");
         assert!(cfg.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
-        Self { cfg, nodes: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+        Self {
+            cfg,
+            nodes: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Number of nodes in the fitted tree.
@@ -68,7 +76,11 @@ impl DecisionTree {
     }
 
     fn leaf(&mut self, pos_weight: f64, total_weight: f64) -> usize {
-        let proba = if total_weight > 0.0 { pos_weight / total_weight } else { 0.5 };
+        let proba = if total_weight > 0.0 {
+            pos_weight / total_weight
+        } else {
+            0.5
+        };
         self.nodes.push(Node::Leaf { proba });
         self.nodes.len() - 1
     }
@@ -131,7 +143,7 @@ impl DecisionTree {
                 }
                 let child = (lw * gini(lp, lw) + rw * gini(rp, rw)) / total_w;
                 let gain = parent_gini - child;
-                if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-12 {
+                if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
                     best = Some((f, (v + next_v) / 2.0, gain));
                 }
             }
@@ -151,7 +163,12 @@ impl DecisionTree {
         }
         let left_id = self.grow(x, y, w, &mut left, depth + 1);
         let right_id = self.grow(x, y, w, &mut right, depth + 1);
-        self.nodes.push(Node::Split { feature, threshold, left: left_id, right: right_id });
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left: left_id,
+            right: right_id,
+        });
         self.nodes.len() - 1
     }
 
@@ -160,8 +177,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { proba } => return *proba,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[(row, *feature)] < *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[(row, *feature)] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -219,14 +245,23 @@ impl RandomForest {
         if tree_cfg.min_samples_leaf == 0 {
             tree_cfg.min_samples_leaf = 1;
         }
-        Self { n_trees, tree_cfg, trees: Vec::new(), seed }
+        Self {
+            n_trees,
+            tree_cfg,
+            trees: Vec::new(),
+            seed,
+        }
     }
 
     /// Forest with reasonable defaults (50 trees, depth 10).
     pub fn default_model(seed: u64) -> Self {
         Self::new(
             50,
-            TreeConfig { max_depth: 10, min_samples_leaf: 2, max_features: None },
+            TreeConfig {
+                max_depth: 10,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
             seed,
         )
     }
@@ -258,13 +293,15 @@ impl Classifier for RandomForest {
             if w.iter().sum::<f64>() <= 0.0 {
                 w.copy_from_slice(base_w);
             }
-            let cfg = TreeConfig { max_features: Some(subsample.min(d.max(1))), ..self.tree_cfg.clone() };
-            let mut tree = DecisionTree::with_seed(cfg, self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
-            if d == 0 {
-                tree.fit(x, y, Some(&w));
-            } else {
-                tree.fit(x, y, Some(&w));
-            }
+            let cfg = TreeConfig {
+                max_features: Some(subsample.min(d.max(1))),
+                ..self.tree_cfg.clone()
+            };
+            let mut tree = DecisionTree::with_seed(
+                cfg,
+                self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            tree.fit(x, y, Some(&w));
             self.trees.push(tree);
         }
     }
@@ -327,7 +364,10 @@ mod tests {
     #[test]
     fn tree_respects_max_depth_one() {
         let (x, y) = xor_data(500, 2);
-        let mut stump = DecisionTree::new(TreeConfig { max_depth: 1, ..Default::default() });
+        let mut stump = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
         stump.fit(&x, &y, None);
         // A stump has at most 3 nodes (2 leaves + 1 split).
         assert!(stump.n_nodes() <= 3);
@@ -352,7 +392,11 @@ mod tests {
         let x = Mat::from_rows(&[&[0.0], &[0.0], &[1.0], &[1.0]]);
         let y = vec![0, 1, 0, 1];
         let w_pos = vec![0.1, 10.0, 0.1, 10.0];
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 2, min_samples_leaf: 1, max_features: None });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        });
         tree.fit(&x, &y, Some(&w_pos));
         assert!(tree.predict_proba(&x).iter().all(|&p| p > 0.9));
     }

@@ -11,11 +11,19 @@ pub enum ScmError {
     /// A CPT row does not sum to 1 (within tolerance) or has negatives.
     BadProbabilities { node: String, row: usize },
     /// CPT shape does not match the node's parents/arity.
-    ShapeMismatch { node: String, expected_rows: usize, got_rows: usize },
+    ShapeMismatch {
+        node: String,
+        expected_rows: usize,
+        got_rows: usize,
+    },
     /// A node was given no CPT.
     MissingCpt(String),
     /// Intervention or query used a value outside a node's arity.
-    ValueOutOfRange { node: String, value: u32, arity: u32 },
+    ValueOutOfRange {
+        node: String,
+        value: u32,
+        arity: u32,
+    },
 }
 
 impl fmt::Display for ScmError {
@@ -24,7 +32,11 @@ impl fmt::Display for ScmError {
             ScmError::BadProbabilities { node, row } => {
                 write!(f, "CPT for {node} has an invalid probability row {row}")
             }
-            ScmError::ShapeMismatch { node, expected_rows, got_rows } => write!(
+            ScmError::ShapeMismatch {
+                node,
+                expected_rows,
+                got_rows,
+            } => write!(
                 f,
                 "CPT for {node} has {got_rows} rows, expected {expected_rows}"
             ),
@@ -71,11 +83,18 @@ impl Cpt {
             let row = &probs[r * arity as usize..(r + 1) * arity as usize];
             let sum: f64 = row.iter().sum();
             if row.iter().any(|&p| !(0.0..=1.0 + 1e-9).contains(&p)) || (sum - 1.0).abs() > 1e-6 {
-                return Err(format!("CPT row {r} is not a probability distribution (sum {sum})"));
+                return Err(format!(
+                    "CPT row {r} is not a probability distribution (sum {sum})"
+                ));
             }
             alias.push(AliasTable::new(row));
         }
-        Ok(Self { arity, parent_arities, probs, alias })
+        Ok(Self {
+            arity,
+            parent_arities,
+            probs,
+            alias,
+        })
     }
 
     /// Point-mass CPT on `value` with no parents (used by interventions).
@@ -336,14 +355,22 @@ impl DiscreteScmBuilder {
     /// Start from a DAG with every node given the same arity.
     pub fn uniform_arity(dag: Dag, arity: u32) -> Self {
         let n = dag.len();
-        Self { dag, arities: vec![arity; n], cpts: vec![None; n] }
+        Self {
+            dag,
+            arities: vec![arity; n],
+            cpts: vec![None; n],
+        }
     }
 
     /// Start from a DAG with per-node arities (indexed by `NodeId`).
     pub fn with_arities(dag: Dag, arities: Vec<u32>) -> Self {
         assert_eq!(dag.len(), arities.len(), "arity per node required");
         let n = dag.len();
-        Self { dag, arities, cpts: vec![None; n] }
+        Self {
+            dag,
+            arities,
+            cpts: vec![None; n],
+        }
     }
 
     /// Attach an explicit CPT (probabilities over rows of parent states in
@@ -356,7 +383,10 @@ impl DiscreteScmBuilder {
             .map(|p| self.arities[p.index()])
             .collect();
         let cpt = Cpt::new(self.arities[node.index()], parent_arities, probs).map_err(|_| {
-            ScmError::BadProbabilities { node: self.dag.name(node).to_owned(), row: 0 }
+            ScmError::BadProbabilities {
+                node: self.dag.name(node).to_owned(),
+                row: 0,
+            }
         })?;
         self.cpts[node.index()] = Some(cpt);
         Ok(self)
@@ -373,8 +403,12 @@ impl DiscreteScmBuilder {
                     .iter()
                     .map(|p| self.arities[p.index()])
                     .collect();
-                self.cpts[v.index()] =
-                    Some(Cpt::random(rng, self.arities[v.index()], &parent_arities, strength));
+                self.cpts[v.index()] = Some(Cpt::random(
+                    rng,
+                    self.arities[v.index()],
+                    &parent_arities,
+                    strength,
+                ));
             }
         }
         self
@@ -393,8 +427,12 @@ impl DiscreteScmBuilder {
             .iter()
             .map(|p| self.arities[p.index()])
             .collect();
-        self.cpts[node.index()] =
-            Some(Cpt::random(rng, self.arities[node.index()], &parent_arities, strength));
+        self.cpts[node.index()] = Some(Cpt::random(
+            rng,
+            self.arities[node.index()],
+            &parent_arities,
+            strength,
+        ));
         self
     }
 
@@ -412,7 +450,11 @@ impl DiscreteScmBuilder {
             }
         }
         let topo = self.dag.topological_order();
-        Ok(DiscreteScm { dag: self.dag, cpts, topo })
+        Ok(DiscreteScm {
+            dag: self.dag,
+            cpts,
+            topo,
+        })
     }
 }
 
@@ -620,7 +662,7 @@ mod tests {
             scm.dag().expect_node("Y"),
         );
         // Compute P(S, X, Y) table.
-        let mut joint = vec![0.0; 8];
+        let mut joint = [0.0; 8];
         scm.enumerate_joint(|a, p| {
             joint[(a[s.index()] * 4 + a[x.index()] * 2 + a[y.index()]) as usize] += p
         });
@@ -628,12 +670,16 @@ mod tests {
         let p3 = |sv: usize, xv: usize, yv: usize| joint[sv * 4 + xv * 2 + yv];
         let mut cmi = 0.0;
         for xv in 0..2 {
-            let px: f64 = (0..2).flat_map(|sv| (0..2).map(move |yv| (sv, yv)))
-                .map(|(sv, yv)| p3(sv, xv, yv)).sum();
+            let px: f64 = (0..2)
+                .flat_map(|sv| (0..2).map(move |yv| (sv, yv)))
+                .map(|(sv, yv)| p3(sv, xv, yv))
+                .sum();
             for sv in 0..2 {
                 for yv in 0..2 {
                     let pxy = p3(sv, xv, yv);
-                    if pxy == 0.0 { continue; }
+                    if pxy == 0.0 {
+                        continue;
+                    }
                     let ps_x: f64 = (0..2).map(|yy| p3(sv, xv, yy)).sum();
                     let py_x: f64 = (0..2).map(|ss| p3(ss, xv, yv)).sum();
                     cmi += pxy * ((pxy * px) / (ps_x * py_x)).ln();

@@ -86,7 +86,13 @@ impl GaussianScm {
             }
         }
         let topo = dag.topological_order();
-        GaussianScm { dag, bias, sigma, weights, topo }
+        GaussianScm {
+            dag,
+            bias,
+            sigma,
+            weights,
+            topo,
+        }
     }
 }
 
@@ -102,7 +108,12 @@ impl GaussianScmBuilder {
     /// Start from a DAG with zero intercepts, unit noise, and zero weights.
     pub fn new(dag: Dag) -> Self {
         let n = dag.len();
-        Self { dag, bias: vec![0.0; n], sigma: vec![1.0; n], weights: HashMap::new() }
+        Self {
+            dag,
+            bias: vec![0.0; n],
+            sigma: vec![1.0; n],
+            weights: HashMap::new(),
+        }
     }
 
     /// Set one edge weight. The edge must exist in the DAG.
@@ -194,7 +205,10 @@ mod tests {
         let g = DagBuilder::new().nodes(["x", "y"]).edge("x", "y").build();
         let x = g.expect_node("x");
         let y = g.expect_node("y");
-        let scm = GaussianScmBuilder::new(g).weight(x, y, 2.0).bias(y, 1.0).build();
+        let scm = GaussianScmBuilder::new(g)
+            .weight(x, y, 2.0)
+            .bias(y, 1.0)
+            .build();
         let mut r = rng();
         let cols = scm.sample(&mut r, 100_000);
         assert_close!(mean(&cols[y.index()]), 1.0, 0.05);
@@ -246,7 +260,9 @@ mod tests {
             .edge("a", "c")
             .build();
         let mut r = rng();
-        let scm = GaussianScmBuilder::new(g).random_weights(&mut r, 0.5, 1.5).build();
+        let scm = GaussianScmBuilder::new(g)
+            .random_weights(&mut r, 0.5, 1.5)
+            .build();
         for (f, t) in scm.dag().edges() {
             let w = scm.weight(f, t).abs();
             assert!((0.5..=1.5).contains(&w), "weight {w} out of range");
@@ -273,8 +289,8 @@ mod tests {
             .build();
         let mut r = rng();
         let cols = scm.sample(&mut r, 1000);
-        for i in 0..1000 {
-            assert_close!(cols[b.index()][i], 2.0 * cols[a.index()][i], 1e-12);
+        for (bv, av) in cols[b.index()].iter().zip(&cols[a.index()]) {
+            assert_close!(*bv, 2.0 * *av, 1e-12);
         }
     }
 }

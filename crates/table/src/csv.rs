@@ -179,7 +179,10 @@ mod tests {
         let back = from_csv_string(&text).unwrap();
         assert_eq!(back.n_rows(), 3);
         assert_eq!(back.schema_string(), t.schema_string());
-        assert_eq!(back.expect_column("x").to_f64(), t.expect_column("x").to_f64());
+        assert_eq!(
+            back.expect_column("x").to_f64(),
+            t.expect_column("x").to_f64()
+        );
         assert_eq!(
             back.expect_column("s").codes().unwrap(),
             t.expect_column("s").codes().unwrap()

@@ -34,7 +34,10 @@ impl SourceRegistry {
     /// Start from the base training table (must already contain the FK
     /// columns the sources will join on).
     pub fn new(base: Table) -> Self {
-        Self { base, sources: Vec::new() }
+        Self {
+            base,
+            sources: Vec::new(),
+        }
     }
 
     /// Register a feature source.
@@ -71,9 +74,9 @@ impl SourceRegistry {
     pub fn integrate(&self) -> Result<Table, TableError> {
         let mut out = self.base.clone();
         for s in &self.sources {
-            out = out.join(&s.table, &s.fk, &s.pk).map_err(|e| {
-                TableError::JoinError(format!("source {:?}: {e}", s.name))
-            })?;
+            out = out
+                .join(&s.table, &s.fk, &s.pk)
+                .map_err(|e| TableError::JoinError(format!("source {:?}: {e}", s.name)))?;
         }
         Ok(out)
     }
@@ -150,13 +153,15 @@ mod tests {
         let reg = SourceRegistry::new(base()).add_source("broken-feed", broken, "id", "pid");
         let err = reg.integrate().unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("broken-feed"), "error should name the source: {msg}");
+        assert!(
+            msg.contains("broken-feed"),
+            "error should name the source: {msg}"
+        );
     }
 
     #[test]
     fn provenance_lists_feature_columns() {
-        let reg = SourceRegistry::new(base())
-            .add_source("credit-bureau", source_a(), "id", "pid");
+        let reg = SourceRegistry::new(base()).add_source("credit-bureau", source_a(), "id", "pid");
         let prov = reg.provenance();
         assert_eq!(prov.len(), 1);
         assert_eq!(prov[0].0, "credit-bureau");

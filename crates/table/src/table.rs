@@ -87,12 +87,20 @@ impl Column {
             codes.iter().all(|&c| c < arity),
             "categorical code out of range for column"
         );
-        Self { name: name.into(), role, data: ColumnData::Cat { codes, arity } }
+        Self {
+            name: name.into(),
+            role,
+            data: ColumnData::Cat { codes, arity },
+        }
     }
 
     /// Build a numeric column.
     pub fn num(name: impl Into<String>, role: Role, values: Vec<f64>) -> Self {
-        Self { name: name.into(), role, data: ColumnData::Num(values) }
+        Self {
+            name: name.into(),
+            role,
+            data: ColumnData::Num(values),
+        }
     }
 
     /// Number of rows.
@@ -151,7 +159,11 @@ impl Column {
             },
             ColumnData::Num(v) => ColumnData::Num(rows.iter().map(|&r| v[r]).collect()),
         };
-        Column { name: self.name.clone(), role: self.role, data }
+        Column {
+            name: self.name.clone(),
+            role: self.role,
+            data,
+        }
     }
 }
 
@@ -162,7 +174,11 @@ pub type ColId = usize;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TableError {
     /// Column lengths disagree.
-    RaggedColumns { expected: usize, got: usize, column: String },
+    RaggedColumns {
+        expected: usize,
+        got: usize,
+        column: String,
+    },
     /// Duplicate column name.
     DuplicateColumn(String),
     /// Column not found.
@@ -174,7 +190,11 @@ pub enum TableError {
 impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TableError::RaggedColumns { expected, got, column } => {
+            TableError::RaggedColumns {
+                expected,
+                got,
+                column,
+            } => {
                 write!(f, "column {column} has {got} rows, expected {expected}")
             }
             TableError::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
@@ -211,7 +231,11 @@ impl Table {
                 return Err(TableError::DuplicateColumn(c.name.clone()));
             }
         }
-        Ok(Self { columns, index, n_rows })
+        Ok(Self {
+            columns,
+            index,
+            n_rows,
+        })
     }
 
     /// Number of rows.
@@ -280,7 +304,12 @@ impl Table {
     /// Panics if there is not exactly one target column.
     pub fn target_col(&self) -> ColId {
         let t = self.cols_with_role(Role::Target);
-        assert_eq!(t.len(), 1, "expected exactly one target column, found {}", t.len());
+        assert_eq!(
+            t.len(),
+            1,
+            "expected exactly one target column, found {}",
+            t.len()
+        );
         t[0]
     }
 
@@ -359,7 +388,12 @@ impl Table {
     /// All non-key columns of `right` are appended; the result keeps
     /// `self`'s row order and row count. Dangling foreign keys are an error
     /// (referential integrity, as in a curated feature store).
-    pub fn join(&self, right: &Table, left_key: &str, right_key: &str) -> Result<Table, TableError> {
+    pub fn join(
+        &self,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+    ) -> Result<Table, TableError> {
         let lk = self
             .column(left_key)
             .ok_or_else(|| TableError::UnknownColumn(left_key.to_owned()))?;
@@ -416,9 +450,9 @@ impl Table {
         }
         let mut arity: u64 = 1;
         for &c in cols {
-            let a = self.columns[c]
-                .arity()
-                .unwrap_or_else(|| panic!("joint_codes: column {} is numeric", self.columns[c].name));
+            let a = self.columns[c].arity().unwrap_or_else(|| {
+                panic!("joint_codes: column {} is numeric", self.columns[c].name)
+            });
             arity = arity
                 .checked_mul(a as u64)
                 .filter(|&v| v <= u32::MAX as u64)
@@ -434,6 +468,51 @@ impl Table {
             }
         }
         (out, arity as u32)
+    }
+
+    /// Like [`Table::joint_codes`], but never overflows: when the joint
+    /// arity exceeds `u32` (e.g. a 32-variable group query from GrpSel),
+    /// distinct *observed* combinations are densely re-encoded instead.
+    /// Count-based statistics (G-test, plug-in CMI) depend only on the
+    /// partition the codes induce, so dense re-encoding is exact; the
+    /// returned arity is then the number of observed combinations.
+    ///
+    /// # Panics
+    /// Panics when a column is numeric.
+    pub fn joint_codes_dense(&self, cols: &[ColId]) -> (Vec<u32>, u32) {
+        let mut arity: u64 = 1;
+        let mut overflow = false;
+        for &c in cols {
+            let a = self.columns[c].arity().unwrap_or_else(|| {
+                panic!("joint_codes: column {} is numeric", self.columns[c].name)
+            });
+            match arity
+                .checked_mul(a as u64)
+                .filter(|&v| v <= u32::MAX as u64)
+            {
+                Some(v) => arity = v,
+                None => {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+        if !overflow {
+            return self.joint_codes(cols);
+        }
+        let col_codes: Vec<&[u32]> = cols
+            .iter()
+            .map(|&c| self.columns[c].codes().expect("checked above"))
+            .collect();
+        let mut dense: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut out = Vec::with_capacity(self.n_rows);
+        for row in 0..self.n_rows {
+            let key: Vec<u32> = col_codes.iter().map(|codes| codes[row]).collect();
+            let next = dense.len() as u32;
+            out.push(*dense.entry(key).or_insert(next));
+        }
+        let observed = dense.len() as u32;
+        (out, observed.max(1))
     }
 
     /// Human-readable schema line, e.g. `s:cat2[sensitive] y:cat2[target]`.
@@ -526,10 +605,7 @@ mod tests {
         assert_eq!(sub.expect_column("income").to_f64(), vec![52.0, 30.0, 52.0]);
         let filtered = t.filter_rows(&[true, false, false, true]);
         assert_eq!(filtered.n_rows(), 2);
-        assert_eq!(
-            filtered.expect_column("gender").codes().unwrap(),
-            &[0, 1]
-        );
+        assert_eq!(filtered.expect_column("gender").codes().unwrap(), &[0, 1]);
     }
 
     #[test]
@@ -561,8 +637,14 @@ mod tests {
         assert_eq!(joined.n_rows(), 4);
         assert_eq!(joined.n_cols(), 7);
         // Row 0 has id 0 which maps to zipinfo row 3 -> density 0.2.
-        assert_eq!(joined.expect_column("zip_density").to_f64(), vec![0.2, 0.5, 0.1, 0.9]);
-        assert_eq!(joined.expect_column("urban").codes().unwrap(), &[0, 1, 0, 1]);
+        assert_eq!(
+            joined.expect_column("zip_density").to_f64(),
+            vec![0.2, 0.5, 0.1, 0.9]
+        );
+        assert_eq!(
+            joined.expect_column("urban").codes().unwrap(),
+            &[0, 1, 0, 1]
+        );
     }
 
     #[test]
@@ -604,6 +686,42 @@ mod tests {
         let (codes0, a0) = t.joint_codes(&[]);
         assert_eq!(a0, 1);
         assert!(codes0.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn joint_codes_dense_matches_when_no_overflow() {
+        let t = Table::new(vec![
+            Column::cat("a", Role::Feature, vec![0, 1, 1], 2),
+            Column::cat("b", Role::Feature, vec![2, 0, 1], 3),
+        ])
+        .unwrap();
+        assert_eq!(t.joint_codes_dense(&[0, 1]), t.joint_codes(&[0, 1]));
+        assert_eq!(t.joint_codes_dense(&[]), t.joint_codes(&[]));
+    }
+
+    #[test]
+    fn joint_codes_dense_survives_arity_overflow() {
+        // 40 binary columns: mixed-radix arity would be 2^40 > u32::MAX.
+        let cols: Vec<Column> = (0..40)
+            .map(|i| {
+                Column::cat(
+                    format!("c{i}"),
+                    Role::Feature,
+                    vec![0, 1, (i % 2) as u32, 1 - (i % 2) as u32],
+                    2,
+                )
+            })
+            .collect();
+        let t = Table::new(cols).unwrap();
+        let all: Vec<ColId> = (0..40).collect();
+        let (codes, arity) = t.joint_codes_dense(&all);
+        assert_eq!(codes.len(), 4);
+        // Rows 0..3 are pairwise distinct combinations except none repeat:
+        // arity equals the number of distinct observed rows.
+        let distinct: std::collections::HashSet<u32> = codes.iter().copied().collect();
+        assert_eq!(arity as usize, distinct.len());
+        // Equal rows get equal codes, distinct rows distinct codes.
+        assert_eq!(distinct.len(), 4);
     }
 
     #[test]

@@ -1,1 +1,471 @@
-// placeholder
+//! Cross-crate property tests: the execution engine must be a *pure
+//! optimization*. Selections computed through [`fairsel_engine::CiSession`]
+//! — cached, batched, parallel — are compared against reference
+//! implementations that call the testers directly, exactly as the paper's
+//! pseudocode does.
+
+/// Reference (engine-free) implementations of SeqSel and GrpSel: direct
+/// tester invocations, depth-first recursion, no cache. These mirror the
+/// paper's Algorithms 1–4 line by line and exist only as test oracles.
+pub mod reference {
+    use fairsel_ci::{CiTest, VarId};
+    use fairsel_core::{Problem, SelectConfig, Selection};
+
+    /// Algorithm 1 with direct tester calls.
+    pub fn seqsel_direct<T: CiTest + ?Sized>(
+        tester: &mut T,
+        problem: &Problem,
+        cfg: &SelectConfig,
+    ) -> Selection {
+        let subsets = cfg.admissible_subsets(&problem.admissible);
+        let mut out = Selection::default();
+        let mut remaining = Vec::new();
+        for &x in &problem.features {
+            let mut admitted = false;
+            for sub in &subsets {
+                out.tests_used += 1;
+                if tester.ci(&[x], &problem.sensitive, sub).independent {
+                    admitted = true;
+                    break;
+                }
+            }
+            if admitted {
+                out.c1.push(x);
+            } else {
+                remaining.push(x);
+            }
+        }
+        let mut cond: Vec<VarId> = problem.admissible.clone();
+        cond.extend(&out.c1);
+        for &x in &remaining {
+            out.tests_used += 1;
+            if tester.ci(&[x], &[problem.target], &cond).independent {
+                out.c2.push(x);
+            } else {
+                out.rejected.push(x);
+            }
+        }
+        out
+    }
+
+    /// Algorithms 2–4 with direct tester calls and depth-first halving.
+    pub fn grpsel_direct<T: CiTest + ?Sized>(
+        tester: &mut T,
+        problem: &Problem,
+        cfg: &SelectConfig,
+    ) -> Selection {
+        let subsets = cfg.admissible_subsets(&problem.admissible);
+        let mut out = Selection::default();
+        let mut remaining: Vec<VarId> = Vec::new();
+        phase1(
+            tester,
+            problem,
+            &subsets,
+            &problem.features,
+            &mut out,
+            &mut remaining,
+        );
+        let mut cond: Vec<VarId> = problem.admissible.clone();
+        cond.extend(&out.c1);
+        phase2(tester, problem, &cond, &remaining, &mut out);
+        out
+    }
+
+    fn phase1<T: CiTest + ?Sized>(
+        tester: &mut T,
+        problem: &Problem,
+        subsets: &[Vec<VarId>],
+        group: &[VarId],
+        out: &mut Selection,
+        remaining: &mut Vec<VarId>,
+    ) {
+        if group.is_empty() {
+            return;
+        }
+        for sub in subsets {
+            out.tests_used += 1;
+            if tester.ci(group, &problem.sensitive, sub).independent {
+                out.c1.extend_from_slice(group);
+                return;
+            }
+        }
+        if group.len() == 1 {
+            remaining.push(group[0]);
+            return;
+        }
+        let (left, right) = group.split_at(group.len() / 2);
+        phase1(tester, problem, subsets, left, out, remaining);
+        phase1(tester, problem, subsets, right, out, remaining);
+    }
+
+    fn phase2<T: CiTest + ?Sized>(
+        tester: &mut T,
+        problem: &Problem,
+        cond: &[VarId],
+        group: &[VarId],
+        out: &mut Selection,
+    ) {
+        if group.is_empty() {
+            return;
+        }
+        out.tests_used += 1;
+        if tester.ci(group, &[problem.target], cond).independent {
+            out.c2.extend_from_slice(group);
+            return;
+        }
+        if group.len() == 1 {
+            out.rejected.push(group[0]);
+            return;
+        }
+        let (left, right) = group.split_at(group.len() / 2);
+        phase2(tester, problem, cond, left, out);
+        phase2(tester, problem, cond, right, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::reference::{grpsel_direct, seqsel_direct};
+    use fairsel_ci::{GTest, OracleCi};
+    use fairsel_core::{grpsel, grpsel_in, grpsel_par, seqsel, seqsel_in, Problem, SelectConfig};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_discovery::{pc, pc_in};
+    use fairsel_engine::CiSession;
+    use fairsel_graph::Dag;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(seed: u64, n: usize, biased: f64) -> (Dag, Problem) {
+        let cfg = SyntheticConfig {
+            n_features: n,
+            biased_fraction: biased,
+            ..Default::default()
+        };
+        let inst = synthetic_instance(&mut StdRng::seed_from_u64(seed), &cfg);
+        let problem = Problem::from_roles(&inst.roles);
+        (inst.dag, problem)
+    }
+
+    /// SeqSel through the engine is byte-identical to direct tester calls
+    /// — same partition, same number of issued tests — across random
+    /// oracle instances.
+    #[test]
+    fn seqsel_engine_equals_direct_oracle() {
+        for seed in 0..20u64 {
+            let (dag, problem) = instance(seed, 31, 0.2);
+            let cfg = SelectConfig::default();
+            let direct = seqsel_direct(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg);
+            let engine = seqsel(&mut OracleCi::from_dag(dag), &problem, &cfg);
+            assert_eq!(direct.c1, engine.c1, "seed {seed}");
+            assert_eq!(direct.c2, engine.c2, "seed {seed}");
+            assert_eq!(direct.rejected, engine.rejected, "seed {seed}");
+            assert_eq!(direct.tests_used, engine.tests_used, "seed {seed}");
+        }
+    }
+
+    /// GrpSel through the engine (frontier batches) equals the direct
+    /// depth-first recursion: same partition as *sets* and the same test
+    /// count (the frontier reorders queries, never adds or drops one).
+    #[test]
+    fn grpsel_engine_equals_direct_oracle() {
+        for seed in 0..20u64 {
+            let (dag, problem) = instance(seed, 37, 0.15);
+            let cfg = SelectConfig::default();
+            let direct =
+                grpsel_direct(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg).normalized();
+            let engine = grpsel(&mut OracleCi::from_dag(dag), &problem, &cfg).normalized();
+            assert_eq!(direct.c1, engine.c1, "seed {seed}");
+            assert_eq!(direct.c2, engine.c2, "seed {seed}");
+            assert_eq!(direct.rejected, engine.rejected, "seed {seed}");
+            assert_eq!(direct.tests_used, engine.tests_used, "seed {seed}");
+        }
+    }
+
+    /// The equivalence also holds on sampled data with the G-test — the
+    /// tester the paper uses for discrete benchmarks — including the
+    /// parallel execution path.
+    #[test]
+    fn selections_equal_on_data_tester() {
+        let cfg_inst = SyntheticConfig {
+            n_features: 18,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = synthetic_instance(&mut rng, &cfg_inst);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        let table = sample_table(&scm, &inst.roles, 3000, &mut rng);
+        let problem = Problem::from_table(&table);
+        let cfg = SelectConfig::default();
+
+        let s_direct = seqsel_direct(&mut GTest::new(&table, 0.01), &problem, &cfg);
+        let s_engine = seqsel(&mut GTest::new(&table, 0.01), &problem, &cfg);
+        assert_eq!(s_direct.normalized(), s_engine.normalized());
+
+        let g_direct = grpsel_direct(&mut GTest::new(&table, 0.01), &problem, &cfg).normalized();
+        let g_engine = grpsel(&mut GTest::new(&table, 0.01), &problem, &cfg).normalized();
+        assert_eq!(g_direct.c1, g_engine.c1);
+        assert_eq!(g_direct.c2, g_engine.c2);
+        assert_eq!(g_direct.rejected, g_engine.rejected);
+        assert_eq!(g_direct.tests_used, g_engine.tests_used);
+
+        for workers in [2usize, 4] {
+            let mut tester = GTest::new(&table, 0.01);
+            let g_par = grpsel_par(&mut tester, &problem, &cfg, None, workers).normalized();
+            assert_eq!(g_direct.c1, g_par.c1, "workers {workers}");
+            assert_eq!(g_direct.c2, g_par.c2);
+            assert_eq!(g_direct.rejected, g_par.rejected);
+            assert_eq!(g_direct.tests_used, g_par.tests_used);
+        }
+    }
+
+    /// The acceptance-criterion test: a repeated-query workload through a
+    /// shared session issues strictly fewer tests than the same workload
+    /// against the bare tester. Replaying SeqSel is the extreme case —
+    /// the second run is answered entirely from cache.
+    #[test]
+    fn cache_dedup_reduces_issued_tests() {
+        let (dag, problem) = instance(11, 24, 0.2);
+        let cfg = SelectConfig::default();
+
+        // Direct: two runs cost exactly double.
+        let mut tester = OracleCi::from_dag(dag.clone());
+        let d1 = seqsel_direct(&mut tester, &problem, &cfg);
+        let d2 = seqsel_direct(&mut tester, &problem, &cfg);
+        let direct_total = d1.tests_used + d2.tests_used;
+
+        // Shared session: the replay is free.
+        let mut tester = OracleCi::from_dag(dag);
+        let mut session = CiSession::new(&mut tester);
+        let e1 = seqsel_in(&mut session, &problem, &cfg);
+        let e2 = seqsel_in(&mut session, &problem, &cfg);
+        assert_eq!(e1.tests_used, d1.tests_used, "cold run costs the same");
+        assert_eq!(
+            e1.clone().normalized().selected(),
+            d1.clone().normalized().selected()
+        );
+        assert_eq!(e2.tests_used, 0, "replay must be fully cached");
+        let engine_total = session.stats().issued;
+        assert!(
+            engine_total < direct_total,
+            "engine {engine_total} !< direct {direct_total}"
+        );
+        assert_eq!(engine_total, d1.tests_used);
+        assert!(session.stats().cache_hits >= d2.tests_used);
+    }
+
+    /// Sharing one session across algorithms also dedups: GrpSel's
+    /// singleton phase-1 probes repeat queries SeqSel already issued.
+    #[test]
+    fn cross_algorithm_session_sharing_dedups() {
+        let (dag, problem) = instance(13, 24, 0.3);
+        let cfg = SelectConfig::default();
+
+        let mut cold = OracleCi::from_dag(dag.clone());
+        let grpsel_alone = grpsel(&mut cold, &problem, &cfg);
+
+        let mut tester = OracleCi::from_dag(dag);
+        let mut session = CiSession::new(&mut tester);
+        let seq = seqsel_in(&mut session, &problem, &cfg);
+        let grp = grpsel_in(&mut session, &problem, &cfg, None);
+        assert_eq!(
+            seq.selected(),
+            grp.selected(),
+            "algorithms agree under the oracle"
+        );
+        assert!(
+            grp.tests_used < grpsel_alone.tests_used,
+            "warm grpsel {} !< cold grpsel {}",
+            grp.tests_used,
+            grpsel_alone.tests_used
+        );
+        assert!(session.stats().cache_hits > 0);
+    }
+
+    /// PC through a warm session replays for free and returns the same
+    /// CPDAG.
+    #[test]
+    fn pc_replay_is_cached() {
+        let (dag, problem) = instance(17, 10, 0.2);
+        let mut vars: Vec<usize> = problem.sensitive.clone();
+        vars.extend(&problem.admissible);
+        vars.extend(&problem.features);
+        vars.push(problem.target);
+        vars.sort_unstable();
+
+        let cold = pc(&mut OracleCi::from_dag(dag.clone()), &vars, 2);
+
+        let mut tester = OracleCi::from_dag(dag);
+        let mut session = CiSession::new(&mut tester);
+        let first = pc_in(&mut session, &vars, 2);
+        let issued_after_first = session.stats().issued;
+        let second = pc_in(&mut session, &vars, 2);
+        assert_eq!(cold, first);
+        assert_eq!(first, second);
+        assert_eq!(
+            session.stats().issued,
+            issued_after_first,
+            "replayed skeleton search must not issue new tests"
+        );
+    }
+
+    /// Canonicalization across spellings: symmetric sides and reordered
+    /// conditioning sets share one cache slot, even on a data tester.
+    #[test]
+    fn canonicalization_dedups_on_data() {
+        let cfg_inst = SyntheticConfig {
+            n_features: 6,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = synthetic_instance(&mut rng, &cfg_inst);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        let table = sample_table(&scm, &inst.roles, 500, &mut rng);
+        let mut tester = GTest::new(&table, 0.01);
+        let mut session = CiSession::new(&mut tester);
+        let a = session.query(&[0, 1], &[2], &[3, 4]);
+        let b = session.query(&[2], &[1, 0], &[4, 3]);
+        assert_eq!(a, b);
+        assert_eq!(session.stats().issued, 1);
+        assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    /// End-to-end determinism: the engine-routed pipeline is reproducible
+    /// under a fixed seed regardless of worker count.
+    #[test]
+    fn worker_count_never_changes_results() {
+        let (dag, problem) = instance(23, 48, 0.1);
+        let cfg = SelectConfig::default();
+        let base = grpsel(&mut OracleCi::from_dag(dag.clone()), &problem, &cfg);
+        for workers in [1usize, 2, 3, 7, 16] {
+            let mut tester = OracleCi::from_dag(dag.clone());
+            let got = grpsel_par(&mut tester, &problem, &cfg, None, workers);
+            assert_eq!(base.c1, got.c1, "workers {workers}");
+            assert_eq!(base.c2, got.c2);
+            assert_eq!(base.rejected, got.rejected);
+            assert_eq!(base.tests_used, got.tests_used);
+        }
+    }
+
+    /// Sanity: a non-trivial oracle CiTest invocation count flows through
+    /// the whole stack (CountingCi wrapped *outside* the session sees
+    /// exactly the issued tests).
+    #[test]
+    fn counting_wrapper_sees_only_issued() {
+        let (dag, problem) = instance(29, 20, 0.2);
+        let cfg = SelectConfig::default();
+        let mut counted = fairsel_ci::CountingCi::new(OracleCi::from_dag(dag));
+        let mut session = CiSession::new(&mut counted);
+        let first = seqsel_in(&mut session, &problem, &cfg);
+        let _second = seqsel_in(&mut session, &problem, &cfg);
+        drop(session);
+        assert_eq!(
+            counted.count(),
+            first.tests_used,
+            "cache hits never reach the tester"
+        );
+    }
+}
+
+#[cfg(test)]
+mod wide_group_regression {
+    use fairsel_ci::GTest;
+    use fairsel_core::{grpsel_par, seqsel, Problem, SelectConfig};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Regression: a 32+-feature group query once overflowed the G-test's
+    /// mixed-radix joint encoding (`joint_codes: joint arity overflow`).
+    /// GrpSel's root group must survive arbitrary width on data testers.
+    #[test]
+    fn grpsel_gtest_survives_wide_groups() {
+        let cfg_inst = SyntheticConfig {
+            n_features: 36,
+            biased_fraction: 0.15,
+            predictive_fraction: 0.2,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = synthetic_instance(&mut rng, &cfg_inst);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        let table = sample_table(&scm, &inst.roles, 1200, &mut rng);
+        let problem = Problem::from_table(&table);
+        let cfg = SelectConfig::default();
+        let mut tester = GTest::new(&table, 0.01);
+        let sel = grpsel_par(&mut tester, &problem, &cfg, None, 4);
+        // Partition covers every feature; no panic is the real assertion.
+        assert_eq!(
+            sel.c1.len() + sel.c2.len() + sel.rejected.len(),
+            problem.n_features()
+        );
+        // SeqSel on the same data also runs (scalar sides, wide phase-2
+        // conditioning set exercises the dense z-encoding).
+        let mut tester = GTest::new(&table, 0.01);
+        let seq = seqsel(&mut tester, &problem, &cfg);
+        assert_eq!(
+            seq.c1.len() + seq.c2.len() + seq.rejected.len(),
+            problem.n_features()
+        );
+    }
+}
+
+#[cfg(test)]
+mod frontier_order_regression {
+    use super::reference::grpsel_direct;
+    use fairsel_ci::{CiOutcome, CiTest, VarId};
+    use fairsel_core::{grpsel, Problem, SelectConfig};
+
+    /// Phase 1 always fails; phase 2 passes iff the group avoids `bad`.
+    struct TwoPhase {
+        sensitive: VarId,
+        bad: Vec<VarId>,
+    }
+
+    impl CiTest for TwoPhase {
+        fn ci(&mut self, x: &[VarId], y: &[VarId], _z: &[VarId]) -> CiOutcome {
+            if y == [self.sensitive] {
+                CiOutcome::decided(false)
+            } else {
+                CiOutcome::decided(!x.iter().any(|v| self.bad.contains(v)))
+            }
+        }
+        fn n_vars(&self) -> usize {
+            16
+        }
+    }
+
+    /// Regression: the frontier planner exhausts phase-1 singletons in
+    /// level (BFS) order, but phase-2 halving must run over the same
+    /// member order as the depth-first recursion — otherwise its groups
+    /// compose differently and test counts (and, with finite-sample
+    /// testers, outcomes) diverge. This instance — every feature failing
+    /// phase 1, phase-2 dependence exactly on {1,2} — told BFS and DFS
+    /// apart before `remaining` was re-ordered.
+    #[test]
+    fn phase2_group_composition_matches_dfs() {
+        let problem = Problem {
+            sensitive: vec![10],
+            admissible: vec![],
+            features: (0..6).collect(),
+            target: 11,
+        };
+        let cfg = SelectConfig::default();
+        let mk = || TwoPhase {
+            sensitive: 10,
+            bad: vec![1, 2],
+        };
+        let direct = grpsel_direct(&mut mk(), &problem, &cfg).normalized();
+        let engine = grpsel(&mut mk(), &problem, &cfg).normalized();
+        // Same partition and — because phase-2 groups compose identically
+        // — the same test count. (Emission order within c2 still differs:
+        // the frontier admits level by level, DFS leaf by leaf.)
+        assert_eq!(direct.c1, engine.c1);
+        assert_eq!(direct.c2, engine.c2);
+        assert_eq!(direct.rejected, engine.rejected);
+        assert_eq!(direct.tests_used, engine.tests_used);
+    }
+}
