@@ -6,13 +6,15 @@
 //! benchmarking framework. Each scenario reports CI tests issued (the
 //! paper's complexity currency), engine cache behavior, and wall time.
 
-use fairsel_ci::{CiTest, GTest, OracleCi};
-use fairsel_core::{grpsel_in, grpsel_par_in, seqsel_in, Problem, SelectConfig};
+use fairsel_ci::{CiTest, CiTestBatch, FisherZ, GTest, OracleCi};
+use fairsel_core::{grpsel_batched_in, grpsel_in, grpsel_par_in, seqsel_in, Problem, SelectConfig};
 use fairsel_datasets::sim::sample_table;
 use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
 use fairsel_engine::{default_workers, CiSession};
+use fairsel_table::{EncodedTable, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured run.
@@ -30,6 +32,10 @@ pub struct BenchResult {
     pub issued: u64,
     /// Cache hits (memo + in-batch dedup).
     pub cache_hits: u64,
+    /// Encoding-layer cache hits (variable-set encodings reused).
+    pub encode_hits: u64,
+    /// Encoding-layer cache misses (encodings computed).
+    pub encode_misses: u64,
     /// End-to-end selection wall time, milliseconds.
     pub wall_ms: f64,
     /// Features the run selected.
@@ -41,6 +47,7 @@ impl BenchResult {
         format!(
             "{{\"scenario\":\"{}\",\"algo\":\"{}\",\"n_features\":{},\
              \"requested\":{},\"issued\":{},\"cache_hits\":{},\
+             \"encode_hits\":{},\"encode_misses\":{},\
              \"wall_ms\":{:.3},\"selected\":{}}}",
             self.scenario,
             self.algo,
@@ -48,6 +55,8 @@ impl BenchResult {
             self.requested,
             self.issued,
             self.cache_hits,
+            self.encode_hits,
+            self.encode_misses,
             self.wall_ms,
             self.selected
         )
@@ -89,6 +98,8 @@ where
         requested: stats.requested,
         issued: stats.issued,
         cache_hits: stats.cache_hits,
+        encode_hits: stats.encode_cache_hits,
+        encode_misses: stats.encode_cache_misses,
         wall_ms,
         selected,
     }
@@ -183,6 +194,125 @@ pub fn data_scaling(n_features: usize, rows: usize, workers: usize) -> Vec<Bench
     out
 }
 
+/// The encoded-table story: GrpSel with the G-test (and Fisher-z) through
+/// three execution strategies on the same instance and seed —
+///
+/// * `grpsel-nocache`: the per-query baseline, every query re-deriving
+///   its joint encodings (memoization disabled — the pre-`EncodedTable`
+///   data path);
+/// * `grpsel-batched`: frontiers routed through `eval_batch` over a
+///   shared encoding cache (one encoding pass per variable set);
+/// * `grpsel-batched-parN`: the same, with `eval_batch` chunks fanned
+///   across the worker pool.
+///
+/// Selections are byte-identical across all three (property-tested in
+/// `fairsel-tests`); the rows differ only in `wall_ms` and the
+/// `encode_hits` / `encode_misses` counters.
+pub fn data_tester_modes(n_features: usize, rows: usize, workers: usize) -> Vec<BenchResult> {
+    // A high biased fraction keeps many features in play for phase 2,
+    // whose frontier conditions every query on the same wide `A ∪ C₁`
+    // set — exactly the shape where per-query re-encoding hurts most.
+    let cfg = SyntheticConfig {
+        n_features,
+        biased_fraction: 0.4,
+        predictive_fraction: 0.25,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = synthetic_instance(&mut rng, &cfg);
+    let scm = synthetic_scm(&mut rng, &inst, 1.5);
+    let table = sample_table(&scm, &inst.roles, rows, &mut rng);
+    let problem = Problem::from_table(&table);
+    let select = SelectConfig {
+        max_group: Some(SelectConfig::auto_max_group(rows)),
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+    let gtest_scenario = format!("gtest-batch/n={n_features}/rows={rows}");
+    modes_for(
+        &mut out,
+        &gtest_scenario,
+        n_features,
+        &problem,
+        &select,
+        workers,
+        |cached| GTest::over(encoded(&table, cached), 0.01),
+    );
+    let fz_scenario = format!("fisherz-batch/n={n_features}/rows={rows}");
+    modes_for(
+        &mut out,
+        &fz_scenario,
+        n_features,
+        &problem,
+        &select,
+        workers,
+        |cached| FisherZ::over(encoded(&table, cached), 0.01),
+    );
+    out
+}
+
+fn encoded(table: &Table, cached: bool) -> Arc<EncodedTable<'_>> {
+    Arc::new(if cached {
+        EncodedTable::new(table)
+    } else {
+        EncodedTable::new_uncached(table)
+    })
+}
+
+/// Run one scenario's three execution modes (per-query uncached baseline,
+/// batched, batched + worker pool) for any batch-aware tester.
+fn modes_for<T, F>(
+    out: &mut Vec<BenchResult>,
+    scenario: &str,
+    n_features: usize,
+    problem: &Problem,
+    select: &SelectConfig,
+    workers: usize,
+    mk: F,
+) where
+    T: CiTestBatch,
+    F: Fn(bool) -> T,
+{
+    // Per-query baseline: encoding memoization off. The per-query route
+    // doesn't sync encode counters on its own, so refresh before the
+    // session stats are read.
+    let mut session = CiSession::new(mk(false));
+    out.push(measure(
+        scenario,
+        "grpsel-nocache",
+        n_features,
+        &mut session,
+        |s| {
+            let selected = grpsel_in(s, problem, select, None).selected().len();
+            s.refresh_encode_stats();
+            selected
+        },
+    ));
+
+    // Batched: one shared encoding pass per variable set.
+    let mut session = CiSession::new(mk(true));
+    out.push(measure(
+        scenario,
+        "grpsel-batched",
+        n_features,
+        &mut session,
+        |s| {
+            grpsel_batched_in(s, problem, select, None, 1)
+                .selected()
+                .len()
+        },
+    ));
+
+    // Batched + worker pool.
+    let mut session = CiSession::new(mk(true));
+    let algo = format!("grpsel-batched-par{workers}");
+    out.push(measure(scenario, &algo, n_features, &mut session, |s| {
+        grpsel_batched_in(s, problem, select, None, workers)
+            .selected()
+            .len()
+    }));
+}
+
 /// The cache story: the same workload replayed inside one session issues
 /// zero new tests the second time.
 pub fn cache_replay(n_features: usize) -> Vec<BenchResult> {
@@ -219,6 +349,8 @@ pub fn cache_replay(n_features: usize) -> Vec<BenchResult> {
         requested: stats.requested - before.0,
         issued: stats.issued - before.1,
         cache_hits: stats.cache_hits - before.2,
+        encode_hits: 0,
+        encode_misses: 0,
         wall_ms,
         selected,
     };
@@ -232,9 +364,14 @@ pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
     } else {
         &[64, 256, 1024, 4096]
     };
+    // The batch scenario runs a high biased fraction (wide phase-2
+    // conditioning sets); keep n modest so the target's CPT (one parent
+    // per biased/predictive feature) stays within the generator's bound.
     let (data_n, data_rows) = if quick { (16, 1500) } else { (24, 6000) };
+    let (batch_n, batch_rows) = if quick { (24, 1500) } else { (32, 6000) };
     let mut out = oracle_scaling(oracle_sizes, workers);
     out.extend(data_scaling(data_n, data_rows, workers));
+    out.extend(data_tester_modes(batch_n, batch_rows, workers));
     out.extend(cache_replay(if quick { 32 } else { 128 }));
     out
 }
@@ -242,6 +379,74 @@ pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
 /// Suite with the default worker count.
 pub fn default_suite(quick: bool) -> Vec<BenchResult> {
     bench_suite(quick, default_workers())
+}
+
+/// The CI smoke suite: just the data-tester scenarios, on tiny inputs.
+pub fn smoke_suite() -> Vec<BenchResult> {
+    data_tester_modes(16, 800, 2)
+}
+
+/// Validate a serialized bench document the way the CI smoke job does:
+/// structurally sound JSON with a non-empty `runs` array, every run
+/// carrying the encode-cache counters, and the G-test GrpSel batched
+/// scenario actually *hitting* the encode cache.
+pub fn validate_bench_json(json: &str) -> Result<(), String> {
+    let json = json.trim();
+    if !json.starts_with('{') || !json.ends_with('}') {
+        return Err("document is not a JSON object".into());
+    }
+    let (mut depth, mut max_depth) = (0i64, 0i64);
+    for b in json.bytes() {
+        match b {
+            b'{' | b'[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            b'}' | b']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("unbalanced brackets".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err("unbalanced brackets".into());
+    }
+    if max_depth < 3 {
+        return Err("missing nested runs".into());
+    }
+    if !json.contains("\"runs\":[{") {
+        return Err("empty or missing runs array".into());
+    }
+    for key in [
+        "\"scenario\":",
+        "\"algo\":",
+        "\"issued\":",
+        "\"encode_hits\":",
+        "\"encode_misses\":",
+        "\"wall_ms\":",
+    ] {
+        let runs = json.matches("\"scenario\":").count();
+        if json.matches(key).count() != runs {
+            return Err(format!("counter {key} absent from some run"));
+        }
+    }
+    // The acceptance signal: a batched G-test GrpSel run with real
+    // encode-cache reuse.
+    let hit = json
+        .split("{\"scenario\":\"gtest-batch")
+        .skip(1)
+        .any(|chunk| {
+            // Run objects are flat: the first '}' closes this run.
+            let run = chunk.split('}').next().unwrap_or("");
+            run.contains("\"algo\":\"grpsel-batched\"") && !run.contains("\"encode_hits\":0,")
+        });
+    if !hit {
+        return Err("no gtest-batch grpsel-batched run with encode_hits > 0".into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -288,5 +493,57 @@ mod tests {
         assert_eq!(warm.issued, 0, "warm run must be fully cached");
         assert!(warm.cache_hits > 0);
         assert_eq!(warm.requested, warm.cache_hits);
+    }
+
+    #[test]
+    fn batched_modes_hit_encode_cache_and_agree() {
+        let results = data_tester_modes(16, 800, 2);
+        for scenario in ["gtest-batch", "fisherz-batch"] {
+            let rows: Vec<_> = results
+                .iter()
+                .filter(|r| r.scenario.starts_with(scenario))
+                .collect();
+            assert_eq!(rows.len(), 3, "{scenario}: three execution modes");
+            let baseline = rows.iter().find(|r| r.algo == "grpsel-nocache").unwrap();
+            let batched = rows.iter().find(|r| r.algo == "grpsel-batched").unwrap();
+            assert_eq!(baseline.encode_hits, 0, "uncached baseline never hits");
+            assert!(
+                batched.encode_hits > 0,
+                "{scenario}: batched run must reuse encodings"
+            );
+            assert!(
+                batched.encode_misses < baseline.encode_misses,
+                "{scenario}: cache must cut encoding work ({} !< {})",
+                batched.encode_misses,
+                baseline.encode_misses
+            );
+            // Same instance, same seed: every mode selects identically and
+            // issues the same tests.
+            for r in &rows {
+                assert_eq!(r.selected, baseline.selected, "{}", r.algo);
+                assert_eq!(r.issued, baseline.issued, "{}", r.algo);
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_suite_validates() {
+        let json = to_json(&smoke_suite());
+        validate_bench_json(&json).expect("smoke output must validate");
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json("{\"bench\":\"x\",\"runs\":[]}").is_err());
+        // A runs array whose rows lack the encode counters.
+        let legacy = "{\"bench\":\"fairsel-engine\",\"runs\":[{\"scenario\":\"gtest-batch/x\",\
+                      \"algo\":\"grpsel-batched\",\"issued\":3,\"wall_ms\":1.0}]}";
+        assert!(validate_bench_json(legacy).is_err());
+        // Encode counters present but never hit.
+        let cold = "{\"bench\":\"fairsel-engine\",\"runs\":[{\"scenario\":\"gtest-batch/x\",\
+                    \"algo\":\"grpsel-batched\",\"issued\":3,\"encode_hits\":0,\
+                    \"encode_misses\":9,\"wall_ms\":1.0}]}";
+        assert!(validate_bench_json(cold).is_err());
     }
 }

@@ -8,39 +8,26 @@
 //! following Mukherjee et al. [39], as footnote 3 of the paper prescribes.
 
 use crate::{CiOutcome, CiTest, VarId};
-use fairsel_table::Table;
+use fairsel_table::{EncodedTable, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Plug-in conditional mutual information `I(X; Y | Z)` in nats from joint
-/// codes. Equals `G / (2n)` for the same contingency tables.
+/// codes. Equals `G / (2n)` for the same contingency tables. Accumulation
+/// order is first-occurrence (deterministic in the codes).
 pub fn cmi_from_codes(x: &[u32], y: &[u32], z: &[u32]) -> f64 {
     let n = x.len();
-    assert_eq!(n, y.len(), "cmi: length mismatch");
-    assert_eq!(n, z.len(), "cmi: length mismatch");
     if n == 0 {
+        assert!(y.is_empty() && z.is_empty(), "cmi: length mismatch");
         return 0.0;
     }
-    #[derive(Default)]
-    struct Stratum {
-        cells: HashMap<(u32, u32), f64>,
-        xm: HashMap<u32, f64>,
-        ym: HashMap<u32, f64>,
-        total: f64,
-    }
-    let mut strata: HashMap<u32, Stratum> = HashMap::new();
-    for i in 0..n {
-        let s = strata.entry(z[i]).or_default();
-        *s.cells.entry((x[i], y[i])).or_insert(0.0) += 1.0;
-        *s.xm.entry(x[i]).or_insert(0.0) += 1.0;
-        *s.ym.entry(y[i]).or_insert(0.0) += 1.0;
-        s.total += 1.0;
-    }
+    let strata = crate::contingency::Strata::count(x, y, z);
     let nf = n as f64;
     let mut cmi = 0.0;
-    for s in strata.values() {
-        for (&(xv, yv), &nxy) in &s.cells {
+    for s in &strata.strata {
+        for &((xv, yv), nxy) in &s.cells {
             let nx = s.xm[&xv];
             let ny = s.ym[&yv];
             cmi += (nxy / nf) * ((nxy * s.total) / (nx * ny)).ln();
@@ -62,54 +49,151 @@ pub fn cmi_discrete(table: &Table, x: &[VarId], y: &[VarId], z: &[VarId]) -> f64
 /// produced by permuting `X` *within each stratum of Z*, which preserves
 /// both marginals `P(X|Z)` and `P(Y|Z)` while destroying any conditional
 /// association. Assumption-free but `B`× the cost of one statistic.
+///
+/// Randomness is drawn from a stream *derived per query* (base seed mixed
+/// with the canonicalized query), not from one mutable stream: any two
+/// evaluations of the same query — sequential, batched, across worker
+/// threads, in any order — consume identical randomness and return
+/// byte-identical outcomes. That is what makes this tester
+/// [`crate::CiTestShared`]/[`crate::CiTestBatch`]-capable despite being a
+/// permutation test (the ROADMAP's "per-worker RNG streams keyed by
+/// canonical query").
 pub struct PermutationCmi<'a> {
-    table: &'a Table,
+    enc: Arc<EncodedTable<'a>>,
     alpha: f64,
     permutations: usize,
-    rng: StdRng,
+    seed: u64,
+    degenerate: AtomicU64,
 }
 
 impl<'a> PermutationCmi<'a> {
     /// `permutations` controls null resolution (p-values are quantized to
     /// `1/(B+1)`); 99–499 is typical.
     pub fn new(table: &'a Table, alpha: f64, permutations: usize, seed: u64) -> Self {
+        Self::over(
+            Arc::new(EncodedTable::new(table)),
+            alpha,
+            permutations,
+            seed,
+        )
+    }
+
+    /// Build over a shared encoding layer (see [`crate::GTest::over`]).
+    pub fn over(enc: Arc<EncodedTable<'a>>, alpha: f64, permutations: usize, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
         assert!(permutations > 0, "need at least one permutation");
         Self {
-            table,
+            enc,
             alpha,
             permutations,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            degenerate: AtomicU64::new(0),
         }
+    }
+
+    /// The shared encoding layer.
+    pub fn encoded(&self) -> &Arc<EncodedTable<'a>> {
+        &self.enc
+    }
+
+    /// Queries short-circuited on all-singleton conditioning strata.
+    pub fn degenerate_short_circuits(&self) -> u64 {
+        self.degenerate.load(Ordering::Relaxed)
+    }
+
+    /// Seed for this query's private RNG stream: the base seed mixed with
+    /// a stable hash of the already-canonicalized query sides.
+    fn query_seed(&self, xs: &[VarId], ys: &[VarId], z: &[VarId]) -> u64 {
+        let mut zs = z.to_vec();
+        zs.sort_unstable();
+        zs.dedup();
+        // FNV-1a over the canonical sides with separators, then a
+        // splitmix-style finalizer; stable across platforms and runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        let mut byte = |b: u64| {
+            h ^= b;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for side in [xs, ys, &zs] {
+            for &v in side.iter() {
+                byte(v as u64 + 1);
+            }
+            byte(0); // side separator
+        }
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
     }
 }
 
 impl CiTest for PermutationCmi<'_> {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        crate::CiTestShared::ci_shared(self, x, y, z)
+    }
+
+    fn n_vars(&self) -> usize {
+        self.enc.table().n_cols()
+    }
+
+    fn name(&self) -> &'static str {
+        "perm-cmi"
+    }
+}
+
+impl crate::CiTestShared for PermutationCmi<'_> {
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
         }
-        let (xc, _) = self.table.joint_codes_dense(x);
-        let (yc, _) = self.table.joint_codes_dense(y);
-        let (zc, _) = self.table.joint_codes_dense(z);
-        let observed = cmi_from_codes(&xc, &yc, &zc);
-
-        // Pre-compute row indices per stratum for within-stratum shuffles.
-        let mut strata: HashMap<u32, Vec<usize>> = HashMap::new();
-        for (i, &zv) in zc.iter().enumerate() {
-            strata.entry(zv).or_default().push(i);
+        // Canonicalize the sides so every spelling of one query —
+        // including the symmetric swap — permutes the same side with the
+        // same randomness and returns byte-identical outcomes, matching
+        // the engine's cache quotient.
+        let (x, y) = crate::canonical_sides(x, y);
+        let (x, y) = (x.as_slice(), y.as_slice());
+        let ze = self.enc.encode(z);
+        if ze.all_singletons() {
+            // One row per stratum: the observed CMI is exactly 0 and every
+            // within-stratum permutation is the identity, so p = 1 without
+            // any contingency storage or randomness.
+            self.degenerate.fetch_add(1, Ordering::Relaxed);
+            return CiOutcome {
+                independent: true,
+                p_value: 1.0,
+                statistic: 0.0,
+            };
         }
-        let mut xperm = xc.clone();
+        let xe = self.enc.encode(x);
+        let ye = self.enc.encode(y);
+        let observed = cmi_from_codes(&xe.codes, &ye.codes, &ze.codes);
+
+        // Row indices per stratum in first-occurrence order, so the RNG
+        // consumption sequence is deterministic in the query.
+        let mut index: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut strata: Vec<Vec<usize>> = Vec::new();
+        for (i, &zv) in ze.codes.iter().enumerate() {
+            match index.get(&zv) {
+                Some(&si) => strata[si].push(i),
+                None => {
+                    index.insert(zv, strata.len());
+                    strata.push(vec![i]);
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.query_seed(x, y, z));
+        let mut xperm = xe.codes.clone();
         let mut at_least = 1usize; // the observed statistic counts itself
         for _ in 0..self.permutations {
-            for rows in strata.values() {
+            for rows in &strata {
                 // Fisher-Yates within the stratum.
                 for i in (1..rows.len()).rev() {
-                    let j = self.rng.gen_range(0..=i);
+                    let j = rng.gen_range(0..=i);
                     xperm.swap(rows[i], rows[j]);
                 }
             }
-            if cmi_from_codes(&xperm, &yc, &zc) >= observed {
+            if cmi_from_codes(&xperm, &ye.codes, &ze.codes) >= observed {
                 at_least += 1;
             }
         }
@@ -120,13 +204,11 @@ impl CiTest for PermutationCmi<'_> {
             statistic: observed,
         }
     }
+}
 
-    fn n_vars(&self) -> usize {
-        self.table.n_cols()
-    }
-
-    fn name(&self) -> &'static str {
-        "perm-cmi"
+impl crate::CiTestBatch for PermutationCmi<'_> {
+    fn encode_cache_stats(&self) -> crate::EncodeStats {
+        self.enc.stats()
     }
 }
 

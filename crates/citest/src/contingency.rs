@@ -1,0 +1,98 @@
+//! Deterministic stratified contingency counting shared by the discrete
+//! testers (G-test, plug-in CMI).
+//!
+//! Strata and cells are accumulated in *first-occurrence order* (hash maps
+//! are used only as indexes into insertion-ordered vectors), so the
+//! floating-point accumulation order of any statistic built on top is a
+//! pure function of the input codes. That determinism is what lets the
+//! engine promise byte-identical outcomes across the per-query, batched,
+//! and worker-pool execution paths.
+
+use std::collections::HashMap;
+
+/// Counts for one stratum of the conditioning variables.
+#[derive(Default)]
+pub(crate) struct Stratum {
+    cell_index: HashMap<(u32, u32), usize>,
+    /// `(x, y) -> count`, in first-occurrence order.
+    pub cells: Vec<((u32, u32), f64)>,
+    /// Marginal counts per x value.
+    pub xm: HashMap<u32, f64>,
+    /// Marginal counts per y value.
+    pub ym: HashMap<u32, f64>,
+    /// Rows in this stratum.
+    pub total: f64,
+}
+
+/// Stratified contingency counts over parallel code slices, strata in
+/// first-occurrence order.
+pub(crate) struct Strata {
+    index: HashMap<u32, usize>,
+    pub strata: Vec<Stratum>,
+}
+
+impl Strata {
+    /// Count `(x, y)` pairs within each stratum of `z`.
+    ///
+    /// # Panics
+    /// Panics when the slices disagree in length.
+    pub fn count(x: &[u32], y: &[u32], z: &[u32]) -> Strata {
+        let n = x.len();
+        assert_eq!(n, y.len(), "contingency: length mismatch");
+        assert_eq!(n, z.len(), "contingency: length mismatch");
+        let mut out = Strata {
+            index: HashMap::new(),
+            strata: Vec::new(),
+        };
+        for i in 0..n {
+            let si = match out.index.get(&z[i]) {
+                Some(&si) => si,
+                None => {
+                    out.index.insert(z[i], out.strata.len());
+                    out.strata.push(Stratum::default());
+                    out.strata.len() - 1
+                }
+            };
+            let s = &mut out.strata[si];
+            let key = (x[i], y[i]);
+            match s.cell_index.get(&key) {
+                Some(&ci) => s.cells[ci].1 += 1.0,
+                None => {
+                    s.cell_index.insert(key, s.cells.len());
+                    s.cells.push((key, 1.0));
+                }
+            }
+            *s.xm.entry(x[i]).or_insert(0.0) += 1.0;
+            *s.ym.entry(y[i]).or_insert(0.0) += 1.0;
+            s.total += 1.0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_in_first_occurrence_order() {
+        let x = [1, 0, 1, 1];
+        let y = [0, 0, 0, 1];
+        let z = [7, 3, 7, 3];
+        let s = Strata::count(&x, &y, &z);
+        assert_eq!(s.strata.len(), 2);
+        // Stratum of z=7 first (row 0), then z=3 (row 1).
+        assert_eq!(s.strata[0].total, 2.0);
+        assert_eq!(s.strata[0].cells, vec![((1, 0), 2.0)]);
+        assert_eq!(s.strata[1].total, 2.0);
+        assert_eq!(s.strata[1].cells, vec![((0, 0), 1.0), ((1, 1), 1.0)]);
+        assert_eq!(s.strata[1].xm[&0], 1.0);
+        assert_eq!(s.strata[1].ym[&1], 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let s = Strata::count(&[], &[], &[]);
+        assert!(s.strata.is_empty());
+    }
+}

@@ -11,41 +11,76 @@
 
 use crate::{CiOutcome, CiTest, VarId};
 use fairsel_math::special::chi2_sf;
-use fairsel_table::Table;
-use std::collections::HashMap;
+use fairsel_table::{EncodedTable, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// G-test over the categorical columns of a [`Table`].
+/// G-test over the categorical columns of a [`Table`], reading every
+/// joint encoding through a shared [`EncodedTable`] so repeated variable
+/// sets — a frontier's common conditioning set, nested group sides — are
+/// encoded once per session rather than once per query.
 ///
 /// Variables are table column ids; all referenced columns must be
 /// categorical (the paper's discrete synthetic benchmarks and simulated
 /// datasets are generated categorically).
 pub struct GTest<'a> {
-    table: &'a Table,
+    enc: Arc<EncodedTable<'a>>,
     alpha: f64,
+    degenerate: AtomicU64,
 }
 
 impl<'a> GTest<'a> {
     /// Create a tester at significance level `alpha` (paper default: 0.01,
-    /// swept to 0.05 in §5.2 with stable results).
+    /// swept to 0.05 in §5.2 with stable results), with a private
+    /// encoding cache.
     pub fn new(table: &'a Table, alpha: f64) -> Self {
+        Self::over(Arc::new(EncodedTable::new(table)), alpha)
+    }
+
+    /// Create a tester sharing an existing encoding layer — how several
+    /// testers (G-test + CMI audit) amortize one cache.
+    pub fn over(enc: Arc<EncodedTable<'a>>, alpha: f64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
-        Self { table, alpha }
+        Self {
+            enc,
+            alpha,
+            degenerate: AtomicU64::new(0),
+        }
     }
 
     /// The underlying table.
     pub fn table(&self) -> &Table {
-        self.table
+        self.enc.table()
+    }
+
+    /// The shared encoding layer.
+    pub fn encoded(&self) -> &Arc<EncodedTable<'a>> {
+        &self.enc
+    }
+
+    /// How many queries short-circuited on an all-singleton conditioning
+    /// stratum structure (p = 1 without building contingency tables).
+    pub fn degenerate_short_circuits(&self) -> u64 {
+        self.degenerate.load(Ordering::Relaxed)
     }
 
     /// Raw statistic and p-value for `X ⊥ Y | Z` without thresholding.
     pub fn g_statistic(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> (f64, f64) {
-        // Dense joint encoding: group queries can multiply arities past
-        // u32 (32 binary features already overflow); the G statistic only
-        // depends on the induced partition, so dense re-encoding is exact.
-        let (xc, _) = self.table.joint_codes_dense(x);
-        let (yc, _) = self.table.joint_codes_dense(y);
-        let (zc, _) = self.table.joint_codes_dense(z);
-        g_test_from_codes(&xc, &yc, &zc)
+        // Encodings are dense where needed: group queries can multiply
+        // arities past u32 (32 binary features already overflow); the G
+        // statistic only depends on the induced partition, so dense
+        // re-encoding is exact.
+        let ze = self.enc.encode(z);
+        if ze.all_singletons() {
+            // Every row its own stratum: no stratum can be informative
+            // (df = 0), so the full computation would return (0, 1) after
+            // allocating a contingency entry per row. Skip it.
+            self.degenerate.fetch_add(1, Ordering::Relaxed);
+            return (0.0, 1.0);
+        }
+        let xe = self.enc.encode(x);
+        let ye = self.enc.encode(y);
+        g_test_from_codes(&xe.codes, &ye.codes, &ze.codes)
     }
 }
 
@@ -55,7 +90,7 @@ impl CiTest for GTest<'_> {
     }
 
     fn n_vars(&self) -> usize {
-        self.table.n_cols()
+        self.table().n_cols()
     }
 
     fn name(&self) -> &'static str {
@@ -77,37 +112,29 @@ impl crate::CiTestShared for GTest<'_> {
     }
 }
 
+impl crate::CiTestBatch for GTest<'_> {
+    fn encode_cache_stats(&self) -> crate::EncodeStats {
+        self.enc.stats()
+    }
+}
+
 /// Core G computation from pre-encoded joint codes. Returns `(G, p_value)`.
 ///
 /// Strata are formed over distinct observed `z` codes; within each stratum
 /// counts are accumulated sparsely so high-arity joint codes stay cheap.
+/// Strata and cells accumulate in first-occurrence order, so the result is
+/// a deterministic function of the codes — the property the batched and
+/// worker-pool execution paths rely on for byte-identical outcomes.
 pub fn g_test_from_codes(x: &[u32], y: &[u32], z: &[u32]) -> (f64, f64) {
-    let n = x.len();
-    assert_eq!(n, y.len(), "g_test: length mismatch");
-    assert_eq!(n, z.len(), "g_test: length mismatch");
-    if n == 0 {
+    if x.is_empty() {
+        assert!(y.is_empty() && z.is_empty(), "g_test: length mismatch");
         return (0.0, 1.0);
     }
-    // stratum -> (cell counts, x-margin, y-margin, total)
-    #[derive(Default)]
-    struct Stratum {
-        cells: HashMap<(u32, u32), f64>,
-        xm: HashMap<u32, f64>,
-        ym: HashMap<u32, f64>,
-        total: f64,
-    }
-    let mut strata: HashMap<u32, Stratum> = HashMap::new();
-    for i in 0..n {
-        let s = strata.entry(z[i]).or_default();
-        *s.cells.entry((x[i], y[i])).or_insert(0.0) += 1.0;
-        *s.xm.entry(x[i]).or_insert(0.0) += 1.0;
-        *s.ym.entry(y[i]).or_insert(0.0) += 1.0;
-        s.total += 1.0;
-    }
+    let strata = crate::contingency::Strata::count(x, y, z);
     let mut g = 0.0;
     let mut df = 0usize;
-    for s in strata.values() {
-        for (&(xv, yv), &nxy) in &s.cells {
+    for s in &strata.strata {
+        for &((xv, yv), nxy) in &s.cells {
             let nx = s.xm[&xv];
             let ny = s.ym[&yv];
             // nxy > 0 by construction.

@@ -22,8 +22,15 @@
 //!
 //! All testers implement [`CiTest`]; [`CountingCi`] wraps any of them to
 //! produce the test counts reported in Table 2 and Figures 4-5.
+//!
+//! The data-driven testers ([`GTest`], [`PermutationCmi`], [`FisherZ`])
+//! additionally implement [`CiTestBatch`]: they evaluate whole *batches*
+//! of queries through a shared [`fairsel_table::EncodedTable`] so one
+//! columnar encoding pass (or one residualization, for Fisher-z) is
+//! amortized across every query of a GrpSel frontier level.
 
 pub mod cmi;
+mod contingency;
 pub mod fisher_z;
 pub mod gtest;
 pub mod oracle;
@@ -34,6 +41,8 @@ pub use fisher_z::FisherZ;
 pub use gtest::GTest;
 pub use oracle::{NoisyOracleCi, OracleCi};
 pub use rcit::{Rcit, RcitConfig};
+
+pub use fairsel_table::EncodeStats;
 
 /// Variables are identified by opaque indices; each tester defines what an
 /// index means (a table column, a graph node, ...).
@@ -98,6 +107,116 @@ pub trait CiTestShared: CiTest + Sync {
 impl<T: CiTestShared + ?Sized> CiTestShared for &mut T {
     fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         (**self).ci_shared(x, y, z)
+    }
+}
+
+/// A shared reference to a shared-capable tester is itself a tester:
+/// `ci` routes through `ci_shared` (they agree by the [`CiTestShared`]
+/// contract), so sessions can borrow testers immutably.
+impl<T: CiTestShared + ?Sized> CiTest for &T {
+    fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        (**self).ci_shared(x, y, z)
+    }
+    fn n_vars(&self) -> usize {
+        (**self).n_vars()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: CiTestShared + ?Sized> CiTestShared for &T {
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        (**self).ci_shared(x, y, z)
+    }
+}
+
+/// One query of a batch, borrowing its sides from the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct CiQueryRef<'q> {
+    pub x: &'q [VarId],
+    pub y: &'q [VarId],
+    pub z: &'q [VarId],
+}
+
+/// Canonical test sides: each sorted and deduplicated, the
+/// lexicographically smaller one first — the same quotient the engine's
+/// cache key uses. Testers that want byte-identical outcomes across all
+/// spellings of one query (the [`CiTestBatch`] contract) canonicalize
+/// through this single definition.
+pub fn canonical_sides(x: &[VarId], y: &[VarId]) -> (Vec<VarId>, Vec<VarId>) {
+    fn canon(side: &[VarId]) -> Vec<VarId> {
+        let mut v = side.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+    let xs = canon(x);
+    let ys = canon(y);
+    if ys < xs {
+        (ys, xs)
+    } else {
+        (xs, ys)
+    }
+}
+
+/// CI testers that can evaluate a whole *batch* of queries at once.
+///
+/// This is the capability GrpSel's level-synchronous frontiers want: all
+/// queries of a level share structure (one conditioning set, nested group
+/// sides), so a batch-aware tester amortizes its per-variable-set work —
+/// joint encodings, residualizations — across the batch instead of
+/// re-deriving it per query.
+///
+/// # Contract
+///
+/// * `eval_batch(qs)[i]` must be **byte-identical** to
+///   `ci_shared(qs[i].x, qs[i].y, qs[i].z)` — same `independent` flag,
+///   same `p_value` and `statistic` bits. The engine relies on this to
+///   route frontiers through whichever path is fastest without changing
+///   selections (see the `batch_equivalence` property tests in
+///   `fairsel-tests`).
+/// * Results must not depend on the order of queries within the batch, on
+///   how a batch is split across calls, or on how many worker threads
+///   evaluate chunks concurrently (implementations share caches behind
+///   locks; cached values must equal freshly computed ones).
+/// * `encode_cache_stats` reports cumulative shared-cache telemetry
+///   (encoding/residual cache hits and misses) for the engine's
+///   `encode_cache_*` counters; testers without a cache keep the default.
+///
+/// The default `eval_batch` is the per-query fallback: correct for every
+/// [`CiTestShared`] tester, it simply forgoes batch-level amortization.
+pub trait CiTestBatch: CiTestShared {
+    /// Evaluate a batch of independent queries, results in input order.
+    fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        queries
+            .iter()
+            .map(|q| self.ci_shared(q.x, q.y, q.z))
+            .collect()
+    }
+
+    /// Cumulative shared-cache telemetry (hits/misses of the columnar
+    /// encoding or residual caches backing this tester).
+    fn encode_cache_stats(&self) -> EncodeStats {
+        EncodeStats::default()
+    }
+}
+
+impl<T: CiTestBatch + ?Sized> CiTestBatch for &mut T {
+    fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        (**self).eval_batch(queries)
+    }
+    fn encode_cache_stats(&self) -> EncodeStats {
+        (**self).encode_cache_stats()
+    }
+}
+
+impl<T: CiTestBatch + ?Sized> CiTestBatch for &T {
+    fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        (**self).eval_batch(queries)
+    }
+    fn encode_cache_stats(&self) -> EncodeStats {
+        (**self).encode_cache_stats()
     }
 }
 

@@ -14,7 +14,7 @@
 
 use fairsel_ci::{FisherZ, GTest};
 use fairsel_core::{
-    run_all_methods, run_pipeline_par, ClassifierKind, PipelineConfig, Problem, SelectConfig,
+    run_all_methods, run_pipeline_batched, ClassifierKind, PipelineConfig, Problem, SelectConfig,
     SelectionAlgo, TesterSpec,
 };
 use fairsel_datasets::fixtures;
@@ -35,15 +35,19 @@ USAGE:
                   [--biased F] [--rows N] [--seed N] [--strength W]
   fairsel select  --csv <file.csv> [--algo seqsel|grpsel] [--tester gtest|fisherz]
                   [--alpha F] [--classifier logistic|tree|forest|adaboost|nb]
-                  [--workers N] [--train-frac F] [--seed N] [--stats-out <file.json>]
+                  [--workers N] [--max-group N|auto] [--train-frac F] [--seed N]
+                  [--stats-out <file.json>]
   fairsel methods --csv <file.csv> [--tester gtest|fisherz] [--alpha F]
-                  [--classifier ...] [--train-frac F] [--seed N]
+                  [--classifier ...] [--max-group N|auto] [--train-frac F] [--seed N]
 
 `gen` writes a role-annotated CSV sampled from a paper fixture (default 1a)
 or from a fairness-structured synthetic DAG (--synthetic <n_features>).
-`select` runs the full pipeline and prints selection, fairness report, and
-engine telemetry. `methods` sweeps the baseline pipelines (a-only, all,
-seqsel, grpsel, fair-pc) on one split.";
+`select` runs the full pipeline — GrpSel frontiers batched through the
+columnar EncodedTable layer — and prints selection, fairness report, and
+engine telemetry (including encode-cache reuse). `methods` sweeps the
+baseline pipelines (a-only, all, seqsel, grpsel, fair-pc) on one split.
+`--max-group auto` pre-splits GrpSel's root group to width log2(train rows),
+restoring group-test power on wide discrete data.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -182,8 +186,26 @@ fn load_workload(opts: &Opts) -> Result<Workload, String> {
     let classifier = ClassifierKind::parse(opts.get("classifier").unwrap_or("logistic"))
         .ok_or("unknown --classifier")?;
     let workers: usize = opts.num("workers", default_workers())?;
+    let max_group = match opts.get("max-group") {
+        None => None,
+        Some("auto") => Some(SelectConfig::auto_max_group(train.n_rows())),
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--max-group: bad value {v:?} (number or 'auto')"))
+                .and_then(|w| {
+                    if w == 0 {
+                        Err("--max-group must be >= 1".to_owned())
+                    } else {
+                        Ok(w)
+                    }
+                })?,
+        ),
+    };
     let cfg = PipelineConfig {
-        select: SelectConfig::default(),
+        select: SelectConfig {
+            max_group,
+            ..SelectConfig::default()
+        },
         algo,
         classifier,
         workers,
@@ -205,11 +227,11 @@ fn cmd_select(opts: &Opts) -> Result<(), String> {
     let out = match w.tester.as_str() {
         "gtest" => {
             let tester = GTest::new(&w.train, w.alpha);
-            run_pipeline_par(tester, &w.train, &w.test, &w.cfg)
+            run_pipeline_batched(tester, &w.train, &w.test, &w.cfg)
         }
         "fisherz" => {
             let tester = FisherZ::new(&w.train, w.alpha);
-            run_pipeline_par(tester, &w.train, &w.test, &w.cfg)
+            run_pipeline_batched(tester, &w.train, &w.test, &w.cfg)
         }
         other => return Err(format!("unknown --tester: {other} (gtest|fisherz)")),
     };
@@ -301,8 +323,12 @@ fn print_engine_stats(stats: &EngineStats, workers: usize) {
     println!("cache hits                  {}", stats.cache_hits);
     println!("dedup rate                  {:.4}", stats.dedup_rate());
     println!(
-        "batches (parallel)          {} ({})",
-        stats.batches, stats.parallel_batches
+        "batches (parallel/batched)  {} ({}/{})",
+        stats.batches, stats.parallel_batches, stats.batched_batches
+    );
+    println!(
+        "encode cache hits/misses    {}/{}",
+        stats.encode_cache_hits, stats.encode_cache_misses
     );
     println!("ci wall time                {:.2} ms", stats.wall_ms);
     for p in &stats.phases {

@@ -23,7 +23,7 @@
 //! conditioning on `A ∪ C₁`, which is what we do.
 
 use crate::problem::{Problem, SelectConfig, Selection};
-use fairsel_ci::{CiOutcome, CiTest, CiTestShared, VarId};
+use fairsel_ci::{CiOutcome, CiTest, CiTestBatch, CiTestShared, VarId};
 use fairsel_engine::{CiQuery, CiSession, HalvingPlanner};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -106,6 +106,45 @@ pub fn grpsel_par_in<T: CiTestShared>(
     )
 }
 
+/// GrpSel routing every frontier through the tester's
+/// [`fairsel_ci::CiTestBatch::eval_batch`] — one columnar encoding pass
+/// per level — with `workers > 1` fanning `eval_batch` chunks across the
+/// worker pool. Outcomes are byte-identical to [`grpsel`] /
+/// [`grpsel_par`]; only the execution strategy changes.
+pub fn grpsel_batched<T: CiTestBatch + ?Sized>(
+    tester: &mut T,
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: Option<u64>,
+    workers: usize,
+) -> Selection {
+    let mut session = CiSession::new(tester);
+    grpsel_batched_in(&mut session, problem, cfg, seed, workers)
+}
+
+/// Batched GrpSel inside a caller-provided session.
+pub fn grpsel_batched_in<T: CiTestBatch>(
+    session: &mut CiSession<T>,
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: Option<u64>,
+    workers: usize,
+) -> Selection {
+    run(
+        problem,
+        cfg,
+        seed,
+        &mut |s: &mut CiSession<T>, qs| {
+            if workers > 1 {
+                s.run_batch_batched_parallel(qs, workers)
+            } else {
+                s.run_batch_batched(qs)
+            }
+        },
+        session,
+    )
+}
+
 /// How a batch of frontier queries is executed against the session —
 /// sequentially or across the worker pool.
 type BatchExec<'a, T> = &'a mut dyn FnMut(&mut CiSession<T>, &[CiQuery]) -> Vec<CiOutcome>;
@@ -131,7 +170,7 @@ fn run<T: CiTest>(
     // later waves, mirroring the sequential ∃-search's early exit.
     session.set_phase("grpsel/phase1");
     let mut remaining: Vec<VarId> = Vec::new();
-    let mut planner = HalvingPlanner::new(&features);
+    let mut planner = root_planner(&features, cfg);
     while !planner.is_done() {
         let verdicts = exists_over_frontier(
             session,
@@ -164,7 +203,7 @@ fn run<T: CiTest>(
     session.set_phase("grpsel/phase2");
     let mut cond: Vec<VarId> = problem.admissible.clone();
     cond.extend(&out.c1);
-    let mut planner = HalvingPlanner::new(&remaining);
+    let mut planner = root_planner(&remaining, cfg);
     while !planner.is_done() {
         let batch: Vec<CiQuery> = planner
             .frontier()
@@ -182,6 +221,17 @@ fn run<T: CiTest>(
     session.clear_phase();
     out.tests_used = session.stats().issued - issued_before;
     out
+}
+
+/// Root frontier for a phase: the single full group (Algorithm 2), or —
+/// with [`SelectConfig::max_group`] set — contiguous subgroups of at most
+/// that width, so finite-sample group tests never see a joint side whose
+/// code space dwarfs the sample (the "wide-group power" fix).
+fn root_planner(items: &[VarId], cfg: &SelectConfig) -> HalvingPlanner {
+    match cfg.max_group {
+        Some(w) => HalvingPlanner::from_groups(items.chunks(w.max(1)).map(<[VarId]>::to_vec)),
+        None => HalvingPlanner::new(items),
+    }
 }
 
 /// One frontier's ∃-search: wave `k` batches subset `k` for every group

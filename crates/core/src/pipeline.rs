@@ -6,10 +6,10 @@
 //! in [`PipelineResult::engine`] — the numbers the paper reports alongside
 //! accuracy and odds difference.
 
-use crate::grpsel::{grpsel_in, grpsel_par_in};
+use crate::grpsel::{grpsel_batched_in, grpsel_in, grpsel_par_in};
 use crate::problem::{Problem, SelectConfig, Selection};
 use crate::seqsel::seqsel_in;
-use fairsel_ci::{CiTest, CiTestShared};
+use fairsel_ci::{CiTest, CiTestBatch, CiTestShared};
 use fairsel_engine::{CiSession, EngineStats};
 use fairsel_ml::{
     AdaBoost, Classifier, DecisionTree, FairnessReport, Featurizer, LogisticRegression, NaiveBayes,
@@ -128,6 +128,37 @@ pub fn run_pipeline_par<T: CiTestShared>(
             cfg.workers.max(1),
         ),
     };
+    let engine = session.stats().clone();
+    train_and_score(train, test, &problem, selection, engine, cfg)
+}
+
+/// Like [`run_pipeline_par`] for batch-aware testers (`GTest`,
+/// `PermutationCmi`, `FisherZ`): GrpSel frontiers route through
+/// [`fairsel_ci::CiTestBatch::eval_batch`], so the whole selection shares
+/// one columnar encoding pass per variable set and the engine telemetry
+/// reports `encode_cache_*` counters. Selections are byte-identical to
+/// the per-query pipelines.
+pub fn run_pipeline_batched<T: CiTestBatch>(
+    tester: T,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> PipelineResult {
+    let problem = Problem::from_table(train);
+    let mut session = CiSession::new(tester);
+    let selection = match cfg.algo {
+        SelectionAlgo::SeqSel => seqsel_in(&mut session, &problem, &cfg.select),
+        SelectionAlgo::GrpSel { seed } => grpsel_batched_in(
+            &mut session,
+            &problem,
+            &cfg.select,
+            seed,
+            cfg.workers.max(1),
+        ),
+    };
+    // SeqSel routes per-query, which doesn't sync the tester's
+    // encode-cache counters; refresh so the telemetry is honest either way.
+    session.refresh_encode_stats();
     let engine = session.stats().clone();
     train_and_score(train, test, &problem, selection, engine, cfg)
 }

@@ -81,6 +81,16 @@ pub struct SelectConfig {
     /// to `max_admissible_subset` are tried. Guards against accidental
     /// exponential blowup.
     pub admissible_guard: usize,
+    /// Maximum width of GrpSel's *root* groups. `None` starts from the
+    /// single all-features root (the paper's Algorithm 2). On finite
+    /// samples a very wide discrete group is statistically vacuous — the
+    /// joint side approaches one category per row, every stratum loses its
+    /// degrees of freedom, and the G-test cannot reject, so the root
+    /// "passes" and under-rejection follows. Pre-splitting into groups of
+    /// width ≲ log₂(rows) ([`SelectConfig::auto_max_group`]) keeps each
+    /// group's joint code space below the sample size. Oracle testers
+    /// don't need this (group answers are exact at any width).
+    pub max_group: Option<usize>,
 }
 
 impl Default for SelectConfig {
@@ -88,11 +98,22 @@ impl Default for SelectConfig {
         Self {
             max_admissible_subset: usize::MAX,
             admissible_guard: 12,
+            max_group: None,
         }
     }
 }
 
 impl SelectConfig {
+    /// The data-driven default for [`SelectConfig::max_group`]:
+    /// `⌊log₂ rows⌋`, so a group of binary features has at most `rows`
+    /// joint categories — the widest a G-test stratum can be before it
+    /// degenerates.
+    pub fn auto_max_group(rows: usize) -> usize {
+        (usize::BITS - 1)
+            .saturating_sub(rows.leading_zeros())
+            .max(1) as usize
+    }
+
     /// Enumerate the admissible subsets to try, in increasing size
     /// (∅ first, full set last). Size is capped by the config.
     pub fn admissible_subsets(&self, admissible: &[VarId]) -> Vec<Vec<VarId>> {

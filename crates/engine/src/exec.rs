@@ -1,8 +1,9 @@
-//! Batch execution: cache-aware deduplication plus the worker pool.
+//! Batch execution: cache-aware deduplication plus the worker pool and
+//! the batch-aware tester routing.
 
 use crate::key::{CiQuery, QueryKey};
-use crate::session::CiSession;
-use fairsel_ci::{CiOutcome, CiTest, CiTestShared};
+use crate::session::{BatchKind, CiSession};
+use fairsel_ci::{CiOutcome, CiQueryRef, CiTest, CiTestBatch, CiTestShared};
 use std::time::Instant;
 
 /// Worker count the parallel scheduler defaults to: one per available
@@ -67,14 +68,14 @@ fn finish<T: CiTest>(
     mut plan: BatchPlan,
     evaluated: Vec<CiOutcome>,
     wall_ms: f64,
-    parallel: bool,
+    kind: BatchKind,
 ) -> Vec<CiOutcome> {
     debug_assert_eq!(evaluated.len(), plan.miss_keys.len());
     for (key, &out) in plan.miss_keys.drain(..).zip(&evaluated) {
         session.cache_insert(key, out);
     }
     let issued = evaluated.len() as u64;
-    session.account_batch(queries.len() as u64, issued, plan.hits, wall_ms, parallel);
+    session.account_batch(queries.len() as u64, issued, plan.hits, wall_ms, kind);
     plan.results
         .into_iter()
         .zip(plan.assign)
@@ -101,7 +102,14 @@ impl<T: CiTest> CiSession<T> {
             })
             .collect();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        finish(self, queries, plan, evaluated, wall_ms, false)
+        finish(
+            self,
+            queries,
+            plan,
+            evaluated,
+            wall_ms,
+            BatchKind::Sequential,
+        )
     }
 }
 
@@ -131,7 +139,14 @@ impl<T: CiTestShared> CiSession<T> {
                 })
                 .collect();
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            return finish(self, queries, plan, evaluated, wall_ms, false);
+            return finish(
+                self,
+                queries,
+                plan,
+                evaluated,
+                wall_ms,
+                BatchKind::Sequential,
+            );
         }
 
         let t0 = Instant::now();
@@ -155,7 +170,103 @@ impl<T: CiTestShared> CiSession<T> {
             }
         });
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        finish(self, queries, plan, evaluated, wall_ms, true)
+        finish(self, queries, plan, evaluated, wall_ms, BatchKind::Parallel)
+    }
+}
+
+/// Borrow the representative query of each unique miss as a
+/// [`CiQueryRef`] batch.
+fn miss_repr_refs<'q>(plan: &BatchPlan, queries: &'q [CiQuery]) -> Vec<CiQueryRef<'q>> {
+    plan.miss_repr
+        .iter()
+        .map(|&i| {
+            let q = &queries[i];
+            CiQueryRef {
+                x: &q.x,
+                y: &q.y,
+                z: &q.z,
+            }
+        })
+        .collect()
+}
+
+impl<T: CiTestBatch> CiSession<T> {
+    /// Evaluate a batch through the tester's [`CiTestBatch::eval_batch`]:
+    /// cache planning and result assembly are identical to
+    /// [`CiSession::run_batch`], but the unique misses are handed to the
+    /// tester as *one* batch so it can amortize per-variable-set work
+    /// (columnar encodings, residualizations) across the whole frontier.
+    /// Outcomes are byte-identical to the per-query paths (the
+    /// `CiTestBatch` contract).
+    pub fn run_batch_batched(&mut self, queries: &[CiQuery]) -> Vec<CiOutcome> {
+        let plan = plan(self, queries);
+        self.eval_batched(queries, plan)
+    }
+
+    /// Parallel twin of [`CiSession::run_batch_batched`]: the unique
+    /// misses are split into contiguous chunks, one `eval_batch` call per
+    /// worker, reassembled by slot index. The tester's shared caches make
+    /// the encoding pass common to all workers; results are byte-identical
+    /// to every other execution path regardless of worker count.
+    pub fn run_batch_batched_parallel(
+        &mut self,
+        queries: &[CiQuery],
+        workers: usize,
+    ) -> Vec<CiOutcome> {
+        let plan = plan(self, queries);
+        let n_miss = plan.miss_repr.len();
+        let workers = workers.min(n_miss);
+        if workers <= 1 {
+            return self.eval_batched(queries, plan);
+        }
+
+        let t0 = Instant::now();
+        let repr = miss_repr_refs(&plan, queries);
+        let chunk = n_miss.div_ceil(workers);
+        let tester = self.tester();
+        let mut evaluated: Vec<CiOutcome> = Vec::with_capacity(n_miss);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = repr
+                .chunks(chunk)
+                .map(|qs| scope.spawn(move || tester.eval_batch(qs)))
+                .collect();
+            for h in handles {
+                evaluated.extend(h.join().expect("CI batch worker panicked"));
+            }
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let out = finish(
+            self,
+            queries,
+            plan,
+            evaluated,
+            wall_ms,
+            BatchKind::BatchedParallel,
+        );
+        self.refresh_encode_stats();
+        out
+    }
+
+    /// One `eval_batch` call over a planned batch's unique misses —
+    /// shared by the sequential batched path and the parallel path's
+    /// small-batch fallback.
+    fn eval_batched(&mut self, queries: &[CiQuery], plan: BatchPlan) -> Vec<CiOutcome> {
+        let t0 = Instant::now();
+        let repr = miss_repr_refs(&plan, queries);
+        let evaluated = self.tester().eval_batch(&repr);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let out = finish(self, queries, plan, evaluated, wall_ms, BatchKind::Batched);
+        self.refresh_encode_stats();
+        out
+    }
+
+    /// Copy the tester's cumulative encode-cache counters into the
+    /// session telemetry. Batched runs do this automatically; call it
+    /// after per-query routes (e.g. SeqSel's single-query path) so the
+    /// `encode_cache_*` fields reflect the tester's real cache activity.
+    pub fn refresh_encode_stats(&mut self) {
+        let s = self.tester().encode_cache_stats();
+        self.set_encode_stats(s.hits, s.misses);
     }
 }
 
@@ -276,5 +387,100 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    /// Batch-aware tester: same decision rule as [`GapCi`], but counts
+    /// `eval_batch` invocations and reports fake encode-cache telemetry.
+    struct BatchGapCi {
+        inner: GapCi,
+        batch_calls: AtomicU64,
+    }
+
+    impl BatchGapCi {
+        fn new(n: usize) -> Self {
+            Self {
+                inner: GapCi::new(n),
+                batch_calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CiTest for BatchGapCi {
+        fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+            self.inner.ci(x, y, z)
+        }
+        fn n_vars(&self) -> usize {
+            self.inner.n_vars()
+        }
+    }
+
+    impl CiTestShared for BatchGapCi {
+        fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+            self.inner.ci_shared(x, y, z)
+        }
+    }
+
+    impl CiTestBatch for BatchGapCi {
+        fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+            self.batch_calls.fetch_add(1, Ordering::Relaxed);
+            queries
+                .iter()
+                .map(|q| self.ci_shared(q.x, q.y, q.z))
+                .collect()
+        }
+        fn encode_cache_stats(&self) -> fairsel_ci::EncodeStats {
+            fairsel_ci::EncodeStats {
+                hits: self.inner.calls.load(Ordering::Relaxed),
+                misses: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_query_paths() {
+        let qs = queries(57);
+        let mut seq = CiSession::new(GapCi::new(1024));
+        let reference = seq.run_batch(&qs);
+
+        let mut batched = CiSession::new(BatchGapCi::new(1024));
+        let got = batched.run_batch_batched(&qs);
+        assert_eq!(reference, got);
+        assert_eq!(batched.stats().issued, seq.stats().issued);
+        assert_eq!(batched.stats().batched_batches, 1);
+        assert_eq!(batched.stats().parallel_batches, 0);
+        assert_eq!(
+            batched.tester().batch_calls.load(Ordering::Relaxed),
+            1,
+            "whole frontier must be one eval_batch call"
+        );
+
+        for workers in [1usize, 2, 4] {
+            let mut par = CiSession::new(BatchGapCi::new(1024));
+            let got = par.run_batch_batched_parallel(&qs, workers);
+            assert_eq!(reference, got, "workers {workers}");
+            assert_eq!(par.stats().issued, seq.stats().issued);
+            assert_eq!(par.stats().batched_batches, 1);
+        }
+    }
+
+    #[test]
+    fn batched_dedups_and_reports_encode_stats() {
+        let mut s = CiSession::new(BatchGapCi::new(64));
+        let qs = vec![
+            CiQuery::new(&[0], &[2], &[]),
+            CiQuery::new(&[2], &[0], &[]), // symmetric duplicate
+            CiQuery::new(&[5], &[6], &[]),
+        ];
+        s.run_batch_batched(&qs);
+        assert_eq!(s.stats().issued, 2);
+        assert_eq!(s.stats().cache_hits, 1);
+        // Encode counters were synced from the tester after the batch.
+        assert_eq!(s.stats().encode_cache_hits, 2);
+        assert_eq!(s.stats().encode_cache_misses, 1);
+        // Replaying the batch is all memo hits: no new eval_batch work.
+        s.run_batch_batched(&qs);
+        assert_eq!(s.stats().issued, 2);
+        assert_eq!(s.tester().batch_calls.load(Ordering::Relaxed), 2);
+        assert_eq!(s.tester().inner.calls.load(Ordering::Relaxed), 2);
     }
 }

@@ -16,6 +16,13 @@
 //!   against each other — sequentially or across a `std::thread` worker
 //!   pool, with deterministic result ordering either way (parallelism
 //!   requires the tester to implement [`fairsel_ci::CiTestShared`]);
+//! * [`CiSession::run_batch_batched`] /
+//!   [`CiSession::run_batch_batched_parallel`] route the unique misses
+//!   through a batch-aware tester's [`fairsel_ci::CiTestBatch::eval_batch`]
+//!   so a whole frontier shares one columnar encoding pass
+//!   ([`fairsel_table::EncodedTable`]); the tester's encode-cache telemetry
+//!   surfaces as `encode_cache_hits` / `encode_cache_misses` in
+//!   [`EngineStats`];
 //! * [`EngineStats`] tracks per-session and per-phase telemetry (queries
 //!   requested, tests actually issued, cache hits, dedup rate, wall time)
 //!   and serializes to JSON for the `BENCH_*.json` trajectories;

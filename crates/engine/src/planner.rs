@@ -48,6 +48,17 @@ impl HalvingPlanner {
         }
     }
 
+    /// Start from an explicit set of root groups (empty groups are
+    /// dropped). This is how `SelectConfig::max_group` pre-splits a wide
+    /// root into subgroups narrow enough for finite-sample group tests to
+    /// retain power.
+    pub fn from_groups<I: IntoIterator<Item = Vec<VarId>>>(groups: I) -> Self {
+        Self {
+            frontier: groups.into_iter().filter(|g| !g.is_empty()).collect(),
+            levels: 0,
+        }
+    }
+
     /// Is there anything left to test?
     pub fn is_done(&self) -> bool {
         self.frontier.is_empty()

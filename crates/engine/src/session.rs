@@ -33,10 +33,17 @@ pub struct EngineStats {
     pub batches: u64,
     /// Batches that ran on the parallel worker pool.
     pub parallel_batches: u64,
+    /// Batches routed through a batch-aware tester's `eval_batch`.
+    pub batched_batches: u64,
     /// Largest number of unique misses a single batch fanned out.
     pub max_batch: usize,
     /// Wall time spent inside tester evaluation, in milliseconds.
     pub wall_ms: f64,
+    /// Encoding-layer cache hits reported by a batch-aware tester
+    /// (cumulative; see `fairsel_ci::CiTestBatch::encode_cache_stats`).
+    pub encode_cache_hits: u64,
+    /// Encoding-layer cache misses (encodings actually computed).
+    pub encode_cache_misses: u64,
     /// Per-phase breakdown, in phase order.
     pub phases: Vec<PhaseStats>,
 }
@@ -66,9 +73,27 @@ impl EngineStats {
             self.parallel_batches as f64,
             false,
         );
+        push_kv(
+            &mut s,
+            "batched_batches",
+            self.batched_batches as f64,
+            false,
+        );
         push_kv(&mut s, "max_batch", self.max_batch as f64, false);
         push_kv(&mut s, "dedup_rate", self.dedup_rate(), false);
         push_kv(&mut s, "wall_ms", self.wall_ms, false);
+        push_kv(
+            &mut s,
+            "encode_cache_hits",
+            self.encode_cache_hits as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "encode_cache_misses",
+            self.encode_cache_misses as f64,
+            false,
+        );
         s.push_str("\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -103,6 +128,19 @@ pub(crate) fn push_kv(s: &mut String, k: &str, v: f64, last: bool) {
 
 pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// How one batch of unique misses was executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchKind {
+    /// Per-query sequential evaluation.
+    Sequential,
+    /// Per-query evaluation fanned across the worker pool.
+    Parallel,
+    /// One `eval_batch` call on a batch-aware tester.
+    Batched,
+    /// `eval_batch` chunks fanned across the worker pool.
+    BatchedParallel,
 }
 
 /// A memoizing execution session around any CI tester.
@@ -229,21 +267,31 @@ impl<T: CiTest> CiSession<T> {
         &mut self.tester
     }
 
+    /// Overwrite the cumulative encoding-cache counters (read back from a
+    /// batch-aware tester after each batched run).
+    pub(crate) fn set_encode_stats(&mut self, hits: u64, misses: u64) {
+        self.stats.encode_cache_hits = hits;
+        self.stats.encode_cache_misses = misses;
+    }
+
     pub(crate) fn account_batch(
         &mut self,
         requested: u64,
         issued: u64,
         hits: u64,
         wall_ms: f64,
-        parallel: bool,
+        kind: BatchKind,
     ) {
         let st = &mut self.stats;
         st.requested += requested;
         st.issued += issued;
         st.cache_hits += hits;
         st.batches += 1;
-        if parallel {
+        if matches!(kind, BatchKind::Parallel | BatchKind::BatchedParallel) {
             st.parallel_batches += 1;
+        }
+        if matches!(kind, BatchKind::Batched | BatchKind::BatchedParallel) {
+            st.batched_batches += 1;
         }
         st.max_batch = st.max_batch.max(issued as usize);
         st.wall_ms += wall_ms;

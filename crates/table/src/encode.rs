@@ -1,0 +1,462 @@
+//! [`EncodedTable`] — the columnar encoding layer between a [`Table`] and
+//! the data-driven CI testers.
+//!
+//! Every discrete tester reduces a query `X ⊥ Y | Z` to joint categorical
+//! codes for each side, and GrpSel's level-synchronous frontiers re-use the
+//! same variable sets over and over (the conditioning set is shared by a
+//! whole level; halved groups share prefixes with their parents). Deriving
+//! those codes from the raw table per query makes a batch of `b` queries
+//! cost `O(b · encode)`; memoizing them here makes it
+//! `O(encode + b · count)`.
+//!
+//! The cache is keyed by the *sorted, deduplicated* variable set — the same
+//! quotient the engine's `QueryKey` uses — and is populated incrementally:
+//! the encoding for `{a, b, c}` is built by composing the cached encoding
+//! for `{a, b}` with column `c`, so a frontier's nested groups share work
+//! structurally, not just textually. All lookups go through a shared
+//! reference (`RwLock` + atomics), which is what lets the engine's worker
+//! pool and the batch testers hit one cache concurrently.
+
+use crate::table::{ColId, Table};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Joint categorical encoding of a variable set: one code per row plus the
+/// code-space size and the number of *observed* distinct codes.
+///
+/// Codes are produced by left-to-right composition over the sorted column
+/// set: mixed-radix while the product of arities fits `u32`, densely
+/// re-numbered (first-occurrence order) on overflow. Count-based statistics
+/// (G-test, plug-in CMI) depend only on the partition the codes induce, so
+/// any injective re-encoding is exact.
+#[derive(Debug)]
+pub struct Encoding {
+    /// Per-row joint code.
+    pub codes: Vec<u32>,
+    /// Size of the code space (`codes` values are `< arity`).
+    pub arity: u32,
+    /// Number of distinct codes actually observed.
+    pub distinct: usize,
+}
+
+impl Encoding {
+    /// True when every row is its own stratum — the degenerate case where
+    /// conditioning on this set makes any CI test vacuous (each stratum
+    /// holds one observation, so no stratum is informative and p = 1).
+    pub fn all_singletons(&self) -> bool {
+        !self.codes.is_empty() && self.distinct == self.codes.len()
+    }
+}
+
+/// Cache telemetry: how many set-encoding requests were answered from the
+/// cache vs computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodeStats {
+    /// Requests answered from the memo cache.
+    pub hits: u64,
+    /// Encodings actually computed (including intermediate prefixes).
+    pub misses: u64,
+}
+
+/// A [`Table`] plus memoized joint encodings and materialized numeric
+/// columns, shared across queries (and worker threads) of a batch.
+///
+/// Construction is cheap — nothing is encoded eagerly; every per-set
+/// encoding is computed on first use and retained. Use
+/// [`EncodedTable::new_uncached`] to get the same (byte-identical) answers
+/// with memoization disabled — the per-query baseline the benchmarks
+/// compare against.
+#[derive(Debug)]
+pub struct EncodedTable<'a> {
+    table: &'a Table,
+    caching: bool,
+    sets: RwLock<HashMap<Vec<ColId>, Arc<Encoding>>>,
+    numeric: RwLock<HashMap<ColId, Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> EncodedTable<'a> {
+    /// Wrap a table with an empty encoding cache.
+    pub fn new(table: &'a Table) -> Self {
+        Self::with_caching(table, true)
+    }
+
+    /// Wrap a table with memoization disabled: every request recomputes.
+    /// Answers are byte-identical to the cached variant.
+    pub fn new_uncached(table: &'a Table) -> Self {
+        Self::with_caching(table, false)
+    }
+
+    fn with_caching(table: &'a Table, caching: bool) -> Self {
+        Self {
+            table,
+            caching,
+            sets: RwLock::new(HashMap::new()),
+            numeric: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// Whether memoization is enabled (false for the per-query baseline).
+    pub fn caching(&self) -> bool {
+        self.caching
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.table.n_rows()
+    }
+
+    /// Cache telemetry so far.
+    pub fn stats(&self) -> EncodeStats {
+        EncodeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct variable sets currently memoized.
+    pub fn cached_sets(&self) -> usize {
+        self.sets.read().expect("encode cache lock").len()
+    }
+
+    /// Joint encoding of a variable set. Order and multiplicity of `cols`
+    /// are irrelevant: the set is sorted and deduplicated first (CI
+    /// statistics only see the induced partition). Cached encodings are
+    /// shared via `Arc`, so repeated queries cost one hash lookup.
+    ///
+    /// # Panics
+    /// Panics when a referenced column is numeric.
+    pub fn encode(&self, cols: &[ColId]) -> Arc<Encoding> {
+        let mut key = cols.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.encode_sorted(key)
+    }
+
+    fn encode_sorted(&self, key: Vec<ColId>) -> Arc<Encoding> {
+        if self.caching {
+            if let Some(hit) = self.sets.read().expect("encode cache lock").get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let enc = Arc::new(self.build(&key));
+        if self.caching {
+            self.sets
+                .write()
+                .expect("encode cache lock")
+                .entry(key)
+                .or_insert_with(|| Arc::clone(&enc));
+        }
+        enc
+    }
+
+    /// Build the encoding for a sorted, deduplicated set by composing the
+    /// cached encoding of its longest proper prefix with the last column.
+    fn build(&self, key: &[ColId]) -> Encoding {
+        let n = self.table.n_rows();
+        match key.len() {
+            0 => Encoding {
+                codes: vec![0; n],
+                arity: 1,
+                distinct: usize::from(n > 0),
+            },
+            1 => self.base_column(key[0]),
+            _ => {
+                let prefix = self.encode_sorted(key[..key.len() - 1].to_vec());
+                let (codes, arity) = self.column_codes(key[key.len() - 1]);
+                compose(&prefix, codes, arity)
+            }
+        }
+    }
+
+    fn column_codes(&self, col: ColId) -> (&[u32], u32) {
+        let c = self.table.col(col);
+        let codes = c
+            .codes()
+            .unwrap_or_else(|| panic!("encode: column {} is numeric", c.name));
+        (codes, c.arity().expect("categorical column has arity"))
+    }
+
+    fn base_column(&self, col: ColId) -> Encoding {
+        let (codes, arity) = self.column_codes(col);
+        let distinct = count_distinct(codes, arity);
+        Encoding {
+            codes: codes.to_vec(),
+            arity,
+            distinct,
+        }
+    }
+
+    /// Materialize a column as `f64` (categorical codes cast), cached.
+    /// Numeric testers (Fisher-z) use this to avoid per-query clones.
+    pub fn numeric_col(&self, col: ColId) -> Arc<Vec<f64>> {
+        if self.caching {
+            if let Some(hit) = self.numeric.read().expect("numeric cache lock").get(&col) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(self.table.col(col).to_f64());
+        if self.caching {
+            self.numeric
+                .write()
+                .expect("numeric cache lock")
+                .entry(col)
+                .or_insert_with(|| Arc::clone(&v));
+        }
+        v
+    }
+}
+
+/// Compose a prefix encoding with one more column: mixed radix while the
+/// product of code spaces fits `u32`, dense first-occurrence re-numbering
+/// otherwise. Either way the result is injective on distinct observed
+/// combinations, so the induced partition equals the full joint partition.
+fn compose(prefix: &Encoding, codes: &[u32], arity: u32) -> Encoding {
+    let n = codes.len();
+    debug_assert_eq!(prefix.codes.len(), n);
+    let joint = prefix.arity as u64 * arity as u64;
+    if joint <= u32::MAX as u64 {
+        let out: Vec<u32> = prefix
+            .codes
+            .iter()
+            .zip(codes)
+            .map(|(&p, &c)| p * arity + c)
+            .collect();
+        let distinct = count_distinct(&out, joint as u32);
+        Encoding {
+            codes: out,
+            arity: joint as u32,
+            distinct,
+        }
+    } else {
+        // Dense re-encode pairs (prefix code, column code) in
+        // first-occurrence order; the pair fits u64 by construction.
+        let mut dense: HashMap<u64, u32> = HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for (&p, &c) in prefix.codes.iter().zip(codes) {
+            let pair = p as u64 * arity as u64 + c as u64;
+            let next = dense.len() as u32;
+            out.push(*dense.entry(pair).or_insert(next));
+        }
+        let distinct = dense.len();
+        Encoding {
+            codes: out,
+            arity: (distinct as u32).max(1),
+            distinct,
+        }
+    }
+}
+
+/// Count distinct code values; a bitmap when the code space is small
+/// relative to the row count, a hash set otherwise.
+fn count_distinct(codes: &[u32], arity: u32) -> usize {
+    if codes.is_empty() {
+        return 0;
+    }
+    if (arity as usize) <= codes.len().saturating_mul(4).max(1024) {
+        let mut seen = vec![false; arity as usize];
+        let mut distinct = 0;
+        for &c in codes {
+            if !seen[c as usize] {
+                seen[c as usize] = true;
+                distinct += 1;
+            }
+        }
+        distinct
+    } else {
+        codes.iter().collect::<std::collections::HashSet<_>>().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Role};
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::cat("a", Role::Feature, vec![0, 1, 1, 0], 2),
+            Column::cat("b", Role::Feature, vec![2, 0, 1, 2], 3),
+            Column::cat("c", Role::Feature, vec![0, 0, 1, 1], 2),
+            Column::num("x", Role::Feature, vec![1.0, 2.0, 3.0, 4.0]),
+        ])
+        .unwrap()
+    }
+
+    /// Two encodings induce the same partition when equal codes coincide.
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        let mut map = HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *map.entry(x).or_insert(y) != y {
+                return false;
+            }
+        }
+        let mut rev = HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *rev.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn matches_joint_codes_partition() {
+        let t = table();
+        let enc = EncodedTable::new(&t);
+        let e = enc.encode(&[0, 1]);
+        let (codes, arity) = t.joint_codes(&[0, 1]);
+        assert!(same_partition(&e.codes, &codes));
+        assert_eq!(e.arity, arity);
+        assert_eq!(e.distinct, 3); // (0,2) (1,0) (1,1) (0,2)
+    }
+
+    #[test]
+    fn order_and_duplicates_share_one_entry() {
+        let t = table();
+        let enc = EncodedTable::new(&t);
+        let a = enc.encode(&[1, 0]);
+        let b = enc.encode(&[0, 1, 0]);
+        assert!(Arc::ptr_eq(&a, &b), "sorted set key must dedup spellings");
+        // One composed set costs two misses (prefix {0} + composition).
+        assert_eq!(enc.stats().misses, 2);
+        assert_eq!(enc.stats().hits, 1);
+    }
+
+    #[test]
+    fn prefix_composition_reuses_subsets() {
+        let t = table();
+        let enc = EncodedTable::new(&t);
+        enc.encode(&[0, 1]);
+        let before = enc.stats().misses;
+        enc.encode(&[0, 1, 2]); // prefix {0,1} already cached
+        assert_eq!(enc.stats().misses, before + 1);
+        assert_eq!(enc.cached_sets(), 3);
+    }
+
+    #[test]
+    fn empty_set_is_one_stratum() {
+        let t = table();
+        let enc = EncodedTable::new(&t);
+        let e = enc.encode(&[]);
+        assert_eq!(e.arity, 1);
+        assert_eq!(e.distinct, 1);
+        assert!(e.codes.iter().all(|&c| c == 0));
+        assert!(!e.all_singletons());
+    }
+
+    #[test]
+    fn all_singletons_detected() {
+        let rows = 16;
+        let cols: Vec<Column> = (0..5)
+            .map(|bit| {
+                Column::cat(
+                    format!("b{bit}"),
+                    Role::Feature,
+                    (0..rows).map(|r| (r >> bit) as u32 & 1).collect(),
+                    2,
+                )
+            })
+            .collect();
+        let t = Table::new(cols).unwrap();
+        let enc = EncodedTable::new(&t);
+        // 4 bits (16 combos over 16 rows, each unique) => all singleton.
+        let e = enc.encode(&[0, 1, 2, 3]);
+        assert!(e.all_singletons());
+        // A single binary column over 16 rows is not.
+        assert!(!enc.encode(&[0]).all_singletons());
+    }
+
+    #[test]
+    fn overflow_composes_densely() {
+        // 40 binary columns: joint arity 2^40 overflows u32.
+        let cols: Vec<Column> = (0..40)
+            .map(|i| {
+                Column::cat(
+                    format!("c{i}"),
+                    Role::Feature,
+                    vec![0, 1, (i % 2) as u32, 1 - (i % 2) as u32],
+                    2,
+                )
+            })
+            .collect();
+        let t = Table::new(cols).unwrap();
+        let enc = EncodedTable::new(&t);
+        let all: Vec<ColId> = (0..40).collect();
+        let e = enc.encode(&all);
+        let (reference, _) = t.joint_codes_dense(&all);
+        assert!(same_partition(&e.codes, &reference));
+        assert_eq!(e.distinct, 4);
+        assert!(e.all_singletons());
+    }
+
+    #[test]
+    fn uncached_matches_cached_byte_for_byte() {
+        let t = table();
+        let cached = EncodedTable::new(&t);
+        let cold = EncodedTable::new_uncached(&t);
+        for set in [vec![], vec![2], vec![0, 2], vec![0, 1, 2]] {
+            let a = cached.encode(&set);
+            let b = cold.encode(&set);
+            assert_eq!(a.codes, b.codes);
+            assert_eq!(a.arity, b.arity);
+            assert_eq!(a.distinct, b.distinct);
+        }
+        assert_eq!(cold.stats().hits, 0, "uncached never hits");
+        // Uncached recomputes the {0} prefix for {0,1,2}.
+        let again = cold.stats().misses;
+        cold.encode(&[0, 1, 2]);
+        assert!(cold.stats().misses > again);
+    }
+
+    #[test]
+    fn numeric_columns_cached_by_arc() {
+        let t = table();
+        let enc = EncodedTable::new(&t);
+        let a = enc.numeric_col(3);
+        let b = enc.numeric_col(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, vec![1.0, 2.0, 3.0, 4.0]);
+        // Categorical columns materialize their codes.
+        assert_eq!(*enc.numeric_col(0), vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is numeric")]
+    fn encoding_numeric_column_panics() {
+        let t = table();
+        EncodedTable::new(&t).encode(&[3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let t = table();
+        let enc = Arc::new(EncodedTable::new(&t));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let enc = Arc::clone(&enc);
+                    scope.spawn(move || enc.encode(&[0, 1, 2]).codes.clone())
+                })
+                .collect();
+            let first = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>();
+            assert!(first.windows(2).all(|w| w[0] == w[1]));
+        });
+    }
+}

@@ -10,6 +10,12 @@
 //! * [`Table`] — a columnar table whose columns carry a fairness
 //!   [`Role`] (`Sensitive` / `Admissible` / `Feature` / `Target` / `Key`);
 //! * [`Table::join`] — hash PK-FK join used to integrate feature sources;
+//! * [`EncodedTable`] — the memoized columnar encoding layer the
+//!   data-driven CI testers read: per-set joint codes (with a stratum
+//!   cache keyed by sorted variable set, populated by composing cached
+//!   sub-encodings) and materialized numeric columns, all behind a shared
+//!   reference so a batch of queries — or a pool of workers — amortizes
+//!   one encoding pass;
 //! * [`SourceRegistry`] — the integration pipeline: register sources, call
 //!   [`SourceRegistry::integrate`], get the exhaustive feature table the
 //!   selection algorithms then prune;
@@ -17,8 +23,10 @@
 //!   can be persisted and inspected.
 
 pub mod csv;
+pub mod encode;
 pub mod integrate;
 pub mod table;
 
+pub use encode::{EncodeStats, EncodedTable, Encoding};
 pub use integrate::SourceRegistry;
 pub use table::{ColId, Column, ColumnData, Role, Table, TableError};

@@ -414,6 +414,433 @@ mod wide_group_regression {
 }
 
 #[cfg(test)]
+mod batch_equivalence {
+    //! The `CiTestBatch` contract, verified: for every batch-aware data
+    //! tester, `eval_batch` — direct, through the engine, or fanned across
+    //! worker pools — returns outcomes *byte-identical* to sequential
+    //! per-query evaluation, and batched GrpSel selections are
+    //! byte-identical to the per-query engine path and to the
+    //! pre-refactor encoding path.
+
+    use super::reference::grpsel_direct;
+    use fairsel_ci::{
+        CiOutcome, CiQueryRef, CiTest, CiTestBatch, FisherZ, GTest, PermutationCmi, VarId,
+    };
+    use fairsel_core::{grpsel, grpsel_batched, Problem, SelectConfig};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_engine::{CiQuery, CiSession};
+    use fairsel_table::Table;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sampled(seed: u64, n_features: usize, rows: usize) -> Table {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    }
+
+    /// Random query workload shaped like the selectors': group sides of
+    /// 1–4 variables, conditioning sets of 0–3, with deliberate repeats.
+    fn workload(rng: &mut StdRng, n_vars: usize, count: usize) -> Vec<CiQuery> {
+        let side = |max: usize, rng: &mut StdRng| -> Vec<VarId> {
+            let len = rng.gen_range(1..=max);
+            (0..len).map(|_| rng.gen_range(0..n_vars)).collect()
+        };
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let x = side(4, rng);
+            let y = side(2, rng);
+            let zlen = rng.gen_range(0..=3usize);
+            let z: Vec<VarId> = (0..zlen).map(|_| rng.gen_range(0..n_vars)).collect();
+            out.push(CiQuery::new(&x, &y, &z));
+            if rng.gen_range(0..4) == 0 {
+                // Symmetric respelling of the previous query.
+                out.push(CiQuery::new(&y, &x, &z));
+            }
+        }
+        out
+    }
+
+    /// One tester's equivalence check across every execution path.
+    fn assert_batch_equivalence<'t, F>(make: F, queries: &[CiQuery], label: &str)
+    where
+        F: Fn() -> Box<dyn SharedBatch + 't>,
+    {
+        // Reference: sequential per-query shared evaluation.
+        let reference: Vec<CiOutcome> = {
+            let t = make();
+            queries.iter().map(|q| t.ci(&q.x, &q.y, &q.z)).collect()
+        };
+        // Direct eval_batch on a fresh tester.
+        let direct: Vec<CiOutcome> = {
+            let t = make();
+            let refs: Vec<CiQueryRef<'_>> = queries
+                .iter()
+                .map(|q| CiQueryRef {
+                    x: &q.x,
+                    y: &q.y,
+                    z: &q.z,
+                })
+                .collect();
+            t.batch(&refs)
+        };
+        assert_eq!(reference, direct, "{label}: eval_batch != sequential eval");
+        // Engine-routed, workers 1 / 2 / 4.
+        for workers in [1usize, 2, 4] {
+            let t = make();
+            let got = t.run_through_session(queries, workers);
+            assert_eq!(
+                reference, got,
+                "{label}: engine batched (workers={workers}) diverged"
+            );
+        }
+    }
+
+    /// Object-safe adapter so one harness drives all three testers.
+    trait SharedBatch {
+        fn ci(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome;
+        fn batch(&self, qs: &[CiQueryRef<'_>]) -> Vec<CiOutcome>;
+        fn run_through_session(&self, qs: &[CiQuery], workers: usize) -> Vec<CiOutcome>;
+    }
+
+    impl<T: CiTestBatch> SharedBatch for T {
+        fn ci(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+            self.ci_shared(x, y, z)
+        }
+        fn batch(&self, qs: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+            self.eval_batch(qs)
+        }
+        fn run_through_session(&self, qs: &[CiQuery], workers: usize) -> Vec<CiOutcome> {
+            let mut session = CiSession::new(self);
+            if workers > 1 {
+                session.run_batch_batched_parallel(qs, workers)
+            } else {
+                session.run_batch_batched(qs)
+            }
+        }
+    }
+
+    #[test]
+    fn every_data_tester_is_batch_equivalent() {
+        let table = sampled(41, 12, 800);
+        let n_vars = table.n_cols();
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let queries = workload(&mut rng, n_vars, 40);
+            assert_batch_equivalence(|| Box::new(GTest::new(&table, 0.01)), &queries, "g-test");
+            assert_batch_equivalence(
+                || Box::new(PermutationCmi::new(&table, 0.05, 19, 7)),
+                &queries,
+                "perm-cmi",
+            );
+            assert_batch_equivalence(
+                || Box::new(FisherZ::new(&table, 0.01)),
+                &queries,
+                "fisher-z",
+            );
+        }
+    }
+
+    /// GrpSel through the batched engine path is byte-identical to the
+    /// per-query engine path at every worker count.
+    #[test]
+    fn grpsel_batched_matches_per_query() {
+        let table = sampled(43, 20, 2000);
+        let problem = Problem::from_table(&table);
+        for cfg in [
+            SelectConfig::default(),
+            SelectConfig {
+                max_group: Some(5),
+                ..Default::default()
+            },
+        ] {
+            let base = grpsel(&mut GTest::new(&table, 0.01), &problem, &cfg);
+            for workers in [1usize, 2, 4] {
+                let mut tester = GTest::new(&table, 0.01);
+                let got = grpsel_batched(&mut tester, &problem, &cfg, None, workers);
+                assert_eq!(base.c1, got.c1, "workers {workers}");
+                assert_eq!(base.c2, got.c2);
+                assert_eq!(base.rejected, got.rejected);
+                assert_eq!(base.tests_used, got.tests_used);
+            }
+        }
+    }
+
+    /// The pre-refactor data path, preserved as a reference tester:
+    /// per-query joint encodings straight off the `Table` (caller
+    /// order, no cache), exactly as `GTest` computed before the
+    /// `EncodedTable` layer existed.
+    struct LegacyGTest<'a> {
+        table: &'a Table,
+        alpha: f64,
+    }
+
+    impl CiTest for LegacyGTest<'_> {
+        fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+            if x.is_empty() || y.is_empty() {
+                return CiOutcome::decided(true);
+            }
+            let (xc, _) = self.table.joint_codes_dense(x);
+            let (yc, _) = self.table.joint_codes_dense(y);
+            let (zc, _) = self.table.joint_codes_dense(z);
+            let (g, p) = fairsel_ci::gtest::g_test_from_codes(&xc, &yc, &zc);
+            CiOutcome {
+                independent: p > self.alpha,
+                p_value: p,
+                statistic: g,
+            }
+        }
+        fn n_vars(&self) -> usize {
+            self.table.n_cols()
+        }
+    }
+
+    /// Selections through the new encoded, batched stack are identical to
+    /// the pre-refactor per-query path (same partition, same test count)
+    /// — the encoding layer is a pure optimization.
+    #[test]
+    fn selections_match_pre_refactor_path() {
+        for seed in [3u64, 17, 29] {
+            let table = sampled(seed, 18, 2500);
+            let problem = Problem::from_table(&table);
+            let cfg = SelectConfig::default();
+            let legacy = grpsel_direct(
+                &mut LegacyGTest {
+                    table: &table,
+                    alpha: 0.01,
+                },
+                &problem,
+                &cfg,
+            )
+            .normalized();
+            let mut tester = GTest::new(&table, 0.01);
+            let new = grpsel_batched(&mut tester, &problem, &cfg, None, 4).normalized();
+            assert_eq!(legacy.c1, new.c1, "seed {seed}");
+            assert_eq!(legacy.c2, new.c2, "seed {seed}");
+            assert_eq!(legacy.rejected, new.rejected, "seed {seed}");
+            assert_eq!(legacy.tests_used, new.tests_used, "seed {seed}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod wide_group_power {
+    //! The `max_group` knob: on wide discrete data the all-features root
+    //! group is statistically vacuous (one category per row ⇒ no degrees
+    //! of freedom ⇒ p = 1 ⇒ the root "passes" and biased features leak
+    //! into C₁). Pre-splitting to width ⌊log₂ rows⌋ restores power.
+
+    use fairsel_ci::{GTest, OracleCi};
+    use fairsel_core::{grpsel, grpsel_batched, Problem, SelectConfig};
+    use fairsel_datasets::fixtures;
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_group_recovers_phase1_truth_on_wide_data() {
+        let cfg_inst = SyntheticConfig {
+            n_features: 48,
+            biased_fraction: 0.15,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let rows = 2000;
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = synthetic_instance(&mut rng, &cfg_inst);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        let table = sample_table(&scm, &inst.roles, rows, &mut rng);
+        let problem = Problem::from_table(&table);
+
+        let truth = grpsel(
+            &mut OracleCi::from_dag(inst.dag.clone()),
+            &problem,
+            &SelectConfig::default(),
+        )
+        .normalized();
+        assert!(
+            !truth.rejected.is_empty(),
+            "instance must have biased features"
+        );
+
+        // Without the knob: the wide root passes vacuously and every
+        // biased feature leaks into C1.
+        let mut wide_tester = GTest::new(&table, 0.01);
+        let wide = grpsel_batched(
+            &mut wide_tester,
+            &problem,
+            &SelectConfig::default(),
+            None,
+            1,
+        )
+        .normalized();
+        assert_eq!(
+            wide.c1.len(),
+            problem.n_features(),
+            "wide-group G-test should vacuously admit everything"
+        );
+
+        // With max_group = ⌊log2 rows⌋: phase 1 recovers the oracle C1
+        // exactly — biased features no longer smuggled in.
+        let cfg = SelectConfig {
+            max_group: Some(SelectConfig::auto_max_group(rows)),
+            ..Default::default()
+        };
+        assert_eq!(SelectConfig::auto_max_group(rows), 10);
+        let mut tester = GTest::new(&table, 0.01);
+        let narrow = grpsel_batched(&mut tester, &problem, &cfg, None, 1).normalized();
+        assert_eq!(narrow.c1, truth.c1, "phase-1 recovery of the oracle C1");
+        for rejected in &truth.rejected {
+            assert!(
+                !narrow.c1.contains(rejected),
+                "biased feature {rejected} leaked into C1"
+            );
+        }
+    }
+
+    /// On the Figure 6 fixture the ground truth is that `X2` must be
+    /// rejected (no CI pattern certifies it) while `X3 ∈ C1`; GrpSel with
+    /// the data tester and `max_group` set recovers exactly the oracle
+    /// classification from sampled data.
+    #[test]
+    fn figure_6_truth_recovered_with_max_group() {
+        let f = fixtures::figure_6();
+        let scm = f.scm(1.5);
+        let rows = 4000;
+        let mut rng = StdRng::seed_from_u64(6);
+        let table = sample_table(&scm, &f.roles, rows, &mut rng);
+        let problem = Problem::from_table(&table);
+
+        let truth = grpsel(
+            &mut OracleCi::from_dag(f.dag.clone()),
+            &problem,
+            &SelectConfig::default(),
+        )
+        .normalized();
+        let x2 = table.col_id("X2").unwrap();
+        assert!(truth.rejected.contains(&x2), "fixture truth: X2 rejected");
+
+        let cfg = SelectConfig {
+            max_group: Some(SelectConfig::auto_max_group(rows)),
+            ..Default::default()
+        };
+        let mut tester = GTest::new(&table, 0.01);
+        let got = grpsel_batched(&mut tester, &problem, &cfg, None, 2).normalized();
+        assert_eq!(got.c1, truth.c1);
+        assert_eq!(got.c2, truth.c2);
+        assert_eq!(got.rejected, truth.rejected);
+    }
+}
+
+#[cfg(test)]
+mod degenerate_strata_regression {
+    //! Regression for the degenerate-stratum short-circuit: a conditioning
+    //! set wide enough that every row is its own stratum must return
+    //! p = 1 instantly — no per-row contingency storage — for both
+    //! discrete testers.
+
+    use fairsel_ci::{CiTest, GTest, PermutationCmi};
+    use fairsel_table::{Column, Role, Table};
+
+    /// 34 binary conditioning columns spelling out the row index in
+    /// binary, plus x/y columns: every row is a distinct stratum.
+    fn wide_conditioning_table(rows: usize) -> (Table, Vec<usize>) {
+        let mut cols = vec![
+            Column::cat(
+                "x",
+                Role::Feature,
+                (0..rows).map(|r| (r % 2) as u32).collect(),
+                2,
+            ),
+            Column::cat(
+                "y",
+                Role::Feature,
+                (0..rows).map(|r| ((r / 2) % 2) as u32).collect(),
+                2,
+            ),
+        ];
+        let n_cond = 34;
+        for bit in 0..n_cond {
+            cols.push(Column::cat(
+                format!("z{bit}"),
+                Role::Feature,
+                (0..rows).map(|r| ((r >> (bit % 16)) & 1) as u32).collect(),
+                2,
+            ));
+        }
+        let t = Table::new(cols).unwrap();
+        let z: Vec<usize> = (2..2 + n_cond).collect();
+        (t, z)
+    }
+
+    #[test]
+    fn gtest_short_circuits_all_singleton_strata() {
+        let (t, z) = wide_conditioning_table(512);
+        let mut g = GTest::new(&t, 0.01);
+        assert_eq!(g.degenerate_short_circuits(), 0);
+        let out = g.ci(&[0], &[1], &z);
+        assert!(out.independent);
+        assert_eq!(out.p_value, 1.0);
+        assert_eq!(out.statistic, 0.0);
+        assert_eq!(
+            g.degenerate_short_circuits(),
+            1,
+            "wide conditioning set must take the degenerate fast path"
+        );
+        // Without the wide conditioning set the same pair is dependent on
+        // nothing-degenerate strata — the short-circuit is surgical.
+        let out = g.ci(&[0], &[1], &[2]);
+        assert!(out.p_value < 1.0 || out.statistic == 0.0);
+        assert_eq!(g.degenerate_short_circuits(), 1);
+    }
+
+    #[test]
+    fn perm_cmi_short_circuits_without_consuming_randomness() {
+        let (t, z) = wide_conditioning_table(256);
+        let mut c = PermutationCmi::new(&t, 0.05, 99, 11);
+        let out = c.ci(&[0], &[1], &z);
+        assert!(out.independent);
+        assert_eq!(out.p_value, 1.0);
+        assert_eq!(out.statistic, 0.0);
+        assert_eq!(c.degenerate_short_circuits(), 1);
+    }
+
+    /// The short-circuit is exact: on a *nearly* degenerate table (one
+    /// duplicated row pattern) the full path still runs and agrees with
+    /// the closed form p = 1 only when df = 0.
+    #[test]
+    fn short_circuit_matches_full_computation() {
+        // 8 rows, 3 conditioning bits = every row its own stratum.
+        let t = Table::new(vec![
+            Column::cat("x", Role::Feature, vec![0, 1, 0, 1, 0, 1, 0, 1], 2),
+            Column::cat("y", Role::Feature, vec![0, 0, 1, 1, 0, 0, 1, 1], 2),
+            Column::cat("z0", Role::Feature, vec![0, 1, 0, 1, 0, 1, 0, 1], 2),
+            Column::cat("z1", Role::Feature, vec![0, 0, 1, 1, 0, 0, 1, 1], 2),
+            Column::cat("z2", Role::Feature, vec![0, 0, 0, 0, 1, 1, 1, 1], 2),
+        ])
+        .unwrap();
+        let mut g = GTest::new(&t, 0.01);
+        let fast = g.ci(&[0], &[1], &[2, 3, 4]);
+        assert_eq!(g.degenerate_short_circuits(), 1);
+        // Reference: the raw statistic over the same codes, full path.
+        let (xc, _) = t.joint_codes_dense(&[0]);
+        let (yc, _) = t.joint_codes_dense(&[1]);
+        let (zc, _) = t.joint_codes_dense(&[2, 3, 4]);
+        let (g_stat, p) = fairsel_ci::gtest::g_test_from_codes(&xc, &yc, &zc);
+        assert_eq!((fast.statistic, fast.p_value), (g_stat, p));
+    }
+}
+
+#[cfg(test)]
 mod frontier_order_regression {
     use super::reference::grpsel_direct;
     use fairsel_ci::{CiOutcome, CiTest, VarId};
