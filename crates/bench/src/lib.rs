@@ -251,7 +251,7 @@ pub fn data_tester_modes(n_features: usize, rows: usize, workers: usize) -> Vec<
     out
 }
 
-fn encoded(table: &Table, cached: bool) -> Arc<EncodedTable<'_>> {
+fn encoded(table: &Table, cached: bool) -> Arc<EncodedTable> {
     Arc::new(if cached {
         EncodedTable::new(table)
     } else {
@@ -311,6 +311,81 @@ fn modes_for<T, F>(
             .selected()
             .len()
     }));
+}
+
+/// The serving story: cold vs warm request latency against an in-process
+/// `fairsel-server`. The same `select` workload is sent twice over TCP;
+/// the first request pays CSV parse + split + encode + every CI test, the
+/// second is answered from the fingerprint-sharded shared session (zero
+/// tests issued, memo hits only). Counter columns: the cold row carries
+/// the first request's cumulative engine stats, the warm row the *delta*
+/// of the second (so `issued = 0` is the acceptance signal); encode
+/// columns stay cumulative, showing the cache the warm request reused.
+pub fn serve_cold_warm(n_features: usize, rows: usize) -> Vec<BenchResult> {
+    use fairsel_server::{request, Request, Response, ServeConfig, Server, WorkloadRequest};
+
+    let cfg = SyntheticConfig {
+        n_features,
+        biased_fraction: 0.2,
+        predictive_fraction: 0.25,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = synthetic_instance(&mut rng, &cfg);
+    let scm = synthetic_scm(&mut rng, &inst, 1.5);
+    let table = sample_table(&scm, &inst.roles, rows, &mut rng);
+    let csv_text = fairsel_table::csv::to_csv_string(&table);
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+    let req = Request::Select(WorkloadRequest {
+        csv: csv_text,
+        max_group: fairsel_server::MaxGroupSpec::Auto,
+        ..Default::default()
+    });
+
+    let scenario = format!("serve/n={n_features}/rows={rows}");
+    let shoot = |algo: &str, prev: Option<&BenchResult>| -> BenchResult {
+        let t0 = Instant::now();
+        let resp = request(&addr, &req).expect("serve request");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let Response::Ok { body, stats, cache } = resp else {
+            panic!("serve request failed: {resp:?}");
+        };
+        let stats = stats.expect("select response carries stats");
+        let cache = cache.expect("select response carries cache info");
+        let num = |k: &str| stats.get_u64(k).unwrap_or(0);
+        // Selected features: the admitted names on the c1/c2 report lines.
+        let selected = body
+            .lines()
+            .filter(|l| l.starts_with("c1 ") || l.starts_with("c2 "))
+            .map(|l| l.matches('"').count() / 2)
+            .sum();
+        let (mut requested, mut issued, mut hits) =
+            (num("requested"), num("issued"), num("cache_hits"));
+        if let Some(p) = prev {
+            requested -= p.requested;
+            issued -= p.issued;
+            hits -= p.cache_hits;
+        }
+        BenchResult {
+            scenario: scenario.clone(),
+            algo: algo.to_owned(),
+            n_features,
+            requested,
+            issued,
+            cache_hits: hits,
+            encode_hits: cache.encode_hits,
+            encode_misses: cache.encode_misses,
+            wall_ms,
+            selected,
+        }
+    };
+    let cold = shoot("serve-cold", None);
+    let warm = shoot("serve-warm", Some(&cold));
+    handle.shutdown();
+    vec![cold, warm]
 }
 
 /// The cache story: the same workload replayed inside one session issues
@@ -373,6 +448,8 @@ pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
     out.extend(data_scaling(data_n, data_rows, workers));
     out.extend(data_tester_modes(batch_n, batch_rows, workers));
     out.extend(cache_replay(if quick { 32 } else { 128 }));
+    let (serve_n, serve_rows) = if quick { (16, 1200) } else { (24, 4000) };
+    out.extend(serve_cold_warm(serve_n, serve_rows));
     out
 }
 
@@ -381,9 +458,12 @@ pub fn default_suite(quick: bool) -> Vec<BenchResult> {
     bench_suite(quick, default_workers())
 }
 
-/// The CI smoke suite: just the data-tester scenarios, on tiny inputs.
+/// The CI smoke suite: the data-tester scenarios plus the cold/warm serve
+/// round trip, on tiny inputs.
 pub fn smoke_suite() -> Vec<BenchResult> {
-    data_tester_modes(16, 800, 2)
+    let mut out = data_tester_modes(16, 800, 2);
+    out.extend(serve_cold_warm(12, 600));
+    out
 }
 
 /// Validate a serialized bench document the way the CI smoke job does:
@@ -445,6 +525,21 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         });
     if !hit {
         return Err("no gtest-batch grpsel-batched run with encode_hits > 0".into());
+    }
+    // The serving acceptance signal: a warm request against the session
+    // service that issued zero new CI tests, hit the shared memo, and
+    // reused the encode cache.
+    let warm = json.split("{\"scenario\":\"serve/").skip(1).any(|chunk| {
+        let run = chunk.split('}').next().unwrap_or("");
+        run.contains("\"algo\":\"serve-warm\"")
+            && run.contains("\"issued\":0,")
+            && !run.contains("\"cache_hits\":0,")
+            && !run.contains("\"encode_hits\":0,")
+    });
+    if !warm {
+        return Err(
+            "no serve-warm run with issued == 0, cache_hits > 0 and encode_hits > 0".into(),
+        );
     }
     Ok(())
 }
@@ -524,6 +619,49 @@ mod tests {
                 assert_eq!(r.issued, baseline.issued, "{}", r.algo);
             }
         }
+    }
+
+    #[test]
+    fn serve_cold_warm_hits_shared_cache() {
+        let results = serve_cold_warm(10, 400);
+        assert_eq!(results.len(), 2);
+        let cold = &results[0];
+        let warm = &results[1];
+        assert_eq!(cold.algo, "serve-cold");
+        assert_eq!(warm.algo, "serve-warm");
+        assert!(cold.issued > 0, "cold request must issue tests");
+        assert_eq!(warm.issued, 0, "warm request must be fully cached");
+        assert!(warm.cache_hits > 0, "warm request must hit the memo");
+        assert_eq!(
+            warm.requested, cold.requested,
+            "identical workload, identical query stream"
+        );
+        assert_eq!(warm.selected, cold.selected);
+        assert!(warm.encode_hits >= cold.encode_hits);
+    }
+
+    #[test]
+    fn validator_requires_warm_serve_run() {
+        // A document with the batch signal but no serve scenario.
+        let base = "{\"bench\":\"fairsel-engine\",\"runs\":[{\"scenario\":\"gtest-batch/x\",\
+                    \"algo\":\"grpsel-batched\",\"issued\":3,\"encode_hits\":5,\
+                    \"encode_misses\":9,\"wall_ms\":1.0}";
+        let no_serve = format!("{base}]}}");
+        assert!(validate_bench_json(&no_serve)
+            .unwrap_err()
+            .contains("serve-warm"));
+        // Serve present but the warm run still issued tests.
+        let stale = format!(
+            "{base},{{\"scenario\":\"serve/x\",\"algo\":\"serve-warm\",\"issued\":4,\
+             \"cache_hits\":9,\"encode_hits\":5,\"encode_misses\":1,\"wall_ms\":1.0}}]}}"
+        );
+        assert!(validate_bench_json(&stale).is_err());
+        // A proper warm run validates.
+        let good = format!(
+            "{base},{{\"scenario\":\"serve/x\",\"algo\":\"serve-warm\",\"issued\":0,\
+             \"cache_hits\":9,\"encode_hits\":5,\"encode_misses\":1,\"wall_ms\":1.0}}]}}"
+        );
+        validate_bench_json(&good).expect("warm serve run should validate");
     }
 
     #[test]

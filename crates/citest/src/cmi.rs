@@ -58,18 +58,18 @@ pub fn cmi_discrete(table: &Table, x: &[VarId], y: &[VarId], z: &[VarId]) -> f64
 /// [`crate::CiTestShared`]/[`crate::CiTestBatch`]-capable despite being a
 /// permutation test (the ROADMAP's "per-worker RNG streams keyed by
 /// canonical query").
-pub struct PermutationCmi<'a> {
-    enc: Arc<EncodedTable<'a>>,
+pub struct PermutationCmi {
+    enc: Arc<EncodedTable>,
     alpha: f64,
     permutations: usize,
     seed: u64,
     degenerate: AtomicU64,
 }
 
-impl<'a> PermutationCmi<'a> {
+impl PermutationCmi {
     /// `permutations` controls null resolution (p-values are quantized to
     /// `1/(B+1)`); 99–499 is typical.
-    pub fn new(table: &'a Table, alpha: f64, permutations: usize, seed: u64) -> Self {
+    pub fn new(table: &Table, alpha: f64, permutations: usize, seed: u64) -> Self {
         Self::over(
             Arc::new(EncodedTable::new(table)),
             alpha,
@@ -79,7 +79,7 @@ impl<'a> PermutationCmi<'a> {
     }
 
     /// Build over a shared encoding layer (see [`crate::GTest::over`]).
-    pub fn over(enc: Arc<EncodedTable<'a>>, alpha: f64, permutations: usize, seed: u64) -> Self {
+    pub fn over(enc: Arc<EncodedTable>, alpha: f64, permutations: usize, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
         assert!(permutations > 0, "need at least one permutation");
         Self {
@@ -92,7 +92,7 @@ impl<'a> PermutationCmi<'a> {
     }
 
     /// The shared encoding layer.
-    pub fn encoded(&self) -> &Arc<EncodedTable<'a>> {
+    pub fn encoded(&self) -> &Arc<EncodedTable> {
         &self.enc
     }
 
@@ -100,35 +100,9 @@ impl<'a> PermutationCmi<'a> {
     pub fn degenerate_short_circuits(&self) -> u64 {
         self.degenerate.load(Ordering::Relaxed)
     }
-
-    /// Seed for this query's private RNG stream: the base seed mixed with
-    /// a stable hash of the already-canonicalized query sides.
-    fn query_seed(&self, xs: &[VarId], ys: &[VarId], z: &[VarId]) -> u64 {
-        let mut zs = z.to_vec();
-        zs.sort_unstable();
-        zs.dedup();
-        // FNV-1a over the canonical sides with separators, then a
-        // splitmix-style finalizer; stable across platforms and runs.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
-        let mut byte = |b: u64| {
-            h ^= b;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        };
-        for side in [xs, ys, &zs] {
-            for &v in side.iter() {
-                byte(v as u64 + 1);
-            }
-            byte(0); // side separator
-        }
-        h ^= h >> 30;
-        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        h ^= h >> 27;
-        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
-        h ^ (h >> 31)
-    }
 }
 
-impl CiTest for PermutationCmi<'_> {
+impl CiTest for PermutationCmi {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         crate::CiTestShared::ci_shared(self, x, y, z)
     }
@@ -142,7 +116,7 @@ impl CiTest for PermutationCmi<'_> {
     }
 }
 
-impl crate::CiTestShared for PermutationCmi<'_> {
+impl crate::CiTestShared for PermutationCmi {
     fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
@@ -182,7 +156,7 @@ impl crate::CiTestShared for PermutationCmi<'_> {
                 }
             }
         }
-        let mut rng = StdRng::seed_from_u64(self.query_seed(x, y, z));
+        let mut rng = StdRng::seed_from_u64(crate::derived_query_seed(self.seed, x, y, z));
         let mut xperm = xe.codes.clone();
         let mut at_least = 1usize; // the observed statistic counts itself
         for _ in 0..self.permutations {
@@ -206,7 +180,7 @@ impl crate::CiTestShared for PermutationCmi<'_> {
     }
 }
 
-impl crate::CiTestBatch for PermutationCmi<'_> {
+impl crate::CiTestBatch for PermutationCmi {
     fn encode_cache_stats(&self) -> crate::EncodeStats {
         self.enc.stats()
     }

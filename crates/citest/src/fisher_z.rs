@@ -10,13 +10,12 @@ use crate::{CiOutcome, CiTest, VarId};
 use fairsel_math::special::{fisher_z, normal_two_sided_p};
 use fairsel_math::stats::pearson;
 use fairsel_math::Mat;
-use fairsel_table::{ColId, EncodedTable, Table};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use fairsel_table::{CappedCache, ColId, EncodedTable, Table};
+use std::sync::Arc;
 
-/// Memoized residual vectors keyed by `(column, canonical z set)`.
-type ResidualCache = RwLock<HashMap<(ColId, Vec<ColId>), Arc<Vec<f64>>>>;
+/// Memoized residual vectors keyed by `(column, canonical z set)`,
+/// bounded by the encoding layer's cache cap.
+type ResidualCache = CappedCache<(ColId, Vec<ColId>), Arc<Vec<f64>>>;
 
 /// Fisher-z tester over the columns of a [`Table`] (all columns are read
 /// as `f64`; categorical codes are treated numerically).
@@ -29,36 +28,35 @@ type ResidualCache = RwLock<HashMap<(ColId, Vec<ColId>), Arc<Vec<f64>>>>;
 /// columns live in the [`EncodedTable`] layer, and for each conditioning
 /// set the design matrix and per-column residuals are memoized — a GrpSel
 /// frontier level conditions every query on the same `Z`, so the ridge
-/// solves collapse from `O(batch)` to `O(distinct columns)`.
-pub struct FisherZ<'a> {
-    enc: Arc<EncodedTable<'a>>,
+/// solves collapse from `O(batch)` to `O(distinct columns)`. Both caches
+/// are bounded at the encoding layer's cap (LRU eviction), so a
+/// long-lived service holding a FisherZ tester stays memory-bounded.
+pub struct FisherZ {
+    enc: Arc<EncodedTable>,
     alpha: f64,
-    designs: RwLock<HashMap<Vec<ColId>, Arc<Mat>>>,
+    designs: CappedCache<Vec<ColId>, Arc<Mat>>,
     residuals: ResidualCache,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
-impl<'a> FisherZ<'a> {
-    pub fn new(table: &'a Table, alpha: f64) -> Self {
+impl FisherZ {
+    pub fn new(table: &Table, alpha: f64) -> Self {
         Self::over(Arc::new(EncodedTable::new(table)), alpha)
     }
 
     /// Build over a shared encoding layer (see [`crate::GTest::over`]).
-    pub fn over(enc: Arc<EncodedTable<'a>>, alpha: f64) -> Self {
+    pub fn over(enc: Arc<EncodedTable>, alpha: f64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        let cap = enc.cache_cap();
         Self {
             enc,
             alpha,
-            designs: RwLock::new(HashMap::new()),
-            residuals: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            designs: CappedCache::new(cap),
+            residuals: CappedCache::new(cap),
         }
     }
 
     /// The shared encoding layer.
-    pub fn encoded(&self) -> &Arc<EncodedTable<'a>> {
+    pub fn encoded(&self) -> &Arc<EncodedTable> {
         &self.enc
     }
 
@@ -81,12 +79,10 @@ impl<'a> FisherZ<'a> {
     /// uncached — the per-query benchmark baseline).
     fn design(&self, zkey: &[ColId]) -> Arc<Mat> {
         if self.enc.caching() {
-            if let Some(hit) = self.designs.read().expect("design cache lock").get(zkey) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+            if let Some(hit) = self.designs.get(zkey) {
+                return hit;
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let n = self.table().n_rows();
         let cols: Vec<Arc<Vec<f64>>> = zkey.iter().map(|&c| self.enc.numeric_col(c)).collect();
         let mut data = Vec::with_capacity(n * (zkey.len() + 1));
@@ -98,41 +94,30 @@ impl<'a> FisherZ<'a> {
         }
         let design = Arc::new(Mat::from_vec(n, zkey.len() + 1, data));
         if self.enc.caching() {
-            self.designs
-                .write()
-                .expect("design cache lock")
-                .entry(zkey.to_vec())
-                .or_insert_with(|| Arc::clone(&design));
+            self.designs.insert(zkey.to_vec(), design)
+        } else {
+            self.designs.note_miss();
+            design
         }
-        design
     }
 
     /// Residuals of `col` on the canonical `z` set, memoized.
     fn residual(&self, col: ColId, zkey: &[ColId]) -> Arc<Vec<f64>> {
         let key = (col, zkey.to_vec());
         if self.enc.caching() {
-            if let Some(hit) = self
-                .residuals
-                .read()
-                .expect("residual cache lock")
-                .get(&key)
-            {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+            if let Some(hit) = self.residuals.get(&key) {
+                return hit;
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let design = self.design(zkey);
         let vals = self.enc.numeric_col(col);
         let res = Arc::new(Self::residualize(&vals, &design));
         if self.enc.caching() {
-            self.residuals
-                .write()
-                .expect("residual cache lock")
-                .entry(key)
-                .or_insert_with(|| Arc::clone(&res));
+            self.residuals.insert(key, res)
+        } else {
+            self.residuals.note_miss();
+            res
         }
-        res
     }
 
     fn canonical_z(z: &[VarId]) -> Vec<ColId> {
@@ -166,7 +151,7 @@ impl<'a> FisherZ<'a> {
     }
 }
 
-impl CiTest for FisherZ<'_> {
+impl CiTest for FisherZ {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         crate::CiTestShared::ci_shared(self, x, y, z)
     }
@@ -180,7 +165,7 @@ impl CiTest for FisherZ<'_> {
     }
 }
 
-impl crate::CiTestShared for FisherZ<'_> {
+impl crate::CiTestShared for FisherZ {
     fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
@@ -212,13 +197,12 @@ impl crate::CiTestShared for FisherZ<'_> {
     }
 }
 
-impl crate::CiTestBatch for FisherZ<'_> {
+impl crate::CiTestBatch for FisherZ {
     fn encode_cache_stats(&self) -> crate::EncodeStats {
-        let enc = self.enc.stats();
-        crate::EncodeStats {
-            hits: enc.hits + self.hits.load(Ordering::Relaxed),
-            misses: enc.misses + self.misses.load(Ordering::Relaxed),
-        }
+        self.enc
+            .stats()
+            .merged(self.designs.stats())
+            .merged(self.residuals.stats())
     }
 }
 

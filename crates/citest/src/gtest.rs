@@ -23,23 +23,23 @@ use std::sync::Arc;
 /// Variables are table column ids; all referenced columns must be
 /// categorical (the paper's discrete synthetic benchmarks and simulated
 /// datasets are generated categorically).
-pub struct GTest<'a> {
-    enc: Arc<EncodedTable<'a>>,
+pub struct GTest {
+    enc: Arc<EncodedTable>,
     alpha: f64,
     degenerate: AtomicU64,
 }
 
-impl<'a> GTest<'a> {
+impl GTest {
     /// Create a tester at significance level `alpha` (paper default: 0.01,
     /// swept to 0.05 in §5.2 with stable results), with a private
     /// encoding cache.
-    pub fn new(table: &'a Table, alpha: f64) -> Self {
+    pub fn new(table: &Table, alpha: f64) -> Self {
         Self::over(Arc::new(EncodedTable::new(table)), alpha)
     }
 
     /// Create a tester sharing an existing encoding layer — how several
     /// testers (G-test + CMI audit) amortize one cache.
-    pub fn over(enc: Arc<EncodedTable<'a>>, alpha: f64) -> Self {
+    pub fn over(enc: Arc<EncodedTable>, alpha: f64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
         Self {
             enc,
@@ -54,7 +54,7 @@ impl<'a> GTest<'a> {
     }
 
     /// The shared encoding layer.
-    pub fn encoded(&self) -> &Arc<EncodedTable<'a>> {
+    pub fn encoded(&self) -> &Arc<EncodedTable> {
         &self.enc
     }
 
@@ -84,7 +84,7 @@ impl<'a> GTest<'a> {
     }
 }
 
-impl CiTest for GTest<'_> {
+impl CiTest for GTest {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         crate::CiTestShared::ci_shared(self, x, y, z)
     }
@@ -98,7 +98,7 @@ impl CiTest for GTest<'_> {
     }
 }
 
-impl crate::CiTestShared for GTest<'_> {
+impl crate::CiTestShared for GTest {
     fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
@@ -112,7 +112,7 @@ impl crate::CiTestShared for GTest<'_> {
     }
 }
 
-impl crate::CiTestBatch for GTest<'_> {
+impl crate::CiTestBatch for GTest {
     fn encode_cache_stats(&self) -> crate::EncodeStats {
         self.enc.stats()
     }

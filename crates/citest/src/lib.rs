@@ -23,11 +23,13 @@
 //! All testers implement [`CiTest`]; [`CountingCi`] wraps any of them to
 //! produce the test counts reported in Table 2 and Figures 4-5.
 //!
-//! The data-driven testers ([`GTest`], [`PermutationCmi`], [`FisherZ`])
-//! additionally implement [`CiTestBatch`]: they evaluate whole *batches*
-//! of queries through a shared [`fairsel_table::EncodedTable`] so one
-//! columnar encoding pass (or one residualization, for Fisher-z) is
-//! amortized across every query of a GrpSel frontier level.
+//! The data-driven testers ([`GTest`], [`PermutationCmi`], [`FisherZ`],
+//! [`Rcit`]) additionally implement [`CiTestBatch`]: they evaluate whole
+//! *batches* of queries through a shared [`fairsel_table::EncodedTable`]
+//! so one columnar encoding pass (or one residualization, for Fisher-z)
+//! is amortized across every query of a GrpSel frontier level. The
+//! randomized testers derive a private RNG stream per canonical query
+//! ([`derived_query_seed`]), which is what makes them shareable at all.
 
 pub mod cmi;
 mod contingency;
@@ -94,9 +96,11 @@ pub trait CiTest {
 /// needs: a batch of independent queries is fanned out across worker
 /// threads that all borrow the tester immutably. Testers that are pure
 /// functions of their inputs (d-separation oracle, G-test, Fisher-z)
-/// implement it; testers that consume randomness per call
-/// ([`NoisyOracleCi`], [`PermutationCmi`], [`Rcit`]) cannot, and fall back
-/// to the engine's sequential path.
+/// implement it directly; randomized testers ([`PermutationCmi`],
+/// [`Rcit`]) qualify by deriving a private RNG stream per query
+/// ([`derived_query_seed`]) instead of mutating a shared stream. Only
+/// [`NoisyOracleCi`] — whose per-call flips are *deliberately*
+/// order-dependent — falls back to the engine's sequential path.
 ///
 /// Contract: `ci_shared` must return exactly what [`CiTest::ci`] would.
 pub trait CiTestShared: CiTest + Sync {
@@ -158,6 +162,42 @@ pub fn canonical_sides(x: &[VarId], y: &[VarId]) -> (Vec<VarId>, Vec<VarId>) {
     } else {
         (xs, ys)
     }
+}
+
+/// Seed for a *per-query* private RNG stream: `base` mixed with a stable
+/// hash of the canonicalized query (sides via [`canonical_sides`], `z`
+/// sorted and deduplicated).
+///
+/// Stochastic testers ([`PermutationCmi`], [`Rcit`]) draw all their
+/// randomness from a stream seeded here instead of one mutable stream: any
+/// two evaluations of the same query — sequential, batched, across worker
+/// threads, in any order — consume identical randomness and return
+/// byte-identical outcomes. That is what makes a randomized tester
+/// [`CiTestShared`]/[`CiTestBatch`]-capable.
+///
+/// FNV-1a over the canonical sides with separators, then a splitmix-style
+/// finalizer; stable across platforms and runs.
+pub fn derived_query_seed(base: u64, x: &[VarId], y: &[VarId], z: &[VarId]) -> u64 {
+    let (xs, ys) = canonical_sides(x, y);
+    let mut zs = z.to_vec();
+    zs.sort_unstable();
+    zs.dedup();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+    let mut byte = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for side in [&xs, &ys, &zs] {
+        for &v in side.iter() {
+            byte(v as u64 + 1);
+        }
+        byte(0); // side separator
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
 }
 
 /// CI testers that can evaluate a whole *batch* of queries at once.
@@ -243,6 +283,29 @@ impl<T: CiTest + ?Sized> CiTest for Box<T> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+}
+
+/// Boxed shared testers stay shared — what lets the session service hold
+/// heterogeneous testers as `Box<dyn CiTestBatch + Send + Sync>`.
+impl<T: CiTestShared + ?Sized> CiTestShared for Box<T>
+where
+    Box<T>: Sync,
+{
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        (**self).ci_shared(x, y, z)
+    }
+}
+
+impl<T: CiTestBatch + ?Sized> CiTestBatch for Box<T>
+where
+    Box<T>: Sync,
+{
+    fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        (**self).eval_batch(queries)
+    }
+    fn encode_cache_stats(&self) -> EncodeStats {
+        (**self).encode_cache_stats()
     }
 }
 

@@ -73,6 +73,12 @@ impl crate::CiTestShared for OracleCi {
     }
 }
 
+/// The oracle has no per-batch work to amortize, but implementing the
+/// batch trait (per-query default) lets it drop into every batched entry
+/// point — e.g. `fairsel select --dag`, which routes the oracle through
+/// the same pipeline as the data testers.
+impl crate::CiTestBatch for OracleCi {}
+
 /// Oracle with per-test error: each answer is flipped independently with
 /// probability `flip_prob`. With `q` tests, the expected number of
 /// spurious answers is `q · flip_prob` — which is precisely why GrpSel's

@@ -19,15 +19,25 @@
 //!
 //! With an empty conditioning set this reduces to RIT, an unconditional
 //! kernel independence test.
+//!
+//! Randomness (the Fourier frequencies `W` and phases `b`) is drawn from a
+//! stream *derived per query* ([`crate::derived_query_seed`]) rather than
+//! one mutable stream, so any two evaluations of the same query —
+//! sequential, batched, across worker threads, in any order — consume
+//! identical randomness and return byte-identical outcomes. That makes
+//! RCIT [`crate::CiTestShared`]/[`crate::CiTestBatch`]-capable, and its
+//! column extraction reads through the shared [`EncodedTable`] layer so
+//! repeated columns are materialized once per session.
 
 use crate::{CiOutcome, CiTest, VarId};
 use fairsel_math::dist::sample_std_normal;
 use fairsel_math::special::gamma_sf;
 use fairsel_math::stats::{median_pairwise_distance, standardize};
 use fairsel_math::Mat;
-use fairsel_table::Table;
+use fairsel_table::{EncodedTable, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// RCIT hyperparameters.
 #[derive(Clone, Debug)]
@@ -58,25 +68,28 @@ impl Default for RcitConfig {
 
 /// RCIT tester over table columns (categorical codes read as numeric, as
 /// the R package does with factor levels).
-pub struct Rcit<'a> {
-    table: &'a Table,
+pub struct Rcit {
+    enc: Arc<EncodedTable>,
     cfg: RcitConfig,
-    rng: StdRng,
+    seed: u64,
 }
 
-impl<'a> Rcit<'a> {
-    pub fn new(table: &'a Table, cfg: RcitConfig, seed: u64) -> Self {
+impl Rcit {
+    pub fn new(table: &Table, cfg: RcitConfig, seed: u64) -> Self {
+        Self::over(Arc::new(EncodedTable::new(table)), cfg, seed)
+    }
+
+    /// Build over a shared encoding layer (see [`crate::GTest::over`]);
+    /// materialized numeric columns are shared with every other tester on
+    /// the same layer.
+    pub fn over(enc: Arc<EncodedTable>, cfg: RcitConfig, seed: u64) -> Self {
         assert!(cfg.num_features_xy > 0 && cfg.num_features_z > 0);
         assert!(cfg.ridge > 0.0, "ridge must be positive");
-        Self {
-            table,
-            cfg,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        Self { enc, cfg, seed }
     }
 
     /// Tester with default hyperparameters at level `alpha`.
-    pub fn with_alpha(table: &'a Table, alpha: f64, seed: u64) -> Self {
+    pub fn with_alpha(table: &Table, alpha: f64, seed: u64) -> Self {
         Self::new(
             table,
             RcitConfig {
@@ -87,13 +100,18 @@ impl<'a> Rcit<'a> {
         )
     }
 
-    /// Extract columns as a standardized `n × d` matrix.
+    fn table(&self) -> &Table {
+        self.enc.table()
+    }
+
+    /// Extract columns as a standardized `n × d` matrix (shared
+    /// materialized columns, standardized into a private buffer).
     fn extract(&self, cols: &[VarId]) -> Mat {
-        let n = self.table.n_rows();
+        let n = self.table().n_rows();
         let d = cols.len();
         let mut buf = vec![0.0; n * d];
         for (j, &c) in cols.iter().enumerate() {
-            let mut col = self.table.col(c).to_f64();
+            let mut col = (*self.enc.numeric_col(c)).clone();
             standardize(&mut col);
             for i in 0..n {
                 buf[i * d + j] = col[i];
@@ -102,19 +120,20 @@ impl<'a> Rcit<'a> {
         Mat::from_vec(n, d, buf)
     }
 
-    /// Random Fourier feature map of `data` with RBF bandwidth `sigma`.
-    fn fourier_features(&mut self, data: &Mat, num: usize, sigma: f64) -> Mat {
+    /// Random Fourier feature map of `data` with RBF bandwidth `sigma`,
+    /// drawing frequencies and phases from the query's private stream.
+    fn fourier_features(rng: &mut StdRng, data: &Mat, num: usize, sigma: f64) -> Mat {
         let n = data.rows();
         let d = data.cols();
         // W ~ N(0, 1/σ²) entrywise, b ~ U[0, 2π).
         let mut w = Mat::zeros(d, num);
         for i in 0..d {
             for j in 0..num {
-                w[(i, j)] = sample_std_normal(&mut self.rng) / sigma;
+                w[(i, j)] = sample_std_normal(rng) / sigma;
             }
         }
         let b: Vec<f64> = (0..num)
-            .map(|_| self.rng.gen::<f64>() * 2.0 * std::f64::consts::PI)
+            .map(|_| rng.gen::<f64>() * 2.0 * std::f64::consts::PI)
             .collect();
         let mut proj = data.matmul(&w);
         let scale = (2.0 / num as f64).sqrt();
@@ -137,8 +156,20 @@ impl<'a> Rcit<'a> {
     }
 
     /// Full test, returning `(statistic, p_value)`.
-    pub fn test(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> (f64, f64) {
-        let n = self.table.n_rows();
+    ///
+    /// Sides are canonicalized ([`crate::canonical_sides`], `z` sorted and
+    /// deduplicated) and all randomness comes from a stream seeded by the
+    /// canonical query, so every spelling of one query is byte-identical —
+    /// the [`crate::CiTestBatch`] contract.
+    pub fn test(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> (f64, f64) {
+        let (x, y) = crate::canonical_sides(x, y);
+        let (x, y) = (x.as_slice(), y.as_slice());
+        let mut z = z.to_vec();
+        z.sort_unstable();
+        z.dedup();
+        let z = z.as_slice();
+        let mut rng = StdRng::seed_from_u64(crate::derived_query_seed(self.seed, x, y, z));
+        let n = self.table().n_rows();
         if n < 8 {
             return (0.0, 1.0);
         }
@@ -146,8 +177,8 @@ impl<'a> Rcit<'a> {
         let ym = self.extract(y);
         let sx = self.bandwidth(&xm);
         let sy = self.bandwidth(&ym);
-        let mut fx = self.fourier_features(&xm, self.cfg.num_features_xy, sx);
-        let mut fy = self.fourier_features(&ym, self.cfg.num_features_xy, sy);
+        let mut fx = Self::fourier_features(&mut rng, &xm, self.cfg.num_features_xy, sx);
+        let mut fy = Self::fourier_features(&mut rng, &ym, self.cfg.num_features_xy, sy);
         fx.center_cols();
         fy.center_cols();
         let (ex, ey) = if z.is_empty() {
@@ -155,7 +186,7 @@ impl<'a> Rcit<'a> {
         } else {
             let zm = self.extract(z);
             let sz = self.bandwidth(&zm);
-            let mut fz = self.fourier_features(&zm, self.cfg.num_features_z, sz);
+            let mut fz = Self::fourier_features(&mut rng, &zm, self.cfg.num_features_z, sz);
             fz.center_cols();
             let wx = Mat::ridge_solve(&fz, &fx, self.cfg.ridge);
             let wy = Mat::ridge_solve(&fz, &fy, self.cfg.ridge);
@@ -221,8 +252,22 @@ impl<'a> Rcit<'a> {
     }
 }
 
-impl CiTest for Rcit<'_> {
+impl CiTest for Rcit {
     fn ci(&mut self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
+        crate::CiTestShared::ci_shared(self, x, y, z)
+    }
+
+    fn n_vars(&self) -> usize {
+        self.table().n_cols()
+    }
+
+    fn name(&self) -> &'static str {
+        "rcit"
+    }
+}
+
+impl crate::CiTestShared for Rcit {
+    fn ci_shared(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> CiOutcome {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
         }
@@ -233,13 +278,14 @@ impl CiTest for Rcit<'_> {
             statistic: stat,
         }
     }
+}
 
-    fn n_vars(&self) -> usize {
-        self.table.n_cols()
-    }
-
-    fn name(&self) -> &'static str {
-        "rcit"
+/// Batch evaluation uses the per-query default (each query re-derives its
+/// own RNG stream, so there is no cross-query randomness to amortize);
+/// the shared encoding layer still amortizes column materialization.
+impl crate::CiTestBatch for Rcit {
+    fn encode_cache_stats(&self) -> crate::EncodeStats {
+        self.enc.stats()
     }
 }
 

@@ -5,27 +5,36 @@
 //! fairsel gen    --fixture 1a --rows 4000 --out data.csv
 //! fairsel gen    --synthetic 64 --biased 0.1 --rows 4000 --out data.csv
 //! fairsel select --csv data.csv --algo grpsel --workers 4
+//! fairsel select --csv data.csv --dag graph.txt        # oracle tester
 //! fairsel methods --csv data.csv
+//! fairsel serve  --addr 127.0.0.1:4990 --cache-cap 8192
+//! fairsel select --csv data.csv --remote 127.0.0.1:4990
 //! ```
 //!
 //! CSV headers are role-annotated (`name:catK[role]` / `name:num[role]`),
 //! the format `fairsel_table::csv` round-trips; `fairsel gen` produces
 //! them from the paper's fixtures or the synthetic workload generator.
 
-use fairsel_ci::{FisherZ, GTest};
+use fairsel_ci::{FisherZ, GTest, OracleCi};
 use fairsel_core::{
-    run_all_methods, run_pipeline_batched, ClassifierKind, PipelineConfig, Problem, SelectConfig,
-    SelectionAlgo, TesterSpec,
+    render_methods_report, render_pipeline_report, run_all_methods, run_pipeline_batched,
+    ClassifierKind, PipelineConfig, PipelineResult, Problem, SelectConfig, SelectionAlgo,
+    TesterSpec,
 };
 use fairsel_datasets::fixtures;
 use fairsel_datasets::sim::sample_table;
 use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
 use fairsel_engine::{default_workers, EngineStats};
-use fairsel_table::{csv, Table};
+use fairsel_graph::{dag_from_text, Dag};
+use fairsel_server::{
+    MaxGroupSpec, RegistryConfig, Request, Response, ServeConfig, Server, WorkloadRequest,
+};
+use fairsel_table::{csv, EncodedTable, Table, DEFAULT_CACHE_CAP};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 fairsel — causal feature selection for algorithmic fairness
@@ -34,11 +43,15 @@ USAGE:
   fairsel gen     --out <file.csv> [--fixture 1a|1b|1c|6] [--synthetic N]
                   [--biased F] [--rows N] [--seed N] [--strength W]
   fairsel select  --csv <file.csv> [--algo seqsel|grpsel] [--tester gtest|fisherz]
-                  [--alpha F] [--classifier logistic|tree|forest|adaboost|nb]
+                  [--dag <graph.txt>] [--alpha F]
+                  [--classifier logistic|tree|forest|adaboost|nb]
                   [--workers N] [--max-group N|auto] [--train-frac F] [--seed N]
-                  [--stats-out <file.json>]
-  fairsel methods --csv <file.csv> [--tester gtest|fisherz] [--alpha F]
-                  [--classifier ...] [--max-group N|auto] [--train-frac F] [--seed N]
+                  [--cache-cap N] [--stats-out <file.json>]
+                  [--report-out <file.txt>] [--remote <host:port>]
+  fairsel methods --csv <file.csv> [--tester gtest|fisherz] [--dag <graph.txt>]
+                  [--alpha F] [--classifier ...] [--max-group N|auto]
+                  [--train-frac F] [--seed N]
+  fairsel serve   [--addr <host:port>] [--cache-cap N] [--max-datasets N]
 
 `gen` writes a role-annotated CSV sampled from a paper fixture (default 1a)
 or from a fairness-structured synthetic DAG (--synthetic <n_features>).
@@ -47,7 +60,17 @@ columnar EncodedTable layer — and prints selection, fairness report, and
 engine telemetry (including encode-cache reuse). `methods` sweeps the
 baseline pipelines (a-only, all, seqsel, grpsel, fair-pc) on one split.
 `--max-group auto` pre-splits GrpSel's root group to width log2(train rows),
-restoring group-test power on wide discrete data.";
+restoring group-test power on wide discrete data.
+`--dag graph.txt` answers CI queries from ground-truth d-separation on the
+given graph (line format: `a -> b` edges, bare names for isolated nodes,
+`#` comments; node names must cover the CSV columns — extra latent nodes
+are fine). `--report-out` writes just the deterministic selection +
+fairness report (the byte-compared artifact in CI).
+`serve` starts the long-lived session service: requests from many clients
+share one encode pass and one CI-outcome cache per dataset fingerprint,
+LRU-bounded by --cache-cap (per-dataset encodings) and --max-datasets.
+`select --remote host:port` sends the workload to a running server and
+falls back to local execution when the server is unreachable.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +89,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&opts),
         "select" => cmd_select(&opts),
         "methods" => cmd_methods(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -223,59 +247,126 @@ fn load_workload(opts: &Opts) -> Result<Workload, String> {
 }
 
 fn cmd_select(opts: &Opts) -> Result<(), String> {
+    if let Some(addr) = opts.get("remote") {
+        if opts.get("dag").is_some() {
+            return Err("--dag cannot be combined with --remote (oracle runs locally)".into());
+        }
+        match remote_select(addr, opts) {
+            Ok(()) => return Ok(()),
+            Err(RemoteError::Unreachable(e)) => {
+                eprintln!(
+                    "warning: server {addr} unreachable ({e}); falling back to local execution"
+                );
+            }
+            Err(RemoteError::Server(e)) => return Err(format!("remote {addr}: {e}")),
+        }
+    }
+
     let w = load_workload(opts)?;
-    let out = match w.tester.as_str() {
-        "gtest" => {
-            let tester = GTest::new(&w.train, w.alpha);
-            run_pipeline_batched(tester, &w.train, &w.test, &w.cfg)
+    let cache_cap: usize = opts.num("cache-cap", DEFAULT_CACHE_CAP)?;
+    let out = if let Some(path) = opts.get("dag") {
+        let dag = load_dag(path)?;
+        let aligned = align_dag_to_table(&dag, &w.train)?;
+        run_pipeline_batched(OracleCi::from_dag(aligned), &w.train, &w.test, &w.cfg)
+    } else {
+        let enc = Arc::new(EncodedTable::from_arc_with_cap(
+            Arc::new(w.train.clone()),
+            cache_cap,
+        ));
+        match w.tester.as_str() {
+            "gtest" => run_pipeline_batched(GTest::over(enc, w.alpha), &w.train, &w.test, &w.cfg),
+            "fisherz" => {
+                run_pipeline_batched(FisherZ::over(enc, w.alpha), &w.train, &w.test, &w.cfg)
+            }
+            other => return Err(format!("unknown --tester: {other} (gtest|fisherz)")),
         }
-        "fisherz" => {
-            let tester = FisherZ::new(&w.train, w.alpha);
-            run_pipeline_batched(tester, &w.train, &w.test, &w.cfg)
-        }
-        other => return Err(format!("unknown --tester: {other} (gtest|fisherz)")),
     };
 
-    let name = |c: usize| w.train.col(c).name.clone();
-    println!("== selection ({:?}) ==", w.cfg.algo);
-    println!(
-        "c1 (no new sensitive info): {:?}",
-        ids_to_names(&out.selection.c1, &name)
-    );
-    println!(
-        "c2 (screened from target):  {:?}",
-        ids_to_names(&out.selection.c2, &name)
-    );
-    println!(
-        "rejected:                   {:?}",
-        ids_to_names(&out.selection.rejected, &name)
-    );
-    println!(
-        "model columns:              {:?}",
-        ids_to_names(&out.model_cols, &name)
-    );
-    println!();
-    println!(
-        "== fairness report ({:?}, test split n={}) ==",
-        w.cfg.classifier,
-        w.test.n_rows()
-    );
-    let r = &out.report;
-    println!("accuracy                    {:.4}", r.accuracy);
-    println!("abs odds difference         {:.4}", r.abs_odds_difference);
-    println!(
-        "statistical parity diff     {:.4}",
-        r.statistical_parity_difference
-    );
-    println!("disparate impact            {:.4}", r.disparate_impact);
-    println!(
-        "equal opportunity diff      {:.4}",
-        r.equal_opportunity_difference
-    );
-    println!("CMI(S; Yhat | A)            {:.6}", r.cmi_s_pred_given_a);
+    let report = render_pipeline_report(&out, &w.train, &w.cfg, w.test.n_rows());
+    print!("{report}");
     println!();
     print_engine_stats(&out.engine, w.cfg.workers);
+    write_outputs(opts, &report, &out)?;
+    Ok(())
+}
 
+/// Remote execution failure, split by whether falling back locally is the
+/// right reaction (connection trouble) or not (the server understood the
+/// request and rejected it).
+enum RemoteError {
+    Unreachable(String),
+    Server(String),
+}
+
+/// Build the wire workload from the CLI options (same defaults as the
+/// local path) and the raw CSV file bytes.
+fn workload_request(opts: &Opts) -> Result<WorkloadRequest, String> {
+    let path = opts.get("csv").ok_or("--csv is required")?;
+    let csv_text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let max_group = match opts.get("max-group") {
+        None => MaxGroupSpec::None,
+        Some("auto") => MaxGroupSpec::Auto,
+        Some(v) => MaxGroupSpec::Width(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&w| w >= 1)
+                .ok_or_else(|| format!("--max-group: bad value {v:?} (number or 'auto')"))?,
+        ),
+    };
+    Ok(WorkloadRequest {
+        csv: csv_text,
+        algo: opts.get("algo").unwrap_or("grpsel").to_owned(),
+        tester: opts.get("tester").unwrap_or("gtest").to_owned(),
+        alpha: opts.num("alpha", 0.01)?,
+        workers: opts.num("workers", default_workers())?,
+        max_group,
+        train_frac: opts.num("train-frac", 0.7)?,
+        seed: opts.num("seed", 0)?,
+        classifier: opts.get("classifier").unwrap_or("logistic").to_owned(),
+    })
+}
+
+fn remote_select(addr: &str, opts: &Opts) -> Result<(), RemoteError> {
+    let req = workload_request(opts).map_err(RemoteError::Server)?;
+    let resp = fairsel_server::request(addr, &Request::Select(req))
+        .map_err(|e| RemoteError::Unreachable(e.to_string()))?;
+    match resp {
+        Response::Ok { body, stats, cache } => {
+            print!("{body}");
+            println!();
+            println!("== served by {addr} ==");
+            if let Some(c) = cache {
+                println!("dataset fingerprint         {:016x}", c.fingerprint);
+                println!("sessions served             {}", c.sessions_served);
+                println!("shared memo hits            {}", c.shared_hits);
+                println!(
+                    "encode cache hits/misses    {}/{} (evictions {})",
+                    c.encode_hits, c.encode_misses, c.encode_evictions
+                );
+                println!("dataset evictions           {}", c.dataset_evictions);
+            }
+            if let Some(path) = opts.get("report-out") {
+                std::fs::write(path, &body)
+                    .map_err(|e| RemoteError::Server(format!("writing {path}: {e}")))?;
+                println!("report written to {path}");
+            }
+            if let Some(path) = opts.get("stats-out") {
+                let text = stats.map(|s| s.to_string()).unwrap_or_else(|| "{}".into());
+                std::fs::write(path, text)
+                    .map_err(|e| RemoteError::Server(format!("writing {path}: {e}")))?;
+                println!("engine stats written to {path}");
+            }
+            Ok(())
+        }
+        Response::Err(e) => Err(RemoteError::Server(e)),
+    }
+}
+
+fn write_outputs(opts: &Opts, report: &str, out: &PipelineResult) -> Result<(), String> {
+    if let Some(path) = opts.get("report-out") {
+        std::fs::write(path, report).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nreport written to {path}");
+    }
     if let Some(path) = opts.get("stats-out") {
         std::fs::write(path, out.engine.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nengine stats written to {path}");
@@ -283,37 +374,81 @@ fn cmd_select(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_methods(opts: &Opts) -> Result<(), String> {
-    let w = load_workload(opts)?;
-    let spec = match w.tester.as_str() {
-        "gtest" => TesterSpec::GTest { alpha: w.alpha },
-        "fisherz" => TesterSpec::FisherZ { alpha: w.alpha },
-        other => return Err(format!("unknown --tester: {other} (gtest|fisherz)")),
-    };
-    let outs = run_all_methods(&spec, None, &w.train, &w.test, &w.cfg);
-    let problem = Problem::from_table(&w.train);
-    println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>12}",
-        "method", "selected", "tests", "issued", "accuracy", "odds-diff", "cmi"
-    );
-    for out in &outs {
-        println!(
-            "{:<10} {:>6}/{:<2} {:>9} {:>9} {:>10.4} {:>10.4} {:>12.6}",
-            out.method.name(),
-            out.selected.len(),
-            problem.n_features(),
-            out.tests_used,
-            out.engine.issued,
-            out.report.accuracy,
-            out.report.abs_odds_difference,
-            out.report.cmi_s_pred_given_a,
-        );
-    }
-    Ok(())
+fn load_dag(path: &str) -> Result<Dag, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    dag_from_text(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn ids_to_names(ids: &[usize], name: &dyn Fn(usize) -> String) -> Vec<String> {
-    ids.iter().map(|&c| name(c)).collect()
+/// Rebuild `dag` with node ids aligned to the table's column order (so
+/// variable `i` *is* column `i` for the d-separation oracle); graph nodes
+/// not present as columns — latent variables — keep their edges and are
+/// appended after the columns. Every column must name a graph node.
+fn align_dag_to_table(dag: &Dag, table: &Table) -> Result<Dag, String> {
+    let mut aligned = Dag::new();
+    for col in table.columns() {
+        if dag.node(&col.name).is_none() {
+            return Err(format!(
+                "--dag: graph has no node named {:?} (every CSV column must map to a node)",
+                col.name
+            ));
+        }
+        aligned
+            .add_node(col.name.clone())
+            .map_err(|e| format!("--dag: {e}"))?;
+    }
+    for v in dag.nodes() {
+        let name = dag.name(v);
+        if aligned.node(name).is_none() {
+            aligned.add_node(name.to_owned()).expect("fresh name");
+        }
+    }
+    for (f, t) in dag.edges() {
+        let from = aligned.expect_node(dag.name(f));
+        let to = aligned.expect_node(dag.name(t));
+        aligned
+            .add_edge(from, to)
+            .map_err(|e| format!("--dag: {e}"))?;
+    }
+    Ok(aligned)
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:4990");
+    let cfg = ServeConfig {
+        registry: RegistryConfig {
+            cache_cap: opts.num("cache-cap", DEFAULT_CACHE_CAP)?,
+            max_datasets: opts.num("max-datasets", RegistryConfig::default().max_datasets)?,
+        },
+    };
+    let server = Server::bind(addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "fairsel serve listening on {} (cache-cap {}, max-datasets {})",
+        server.local_addr(),
+        cfg.registry.cache_cap,
+        cfg.registry.max_datasets
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn cmd_methods(opts: &Opts) -> Result<(), String> {
+    let w = load_workload(opts)?;
+    let aligned_dag = match opts.get("dag") {
+        Some(path) => Some(align_dag_to_table(&load_dag(path)?, &w.train)?),
+        None => None,
+    };
+    let spec = if aligned_dag.is_some() {
+        TesterSpec::Oracle
+    } else {
+        match w.tester.as_str() {
+            "gtest" => TesterSpec::GTest { alpha: w.alpha },
+            "fisherz" => TesterSpec::FisherZ { alpha: w.alpha },
+            other => return Err(format!("unknown --tester: {other} (gtest|fisherz)")),
+        }
+    };
+    let outs = run_all_methods(&spec, aligned_dag.as_ref(), &w.train, &w.test, &w.cfg);
+    let problem = Problem::from_table(&w.train);
+    print!("{}", render_methods_report(&outs, problem.n_features()));
+    Ok(())
 }
 
 fn print_engine_stats(stats: &EngineStats, workers: usize) {
@@ -327,8 +462,8 @@ fn print_engine_stats(stats: &EngineStats, workers: usize) {
         stats.batches, stats.parallel_batches, stats.batched_batches
     );
     println!(
-        "encode cache hits/misses    {}/{}",
-        stats.encode_cache_hits, stats.encode_cache_misses
+        "encode cache hits/misses    {}/{} (evictions {})",
+        stats.encode_cache_hits, stats.encode_cache_misses, stats.encode_cache_evictions
     );
     println!("ci wall time                {:.2} ms", stats.wall_ms);
     for p in &stats.phases {

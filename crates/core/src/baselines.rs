@@ -17,7 +17,8 @@ use fairsel_ci::{CiTest, FisherZ, GTest, OracleCi};
 use fairsel_engine::{CiSession, EngineStats};
 use fairsel_graph::Dag;
 use fairsel_ml::FairnessReport;
-use fairsel_table::{ColId, Table};
+use fairsel_table::{ColId, EncodedTable, Table};
+use std::sync::Arc;
 
 /// A comparison pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,19 +83,49 @@ pub enum TesterSpec {
 }
 
 impl TesterSpec {
+    /// One shared encoding layer for this spec's data testers (`None` for
+    /// the oracle, which never touches the table). Sharing it across
+    /// several `build_over` calls — as [`run_all_methods`] does — means
+    /// the dataset is cloned into shared ownership once per sweep rather
+    /// than once per method, and the methods amortize one encode cache.
+    pub fn encoding_for(&self, train: &Table) -> Option<Arc<EncodedTable>> {
+        match self {
+            TesterSpec::Oracle => None,
+            _ => Some(Arc::new(EncodedTable::new(train))),
+        }
+    }
+
     /// Instantiate the tester over the training table (and ground-truth
     /// DAG for [`TesterSpec::Oracle`]).
     ///
     /// # Panics
     /// Panics when `Oracle` is requested without a DAG.
-    pub fn build<'a>(&self, train: &'a Table, dag: Option<&Dag>) -> Box<dyn CiTest + 'a> {
+    pub fn build(&self, train: &Table, dag: Option<&Dag>) -> Box<dyn CiTest> {
+        self.build_over(self.encoding_for(train).as_ref(), train, dag)
+    }
+
+    /// Like [`TesterSpec::build`], reusing an existing encoding layer for
+    /// the data testers (falls back to a private one when `enc` is
+    /// `None`).
+    pub fn build_over(
+        &self,
+        enc: Option<&Arc<EncodedTable>>,
+        train: &Table,
+        dag: Option<&Dag>,
+    ) -> Box<dyn CiTest> {
         match *self {
             TesterSpec::Oracle => {
                 let dag = dag.expect("TesterSpec::Oracle requires the ground-truth DAG");
                 Box::new(OracleCi::from_dag(dag.clone()))
             }
-            TesterSpec::GTest { alpha } => Box::new(GTest::new(train, alpha)),
-            TesterSpec::FisherZ { alpha } => Box::new(FisherZ::new(train, alpha)),
+            TesterSpec::GTest { alpha } => match enc {
+                Some(enc) => Box::new(GTest::over(Arc::clone(enc), alpha)),
+                None => Box::new(GTest::new(train, alpha)),
+            },
+            TesterSpec::FisherZ { alpha } => match enc {
+                Some(enc) => Box::new(FisherZ::over(Arc::clone(enc), alpha)),
+                None => Box::new(FisherZ::new(train, alpha)),
+            },
         }
     }
 
@@ -141,12 +172,33 @@ pub fn run_method(
     test: &Table,
     cfg: &PipelineConfig,
 ) -> MethodOutput {
+    run_method_over(
+        method,
+        spec,
+        spec.encoding_for(train).as_ref(),
+        dag,
+        train,
+        test,
+        cfg,
+    )
+}
+
+/// [`run_method`] with an explicit (possibly shared) encoding layer.
+fn run_method_over(
+    method: Method,
+    spec: &TesterSpec,
+    enc: Option<&Arc<EncodedTable>>,
+    dag: Option<&Dag>,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> MethodOutput {
     let problem = Problem::from_table(train);
     let (selected, tests_used, engine) = match method {
         Method::AdmissibleOnly => (Vec::new(), 0, EngineStats::default()),
         Method::All => (problem.features.clone(), 0, EngineStats::default()),
         Method::SeqSel | Method::GrpSel => {
-            let mut session = CiSession::new(spec.build(train, dag));
+            let mut session = CiSession::new(spec.build_over(enc, train, dag));
             let sel: Selection = if method == Method::SeqSel {
                 seqsel_in(&mut session, &problem, &cfg.select)
             } else {
@@ -159,7 +211,7 @@ pub fn run_method(
             (sel.selected(), sel.tests_used, session.stats().clone())
         }
         Method::FairPc => {
-            let mut session = CiSession::new(spec.build(train, dag));
+            let mut session = CiSession::new(spec.build_over(enc, train, dag));
             session.set_phase("fair-pc");
             let mut vars: Vec<ColId> = problem.sensitive.clone();
             vars.extend(&problem.admissible);
@@ -199,10 +251,41 @@ pub fn run_all_methods(
     test: &Table,
     cfg: &PipelineConfig,
 ) -> Vec<MethodOutput> {
+    // One shared encoding layer for the whole sweep: the dataset is cloned
+    // into shared ownership once, and every method's tester amortizes the
+    // same set-encoding cache.
+    let enc = spec.encoding_for(train);
     Method::all()
         .into_iter()
-        .map(|m| run_method(m, spec, dag, train, test, cfg))
+        .map(|m| run_method_over(m, spec, enc.as_ref(), dag, train, test, cfg))
         .collect()
+}
+
+/// Render the `methods` sweep as the aligned table both `fairsel methods`
+/// and the session service print — one definition, so remote output stays
+/// byte-identical to local output.
+pub fn render_methods_report(outs: &[MethodOutput], n_features: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "{:<10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>12}\n",
+        "method", "selected", "tests", "issued", "accuracy", "odds-diff", "cmi"
+    );
+    for out in outs {
+        writeln!(
+            s,
+            "{:<10} {:>6}/{:<2} {:>9} {:>9} {:>10.4} {:>10.4} {:>12.6}",
+            out.method.name(),
+            out.selected.len(),
+            n_features,
+            out.tests_used,
+            out.engine.issued,
+            out.report.accuracy,
+            out.report.abs_odds_difference,
+            out.report.cmi_s_pred_given_a,
+        )
+        .expect("string write");
+    }
+    s
 }
 
 /// Convenience: default pipeline config with a chosen classifier.

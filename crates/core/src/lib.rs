@@ -41,14 +41,16 @@ pub mod pipeline;
 pub mod problem;
 pub mod seqsel;
 
-pub use baselines::{run_all_methods, run_method, Method, MethodOutput, TesterSpec};
+pub use baselines::{
+    render_methods_report, run_all_methods, run_method, Method, MethodOutput, TesterSpec,
+};
 pub use grpsel::{
     grpsel, grpsel_batched, grpsel_batched_in, grpsel_in, grpsel_par, grpsel_par_in, grpsel_seeded,
 };
 pub use oracle::{theorem1_classification, GroundTruth};
 pub use pipeline::{
-    run_pipeline, run_pipeline_batched, run_pipeline_par, ClassifierKind, PipelineConfig,
-    PipelineResult, SelectionAlgo,
+    render_pipeline_report, run_pipeline, run_pipeline_batched, run_pipeline_batched_in,
+    run_pipeline_par, ClassifierKind, PipelineConfig, PipelineResult, SelectionAlgo,
 };
 pub use problem::{Problem, SelectConfig, Selection};
 pub use seqsel::{seqsel, seqsel_in};

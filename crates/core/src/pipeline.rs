@@ -144,23 +144,107 @@ pub fn run_pipeline_batched<T: CiTestBatch>(
     test: &Table,
     cfg: &PipelineConfig,
 ) -> PipelineResult {
-    let problem = Problem::from_table(train);
     let mut session = CiSession::new(tester);
+    run_pipeline_batched_in(&mut session, train, test, cfg)
+}
+
+/// Like [`run_pipeline_batched`] but running inside an *existing* session:
+/// memoized CI outcomes (and the tester's encoding caches) survive across
+/// calls, so a repeated request costs hash lookups instead of tests. This
+/// is the entry point the long-lived `fairsel-server` session registry
+/// drives — one session per (dataset fingerprint, tester config), shared
+/// by every request that maps to it. The returned telemetry is the
+/// session's *cumulative* stats.
+pub fn run_pipeline_batched_in<T: CiTestBatch>(
+    session: &mut CiSession<T>,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> PipelineResult {
+    let problem = Problem::from_table(train);
     let selection = match cfg.algo {
-        SelectionAlgo::SeqSel => seqsel_in(&mut session, &problem, &cfg.select),
-        SelectionAlgo::GrpSel { seed } => grpsel_batched_in(
-            &mut session,
-            &problem,
-            &cfg.select,
-            seed,
-            cfg.workers.max(1),
-        ),
+        SelectionAlgo::SeqSel => seqsel_in(session, &problem, &cfg.select),
+        SelectionAlgo::GrpSel { seed } => {
+            grpsel_batched_in(session, &problem, &cfg.select, seed, cfg.workers.max(1))
+        }
     };
     // SeqSel routes per-query, which doesn't sync the tester's
     // encode-cache counters; refresh so the telemetry is honest either way.
     session.refresh_encode_stats();
     let engine = session.stats().clone();
     train_and_score(train, test, &problem, selection, engine, cfg)
+}
+
+/// Render the *deterministic* part of a pipeline run — the selection
+/// partition and the fairness report — exactly as `fairsel select` prints
+/// it. Shared by the CLI and the session service so a remote request's
+/// body is byte-identical to a local run (engine telemetry, which carries
+/// wall times, is deliberately excluded).
+pub fn render_pipeline_report(
+    out: &PipelineResult,
+    train: &Table,
+    cfg: &PipelineConfig,
+    test_rows: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let names =
+        |ids: &[ColId]| -> Vec<String> { ids.iter().map(|&c| train.col(c).name.clone()).collect() };
+    let mut s = String::new();
+    writeln!(s, "== selection ({:?}) ==", cfg.algo).unwrap();
+    writeln!(
+        s,
+        "c1 (no new sensitive info): {:?}",
+        names(&out.selection.c1)
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "c2 (screened from target):  {:?}",
+        names(&out.selection.c2)
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "rejected:                   {:?}",
+        names(&out.selection.rejected)
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "model columns:              {:?}",
+        names(&out.model_cols)
+    )
+    .unwrap();
+    writeln!(s).unwrap();
+    writeln!(
+        s,
+        "== fairness report ({:?}, test split n={test_rows}) ==",
+        cfg.classifier
+    )
+    .unwrap();
+    let r = &out.report;
+    writeln!(s, "accuracy                    {:.4}", r.accuracy).unwrap();
+    writeln!(
+        s,
+        "abs odds difference         {:.4}",
+        r.abs_odds_difference
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "statistical parity diff     {:.4}",
+        r.statistical_parity_difference
+    )
+    .unwrap();
+    writeln!(s, "disparate impact            {:.4}", r.disparate_impact).unwrap();
+    writeln!(
+        s,
+        "equal opportunity diff      {:.4}",
+        r.equal_opportunity_difference
+    )
+    .unwrap();
+    writeln!(s, "CMI(S; Yhat | A)            {:.6}", r.cmi_s_pred_given_a).unwrap();
+    s
 }
 
 /// Train the configured classifier on `A ∪ C₁ ∪ C₂` and score the test

@@ -266,7 +266,7 @@ impl<T: CiTestBatch> CiSession<T> {
     /// `encode_cache_*` fields reflect the tester's real cache activity.
     pub fn refresh_encode_stats(&mut self) {
         let s = self.tester().encode_cache_stats();
-        self.set_encode_stats(s.hits, s.misses);
+        self.set_encode_stats(s);
     }
 }
 
@@ -432,6 +432,7 @@ mod tests {
             fairsel_ci::EncodeStats {
                 hits: self.inner.calls.load(Ordering::Relaxed),
                 misses: 1,
+                evictions: 0,
             }
         }
     }

@@ -1,7 +1,7 @@
 //! The memoizing session and its telemetry.
 
 use crate::key::QueryKey;
-use fairsel_ci::{CiOutcome, CiTest, VarId};
+use fairsel_ci::{CiOutcome, CiTest, EncodeStats, VarId};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -44,6 +44,8 @@ pub struct EngineStats {
     pub encode_cache_hits: u64,
     /// Encoding-layer cache misses (encodings actually computed).
     pub encode_cache_misses: u64,
+    /// Encoding-layer values evicted by the LRU cache bound.
+    pub encode_cache_evictions: u64,
     /// Per-phase breakdown, in phase order.
     pub phases: Vec<PhaseStats>,
 }
@@ -92,6 +94,12 @@ impl EngineStats {
             &mut s,
             "encode_cache_misses",
             self.encode_cache_misses as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "encode_cache_evictions",
+            self.encode_cache_evictions as f64,
             false,
         );
         s.push_str("\"phases\":[");
@@ -269,9 +277,10 @@ impl<T: CiTest> CiSession<T> {
 
     /// Overwrite the cumulative encoding-cache counters (read back from a
     /// batch-aware tester after each batched run).
-    pub(crate) fn set_encode_stats(&mut self, hits: u64, misses: u64) {
-        self.stats.encode_cache_hits = hits;
-        self.stats.encode_cache_misses = misses;
+    pub(crate) fn set_encode_stats(&mut self, stats: EncodeStats) {
+        self.stats.encode_cache_hits = stats.hits;
+        self.stats.encode_cache_misses = stats.misses;
+        self.stats.encode_cache_evictions = stats.evictions;
     }
 
     pub(crate) fn account_batch(

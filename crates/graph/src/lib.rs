@@ -12,7 +12,9 @@
 pub mod dag;
 pub mod dsep;
 pub mod generate;
+pub mod text;
 
 pub use dag::{Dag, DagBuilder, GraphError, NodeId};
 pub use dsep::{d_connected, d_separated};
 pub use generate::{random_dag, RandomDagConfig};
+pub use text::{dag_from_text, dag_to_text, DagTextError};

@@ -1,0 +1,211 @@
+//! Plain-text DAG round-tripping — the file format behind
+//! `fairsel select --dag g.txt` (the CLI's oracle-tester path).
+//!
+//! The format is line-oriented and human-writable:
+//!
+//! ```text
+//! # comment; blank lines are ignored
+//! S            # a bare name declares a node
+//! A
+//! S -> A       # an edge; endpoints are auto-declared on first mention
+//! A -> Y
+//! ```
+//!
+//! Node ids are assigned in order of first mention, so
+//! [`dag_to_text`] → [`dag_from_text`] reproduces the graph *including*
+//! its node numbering (the serializer lists every node as a bare line in
+//! id order before any edge). Parsing reports malformed input with
+//! 1-based line numbers.
+
+use crate::dag::{Dag, GraphError};
+use std::fmt;
+
+/// A parse failure, located by 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagTextError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for DagTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dag text, line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DagTextError {}
+
+fn err(line: usize, msg: impl Into<String>) -> DagTextError {
+    DagTextError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Valid node name: non-empty, no whitespace, none of the characters the
+/// format itself uses (`#` comments, `->` arrows, `;`/`,` separators
+/// people are likely to try).
+fn check_name(name: &str, line: usize) -> Result<(), DagTextError> {
+    if name.is_empty() {
+        return Err(err(line, "empty node name"));
+    }
+    if name.contains("->") {
+        return Err(err(
+            line,
+            format!("chained edges are not supported: {name:?} (write one `a -> b` per line)"),
+        ));
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| c.is_whitespace() || matches!(c, '#' | ';' | ','))
+    {
+        return Err(err(
+            line,
+            format!("invalid character {bad:?} in node name {name:?}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Serialize a DAG to the line format: every node as a bare line in id
+/// order, then every edge. Inverse of [`dag_from_text`].
+pub fn dag_to_text(dag: &Dag) -> String {
+    let mut s = String::new();
+    for v in dag.nodes() {
+        s.push_str(dag.name(v));
+        s.push('\n');
+    }
+    for (f, t) in dag.edges() {
+        s.push_str(dag.name(f));
+        s.push_str(" -> ");
+        s.push_str(dag.name(t));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse the line format produced by [`dag_to_text`] (and by hand).
+///
+/// * blank lines and `#`-to-end-of-line comments are ignored;
+/// * a bare name declares a node (duplicate declarations are errors);
+/// * `a -> b` adds an edge, auto-declaring endpoints on first mention;
+/// * self loops, cycles, and malformed lines are errors with line numbers.
+pub fn dag_from_text(text: &str) -> Result<Dag, DagTextError> {
+    let mut dag = Dag::new();
+    let mut declared: Vec<String> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((from, to)) = line.split_once("->") {
+            let (from, to) = (from.trim(), to.trim());
+            check_name(from, lineno)?;
+            check_name(to, lineno)?;
+            let f = match dag.node(from) {
+                Some(v) => v,
+                None => dag.add_node(from).expect("unseen name"),
+            };
+            let t = match dag.node(to) {
+                Some(v) => v,
+                None => dag.add_node(to).expect("unseen name"),
+            };
+            dag.add_edge(f, t).map_err(|e| match e {
+                GraphError::SelfLoop(n) => err(lineno, format!("self loop on {n:?}")),
+                GraphError::CycleDetected { from, to } => err(
+                    lineno,
+                    format!("edge {from:?} -> {to:?} would create a cycle"),
+                ),
+                other => err(lineno, other.to_string()),
+            })?;
+        } else {
+            check_name(line, lineno)?;
+            if declared.iter().any(|d| d == line) {
+                return Err(err(lineno, format!("duplicate node declaration {line:?}")));
+            }
+            declared.push(line.to_owned());
+            if dag.node(line).is_none() {
+                dag.add_node(line).expect("unseen name");
+            }
+        }
+    }
+    Ok(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DagBuilder;
+
+    fn fixture() -> Dag {
+        DagBuilder::new()
+            .nodes(["S", "A", "X1", "Y", "lonely"])
+            .edge("S", "A")
+            .edge("A", "Y")
+            .edge("X1", "Y")
+            .build()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_ids() {
+        let g = fixture();
+        let text = dag_to_text(&g);
+        let back = dag_from_text(&text).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(back.name(v), g.name(v), "node ids must round-trip");
+        }
+        for (f, t) in g.edges() {
+            assert!(back.has_edge(f, t));
+        }
+        // Second round trip is textually stable.
+        assert_eq!(dag_to_text(&back), text);
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_auto_declared_endpoints() {
+        let g = dag_from_text("# a chain\n\n  a -> b   # edge with comment\nb -> c\n\nisolated\n")
+            .unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(g.expect_node("a"), g.expect_node("b")));
+        assert!(g.node("isolated").is_some());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = dag_from_text("a -> b\nb -> a\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("cycle"), "{e}");
+
+        let e = dag_from_text("a -> a\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("self loop"), "{e}");
+
+        let e = dag_from_text("ok\n\nbad name\n").unwrap_err();
+        assert_eq!(e.line, 3);
+
+        let e = dag_from_text("a ->\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("empty node name"), "{e}");
+
+        let e = dag_from_text("x\nx\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("duplicate"), "{e}");
+
+        let e = dag_from_text("a -> b -> c\n").unwrap_err();
+        assert!(e.to_string().contains("chained"), "{e}");
+    }
+
+    #[test]
+    fn empty_text_is_empty_graph() {
+        let g = dag_from_text("# nothing\n\n").unwrap();
+        assert!(g.is_empty());
+        assert_eq!(dag_to_text(&g), "");
+    }
+}

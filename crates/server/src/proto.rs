@@ -1,0 +1,433 @@
+//! The wire protocol: length-prefixed JSON frames and the typed
+//! request/response vocabulary.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. One connection may carry any number of
+//! request/response pairs; a clean EOF between frames ends the
+//! conversation. Frames are capped at [`MAX_FRAME`] bytes so a corrupt
+//! length prefix cannot make the server allocate unboundedly.
+//!
+//! Requests (`cmd` field selects the variant):
+//!
+//! ```text
+//! {"cmd":"select", "csv":"...", "algo":"grpsel", "tester":"gtest",
+//!  "alpha":0.01, "workers":4, "max_group":"auto"|N|null,
+//!  "train_frac":0.7, "seed":0, "classifier":"logistic"}
+//! {"cmd":"methods", ...same workload fields...}
+//! {"cmd":"stats"}      server-wide registry telemetry
+//! {"cmd":"ping"}
+//! {"cmd":"shutdown"}   stop accepting; used by tests and benches
+//! ```
+//!
+//! Responses: `{"ok":true, "body":..., "stats":..., "cache":...}` or
+//! `{"ok":false, "error":"..."}`. The `body` of a `select` is the
+//! deterministic selection + fairness report rendered by
+//! `fairsel_core::render_pipeline_report` — byte-identical to a local run
+//! of the same workload — and `cache` carries the per-dataset shared-cache
+//! telemetry (fingerprint, sessions served, memo hits, encode
+//! hits/misses/evictions).
+
+use crate::json::Json;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (64 MiB — a ~50 MB CSV still fits).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF before any length byte.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Serialize and send one JSON frame.
+pub fn write_json<W: Write>(w: &mut W, v: &Json) -> io::Result<()> {
+    write_frame(w, v.to_string().as_bytes())
+}
+
+/// Receive and parse one JSON frame; `Ok(None)` on clean EOF.
+pub fn read_json<R: Read>(r: &mut R) -> io::Result<Option<Json>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(bytes) => {
+            let text = String::from_utf8(bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            Json::parse(&text)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        }
+    }
+}
+
+/// The GrpSel root-group width knob, mirroring the CLI's
+/// `--max-group N|auto` (resolved server-side against the *train* split's
+/// row count, exactly as a local run resolves it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaxGroupSpec {
+    None,
+    Auto,
+    Width(usize),
+}
+
+impl MaxGroupSpec {
+    fn to_json(self) -> Json {
+        match self {
+            MaxGroupSpec::None => Json::Null,
+            MaxGroupSpec::Auto => Json::Str("auto".into()),
+            MaxGroupSpec::Width(n) => Json::Num(n as f64),
+        }
+    }
+
+    fn from_json(v: Option<&Json>) -> Result<Self, String> {
+        match v {
+            None | Some(Json::Null) => Ok(MaxGroupSpec::None),
+            Some(Json::Str(s)) if s == "auto" => Ok(MaxGroupSpec::Auto),
+            Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => {
+                Ok(MaxGroupSpec::Width(*n as usize))
+            }
+            Some(other) => Err(format!("bad max_group: {other}")),
+        }
+    }
+}
+
+/// One select/methods workload: the dataset (as CSV text — the same bytes
+/// a local run would read from disk) plus every knob that affects the
+/// deterministic output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadRequest {
+    pub csv: String,
+    pub algo: String,
+    pub tester: String,
+    pub alpha: f64,
+    pub workers: usize,
+    pub max_group: MaxGroupSpec,
+    pub train_frac: f64,
+    pub seed: u64,
+    pub classifier: String,
+}
+
+impl Default for WorkloadRequest {
+    fn default() -> Self {
+        Self {
+            csv: String::new(),
+            algo: "grpsel".into(),
+            tester: "gtest".into(),
+            alpha: 0.01,
+            workers: 1,
+            max_group: MaxGroupSpec::None,
+            train_frac: 0.7,
+            seed: 0,
+            classifier: "logistic".into(),
+        }
+    }
+}
+
+impl WorkloadRequest {
+    fn to_json_fields(&self, cmd: &str) -> Json {
+        Json::obj(vec![
+            ("cmd", Json::Str(cmd.into())),
+            ("csv", Json::Str(self.csv.clone())),
+            ("algo", Json::Str(self.algo.clone())),
+            ("tester", Json::Str(self.tester.clone())),
+            ("alpha", Json::Num(self.alpha)),
+            ("workers", Json::Num(self.workers as f64)),
+            ("max_group", self.max_group.to_json()),
+            ("train_frac", Json::Num(self.train_frac)),
+            // Seeds are full u64s; JSON numbers are f64 and would silently
+            // round seeds above 2^53 — travel as a decimal string instead,
+            // like the fingerprint.
+            ("seed", Json::Str(self.seed.to_string())),
+            ("classifier", Json::Str(self.classifier.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let d = WorkloadRequest::default();
+        let seed = match v.get("seed") {
+            None => d.seed,
+            Some(Json::Str(s)) => s.parse::<u64>().map_err(|_| format!("bad seed: {s:?}"))?,
+            // Tolerate small integer seeds from hand-written clients.
+            Some(Json::Num(_)) => v.get_u64("seed").ok_or("bad seed: not a u64")?,
+            Some(other) => return Err(format!("bad seed: {other}")),
+        };
+        Ok(WorkloadRequest {
+            csv: v.get_str("csv").ok_or("missing csv")?.to_owned(),
+            algo: v.get_str("algo").unwrap_or(&d.algo).to_owned(),
+            tester: v.get_str("tester").unwrap_or(&d.tester).to_owned(),
+            alpha: v.get_num("alpha").unwrap_or(d.alpha),
+            workers: v.get_u64("workers").unwrap_or(d.workers as u64) as usize,
+            max_group: MaxGroupSpec::from_json(v.get("max_group"))?,
+            train_frac: v.get_num("train_frac").unwrap_or(d.train_frac),
+            seed,
+            classifier: v.get_str("classifier").unwrap_or(&d.classifier).to_owned(),
+        })
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Select(WorkloadRequest),
+    Methods(WorkloadRequest),
+    Stats,
+    Ping,
+    Shutdown,
+}
+
+impl Request {
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Select(w) => w.to_json_fields("select"),
+            Request::Methods(w) => w.to_json_fields("methods"),
+            Request::Stats => Json::obj(vec![("cmd", Json::Str("stats".into()))]),
+            Request::Ping => Json::obj(vec![("cmd", Json::Str("ping".into()))]),
+            Request::Shutdown => Json::obj(vec![("cmd", Json::Str("shutdown".into()))]),
+        }
+    }
+
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        match v.get_str("cmd") {
+            Some("select") => Ok(Request::Select(WorkloadRequest::from_json(v)?)),
+            Some("methods") => Ok(Request::Methods(WorkloadRequest::from_json(v)?)),
+            Some("stats") => Ok(Request::Stats),
+            Some("ping") => Ok(Request::Ping),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!("unknown cmd: {other}")),
+            None => Err("missing cmd".into()),
+        }
+    }
+}
+
+/// Per-dataset shared-cache telemetry attached to a workload response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// Dataset fingerprint (hash of schema + column data).
+    pub fingerprint: u64,
+    /// Requests this dataset entry has served (including this one).
+    pub sessions_served: u64,
+    /// Cumulative CI outcomes answered from the shared session memo.
+    pub shared_hits: u64,
+    /// Cumulative encoding-layer cache hits.
+    pub encode_hits: u64,
+    /// Cumulative encoding-layer cache misses.
+    pub encode_misses: u64,
+    /// Cumulative encoding-layer evictions (LRU bound).
+    pub encode_evictions: u64,
+    /// Dataset entries evicted from the registry since startup.
+    pub dataset_evictions: u64,
+}
+
+impl CacheInfo {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "fingerprint",
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("sessions_served", Json::Num(self.sessions_served as f64)),
+            ("shared_hits", Json::Num(self.shared_hits as f64)),
+            ("encode_hits", Json::Num(self.encode_hits as f64)),
+            ("encode_misses", Json::Num(self.encode_misses as f64)),
+            ("encode_evictions", Json::Num(self.encode_evictions as f64)),
+            (
+                "dataset_evictions",
+                Json::Num(self.dataset_evictions as f64),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<CacheInfo> {
+        Some(CacheInfo {
+            fingerprint: u64::from_str_radix(v.get_str("fingerprint")?, 16).ok()?,
+            sessions_served: v.get_u64("sessions_served")?,
+            shared_hits: v.get_u64("shared_hits")?,
+            encode_hits: v.get_u64("encode_hits")?,
+            encode_misses: v.get_u64("encode_misses")?,
+            encode_evictions: v.get_u64("encode_evictions")?,
+            dataset_evictions: v.get_u64("dataset_evictions")?,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Ok {
+        /// Rendered text body (deterministic part of the output).
+        body: String,
+        /// Engine/server telemetry object (request-dependent).
+        stats: Option<Json>,
+        /// Shared-cache telemetry for workload requests.
+        cache: Option<CacheInfo>,
+    },
+    Err(String),
+}
+
+impl Response {
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response::Ok {
+            body: body.into(),
+            stats: None,
+            cache: None,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Ok { body, stats, cache } => {
+                let mut pairs = vec![("ok", Json::Bool(true)), ("body", Json::Str(body.clone()))];
+                if let Some(s) = stats {
+                    pairs.push(("stats", s.clone()));
+                }
+                if let Some(c) = cache {
+                    pairs.push(("cache", c.to_json()));
+                }
+                Json::obj(pairs)
+            }
+            Response::Err(e) => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(e.clone())),
+            ]),
+        }
+    }
+
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        match v.get_bool("ok") {
+            Some(true) => Ok(Response::Ok {
+                body: v.get_str("body").unwrap_or("").to_owned(),
+                stats: v.get("stats").cloned(),
+                cache: v.get("cache").and_then(CacheInfo::from_json),
+            }),
+            Some(false) => Ok(Response::Err(
+                v.get_str("error").unwrap_or("unknown error").to_owned(),
+            )),
+            None => Err("response missing ok field".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err(), "mid-frame EOF is not clean");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Select(WorkloadRequest {
+                csv: "s:cat2[sensitive],y:cat2[target]\n0,1\n".into(),
+                algo: "seqsel".into(),
+                tester: "fisherz".into(),
+                alpha: 0.05,
+                workers: 4,
+                max_group: MaxGroupSpec::Auto,
+                train_frac: 0.8,
+                // Above 2^53: would corrupt silently if sent as a JSON
+                // number.
+                seed: u64::MAX - 12345,
+                classifier: "tree".into(),
+            }),
+            Request::Methods(WorkloadRequest {
+                csv: "x".into(),
+                max_group: MaxGroupSpec::Width(6),
+                ..Default::default()
+            }),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let j = req.to_json();
+            let text = j.to_string();
+            let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Ok {
+                body: "== selection ==\nline\n".into(),
+                stats: Some(Json::obj(vec![("issued", Json::Num(7.0))])),
+                cache: Some(CacheInfo {
+                    fingerprint: 0xdead_beef_0123_4567,
+                    sessions_served: 2,
+                    shared_hits: 41,
+                    encode_hits: 10,
+                    encode_misses: 3,
+                    encode_evictions: 1,
+                    dataset_evictions: 0,
+                }),
+            },
+            Response::ok("pong"),
+            Response::Err("bad csv".into()),
+        ];
+        for resp in resps {
+            let text = resp.to_json().to_string();
+            let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn unknown_cmd_rejected() {
+        let v = Json::parse(r#"{"cmd":"explode"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err());
+        let v = Json::parse(r#"{"cmd":"select"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err(), "select without csv");
+    }
+}

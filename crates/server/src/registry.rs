@@ -1,0 +1,450 @@
+//! The session registry: long-lived, fingerprint-sharded workload state.
+//!
+//! Every `select` request names a dataset (CSV text) and a tester
+//! configuration. The registry maps the pair to a [`Workload`] holding the
+//! train/test split, one shared [`EncodedTable`], and one memoizing
+//! [`CiSession`] — so concurrent and repeated requests from many clients
+//! share a single encode pass and a single CI-outcome dedup cache, which
+//! is the whole point of running `fairsel serve` instead of one process
+//! per request.
+//!
+//! Sharding is by *dataset fingerprint* (a stable hash of the schema and
+//! every column's data) mixed with the split and tester knobs that define
+//! the session's ground truth (`seed`, `train_frac`, tester, `alpha`).
+//! Knobs that provably do not change CI outcomes — algorithm, worker
+//! count, `max_group`, classifier — deliberately do *not* shard: a
+//! `seqsel` request warms the cache for a later `grpsel` request on the
+//! same data, exactly like the cross-algorithm dedup the engine property
+//! tests establish.
+//!
+//! The registry itself is LRU-bounded (`max_datasets`), and each
+//! workload's encoding caches are bounded by `cache_cap` — both with
+//! eviction counters surfaced in the response telemetry.
+
+use crate::proto::{CacheInfo, MaxGroupSpec, WorkloadRequest};
+use fairsel_ci::{CiTestBatch, FisherZ, GTest};
+use fairsel_core::{
+    render_pipeline_report, run_pipeline_batched_in, ClassifierKind, PipelineConfig, SelectConfig,
+    SelectionAlgo,
+};
+use fairsel_engine::CiSession;
+use fairsel_table::{csv, ColumnData, EncodedTable, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Stable FNV-1a-with-finalizer hasher (the same construction the
+/// testers' per-query seeds use; independent of `std`'s randomized
+/// `HashMap` state, so fingerprints agree across processes and runs).
+#[derive(Clone, Copy)]
+pub struct StableHash(u64);
+
+impl StableHash {
+    pub fn new() -> Self {
+        StableHash(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub fn finish(self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+}
+
+impl Default for StableHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprint of a table: schema (names, roles, types) plus every
+/// column's raw data. Two tables fingerprint equal iff a CI tester cannot
+/// tell them apart.
+pub fn fingerprint_table(table: &Table) -> u64 {
+    let mut h = StableHash::new();
+    h.bytes(table.schema_string().as_bytes());
+    h.u64(table.n_rows() as u64);
+    for col in table.columns() {
+        match &col.data {
+            ColumnData::Cat { codes, arity } => {
+                h.u64(*arity as u64);
+                for &c in codes {
+                    h.u64(c as u64);
+                }
+            }
+            ColumnData::Num(values) => {
+                for &v in values {
+                    h.u64(v.to_bits());
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// One resident workload: split tables, shared encoding layer, memoizing
+/// session.
+pub struct Workload {
+    pub train: Arc<Table>,
+    pub test: Table,
+    pub enc: Arc<EncodedTable>,
+    pub session: CiSession<Box<dyn CiTestBatch + Send + Sync>>,
+    pub fingerprint: u64,
+    pub sessions_served: u64,
+}
+
+struct Slot {
+    state: Arc<Mutex<Workload>>,
+    last_used: u64,
+}
+
+/// Registry configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Bound on each workload's encoding/residual caches
+    /// (`EncodedTable::from_arc_with_cap`).
+    pub cache_cap: usize,
+    /// Bound on resident dataset workloads (LRU eviction beyond it).
+    pub max_datasets: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            cache_cap: fairsel_table::DEFAULT_CACHE_CAP,
+            max_datasets: 16,
+        }
+    }
+}
+
+/// The fingerprint-sharded workload registry.
+pub struct Registry {
+    slots: Mutex<HashMap<u64, Slot>>,
+    cfg: RegistryConfig,
+    tick: AtomicU64,
+    requests: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Registry {
+    pub fn new(cfg: RegistryConfig) -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            cfg,
+            tick: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Resident workload count.
+    pub fn resident(&self) -> usize {
+        self.slots.lock().expect("registry lock").len()
+    }
+
+    /// Total workload requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Workloads evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Serve one `select` workload: resolve (or build) the shared session
+    /// for the request's dataset + tester config, run the pipeline inside
+    /// it, and return the rendered deterministic report plus telemetry.
+    pub fn select(&self, req: &WorkloadRequest) -> Result<(String, String, CacheInfo), String> {
+        let table = csv::from_csv_string(&req.csv).map_err(|e| format!("parsing csv: {e}"))?;
+        if table.n_rows() < 10 {
+            return Err(format!("too few rows ({})", table.n_rows()));
+        }
+        let fingerprint = fingerprint_table(&table);
+        let key = self.workload_key(fingerprint, req);
+        let state = self.get_or_insert(key, fingerprint, &table, req)?;
+        drop(table);
+
+        let mut guard = state.lock().expect("workload lock");
+        let w = &mut *guard;
+        let cfg = pipeline_config(req, w.train.n_rows())?;
+        let train = Arc::clone(&w.train);
+        let out = run_pipeline_batched_in(&mut w.session, &train, &w.test, &cfg);
+        w.sessions_served += 1;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let body = render_pipeline_report(&out, &w.train, &cfg, w.test.n_rows());
+        let stats_json = out.engine.to_json();
+        let enc_stats = w.session.tester().encode_cache_stats();
+        let cache = CacheInfo {
+            fingerprint,
+            sessions_served: w.sessions_served,
+            shared_hits: out.engine.cache_hits,
+            encode_hits: enc_stats.hits,
+            encode_misses: enc_stats.misses,
+            encode_evictions: enc_stats.evictions,
+            dataset_evictions: self.evictions(),
+        };
+        Ok((body, stats_json, cache))
+    }
+
+    /// Session key: dataset fingerprint + the knobs that define the
+    /// session's ground truth. See the module docs for what deliberately
+    /// does *not* shard.
+    fn workload_key(&self, fingerprint: u64, req: &WorkloadRequest) -> u64 {
+        let mut h = StableHash::new();
+        h.u64(fingerprint);
+        h.bytes(req.tester.as_bytes());
+        h.u64(req.alpha.to_bits());
+        h.u64(req.train_frac.to_bits());
+        h.u64(req.seed);
+        h.finish()
+    }
+
+    fn get_or_insert(
+        &self,
+        key: u64,
+        fingerprint: u64,
+        table: &Table,
+        req: &WorkloadRequest,
+    ) -> Result<Arc<Mutex<Workload>>, String> {
+        {
+            let mut slots = self.slots.lock().expect("registry lock");
+            if let Some(slot) = slots.get_mut(&key) {
+                slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&slot.state));
+            }
+        }
+        // Cold path: build the workload with NO lock held — the train/test
+        // split copies every column, which must not stall warm requests
+        // for other datasets. Two racing cold requests may both build;
+        // the publish step below keeps the first and discards the other
+        // (the state is a pure function of the request, so either copy is
+        // correct).
+        let mut rng = StdRng::seed_from_u64(req.seed);
+        let (train, test) = table.split_train_test(&mut rng, req.train_frac);
+        let train = Arc::new(train);
+        let enc = Arc::new(EncodedTable::from_arc_with_cap(
+            Arc::clone(&train),
+            self.cfg.cache_cap,
+        ));
+        let tester: Box<dyn CiTestBatch + Send + Sync> = match req.tester.as_str() {
+            "gtest" => Box::new(GTest::over(Arc::clone(&enc), req.alpha)),
+            "fisherz" => Box::new(FisherZ::over(Arc::clone(&enc), req.alpha)),
+            other => return Err(format!("unknown tester: {other} (gtest|fisherz)")),
+        };
+        let state = Arc::new(Mutex::new(Workload {
+            train,
+            test,
+            enc,
+            session: CiSession::new(tester),
+            fingerprint,
+            sessions_served: 0,
+        }));
+
+        let mut slots = self.slots.lock().expect("registry lock");
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = slots.get_mut(&key) {
+            // Lost the build race: keep the published workload (it may
+            // already hold memoized outcomes).
+            slot.last_used = tick;
+            return Ok(Arc::clone(&slot.state));
+        }
+        while slots.len() >= self.cfg.max_datasets {
+            let victim = slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    slots.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        slots.insert(
+            key,
+            Slot {
+                state: Arc::clone(&state),
+                last_used: tick,
+            },
+        );
+        Ok(state)
+    }
+}
+
+/// Translate a wire workload into the pipeline config a local CLI run
+/// would build — field for field, so outputs are byte-identical.
+pub fn pipeline_config(req: &WorkloadRequest, train_rows: usize) -> Result<PipelineConfig, String> {
+    let algo = match req.algo.as_str() {
+        "seqsel" => SelectionAlgo::SeqSel,
+        "grpsel" => SelectionAlgo::GrpSel {
+            seed: Some(req.seed),
+        },
+        other => return Err(format!("unknown algo: {other}")),
+    };
+    let classifier = ClassifierKind::parse(&req.classifier)
+        .ok_or_else(|| format!("unknown classifier: {}", req.classifier))?;
+    let max_group = match req.max_group {
+        MaxGroupSpec::None => None,
+        MaxGroupSpec::Auto => Some(SelectConfig::auto_max_group(train_rows)),
+        MaxGroupSpec::Width(w) => Some(w),
+    };
+    Ok(PipelineConfig {
+        select: SelectConfig {
+            max_group,
+            ..SelectConfig::default()
+        },
+        algo,
+        classifier,
+        workers: req.workers.max(1),
+        model_seed: req.seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsel_table::{Column, Role};
+
+    fn small_table(rows: usize, flip: bool) -> Table {
+        Table::new(vec![
+            Column::cat(
+                "s",
+                Role::Sensitive,
+                (0..rows).map(|i| (i % 2) as u32).collect(),
+                2,
+            ),
+            Column::cat(
+                "x",
+                Role::Feature,
+                (0..rows)
+                    .map(|i| ((i / 2 + usize::from(flip)) % 2) as u32)
+                    .collect(),
+                2,
+            ),
+            Column::cat(
+                "y",
+                Role::Target,
+                (0..rows).map(|i| ((i / 4) % 2) as u32).collect(),
+                2,
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_data_sensitive() {
+        let a = small_table(64, false);
+        let b = small_table(64, false);
+        let c = small_table(64, true);
+        assert_eq!(fingerprint_table(&a), fingerprint_table(&b));
+        assert_ne!(fingerprint_table(&a), fingerprint_table(&c));
+        // Row count changes fingerprints too.
+        assert_ne!(
+            fingerprint_table(&a),
+            fingerprint_table(&small_table(60, false))
+        );
+    }
+
+    #[test]
+    fn repeated_select_shares_session_and_reports_hits() {
+        let reg = Registry::new(RegistryConfig::default());
+        let req = WorkloadRequest {
+            csv: csv::to_csv_string(&small_table(200, false)),
+            ..Default::default()
+        };
+        let (body1, _, cache1) = reg.select(&req).unwrap();
+        assert_eq!(cache1.sessions_served, 1);
+        let (body2, _, cache2) = reg.select(&req).unwrap();
+        assert_eq!(body1, body2, "warm request must be byte-identical");
+        assert_eq!(cache2.sessions_served, 2);
+        assert!(
+            cache2.shared_hits > cache1.shared_hits,
+            "warm request must hit the shared memo ({} !> {})",
+            cache2.shared_hits,
+            cache1.shared_hits
+        );
+        assert_eq!(cache1.fingerprint, cache2.fingerprint);
+        assert_eq!(reg.requests(), 2);
+        assert_eq!(reg.resident(), 1);
+    }
+
+    #[test]
+    fn different_datasets_shard_and_evict_lru() {
+        let reg = Registry::new(RegistryConfig {
+            max_datasets: 2,
+            ..Default::default()
+        });
+        for flip in [false, true] {
+            let req = WorkloadRequest {
+                csv: csv::to_csv_string(&small_table(120 + usize::from(flip) * 4, flip)),
+                ..Default::default()
+            };
+            reg.select(&req).unwrap();
+        }
+        assert_eq!(reg.resident(), 2);
+        // A third dataset evicts the least-recently-used entry.
+        let req = WorkloadRequest {
+            csv: csv::to_csv_string(&small_table(240, false)),
+            ..Default::default()
+        };
+        reg.select(&req).unwrap();
+        assert_eq!(reg.resident(), 2);
+        assert_eq!(reg.evictions(), 1);
+    }
+
+    #[test]
+    fn algo_change_shares_the_session() {
+        let reg = Registry::new(RegistryConfig::default());
+        let base = WorkloadRequest {
+            csv: csv::to_csv_string(&small_table(200, false)),
+            algo: "grpsel".into(),
+            ..Default::default()
+        };
+        reg.select(&base).unwrap();
+        let seq = WorkloadRequest {
+            algo: "seqsel".into(),
+            ..base
+        };
+        let (_, _, cache) = reg.select(&seq).unwrap();
+        assert_eq!(reg.resident(), 1, "algo must not shard the registry");
+        assert!(cache.shared_hits > 0, "cross-algorithm dedup");
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        let reg = Registry::new(RegistryConfig::default());
+        let mut req = WorkloadRequest {
+            csv: "not a csv".into(),
+            ..Default::default()
+        };
+        assert!(reg.select(&req).is_err());
+        req.csv = csv::to_csv_string(&small_table(200, false));
+        req.tester = "psychic".into();
+        assert!(reg.select(&req).is_err());
+        req.tester = "gtest".into();
+        req.algo = "bogus".into();
+        assert!(reg.select(&req).is_err());
+    }
+}

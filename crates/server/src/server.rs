@@ -1,0 +1,345 @@
+//! The TCP server and the one-shot client.
+//!
+//! `fairsel serve` binds a listener and dispatches one thread per
+//! connection; each connection may issue any number of length-prefixed
+//! JSON requests (see [`crate::proto`]). All workload state lives in the
+//! shared [`Registry`], so every connection — and every request within
+//! one — sees the same fingerprint-sharded sessions.
+
+use crate::json::Json;
+use crate::proto::{read_json, write_json, Request, Response};
+use crate::registry::{pipeline_config, Registry, RegistryConfig};
+use fairsel_core::run_all_methods;
+use fairsel_table::csv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection I/O timeout: a stalled client cannot pin a handler
+/// thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Server configuration (see [`RegistryConfig`] for the cache knobs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeConfig {
+    pub registry: RegistryConfig,
+}
+
+struct ServerState {
+    registry: Registry,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind an address (`127.0.0.1:0` picks an ephemeral port — how tests
+    /// and benches run hermetically).
+    pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                registry: Registry::new(cfg.registry),
+                stop: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Accept-and-dispatch loop; returns after a `shutdown` request.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &state);
+            });
+        }
+        Ok(())
+    }
+
+    /// Run on a background thread; the handle shuts the server down
+    /// cleanly on request (used by tests and the bench harness).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        ServerHandle { addr, thread }
+    }
+}
+
+/// Handle to a background server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Send `shutdown` and join the accept loop.
+    pub fn shutdown(self) {
+        let _ = request(&self.addr.to_string(), &Request::Shutdown);
+        let _ = self.thread.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    while let Some(value) = read_json(&mut stream)? {
+        let (response, stop) = match Request::from_json(&value) {
+            Err(e) => (Response::Err(e), false),
+            Ok(Request::Ping) => (Response::ok("pong"), false),
+            Ok(Request::Stats) => (stats_response(state), false),
+            Ok(Request::Shutdown) => (Response::ok("shutting down"), true),
+            Ok(Request::Select(req)) => (
+                match state.registry.select(&req) {
+                    Ok((body, stats_json, cache)) => {
+                        let stats = Json::parse(&stats_json).ok();
+                        Response::Ok {
+                            body,
+                            stats,
+                            cache: Some(cache),
+                        }
+                    }
+                    Err(e) => Response::Err(e),
+                },
+                false,
+            ),
+            Ok(Request::Methods(req)) => (methods_response(&req), false),
+        };
+        write_json(&mut stream, &response.to_json())?;
+        if stop {
+            state.stop.store(true, Ordering::SeqCst);
+            // Wake the blocked accept with a throwaway connection so the
+            // loop observes the flag and exits.
+            let _ = TcpStream::connect_timeout(&state.addr, Duration::from_secs(1));
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn stats_response(state: &ServerState) -> Response {
+    let r = &state.registry;
+    Response::Ok {
+        body: String::new(),
+        stats: Some(Json::obj(vec![
+            ("resident_datasets", Json::Num(r.resident() as f64)),
+            ("requests", Json::Num(r.requests() as f64)),
+            ("dataset_evictions", Json::Num(r.evictions() as f64)),
+        ])),
+        cache: None,
+    }
+}
+
+/// `methods` runs the full baseline sweep. The sweep constructs one
+/// fresh tester per method (matching the local CLI byte for byte), so it
+/// does not route through the shared registry sessions; it is served for
+/// completeness and parity with `fairsel methods`.
+fn methods_response(req: &crate::proto::WorkloadRequest) -> Response {
+    let table = match csv::from_csv_string(&req.csv) {
+        Ok(t) => t,
+        Err(e) => return Response::Err(format!("parsing csv: {e}")),
+    };
+    if table.n_rows() < 10 {
+        return Response::Err(format!("too few rows ({})", table.n_rows()));
+    }
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    let (train, test) = table.split_train_test(&mut rng, req.train_frac);
+    let cfg = match pipeline_config(req, train.n_rows()) {
+        Ok(c) => c,
+        Err(e) => return Response::Err(e),
+    };
+    let spec = match req.tester.as_str() {
+        "gtest" => fairsel_core::TesterSpec::GTest { alpha: req.alpha },
+        "fisherz" => fairsel_core::TesterSpec::FisherZ { alpha: req.alpha },
+        other => return Response::Err(format!("unknown tester: {other} (gtest|fisherz)")),
+    };
+    let outs = run_all_methods(&spec, None, &train, &test, &cfg);
+    let problem = fairsel_core::Problem::from_table(&train);
+    Response::ok(fairsel_core::render_methods_report(
+        &outs,
+        problem.n_features(),
+    ))
+}
+
+/// One-shot client: connect, send one request, read one response. The
+/// CLI's `--remote` path and the bench harness both use this; a connect
+/// failure surfaces as `Err`, which the CLI treats as "fall back to local
+/// execution".
+pub fn request(addr: &str, req: &Request) -> io::Result<Response> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write_json(&mut stream, &req.to_json())?;
+    match read_json(&mut stream)? {
+        Some(v) => {
+            Response::from_json(&v).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        }
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed without responding",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::WorkloadRequest;
+    use fairsel_table::{Column, Role, Table};
+
+    fn csv_text(rows: usize) -> String {
+        let t = Table::new(vec![
+            Column::cat(
+                "s",
+                Role::Sensitive,
+                (0..rows).map(|i| (i % 2) as u32).collect(),
+                2,
+            ),
+            Column::cat(
+                "x1",
+                Role::Feature,
+                (0..rows).map(|i| ((i / 2) % 2) as u32).collect(),
+                2,
+            ),
+            Column::cat(
+                "y",
+                Role::Target,
+                (0..rows).map(|i| ((i / 4) % 2) as u32).collect(),
+                2,
+            ),
+        ])
+        .unwrap();
+        csv::to_csv_string(&t)
+    }
+
+    #[test]
+    fn ping_select_stats_shutdown_over_tcp() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let pong = request(&addr, &Request::Ping).unwrap();
+        assert_eq!(pong, Response::ok("pong"));
+
+        let req = Request::Select(WorkloadRequest {
+            csv: csv_text(200),
+            ..Default::default()
+        });
+        let first = request(&addr, &req).unwrap();
+        let Response::Ok { body, stats, cache } = first else {
+            panic!("select failed: {first:?}");
+        };
+        assert!(body.contains("== selection"), "{body}");
+        assert!(stats.is_some());
+        let cache = cache.expect("select carries cache info");
+        assert_eq!(cache.sessions_served, 1);
+
+        // Warm repeat: byte-identical body, shared hits reported.
+        let second = request(&addr, &req).unwrap();
+        let Response::Ok {
+            body: body2,
+            cache: cache2,
+            ..
+        } = second
+        else {
+            panic!("warm select failed");
+        };
+        assert_eq!(body, body2);
+        let cache2 = cache2.unwrap();
+        assert_eq!(cache2.sessions_served, 2);
+        assert!(cache2.shared_hits > cache.shared_hits);
+
+        let stats = request(&addr, &Request::Stats).unwrap();
+        let Response::Ok { stats: Some(s), .. } = stats else {
+            panic!("stats failed");
+        };
+        assert_eq!(s.get_u64("requests"), Some(2));
+        assert_eq!(s.get_u64("resident_datasets"), Some(1));
+
+        handle.shutdown();
+        // The port is released: further requests fail to connect.
+        assert!(request(&addr, &Request::Ping).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_get_error_responses() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let bad = request(
+            &addr,
+            &Request::Select(WorkloadRequest {
+                csv: "garbage".into(),
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+        assert!(matches!(bad, Response::Err(_)));
+
+        // A raw frame that is not a valid request object.
+        let sock = addr.parse().unwrap();
+        let mut stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5)).unwrap();
+        write_json(&mut stream, &Json::obj(vec![("nope", Json::Null)])).unwrap();
+        let resp = read_json(&mut stream).unwrap().unwrap();
+        assert_eq!(resp.get_bool("ok"), Some(false));
+        drop(stream);
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn methods_request_served() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+        let resp = request(
+            &addr,
+            &Request::Methods(WorkloadRequest {
+                csv: csv_text(240),
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+        let Response::Ok { body, .. } = resp else {
+            panic!("methods failed: {resp:?}");
+        };
+        for m in ["a-only", "all", "seqsel", "grpsel", "fair-pc"] {
+            assert!(body.contains(m), "missing {m} in {body}");
+        }
+        handle.shutdown();
+    }
+}

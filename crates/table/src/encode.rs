@@ -16,11 +16,23 @@
 //! structurally, not just textually. All lookups go through a shared
 //! reference (`RwLock` + atomics), which is what lets the engine's worker
 //! pool and the batch testers hit one cache concurrently.
+//!
+//! The table is held by `Arc`, and the set cache is *bounded*
+//! ([`CappedCache`], default [`DEFAULT_CACHE_CAP`] entries, LRU eviction):
+//! an `EncodedTable` can outlive any single request, which is exactly how
+//! the `fairsel-server` session registry shares one encode pass across
+//! many clients without growing without bound.
 
+use crate::lru::CappedCache;
 use crate::table::{ColId, Table};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Default bound on memoized set encodings (and, downstream, on Fisher-z's
+/// per-conditioning-set caches). Generous: a GrpSel run over hundreds of
+/// features touches a few thousand distinct sets; a long-lived service
+/// stays bounded at roughly `cap × rows × 4` bytes per dataset.
+pub const DEFAULT_CACHE_CAP: usize = 8192;
 
 /// Joint categorical encoding of a variable set: one code per row plus the
 /// code-space size and the number of *observed* distinct codes.
@@ -49,60 +61,106 @@ impl Encoding {
     }
 }
 
-/// Cache telemetry: how many set-encoding requests were answered from the
-/// cache vs computed.
+/// Cache telemetry: how many requests were answered from the cache, how
+/// many values were computed, and how many cached values were evicted to
+/// stay under the size cap.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EncodeStats {
     /// Requests answered from the memo cache.
     pub hits: u64,
     /// Encodings actually computed (including intermediate prefixes).
     pub misses: u64,
+    /// Cached values discarded by the LRU bound.
+    pub evictions: u64,
+}
+
+impl EncodeStats {
+    /// Component-wise sum (used to aggregate a tester's private caches
+    /// with the encoding layer's).
+    pub fn merged(self, other: EncodeStats) -> EncodeStats {
+        EncodeStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
 }
 
 /// A [`Table`] plus memoized joint encodings and materialized numeric
-/// columns, shared across queries (and worker threads) of a batch.
+/// columns, shared across queries, worker threads — and, through the
+/// session service, across requests.
 ///
 /// Construction is cheap — nothing is encoded eagerly; every per-set
-/// encoding is computed on first use and retained. Use
-/// [`EncodedTable::new_uncached`] to get the same (byte-identical) answers
-/// with memoization disabled — the per-query baseline the benchmarks
-/// compare against.
-#[derive(Debug)]
-pub struct EncodedTable<'a> {
-    table: &'a Table,
+/// encoding is computed on first use and retained (up to the cache cap).
+/// Use [`EncodedTable::new_uncached`] to get the same (byte-identical)
+/// answers with memoization disabled — the per-query baseline the
+/// benchmarks compare against.
+pub struct EncodedTable {
+    table: Arc<Table>,
     caching: bool,
-    sets: RwLock<HashMap<Vec<ColId>, Arc<Encoding>>>,
-    numeric: RwLock<HashMap<ColId, Arc<Vec<f64>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    sets: CappedCache<Vec<ColId>, Arc<Encoding>>,
+    numeric: RwLock<std::collections::HashMap<ColId, Arc<Vec<f64>>>>,
+    numeric_hits: AtomicU64,
+    numeric_misses: AtomicU64,
 }
 
-impl<'a> EncodedTable<'a> {
-    /// Wrap a table with an empty encoding cache.
-    pub fn new(table: &'a Table) -> Self {
-        Self::with_caching(table, true)
+impl std::fmt::Debug for EncodedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncodedTable")
+            .field("rows", &self.table.n_rows())
+            .field("caching", &self.caching)
+            .field("cached_sets", &self.sets.len())
+            .field("cap", &self.sets.cap())
+            .finish()
+    }
+}
+
+impl EncodedTable {
+    /// Wrap a table with an empty encoding cache (default cap). The table
+    /// is cloned into shared ownership; use [`EncodedTable::from_arc`]
+    /// when an `Arc<Table>` is already at hand.
+    pub fn new(table: &Table) -> Self {
+        Self::from_arc(Arc::new(table.clone()))
     }
 
     /// Wrap a table with memoization disabled: every request recomputes.
     /// Answers are byte-identical to the cached variant.
-    pub fn new_uncached(table: &'a Table) -> Self {
-        Self::with_caching(table, false)
+    pub fn new_uncached(table: &Table) -> Self {
+        Self::build(Arc::new(table.clone()), false, DEFAULT_CACHE_CAP)
     }
 
-    fn with_caching(table: &'a Table, caching: bool) -> Self {
+    /// Wrap a shared table with the default cache cap.
+    pub fn from_arc(table: Arc<Table>) -> Self {
+        Self::build(table, true, DEFAULT_CACHE_CAP)
+    }
+
+    /// Wrap a shared table, bounding the set-encoding cache at `cap`
+    /// entries (clamped to at least 1). Testers built over this layer
+    /// (Fisher-z) read [`EncodedTable::cache_cap`] to bound their own
+    /// per-conditioning-set caches consistently.
+    pub fn from_arc_with_cap(table: Arc<Table>, cap: usize) -> Self {
+        Self::build(table, true, cap)
+    }
+
+    fn build(table: Arc<Table>, caching: bool, cap: usize) -> Self {
         Self {
             table,
             caching,
-            sets: RwLock::new(HashMap::new()),
-            numeric: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            sets: CappedCache::new(cap),
+            numeric: RwLock::new(std::collections::HashMap::new()),
+            numeric_hits: AtomicU64::new(0),
+            numeric_misses: AtomicU64::new(0),
         }
     }
 
     /// The underlying table.
-    pub fn table(&self) -> &'a Table {
-        self.table
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Shared handle to the underlying table.
+    pub fn table_arc(&self) -> &Arc<Table> {
+        &self.table
     }
 
     /// Whether memoization is enabled (false for the per-query baseline).
@@ -110,22 +168,29 @@ impl<'a> EncodedTable<'a> {
         self.caching
     }
 
+    /// The bound on memoized set encodings.
+    pub fn cache_cap(&self) -> usize {
+        self.sets.cap()
+    }
+
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
         self.table.n_rows()
     }
 
-    /// Cache telemetry so far.
+    /// Cache telemetry so far (set encodings + materialized numeric
+    /// columns).
     pub fn stats(&self) -> EncodeStats {
-        EncodeStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        self.sets.stats().merged(EncodeStats {
+            hits: self.numeric_hits.load(Ordering::Relaxed),
+            misses: self.numeric_misses.load(Ordering::Relaxed),
+            evictions: 0,
+        })
     }
 
     /// Number of distinct variable sets currently memoized.
     pub fn cached_sets(&self) -> usize {
-        self.sets.read().expect("encode cache lock").len()
+        self.sets.len()
     }
 
     /// Joint encoding of a variable set. Order and multiplicity of `cols`
@@ -144,26 +209,20 @@ impl<'a> EncodedTable<'a> {
 
     fn encode_sorted(&self, key: Vec<ColId>) -> Arc<Encoding> {
         if self.caching {
-            if let Some(hit) = self.sets.read().expect("encode cache lock").get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+            if let Some(hit) = self.sets.get(&key) {
+                return hit;
             }
+            let enc = Arc::new(self.build_encoding(&key));
+            self.sets.insert(key, enc)
+        } else {
+            self.sets.note_miss();
+            Arc::new(self.build_encoding(&key))
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let enc = Arc::new(self.build(&key));
-        if self.caching {
-            self.sets
-                .write()
-                .expect("encode cache lock")
-                .entry(key)
-                .or_insert_with(|| Arc::clone(&enc));
-        }
-        enc
     }
 
     /// Build the encoding for a sorted, deduplicated set by composing the
     /// cached encoding of its longest proper prefix with the last column.
-    fn build(&self, key: &[ColId]) -> Encoding {
+    fn build_encoding(&self, key: &[ColId]) -> Encoding {
         let n = self.table.n_rows();
         match key.len() {
             0 => Encoding {
@@ -199,15 +258,16 @@ impl<'a> EncodedTable<'a> {
     }
 
     /// Materialize a column as `f64` (categorical codes cast), cached.
-    /// Numeric testers (Fisher-z) use this to avoid per-query clones.
+    /// Numeric testers (Fisher-z, RCIT) use this to avoid per-query
+    /// clones. Unbounded but naturally capped by the table's width.
     pub fn numeric_col(&self, col: ColId) -> Arc<Vec<f64>> {
         if self.caching {
             if let Some(hit) = self.numeric.read().expect("numeric cache lock").get(&col) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.numeric_hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(hit);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.numeric_misses.fetch_add(1, Ordering::Relaxed);
         let v = Arc::new(self.table.col(col).to_f64());
         if self.caching {
             self.numeric
@@ -244,7 +304,7 @@ fn compose(prefix: &Encoding, codes: &[u32], arity: u32) -> Encoding {
     } else {
         // Dense re-encode pairs (prefix code, column code) in
         // first-occurrence order; the pair fits u64 by construction.
-        let mut dense: HashMap<u64, u32> = HashMap::new();
+        let mut dense: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         let mut out = Vec::with_capacity(n);
         for (&p, &c) in prefix.codes.iter().zip(codes) {
             let pair = p as u64 * arity as u64 + c as u64;
@@ -285,6 +345,7 @@ fn count_distinct(codes: &[u32], arity: u32) -> usize {
 mod tests {
     use super::*;
     use crate::table::{Column, Role};
+    use std::collections::HashMap;
 
     fn table() -> Table {
         Table::new(vec![
@@ -420,6 +481,30 @@ mod tests {
         let again = cold.stats().misses;
         cold.encode(&[0, 1, 2]);
         assert!(cold.stats().misses > again);
+    }
+
+    #[test]
+    fn capped_cache_evicts_and_stays_exact() {
+        let t = table();
+        let capped = EncodedTable::from_arc_with_cap(Arc::new(t.clone()), 2);
+        let unbounded = EncodedTable::new(&t);
+        // More distinct sets than the cap can hold.
+        let sets: Vec<Vec<ColId>> = vec![vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2]];
+        for set in &sets {
+            capped.encode(set);
+        }
+        assert!(capped.cached_sets() <= 2, "cap must bound residency");
+        assert!(capped.stats().evictions > 0, "evictions must be counted");
+        // Every encoding — evicted and recomputed or not — is exact.
+        for set in &sets {
+            let a = capped.encode(set);
+            let b = unbounded.encode(set);
+            assert_eq!(a.codes, b.codes);
+            assert_eq!(a.arity, b.arity);
+            assert_eq!(a.distinct, b.distinct);
+        }
+        assert_eq!(capped.cache_cap(), 2);
+        assert_eq!(unbounded.cache_cap(), DEFAULT_CACHE_CAP);
     }
 
     #[test]

@@ -25,8 +25,10 @@
 pub mod csv;
 pub mod encode;
 pub mod integrate;
+pub mod lru;
 pub mod table;
 
-pub use encode::{EncodeStats, EncodedTable, Encoding};
+pub use encode::{EncodeStats, EncodedTable, Encoding, DEFAULT_CACHE_CAP};
 pub use integrate::SourceRegistry;
+pub use lru::CappedCache;
 pub use table::{ColId, Column, ColumnData, Role, Table, TableError};

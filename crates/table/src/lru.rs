@@ -1,0 +1,186 @@
+//! [`CappedCache`] — a concurrent, size-capped memo cache with
+//! approximate-LRU eviction and hit/miss/eviction telemetry.
+//!
+//! The encoding layer and the testers built on it memoize per-variable-set
+//! artifacts (joint encodings, design matrices, residual vectors). In a
+//! batch-scoped session those caches are naturally bounded by the workload;
+//! in a *long-lived* service they are not — every distinct conditioning set
+//! a client ever asks about would stay resident forever. This cache bounds
+//! them: lookups run under a read lock (recency is tracked with a relaxed
+//! atomic tick, so hits never take the write lock), inserts evict the
+//! least-recently-used entry once the cap is reached.
+//!
+//! Eviction only ever discards *memoized* values that can be recomputed
+//! bit-identically, so a capped cache changes memory behavior and nothing
+//! else — the property the bounded-cache regression tests in
+//! `fairsel-tests` pin down.
+
+use crate::encode::EncodeStats;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+struct Slot<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+/// A bounded concurrent memo cache. `V` is cloned out on every hit, so it
+/// should be a cheap handle (`Arc<...>` in every use here).
+pub struct CappedCache<K, V> {
+    map: RwLock<HashMap<K, Slot<V>>>,
+    cap: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
+    /// Cache holding at most `cap` entries (`cap == 0` is clamped to 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            cap: cap.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of entries retained.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look a key up, bumping its recency. Counts a hit on success; a miss
+    /// is only counted by [`CappedCache::insert`] / [`CappedCache::note_miss`]
+    /// (so recursive fills account once per value actually computed).
+    /// Borrowed key forms are accepted (`&[ColId]` for a `Vec<ColId>` key)
+    /// so hot hit paths never allocate.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let map = self.map.read().expect("cache lock");
+        let slot = map.get(key)?;
+        slot.last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(slot.value.clone())
+    }
+
+    /// Record a computation that bypassed the cache entirely (the uncached
+    /// baseline mode still reports honest miss counts).
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert a freshly computed value, evicting the least-recently-used
+    /// entry if the cache is full. Counts a miss. When another thread
+    /// raced the same key in first, the resident value wins and is
+    /// returned — values for one key are bit-identical by construction,
+    /// and keeping one canonical handle preserves `Arc` sharing.
+    pub fn insert(&self, key: K, value: V) -> V {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.write().expect("cache lock");
+        if let Some(existing) = map.get(&key) {
+            return existing.value.clone();
+        }
+        while map.len() >= self.cap {
+            // Approximate LRU: evict the minimum recency tick. O(n) scan,
+            // but only on inserts into a full cache.
+            let victim = map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        map.insert(
+            key,
+            Slot {
+                value: value.clone(),
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
+        value
+    }
+
+    /// Cumulative telemetry.
+    pub fn stats(&self) -> EncodeStats {
+        EncodeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_insert_and_telemetry() {
+        let c: CappedCache<u32, Arc<u32>> = CappedCache::new(8);
+        assert!(c.get(&1).is_none());
+        c.insert(1, Arc::new(10));
+        assert_eq!(*c.get(&1).unwrap(), 10);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c: CappedCache<u32, Arc<u32>> = CappedCache::new(2);
+        c.insert(1, Arc::new(10));
+        c.insert(2, Arc::new(20));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&1).is_some());
+        c.insert(3, Arc::new(30));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&2).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn racing_insert_keeps_first_value() {
+        let c: CappedCache<u32, Arc<u32>> = CappedCache::new(4);
+        let a = c.insert(7, Arc::new(1));
+        let b = c.insert(7, Arc::new(2));
+        assert!(Arc::ptr_eq(&a, &b), "second insert must return resident");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_cap_clamped() {
+        let c: CappedCache<u32, u32> = CappedCache::new(0);
+        assert_eq!(c.cap(), 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+}

@@ -424,7 +424,7 @@ mod batch_equivalence {
 
     use super::reference::grpsel_direct;
     use fairsel_ci::{
-        CiOutcome, CiQueryRef, CiTest, CiTestBatch, FisherZ, GTest, PermutationCmi, VarId,
+        CiOutcome, CiQueryRef, CiTest, CiTestBatch, FisherZ, GTest, PermutationCmi, Rcit, VarId,
     };
     use fairsel_core::{grpsel, grpsel_batched, Problem, SelectConfig};
     use fairsel_datasets::sim::sample_table;
@@ -545,6 +545,26 @@ mod batch_equivalence {
                 || Box::new(FisherZ::new(&table, 0.01)),
                 &queries,
                 "fisher-z",
+            );
+        }
+    }
+
+    /// RCIT — a *randomized* tester, sequential-only before its port to
+    /// per-query derived RNG streams — satisfies the same contract: batch
+    /// and engine-routed evaluation at workers 1/2/4 is byte-identical to
+    /// sequential per-query evaluation, including symmetric respellings
+    /// (which share one derived stream by canonicalization).
+    #[test]
+    fn rcit_is_batch_equivalent_at_every_worker_count() {
+        let table = sampled(47, 8, 300);
+        let n_vars = table.n_cols();
+        for seed in 0..2u64 {
+            let mut rng = StdRng::seed_from_u64(300 + seed);
+            let queries = workload(&mut rng, n_vars, 12);
+            assert_batch_equivalence(
+                || Box::new(Rcit::with_alpha(&table, 0.01, 5)),
+                &queries,
+                "rcit",
             );
         }
     }
@@ -841,6 +861,118 @@ mod degenerate_strata_regression {
 }
 
 #[cfg(test)]
+mod cache_bounds {
+    //! The bounded-cache regression (the unbounded-growth bugfix): with an
+    //! LRU cap far smaller than the workload's distinct variable sets,
+    //! memory stays bounded (residency ≤ cap, evictions counted) while
+    //! every selection remains byte-identical to the unbounded run —
+    //! eviction only ever discards recomputable memo values.
+
+    use fairsel_ci::{CiTestBatch, CiTestShared, FisherZ, GTest};
+    use fairsel_core::{grpsel_batched_in, Problem, SelectConfig};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_engine::CiSession;
+    use fairsel_table::{EncodedTable, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn sampled(seed: u64, n_features: usize, rows: usize) -> Table {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.25,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    }
+
+    #[test]
+    fn capped_gtest_selections_byte_identical_with_bounded_memory() {
+        let table = sampled(7, 24, 1500);
+        let problem = Problem::from_table(&table);
+        let cfg = SelectConfig {
+            max_group: Some(5),
+            ..Default::default()
+        };
+        let cap = 8;
+
+        let run = |enc: Arc<EncodedTable>| {
+            let mut session = CiSession::new(GTest::over(enc, 0.01));
+            let sel = grpsel_batched_in(&mut session, &problem, &cfg, None, 2).normalized();
+            (sel, session.stats().clone())
+        };
+        let table_arc = Arc::new(table.clone());
+        let (unbounded_sel, _) = run(Arc::new(EncodedTable::from_arc(Arc::clone(&table_arc))));
+        let capped_enc = Arc::new(EncodedTable::from_arc_with_cap(table_arc, cap));
+        let (capped_sel, capped_stats) = run(Arc::clone(&capped_enc));
+
+        // Byte-identical partition and test count.
+        assert_eq!(unbounded_sel.c1, capped_sel.c1);
+        assert_eq!(unbounded_sel.c2, capped_sel.c2);
+        assert_eq!(unbounded_sel.rejected, capped_sel.rejected);
+        assert_eq!(unbounded_sel.tests_used, capped_sel.tests_used);
+
+        // Memory stayed bounded across many distinct variable sets …
+        assert!(
+            capped_enc.cached_sets() <= cap,
+            "residency {} exceeds cap {cap}",
+            capped_enc.cached_sets()
+        );
+        // … because the LRU actually evicted (the workload touches far
+        // more sets than the cap holds), and the telemetry says so.
+        assert!(
+            capped_enc.stats().evictions > 0,
+            "workload must overflow the cap"
+        );
+        assert!(capped_stats.encode_cache_evictions > 0);
+        assert!(
+            capped_enc.stats().misses > capped_enc.stats().evictions,
+            "evictions never exceed computed encodings"
+        );
+    }
+
+    #[test]
+    fn capped_fisherz_residual_cache_evicts_and_stays_exact() {
+        let table = sampled(9, 20, 400);
+        let cap = 4;
+        let unbounded = FisherZ::new(&table, 0.01);
+        let capped = FisherZ::over(
+            Arc::new(EncodedTable::from_arc_with_cap(
+                Arc::new(table.clone()),
+                cap,
+            )),
+            0.01,
+        );
+        // Many distinct conditioning sets — far more than the cap.
+        for z in 2..table.n_cols() {
+            for z2 in 2..z {
+                let zs = [z, z2];
+                let a = unbounded.ci_shared(&[0], &[1], &zs);
+                let b = capped.ci_shared(&[0], &[1], &zs);
+                assert_eq!(a, b, "z = {zs:?}");
+            }
+        }
+        // Replay: answers still byte-identical after eviction churn.
+        for z in 2..table.n_cols() {
+            let a = unbounded.ci_shared(&[0], &[1], &[z]);
+            let b = capped.ci_shared(&[0], &[1], &[z]);
+            assert_eq!(a, b, "replay z = {z}");
+        }
+        let stats = capped.encode_cache_stats();
+        assert!(
+            stats.evictions > 0,
+            "design/residual caches must evict under the cap"
+        );
+        assert_eq!(unbounded.encode_cache_stats().evictions, 0);
+    }
+}
+
+#[cfg(test)]
 mod frontier_order_regression {
     use super::reference::grpsel_direct;
     use fairsel_ci::{CiOutcome, CiTest, VarId};
@@ -894,5 +1026,130 @@ mod frontier_order_regression {
         assert_eq!(direct.c2, engine.c2);
         assert_eq!(direct.rejected, engine.rejected);
         assert_eq!(direct.tests_used, engine.tests_used);
+    }
+}
+
+#[cfg(test)]
+mod server_equivalence {
+    //! The session-service acceptance property: N concurrent clients
+    //! issuing overlapping workloads against one `fairsel serve` process
+    //! get bodies **byte-identical** to local single-process runs of the
+    //! same workloads, and a repeated identical request reports nonzero
+    //! shared-cache hits (encode reuse + CI-outcome memo) while having
+    //! issued no new tests.
+
+    use fairsel_ci::GTest;
+    use fairsel_core::{render_pipeline_report, run_pipeline_batched};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_server::{
+        pipeline_config, request, Request, Response, ServeConfig, Server, WorkloadRequest,
+    };
+    use fairsel_table::csv;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload_csv(seed: u64, n_features: usize, rows: usize) -> String {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        csv::to_csv_string(&sample_table(&scm, &inst.roles, rows, &mut rng))
+    }
+
+    /// What a local single-process `fairsel select` of this workload
+    /// prints as its deterministic report (the CLI path, replicated).
+    fn local_body(req: &WorkloadRequest) -> String {
+        let table = csv::from_csv_string(&req.csv).expect("csv");
+        let mut rng = StdRng::seed_from_u64(req.seed);
+        let (train, test) = table.split_train_test(&mut rng, req.train_frac);
+        let cfg = pipeline_config(req, train.n_rows()).expect("config");
+        let out = run_pipeline_batched(GTest::new(&train, req.alpha), &train, &test, &cfg);
+        render_pipeline_report(&out, &train, &cfg, test.n_rows())
+    }
+
+    #[test]
+    fn concurrent_clients_match_local_and_share_caches() {
+        // Two overlapping workloads: same dataset + tester (one shared
+        // session), different algorithms; plus a second dataset so the
+        // registry actually shards.
+        let csv_a = workload_csv(5, 14, 900);
+        let csv_b = workload_csv(6, 10, 600);
+        let wl = |csv: &str, algo: &str| WorkloadRequest {
+            csv: csv.to_owned(),
+            algo: algo.into(),
+            workers: 2,
+            ..Default::default()
+        };
+        let workloads = [
+            wl(&csv_a, "grpsel"),
+            wl(&csv_a, "seqsel"),
+            wl(&csv_b, "grpsel"),
+        ];
+        let expected: Vec<String> = workloads.iter().map(local_body).collect();
+
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        // 4 concurrent clients, each cycling through the workloads twice.
+        std::thread::scope(|scope| {
+            for client in 0..4usize {
+                let addr = addr.clone();
+                let workloads = &workloads;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..2 {
+                        for (i, w) in workloads.iter().enumerate() {
+                            let resp =
+                                request(&addr, &Request::Select(w.clone())).expect("request");
+                            let Response::Ok { body, cache, .. } = resp else {
+                                panic!("client {client} round {round}: {resp:?}");
+                            };
+                            assert_eq!(
+                                body, expected[i],
+                                "client {client} round {round} workload {i}: \
+                                 remote body diverged from local run"
+                            );
+                            assert!(cache.is_some());
+                        }
+                    }
+                });
+            }
+        });
+
+        // One more identical request: served warm from the shared state.
+        let resp = request(&addr, &Request::Select(workloads[0].clone())).expect("warm");
+        let Response::Ok { body, cache, .. } = resp else {
+            panic!("warm request failed: {resp:?}");
+        };
+        assert_eq!(body, expected[0]);
+        let cache = cache.expect("cache info");
+        assert!(
+            cache.shared_hits > 0,
+            "warm request must report shared-cache hits"
+        );
+        assert!(cache.encode_hits > 0, "encode cache must have been reused");
+        assert!(
+            cache.sessions_served > 8,
+            "the shared session served every overlapping request (got {})",
+            cache.sessions_served
+        );
+
+        // Server-wide stats agree: every request was counted, both
+        // datasets resident.
+        let stats = request(&addr, &Request::Stats).expect("stats");
+        let Response::Ok { stats: Some(s), .. } = stats else {
+            panic!("stats failed");
+        };
+        assert_eq!(s.get_u64("requests"), Some(4 * 2 * 3 + 1));
+        assert_eq!(s.get_u64("resident_datasets"), Some(2));
+
+        handle.shutdown();
     }
 }
