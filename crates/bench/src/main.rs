@@ -33,11 +33,13 @@ fn main() -> ExitCode {
     };
     for r in &results {
         println!(
-            "{:<26} {:<18} issued {:>8}  hits {:>6}  enc-hits {:>7}  {:>10.2} ms  selected {:>5}/{}",
+            "{:<30} {:<20} issued {:>6}  hits {:>5}  spec {:>4}/{:<4}  enc-hits {:>6}  {:>9.2} ms  selected {:>4}/{}",
             r.scenario,
             r.algo,
             r.issued,
             r.cache_hits,
+            r.speculative_hits,
+            r.speculative_issued,
             r.encode_hits,
             r.wall_ms,
             r.selected,

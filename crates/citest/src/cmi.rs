@@ -7,12 +7,18 @@
 //! estimator. Slightly negative plug-in estimates are truncated to 0
 //! following Mukherjee et al. [39], as footnote 3 of the paper prescribes.
 
+use crate::contingency::{Strata, ZPartition};
 use crate::{CiOutcome, CiTest, VarId};
-use fairsel_table::{EncodedTable, Table};
+use fairsel_table::{CappedCache, EncodedTable, Encoding, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A conditioning set's stratification plus its per-stratum row lists —
+/// the scaffold one Z-group (and all `B + 1` statistic computations of
+/// each of its queries) shares.
+type CmiScaffold = (ZPartition, Vec<Vec<usize>>);
 
 /// Plug-in conditional mutual information `I(X; Y | Z)` in nats from joint
 /// codes. Equals `G / (2n)` for the same contingency tables. Accumulation
@@ -23,7 +29,13 @@ pub fn cmi_from_codes(x: &[u32], y: &[u32], z: &[u32]) -> f64 {
         assert!(y.is_empty() && z.is_empty(), "cmi: length mismatch");
         return 0.0;
     }
-    let strata = crate::contingency::Strata::count(x, y, z);
+    cmi_from_strata(&Strata::count(x, y, z), n)
+}
+
+/// CMI from finished contingency counts — shared by the per-query path
+/// and the Z-grouped scaffold path ([`Strata::count_within`]); both order
+/// strata and cells identically, so the accumulation is byte-identical.
+fn cmi_from_strata(strata: &Strata, n: usize) -> f64 {
     let nf = n as f64;
     let mut cmi = 0.0;
     for s in &strata.strata {
@@ -64,6 +76,10 @@ pub struct PermutationCmi {
     permutations: usize,
     seed: u64,
     degenerate: AtomicU64,
+    /// Memoized conditioning-set scaffolds, keyed by canonical set and
+    /// bounded like every other data-path cache — so concurrent chunks of
+    /// one Z-group (and later frontier levels) share one stratification.
+    partitions: CappedCache<Vec<VarId>, Arc<CmiScaffold>>,
 }
 
 impl PermutationCmi {
@@ -82,12 +98,32 @@ impl PermutationCmi {
     pub fn over(enc: Arc<EncodedTable>, alpha: f64, permutations: usize, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
         assert!(permutations > 0, "need at least one permutation");
+        let cap = enc.cache_cap();
         Self {
             enc,
             alpha,
             permutations,
             seed,
             degenerate: AtomicU64::new(0),
+            partitions: CappedCache::new(cap),
+        }
+    }
+
+    /// Scaffold for the canonical conditioning set `zkey`, memoized.
+    fn z_scaffold(&self, zkey: &[VarId], ze: &Encoding) -> Arc<CmiScaffold> {
+        if self.enc.caching() {
+            if let Some(hit) = self.partitions.get(zkey) {
+                return hit;
+            }
+            let part = ZPartition::from_codes(&ze.codes);
+            let rows = part.rows();
+            self.partitions
+                .insert(zkey.to_vec(), Arc::new((part, rows)))
+        } else {
+            self.partitions.note_miss();
+            let part = ZPartition::from_codes(&ze.codes);
+            let rows = part.rows();
+            Arc::new((part, rows))
         }
     }
 
@@ -99,6 +135,52 @@ impl PermutationCmi {
     /// Queries short-circuited on all-singleton conditioning strata.
     pub fn degenerate_short_circuits(&self) -> u64 {
         self.degenerate.load(Ordering::Relaxed)
+    }
+
+    /// One query against a prepared conditioning scaffold. `x`/`y` arrive
+    /// in caller spelling (canonicalized here, so the derived RNG stream
+    /// matches every other spelling); `zkey` is the canonical conditioning
+    /// set; `part`/`rows` are its stratification. The observed statistic
+    /// *and* every permutation replicate count against the scaffold — the
+    /// same arithmetic in the same order as the unscaffolded path, derived
+    /// once instead of `B + 1` times per query.
+    fn eval_prepared(
+        &self,
+        x: &[VarId],
+        y: &[VarId],
+        zkey: &[VarId],
+        ze: &Encoding,
+        part: &ZPartition,
+        rows: &[Vec<usize>],
+    ) -> CiOutcome {
+        let (x, y) = crate::canonical_sides(x, y);
+        let (x, y) = (x.as_slice(), y.as_slice());
+        let xe = self.enc.encode(x);
+        let ye = self.enc.encode(y);
+        let n = ze.codes.len();
+        let observed = cmi_from_strata(&Strata::count_within(&xe.codes, &ye.codes, part), n);
+
+        let mut rng = StdRng::seed_from_u64(crate::derived_query_seed(self.seed, x, y, zkey));
+        let mut xperm = xe.codes.clone();
+        let mut at_least = 1usize; // the observed statistic counts itself
+        for _ in 0..self.permutations {
+            for stratum in rows {
+                // Fisher-Yates within the stratum.
+                for i in (1..stratum.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    xperm.swap(stratum[i], stratum[j]);
+                }
+            }
+            if cmi_from_strata(&Strata::count_within(&xperm, &ye.codes, part), n) >= observed {
+                at_least += 1;
+            }
+        }
+        let p = at_least as f64 / (self.permutations + 1) as f64;
+        CiOutcome {
+            independent: p > self.alpha,
+            p_value: p,
+            statistic: observed,
+        }
     }
 }
 
@@ -121,13 +203,8 @@ impl crate::CiTestShared for PermutationCmi {
         if x.is_empty() || y.is_empty() {
             return CiOutcome::decided(true);
         }
-        // Canonicalize the sides so every spelling of one query —
-        // including the symmetric swap — permutes the same side with the
-        // same randomness and returns byte-identical outcomes, matching
-        // the engine's cache quotient.
-        let (x, y) = crate::canonical_sides(x, y);
-        let (x, y) = (x.as_slice(), y.as_slice());
-        let ze = self.enc.encode(z);
+        let zkey = crate::canonical_set(z);
+        let ze = self.enc.encode(&zkey);
         if ze.all_singletons() {
             // One row per stratum: the observed CMI is exactly 0 and every
             // within-stratum permutation is the identity, so p = 1 without
@@ -139,50 +216,57 @@ impl crate::CiTestShared for PermutationCmi {
                 statistic: 0.0,
             };
         }
-        let xe = self.enc.encode(x);
-        let ye = self.enc.encode(y);
-        let observed = cmi_from_codes(&xe.codes, &ye.codes, &ze.codes);
-
-        // Row indices per stratum in first-occurrence order, so the RNG
-        // consumption sequence is deterministic in the query.
-        let mut index: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-        let mut strata: Vec<Vec<usize>> = Vec::new();
-        for (i, &zv) in ze.codes.iter().enumerate() {
-            match index.get(&zv) {
-                Some(&si) => strata[si].push(i),
-                None => {
-                    index.insert(zv, strata.len());
-                    strata.push(vec![i]);
-                }
-            }
-        }
-        let mut rng = StdRng::seed_from_u64(crate::derived_query_seed(self.seed, x, y, z));
-        let mut xperm = xe.codes.clone();
-        let mut at_least = 1usize; // the observed statistic counts itself
-        for _ in 0..self.permutations {
-            for rows in &strata {
-                // Fisher-Yates within the stratum.
-                for i in (1..rows.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    xperm.swap(rows[i], rows[j]);
-                }
-            }
-            if cmi_from_codes(&xperm, &ye.codes, &ze.codes) >= observed {
-                at_least += 1;
-            }
-        }
-        let p = at_least as f64 / (self.permutations + 1) as f64;
-        CiOutcome {
-            independent: p > self.alpha,
-            p_value: p,
-            statistic: observed,
-        }
+        // Shared scaffold: the stratification is derived once per
+        // conditioning set and reused by the observed statistic and all B
+        // permutation replicates (sides are canonicalized inside, so
+        // every spelling — including the symmetric swap — permutes the
+        // same side with the same randomness and returns byte-identical
+        // outcomes).
+        let scaffold = self.z_scaffold(&zkey, &ze);
+        self.eval_prepared(x, y, &zkey, &ze, &scaffold.0, &scaffold.1)
     }
 }
 
 impl crate::CiTestBatch for PermutationCmi {
+    /// Z-grouped evaluation: one stratification (and one row-list layout)
+    /// for the whole group, shared by every query's `B + 1` statistic
+    /// computations. Byte-identical to the per-query path, which runs the
+    /// same [`PermutationCmi::eval_prepared`] on a privately derived
+    /// scaffold.
+    fn eval_z_group(&self, z: &[VarId], queries: &[crate::CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        let zkey = crate::canonical_set(z);
+        type Scaffold = (Arc<Encoding>, Option<Arc<CmiScaffold>>);
+        let mut scaffold: Option<Scaffold> = None;
+        queries
+            .iter()
+            .map(|q| {
+                if q.x.is_empty() || q.y.is_empty() {
+                    return CiOutcome::decided(true);
+                }
+                let (ze, rest) = scaffold.get_or_insert_with(|| {
+                    let ze = self.enc.encode(&zkey);
+                    let rest = if ze.all_singletons() {
+                        None
+                    } else {
+                        Some(self.z_scaffold(&zkey, &ze))
+                    };
+                    (ze, rest)
+                });
+                let Some(sc) = rest else {
+                    self.degenerate.fetch_add(1, Ordering::Relaxed);
+                    return CiOutcome {
+                        independent: true,
+                        p_value: 1.0,
+                        statistic: 0.0,
+                    };
+                };
+                self.eval_prepared(q.x, q.y, &zkey, ze, &sc.0, &sc.1)
+            })
+            .collect()
+    }
+
     fn encode_cache_stats(&self) -> crate::EncodeStats {
-        self.enc.stats()
+        self.enc.stats().merged(self.partitions.stats())
     }
 }
 

@@ -121,10 +121,55 @@ impl FisherZ {
     }
 
     fn canonical_z(z: &[VarId]) -> Vec<ColId> {
-        let mut zs = z.to_vec();
-        zs.sort_unstable();
-        zs.dedup();
-        zs
+        crate::canonical_set(z)
+    }
+
+    /// Z-grouped scaffold: residualize every column a group of queries
+    /// needs on `zkey` in **one** ridge solve. The per-query path pays one
+    /// `ZᵀZ` formation + Cholesky factorization per `(column, Z)` pair;
+    /// here the factorization is shared across the whole group and only
+    /// the right-hand sides multiply. Results are inserted into the same
+    /// residual cache the per-query path reads.
+    ///
+    /// Byte-identity: `t_matmul`, `solve_spd`, and `matmul` all process
+    /// right-hand-side columns independently (the elimination multipliers
+    /// depend only on the design), so column `j` of the blocked solve is
+    /// bit-for-bit the vector [`FisherZ::residualize`] computes for that
+    /// column alone — the property the grouped-equivalence tests pin down.
+    fn prefill_residuals(&self, zkey: &[ColId], queries: &[crate::CiQueryRef<'_>]) {
+        let mut need: Vec<ColId> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for q in queries {
+            if q.x.is_empty() || q.y.is_empty() {
+                continue;
+            }
+            let (x, y) = crate::canonical_sides(q.x, q.y);
+            for &c in x.iter().chain(&y) {
+                if seen.insert(c) && self.residuals.get(&(c, zkey.to_vec())).is_none() {
+                    need.push(c);
+                }
+            }
+        }
+        if need.is_empty() {
+            return;
+        }
+        let design = self.design(zkey);
+        let n = self.table().n_rows();
+        let k = need.len();
+        let cols: Vec<Arc<Vec<f64>>> = need.iter().map(|&c| self.enc.numeric_col(c)).collect();
+        let mut data = vec![0.0; n * k];
+        for i in 0..n {
+            for (j, col) in cols.iter().enumerate() {
+                data[i * k + j] = col[i];
+            }
+        }
+        let t = Mat::from_vec(n, k, data);
+        let w = Mat::ridge_solve(&design, &t, 1e-8);
+        let fitted = design.matmul(&w);
+        for (j, (&c, col)) in need.iter().zip(&cols).enumerate() {
+            let res: Vec<f64> = (0..n).map(|i| col[i] - fitted[(i, j)]).collect();
+            self.residuals.insert((c, zkey.to_vec()), Arc::new(res));
+        }
     }
 
     /// Partial correlation of two scalar columns given `z` columns.
@@ -198,6 +243,22 @@ impl crate::CiTestShared for FisherZ {
 }
 
 impl crate::CiTestBatch for FisherZ {
+    /// Z-grouped evaluation: prefill the design/residual caches with one
+    /// blocked ridge solve for the whole group, then answer each query
+    /// through the ordinary per-query path (which now only reads caches).
+    /// Outcomes are trivially byte-identical — it *is* the per-query path,
+    /// fed bit-identical residuals (see [`FisherZ::prefill_residuals`]).
+    fn eval_z_group(&self, z: &[VarId], queries: &[crate::CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        let zkey = Self::canonical_z(z);
+        if !zkey.is_empty() && self.enc.caching() {
+            self.prefill_residuals(&zkey, queries);
+        }
+        queries
+            .iter()
+            .map(|q| crate::CiTestShared::ci_shared(self, q.x, q.y, q.z))
+            .collect()
+    }
+
     fn encode_cache_stats(&self) -> crate::EncodeStats {
         self.enc
             .stats()

@@ -9,9 +9,10 @@
 //! keeps the test calibrated on sparse strata — important here because
 //! group testing multiplies arities together.
 
+use crate::contingency::{Strata, ZPartition};
 use crate::{CiOutcome, CiTest, VarId};
 use fairsel_math::special::chi2_sf;
-use fairsel_table::{EncodedTable, Table};
+use fairsel_table::{CappedCache, EncodedTable, Table};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -23,10 +24,21 @@ use std::sync::Arc;
 /// Variables are table column ids; all referenced columns must be
 /// categorical (the paper's discrete synthetic benchmarks and simulated
 /// datasets are generated categorically).
+///
+/// Besides the per-query path, the tester implements the Z-grouped batch
+/// entry point ([`crate::CiTestBatch::eval_z_group`]): the conditioning
+/// set's stratification is derived once per group (and memoized per
+/// canonical set, so concurrent chunks of one giant group share it) and
+/// every `(x, y)` pair counts against that scaffold — byte-identical to
+/// the per-query statistic, at a fraction of the per-row hashing.
 pub struct GTest {
     enc: Arc<EncodedTable>,
     alpha: f64,
     degenerate: AtomicU64,
+    /// Memoized conditioning-set stratifications for grouped evaluation,
+    /// keyed by the canonical (sorted, deduplicated) variable set and
+    /// bounded like every other data-path cache.
+    partitions: CappedCache<Vec<VarId>, Arc<ZPartition>>,
 }
 
 impl GTest {
@@ -41,10 +53,12 @@ impl GTest {
     /// testers (G-test + CMI audit) amortize one cache.
     pub fn over(enc: Arc<EncodedTable>, alpha: f64) -> Self {
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        let cap = enc.cache_cap();
         Self {
             enc,
             alpha,
             degenerate: AtomicU64::new(0),
+            partitions: CappedCache::new(cap),
         }
     }
 
@@ -82,6 +96,22 @@ impl GTest {
         let ye = self.enc.encode(y);
         g_test_from_codes(&xe.codes, &ye.codes, &ze.codes)
     }
+
+    /// Stratification of the canonical conditioning set `zkey`, memoized
+    /// so concurrent chunks of one Z-group (and later levels re-using the
+    /// set) share a single scaffold.
+    fn z_partition(&self, zkey: &[VarId], ze: &fairsel_table::Encoding) -> Arc<ZPartition> {
+        if self.enc.caching() {
+            if let Some(hit) = self.partitions.get(zkey) {
+                return hit;
+            }
+            self.partitions
+                .insert(zkey.to_vec(), Arc::new(ZPartition::from_codes(&ze.codes)))
+        } else {
+            self.partitions.note_miss();
+            Arc::new(ZPartition::from_codes(&ze.codes))
+        }
+    }
 }
 
 impl CiTest for GTest {
@@ -113,8 +143,53 @@ impl crate::CiTestShared for GTest {
 }
 
 impl crate::CiTestBatch for GTest {
+    /// Z-grouped evaluation: one stratification scaffold per group, every
+    /// pair counted against it. Byte-identical to [`GTest::g_statistic`]
+    /// (same strata order, same cell order, same float accumulation — see
+    /// [`Strata::count_within`]).
+    fn eval_z_group(&self, z: &[VarId], queries: &[crate::CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        let zkey = crate::canonical_set(z);
+        // Built lazily so a group of empty-sided queries never encodes.
+        let mut scaffold: Option<(Arc<fairsel_table::Encoding>, Option<Arc<ZPartition>>)> = None;
+        queries
+            .iter()
+            .map(|q| {
+                if q.x.is_empty() || q.y.is_empty() {
+                    return CiOutcome::decided(true);
+                }
+                let (_, part) = scaffold.get_or_insert_with(|| {
+                    let ze = self.enc.encode(&zkey);
+                    let part = if ze.all_singletons() {
+                        None
+                    } else {
+                        Some(self.z_partition(&zkey, &ze))
+                    };
+                    (ze, part)
+                });
+                let Some(part) = part else {
+                    // Degenerate conditioning: p = 1 without contingency
+                    // work, exactly as the per-query short-circuit.
+                    self.degenerate.fetch_add(1, Ordering::Relaxed);
+                    return CiOutcome {
+                        independent: true,
+                        p_value: 1.0,
+                        statistic: 0.0,
+                    };
+                };
+                let xe = self.enc.encode(q.x);
+                let ye = self.enc.encode(q.y);
+                let (g, p) = g_test_grouped(&xe.codes, xe.arity, &ye.codes, ye.arity, part);
+                CiOutcome {
+                    independent: p > self.alpha,
+                    p_value: p,
+                    statistic: g,
+                }
+            })
+            .collect()
+    }
+
     fn encode_cache_stats(&self) -> crate::EncodeStats {
-        self.enc.stats()
+        self.enc.stats().merged(self.partitions.stats())
     }
 }
 
@@ -130,7 +205,86 @@ pub fn g_test_from_codes(x: &[u32], y: &[u32], z: &[u32]) -> (f64, f64) {
         assert!(y.is_empty() && z.is_empty(), "g_test: length mismatch");
         return (0.0, 1.0);
     }
-    let strata = crate::contingency::Strata::count(x, y, z);
+    g_from_strata(&Strata::count(x, y, z))
+}
+
+/// The Z-grouped G computation. When the dense cell space
+/// `n_strata × xa × ya` is small relative to the row count, counting runs
+/// entirely on array indexing — no hashing at all; otherwise it falls back
+/// to the hashed scaffold counter ([`Strata::count_within`]). Both paths
+/// are byte-identical to [`g_test_from_codes`]: strata keep the
+/// partition's first-occurrence order, cells accumulate in
+/// first-occurrence row order, marginals are exact integer sums, and the
+/// G summation walks the same cells in the same order.
+fn g_test_grouped(x: &[u32], xa: u32, y: &[u32], ya: u32, part: &ZPartition) -> (f64, f64) {
+    let n = x.len();
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let (xa, ya) = (xa.max(1) as usize, ya.max(1) as usize);
+    let cell_space = (part.n_strata as u64) * (xa as u64) * (ya as u64);
+    if cell_space > (8 * n as u64).max(4096) {
+        return g_from_strata(&Strata::count_within(x, y, part));
+    }
+    let cell_space = cell_space as usize;
+    // Cell counts indexed (stratum, x, y), plus each stratum's cells in
+    // first-occurrence order — the order the G sum must walk.
+    let mut counts = vec![0.0f64; cell_space];
+    let mut cell_order: Vec<Vec<(u32, u32)>> = vec![Vec::new(); part.n_strata];
+    let mut totals = vec![0.0f64; part.n_strata];
+    for i in 0..n {
+        let s = part.stratum_of[i] as usize;
+        let flat = (s * xa + x[i] as usize) * ya + y[i] as usize;
+        if counts[flat] == 0.0 {
+            cell_order[s].push((x[i], y[i]));
+        }
+        counts[flat] += 1.0;
+        totals[s] += 1.0;
+    }
+    // Marginals from finished cells (exact integer sums, identical to
+    // per-row accumulation), tracking distinct observed values for df.
+    let mut xm = vec![0.0f64; part.n_strata * xa];
+    let mut ym = vec![0.0f64; part.n_strata * ya];
+    let mut g = 0.0;
+    let mut df = 0usize;
+    for s in 0..part.n_strata {
+        let mut r = 0usize;
+        let mut c = 0usize;
+        for &(xv, yv) in &cell_order[s] {
+            let nxy = counts[(s * xa + xv as usize) * ya + yv as usize];
+            let xslot = &mut xm[s * xa + xv as usize];
+            if *xslot == 0.0 {
+                r += 1;
+            }
+            *xslot += nxy;
+            let yslot = &mut ym[s * ya + yv as usize];
+            if *yslot == 0.0 {
+                c += 1;
+            }
+            *yslot += nxy;
+        }
+        for &(xv, yv) in &cell_order[s] {
+            let nxy = counts[(s * xa + xv as usize) * ya + yv as usize];
+            let nx = xm[s * xa + xv as usize];
+            let ny = ym[s * ya + yv as usize];
+            g += 2.0 * nxy * ((nxy * totals[s]) / (nx * ny)).ln();
+        }
+        if r > 1 && c > 1 {
+            df += (r - 1) * (c - 1);
+        }
+    }
+    if df == 0 {
+        return (0.0, 1.0);
+    }
+    let g = g.max(0.0);
+    (g, chi2_sf(g, df as f64))
+}
+
+/// The G statistic and p-value from finished contingency counts. Shared by
+/// the per-query path ([`Strata::count`]) and the Z-grouped path
+/// ([`Strata::count_within`]); both produce identically ordered strata, so
+/// the accumulation here is byte-identical between them.
+fn g_from_strata(strata: &Strata) -> (f64, f64) {
     let mut g = 0.0;
     let mut df = 0usize;
     for s in &strata.strata {
@@ -308,5 +462,25 @@ mod tests {
         let (g, p) = g_test_from_codes(&[], &[], &[]);
         assert_eq!(g, 0.0);
         assert_eq!(p, 1.0);
+    }
+
+    /// The dense grouped counter and its hashed fallback are bit-for-bit
+    /// the per-query statistic, across arities small enough for the dense
+    /// path and large enough to force the fallback.
+    #[test]
+    fn grouped_statistic_is_byte_identical() {
+        use crate::contingency::ZPartition;
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for (xa, ya, za) in [(2u32, 3u32, 4u32), (40, 50, 60), (5000, 4000, 8)] {
+            let n = 400;
+            let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..xa)).collect();
+            let y: Vec<u32> = (0..n).map(|_| rng.gen_range(0..ya)).collect();
+            let z: Vec<u32> = (0..n).map(|_| rng.gen_range(0..za)).collect();
+            let part = ZPartition::from_codes(&z);
+            let reference = g_test_from_codes(&x, &y, &z);
+            let grouped = g_test_grouped(&x, xa, &y, ya, &part);
+            assert_eq!(reference, grouped, "arities ({xa},{ya},{za})");
+        }
     }
 }

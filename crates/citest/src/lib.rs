@@ -27,9 +27,14 @@
 //! [`Rcit`]) additionally implement [`CiTestBatch`]: they evaluate whole
 //! *batches* of queries through a shared [`fairsel_table::EncodedTable`]
 //! so one columnar encoding pass (or one residualization, for Fisher-z)
-//! is amortized across every query of a GrpSel frontier level. The
-//! randomized testers derive a private RNG stream per canonical query
-//! ([`derived_query_seed`]), which is what makes them shareable at all.
+//! is amortized across every query of a GrpSel frontier level — and, via
+//! the Z-grouped entry point ([`CiTestBatch::eval_z_group`]), amortize
+//! the whole per-conditioning-set scaffold: one stratification for the
+//! discrete testers, one blocked ridge factorization for Fisher-z, one
+//! standardized conditioning block for RCIT, all byte-identical to
+//! per-query evaluation. The randomized testers derive a private RNG
+//! stream per canonical query ([`derived_query_seed`]), which is what
+//! makes them shareable at all.
 
 pub mod cmi;
 mod contingency;
@@ -164,6 +169,18 @@ pub fn canonical_sides(x: &[VarId], y: &[VarId]) -> (Vec<VarId>, Vec<VarId>) {
     }
 }
 
+/// Canonical conditioning set: sorted and deduplicated — the same
+/// quotient the engine's cache key, the derived RNG seeds, and the
+/// Z-grouped scheduler all use. The single definition every tester
+/// canonicalizes through, so the byte-identity contract has one spelling
+/// of "same `Z`".
+pub fn canonical_set(z: &[VarId]) -> Vec<VarId> {
+    let mut zs = z.to_vec();
+    zs.sort_unstable();
+    zs.dedup();
+    zs
+}
+
 /// Seed for a *per-query* private RNG stream: `base` mixed with a stable
 /// hash of the canonicalized query (sides via [`canonical_sides`], `z`
 /// sorted and deduplicated).
@@ -179,9 +196,7 @@ pub fn canonical_sides(x: &[VarId], y: &[VarId]) -> (Vec<VarId>, Vec<VarId>) {
 /// finalizer; stable across platforms and runs.
 pub fn derived_query_seed(base: u64, x: &[VarId], y: &[VarId], z: &[VarId]) -> u64 {
     let (xs, ys) = canonical_sides(x, y);
-    let mut zs = z.to_vec();
-    zs.sort_unstable();
-    zs.dedup();
+    let zs = canonical_set(z);
     let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
     let mut byte = |b: u64| {
         h ^= b;
@@ -226,9 +241,34 @@ pub fn derived_query_seed(base: u64, x: &[VarId], y: &[VarId], z: &[VarId]) -> u
 ///
 /// The default `eval_batch` is the per-query fallback: correct for every
 /// [`CiTestShared`] tester, it simply forgoes batch-level amortization.
+///
+/// # Z-grouped evaluation
+///
+/// `eval_z_group` is the *grouped* entry point the engine's Z-grouped
+/// scheduler drives: the caller partitions a batch by canonical
+/// conditioning set and hands each group over with its shared `z`, so the
+/// tester can build the per-`Z` scaffold — stratification, design-matrix
+/// factorization, standardized conditioning block — **once** and evaluate
+/// every `(x, y)` pair of the group against it. The same byte-identity
+/// contract applies: `eval_z_group(z, qs)[i]` must equal
+/// `ci_shared(qs[i].x, qs[i].y, qs[i].z)` bit for bit, and callers must be
+/// free to split one group across concurrent calls (a giant stratum is
+/// chunked so it cannot serialize a frontier level). The default is the
+/// per-query fallback.
 pub trait CiTestBatch: CiTestShared {
     /// Evaluate a batch of independent queries, results in input order.
     fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        queries
+            .iter()
+            .map(|q| self.ci_shared(q.x, q.y, q.z))
+            .collect()
+    }
+
+    /// Evaluate queries that all share the canonical conditioning set `z`
+    /// (sorted, deduplicated; each `queries[i].z` canonicalizes to it).
+    /// Implementations amortize per-`Z` scaffolding across the group.
+    fn eval_z_group(&self, z: &[VarId], queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        debug_assert!(queries.iter().all(|q| canonical_set(q.z) == z));
         queries
             .iter()
             .map(|q| self.ci_shared(q.x, q.y, q.z))
@@ -246,6 +286,9 @@ impl<T: CiTestBatch + ?Sized> CiTestBatch for &mut T {
     fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
         (**self).eval_batch(queries)
     }
+    fn eval_z_group(&self, z: &[VarId], queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        (**self).eval_z_group(z, queries)
+    }
     fn encode_cache_stats(&self) -> EncodeStats {
         (**self).encode_cache_stats()
     }
@@ -254,6 +297,9 @@ impl<T: CiTestBatch + ?Sized> CiTestBatch for &mut T {
 impl<T: CiTestBatch + ?Sized> CiTestBatch for &T {
     fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
         (**self).eval_batch(queries)
+    }
+    fn eval_z_group(&self, z: &[VarId], queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        (**self).eval_z_group(z, queries)
     }
     fn encode_cache_stats(&self) -> EncodeStats {
         (**self).encode_cache_stats()
@@ -303,6 +349,9 @@ where
 {
     fn eval_batch(&self, queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
         (**self).eval_batch(queries)
+    }
+    fn eval_z_group(&self, z: &[VarId], queries: &[CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        (**self).eval_z_group(z, queries)
     }
     fn encode_cache_stats(&self) -> EncodeStats {
         (**self).encode_cache_stats()

@@ -34,10 +34,14 @@ use fairsel_math::dist::sample_std_normal;
 use fairsel_math::special::gamma_sf;
 use fairsel_math::stats::{median_pairwise_distance, standardize};
 use fairsel_math::Mat;
-use fairsel_table::{EncodedTable, Table};
+use fairsel_table::{CappedCache, EncodedTable, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// The query-independent part of a conditioning block: the standardized
+/// `Z` matrix and its median-heuristic bandwidth.
+type ZContext = (Mat, f64);
 
 /// RCIT hyperparameters.
 #[derive(Clone, Debug)]
@@ -72,6 +76,11 @@ pub struct Rcit {
     enc: Arc<EncodedTable>,
     cfg: RcitConfig,
     seed: u64,
+    /// Memoized conditioning contexts for grouped evaluation, keyed by
+    /// canonical set and bounded like every other data-path cache — so
+    /// concurrent chunks of one Z-group (and later frontier levels)
+    /// share one standardization + bandwidth pass.
+    zctx: CappedCache<Vec<VarId>, Arc<ZContext>>,
 }
 
 impl Rcit {
@@ -85,7 +94,30 @@ impl Rcit {
     pub fn over(enc: Arc<EncodedTable>, cfg: RcitConfig, seed: u64) -> Self {
         assert!(cfg.num_features_xy > 0 && cfg.num_features_z > 0);
         assert!(cfg.ridge > 0.0, "ridge must be positive");
-        Self { enc, cfg, seed }
+        let cap = enc.cache_cap();
+        Self {
+            enc,
+            cfg,
+            seed,
+            zctx: CappedCache::new(cap),
+        }
+    }
+
+    /// Conditioning context for the canonical set `zs`, memoized.
+    fn z_context(&self, zs: &[VarId]) -> Arc<ZContext> {
+        if self.enc.caching() {
+            if let Some(hit) = self.zctx.get(zs) {
+                return hit;
+            }
+            let zm = self.extract(zs);
+            let sz = self.bandwidth(&zm);
+            self.zctx.insert(zs.to_vec(), Arc::new((zm, sz)))
+        } else {
+            self.zctx.note_miss();
+            let zm = self.extract(zs);
+            let sz = self.bandwidth(&zm);
+            Arc::new((zm, sz))
+        }
     }
 
     /// Tester with default hyperparameters at level `alpha`.
@@ -163,11 +195,21 @@ impl Rcit {
     /// the [`crate::CiTestBatch`] contract.
     pub fn test(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> (f64, f64) {
         let (x, y) = crate::canonical_sides(x, y);
-        let (x, y) = (x.as_slice(), y.as_slice());
-        let mut z = z.to_vec();
-        z.sort_unstable();
-        z.dedup();
-        let z = z.as_slice();
+        self.test_canonical(&x, &y, &crate::canonical_set(z), None)
+    }
+
+    /// The test over canonicalized sides, optionally reusing a prepared
+    /// conditioning context `(standardized Z matrix, bandwidth)` — the
+    /// query-independent part of the computation a Z-group shares. The
+    /// context never touches the per-query RNG stream, so a prepared run
+    /// is byte-identical to an unprepared one.
+    fn test_canonical(
+        &self,
+        x: &[VarId],
+        y: &[VarId],
+        z: &[VarId],
+        zctx: Option<&(Mat, f64)>,
+    ) -> (f64, f64) {
         let mut rng = StdRng::seed_from_u64(crate::derived_query_seed(self.seed, x, y, z));
         let n = self.table().n_rows();
         if n < 8 {
@@ -184,9 +226,17 @@ impl Rcit {
         let (ex, ey) = if z.is_empty() {
             (fx, fy)
         } else {
-            let zm = self.extract(z);
-            let sz = self.bandwidth(&zm);
-            let mut fz = Self::fourier_features(&mut rng, &zm, self.cfg.num_features_z, sz);
+            let local;
+            let (zm, sz) = match zctx {
+                Some((zm, sz)) => (zm, *sz),
+                None => {
+                    let zm = self.extract(z);
+                    let sz = self.bandwidth(&zm);
+                    local = zm;
+                    (&local, sz)
+                }
+            };
+            let mut fz = Self::fourier_features(&mut rng, zm, self.cfg.num_features_z, sz);
             fz.center_cols();
             let wx = Mat::ridge_solve(&fz, &fx, self.cfg.ridge);
             let wy = Mat::ridge_solve(&fz, &fy, self.cfg.ridge);
@@ -282,10 +332,37 @@ impl crate::CiTestShared for Rcit {
 
 /// Batch evaluation uses the per-query default (each query re-derives its
 /// own RNG stream, so there is no cross-query randomness to amortize);
-/// the shared encoding layer still amortizes column materialization.
+/// the Z-grouped entry point shares the query-*independent* conditioning
+/// work — the standardized `Z` matrix and its median-heuristic bandwidth,
+/// `O(n·|Z|)` per query in the Figure 3(b) regime — across the group.
 impl crate::CiTestBatch for Rcit {
+    fn eval_z_group(&self, z: &[VarId], queries: &[crate::CiQueryRef<'_>]) -> Vec<CiOutcome> {
+        let zs = crate::canonical_set(z);
+        let n = self.table().n_rows();
+        let zctx = if zs.is_empty() || n < 8 {
+            None
+        } else {
+            Some(self.z_context(&zs))
+        };
+        queries
+            .iter()
+            .map(|q| {
+                if q.x.is_empty() || q.y.is_empty() {
+                    return CiOutcome::decided(true);
+                }
+                let (x, y) = crate::canonical_sides(q.x, q.y);
+                let (stat, p) = self.test_canonical(&x, &y, &zs, zctx.as_deref());
+                CiOutcome {
+                    independent: p > self.cfg.alpha,
+                    p_value: p,
+                    statistic: stat,
+                }
+            })
+            .collect()
+    }
+
     fn encode_cache_stats(&self) -> crate::EncodeStats {
-        self.enc.stats()
+        self.enc.stats().merged(self.zctx.stats())
     }
 }
 

@@ -45,20 +45,27 @@ USAGE:
   fairsel select  --csv <file.csv> [--algo seqsel|grpsel] [--tester gtest|fisherz]
                   [--dag <graph.txt>] [--alpha F]
                   [--classifier logistic|tree|forest|adaboost|nb]
-                  [--workers N] [--max-group N|auto] [--train-frac F] [--seed N]
+                  [--workers N] [--max-group N|auto] [--speculate true|false]
+                  [--train-frac F] [--seed N]
                   [--cache-cap N] [--stats-out <file.json>]
                   [--report-out <file.txt>] [--remote <host:port>]
   fairsel methods --csv <file.csv> [--tester gtest|fisherz] [--dag <graph.txt>]
                   [--alpha F] [--classifier ...] [--max-group N|auto]
-                  [--train-frac F] [--seed N]
+                  [--train-frac F] [--seed N] [--remote <host:port>]
   fairsel serve   [--addr <host:port>] [--cache-cap N] [--max-datasets N]
 
 `gen` writes a role-annotated CSV sampled from a paper fixture (default 1a)
 or from a fairness-structured synthetic DAG (--synthetic <n_features>).
-`select` runs the full pipeline — GrpSel frontiers batched through the
-columnar EncodedTable layer — and prints selection, fairness report, and
-engine telemetry (including encode-cache reuse). `methods` sweeps the
-baseline pipelines (a-only, all, seqsel, grpsel, fair-pc) on one split.
+`select` runs the full pipeline — GrpSel frontiers partitioned by
+conditioning set and evaluated through the Z-grouped scheduler on a
+persistent worker pool — and prints selection, fairness report, and
+engine telemetry (encode-cache reuse, speculation counters).
+`--speculate true` issues each frontier level's predictable follow-up
+queries ahead of demand (selections are byte-identical either way; the
+speculative_* counters measure the policy). `methods` sweeps the
+baseline pipelines (a-only, all, seqsel, grpsel, fair-pc) on one split;
+with --remote the sweep runs inside the server's shared per-dataset
+session and reports post-dedup test counts.
 `--max-group auto` pre-splits GrpSel's root group to width log2(train rows),
 restoring group-test power on wide discrete data.
 `--dag graph.txt` answers CI queries from ground-truth d-separation on the
@@ -225,9 +232,11 @@ fn load_workload(opts: &Opts) -> Result<Workload, String> {
                 })?,
         ),
     };
+    let speculate: bool = opts.num("speculate", false)?;
     let cfg = PipelineConfig {
         select: SelectConfig {
             max_group,
+            speculate,
             ..SelectConfig::default()
         },
         algo,
@@ -320,6 +329,7 @@ fn workload_request(opts: &Opts) -> Result<WorkloadRequest, String> {
         alpha: opts.num("alpha", 0.01)?,
         workers: opts.num("workers", default_workers())?,
         max_group,
+        speculate: opts.num("speculate", false)?,
         train_frac: opts.num("train-frac", 0.7)?,
         seed: opts.num("seed", 0)?,
         classifier: opts.get("classifier").unwrap_or("logistic").to_owned(),
@@ -412,6 +422,29 @@ fn align_dag_to_table(dag: &Dag, table: &Table) -> Result<Dag, String> {
     Ok(aligned)
 }
 
+/// `methods` against a running server: the sweep executes inside the
+/// server's per-dataset registry session, so it shares dedup with every
+/// other request on the same dataset (the per-method tests/issued columns
+/// report post-dedup costs — a warm sweep issues almost nothing).
+fn remote_methods(addr: &str, opts: &Opts) -> Result<(), RemoteError> {
+    let req = workload_request(opts).map_err(RemoteError::Server)?;
+    let resp = fairsel_server::request(addr, &Request::Methods(req))
+        .map_err(|e| RemoteError::Unreachable(e.to_string()))?;
+    match resp {
+        Response::Ok { body, cache, .. } => {
+            print!("{body}");
+            println!("\n== served by {addr} ==");
+            if let Some(c) = cache {
+                println!("dataset fingerprint         {:016x}", c.fingerprint);
+                println!("sessions served             {}", c.sessions_served);
+                println!("shared memo hits            {}", c.shared_hits);
+            }
+            Ok(())
+        }
+        Response::Err(e) => Err(RemoteError::Server(e)),
+    }
+}
+
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = opts.get("addr").unwrap_or("127.0.0.1:4990");
     let cfg = ServeConfig {
@@ -431,6 +464,20 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_methods(opts: &Opts) -> Result<(), String> {
+    if let Some(addr) = opts.get("remote") {
+        if opts.get("dag").is_some() {
+            return Err("--dag cannot be combined with --remote (oracle runs locally)".into());
+        }
+        match remote_methods(addr, opts) {
+            Ok(()) => return Ok(()),
+            Err(RemoteError::Unreachable(e)) => {
+                eprintln!(
+                    "warning: server {addr} unreachable ({e}); falling back to local execution"
+                );
+            }
+            Err(RemoteError::Server(e)) => return Err(format!("remote {addr}: {e}")),
+        }
+    }
     let w = load_workload(opts)?;
     let aligned_dag = match opts.get("dag") {
         Some(path) => Some(align_dag_to_table(&load_dag(path)?, &w.train)?),
@@ -458,8 +505,14 @@ fn print_engine_stats(stats: &EngineStats, workers: usize) {
     println!("cache hits                  {}", stats.cache_hits);
     println!("dedup rate                  {:.4}", stats.dedup_rate());
     println!(
-        "batches (parallel/batched)  {} ({}/{})",
-        stats.batches, stats.parallel_batches, stats.batched_batches
+        "batches (par/batched/grp)   {} ({}/{}/{})",
+        stats.batches, stats.parallel_batches, stats.batched_batches, stats.grouped_batches
+    );
+    println!(
+        "speculative issued/hits     {}/{} (wasted {})",
+        stats.speculative_issued,
+        stats.speculative_hits,
+        stats.speculative_wasted()
     );
     println!(
         "encode cache hits/misses    {}/{} (evictions {})",

@@ -12,8 +12,8 @@
 
 use crate::pipeline::{score_columns, ClassifierKind, PipelineConfig, SelectionAlgo};
 use crate::problem::{Problem, Selection};
-use crate::{grpsel_in, seqsel_in};
-use fairsel_ci::{CiTest, FisherZ, GTest, OracleCi};
+use crate::{grpsel_batched_in, grpsel_in, seqsel_in};
+use fairsel_ci::{CiTest, CiTestBatch, FisherZ, GTest, OracleCi};
 use fairsel_engine::{CiSession, EngineStats};
 use fairsel_graph::Dag;
 use fairsel_ml::FairnessReport;
@@ -258,6 +258,73 @@ pub fn run_all_methods(
     Method::all()
         .into_iter()
         .map(|m| run_method_over(m, spec, enc.as_ref(), dag, train, test, cfg))
+        .collect()
+}
+
+/// The method sweep *inside an existing session* — the entry point the
+/// server's fingerprint-sharded registry drives, so a `methods` request
+/// shares the per-dataset session's CI-outcome dedup (and the Z-grouped
+/// batch path) with every other request on that dataset. Selections are
+/// identical to [`run_all_methods`] (outcomes are deterministic per
+/// query, however they are reached); the per-method `tests_used` /
+/// `engine` telemetry reports what each method cost *after* cross-method
+/// and cross-request dedup — e.g. GrpSel right after SeqSel issues far
+/// fewer tests than it would cold, which is the point.
+pub fn run_all_methods_in<T: CiTestBatch>(
+    session: &mut CiSession<T>,
+    train: &Table,
+    test: &Table,
+    cfg: &PipelineConfig,
+) -> Vec<MethodOutput> {
+    let problem = Problem::from_table(train);
+    Method::all()
+        .into_iter()
+        .map(|method| {
+            let before = session.stats().clone();
+            let selected = match method {
+                Method::AdmissibleOnly => Vec::new(),
+                Method::All => problem.features.clone(),
+                Method::SeqSel => seqsel_in(session, &problem, &cfg.select).selected(),
+                Method::GrpSel => {
+                    let seed = match cfg.algo {
+                        SelectionAlgo::GrpSel { seed } => seed,
+                        _ => None,
+                    };
+                    grpsel_batched_in(session, &problem, &cfg.select, seed, cfg.workers.max(1))
+                        .selected()
+                }
+                Method::FairPc => {
+                    session.set_phase("fair-pc");
+                    let mut vars: Vec<ColId> = problem.sensitive.clone();
+                    vars.extend(&problem.admissible);
+                    vars.extend(&problem.features);
+                    vars.push(problem.target);
+                    vars.sort_unstable();
+                    let cpdag = fairsel_discovery::pc_in(session, &vars, FAIR_PC_MAX_COND);
+                    session.clear_phase();
+                    let maybe_desc = cpdag
+                        .possible_descendants_avoiding(&problem.sensitive, &problem.admissible);
+                    problem
+                        .features
+                        .iter()
+                        .copied()
+                        .filter(|&x| !maybe_desc[x])
+                        .collect()
+                }
+            };
+            session.refresh_encode_stats();
+            let engine = session.stats().delta_since(&before);
+            let model_cols = crate::pipeline::model_columns(&problem, &selected);
+            let report = score_columns(train, test, &problem, &model_cols, cfg);
+            MethodOutput {
+                method,
+                selected,
+                model_cols,
+                report,
+                tests_used: engine.issued,
+                engine,
+            }
+        })
         .collect()
 }
 

@@ -84,7 +84,8 @@ pub fn grpsel_in<T: CiTest>(
         problem,
         cfg,
         seed,
-        &mut |s: &mut CiSession<T>, qs| s.run_batch(qs),
+        1,
+        &mut |s: &mut CiSession<T>, qs, _spec| s.run_batch(qs),
         session,
     )
 }
@@ -101,16 +102,23 @@ pub fn grpsel_par_in<T: CiTestShared>(
         problem,
         cfg,
         seed,
-        &mut |s: &mut CiSession<T>, qs| s.run_batch_parallel(qs, workers),
+        workers,
+        &mut |s: &mut CiSession<T>, qs, _spec| s.run_batch_parallel(qs, workers),
         session,
     )
 }
 
-/// GrpSel routing every frontier through the tester's
-/// [`fairsel_ci::CiTestBatch::eval_batch`] — one columnar encoding pass
-/// per level — with `workers > 1` fanning `eval_batch` chunks across the
-/// worker pool. Outcomes are byte-identical to [`grpsel`] /
-/// [`grpsel_par`]; only the execution strategy changes.
+/// GrpSel on the engine's **Z-grouped scheduler**: every frontier level's
+/// unique queries are partitioned by canonical conditioning set and
+/// evaluated through the tester's
+/// [`fairsel_ci::CiTestBatch::eval_z_group`], so the per-`Z` scaffold
+/// (stratification, design factorization) is built once per distinct set;
+/// with `workers > 1` the groups become steal-able chunks on the
+/// session's persistent worker pool, and with
+/// [`SelectConfig::speculate`] the next level's predictable queries ride
+/// along speculatively. Outcomes are byte-identical to [`grpsel`] /
+/// [`grpsel_par`] at every worker count and speculation setting; only the
+/// execution strategy changes.
 pub fn grpsel_batched<T: CiTestBatch + ?Sized>(
     tester: &mut T,
     problem: &Problem,
@@ -122,7 +130,7 @@ pub fn grpsel_batched<T: CiTestBatch + ?Sized>(
     grpsel_batched_in(&mut session, problem, cfg, seed, workers)
 }
 
-/// Batched GrpSel inside a caller-provided session.
+/// Z-grouped GrpSel inside a caller-provided session.
 pub fn grpsel_batched_in<T: CiTestBatch>(
     session: &mut CiSession<T>,
     problem: &Problem,
@@ -134,7 +142,32 @@ pub fn grpsel_batched_in<T: CiTestBatch>(
         problem,
         cfg,
         seed,
-        &mut |s: &mut CiSession<T>, qs| {
+        workers,
+        &mut |s: &mut CiSession<T>, qs, spec| s.run_batch_grouped(qs, spec, workers),
+        session,
+    )
+}
+
+/// The pre-grouping batched scheduler: whole frontiers through
+/// [`fairsel_ci::CiTestBatch::eval_batch`] (per-query evaluation over the
+/// shared encoding caches, contiguous chunks when parallel), with no
+/// conditioning-set partitioning and no speculation. Kept as the
+/// benchmark baseline the Z-grouped scheduler is measured against
+/// (`grpsel-batched` rows in `BENCH_engine.json`); production callers use
+/// [`grpsel_batched_in`].
+pub fn grpsel_ungrouped_in<T: CiTestBatch>(
+    session: &mut CiSession<T>,
+    problem: &Problem,
+    cfg: &SelectConfig,
+    seed: Option<u64>,
+    workers: usize,
+) -> Selection {
+    run(
+        problem,
+        cfg,
+        seed,
+        workers,
+        &mut |s: &mut CiSession<T>, qs, _spec| {
             if workers > 1 {
                 s.run_batch_batched_parallel(qs, workers)
             } else {
@@ -146,13 +179,27 @@ pub fn grpsel_batched_in<T: CiTestBatch>(
 }
 
 /// How a batch of frontier queries is executed against the session —
-/// sequentially or across the worker pool.
-type BatchExec<'a, T> = &'a mut dyn FnMut(&mut CiSession<T>, &[CiQuery]) -> Vec<CiOutcome>;
+/// sequentially, across the worker pool, or Z-grouped. The second slice
+/// is speculative ride-along work; executors without speculation support
+/// ignore it.
+type BatchExec<'a, T> =
+    &'a mut dyn FnMut(&mut CiSession<T>, &[CiQuery], &[CiQuery]) -> Vec<CiOutcome>;
+
+/// Per-level cap on speculative queries: enough to keep `workers` busy
+/// for several levels' worth of follow-up work, but a hard bound — the
+/// phase-1 subset enumeration is `O(2^|A|)` per group, and speculation
+/// must stay cheaper than the demanded search it accelerates. The
+/// `speculative_wasted` telemetry measures how well the cap fits (see
+/// the ROADMAP's policy-tuning item).
+fn speculation_budget(workers: usize) -> usize {
+    workers.max(1) * 16
+}
 
 fn run<T: CiTest>(
     problem: &Problem,
     cfg: &SelectConfig,
     seed: Option<u64>,
+    workers: usize,
     exec: BatchExec<'_, T>,
     session: &mut CiSession<T>,
 ) -> Selection {
@@ -167,17 +214,45 @@ fn run<T: CiTest>(
     // Phase 1 (Algorithm 3): a frontier of groups seeking some A' ⊆ A
     // with group ⊥ S | A'. Each (frontier level × subset) wave is one
     // engine batch; groups certified at an earlier subset drop out of
-    // later waves, mirroring the sequential ∃-search's early exit.
+    // later waves, mirroring the sequential ∃-search's early exit. With
+    // `cfg.speculate`, the predictable follow-up work — this frontier's
+    // later waves and the next frontier's halves — rides along with
+    // wave 0 so idle workers pre-warm the cache. The candidate list is
+    // ordered most-likely-needed first (wave by wave across the current
+    // groups, then the halves subset by subset) and truncated to the
+    // speculation budget: the subset enumeration is exponential in |A|,
+    // and an unbounded policy would re-introduce exactly the blowup the
+    // demanded search's early exit avoids.
     session.set_phase("grpsel/phase1");
+    let budget = speculation_budget(workers);
     let mut remaining: Vec<VarId> = Vec::new();
     let mut planner = root_planner(&features, cfg);
     while !planner.is_done() {
+        let spec: Vec<CiQuery> = if cfg.speculate {
+            let frontier = planner.frontier();
+            let halves = planner.speculative_halves();
+            let later_waves = subsets
+                .iter()
+                .skip(1)
+                .flat_map(|a| frontier.iter().map(move |g| (g, a)));
+            let next_level = halves
+                .iter()
+                .flat_map(|h| subsets.iter().map(move |a| (h, a)));
+            later_waves
+                .chain(next_level)
+                .take(budget)
+                .map(|(g, a)| CiQuery::new(g, &problem.sensitive, a))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let verdicts = exists_over_frontier(
             session,
             exec,
             planner.frontier(),
             &problem.sensitive,
             &subsets,
+            &spec,
         );
         let step = planner.advance(&verdicts);
         for group in step.admitted {
@@ -199,7 +274,9 @@ fn run<T: CiTest>(
     }
 
     // Phase 2 (Algorithm 4): remaining groups against Y given A ∪ C₁
-    // (the Lemma-6 conditioning set; see the erratum note above).
+    // (the Lemma-6 conditioning set; see the erratum note above). The
+    // whole phase shares one conditioning set, so speculation here is
+    // exactly the next frontier's halves.
     session.set_phase("grpsel/phase2");
     let mut cond: Vec<VarId> = problem.admissible.clone();
     cond.extend(&out.c1);
@@ -210,7 +287,17 @@ fn run<T: CiTest>(
             .iter()
             .map(|g| CiQuery::new(g, &[problem.target], &cond))
             .collect();
-        let outcomes = exec(session, &batch);
+        let spec: Vec<CiQuery> = if cfg.speculate {
+            planner
+                .speculative_halves()
+                .iter()
+                .take(budget)
+                .map(|h| CiQuery::new(h, &[problem.target], &cond))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let outcomes = exec(session, &batch, &spec);
         let verdicts: Vec<bool> = outcomes.iter().map(|o| o.independent).collect();
         let step = planner.advance(&verdicts);
         for group in step.admitted {
@@ -235,17 +322,21 @@ fn root_planner(items: &[VarId], cfg: &SelectConfig) -> HalvingPlanner {
 }
 
 /// One frontier's ∃-search: wave `k` batches subset `k` for every group
-/// not yet certified. Delegates to the engine's wave machinery
-/// ([`fairsel_engine::exists_with`]), plugging in this run's batch
-/// dispatch (sequential or worker pool).
+/// not yet certified, with `spec` riding along on wave 0. Delegates to
+/// the engine's wave machinery ([`fairsel_engine::exists_with_spec`]),
+/// plugging in this run's batch dispatch (sequential, worker pool, or
+/// Z-grouped).
 fn exists_over_frontier<T: CiTest>(
     session: &mut CiSession<T>,
     exec: BatchExec<'_, T>,
     groups: &[Vec<VarId>],
     sensitive: &[VarId],
     subsets: &[Vec<VarId>],
+    spec: &[CiQuery],
 ) -> Vec<bool> {
-    fairsel_engine::exists_with(groups, sensitive, subsets, |qs| exec(session, qs))
+    fairsel_engine::exists_with_spec(groups, sensitive, subsets, spec, |qs, sp| {
+        exec(session, qs, sp)
+    })
 }
 
 #[cfg(test)]

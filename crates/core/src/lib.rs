@@ -42,10 +42,12 @@ pub mod problem;
 pub mod seqsel;
 
 pub use baselines::{
-    render_methods_report, run_all_methods, run_method, Method, MethodOutput, TesterSpec,
+    render_methods_report, run_all_methods, run_all_methods_in, run_method, Method, MethodOutput,
+    TesterSpec,
 };
 pub use grpsel::{
     grpsel, grpsel_batched, grpsel_batched_in, grpsel_in, grpsel_par, grpsel_par_in, grpsel_seeded,
+    grpsel_ungrouped_in,
 };
 pub use oracle::{theorem1_classification, GroundTruth};
 pub use pipeline::{

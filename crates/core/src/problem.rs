@@ -91,6 +91,17 @@ pub struct SelectConfig {
     /// group's joint code space below the sample size. Oracle testers
     /// don't need this (group answers are exact at any width).
     pub max_group: Option<usize>,
+    /// Speculative frontier scheduling for GrpSel's batched execution
+    /// path: alongside each frontier level's demanded queries, issue the
+    /// *predictable* follow-up work — the remaining `∃A′ ⊆ A` waves of the
+    /// current groups and every non-singleton group's halves — in the same
+    /// dispatch, so idle workers pre-warm the session cache. Selections
+    /// are byte-identical with speculation on or off (speculative answers
+    /// are the same deterministic outcomes, computed earlier); the cost
+    /// and benefit are measured by the engine's `speculative_issued` /
+    /// `speculative_hits` / `speculative_wasted` counters. Ignored by
+    /// SeqSel and by the non-batched execution paths.
+    pub speculate: bool,
 }
 
 impl Default for SelectConfig {
@@ -99,6 +110,7 @@ impl Default for SelectConfig {
             max_admissible_subset: usize::MAX,
             admissible_guard: 12,
             max_group: None,
+            speculate: false,
         }
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::key::{CiQuery, QueryKey};
 use crate::session::{BatchKind, CiSession};
-use fairsel_ci::{CiOutcome, CiQueryRef, CiTest, CiTestBatch, CiTestShared};
+use fairsel_ci::{CiOutcome, CiQueryRef, CiTest, CiTestBatch, CiTestShared, VarId};
 use std::time::Instant;
 
 /// Worker count the parallel scheduler defaults to: one per available
@@ -28,7 +28,7 @@ struct BatchPlan {
     hits: u64,
 }
 
-fn plan<T: CiTest>(session: &CiSession<T>, queries: &[CiQuery]) -> BatchPlan {
+fn plan<T: CiTest>(session: &mut CiSession<T>, queries: &[CiQuery]) -> BatchPlan {
     let mut plan = BatchPlan {
         results: vec![None; queries.len()],
         miss_keys: Vec::new(),
@@ -39,7 +39,7 @@ fn plan<T: CiTest>(session: &CiSession<T>, queries: &[CiQuery]) -> BatchPlan {
     let mut slot_of: std::collections::HashMap<QueryKey, usize> = std::collections::HashMap::new();
     for (i, q) in queries.iter().enumerate() {
         let key = q.key();
-        if let Some(hit) = session.cache_get(&key) {
+        if let Some(hit) = session.cache_get_tracked(&key) {
             plan.results[i] = Some(hit);
             plan.hits += 1;
             continue;
@@ -116,12 +116,13 @@ impl<T: CiTest> CiSession<T> {
 impl<T: CiTestShared> CiSession<T> {
     /// Evaluate a batch of independent queries across `workers` threads.
     ///
-    /// The unique cache misses are split into contiguous chunks, one per
-    /// worker; each worker evaluates through a shared reference
+    /// The unique cache misses are split into contiguous chunks dispatched
+    /// on the session's persistent [`crate::pool::WorkerPool`]; each
+    /// worker evaluates through a shared reference
     /// ([`CiTestShared::ci_shared`]), and results are reassembled by slot
     /// index — so the output is byte-identical to [`CiSession::run_batch`]
     /// regardless of thread scheduling. Small batches (or `workers <= 1`)
-    /// take the sequential path to avoid spawn overhead.
+    /// take the sequential path to avoid dispatch overhead.
     pub fn run_batch_parallel(&mut self, queries: &[CiQuery], workers: usize) -> Vec<CiOutcome> {
         let plan = plan(self, queries);
         let n_miss = plan.miss_repr.len();
@@ -152,23 +153,27 @@ impl<T: CiTestShared> CiSession<T> {
         let t0 = Instant::now();
         let repr: Vec<&CiQuery> = plan.miss_repr.iter().map(|&i| &queries[i]).collect();
         let chunk = n_miss.div_ceil(workers);
-        let tester = self.tester();
-        let mut evaluated: Vec<CiOutcome> = Vec::with_capacity(n_miss);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = repr
-                .chunks(chunk)
-                .map(|qs| {
-                    scope.spawn(move || {
-                        qs.iter()
-                            .map(|q| tester.ci_shared(&q.x, &q.y, &q.z))
-                            .collect::<Vec<CiOutcome>>()
-                    })
+        let chunks: Vec<&[&CiQuery]> = repr.chunks(chunk).collect();
+        let mut outs: Vec<Option<Vec<CiOutcome>>> = vec![None; chunks.len()];
+        let (tester, pool) = self.exec_parts(workers);
+        pool.run_scoped(
+            outs.iter_mut()
+                .zip(&chunks)
+                .map(|(slot, qs)| {
+                    move || {
+                        *slot = Some(
+                            qs.iter()
+                                .map(|q| tester.ci_shared(&q.x, &q.y, &q.z))
+                                .collect::<Vec<CiOutcome>>(),
+                        );
+                    }
                 })
-                .collect();
-            for h in handles {
-                evaluated.extend(h.join().expect("CI worker panicked"));
-            }
-        });
+                .collect(),
+        );
+        let evaluated: Vec<CiOutcome> = outs
+            .into_iter()
+            .flat_map(|o| o.expect("pool task completed"))
+            .collect();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         finish(self, queries, plan, evaluated, wall_ms, BatchKind::Parallel)
     }
@@ -205,9 +210,10 @@ impl<T: CiTestBatch> CiSession<T> {
 
     /// Parallel twin of [`CiSession::run_batch_batched`]: the unique
     /// misses are split into contiguous chunks, one `eval_batch` call per
-    /// worker, reassembled by slot index. The tester's shared caches make
-    /// the encoding pass common to all workers; results are byte-identical
-    /// to every other execution path regardless of worker count.
+    /// worker, dispatched on the persistent pool and reassembled by slot
+    /// index. The tester's shared caches make the encoding pass common to
+    /// all workers; results are byte-identical to every other execution
+    /// path regardless of worker count.
     pub fn run_batch_batched_parallel(
         &mut self,
         queries: &[CiQuery],
@@ -223,17 +229,19 @@ impl<T: CiTestBatch> CiSession<T> {
         let t0 = Instant::now();
         let repr = miss_repr_refs(&plan, queries);
         let chunk = n_miss.div_ceil(workers);
-        let tester = self.tester();
-        let mut evaluated: Vec<CiOutcome> = Vec::with_capacity(n_miss);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = repr
-                .chunks(chunk)
-                .map(|qs| scope.spawn(move || tester.eval_batch(qs)))
-                .collect();
-            for h in handles {
-                evaluated.extend(h.join().expect("CI batch worker panicked"));
-            }
-        });
+        let chunks: Vec<&[CiQueryRef<'_>]> = repr.chunks(chunk).collect();
+        let mut outs: Vec<Option<Vec<CiOutcome>>> = vec![None; chunks.len()];
+        let (tester, pool) = self.exec_parts(workers);
+        pool.run_scoped(
+            outs.iter_mut()
+                .zip(&chunks)
+                .map(|(slot, qs)| move || *slot = Some(tester.eval_batch(qs)))
+                .collect(),
+        );
+        let evaluated: Vec<CiOutcome> = outs
+            .into_iter()
+            .flat_map(|o| o.expect("pool task completed"))
+            .collect();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let out = finish(
             self,
@@ -256,6 +264,153 @@ impl<T: CiTestBatch> CiSession<T> {
         let evaluated = self.tester().eval_batch(&repr);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let out = finish(self, queries, plan, evaluated, wall_ms, BatchKind::Batched);
+        self.refresh_encode_stats();
+        out
+    }
+
+    /// The Z-grouped scheduler — the production batch path.
+    ///
+    /// The unique cache misses are partitioned by *canonical conditioning
+    /// set* and each group is evaluated through the tester's
+    /// [`CiTestBatch::eval_z_group`], so the per-`Z` scaffold
+    /// (stratification, design-matrix factorization, standardized
+    /// conditioning block) is built once per distinct set instead of once
+    /// per query. With `workers > 1` the groups are split into steal-able
+    /// chunks on the session's persistent worker pool — one shared deque,
+    /// so a giant group cannot serialize a frontier level — and results
+    /// are reassembled in input order; outcomes are byte-identical at
+    /// every worker count (the `eval_z_group` contract).
+    ///
+    /// `speculative` queries are predicted future work (e.g. the next
+    /// frontier level's halves): the ones not already cached or demanded
+    /// by this batch ride along in the same dispatch, are cached, and are
+    /// accounted under `speculative_issued` — never `issued` — until a
+    /// demanded query consumes them (`speculative_hits`). Speculation can
+    /// therefore never change results, only when they are computed, and
+    /// `issued + speculative_hits` is conserved against a
+    /// speculation-free run of the same workload.
+    pub fn run_batch_grouped(
+        &mut self,
+        queries: &[CiQuery],
+        speculative: &[CiQuery],
+        workers: usize,
+    ) -> Vec<CiOutcome> {
+        let plan = plan(self, queries);
+        let n_demand = plan.miss_repr.len();
+
+        // Accept each speculative key once, and only if nothing else —
+        // cache or this batch — already answers it.
+        let mut spec_keys: Vec<QueryKey> = Vec::new();
+        let mut spec_refs: Vec<CiQueryRef<'_>> = Vec::new();
+        if !speculative.is_empty() {
+            let demanded: std::collections::HashSet<&QueryKey> = plan.miss_keys.iter().collect();
+            let mut seen: std::collections::HashSet<QueryKey> = std::collections::HashSet::new();
+            for q in speculative {
+                let key = q.key();
+                if self.cache_get(&key).is_some()
+                    || demanded.contains(&key)
+                    || !seen.insert(key.clone())
+                {
+                    continue;
+                }
+                spec_keys.push(key);
+                spec_refs.push(CiQueryRef {
+                    x: &q.x,
+                    y: &q.y,
+                    z: &q.z,
+                });
+            }
+        }
+
+        // Demanded miss representatives first (slot order), speculative
+        // extras after; canonical conditioning sets come from the keys.
+        let mut items: Vec<CiQueryRef<'_>> = miss_repr_refs(&plan, queries);
+        items.extend(spec_refs);
+        let total = items.len();
+        let zs: Vec<&[VarId]> = plan
+            .miss_keys
+            .iter()
+            .chain(&spec_keys)
+            .map(|k| k.z())
+            .collect();
+
+        // Partition by conditioning set, first-occurrence order.
+        let mut group_of: std::collections::HashMap<&[VarId], usize> =
+            std::collections::HashMap::new();
+        let mut groups: Vec<(&[VarId], Vec<usize>)> = Vec::new();
+        for (i, &z) in zs.iter().enumerate() {
+            match group_of.get(z) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    group_of.insert(z, groups.len());
+                    groups.push((z, vec![i]));
+                }
+            }
+        }
+
+        let parallel = workers > 1 && total > 1;
+        let t0 = Instant::now();
+        let mut evaluated: Vec<Option<CiOutcome>> = vec![None; total];
+        if !parallel {
+            let tester = self.tester();
+            for (z, idxs) in &groups {
+                let refs: Vec<CiQueryRef<'_>> = idxs.iter().map(|&i| items[i]).collect();
+                let outs = tester.eval_z_group(z, &refs);
+                for (&i, o) in idxs.iter().zip(outs) {
+                    evaluated[i] = Some(o);
+                }
+            }
+        } else {
+            // Steal-able tasks: each Z-group is split into chunks bounded
+            // by total/(workers·4), so even one giant group spreads
+            // across the pool while small groups stay single-task.
+            let chunk = total.div_ceil(workers * 4).max(1);
+            let tasks: Vec<(&[VarId], Vec<usize>)> = groups
+                .iter()
+                .flat_map(|(z, idxs)| idxs.chunks(chunk).map(|c| (*z, c.to_vec())))
+                .collect();
+            let mut outs: Vec<Option<Vec<CiOutcome>>> = vec![None; tasks.len()];
+            let items_ref = &items;
+            let (tester, pool) = self.exec_parts(workers);
+            pool.run_scoped(
+                outs.iter_mut()
+                    .zip(&tasks)
+                    .map(|(slot, (z, idxs))| {
+                        move || {
+                            let refs: Vec<CiQueryRef<'_>> =
+                                idxs.iter().map(|&i| items_ref[i]).collect();
+                            *slot = Some(tester.eval_z_group(z, &refs));
+                        }
+                    })
+                    .collect(),
+            );
+            for ((_, idxs), outs) in tasks.iter().zip(outs) {
+                for (&i, o) in idxs.iter().zip(outs.expect("pool task completed")) {
+                    evaluated[i] = Some(o);
+                }
+            }
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let demand_out: Vec<CiOutcome> = evaluated[..n_demand]
+            .iter()
+            .map(|o| o.expect("demanded query evaluated"))
+            .collect();
+        let spec_out: Vec<CiOutcome> = evaluated[n_demand..]
+            .iter()
+            .map(|o| o.expect("speculative query evaluated"))
+            .collect();
+        drop(zs);
+        drop(groups);
+        let kind = if parallel {
+            BatchKind::GroupedParallel
+        } else {
+            BatchKind::Grouped
+        };
+        let out = finish(self, queries, plan, demand_out, wall_ms, kind);
+        for (key, o) in spec_keys.into_iter().zip(spec_out) {
+            self.cache_insert_speculative(key, o);
+        }
         self.refresh_encode_stats();
         out
     }
@@ -462,6 +617,92 @@ mod tests {
             assert_eq!(par.stats().issued, seq.stats().issued);
             assert_eq!(par.stats().batched_batches, 1);
         }
+    }
+
+    /// Queries spread over three conditioning sets, so the grouped
+    /// scheduler actually partitions.
+    fn grouped_queries(n: usize) -> Vec<CiQuery> {
+        (0..n)
+            .map(|i| CiQuery::new(&[i], &[i + 2], &[100 + i % 3]))
+            .collect()
+    }
+
+    #[test]
+    fn grouped_matches_per_query_paths() {
+        let qs = grouped_queries(57);
+        let mut seq = CiSession::new(GapCi::new(1024));
+        let reference = seq.run_batch(&qs);
+        for workers in [1usize, 2, 4] {
+            let mut s = CiSession::new(BatchGapCi::new(1024));
+            let got = s.run_batch_grouped(&qs, &[], workers);
+            assert_eq!(reference, got, "workers {workers}");
+            assert_eq!(s.stats().issued, seq.stats().issued);
+            assert_eq!(s.stats().grouped_batches, 1);
+            assert_eq!(s.stats().batched_batches, 1);
+            assert_eq!(
+                s.stats().parallel_batches,
+                u64::from(workers > 1),
+                "workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_accounts_and_conserves_issued() {
+        let qs = grouped_queries(30);
+        let (first, second) = qs.split_at(18);
+
+        // Reference: the same two batches without speculation.
+        let mut off = CiSession::new(BatchGapCi::new(1024));
+        off.run_batch_grouped(first, &[], 2);
+        let ref_second = off.run_batch_grouped(second, &[], 2);
+        let issued_off = off.stats().issued;
+
+        // Speculative run: the second batch rides along with the first.
+        let mut on = CiSession::new(BatchGapCi::new(1024));
+        on.run_batch_grouped(first, second, 2);
+        assert_eq!(on.stats().issued, 18, "speculation must not inflate issued");
+        assert_eq!(on.stats().speculative_issued, 12);
+        assert_eq!(on.stats().speculative_hits, 0);
+        assert_eq!(on.stats().speculative_wasted(), 12, "nothing consumed yet");
+        let got_second = on.run_batch_grouped(second, &[], 2);
+        assert_eq!(
+            ref_second, got_second,
+            "speculation must not change results"
+        );
+        assert_eq!(on.stats().speculative_hits, 12);
+        assert_eq!(on.stats().speculative_wasted(), 0);
+        assert_eq!(
+            on.stats().issued + on.stats().speculative_hits,
+            issued_off,
+            "issued is conserved: every speculative hit replaces one demand-issued test"
+        );
+        // A speculative hit is also an ordinary cache hit.
+        assert_eq!(on.stats().cache_hits, 12);
+    }
+
+    #[test]
+    fn speculation_skips_cached_demanded_and_duplicate_keys() {
+        let qs = grouped_queries(12);
+        let mut s = CiSession::new(BatchGapCi::new(1024));
+        s.run_batch_grouped(&qs[..4], &[], 1);
+        // Speculative list: already-cached keys, keys demanded by this
+        // very batch (plus a symmetric respelling), and one duplicate.
+        let mut spec: Vec<CiQuery> = qs[..8].to_vec();
+        spec.push(CiQuery::new(&qs[8].y, &qs[8].x, &qs[8].z)); // respelled dup of a fresh key
+        spec.push(qs[8].clone());
+        spec.push(qs[9].clone());
+        s.run_batch_grouped(&qs[4..8], &spec, 1);
+        assert_eq!(
+            s.stats().speculative_issued,
+            2,
+            "only the two genuinely new keys (8, 9) are speculated"
+        );
+        assert_eq!(s.stats().issued, 8);
+        // Consuming one of them counts exactly one hit.
+        s.run_batch_grouped(&qs[8..9], &[], 1);
+        assert_eq!(s.stats().speculative_hits, 1);
+        assert_eq!(s.stats().issued, 8, "query 8 was answered speculatively");
     }
 
     #[test]

@@ -74,6 +74,23 @@ impl HalvingPlanner {
         self.levels
     }
 
+    /// The groups the *next* frontier will contain for every current
+    /// group whose test fails: its left and right halves, in frontier
+    /// order. These are the predictable queries a speculative scheduler
+    /// can issue while the current level evaluates — if a group passes,
+    /// its halves' answers are wasted work; if it fails, the next level
+    /// is already cached. Groups of one have no halves (they exhaust).
+    pub fn speculative_halves(&self) -> Vec<Vec<VarId>> {
+        self.frontier
+            .iter()
+            .filter(|g| g.len() > 1)
+            .flat_map(|g| {
+                let mid = g.len() / 2;
+                [g[..mid].to_vec(), g[mid..].to_vec()]
+            })
+            .collect()
+    }
+
     /// Consume one verdict per frontier group (`true` = the group's test
     /// passed). Passing groups are admitted whole; failing singletons are
     /// exhausted; failing larger groups are split at the midpoint into the
@@ -149,9 +166,28 @@ pub fn exists_with<F>(
 where
     F: FnMut(&[CiQuery]) -> Vec<CiOutcome>,
 {
+    exists_with_spec(groups, target, alternatives, &[], |qs, _| run(qs))
+}
+
+/// [`exists_with`] with speculation: the closure receives the wave's
+/// demanded queries *and* a list of speculative extras to evaluate in the
+/// same dispatch. `speculative` — typically the later waves of this
+/// frontier plus the next level's halves — rides with wave 0 only; later
+/// waves then resolve from cache. The demanded query stream (and hence
+/// the certification result) is exactly that of [`exists_with`].
+pub fn exists_with_spec<F>(
+    groups: &[Vec<VarId>],
+    target: &[VarId],
+    alternatives: &[Vec<VarId>],
+    speculative: &[CiQuery],
+    mut run: F,
+) -> Vec<bool>
+where
+    F: FnMut(&[CiQuery], &[CiQuery]) -> Vec<CiOutcome>,
+{
     let mut certified = vec![false; groups.len()];
     let mut undecided: Vec<usize> = (0..groups.len()).collect();
-    for alt in alternatives {
+    for (wave, alt) in alternatives.iter().enumerate() {
         if undecided.is_empty() {
             break;
         }
@@ -159,7 +195,8 @@ where
             .iter()
             .map(|&g| CiQuery::new(&groups[g], target, alt))
             .collect();
-        let outcomes = run(&batch);
+        let spec = if wave == 0 { speculative } else { &[] };
+        let outcomes = run(&batch, spec);
         let mut still = Vec::with_capacity(undecided.len());
         for (&g, out) in undecided.iter().zip(&outcomes) {
             if out.independent {

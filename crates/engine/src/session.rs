@@ -1,8 +1,9 @@
 //! The memoizing session and its telemetry.
 
 use crate::key::QueryKey;
+use crate::pool::WorkerPool;
 use fairsel_ci::{CiOutcome, CiTest, EncodeStats, VarId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Telemetry for one phase of a session (e.g. "phase1", "skeleton-L2").
@@ -35,6 +36,17 @@ pub struct EngineStats {
     pub parallel_batches: u64,
     /// Batches routed through a batch-aware tester's `eval_batch`.
     pub batched_batches: u64,
+    /// Batches executed by the Z-grouped scheduler (conditioning-set
+    /// partitioning + `eval_z_group`, inline or on the worker pool).
+    pub grouped_batches: u64,
+    /// Queries evaluated *speculatively* — predicted next-level frontier
+    /// work issued ahead of demand while workers were available.
+    pub speculative_issued: u64,
+    /// Demanded queries answered by a speculatively computed outcome
+    /// (each speculated key is counted at most once, on first use, so
+    /// `issued + speculative_hits` of a speculative run equals `issued`
+    /// of the same workload without speculation).
+    pub speculative_hits: u64,
     /// Largest number of unique misses a single batch fanned out.
     pub max_batch: usize,
     /// Wall time spent inside tester evaluation, in milliseconds.
@@ -60,6 +72,47 @@ impl EngineStats {
         }
     }
 
+    /// Speculative work that has not (yet) answered a demanded query —
+    /// the cost side of the speculation policy's ledger.
+    pub fn speculative_wasted(&self) -> u64 {
+        self.speculative_issued
+            .saturating_sub(self.speculative_hits)
+    }
+
+    /// Counter deltas since an earlier snapshot of the *same* session —
+    /// what one request (or one method of a shared-session sweep) cost on
+    /// its own. Every counter is a delta, including the encode-cache
+    /// fields (accurate when both snapshots were taken after a
+    /// `refresh_encode_stats`, as the shared-session sweep does). The two
+    /// exceptions, by nature: `max_batch` is a high-water mark (carried
+    /// as-is) and per-phase breakdowns are cumulative bookkeeping (not
+    /// carried over).
+    pub fn delta_since(&self, before: &EngineStats) -> EngineStats {
+        EngineStats {
+            requested: self.requested - before.requested,
+            issued: self.issued - before.issued,
+            cache_hits: self.cache_hits - before.cache_hits,
+            batches: self.batches - before.batches,
+            parallel_batches: self.parallel_batches - before.parallel_batches,
+            batched_batches: self.batched_batches - before.batched_batches,
+            grouped_batches: self.grouped_batches - before.grouped_batches,
+            speculative_issued: self.speculative_issued - before.speculative_issued,
+            speculative_hits: self.speculative_hits - before.speculative_hits,
+            max_batch: self.max_batch,
+            wall_ms: self.wall_ms - before.wall_ms,
+            encode_cache_hits: self
+                .encode_cache_hits
+                .saturating_sub(before.encode_cache_hits),
+            encode_cache_misses: self
+                .encode_cache_misses
+                .saturating_sub(before.encode_cache_misses),
+            encode_cache_evictions: self
+                .encode_cache_evictions
+                .saturating_sub(before.encode_cache_evictions),
+            phases: Vec::new(),
+        }
+    }
+
     /// Serialize to a self-contained JSON object (no external deps — the
     /// bench files only need numbers and short ASCII labels).
     pub fn to_json(&self) -> String {
@@ -79,6 +132,30 @@ impl EngineStats {
             &mut s,
             "batched_batches",
             self.batched_batches as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "grouped_batches",
+            self.grouped_batches as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "speculative_issued",
+            self.speculative_issued as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "speculative_hits",
+            self.speculative_hits as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "speculative_wasted",
+            self.speculative_wasted() as f64,
             false,
         );
         push_kv(&mut s, "max_batch", self.max_batch as f64, false);
@@ -149,6 +226,11 @@ pub(crate) enum BatchKind {
     Batched,
     /// `eval_batch` chunks fanned across the worker pool.
     BatchedParallel,
+    /// Z-grouped scheduling (`eval_z_group` per conditioning-set group),
+    /// evaluated inline.
+    Grouped,
+    /// Z-grouped scheduling with group chunks on the persistent pool.
+    GroupedParallel,
 }
 
 /// A memoizing execution session around any CI tester.
@@ -170,6 +252,13 @@ pub struct CiSession<T> {
     stats: EngineStats,
     /// Index into `stats.phases` receiving current accounting.
     current_phase: Option<usize>,
+    /// Long-lived worker pool for the parallel schedulers, spawned on
+    /// first use and kept for the session's lifetime (rebuilt only when a
+    /// batch asks for a different worker count).
+    pool: Option<WorkerPool>,
+    /// Speculatively computed keys not yet consumed by a demanded query —
+    /// the ledger behind `speculative_hits` (each key counted once).
+    spec_pending: HashSet<QueryKey>,
 }
 
 impl<T: CiTest> CiSession<T> {
@@ -180,6 +269,8 @@ impl<T: CiTest> CiSession<T> {
             cache: HashMap::new(),
             stats: EngineStats::default(),
             current_phase: None,
+            pool: None,
+            spec_pending: HashSet::new(),
         }
     }
 
@@ -188,7 +279,7 @@ impl<T: CiTest> CiSession<T> {
         let key = QueryKey::new(x, y, z);
         self.stats.requested += 1;
         self.bump_phase(|p| p.requested += 1);
-        if let Some(&hit) = self.cache.get(&key) {
+        if let Some(hit) = self.cache_get_tracked(&key) {
             self.stats.cache_hits += 1;
             self.bump_phase(|p| p.cache_hits += 1);
             return hit;
@@ -267,12 +358,51 @@ impl<T: CiTest> CiSession<T> {
         self.cache.get(key).copied()
     }
 
+    /// Cache lookup that also settles the speculation ledger: the first
+    /// demanded hit on a speculatively computed key books one
+    /// `speculative_hit` and retires the key.
+    pub(crate) fn cache_get_tracked(&mut self, key: &QueryKey) -> Option<CiOutcome> {
+        let hit = self.cache.get(key).copied();
+        if hit.is_some() && self.spec_pending.remove(key) {
+            self.stats.speculative_hits += 1;
+        }
+        hit
+    }
+
     pub(crate) fn cache_insert(&mut self, key: QueryKey, out: CiOutcome) {
         self.cache.insert(key, out);
     }
 
+    /// Record a speculatively evaluated key: cached like any outcome, but
+    /// accounted under `speculative_issued` (not `issued`) until a
+    /// demanded query consumes it.
+    pub(crate) fn cache_insert_speculative(&mut self, key: QueryKey, out: CiOutcome) {
+        self.cache.insert(key.clone(), out);
+        self.spec_pending.insert(key);
+        self.stats.speculative_issued += 1;
+    }
+
     pub(crate) fn tester_mut(&mut self) -> &mut T {
         &mut self.tester
+    }
+
+    /// Borrow the tester and the (lazily spawned) worker pool together —
+    /// the two shared references a parallel batch dispatch needs.
+    ///
+    /// The pool only ever *grows* to the high-water worker count: a
+    /// long-lived session serving callers with different `workers` values
+    /// (the server registry deliberately shares sessions across that
+    /// knob) must not tear threads down and respawn them per batch. Idle
+    /// threads sleep on a condvar and cost nothing; a smaller request's
+    /// chunks may therefore run with more concurrency than it asked for,
+    /// which can only finish sooner and — by the byte-identity contract —
+    /// never changes results.
+    pub(crate) fn exec_parts(&mut self, workers: usize) -> (&T, &WorkerPool) {
+        let grow = self.pool.as_ref().is_none_or(|p| p.threads() < workers);
+        if grow {
+            self.pool = Some(WorkerPool::new(workers));
+        }
+        (&self.tester, self.pool.as_ref().expect("pool just ensured"))
     }
 
     /// Overwrite the cumulative encoding-cache counters (read back from a
@@ -296,11 +426,23 @@ impl<T: CiTest> CiSession<T> {
         st.issued += issued;
         st.cache_hits += hits;
         st.batches += 1;
-        if matches!(kind, BatchKind::Parallel | BatchKind::BatchedParallel) {
+        if matches!(
+            kind,
+            BatchKind::Parallel | BatchKind::BatchedParallel | BatchKind::GroupedParallel
+        ) {
             st.parallel_batches += 1;
         }
-        if matches!(kind, BatchKind::Batched | BatchKind::BatchedParallel) {
+        if matches!(
+            kind,
+            BatchKind::Batched
+                | BatchKind::BatchedParallel
+                | BatchKind::Grouped
+                | BatchKind::GroupedParallel
+        ) {
             st.batched_batches += 1;
+        }
+        if matches!(kind, BatchKind::Grouped | BatchKind::GroupedParallel) {
+            st.grouped_batches += 1;
         }
         st.max_batch = st.max_batch.max(issued as usize);
         st.wall_ms += wall_ms;

@@ -127,6 +127,10 @@ pub struct WorkloadRequest {
     pub alpha: f64,
     pub workers: usize,
     pub max_group: MaxGroupSpec,
+    /// Speculative frontier scheduling (`SelectConfig::speculate`) — an
+    /// execution knob: selections are byte-identical either way, so like
+    /// `workers` it does not shard the session registry.
+    pub speculate: bool,
     pub train_frac: f64,
     pub seed: u64,
     pub classifier: String,
@@ -141,6 +145,7 @@ impl Default for WorkloadRequest {
             alpha: 0.01,
             workers: 1,
             max_group: MaxGroupSpec::None,
+            speculate: false,
             train_frac: 0.7,
             seed: 0,
             classifier: "logistic".into(),
@@ -158,6 +163,7 @@ impl WorkloadRequest {
             ("alpha", Json::Num(self.alpha)),
             ("workers", Json::Num(self.workers as f64)),
             ("max_group", self.max_group.to_json()),
+            ("speculate", Json::Bool(self.speculate)),
             ("train_frac", Json::Num(self.train_frac)),
             // Seeds are full u64s; JSON numbers are f64 and would silently
             // round seeds above 2^53 — travel as a decimal string instead,
@@ -183,6 +189,7 @@ impl WorkloadRequest {
             alpha: v.get_num("alpha").unwrap_or(d.alpha),
             workers: v.get_u64("workers").unwrap_or(d.workers as u64) as usize,
             max_group: MaxGroupSpec::from_json(v.get("max_group"))?,
+            speculate: v.get_bool("speculate").unwrap_or(d.speculate),
             train_frac: v.get_num("train_frac").unwrap_or(d.train_frac),
             seed,
             classifier: v.get_str("classifier").unwrap_or(&d.classifier).to_owned(),
@@ -374,6 +381,7 @@ mod tests {
                 alpha: 0.05,
                 workers: 4,
                 max_group: MaxGroupSpec::Auto,
+                speculate: true,
                 train_frac: 0.8,
                 // Above 2^53: would corrupt silently if sent as a JSON
                 // number.

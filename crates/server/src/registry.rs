@@ -24,8 +24,8 @@
 use crate::proto::{CacheInfo, MaxGroupSpec, WorkloadRequest};
 use fairsel_ci::{CiTestBatch, FisherZ, GTest};
 use fairsel_core::{
-    render_pipeline_report, run_pipeline_batched_in, ClassifierKind, PipelineConfig, SelectConfig,
-    SelectionAlgo,
+    render_methods_report, render_pipeline_report, run_all_methods_in, run_pipeline_batched_in,
+    ClassifierKind, PipelineConfig, Problem, SelectConfig, SelectionAlgo,
 };
 use fairsel_engine::CiSession;
 use fairsel_table::{csv, ColumnData, EncodedTable, Table};
@@ -207,6 +207,47 @@ impl Registry {
         Ok((body, stats_json, cache))
     }
 
+    /// Serve one `methods` workload — the full baseline sweep (a-only /
+    /// all / seqsel / grpsel / fair-pc) — **inside** the request's shared
+    /// registry session, so the sweep shares the per-dataset CI-outcome
+    /// dedup (and the Z-grouped batch path) with every other request:
+    /// Fair-PC's marginal layer overlaps SeqSel's ∅-subset queries, GrpSel
+    /// reuses SeqSel's singleton probes, and a warm repeat issues almost
+    /// nothing. Per-method telemetry in the body therefore reports
+    /// post-dedup costs.
+    pub fn methods(&self, req: &WorkloadRequest) -> Result<(String, String, CacheInfo), String> {
+        let table = csv::from_csv_string(&req.csv).map_err(|e| format!("parsing csv: {e}"))?;
+        if table.n_rows() < 10 {
+            return Err(format!("too few rows ({})", table.n_rows()));
+        }
+        let fingerprint = fingerprint_table(&table);
+        let key = self.workload_key(fingerprint, req);
+        let state = self.get_or_insert(key, fingerprint, &table, req)?;
+        drop(table);
+
+        let mut guard = state.lock().expect("workload lock");
+        let w = &mut *guard;
+        let cfg = pipeline_config(req, w.train.n_rows())?;
+        let train = Arc::clone(&w.train);
+        let outs = run_all_methods_in(&mut w.session, &train, &w.test, &cfg);
+        w.sessions_served += 1;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let problem = Problem::from_table(&w.train);
+        let body = render_methods_report(&outs, problem.n_features());
+        let stats_json = w.session.stats().to_json();
+        let enc_stats = w.session.tester().encode_cache_stats();
+        let cache = CacheInfo {
+            fingerprint,
+            sessions_served: w.sessions_served,
+            shared_hits: w.session.stats().cache_hits,
+            encode_hits: enc_stats.hits,
+            encode_misses: enc_stats.misses,
+            encode_evictions: enc_stats.evictions,
+            dataset_evictions: self.evictions(),
+        };
+        Ok((body, stats_json, cache))
+    }
+
     /// Session key: dataset fingerprint + the knobs that define the
     /// session's ground truth. See the module docs for what deliberately
     /// does *not* shard.
@@ -313,6 +354,7 @@ pub fn pipeline_config(req: &WorkloadRequest, train_rows: usize) -> Result<Pipel
     Ok(PipelineConfig {
         select: SelectConfig {
             max_group,
+            speculate: req.speculate,
             ..SelectConfig::default()
         },
         algo,

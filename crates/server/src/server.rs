@@ -8,11 +8,7 @@
 
 use crate::json::Json;
 use crate::proto::{read_json, write_json, Request, Response};
-use crate::registry::{pipeline_config, Registry, RegistryConfig};
-use fairsel_core::run_all_methods;
-use fairsel_table::csv;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::registry::{Registry, RegistryConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -132,7 +128,20 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
                 },
                 false,
             ),
-            Ok(Request::Methods(req)) => (methods_response(&req), false),
+            Ok(Request::Methods(req)) => (
+                match state.registry.methods(&req) {
+                    Ok((body, stats_json, cache)) => {
+                        let stats = Json::parse(&stats_json).ok();
+                        Response::Ok {
+                            body,
+                            stats,
+                            cache: Some(cache),
+                        }
+                    }
+                    Err(e) => Response::Err(e),
+                },
+                false,
+            ),
         };
         write_json(&mut stream, &response.to_json())?;
         if stop {
@@ -157,37 +166,6 @@ fn stats_response(state: &ServerState) -> Response {
         ])),
         cache: None,
     }
-}
-
-/// `methods` runs the full baseline sweep. The sweep constructs one
-/// fresh tester per method (matching the local CLI byte for byte), so it
-/// does not route through the shared registry sessions; it is served for
-/// completeness and parity with `fairsel methods`.
-fn methods_response(req: &crate::proto::WorkloadRequest) -> Response {
-    let table = match csv::from_csv_string(&req.csv) {
-        Ok(t) => t,
-        Err(e) => return Response::Err(format!("parsing csv: {e}")),
-    };
-    if table.n_rows() < 10 {
-        return Response::Err(format!("too few rows ({})", table.n_rows()));
-    }
-    let mut rng = StdRng::seed_from_u64(req.seed);
-    let (train, test) = table.split_train_test(&mut rng, req.train_frac);
-    let cfg = match pipeline_config(req, train.n_rows()) {
-        Ok(c) => c,
-        Err(e) => return Response::Err(e),
-    };
-    let spec = match req.tester.as_str() {
-        "gtest" => fairsel_core::TesterSpec::GTest { alpha: req.alpha },
-        "fisherz" => fairsel_core::TesterSpec::FisherZ { alpha: req.alpha },
-        other => return Response::Err(format!("unknown tester: {other} (gtest|fisherz)")),
-    };
-    let outs = run_all_methods(&spec, None, &train, &test, &cfg);
-    let problem = fairsel_core::Problem::from_table(&train);
-    Response::ok(fairsel_core::render_methods_report(
-        &outs,
-        problem.n_features(),
-    ))
 }
 
 /// One-shot client: connect, send one request, read one response. The
@@ -218,7 +196,7 @@ pub fn request(addr: &str, req: &Request) -> io::Result<Response> {
 mod tests {
     use super::*;
     use crate::proto::WorkloadRequest;
-    use fairsel_table::{Column, Role, Table};
+    use fairsel_table::{csv, Column, Role, Table};
 
     fn csv_text(rows: usize) -> String {
         let t = Table::new(vec![
@@ -322,24 +300,66 @@ mod tests {
     }
 
     #[test]
-    fn methods_request_served() {
+    fn methods_request_served_through_shared_session() {
         let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
         let addr = server.local_addr().to_string();
         let handle = server.spawn();
-        let resp = request(
-            &addr,
-            &Request::Methods(WorkloadRequest {
-                csv: csv_text(240),
-                ..Default::default()
-            }),
-        )
-        .unwrap();
-        let Response::Ok { body, .. } = resp else {
+        let req = Request::Methods(WorkloadRequest {
+            csv: csv_text(240),
+            ..Default::default()
+        });
+        let resp = request(&addr, &req).unwrap();
+        let Response::Ok { body, cache, .. } = resp else {
             panic!("methods failed: {resp:?}");
         };
         for m in ["a-only", "all", "seqsel", "grpsel", "fair-pc"] {
             assert!(body.contains(m), "missing {m} in {body}");
         }
+        let cache = cache.expect("methods response carries cache info");
+        assert_eq!(cache.sessions_served, 1);
+        // Even a cold sweep dedups across methods (Fair-PC's marginal
+        // layer overlaps SeqSel's ∅-subset queries).
+        assert!(cache.shared_hits > 0, "cross-method dedup expected");
+
+        // Warm repeat: the sweep runs inside the same registry session,
+        // so the replay is (almost) entirely shared-memo hits.
+        let resp = request(&addr, &req).unwrap();
+        let Response::Ok {
+            body: body2,
+            cache: cache2,
+            ..
+        } = resp
+        else {
+            panic!("warm methods failed");
+        };
+        assert_eq!(body2.lines().next(), body.lines().next());
+        let cache2 = cache2.unwrap();
+        assert_eq!(cache2.sessions_served, 2);
+        assert!(
+            cache2.shared_hits > cache.shared_hits,
+            "warm methods call must hit the shared session memo ({} !> {})",
+            cache2.shared_hits,
+            cache.shared_hits
+        );
+
+        // A `select` on the same dataset shares the very same session:
+        // it is answered from the sweep's warmed cache.
+        let sel = request(
+            &addr,
+            &Request::Select(WorkloadRequest {
+                csv: csv_text(240),
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+        let Response::Ok {
+            cache: sel_cache, ..
+        } = sel
+        else {
+            panic!("select after methods failed");
+        };
+        let sel_cache = sel_cache.unwrap();
+        assert_eq!(sel_cache.sessions_served, 3, "one session serves all three");
         handle.shutdown();
     }
 }

@@ -652,6 +652,221 @@ mod batch_equivalence {
 }
 
 #[cfg(test)]
+mod grouped_equivalence {
+    //! The Z-grouped scheduler contract, verified for every batch-aware
+    //! data tester: `eval_z_group` — called directly with the canonical
+    //! conditioning set, or through the engine's grouped scheduler
+    //! (`run_batch_grouped`) at workers 1/2/4/8 — returns outcomes
+    //! **byte-identical** to sequential per-query `ci_shared`, on
+    //! workloads with duplicated and symmetrically-respelled conditioning
+    //! sets; and GrpSel selections are byte-identical with speculation on
+    //! or off, with `issued` conserved.
+
+    use fairsel_ci::{
+        CiOutcome, CiQueryRef, CiTestBatch, FisherZ, GTest, PermutationCmi, Rcit, VarId,
+    };
+    use fairsel_core::{grpsel_batched_in, Problem, SelectConfig};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_engine::{CiQuery, CiSession};
+    use fairsel_table::Table;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sampled(seed: u64, n_features: usize, rows: usize) -> Table {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.25,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    }
+
+    /// A frontier-shaped workload: many queries share few conditioning
+    /// sets (the Z-group structure), with deliberate repeats, reordered /
+    /// duplicated conditioning spellings, and symmetric side swaps.
+    fn grouped_workload(rng: &mut StdRng, n_vars: usize, count: usize) -> Vec<CiQuery> {
+        let zsets: Vec<Vec<VarId>> = vec![
+            vec![],
+            vec![rng.gen_range(0..n_vars)],
+            (0..3).map(|_| rng.gen_range(0..n_vars)).collect(),
+        ];
+        let mut out = Vec::with_capacity(count * 2);
+        for _ in 0..count {
+            let xlen = rng.gen_range(1..=3usize);
+            let x: Vec<VarId> = (0..xlen).map(|_| rng.gen_range(0..n_vars)).collect();
+            let y = vec![rng.gen_range(0..n_vars)];
+            let z = &zsets[rng.gen_range(0..zsets.len())];
+            out.push(CiQuery::new(&x, &y, z));
+            match rng.gen_range(0..3) {
+                0 => {
+                    // Symmetric respelling of the same query.
+                    out.push(CiQuery::new(&y, &x, z));
+                }
+                1 => {
+                    // Same conditioning set, reordered with a duplicate.
+                    let mut respelled = z.clone();
+                    respelled.reverse();
+                    if let Some(&v) = respelled.first() {
+                        respelled.push(v);
+                    }
+                    out.push(CiQuery::new(&x, &y, &respelled));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Run one tester through every grouped execution shape and compare
+    /// to sequential per-query evaluation.
+    fn assert_grouped_equivalence<T, F>(make: F, queries: &[CiQuery], label: &str)
+    where
+        T: CiTestBatch,
+        F: Fn() -> T,
+    {
+        let reference: Vec<CiOutcome> = {
+            let t = make();
+            queries
+                .iter()
+                .map(|q| t.ci_shared(&q.x, &q.y, &q.z))
+                .collect()
+        };
+        // Direct trait call, one group per canonical conditioning set.
+        {
+            let t = make();
+            let mut order: Vec<Vec<VarId>> = Vec::new();
+            let mut members: Vec<Vec<usize>> = Vec::new();
+            for (i, q) in queries.iter().enumerate() {
+                let mut zkey = q.z.clone();
+                zkey.sort_unstable();
+                zkey.dedup();
+                match order.iter().position(|z| *z == zkey) {
+                    Some(g) => members[g].push(i),
+                    None => {
+                        order.push(zkey);
+                        members.push(vec![i]);
+                    }
+                }
+            }
+            for (zkey, idxs) in order.iter().zip(&members) {
+                let refs: Vec<CiQueryRef<'_>> = idxs
+                    .iter()
+                    .map(|&i| CiQueryRef {
+                        x: &queries[i].x,
+                        y: &queries[i].y,
+                        z: &queries[i].z,
+                    })
+                    .collect();
+                let outs = t.eval_z_group(zkey, &refs);
+                for (&i, out) in idxs.iter().zip(&outs) {
+                    assert_eq!(
+                        reference[i], *out,
+                        "{label}: direct eval_z_group diverged at query {i}"
+                    );
+                }
+            }
+        }
+        // Engine-routed grouped scheduler at every worker count.
+        for workers in [1usize, 2, 4, 8] {
+            let t = make();
+            let mut session = CiSession::new(&t);
+            let got = session.run_batch_grouped(queries, &[], workers);
+            assert_eq!(
+                reference, got,
+                "{label}: grouped scheduler (workers={workers}) diverged"
+            );
+            assert_eq!(session.stats().grouped_batches, 1);
+        }
+    }
+
+    #[test]
+    fn gtest_and_fisherz_grouped_equivalence() {
+        let table = sampled(61, 12, 900);
+        let n_vars = table.n_cols();
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let queries = grouped_workload(&mut rng, n_vars, 30);
+            assert_grouped_equivalence(|| GTest::new(&table, 0.01), &queries, "g-test");
+            assert_grouped_equivalence(|| FisherZ::new(&table, 0.01), &queries, "fisher-z");
+        }
+    }
+
+    #[test]
+    fn perm_cmi_and_rcit_grouped_equivalence() {
+        let table = sampled(67, 8, 300);
+        let n_vars = table.n_cols();
+        let mut rng = StdRng::seed_from_u64(700);
+        let queries = grouped_workload(&mut rng, n_vars, 10);
+        assert_grouped_equivalence(
+            || PermutationCmi::new(&table, 0.05, 19, 7),
+            &queries,
+            "perm-cmi",
+        );
+        assert_grouped_equivalence(|| Rcit::with_alpha(&table, 0.01, 5), &queries, "rcit");
+    }
+
+    /// Wide-arity group sides exercise the dense/hashed boundary of the
+    /// grouped G computation (the dense cell space overflows its budget
+    /// and must fall back byte-identically).
+    #[test]
+    fn gtest_grouped_equivalence_on_wide_group_sides() {
+        let table = sampled(71, 30, 500);
+        let n_vars = table.n_cols();
+        let mut rng = StdRng::seed_from_u64(900);
+        let mut queries = Vec::new();
+        for _ in 0..12 {
+            let xlen = rng.gen_range(8..=14usize);
+            let x: Vec<VarId> = (0..xlen).map(|_| rng.gen_range(0..n_vars)).collect();
+            let y = vec![rng.gen_range(0..n_vars)];
+            let z: Vec<VarId> = (0..2).map(|_| rng.gen_range(0..n_vars)).collect();
+            queries.push(CiQuery::new(&x, &y, &z));
+        }
+        assert_grouped_equivalence(|| GTest::new(&table, 0.01), &queries, "g-test/wide");
+    }
+
+    /// Speculation on/off: byte-identical selections at every worker
+    /// count, and exact conservation of issued work
+    /// (`issued_spec + speculative_hits == issued_plain`).
+    #[test]
+    fn speculation_preserves_selections_and_conserves_issued() {
+        let table = sampled(73, 20, 1500);
+        let problem = Problem::from_table(&table);
+        let base_cfg = SelectConfig {
+            max_group: Some(5),
+            ..Default::default()
+        };
+        let mut plain_session = CiSession::new(GTest::new(&table, 0.01));
+        let plain = grpsel_batched_in(&mut plain_session, &problem, &base_cfg, None, 1);
+        let plain_issued = plain_session.stats().issued;
+        assert_eq!(plain_session.stats().speculative_issued, 0);
+
+        let spec_cfg = SelectConfig {
+            speculate: true,
+            ..base_cfg.clone()
+        };
+        for workers in [1usize, 4, 8] {
+            let mut session = CiSession::new(GTest::new(&table, 0.01));
+            let got = grpsel_batched_in(&mut session, &problem, &spec_cfg, None, workers);
+            assert_eq!(plain.c1, got.c1, "workers {workers}");
+            assert_eq!(plain.c2, got.c2, "workers {workers}");
+            assert_eq!(plain.rejected, got.rejected, "workers {workers}");
+            let stats = session.stats();
+            assert!(stats.speculative_issued > 0, "workers {workers}");
+            assert_eq!(
+                stats.issued + stats.speculative_hits,
+                plain_issued,
+                "workers {workers}: speculation must conserve issued work"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
 mod wide_group_power {
     //! The `max_group` knob: on wide discrete data the all-features root
     //! group is statistically vacuous (one category per row ⇒ no degrees
