@@ -52,6 +52,10 @@ pub struct BenchResult {
     pub speculative_hits: u64,
     /// End-to-end selection wall time, milliseconds (median of repeats).
     pub wall_ms: f64,
+    /// Request payload bytes shipped over the wire per request (frame
+    /// header included) — `0` for non-serving scenarios. The
+    /// fp-addressed serving row proves warm requests shrink to bytes.
+    pub req_bytes: u64,
     /// Features the run selected.
     pub selected: usize,
 }
@@ -63,7 +67,7 @@ impl BenchResult {
              \"requested\":{},\"issued\":{},\"cache_hits\":{},\
              \"speculative_issued\":{},\"speculative_hits\":{},\
              \"encode_hits\":{},\"encode_misses\":{},\
-             \"wall_ms\":{:.3},\"selected\":{}}}",
+             \"wall_ms\":{:.3},\"req_bytes\":{},\"selected\":{}}}",
             self.scenario,
             self.algo,
             self.n_features,
@@ -75,6 +79,7 @@ impl BenchResult {
             self.encode_hits,
             self.encode_misses,
             self.wall_ms,
+            self.req_bytes,
             self.selected
         )
     }
@@ -130,6 +135,7 @@ where
         speculative_issued: stats.speculative_issued,
         speculative_hits: stats.speculative_hits,
         wall_ms,
+        req_bytes: 0,
         selected,
     }
 }
@@ -403,6 +409,17 @@ fn modes_for<T, F>(
     }));
 }
 
+/// Selected-feature count reported in a `select` response body: the
+/// quoted admitted names on the c1/c2 report lines. One definition for
+/// every serving scenario, so a report-format change cannot silently
+/// zero one scenario's `selected` column while another keeps parsing.
+fn selected_in_body(body: &str) -> usize {
+    body.lines()
+        .filter(|l| l.starts_with("c1 ") || l.starts_with("c2 "))
+        .map(|l| l.matches('"').count() / 2)
+        .sum()
+}
+
 /// The serving story: cold vs warm request latency against an in-process
 /// `fairsel-server`. The same `select` workload is sent twice over TCP;
 /// the first request pays CSV parse + split + encode + every CI test, the
@@ -430,10 +447,11 @@ pub fn serve_cold_warm(n_features: usize, rows: usize) -> Vec<BenchResult> {
     let addr = server.local_addr().to_string();
     let handle = server.spawn();
     let req = Request::Select(WorkloadRequest {
-        csv: csv_text,
+        dataset: fairsel_server::DatasetRef::Csv(csv_text),
         max_group: fairsel_server::MaxGroupSpec::Auto,
         ..Default::default()
     });
+    let req_bytes = (req.to_json().to_string().len() + 4) as u64;
 
     let scenario = format!("serve/n={n_features}/rows={rows}");
     let shoot = |algo: &str, prev: Option<&BenchResult>| -> BenchResult {
@@ -446,12 +464,7 @@ pub fn serve_cold_warm(n_features: usize, rows: usize) -> Vec<BenchResult> {
         let stats = stats.expect("select response carries stats");
         let cache = cache.expect("select response carries cache info");
         let num = |k: &str| stats.get_u64(k).unwrap_or(0);
-        // Selected features: the admitted names on the c1/c2 report lines.
-        let selected = body
-            .lines()
-            .filter(|l| l.starts_with("c1 ") || l.starts_with("c2 "))
-            .map(|l| l.matches('"').count() / 2)
-            .sum();
+        let selected = selected_in_body(&body);
         let (mut requested, mut issued, mut hits) =
             (num("requested"), num("issued"), num("cache_hits"));
         if let Some(p) = prev {
@@ -471,6 +484,7 @@ pub fn serve_cold_warm(n_features: usize, rows: usize) -> Vec<BenchResult> {
             speculative_issued: num("speculative_issued"),
             speculative_hits: num("speculative_hits"),
             wall_ms,
+            req_bytes,
             selected,
         }
     };
@@ -478,6 +492,149 @@ pub fn serve_cold_warm(n_features: usize, rows: usize) -> Vec<BenchResult> {
     let warm = shoot("serve-warm", Some(&cold));
     handle.shutdown();
     vec![cold, warm]
+}
+
+/// The concurrent-serving story, the regime the bounded acceptor exists
+/// for: `clients` parallel clients fire the same `select` workload at
+/// one server in three waves — cold inline CSV (every client ships the
+/// dataset, the first one pays the CI tests), warm inline CSV (cached
+/// answers, but still megabyte-scale requests), and fingerprint-addressed
+/// after a single `put` (cached answers *and* requests of a few hundred
+/// bytes). Per-wave counters are deltas of the session's cumulative
+/// engine stats; `req_bytes` is the per-request frame size, the
+/// acceptance signal being the warm-fp row's `issued == 0` with
+/// `req_bytes < 1024`.
+pub fn serve_concurrent(n_features: usize, rows: usize, clients: usize) -> Vec<BenchResult> {
+    use fairsel_server::{
+        put_dataset, request, DatasetRef, Request, Response, ServeConfig, Server, WorkloadRequest,
+    };
+
+    let cfg = SyntheticConfig {
+        n_features,
+        biased_fraction: 0.2,
+        predictive_fraction: 0.25,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = synthetic_instance(&mut rng, &cfg);
+    let scm = synthetic_scm(&mut rng, &inst, 1.5);
+    let table = sample_table(&scm, &inst.roles, rows, &mut rng);
+    let csv_text = fairsel_table::csv::to_csv_string(&table);
+    let codec_bytes = fairsel_table::encode_table(&table);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            // Headroom above the client count: this scenario measures
+            // concurrent throughput, not shedding.
+            max_conns: clients * 2 + 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let workload = |dataset: DatasetRef| {
+        Request::Select(WorkloadRequest {
+            dataset,
+            max_group: fairsel_server::MaxGroupSpec::Auto,
+            ..Default::default()
+        })
+    };
+    let scenario = format!("serve/concurrent/n={n_features}/rows={rows}/clients={clients}");
+
+    // One wave: all clients issue `req` concurrently; counters are the
+    // delta of the session's cumulative stats across the wave (the
+    // maximum over responses is the value at the last completion).
+    let mut cum = (0u64, 0u64, 0u64);
+    let mut wave = |algo: &str, req: &Request| -> BenchResult {
+        let req_bytes = (req.to_json().to_string().len() + 4) as u64;
+        let t0 = Instant::now();
+        let outcomes: Vec<(u64, u64, u64, u64, u64, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let addr = &addr;
+                    scope.spawn(move || {
+                        let resp = request(addr, req).expect("concurrent request");
+                        let Response::Ok { body, stats, cache } = resp else {
+                            panic!("concurrent request failed: {resp:?}");
+                        };
+                        let stats = stats.expect("select carries stats");
+                        let cache = cache.expect("select carries cache info");
+                        let num = |k: &str| stats.get_u64(k).unwrap_or(0);
+                        let selected = selected_in_body(&body);
+                        (
+                            num("requested"),
+                            num("issued"),
+                            num("cache_hits"),
+                            cache.encode_hits,
+                            cache.encode_misses,
+                            selected,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let after = (
+            outcomes.iter().map(|o| o.0).max().unwrap_or(0),
+            outcomes.iter().map(|o| o.1).max().unwrap_or(0),
+            outcomes.iter().map(|o| o.2).max().unwrap_or(0),
+        );
+        let row = BenchResult {
+            scenario: scenario.clone(),
+            algo: algo.to_owned(),
+            n_features,
+            requested: after.0 - cum.0,
+            issued: after.1 - cum.1,
+            cache_hits: after.2 - cum.2,
+            encode_hits: outcomes.iter().map(|o| o.3).max().unwrap_or(0),
+            encode_misses: outcomes.iter().map(|o| o.4).max().unwrap_or(0),
+            speculative_issued: 0,
+            speculative_hits: 0,
+            wall_ms,
+            req_bytes,
+            selected: outcomes.first().map_or(0, |o| o.5),
+        };
+        cum = after;
+        row
+    };
+
+    let cold = wave(
+        "serve-cold-csv",
+        &workload(DatasetRef::Csv(csv_text.clone())),
+    );
+    let warm_csv = wave("serve-warm-csv", &workload(DatasetRef::Csv(csv_text)));
+
+    // Upload once, then every client addresses the dataset by fingerprint.
+    let t0 = Instant::now();
+    let resp = put_dataset(&addr, &codec_bytes).expect("put");
+    let put_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let Response::Ok { body: fp_hex, .. } = resp else {
+        panic!("put failed: {resp:?}");
+    };
+    let fp = u64::from_str_radix(&fp_hex, 16).expect("hex fingerprint");
+    let put_row = BenchResult {
+        scenario: scenario.clone(),
+        algo: "serve-put".to_owned(),
+        n_features,
+        requested: 0,
+        issued: 0,
+        cache_hits: 0,
+        encode_hits: 0,
+        encode_misses: 0,
+        speculative_issued: 0,
+        speculative_hits: 0,
+        wall_ms: put_wall,
+        req_bytes: (Request::Put.to_json().to_string().len() + 4 + 4 + codec_bytes.len()) as u64,
+        selected: 0,
+    };
+    let warm_fp = wave("serve-warm-fp", &workload(DatasetRef::Fp(fp)));
+
+    handle.shutdown();
+    vec![cold, warm_csv, put_row, warm_fp]
 }
 
 /// The cache story: the same workload replayed inside one session issues
@@ -521,6 +678,7 @@ pub fn cache_replay(n_features: usize) -> Vec<BenchResult> {
         speculative_issued: 0,
         speculative_hits: 0,
         wall_ms,
+        req_bytes: 0,
         selected,
     };
     vec![first, second]
@@ -549,6 +707,11 @@ pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
     out.extend(cache_replay(if quick { 32 } else { 128 }));
     let (serve_n, serve_rows) = if quick { (16, 1200) } else { (24, 4000) };
     out.extend(serve_cold_warm(serve_n, serve_rows));
+    out.extend(serve_concurrent(
+        serve_n,
+        serve_rows,
+        if quick { 3 } else { 4 },
+    ));
     out
 }
 
@@ -563,6 +726,7 @@ pub fn default_suite(quick: bool) -> Vec<BenchResult> {
 pub fn smoke_suite() -> Vec<BenchResult> {
     let mut out = data_tester_modes(16, 800, 2, 1);
     out.extend(serve_cold_warm(12, 600));
+    out.extend(serve_concurrent(12, 600, 3));
     out
 }
 
@@ -621,6 +785,7 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         "\"speculative_issued\":",
         "\"speculative_hits\":",
         "\"wall_ms\":",
+        "\"req_bytes\":",
     ] {
         let runs = json.matches("\"scenario\":").count();
         if json.matches(key).count() != runs {
@@ -686,6 +851,29 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         return Err(
             "no serve-warm run with issued == 0, cache_hits > 0 and encode_hits > 0".into(),
         );
+    }
+    // The fp-addressed serving acceptance signal: under concurrent load,
+    // a warm fingerprint-addressed wave issues zero CI tests while each
+    // request ships under 1 KiB — the whole point of `put`.
+    let warm_fp = runs
+        .iter()
+        .find(|r| r.starts_with("serve/concurrent") && r.contains("\"algo\":\"serve-warm-fp\","))
+        .ok_or("no serve/concurrent serve-warm-fp run")?;
+    let issued = run_field(warm_fp, "issued").ok_or("unreadable issued")?;
+    let req_bytes = run_field(warm_fp, "req_bytes").ok_or("unreadable req_bytes")?;
+    let hits = run_field(warm_fp, "cache_hits").ok_or("unreadable cache_hits")?;
+    if issued != 0 {
+        return Err(format!(
+            "warm fp-addressed wave issued {issued} CI tests (must be fully cached)"
+        ));
+    }
+    if hits == 0 {
+        return Err("warm fp-addressed wave never hit the shared memo".into());
+    }
+    if !(1..1024).contains(&req_bytes) {
+        return Err(format!(
+            "warm fp-addressed request payload is {req_bytes} bytes (must be in 1..1024)"
+        ));
     }
     Ok(())
 }
@@ -819,11 +1007,13 @@ mod tests {
         issued: u64,
         spec: (u64, u64),
         enc_hits: u64,
+        req_bytes: u64,
     ) -> String {
         format!(
             "{{\"scenario\":\"{scenario}\",\"algo\":\"{algo}\",\"issued\":{issued},\
              \"cache_hits\":9,\"speculative_issued\":{},\"speculative_hits\":{},\
-             \"encode_hits\":{enc_hits},\"encode_misses\":9,\"wall_ms\":1.0}}",
+             \"encode_hits\":{enc_hits},\"encode_misses\":9,\"wall_ms\":1.0,\
+             \"req_bytes\":{req_bytes}}}",
             spec.0, spec.1
         )
     }
@@ -838,11 +1028,12 @@ mod tests {
 
     fn valid_rows() -> Vec<String> {
         vec![
-            fake_run("gtest-batch/x", "grpsel-batched", 10, (0, 0), 5),
-            fake_run("gtest-batch/x", "grpsel-spec", 7, (5, 3), 5),
-            fake_run("fisherz-batch/x", "grpsel-batched", 12, (0, 0), 5),
-            fake_run("fisherz-batch/x", "grpsel-spec", 8, (6, 4), 5),
-            fake_run("serve/x", "serve-warm", 0, (0, 0), 5),
+            fake_run("gtest-batch/x", "grpsel-batched", 10, (0, 0), 5, 0),
+            fake_run("gtest-batch/x", "grpsel-spec", 7, (5, 3), 5, 0),
+            fake_run("fisherz-batch/x", "grpsel-batched", 12, (0, 0), 5, 0),
+            fake_run("fisherz-batch/x", "grpsel-spec", 8, (6, 4), 5, 0),
+            fake_run("serve/x", "serve-warm", 0, (0, 0), 5, 9000),
+            fake_run("serve/concurrent/x", "serve-warm-fp", 0, (0, 0), 5, 300),
         ]
     }
 
@@ -856,21 +1047,42 @@ mod tests {
             .contains("serve-warm"));
         // Serve present but the warm run still issued tests.
         let mut stale = valid_rows();
-        stale[4] = fake_run("serve/x", "serve-warm", 4, (0, 0), 5);
+        stale[4] = fake_run("serve/x", "serve-warm", 4, (0, 0), 5, 9000);
         assert!(validate_bench_json(&fake_doc(&stale)).is_err());
+    }
+
+    #[test]
+    fn validator_requires_tiny_warm_fp_requests() {
+        // Missing the serve/concurrent fp row entirely.
+        let no_fp: Vec<String> = valid_rows().drain(..5).collect();
+        assert!(validate_bench_json(&fake_doc(&no_fp))
+            .unwrap_err()
+            .contains("serve-warm-fp"));
+        // The fp wave issued tests: not warm.
+        let mut cold = valid_rows();
+        cold[5] = fake_run("serve/concurrent/x", "serve-warm-fp", 3, (0, 0), 5, 300);
+        assert!(validate_bench_json(&fake_doc(&cold))
+            .unwrap_err()
+            .contains("issued"));
+        // The fp request is megabyte-scale: the transport regressed.
+        let mut fat = valid_rows();
+        fat[5] = fake_run("serve/concurrent/x", "serve-warm-fp", 0, (0, 0), 5, 900_000);
+        assert!(validate_bench_json(&fake_doc(&fat))
+            .unwrap_err()
+            .contains("bytes"));
     }
 
     #[test]
     fn validator_enforces_speculation_conservation() {
         // A spec run whose issued + hits disagree with the plain run.
         let mut broken = valid_rows();
-        broken[1] = fake_run("gtest-batch/x", "grpsel-spec", 7, (5, 2), 5);
+        broken[1] = fake_run("gtest-batch/x", "grpsel-spec", 7, (5, 2), 5, 0);
         assert!(validate_bench_json(&fake_doc(&broken))
             .unwrap_err()
             .contains("conservation"));
         // A "speculative" run that never speculated.
         let mut lazy = valid_rows();
-        lazy[1] = fake_run("gtest-batch/x", "grpsel-spec", 10, (0, 0), 5);
+        lazy[1] = fake_run("gtest-batch/x", "grpsel-spec", 10, (0, 0), 5, 0);
         assert!(validate_bench_json(&fake_doc(&lazy))
             .unwrap_err()
             .contains("never speculated"));
@@ -886,6 +1098,33 @@ mod tests {
     fn smoke_suite_validates() {
         let json = to_json(&smoke_suite());
         validate_bench_json(&json).expect("smoke output must validate");
+    }
+
+    #[test]
+    fn serve_concurrent_warm_fp_is_cached_and_tiny() {
+        let rows = serve_concurrent(10, 400, 3);
+        assert_eq!(rows.len(), 4);
+        let by_algo = |algo: &str| rows.iter().find(|r| r.algo == algo).unwrap();
+        let cold = by_algo("serve-cold-csv");
+        let warm_csv = by_algo("serve-warm-csv");
+        let put = by_algo("serve-put");
+        let warm_fp = by_algo("serve-warm-fp");
+        assert!(cold.issued > 0, "cold wave must issue tests");
+        assert_eq!(warm_csv.issued, 0, "warm csv wave is fully cached");
+        assert_eq!(warm_fp.issued, 0, "warm fp wave is fully cached");
+        assert!(warm_fp.cache_hits > 0);
+        // The transport win: csv requests ship the dataset, fp requests
+        // ship a fingerprint.
+        assert!(cold.req_bytes > 1024, "csv request carries the dataset");
+        assert!(
+            warm_fp.req_bytes < 1024,
+            "fp request must be under 1 KiB (got {})",
+            warm_fp.req_bytes
+        );
+        assert!(put.req_bytes > 0 && put.wall_ms >= 0.0);
+        // Every wave selects identically.
+        assert_eq!(cold.selected, warm_csv.selected);
+        assert_eq!(cold.selected, warm_fp.selected);
     }
 
     #[test]

@@ -27,7 +27,8 @@ use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticCo
 use fairsel_engine::{default_workers, EngineStats};
 use fairsel_graph::{dag_from_text, Dag};
 use fairsel_server::{
-    MaxGroupSpec, RegistryConfig, Request, Response, ServeConfig, Server, WorkloadRequest,
+    DatasetRef, MaxGroupSpec, RegistryConfig, Request, Response, ServeConfig, Server,
+    WorkloadRequest,
 };
 use fairsel_table::{csv, EncodedTable, Table, DEFAULT_CACHE_CAP};
 use rand::rngs::StdRng;
@@ -53,6 +54,8 @@ USAGE:
                   [--alpha F] [--classifier ...] [--max-group N|auto]
                   [--train-frac F] [--seed N] [--remote <host:port>]
   fairsel serve   [--addr <host:port>] [--cache-cap N] [--max-datasets N]
+                  [--conn-workers N] [--max-conns N]
+  fairsel stats   --remote <host:port>
 
 `gen` writes a role-annotated CSV sampled from a paper fixture (default 1a)
 or from a fairness-structured synthetic DAG (--synthetic <n_features>).
@@ -76,8 +79,16 @@ fairness report (the byte-compared artifact in CI).
 `serve` starts the long-lived session service: requests from many clients
 share one encode pass and one CI-outcome cache per dataset fingerprint,
 LRU-bounded by --cache-cap (per-dataset encodings) and --max-datasets.
-`select --remote host:port` sends the workload to a running server and
-falls back to local execution when the server is unreachable.";
+Connections are served by a bounded handler pool (--conn-workers, default
+max(4, cores)); past --max-conns concurrently admitted connections the
+server sheds new ones with a structured busy error instead of queueing.
+`select --remote host:port` addresses the dataset by fingerprint on the
+wire (warm requests are a few hundred bytes), uploads it once via the
+binary column codec only when the server does not hold it yet, falls
+back to inline CSV against servers without fingerprint support, and to
+local execution when the server is unreachable or busy. `stats --remote` prints the server's registry and
+connection telemetry (active/shed connections, bytes moved, request
+wall time) as one JSON object.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,6 +108,7 @@ fn main() -> ExitCode {
         "select" => cmd_select(&opts),
         "methods" => cmd_methods(&opts),
         "serve" => cmd_serve(&opts),
+        "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -323,7 +335,7 @@ fn workload_request(opts: &Opts) -> Result<WorkloadRequest, String> {
         ),
     };
     Ok(WorkloadRequest {
-        csv: csv_text,
+        dataset: DatasetRef::Csv(csv_text),
         algo: opts.get("algo").unwrap_or("grpsel").to_owned(),
         tester: opts.get("tester").unwrap_or("gtest").to_owned(),
         alpha: opts.num("alpha", 0.01)?,
@@ -336,15 +348,136 @@ fn workload_request(opts: &Opts) -> Result<WorkloadRequest, String> {
     })
 }
 
+/// How the workload's dataset traveled to the server.
+enum Transport {
+    /// Fingerprint-addressed; `put_bytes` is the one-time codec upload
+    /// (`0` when the server already held the dataset — the warm case,
+    /// where the whole exchange is a few hundred bytes).
+    FpAddressed { put_bytes: usize },
+    /// Shipped inline as CSV text (older server, or the upload failed).
+    InlineCsv,
+}
+
+/// Serialize once, send, and report the frame size alongside the
+/// response (the transport telemetry must not cost a second
+/// serialization of a multi-megabyte request).
+fn send_request(addr: &str, wire: &Request) -> Result<(Response, usize), RemoteError> {
+    let payload = wire.to_json().to_string();
+    let resp = fairsel_server::request_raw(addr, payload.as_bytes())
+        .map_err(|e| RemoteError::Unreachable(e.to_string()))?;
+    Ok((resp, payload.len() + 4))
+}
+
+/// Swap a workload request's dataset reference.
+fn with_dataset(wire: Request, dataset: DatasetRef) -> Request {
+    match wire {
+        Request::Select(mut w) => {
+            w.dataset = dataset;
+            Request::Select(w)
+        }
+        Request::Methods(mut w) => {
+            w.dataset = dataset;
+            Request::Methods(w)
+        }
+        other => other,
+    }
+}
+
+/// Issue one workload request, negotiating the fingerprint-addressed
+/// transport **fingerprint-first**: compute the dataset fingerprint
+/// locally and send the tiny `fp` request straight away — a warm server
+/// already holds the dataset and no bytes beyond the frame move. Only an
+/// `unknown dataset fingerprint` answer triggers the one-time `put`
+/// upload (then the fp request is retried); servers that know neither
+/// `fp` nor `put` get the dataset re-shipped as inline CSV.
+fn remote_workload(
+    addr: &str,
+    mut req: WorkloadRequest,
+    wrap: fn(WorkloadRequest) -> Request,
+) -> Result<(Response, Transport, usize), RemoteError> {
+    // Rewrite csv → fp, keeping the CSV text (moved, not copied) for the
+    // inline fallback and the parsed table for the (rare) upload path.
+    let mut csv_backup = None;
+    let mut parsed = None;
+    if let Some(table) = req
+        .dataset
+        .as_csv()
+        .and_then(|t| csv::from_csv_string(t).ok())
+    {
+        let fp = fairsel_server::fingerprint_table(&table);
+        parsed = Some(table);
+        if let DatasetRef::Csv(text) = std::mem::replace(&mut req.dataset, DatasetRef::Fp(fp)) {
+            csv_backup = Some(text);
+        }
+    }
+    let fp_first = csv_backup.is_some();
+    let wire = wrap(req);
+    let (mut resp, mut frame_bytes) = send_request(addr, &wire)?;
+    let mut transport = if fp_first {
+        Transport::FpAddressed { put_bytes: 0 }
+    } else {
+        Transport::InlineCsv
+    };
+
+    // Cold server: upload the dataset once, retry the same fp frame. The
+    // codec payload is encoded only here — the warm path (server already
+    // holds the dataset) never materializes it.
+    if fp_first && matches!(&resp, Response::Err(e) if e.contains("unknown dataset fingerprint")) {
+        let uploaded = parsed.as_ref().and_then(|table| {
+            let bytes = fairsel_table::encode_table(table);
+            match fairsel_server::put_dataset(addr, &bytes) {
+                Ok(Response::Ok { .. }) => Some(bytes.len()),
+                _ => None,
+            }
+        });
+        if let Some(put_bytes) = uploaded {
+            (resp, frame_bytes) = send_request(addr, &wire)?;
+            transport = Transport::FpAddressed { put_bytes };
+        }
+    }
+
+    // Still failing on the fp transport (a server without `put`, or one
+    // that predates `fp` entirely and answers "missing csv"): re-ship
+    // the dataset inline, which every server understands.
+    if fp_first
+        && matches!(&resp, Response::Err(e) if e.contains("unknown dataset fingerprint")
+            || e.contains("missing csv"))
+    {
+        if let Some(text) = csv_backup {
+            let wire = with_dataset(wire, DatasetRef::Csv(text));
+            (resp, frame_bytes) = send_request(addr, &wire)?;
+            transport = Transport::InlineCsv;
+        }
+    }
+    Ok((resp, transport, frame_bytes))
+}
+
+/// Describe how the dataset traveled (grep-able by the CI smoke step).
+fn print_transport(transport: &Transport, frame_bytes: usize) {
+    match transport {
+        Transport::FpAddressed { put_bytes: 0 } => println!(
+            "transport                   fp-addressed \
+             (dataset already resident; request frame {frame_bytes} bytes)"
+        ),
+        Transport::FpAddressed { put_bytes } => println!(
+            "transport                   fp-addressed \
+             (uploaded {put_bytes} bytes once; request frame {frame_bytes} bytes)"
+        ),
+        Transport::InlineCsv => {
+            println!("transport                   inline csv (request frame {frame_bytes} bytes)")
+        }
+    }
+}
+
 fn remote_select(addr: &str, opts: &Opts) -> Result<(), RemoteError> {
     let req = workload_request(opts).map_err(RemoteError::Server)?;
-    let resp = fairsel_server::request(addr, &Request::Select(req))
-        .map_err(|e| RemoteError::Unreachable(e.to_string()))?;
+    let (resp, transport, frame_bytes) = remote_workload(addr, req, Request::Select)?;
     match resp {
         Response::Ok { body, stats, cache } => {
             print!("{body}");
             println!();
             println!("== served by {addr} ==");
+            print_transport(&transport, frame_bytes);
             if let Some(c) = cache {
                 println!("dataset fingerprint         {:016x}", c.fingerprint);
                 println!("sessions served             {}", c.sessions_served);
@@ -368,6 +501,9 @@ fn remote_select(addr: &str, opts: &Opts) -> Result<(), RemoteError> {
             }
             Ok(())
         }
+        Response::Busy => Err(RemoteError::Unreachable(
+            "server busy (connection limit reached)".into(),
+        )),
         Response::Err(e) => Err(RemoteError::Server(e)),
     }
 }
@@ -428,12 +564,12 @@ fn align_dag_to_table(dag: &Dag, table: &Table) -> Result<Dag, String> {
 /// report post-dedup costs — a warm sweep issues almost nothing).
 fn remote_methods(addr: &str, opts: &Opts) -> Result<(), RemoteError> {
     let req = workload_request(opts).map_err(RemoteError::Server)?;
-    let resp = fairsel_server::request(addr, &Request::Methods(req))
-        .map_err(|e| RemoteError::Unreachable(e.to_string()))?;
+    let (resp, transport, frame_bytes) = remote_workload(addr, req, Request::Methods)?;
     match resp {
         Response::Ok { body, cache, .. } => {
             print!("{body}");
             println!("\n== served by {addr} ==");
+            print_transport(&transport, frame_bytes);
             if let Some(c) = cache {
                 println!("dataset fingerprint         {:016x}", c.fingerprint);
                 println!("sessions served             {}", c.sessions_served);
@@ -441,26 +577,62 @@ fn remote_methods(addr: &str, opts: &Opts) -> Result<(), RemoteError> {
             }
             Ok(())
         }
+        Response::Busy => Err(RemoteError::Unreachable(
+            "server busy (connection limit reached)".into(),
+        )),
         Response::Err(e) => Err(RemoteError::Server(e)),
     }
 }
 
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = opts.get("addr").unwrap_or("127.0.0.1:4990");
+    let max_conns = match opts.get("max-conns") {
+        // Auto: twice the handler pool (resolved by `Server::bind`).
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--max-conns: bad value {v:?} (must be >= 1)"))?,
+    };
     let cfg = ServeConfig {
         registry: RegistryConfig {
             cache_cap: opts.num("cache-cap", DEFAULT_CACHE_CAP)?,
             max_datasets: opts.num("max-datasets", RegistryConfig::default().max_datasets)?,
         },
+        conn_workers: opts.num("conn-workers", 0)?,
+        max_conns,
     };
     let server = Server::bind(addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "fairsel serve listening on {} (cache-cap {}, max-datasets {})",
+        "fairsel serve listening on {} (cache-cap {}, max-datasets {}, \
+         conn-workers {}, max-conns {})",
         server.local_addr(),
         cfg.registry.cache_cap,
-        cfg.registry.max_datasets
+        cfg.registry.max_datasets,
+        server.conn_workers(),
+        server.max_conns()
     );
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// Print a running server's registry + connection telemetry as one JSON
+/// object (the CI smoke step greps `shed_conns` / `bytes_rx` out of it).
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let addr = opts
+        .get("remote")
+        .ok_or("stats: --remote <host:port> is required")?;
+    let resp =
+        fairsel_server::request(addr, &Request::Stats).map_err(|e| format!("{addr}: {e}"))?;
+    match resp {
+        Response::Ok { stats: Some(s), .. } => {
+            println!("{s}");
+            Ok(())
+        }
+        Response::Ok { .. } => Err("server returned no stats".into()),
+        Response::Busy => Err("server busy: connection limit reached".into()),
+        Response::Err(e) => Err(e),
+    }
 }
 
 fn cmd_methods(opts: &Opts) -> Result<(), String> {

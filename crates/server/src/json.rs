@@ -47,10 +47,15 @@ impl Json {
         }
     }
 
-    /// Field as `u64` (rejects negatives and non-integers).
+    /// Field as `u64` (rejects negatives, non-integers, and values above
+    /// 2⁵³ — the largest magnitude below which every integer is exactly
+    /// representable as an `f64`). Known edge at the bound itself: a
+    /// document spelling out 2⁵³ + 1 parses to the same `f64` as 2⁵³ and
+    /// is therefore accepted as 2⁵³; values that must survive beyond
+    /// 2⁵³ (seeds, fingerprints) travel as strings on this protocol.
     pub fn get_u64(&self, key: &str) -> Option<u64> {
         let n = self.get_num(key)?;
-        (n >= 0.0 && n.fract() == 0.0 && n <= 9.0e15).then_some(n as u64)
+        (n >= 0.0 && n.fract() == 0.0 && n <= MAX_SAFE_INTEGER).then_some(n as u64)
     }
 
     /// Field as `bool`.
@@ -121,12 +126,16 @@ impl fmt::Display for Json {
     }
 }
 
+/// 2⁵³ — integers up to this magnitude are exactly representable as
+/// `f64`; the serializer and [`Json::get_u64`] agree on this bound.
+const MAX_SAFE_INTEGER: f64 = 9_007_199_254_740_992.0;
+
 fn write_num(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no NaN/Inf; clamp to null (never produced by our
         // telemetry, but don't emit invalid documents).
         out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+    } else if n.fract() == 0.0 && n.abs() <= MAX_SAFE_INTEGER {
         out.push_str(&format!("{}", n as i64));
     } else {
         // Round-trip precision for telemetry floats.
@@ -449,6 +458,46 @@ mod tests {
     fn integers_serialize_without_fraction() {
         assert_eq!(Json::Num(42.0).to_string(), "42");
         assert_eq!(Json::Num(0.5).to_string(), "0.5");
+    }
+
+    /// Regression: `get_u64` once capped at 9.0e15, rejecting valid
+    /// exactly-representable integers in (9.0e15, 2⁵³]. The bound is 2⁵³
+    /// in both directions: everything at or below it is accepted (and
+    /// serialized as a plain integer), everything above is rejected
+    /// (f64 can no longer represent every integer, so a round trip would
+    /// be ambiguous).
+    #[test]
+    fn get_u64_accepts_up_to_2_pow_53_and_rejects_beyond() {
+        const MAX_SAFE: u64 = 1 << 53;
+        // In (9.0e15, 2^53]: previously rejected, now valid.
+        for v in [9_000_000_000_000_001u64, MAX_SAFE - 1, MAX_SAFE] {
+            let text = format!("{{\"v\":{v}}}");
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(parsed.get_u64("v"), Some(v), "{v} must be accepted");
+            // And the serializer emits it back as a plain integer.
+            assert_eq!(Json::Num(v as f64).to_string(), v.to_string());
+        }
+        // Above 2^53: the nearest representable f64 integers must be
+        // rejected even though `fract() == 0`.
+        for text in ["9007199254740994", "9.1e15 ", "18446744073709551615"] {
+            let parsed = Json::parse(&format!("{{\"v\":{}}}", text.trim())).unwrap();
+            let expect = text.trim().parse::<f64>().unwrap() <= (MAX_SAFE as f64);
+            assert_eq!(
+                parsed.get_u64("v").is_some(),
+                expect,
+                "{text} acceptance must match the 2^53 bound"
+            );
+        }
+        assert_eq!(
+            Json::parse("{\"v\":9007199254740994}")
+                .unwrap()
+                .get_u64("v"),
+            None,
+            "2^53 + 2 must be rejected"
+        );
+        // Negatives and fractions stay rejected.
+        assert_eq!(Json::parse("{\"v\":-1}").unwrap().get_u64("v"), None);
+        assert_eq!(Json::parse("{\"v\":1.5}").unwrap().get_u64("v"), None);
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub mod registry;
 pub mod server;
 
 pub use json::{Json, JsonError};
-pub use proto::{CacheInfo, MaxGroupSpec, Request, Response, WorkloadRequest};
+pub use proto::{CacheInfo, DatasetRef, MaxGroupSpec, Request, Response, WorkloadRequest};
 pub use registry::{fingerprint_table, pipeline_config, Registry, RegistryConfig};
-pub use server::{request, ServeConfig, Server, ServerHandle};
+pub use server::{
+    default_conn_workers, put_dataset, request, request_raw, ServeConfig, Server, ServerHandle,
+};

@@ -10,18 +10,27 @@
 //! Requests (`cmd` field selects the variant):
 //!
 //! ```text
-//! {"cmd":"select", "csv":"...", "algo":"grpsel", "tester":"gtest",
-//!  "alpha":0.01, "workers":4, "max_group":"auto"|N|null,
+//! {"cmd":"select", "csv":"..."|"fp":"<16-hex>", "algo":"grpsel",
+//!  "tester":"gtest", "alpha":0.01, "workers":4, "max_group":"auto"|N|null,
 //!  "train_frac":0.7, "seed":0, "classifier":"logistic"}
 //! {"cmd":"methods", ...same workload fields...}
-//! {"cmd":"stats"}      server-wide registry telemetry
+//! {"cmd":"put"}        followed by ONE raw binary frame: the dataset in
+//!                      the fairsel_table::codec column format; responds
+//!                      with the dataset fingerprint (16 hex chars in
+//!                      `body`), after which select/methods may address
+//!                      the dataset as {"fp":"..."} — bytes instead of
+//!                      megabytes on every warm request
+//! {"cmd":"stats"}      server-wide registry + connection telemetry
 //! {"cmd":"ping"}
-//! {"cmd":"shutdown"}   stop accepting; used by tests and benches
+//! {"cmd":"shutdown"}   stop accepting, drain in-flight, then exit
 //! ```
 //!
-//! Responses: `{"ok":true, "body":..., "stats":..., "cache":...}` or
-//! `{"ok":false, "error":"..."}`. The `body` of a `select` is the
-//! deterministic selection + fairness report rendered by
+//! Responses: `{"ok":true, "body":..., "stats":..., "cache":...}`,
+//! `{"ok":false, "error":"..."}`, or — when the server's `--max-conns`
+//! admission cap sheds the connection — the structured busy error
+//! `{"ok":false, "busy":true, "error":"..."}` so clients can tell
+//! overload apart from a rejected request. The `body` of a `select` is
+//! the deterministic selection + fairness report rendered by
 //! `fairsel_core::render_pipeline_report` — byte-identical to a local run
 //! of the same workload — and `cache` carries the per-dataset shared-cache
 //! telemetry (fingerprint, sessions served, memo hits, encode
@@ -116,12 +125,32 @@ impl MaxGroupSpec {
     }
 }
 
-/// One select/methods workload: the dataset (as CSV text — the same bytes
-/// a local run would read from disk) plus every knob that affects the
-/// deterministic output.
+/// How a workload names its dataset: inline CSV text (the same bytes a
+/// local run would read from disk — always works, ships the whole table)
+/// or a fingerprint returned by a prior `put` (bytes instead of
+/// megabytes; the server answers `unknown dataset fingerprint` if the
+/// entry was evicted, and the client falls back to inline CSV).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DatasetRef {
+    Csv(String),
+    Fp(u64),
+}
+
+impl DatasetRef {
+    /// The inline CSV text, if that is how the dataset travels.
+    pub fn as_csv(&self) -> Option<&str> {
+        match self {
+            DatasetRef::Csv(text) => Some(text),
+            DatasetRef::Fp(_) => None,
+        }
+    }
+}
+
+/// One select/methods workload: the dataset reference plus every knob
+/// that affects the deterministic output.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadRequest {
-    pub csv: String,
+    pub dataset: DatasetRef,
     pub algo: String,
     pub tester: String,
     pub alpha: f64,
@@ -139,7 +168,7 @@ pub struct WorkloadRequest {
 impl Default for WorkloadRequest {
     fn default() -> Self {
         Self {
-            csv: String::new(),
+            dataset: DatasetRef::Csv(String::new()),
             algo: "grpsel".into(),
             tester: "gtest".into(),
             alpha: 0.01,
@@ -154,10 +183,25 @@ impl Default for WorkloadRequest {
 }
 
 impl WorkloadRequest {
+    /// Workload over inline CSV text with default knobs — the common
+    /// construction in tests and benches.
+    pub fn with_csv(csv: impl Into<String>) -> Self {
+        Self {
+            dataset: DatasetRef::Csv(csv.into()),
+            ..Default::default()
+        }
+    }
+
     fn to_json_fields(&self, cmd: &str) -> Json {
+        let dataset = match &self.dataset {
+            DatasetRef::Csv(text) => ("csv", Json::Str(text.clone())),
+            // Like the response fingerprint: a full u64 travels as hex
+            // text, never as a (lossy) JSON number.
+            DatasetRef::Fp(fp) => ("fp", Json::Str(format!("{fp:016x}"))),
+        };
         Json::obj(vec![
             ("cmd", Json::Str(cmd.into())),
-            ("csv", Json::Str(self.csv.clone())),
+            dataset,
             ("algo", Json::Str(self.algo.clone())),
             ("tester", Json::Str(self.tester.clone())),
             ("alpha", Json::Num(self.alpha)),
@@ -182,8 +226,15 @@ impl WorkloadRequest {
             Some(Json::Num(_)) => v.get_u64("seed").ok_or("bad seed: not a u64")?,
             Some(other) => return Err(format!("bad seed: {other}")),
         };
+        let dataset = match (v.get_str("fp"), v.get_str("csv")) {
+            (Some(hex), _) => DatasetRef::Fp(
+                u64::from_str_radix(hex, 16).map_err(|_| format!("bad fp: {hex:?}"))?,
+            ),
+            (None, Some(text)) => DatasetRef::Csv(text.to_owned()),
+            (None, None) => return Err("missing csv or fp".into()),
+        };
         Ok(WorkloadRequest {
-            csv: v.get_str("csv").ok_or("missing csv")?.to_owned(),
+            dataset,
             algo: v.get_str("algo").unwrap_or(&d.algo).to_owned(),
             tester: v.get_str("tester").unwrap_or(&d.tester).to_owned(),
             alpha: v.get_num("alpha").unwrap_or(d.alpha),
@@ -202,6 +253,10 @@ impl WorkloadRequest {
 pub enum Request {
     Select(WorkloadRequest),
     Methods(WorkloadRequest),
+    /// Dataset upload announcement. On the wire the `{"cmd":"put"}` frame
+    /// is immediately followed by one **raw binary frame** holding the
+    /// `fairsel_table::codec` payload — the payload is never JSON-encoded.
+    Put,
     Stats,
     Ping,
     Shutdown,
@@ -212,6 +267,7 @@ impl Request {
         match self {
             Request::Select(w) => w.to_json_fields("select"),
             Request::Methods(w) => w.to_json_fields("methods"),
+            Request::Put => Json::obj(vec![("cmd", Json::Str("put".into()))]),
             Request::Stats => Json::obj(vec![("cmd", Json::Str("stats".into()))]),
             Request::Ping => Json::obj(vec![("cmd", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj(vec![("cmd", Json::Str("shutdown".into()))]),
@@ -222,6 +278,7 @@ impl Request {
         match v.get_str("cmd") {
             Some("select") => Ok(Request::Select(WorkloadRequest::from_json(v)?)),
             Some("methods") => Ok(Request::Methods(WorkloadRequest::from_json(v)?)),
+            Some("put") => Ok(Request::Put),
             Some("stats") => Ok(Request::Stats),
             Some("ping") => Ok(Request::Ping),
             Some("shutdown") => Ok(Request::Shutdown),
@@ -293,6 +350,10 @@ pub enum Response {
         /// Shared-cache telemetry for workload requests.
         cache: Option<CacheInfo>,
     },
+    /// The `--max-conns` admission cap shed this connection before any
+    /// request was read: the workload was not rejected, the server is
+    /// full — retry later or fall back to local execution.
+    Busy,
     Err(String),
 }
 
@@ -317,6 +378,14 @@ impl Response {
                 }
                 Json::obj(pairs)
             }
+            Response::Busy => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("busy", Json::Bool(true)),
+                (
+                    "error",
+                    Json::Str("server busy: connection limit reached".into()),
+                ),
+            ]),
             Response::Err(e) => Json::obj(vec![
                 ("ok", Json::Bool(false)),
                 ("error", Json::Str(e.clone())),
@@ -331,6 +400,7 @@ impl Response {
                 stats: v.get("stats").cloned(),
                 cache: v.get("cache").and_then(CacheInfo::from_json),
             }),
+            Some(false) if v.get_bool("busy") == Some(true) => Ok(Response::Busy),
             Some(false) => Ok(Response::Err(
                 v.get_str("error").unwrap_or("unknown error").to_owned(),
             )),
@@ -375,7 +445,7 @@ mod tests {
     fn requests_round_trip() {
         let reqs = vec![
             Request::Select(WorkloadRequest {
-                csv: "s:cat2[sensitive],y:cat2[target]\n0,1\n".into(),
+                dataset: DatasetRef::Csv("s:cat2[sensitive],y:cat2[target]\n0,1\n".into()),
                 algo: "seqsel".into(),
                 tester: "fisherz".into(),
                 alpha: 0.05,
@@ -388,11 +458,18 @@ mod tests {
                 seed: u64::MAX - 12345,
                 classifier: "tree".into(),
             }),
+            // A fingerprint-addressed workload: a full u64 fingerprint
+            // (high bit set) travels as hex text.
+            Request::Select(WorkloadRequest {
+                dataset: DatasetRef::Fp(0xfeed_beef_8000_0001),
+                ..Default::default()
+            }),
             Request::Methods(WorkloadRequest {
-                csv: "x".into(),
+                dataset: DatasetRef::Csv("x".into()),
                 max_group: MaxGroupSpec::Width(6),
                 ..Default::default()
             }),
+            Request::Put,
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -422,6 +499,7 @@ mod tests {
                 }),
             },
             Response::ok("pong"),
+            Response::Busy,
             Response::Err("bad csv".into()),
         ];
         for resp in resps {
@@ -436,6 +514,41 @@ mod tests {
         let v = Json::parse(r#"{"cmd":"explode"}"#).unwrap();
         assert!(Request::from_json(&v).is_err());
         let v = Json::parse(r#"{"cmd":"select"}"#).unwrap();
-        assert!(Request::from_json(&v).is_err(), "select without csv");
+        assert!(
+            Request::from_json(&v).is_err(),
+            "select without csv and fp must be rejected"
+        );
+        let v = Json::parse(r#"{"cmd":"select","fp":"not hex"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err(), "malformed fp rejected");
+    }
+
+    /// The busy response is structurally distinguishable from a plain
+    /// error: clients must be able to tell "server full, retry later"
+    /// apart from "request rejected".
+    #[test]
+    fn busy_response_is_structured() {
+        let text = Response::Busy.to_json().to_string();
+        assert!(text.contains("\"busy\":true"), "{text}");
+        assert!(text.contains("\"ok\":false"), "{text}");
+        let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, Response::Busy);
+        // A plain error without the busy marker stays an Err.
+        let plain = Response::Err("busy".into()).to_json().to_string();
+        let back = Response::from_json(&Json::parse(&plain).unwrap()).unwrap();
+        assert_eq!(back, Response::Err("busy".into()));
+    }
+
+    /// A warm fingerprint-addressed `select` frame must stay tiny — the
+    /// point of `put` is that repeat requests ship bytes, not megabytes.
+    #[test]
+    fn fp_addressed_select_frame_is_under_1_kib() {
+        let req = Request::Select(WorkloadRequest {
+            dataset: DatasetRef::Fp(u64::MAX),
+            max_group: MaxGroupSpec::Auto,
+            speculate: true,
+            ..Default::default()
+        });
+        let frame_bytes = req.to_json().to_string().len() + 4;
+        assert!(frame_bytes < 1024, "fp select frame is {frame_bytes} bytes");
     }
 }

@@ -21,7 +21,7 @@
 //! workload's encoding caches are bounded by `cache_cap` — both with
 //! eviction counters surfaced in the response telemetry.
 
-use crate::proto::{CacheInfo, MaxGroupSpec, WorkloadRequest};
+use crate::proto::{CacheInfo, DatasetRef, MaxGroupSpec, WorkloadRequest};
 use fairsel_ci::{CiTestBatch, FisherZ, GTest};
 use fairsel_core::{
     render_methods_report, render_pipeline_report, run_all_methods_in, run_pipeline_batched_in,
@@ -137,29 +137,47 @@ impl Default for RegistryConfig {
     }
 }
 
+/// A dataset uploaded via `put`, addressable by fingerprint.
+struct PutSlot {
+    table: Arc<Table>,
+    last_used: u64,
+}
+
 /// The fingerprint-sharded workload registry.
 pub struct Registry {
     slots: Mutex<HashMap<u64, Slot>>,
+    /// Uploaded raw tables, keyed by dataset fingerprint — what `select`
+    /// / `methods` requests with `{"fp":...}` resolve against. Bounded
+    /// like the workload slots.
+    puts: Mutex<HashMap<u64, PutSlot>>,
     cfg: RegistryConfig,
     tick: AtomicU64,
     requests: AtomicU64,
     evictions: AtomicU64,
+    put_evictions: AtomicU64,
 }
 
 impl Registry {
     pub fn new(cfg: RegistryConfig) -> Self {
         Self {
             slots: Mutex::new(HashMap::new()),
+            puts: Mutex::new(HashMap::new()),
             cfg,
             tick: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            put_evictions: AtomicU64::new(0),
         }
     }
 
     /// Resident workload count.
     pub fn resident(&self) -> usize {
         self.slots.lock().expect("registry lock").len()
+    }
+
+    /// Resident uploaded-dataset count.
+    pub fn resident_puts(&self) -> usize {
+        self.puts.lock().expect("put lock").len()
     }
 
     /// Total workload requests served.
@@ -172,18 +190,87 @@ impl Registry {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Uploaded datasets evicted by the LRU bound so far.
+    pub fn put_evictions(&self) -> u64 {
+        self.put_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Store an uploaded dataset and return its fingerprint. Re-putting
+    /// an identical table is a cheap no-op (same fingerprint, the first
+    /// copy stays). The store is LRU-bounded by `max_datasets`.
+    pub fn put(&self, table: Table) -> Result<u64, String> {
+        if table.n_rows() < 10 {
+            return Err(format!("too few rows ({})", table.n_rows()));
+        }
+        let fp = fingerprint_table(&table);
+        let mut puts = self.puts.lock().expect("put lock");
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = puts.get_mut(&fp) {
+            slot.last_used = tick;
+            return Ok(fp);
+        }
+        while puts.len() >= self.cfg.max_datasets {
+            let victim = puts
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    puts.remove(&k);
+                    self.put_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        puts.insert(
+            fp,
+            PutSlot {
+                table: Arc::new(table),
+                last_used: tick,
+            },
+        );
+        Ok(fp)
+    }
+
+    /// Look up an uploaded dataset by fingerprint (touches its LRU slot).
+    pub fn dataset(&self, fp: u64) -> Option<Arc<Table>> {
+        let mut puts = self.puts.lock().expect("put lock");
+        let slot = puts.get_mut(&fp)?;
+        slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&slot.table))
+    }
+
+    /// Resolve a workload's dataset reference to its fingerprint, plus
+    /// the table itself when it traveled inline. A fingerprint reference
+    /// resolves to `None` here: the table is only needed to *build* a
+    /// workload session, so the put-store lookup is deferred to the
+    /// session-miss path — a warm request against a resident session
+    /// succeeds even after the put store evicted the raw table.
+    fn resolve_fingerprint(
+        &self,
+        req: &WorkloadRequest,
+    ) -> Result<(u64, Option<Arc<Table>>), String> {
+        match &req.dataset {
+            DatasetRef::Csv(text) => {
+                let table = csv::from_csv_string(text).map_err(|e| format!("parsing csv: {e}"))?;
+                if table.n_rows() < 10 {
+                    return Err(format!("too few rows ({})", table.n_rows()));
+                }
+                let fp = fingerprint_table(&table);
+                Ok((fp, Some(Arc::new(table))))
+            }
+            // `put` already validated the table (row floor included).
+            DatasetRef::Fp(fp) => Ok((*fp, None)),
+        }
+    }
+
     /// Serve one `select` workload: resolve (or build) the shared session
     /// for the request's dataset + tester config, run the pipeline inside
     /// it, and return the rendered deterministic report plus telemetry.
     pub fn select(&self, req: &WorkloadRequest) -> Result<(String, String, CacheInfo), String> {
-        let table = csv::from_csv_string(&req.csv).map_err(|e| format!("parsing csv: {e}"))?;
-        if table.n_rows() < 10 {
-            return Err(format!("too few rows ({})", table.n_rows()));
-        }
-        let fingerprint = fingerprint_table(&table);
+        let (fingerprint, table) = self.resolve_fingerprint(req)?;
         let key = self.workload_key(fingerprint, req);
-        let state = self.get_or_insert(key, fingerprint, &table, req)?;
-        drop(table);
+        let state = self.get_or_insert(key, fingerprint, table, req)?;
 
         let mut guard = state.lock().expect("workload lock");
         let w = &mut *guard;
@@ -216,14 +303,9 @@ impl Registry {
     /// nothing. Per-method telemetry in the body therefore reports
     /// post-dedup costs.
     pub fn methods(&self, req: &WorkloadRequest) -> Result<(String, String, CacheInfo), String> {
-        let table = csv::from_csv_string(&req.csv).map_err(|e| format!("parsing csv: {e}"))?;
-        if table.n_rows() < 10 {
-            return Err(format!("too few rows ({})", table.n_rows()));
-        }
-        let fingerprint = fingerprint_table(&table);
+        let (fingerprint, table) = self.resolve_fingerprint(req)?;
         let key = self.workload_key(fingerprint, req);
-        let state = self.get_or_insert(key, fingerprint, &table, req)?;
-        drop(table);
+        let state = self.get_or_insert(key, fingerprint, table, req)?;
 
         let mut guard = state.lock().expect("workload lock");
         let w = &mut *guard;
@@ -265,7 +347,7 @@ impl Registry {
         &self,
         key: u64,
         fingerprint: u64,
-        table: &Table,
+        table: Option<Arc<Table>>,
         req: &WorkloadRequest,
     ) -> Result<Arc<Mutex<Workload>>, String> {
         {
@@ -275,6 +357,19 @@ impl Registry {
                 return Ok(Arc::clone(&slot.state));
             }
         }
+        // Session miss: only now is the raw table required — resolve a
+        // fingerprint reference against the put store (the warm path
+        // above never needs it, so an evicted upload does not invalidate
+        // a resident session).
+        let table = match table {
+            Some(t) => t,
+            None => self.dataset(fingerprint).ok_or_else(|| {
+                format!(
+                    "unknown dataset fingerprint {fingerprint:016x} \
+                     (not uploaded, or evicted — put it again)"
+                )
+            })?,
+        };
         // Cold path: build the workload with NO lock held — the train/test
         // split copies every column, which must not stall warm requests
         // for other datasets. Two racing cold requests may both build;
@@ -412,10 +507,7 @@ mod tests {
     #[test]
     fn repeated_select_shares_session_and_reports_hits() {
         let reg = Registry::new(RegistryConfig::default());
-        let req = WorkloadRequest {
-            csv: csv::to_csv_string(&small_table(200, false)),
-            ..Default::default()
-        };
+        let req = WorkloadRequest::with_csv(csv::to_csv_string(&small_table(200, false)));
         let (body1, _, cache1) = reg.select(&req).unwrap();
         assert_eq!(cache1.sessions_served, 1);
         let (body2, _, cache2) = reg.select(&req).unwrap();
@@ -439,18 +531,15 @@ mod tests {
             ..Default::default()
         });
         for flip in [false, true] {
-            let req = WorkloadRequest {
-                csv: csv::to_csv_string(&small_table(120 + usize::from(flip) * 4, flip)),
-                ..Default::default()
-            };
+            let req = WorkloadRequest::with_csv(csv::to_csv_string(&small_table(
+                120 + usize::from(flip) * 4,
+                flip,
+            )));
             reg.select(&req).unwrap();
         }
         assert_eq!(reg.resident(), 2);
         // A third dataset evicts the least-recently-used entry.
-        let req = WorkloadRequest {
-            csv: csv::to_csv_string(&small_table(240, false)),
-            ..Default::default()
-        };
+        let req = WorkloadRequest::with_csv(csv::to_csv_string(&small_table(240, false)));
         reg.select(&req).unwrap();
         assert_eq!(reg.resident(), 2);
         assert_eq!(reg.evictions(), 1);
@@ -460,7 +549,7 @@ mod tests {
     fn algo_change_shares_the_session() {
         let reg = Registry::new(RegistryConfig::default());
         let base = WorkloadRequest {
-            csv: csv::to_csv_string(&small_table(200, false)),
+            dataset: DatasetRef::Csv(csv::to_csv_string(&small_table(200, false))),
             algo: "grpsel".into(),
             ..Default::default()
         };
@@ -477,16 +566,118 @@ mod tests {
     #[test]
     fn bad_requests_are_rejected() {
         let reg = Registry::new(RegistryConfig::default());
-        let mut req = WorkloadRequest {
-            csv: "not a csv".into(),
-            ..Default::default()
-        };
+        let mut req = WorkloadRequest::with_csv("not a csv");
         assert!(reg.select(&req).is_err());
-        req.csv = csv::to_csv_string(&small_table(200, false));
+        req.dataset = DatasetRef::Csv(csv::to_csv_string(&small_table(200, false)));
         req.tester = "psychic".into();
         assert!(reg.select(&req).is_err());
         req.tester = "gtest".into();
         req.algo = "bogus".into();
         assert!(reg.select(&req).is_err());
+    }
+
+    /// A `put` followed by a fingerprint-addressed `select` is
+    /// byte-identical to the same workload shipped as inline CSV — and
+    /// both land in the *same* workload session, so either spelling
+    /// warms the other.
+    #[test]
+    fn put_then_select_by_fp_matches_inline_csv() {
+        let reg = Registry::new(RegistryConfig::default());
+        let table = small_table(200, false);
+        let csv_req = WorkloadRequest::with_csv(csv::to_csv_string(&table));
+        let (csv_body, _, csv_cache) = reg.select(&csv_req).unwrap();
+
+        let fp = reg.put(table).unwrap();
+        assert_eq!(
+            fp, csv_cache.fingerprint,
+            "codec upload and CSV parse must fingerprint identically"
+        );
+        let fp_req = WorkloadRequest {
+            dataset: DatasetRef::Fp(fp),
+            ..Default::default()
+        };
+        let (fp_body, _, fp_cache) = reg.select(&fp_req).unwrap();
+        assert_eq!(csv_body, fp_body, "fp-addressed select must be identical");
+        assert_eq!(fp_cache.sessions_served, 2, "same session serves both");
+        assert!(
+            fp_cache.shared_hits > csv_cache.shared_hits,
+            "the fp request is warm: the CSV request already paid the tests"
+        );
+        assert_eq!(reg.resident(), 1);
+        assert_eq!(reg.resident_puts(), 1);
+    }
+
+    /// Regression: the put store and the workload slots evict
+    /// independently; a warm fp-addressed request must be answered from
+    /// the resident session even after the raw upload was evicted — the
+    /// table is only needed to *build* a session, never to reuse one.
+    #[test]
+    fn warm_fp_request_survives_put_store_eviction() {
+        let reg = Registry::new(RegistryConfig {
+            max_datasets: 2,
+            ..Default::default()
+        });
+        let fp_a = reg.put(small_table(200, false)).unwrap();
+        let fp_req = |fp| WorkloadRequest {
+            dataset: DatasetRef::Fp(fp),
+            ..Default::default()
+        };
+        let (body_a, _, _) = reg.select(&fp_req(fp_a)).unwrap();
+
+        // Evict A's upload (B and C fill the put store) …
+        reg.put(small_table(124, true)).unwrap();
+        reg.put(small_table(240, false)).unwrap();
+        assert!(reg.dataset(fp_a).is_none(), "A's upload must be evicted");
+
+        // … yet the warm request still succeeds, byte-identically, from
+        // the resident session.
+        let (body_warm, _, cache) = reg.select(&fp_req(fp_a)).unwrap();
+        assert_eq!(body_a, body_warm);
+        assert_eq!(cache.sessions_served, 2);
+        assert!(cache.shared_hits > 0, "served from the warm session");
+
+        // A *different* workload key on the evicted dataset (new split
+        // seed ⇒ new session) genuinely needs the table and fails clean.
+        let cold = WorkloadRequest {
+            dataset: DatasetRef::Fp(fp_a),
+            seed: 99,
+            ..Default::default()
+        };
+        let err = reg.select(&cold).unwrap_err();
+        assert!(err.contains("unknown dataset fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fingerprint_is_a_clean_error() {
+        let reg = Registry::new(RegistryConfig::default());
+        let req = WorkloadRequest {
+            dataset: DatasetRef::Fp(0xdead),
+            ..Default::default()
+        };
+        let err = reg.select(&req).unwrap_err();
+        assert!(err.contains("unknown dataset fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn put_store_is_lru_bounded() {
+        let reg = Registry::new(RegistryConfig {
+            max_datasets: 2,
+            ..Default::default()
+        });
+        let fp_a = reg.put(small_table(120, false)).unwrap();
+        let fp_b = reg.put(small_table(124, true)).unwrap();
+        // Re-putting an identical table dedups on fingerprint.
+        assert_eq!(reg.put(small_table(120, false)).unwrap(), fp_a);
+        assert_eq!(reg.resident_puts(), 2);
+        assert_eq!(reg.put_evictions(), 0);
+        // Touch A so B is the LRU victim when C arrives.
+        assert!(reg.dataset(fp_a).is_some());
+        let fp_c = reg.put(small_table(240, false)).unwrap();
+        assert_eq!(reg.resident_puts(), 2);
+        assert_eq!(reg.put_evictions(), 1);
+        assert!(reg.dataset(fp_b).is_none(), "B was evicted");
+        assert!(reg.dataset(fp_a).is_some() && reg.dataset(fp_c).is_some());
+        // Undersized uploads are rejected before they occupy a slot.
+        assert!(reg.put(small_table(4, false)).is_err());
     }
 }

@@ -1,40 +1,163 @@
 //! The TCP server and the one-shot client.
 //!
-//! `fairsel serve` binds a listener and dispatches one thread per
-//! connection; each connection may issue any number of length-prefixed
-//! JSON requests (see [`crate::proto`]). All workload state lives in the
-//! shared [`Registry`], so every connection — and every request within
-//! one — sees the same fingerprint-sharded sessions.
+//! `fairsel serve` runs a **bounded acceptor**: a fixed pool of handler
+//! threads (`--conn-workers`, default `max(4, cores)`) pulls accepted
+//! sockets from a queue, and a hard admission cap (`--max-conns`,
+//! default 2 × the pool) sheds every connection past it with a
+//! structured `busy` error the moment it is accepted. Admitted
+//! connections may briefly wait for a free handler — a bounded burst
+//! buffer of at most `max_conns - conn_workers` sockets — but nothing
+//! ever queues past the cap, and the shed client learns immediately
+//! instead of hanging. Each admitted connection may issue any number of
+//! length-prefixed JSON requests (see [`crate::proto`]); all workload
+//! state lives in the shared [`Registry`], so every connection — and
+//! every request within one — sees the same fingerprint-sharded
+//! sessions.
+//!
+//! Shutdown is a graceful drain: stop accepting, finish in-flight
+//! requests (each handler closes its connection after the request it is
+//! currently serving), then join the pool. Persistent accept errors
+//! (e.g. EMFILE under fd exhaustion) back off exponentially instead of
+//! busy-spinning, and a consecutive-error cap turns a dead listener into
+//! a clean error exit.
 
 use crate::json::Json;
-use crate::proto::{read_json, write_json, Request, Response};
+use crate::proto::{read_frame, read_json, write_json, Request, Response};
 use crate::registry::{Registry, RegistryConfig};
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Per-connection I/O timeout: a stalled client cannot pin a handler
 /// thread forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// Consecutive accept failures tolerated before the accept loop gives up
+/// and exits with the error (a listener that only ever errors is dead;
+/// spinning on it burns a core forever).
+const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 64;
+
+/// Default handler-pool size: `max(4, cores)`.
+pub fn default_conn_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4)
+}
+
+/// Bounded backoff before retrying a failed `accept`: exponential from
+/// 1 ms, capped at 128 ms; `None` once [`MAX_CONSECUTIVE_ACCEPT_ERRORS`]
+/// is exceeded (caller must exit the loop). `consecutive` is 1-based.
+fn accept_backoff(consecutive: u32) -> Option<Duration> {
+    if consecutive > MAX_CONSECUTIVE_ACCEPT_ERRORS {
+        return None;
+    }
+    let exp = consecutive.saturating_sub(1).min(7);
+    Some(Duration::from_millis(1u64 << exp))
+}
+
+/// The address the server can reach *itself* at. Binding `0.0.0.0:p` (or
+/// `[::]:p`) yields an unspecified local address; connecting to it is
+/// platform-dependent (it fails outright on some systems), so the
+/// shutdown wake-up and the handle's control requests go to the loopback
+/// of the same family instead.
+fn self_addr(bound: &SocketAddr) -> SocketAddr {
+    if bound.ip().is_unspecified() {
+        let ip: IpAddr = match bound {
+            SocketAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
+            SocketAddr::V6(_) => Ipv6Addr::LOCALHOST.into(),
+        };
+        SocketAddr::new(ip, bound.port())
+    } else {
+        *bound
+    }
+}
+
 /// Server configuration (see [`RegistryConfig`] for the cache knobs).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServeConfig {
     pub registry: RegistryConfig,
+    /// Handler threads serving admitted connections; `0` means
+    /// [`default_conn_workers`].
+    pub conn_workers: usize,
+    /// Hard cap on concurrently admitted connections; one past the cap
+    /// is shed with [`Response::Busy`]. `0` means twice the handler
+    /// pool — every admitted connection is at worst one handler
+    /// turnaround away from service, so the cap never degenerates into
+    /// a long silent queue.
+    pub max_conns: usize,
+}
+
+/// Accepted sockets waiting for a handler.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
 }
 
 struct ServerState {
     registry: Registry,
     stop: AtomicBool,
     addr: SocketAddr,
+    conns: ConnQueue,
+    max_conns: u64,
+    /// Admitted connections not yet finished (queued or being served).
+    active_conns: AtomicU64,
+    /// Connections refused by the admission cap.
+    shed_conns: AtomicU64,
+    /// Connections admitted since startup.
+    accepted_conns: AtomicU64,
+    /// Request frames handled (every command, including ping/stats).
+    requests_handled: AtomicU64,
+    /// Cumulative request handling wall time, microseconds.
+    request_wall_us: AtomicU64,
+    /// Bytes read from / written to clients (frame headers included).
+    bytes_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+    /// Duplicated handles of connections currently being served, so the
+    /// drain can wake handlers parked in `read` on idle keep-alive
+    /// clients (shut the read side ⇒ EOF) instead of waiting out
+    /// [`IO_TIMEOUT`]. Keyed by a serial id; entries live exactly as
+    /// long as `handle_connection` runs.
+    serving: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A [`Read`]+[`Write`] view of a connection that feeds the server-wide
+/// byte counters — `bytes_rx`/`bytes_tx` in `stats` measure real traffic,
+/// frame headers included.
+struct Metered<'a> {
+    stream: &'a TcpStream,
+    state: &'a ServerState,
+}
+
+impl Read for Metered<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.stream.read(buf)?;
+        self.state.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl Write for Metered<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.stream.write(buf)?;
+        self.state.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
 }
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    conn_workers: usize,
 }
 
 impl Server {
@@ -43,13 +166,38 @@ impl Server {
     pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let conn_workers = if cfg.conn_workers == 0 {
+            default_conn_workers()
+        } else {
+            cfg.conn_workers
+        };
+        let max_conns = if cfg.max_conns == 0 {
+            conn_workers * 2
+        } else {
+            cfg.max_conns
+        };
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 registry: Registry::new(cfg.registry),
                 stop: AtomicBool::new(false),
                 addr,
+                conns: ConnQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                    ready: Condvar::new(),
+                },
+                max_conns: max_conns.max(1) as u64,
+                active_conns: AtomicU64::new(0),
+                shed_conns: AtomicU64::new(0),
+                accepted_conns: AtomicU64::new(0),
+                requests_handled: AtomicU64::new(0),
+                request_wall_us: AtomicU64::new(0),
+                bytes_rx: AtomicU64::new(0),
+                bytes_tx: AtomicU64::new(0),
+                serving: Mutex::new(HashMap::new()),
+                next_conn_id: AtomicU64::new(0),
             }),
+            conn_workers,
         })
     }
 
@@ -58,38 +206,105 @@ impl Server {
         self.state.addr
     }
 
-    /// Accept-and-dispatch loop; returns after a `shutdown` request.
+    /// The effective handler-pool size (after defaulting).
+    pub fn conn_workers(&self) -> usize {
+        self.conn_workers
+    }
+
+    /// The effective admission cap (after defaulting).
+    pub fn max_conns(&self) -> usize {
+        self.state.max_conns as usize
+    }
+
+    /// Accept-and-dispatch loop; returns after a `shutdown` request has
+    /// drained, or with an error after persistent accept failures.
     pub fn run(self) -> io::Result<()> {
+        let handlers: Vec<_> = (0..self.conn_workers)
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || handler_loop(&state))
+            })
+            .collect();
+
+        let mut accept_result = Ok(());
+        let mut consecutive_errors = 0u32;
         for stream in self.listener.incoming() {
             if self.state.stop.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
+                Ok(s) => {
+                    consecutive_errors = 0;
+                    s
+                }
+                Err(e) => {
+                    consecutive_errors += 1;
+                    match accept_backoff(consecutive_errors) {
+                        Some(delay) => {
+                            std::thread::sleep(delay);
+                            continue;
+                        }
+                        None => {
+                            // The listener is persistently broken; stop
+                            // serving rather than spin at 100% CPU.
+                            self.state.stop.store(true, Ordering::SeqCst);
+                            accept_result = Err(e);
+                            break;
+                        }
+                    }
+                }
             };
-            let state = Arc::clone(&self.state);
-            std::thread::spawn(move || {
-                let _ = handle_connection(stream, &state);
-            });
+            // Admission control: shed instead of queueing past the cap.
+            // Only this thread admits, so load-then-add cannot overshoot.
+            if self.state.active_conns.load(Ordering::SeqCst) >= self.state.max_conns {
+                shed(stream, &self.state);
+                continue;
+            }
+            self.state.active_conns.fetch_add(1, Ordering::SeqCst);
+            self.state.accepted_conns.fetch_add(1, Ordering::Relaxed);
+            let mut q = self.state.conns.queue.lock().expect("conn queue");
+            q.push_back(stream);
+            drop(q);
+            self.state.conns.ready.notify_one();
         }
-        Ok(())
+
+        // Graceful drain: stop accepting (release the port first so
+        // clients see refusals, not hangs), wake handlers parked on idle
+        // keep-alive connections by shutting the read side (their next
+        // read sees EOF; in-flight responses still write), let every
+        // in-flight request finish, then join the pool.
+        self.state.stop.store(true, Ordering::SeqCst);
+        drop(self.listener);
+        for conn in self.state.serving.lock().expect("serving set").values() {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+        self.state.conns.ready.notify_all();
+        for h in handlers {
+            let _ = h.join();
+        }
+        accept_result
     }
 
     /// Run on a background thread; the handle shuts the server down
     /// cleanly on request (used by tests and the bench harness).
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
+        let state = Arc::clone(&self.state);
         let thread = std::thread::spawn(move || {
             let _ = self.run();
         });
-        ServerHandle { addr, thread }
+        ServerHandle {
+            addr,
+            state,
+            thread,
+        }
     }
 }
 
 /// Handle to a background server.
 pub struct ServerHandle {
     addr: SocketAddr,
+    state: Arc<ServerState>,
     thread: std::thread::JoinHandle<()>,
 }
 
@@ -98,22 +313,101 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Send `shutdown` and join the accept loop.
+    /// Stop the server and join the accept loop. Sets the stop flag
+    /// directly rather than sending a `shutdown` request: a wire request
+    /// is an ordinary connection subject to the `--max-conns` admission
+    /// cap, and a saturated server would shed it — deadlocking the join.
+    /// The loopback connect (which also works on a `0.0.0.0` bind) only
+    /// wakes the blocked `accept`; being shed is fine, the wake happened.
     pub fn shutdown(self) {
-        let _ = request(&self.addr.to_string(), &Request::Shutdown);
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self_addr(&self.addr), Duration::from_secs(1));
         let _ = self.thread.join();
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+/// One handler thread: pull admitted sockets off the queue until the
+/// server drains. Sockets admitted before shutdown but not yet served
+/// when it begins are closed unserved (the drain contract is to finish
+/// *in-flight requests*, not to start new conversations).
+fn handler_loop(state: &Arc<ServerState>) {
+    loop {
+        let stream = {
+            let mut q = state.conns.queue.lock().expect("conn queue");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if state.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = state.conns.ready.wait(q).expect("conn queue");
+            }
+        };
+        let Some(stream) = stream else { return };
+        if !state.stop.load(Ordering::SeqCst) {
+            serve_connection(stream, state);
+        }
+        state.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Serve one connection to completion, registered in the drain set and
+/// shielded against panics: a request that panics costs this connection
+/// only, never the handler thread or the `active_conns` accounting (with
+/// a thread-per-connection design a panic was naturally confined; the
+/// pool must confine it explicitly).
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        state.serving.lock().expect("serving set").insert(id, clone);
+    }
+    // Close the race with the drain sweep: if stop landed between the
+    // handler's check and this registration, the sweep may have already
+    // run — shut our own read side so the first read sees EOF.
+    if state.stop.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(std::net::Shutdown::Read);
+    }
+    // A panic is already reported by the panic hook; the connection dies
+    // with it, the server keeps serving.
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = handle_connection(stream, state);
+    }));
+    state.serving.lock().expect("serving set").remove(&id);
+}
+
+/// Refuse a connection at the admission cap: one structured `busy` frame,
+/// then close. The short write timeout keeps a slow client from pinning
+/// the acceptor thread.
+fn shed(stream: TcpStream, state: &ServerState) {
+    state.shed_conns.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut io = Metered {
+        stream: &stream,
+        state,
+    };
+    let _ = write_json(&mut io, &Response::Busy.to_json());
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    while let Some(value) = read_json(&mut stream)? {
+    let mut io = Metered {
+        stream: &stream,
+        state,
+    };
+    while let Some(value) = read_json(&mut io)? {
+        let t0 = Instant::now();
         let (response, stop) = match Request::from_json(&value) {
             Err(e) => (Response::Err(e), false),
             Ok(Request::Ping) => (Response::ok("pong"), false),
             Ok(Request::Stats) => (stats_response(state), false),
             Ok(Request::Shutdown) => (Response::ok("shutting down"), true),
+            Ok(Request::Put) => match read_frame(&mut io)? {
+                // EOF where the payload frame belongs: client hung up.
+                None => return Ok(()),
+                Some(bytes) => (put_response(&bytes, state), false),
+            },
             Ok(Request::Select(req)) => (
                 match state.registry.select(&req) {
                     Ok((body, stats_json, cache)) => {
@@ -143,26 +437,93 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
                 false,
             ),
         };
-        write_json(&mut stream, &response.to_json())?;
+        write_json(&mut io, &response.to_json())?;
+        state
+            .request_wall_us
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        state.requests_handled.fetch_add(1, Ordering::Relaxed);
         if stop {
             state.stop.store(true, Ordering::SeqCst);
-            // Wake the blocked accept with a throwaway connection so the
-            // loop observes the flag and exits.
-            let _ = TcpStream::connect_timeout(&state.addr, Duration::from_secs(1));
+            // Wake the blocked accept with a throwaway loopback
+            // connection so the loop observes the flag and exits (the
+            // bound address itself may be unspecified — `0.0.0.0`).
+            let _ = TcpStream::connect_timeout(&self_addr(&state.addr), Duration::from_secs(1));
+            break;
+        }
+        if state.stop.load(Ordering::SeqCst) {
+            // Draining: this request was in flight and finished; do not
+            // start another conversation on this connection.
             break;
         }
     }
     Ok(())
 }
 
+fn put_response(bytes: &[u8], state: &ServerState) -> Response {
+    let table = match fairsel_table::decode_table(bytes) {
+        Ok(t) => t,
+        Err(e) => return Response::Err(format!("decoding dataset: {e}")),
+    };
+    match state.registry.put(table) {
+        Ok(fp) => Response::Ok {
+            body: format!("{fp:016x}"),
+            stats: Some(Json::obj(vec![
+                ("fingerprint", Json::Str(format!("{fp:016x}"))),
+                ("bytes", Json::Num(bytes.len() as f64)),
+                (
+                    "resident_puts",
+                    Json::Num(state.registry.resident_puts() as f64),
+                ),
+            ])),
+            cache: None,
+        },
+        Err(e) => Response::Err(e),
+    }
+}
+
 fn stats_response(state: &ServerState) -> Response {
     let r = &state.registry;
+    let handled = state.requests_handled.load(Ordering::Relaxed);
+    let wall_ms = state.request_wall_us.load(Ordering::Relaxed) as f64 / 1e3;
     Response::Ok {
         body: String::new(),
         stats: Some(Json::obj(vec![
             ("resident_datasets", Json::Num(r.resident() as f64)),
+            ("resident_puts", Json::Num(r.resident_puts() as f64)),
             ("requests", Json::Num(r.requests() as f64)),
             ("dataset_evictions", Json::Num(r.evictions() as f64)),
+            ("put_evictions", Json::Num(r.put_evictions() as f64)),
+            (
+                "active_conns",
+                Json::Num(state.active_conns.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "shed_conns",
+                Json::Num(state.shed_conns.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "accepted_conns",
+                Json::Num(state.accepted_conns.load(Ordering::Relaxed) as f64),
+            ),
+            ("max_conns", Json::Num(state.max_conns as f64)),
+            (
+                "bytes_rx",
+                Json::Num(state.bytes_rx.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "bytes_tx",
+                Json::Num(state.bytes_tx.load(Ordering::Relaxed) as f64),
+            ),
+            ("requests_handled", Json::Num(handled as f64)),
+            ("request_wall_ms", Json::Num(wall_ms)),
+            (
+                "avg_request_wall_ms",
+                Json::Num(if handled == 0 {
+                    0.0
+                } else {
+                    wall_ms / handled as f64
+                }),
+            ),
         ])),
         cache: None,
     }
@@ -173,15 +534,41 @@ fn stats_response(state: &ServerState) -> Response {
 /// failure surfaces as `Err`, which the CLI treats as "fall back to local
 /// execution".
 pub fn request(addr: &str, req: &Request) -> io::Result<Response> {
+    request_raw(addr, req.to_json().to_string().as_bytes())
+}
+
+/// [`request`] over an already-serialized request payload — for callers
+/// that measured or cached the frame bytes and should not pay a second
+/// serialization (the CLI's transport telemetry does).
+pub fn request_raw(addr: &str, payload: &[u8]) -> io::Result<Response> {
+    let mut stream = connect(addr)?;
+    crate::proto::write_frame(&mut stream, payload)?;
+    read_response(&mut stream)
+}
+
+/// One-shot dataset upload: send `put` plus the raw
+/// [`fairsel_table::codec`] payload, and return the server's response
+/// (`body` is the dataset fingerprint as 16 hex chars on success).
+pub fn put_dataset(addr: &str, codec_bytes: &[u8]) -> io::Result<Response> {
+    let mut stream = connect(addr)?;
+    write_json(&mut stream, &Request::Put.to_json())?;
+    crate::proto::write_frame(&mut stream, codec_bytes)?;
+    read_response(&mut stream)
+}
+
+fn connect(addr: &str) -> io::Result<TcpStream> {
     let sock = addr
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
-    let mut stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5))?;
+    let stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    write_json(&mut stream, &req.to_json())?;
-    match read_json(&mut stream)? {
+    Ok(stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    match read_json(stream)? {
         Some(v) => {
             Response::from_json(&v).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
         }
@@ -195,11 +582,11 @@ pub fn request(addr: &str, req: &Request) -> io::Result<Response> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::WorkloadRequest;
-    use fairsel_table::{csv, Column, Role, Table};
+    use crate::proto::{DatasetRef, WorkloadRequest};
+    use fairsel_table::{codec, csv, Column, Role, Table};
 
-    fn csv_text(rows: usize) -> String {
-        let t = Table::new(vec![
+    fn small_table(rows: usize) -> Table {
+        Table::new(vec![
             Column::cat(
                 "s",
                 Role::Sensitive,
@@ -219,8 +606,11 @@ mod tests {
                 2,
             ),
         ])
-        .unwrap();
-        csv::to_csv_string(&t)
+        .unwrap()
+    }
+
+    fn csv_text(rows: usize) -> String {
+        csv::to_csv_string(&small_table(rows))
     }
 
     #[test]
@@ -232,10 +622,7 @@ mod tests {
         let pong = request(&addr, &Request::Ping).unwrap();
         assert_eq!(pong, Response::ok("pong"));
 
-        let req = Request::Select(WorkloadRequest {
-            csv: csv_text(200),
-            ..Default::default()
-        });
+        let req = Request::Select(WorkloadRequest::with_csv(csv_text(200)));
         let first = request(&addr, &req).unwrap();
         let Response::Ok { body, stats, cache } = first else {
             panic!("select failed: {first:?}");
@@ -266,6 +653,18 @@ mod tests {
         };
         assert_eq!(s.get_u64("requests"), Some(2));
         assert_eq!(s.get_u64("resident_datasets"), Some(1));
+        // Connection telemetry: every request above was its own admitted
+        // connection; nothing was shed; real bytes moved both ways; the
+        // request clock ticked.
+        assert_eq!(s.get_u64("shed_conns"), Some(0));
+        // At least the stats connection itself is active; earlier
+        // one-shot connections may linger until their handler sees EOF.
+        let active = s.get_u64("active_conns").unwrap();
+        assert!((1..=4).contains(&active), "active_conns = {active}");
+        assert!(s.get_u64("accepted_conns").unwrap() >= 4);
+        assert!(s.get_u64("bytes_rx").unwrap() > 0);
+        assert!(s.get_u64("bytes_tx").unwrap() > 0);
+        assert!(s.get_num("request_wall_ms").unwrap() > 0.0);
 
         handle.shutdown();
         // The port is released: further requests fail to connect.
@@ -280,10 +679,7 @@ mod tests {
 
         let bad = request(
             &addr,
-            &Request::Select(WorkloadRequest {
-                csv: "garbage".into(),
-                ..Default::default()
-            }),
+            &Request::Select(WorkloadRequest::with_csv("garbage")),
         )
         .unwrap();
         assert!(matches!(bad, Response::Err(_)));
@@ -304,10 +700,7 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
         let addr = server.local_addr().to_string();
         let handle = server.spawn();
-        let req = Request::Methods(WorkloadRequest {
-            csv: csv_text(240),
-            ..Default::default()
-        });
+        let req = Request::Methods(WorkloadRequest::with_csv(csv_text(240)));
         let resp = request(&addr, &req).unwrap();
         let Response::Ok { body, cache, .. } = resp else {
             panic!("methods failed: {resp:?}");
@@ -346,10 +739,7 @@ mod tests {
         // it is answered from the sweep's warmed cache.
         let sel = request(
             &addr,
-            &Request::Select(WorkloadRequest {
-                csv: csv_text(240),
-                ..Default::default()
-            }),
+            &Request::Select(WorkloadRequest::with_csv(csv_text(240))),
         )
         .unwrap();
         let Response::Ok {
@@ -361,5 +751,196 @@ mod tests {
         let sel_cache = sel_cache.unwrap();
         assert_eq!(sel_cache.sessions_served, 3, "one session serves all three");
         handle.shutdown();
+    }
+
+    /// `put` + fingerprint-addressed `select` over real TCP: the warm
+    /// request ships a few hundred bytes, resolves against the uploaded
+    /// table, and returns a body byte-identical to the inline-CSV path.
+    #[test]
+    fn put_then_select_by_fp_over_tcp() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let table = small_table(200);
+        let resp = put_dataset(&addr, &codec::encode_table(&table)).unwrap();
+        let Response::Ok { body: fp_hex, .. } = resp else {
+            panic!("put failed: {resp:?}");
+        };
+        let fp = u64::from_str_radix(&fp_hex, 16).expect("hex fingerprint");
+
+        let by_fp = Request::Select(WorkloadRequest {
+            dataset: DatasetRef::Fp(fp),
+            ..Default::default()
+        });
+        let Response::Ok { body, cache, .. } = request(&addr, &by_fp).unwrap() else {
+            panic!("select by fp failed");
+        };
+        assert_eq!(cache.unwrap().fingerprint, fp);
+
+        let by_csv = Request::Select(WorkloadRequest::with_csv(csv_text(200)));
+        let Response::Ok { body: body2, .. } = request(&addr, &by_csv).unwrap() else {
+            panic!("select by csv failed");
+        };
+        assert_eq!(body, body2, "fp and csv spellings must agree byte-for-byte");
+
+        // An unknown fingerprint is a clean error, not a hang or crash.
+        let unknown = Request::Select(WorkloadRequest {
+            dataset: DatasetRef::Fp(fp ^ 1),
+            ..Default::default()
+        });
+        let Response::Err(e) = request(&addr, &unknown).unwrap() else {
+            panic!("unknown fp must error");
+        };
+        assert!(e.contains("unknown dataset fingerprint"), "{e}");
+
+        // Corrupt codec bytes are rejected with a decode error.
+        let Response::Err(e) = put_dataset(&addr, b"not a table").unwrap() else {
+            panic!("bad put must error");
+        };
+        assert!(e.contains("decoding dataset"), "{e}");
+
+        handle.shutdown();
+    }
+
+    /// Regression: the shutdown wake-up used to connect to the bound
+    /// address verbatim; bound to `0.0.0.0:0` that connect targets the
+    /// unspecified address (platform-dependent, fails on some systems)
+    /// and the accept loop hangs until the next organic connection.
+    /// `shutdown` must return promptly on a wildcard bind.
+    #[test]
+    fn shutdown_drains_promptly_on_wildcard_bind() {
+        let server = Server::bind("0.0.0.0:0", ServeConfig::default()).unwrap();
+        let bound = server.local_addr();
+        assert!(bound.ip().is_unspecified());
+        let reach = self_addr(&bound).to_string();
+        let handle = server.spawn();
+        let pong = request(&reach, &Request::Ping).unwrap();
+        assert_eq!(pong, Response::ok("pong"));
+
+        let t0 = Instant::now();
+        handle.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "wildcard-bind shutdown hung for {:?}",
+            t0.elapsed()
+        );
+        assert!(request(&reach, &Request::Ping).is_err(), "port released");
+    }
+
+    /// The admission cap sheds excess connections with the structured
+    /// busy response while admitted connections keep working.
+    #[test]
+    fn admission_cap_sheds_with_busy() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                conn_workers: 2,
+                max_conns: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let sock: SocketAddr = addr.parse().unwrap();
+        let handle = server.spawn();
+
+        // Two held connections occupy the cap…
+        let mut held: Vec<TcpStream> = (0..2)
+            .map(|_| {
+                let mut s = TcpStream::connect_timeout(&sock, Duration::from_secs(5)).unwrap();
+                write_json(&mut s, &Request::Ping.to_json()).unwrap();
+                let resp = Response::from_json(&read_json(&mut s).unwrap().unwrap()).unwrap();
+                assert_eq!(resp, Response::ok("pong"));
+                s
+            })
+            .collect();
+        // …so the third is shed with `busy`.
+        let mut extra = TcpStream::connect_timeout(&sock, Duration::from_secs(5)).unwrap();
+        let resp = Response::from_json(&read_json(&mut extra).unwrap().unwrap()).unwrap();
+        assert_eq!(resp, Response::Busy);
+        drop(extra);
+
+        // Held connections still serve requests — including exact
+        // telemetry: both admitted slots live, exactly one connection
+        // shed so far.
+        for s in &mut held {
+            write_json(s, &Request::Ping.to_json()).unwrap();
+            let resp = Response::from_json(&read_json(s).unwrap().unwrap()).unwrap();
+            assert_eq!(resp, Response::ok("pong"));
+        }
+        write_json(&mut held[0], &Request::Stats.to_json()).unwrap();
+        let resp = Response::from_json(&read_json(&mut held[0]).unwrap().unwrap()).unwrap();
+        let Response::Ok { stats: Some(s), .. } = resp else {
+            panic!("stats on a held connection failed");
+        };
+        assert_eq!(s.get_u64("shed_conns"), Some(1));
+        assert_eq!(s.get_u64("active_conns"), Some(2));
+        drop(held);
+
+        // Once the held connections close, new ones are admitted again.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match request(&addr, &Request::Ping) {
+                Ok(Response::Ok { .. }) => break,
+                Ok(Response::Busy) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("ping after drain: {other:?}"),
+            }
+        }
+        handle.shutdown();
+    }
+
+    /// Regression: graceful drain must not wait out `IO_TIMEOUT` on
+    /// handlers parked reading an idle keep-alive connection — the drain
+    /// shuts their read side so they observe EOF immediately.
+    #[test]
+    fn shutdown_is_prompt_with_idle_connection_held_open() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        // Park a handler: complete one ping, then hold the socket open.
+        let mut idle = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+        write_json(&mut idle, &Request::Ping.to_json()).unwrap();
+        assert!(read_json(&mut idle).unwrap().is_some());
+
+        let t0 = Instant::now();
+        handle.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "drain hung {:?} on an idle connection",
+            t0.elapsed()
+        );
+        drop(idle);
+    }
+
+    #[test]
+    fn accept_backoff_is_bounded_and_capped() {
+        // First failure: smallest delay; growth is monotone and capped.
+        let mut last = Duration::ZERO;
+        for k in 1..=MAX_CONSECUTIVE_ACCEPT_ERRORS {
+            let d = accept_backoff(k).expect("within cap");
+            assert!(d >= last, "backoff must not shrink");
+            assert!(d <= Duration::from_millis(128), "backoff must stay bounded");
+            last = d;
+        }
+        assert_eq!(accept_backoff(1), Some(Duration::from_millis(1)));
+        assert_eq!(
+            accept_backoff(MAX_CONSECUTIVE_ACCEPT_ERRORS + 1),
+            None,
+            "past the cap the loop must exit with an error"
+        );
+    }
+
+    #[test]
+    fn self_addr_maps_wildcards_to_loopback() {
+        let v4: SocketAddr = "0.0.0.0:4990".parse().unwrap();
+        assert_eq!(self_addr(&v4), "127.0.0.1:4990".parse().unwrap());
+        let v6: SocketAddr = "[::]:4990".parse().unwrap();
+        assert_eq!(self_addr(&v6), "[::1]:4990".parse().unwrap());
+        let concrete: SocketAddr = "127.0.0.1:7".parse().unwrap();
+        assert_eq!(self_addr(&concrete), concrete);
     }
 }

@@ -20,14 +20,19 @@
 //!   [`SourceRegistry::integrate`], get the exhaustive feature table the
 //!   selection algorithms then prune;
 //! * CSV round-tripping with a role-annotated header so generated datasets
-//!   can be persisted and inspected.
+//!   can be persisted and inspected;
+//! * a compact binary column [`codec`] (length-prefixed typed columns,
+//!   exact float bits) — the `put` wire format of `fairsel serve`, so a
+//!   dataset is uploaded once and addressed by fingerprint afterwards.
 
+pub mod codec;
 pub mod csv;
 pub mod encode;
 pub mod integrate;
 pub mod lru;
 pub mod table;
 
+pub use codec::{decode_table, encode_table, CodecError};
 pub use encode::{EncodeStats, EncodedTable, Encoding, DEFAULT_CACHE_CAP};
 pub use integrate::SourceRegistry;
 pub use lru::CappedCache;

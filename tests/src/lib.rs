@@ -1280,7 +1280,8 @@ mod server_equivalence {
     /// What a local single-process `fairsel select` of this workload
     /// prints as its deterministic report (the CLI path, replicated).
     fn local_body(req: &WorkloadRequest) -> String {
-        let table = csv::from_csv_string(&req.csv).expect("csv");
+        let table =
+            csv::from_csv_string(req.dataset.as_csv().expect("inline csv workload")).expect("csv");
         let mut rng = StdRng::seed_from_u64(req.seed);
         let (train, test) = table.split_train_test(&mut rng, req.train_frac);
         let cfg = pipeline_config(req, train.n_rows()).expect("config");
@@ -1296,7 +1297,7 @@ mod server_equivalence {
         let csv_a = workload_csv(5, 14, 900);
         let csv_b = workload_csv(6, 10, 600);
         let wl = |csv: &str, algo: &str| WorkloadRequest {
-            csv: csv.to_owned(),
+            dataset: fairsel_server::DatasetRef::Csv(csv.to_owned()),
             algo: algo.into(),
             workers: 2,
             ..Default::default()
@@ -1364,6 +1365,268 @@ mod server_equivalence {
         };
         assert_eq!(s.get_u64("requests"), Some(4 * 2 * 3 + 1));
         assert_eq!(s.get_u64("resident_datasets"), Some(2));
+
+        handle.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod server_saturation {
+    //! The bounded-acceptor acceptance property: with more simultaneous
+    //! clients than `--max-conns`, excess connections are shed with the
+    //! **structured busy error** (not silently queued, not dropped),
+    //! admitted connections complete **byte-identical** to local runs of
+    //! the same workload, and the `shed_conns` / `active_conns` counters
+    //! are exact.
+
+    use fairsel_ci::GTest;
+    use fairsel_core::{render_pipeline_report, run_pipeline_batched};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_server::proto::{read_json, write_json};
+    use fairsel_server::{
+        pipeline_config, request, Request, Response, ServeConfig, Server, WorkloadRequest,
+    };
+    use fairsel_table::csv;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn workload_csv(seed: u64, n_features: usize, rows: usize) -> String {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        csv::to_csv_string(&sample_table(&scm, &inst.roles, rows, &mut rng))
+    }
+
+    fn local_body(req: &WorkloadRequest) -> String {
+        let table = csv::from_csv_string(req.dataset.as_csv().expect("inline csv")).expect("csv");
+        let mut rng = StdRng::seed_from_u64(req.seed);
+        let (train, test) = table.split_train_test(&mut rng, req.train_frac);
+        let cfg = pipeline_config(req, train.n_rows()).expect("config");
+        let out = run_pipeline_batched(GTest::new(&train, req.alpha), &train, &test, &cfg);
+        render_pipeline_report(&out, &train, &cfg, test.n_rows())
+    }
+
+    #[test]
+    fn saturating_clients_shed_exactly_and_admitted_match_local() {
+        const MAX_CONNS: usize = 4;
+        const EXCESS: usize = 3;
+
+        let wl = WorkloadRequest::with_csv(workload_csv(19, 10, 500));
+        let expected = local_body(&wl);
+
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                // One handler per admissible connection, so held-open
+                // connections never starve each other.
+                conn_workers: MAX_CONNS,
+                max_conns: MAX_CONNS,
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let sock = server.local_addr();
+        let addr = sock.to_string();
+        let handle = server.spawn();
+
+        // Fill every admission slot and prove each connection is live
+        // (the ping round trip means the server admitted it).
+        let mut held: Vec<TcpStream> = (0..MAX_CONNS)
+            .map(|i| {
+                let mut s =
+                    TcpStream::connect_timeout(&sock, Duration::from_secs(5)).expect("connect");
+                s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                write_json(&mut s, &Request::Ping.to_json()).unwrap();
+                let resp = Response::from_json(&read_json(&mut s).unwrap().unwrap()).unwrap();
+                assert_eq!(resp, Response::ok("pong"), "held connection {i}");
+                s
+            })
+            .collect();
+
+        // Every client past the cap gets the structured busy error —
+        // before it even writes a request.
+        for i in 0..EXCESS {
+            let mut extra =
+                TcpStream::connect_timeout(&sock, Duration::from_secs(5)).expect("connect");
+            extra
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let resp = Response::from_json(&read_json(&mut extra).unwrap().unwrap()).unwrap();
+            assert_eq!(resp, Response::Busy, "excess connection {i} must be shed");
+        }
+
+        // The admitted connections now run the real workload
+        // simultaneously — saturated server, responses byte-identical to
+        // the local single-process run.
+        std::thread::scope(|scope| {
+            for (i, s) in held.iter_mut().enumerate() {
+                let wl = &wl;
+                let expected = &expected;
+                scope.spawn(move || {
+                    write_json(s, &Request::Select(wl.clone()).to_json()).unwrap();
+                    let resp = Response::from_json(&read_json(s).unwrap().unwrap()).unwrap();
+                    let Response::Ok { body, .. } = resp else {
+                        panic!("admitted client {i} failed: {resp:?}");
+                    };
+                    assert_eq!(
+                        &body, expected,
+                        "client {i}: saturated-server body diverged from local run"
+                    );
+                });
+            }
+        });
+
+        // Counters, read through a held connection so nothing else can
+        // be shed in between: exactly EXCESS shed, exactly MAX_CONNS
+        // active (the held ones — including the connection answering).
+        write_json(&mut held[0], &Request::Stats.to_json()).unwrap();
+        let resp = Response::from_json(&read_json(&mut held[0]).unwrap().unwrap()).unwrap();
+        let Response::Ok { stats: Some(s), .. } = resp else {
+            panic!("stats over held connection failed");
+        };
+        assert_eq!(s.get_u64("shed_conns"), Some(EXCESS as u64));
+        assert_eq!(s.get_u64("active_conns"), Some(MAX_CONNS as u64));
+        assert_eq!(s.get_u64("accepted_conns"), Some(MAX_CONNS as u64));
+        assert_eq!(s.get_u64("max_conns"), Some(MAX_CONNS as u64));
+        assert!(s.get_u64("bytes_rx").unwrap() > 0);
+        assert!(s.get_u64("bytes_tx").unwrap() > 0);
+
+        // Release the slots; the server is admitting again.
+        drop(held);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match request(&addr, &Request::Ping) {
+                Ok(Response::Ok { .. }) => break,
+                Ok(Response::Busy) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("ping after release: {other:?}"),
+            }
+        }
+        handle.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod fp_addressed_requests {
+    //! The fingerprint-addressed transport acceptance property: after a
+    //! single `put`, a warm `select` by fingerprint issues **zero** CI
+    //! tests, ships **< 1 KiB** of request payload, and returns a body
+    //! byte-identical to both the inline-CSV remote spelling and a local
+    //! run.
+
+    use fairsel_ci::GTest;
+    use fairsel_core::{render_pipeline_report, run_pipeline_batched};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_server::{
+        pipeline_config, put_dataset, request, DatasetRef, Request, Response, ServeConfig, Server,
+        WorkloadRequest,
+    };
+    use fairsel_table::{codec, csv, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload_table(seed: u64, n_features: usize, rows: usize) -> Table {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    }
+
+    #[test]
+    fn warm_fp_select_issues_zero_tests_under_1_kib() {
+        let table = workload_table(23, 12, 700);
+        let csv_text = csv::to_csv_string(&table);
+
+        // The local reference body.
+        let csv_wl = WorkloadRequest::with_csv(csv_text.clone());
+        let parsed = csv::from_csv_string(&csv_text).expect("csv");
+        let mut rng = StdRng::seed_from_u64(csv_wl.seed);
+        let (train, test) = parsed.split_train_test(&mut rng, csv_wl.train_frac);
+        let cfg = pipeline_config(&csv_wl, train.n_rows()).expect("config");
+        let out = run_pipeline_batched(GTest::new(&train, csv_wl.alpha), &train, &test, &cfg);
+        let expected = render_pipeline_report(&out, &train, &cfg, test.n_rows());
+
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        // Upload once; the server fingerprints the decoded table.
+        let resp = put_dataset(&addr, &codec::encode_table(&table)).expect("put");
+        let Response::Ok { body: fp_hex, .. } = resp else {
+            panic!("put failed: {resp:?}");
+        };
+        let fp = u64::from_str_radix(&fp_hex, 16).expect("hex fp");
+
+        // Cold fp-addressed select: tiny request, full local fidelity.
+        let fp_req = Request::Select(WorkloadRequest {
+            dataset: DatasetRef::Fp(fp),
+            ..Default::default()
+        });
+        let frame_bytes = fp_req.to_json().to_string().len() + 4;
+        assert!(
+            frame_bytes < 1024,
+            "fp-addressed request frame is {frame_bytes} bytes, must be < 1 KiB"
+        );
+        let Response::Ok { body, stats, .. } = request(&addr, &fp_req).expect("fp select") else {
+            panic!("fp select failed");
+        };
+        assert_eq!(body, expected, "fp-addressed body must match local run");
+        let cold_issued = stats.unwrap().get_u64("issued").expect("issued");
+        assert!(cold_issued > 0, "cold request pays the CI tests");
+
+        // Warm repeat by fingerprint: zero new CI tests (cumulative
+        // session `issued` unchanged), nonzero shared hits.
+        let Response::Ok {
+            body: warm_body,
+            stats: warm_stats,
+            cache,
+            ..
+        } = request(&addr, &fp_req).expect("warm fp select")
+        else {
+            panic!("warm fp select failed");
+        };
+        assert_eq!(warm_body, expected);
+        let warm_stats = warm_stats.unwrap();
+        assert_eq!(
+            warm_stats.get_u64("issued"),
+            Some(cold_issued),
+            "warm fp select must issue 0 new CI tests"
+        );
+        assert!(cache.unwrap().shared_hits > 0);
+
+        // The inline-CSV spelling lands in the same session and agrees
+        // byte-for-byte — fp addressing is a pure transport optimization.
+        let Response::Ok {
+            body: csv_body,
+            stats: csv_stats,
+            ..
+        } = request(&addr, &Request::Select(csv_wl)).expect("csv select")
+        else {
+            panic!("csv select failed");
+        };
+        assert_eq!(csv_body, expected);
+        assert_eq!(
+            csv_stats.unwrap().get_u64("issued"),
+            Some(cold_issued),
+            "csv spelling reuses the fp-warmed session"
+        );
 
         handle.shutdown();
     }
