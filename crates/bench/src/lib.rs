@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BenchResult {
     /// Scenario label, e.g. `oracle/n=256`.
     pub scenario: String,
@@ -58,6 +58,20 @@ pub struct BenchResult {
     pub req_bytes: u64,
     /// Features the run selected.
     pub selected: usize,
+    /// Per-request latency percentiles, milliseconds — `0` for scenarios
+    /// that measure one aggregate wall time instead of a distribution.
+    /// Derived from a log2-bucketed [`fairsel_obs::Histogram`], so
+    /// `p50 <= p95 <= p99 <= max` holds by construction (the validator
+    /// enforces it wherever `hist_total > 0`).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Maximum observed request latency, milliseconds.
+    pub max_ms: f64,
+    /// Number of per-request samples behind the percentiles.
+    pub hist_total: u64,
 }
 
 impl BenchResult {
@@ -67,7 +81,9 @@ impl BenchResult {
              \"requested\":{},\"issued\":{},\"cache_hits\":{},\
              \"speculative_issued\":{},\"speculative_hits\":{},\
              \"encode_hits\":{},\"encode_misses\":{},\
-             \"wall_ms\":{:.3},\"req_bytes\":{},\"selected\":{}}}",
+             \"wall_ms\":{:.3},\"req_bytes\":{},\"selected\":{},\
+             \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
+             \"max_ms\":{:.3},\"hist_total\":{}}}",
             self.scenario,
             self.algo,
             self.n_features,
@@ -80,8 +96,23 @@ impl BenchResult {
             self.encode_misses,
             self.wall_ms,
             self.req_bytes,
-            self.selected
+            self.selected,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.hist_total
         )
+    }
+
+    /// Fill the percentile columns from a recorded latency histogram
+    /// (µs buckets → ms columns).
+    fn set_latency(&mut self, snap: &fairsel_obs::HistSnapshot) {
+        self.p50_ms = snap.p50() as f64 / 1e3;
+        self.p95_ms = snap.p95() as f64 / 1e3;
+        self.p99_ms = snap.p99() as f64 / 1e3;
+        self.max_ms = snap.max as f64 / 1e3;
+        self.hist_total = snap.count;
     }
 }
 
@@ -137,6 +168,7 @@ where
         wall_ms,
         req_bytes: 0,
         selected,
+        ..Default::default()
     }
 }
 
@@ -486,6 +518,7 @@ pub fn serve_cold_warm(n_features: usize, rows: usize) -> Vec<BenchResult> {
             wall_ms,
             req_bytes,
             selected,
+            ..Default::default()
         }
     };
     let cold = shoot("serve-cold", None);
@@ -551,12 +584,14 @@ pub fn serve_concurrent(n_features: usize, rows: usize, clients: usize) -> Vec<B
     let mut wave = |algo: &str, req: &Request| -> BenchResult {
         let req_bytes = (req.to_json().to_string().len() + 4) as u64;
         let t0 = Instant::now();
-        let outcomes: Vec<(u64, u64, u64, u64, u64, usize)> = std::thread::scope(|scope| {
+        let outcomes: Vec<(u64, u64, u64, u64, u64, usize, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
                 .map(|_| {
                     let addr = &addr;
                     scope.spawn(move || {
+                        let t_req = Instant::now();
                         let resp = request(addr, req).expect("concurrent request");
+                        let lat_us = t_req.elapsed().as_micros() as u64;
                         let Response::Ok { body, stats, cache } = resp else {
                             panic!("concurrent request failed: {resp:?}");
                         };
@@ -571,6 +606,7 @@ pub fn serve_concurrent(n_features: usize, rows: usize, clients: usize) -> Vec<B
                             cache.encode_hits,
                             cache.encode_misses,
                             selected,
+                            lat_us,
                         )
                     })
                 })
@@ -583,7 +619,11 @@ pub fn serve_concurrent(n_features: usize, rows: usize, clients: usize) -> Vec<B
             outcomes.iter().map(|o| o.1).max().unwrap_or(0),
             outcomes.iter().map(|o| o.2).max().unwrap_or(0),
         );
-        let row = BenchResult {
+        let hist = fairsel_obs::Histogram::new();
+        for o in &outcomes {
+            hist.record(o.6);
+        }
+        let mut row = BenchResult {
             scenario: scenario.clone(),
             algo: algo.to_owned(),
             n_features,
@@ -597,7 +637,9 @@ pub fn serve_concurrent(n_features: usize, rows: usize, clients: usize) -> Vec<B
             wall_ms,
             req_bytes,
             selected: outcomes.first().map_or(0, |o| o.5),
+            ..Default::default()
         };
+        row.set_latency(&hist.snapshot());
         cum = after;
         row
     };
@@ -630,11 +672,145 @@ pub fn serve_concurrent(n_features: usize, rows: usize, clients: usize) -> Vec<B
         wall_ms: put_wall,
         req_bytes: (Request::Put.to_json().to_string().len() + 4 + 4 + codec_bytes.len()) as u64,
         selected: 0,
+        ..Default::default()
     };
     let warm_fp = wave("serve-warm-fp", &workload(DatasetRef::Fp(fp)));
 
     handle.shutdown();
     vec![cold, warm_csv, put_row, warm_fp]
+}
+
+/// The latency-tail story: a mixed hot/cold client population against one
+/// server, the regime the per-command histograms exist for. Hot clients
+/// hammer a warmed, fingerprint-addressed dataset (cache hits, requests of
+/// a few hundred bytes); cold clients each ship a *distinct* CSV dataset,
+/// paying parse + split + encode + every CI test. Both populations run
+/// concurrently for `rounds` requests per client, and each one's
+/// per-request latencies land in a log2 [`fairsel_obs::Histogram`] — the
+/// two rows report p50/p95/p99/max per population, making the tail the
+/// cold builds put on the mix visible (a lifetime mean would average it
+/// away).
+pub fn serve_latency_tail(
+    n_features: usize,
+    rows: usize,
+    hot_clients: usize,
+    cold_clients: usize,
+    rounds: usize,
+) -> Vec<BenchResult> {
+    use fairsel_server::{
+        put_dataset, request, DatasetRef, Request, Response, ServeConfig, Server, WorkloadRequest,
+    };
+
+    let gen_table = |seed: u64| {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    };
+    let hot_table = gen_table(42);
+    let cold_csvs: Vec<String> = (0..cold_clients)
+        .map(|i| fairsel_table::csv::to_csv_string(&gen_table(100 + i as u64)))
+        .collect();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_conns: (hot_clients + cold_clients) * 2 + 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let workload = |dataset: DatasetRef| {
+        Request::Select(WorkloadRequest {
+            dataset,
+            max_group: fairsel_server::MaxGroupSpec::Auto,
+            ..Default::default()
+        })
+    };
+
+    // Warm the hot path: upload once, run the workload once so every hot
+    // request below is a pure cache hit.
+    let resp = put_dataset(&addr, &fairsel_table::encode_table(&hot_table)).expect("put");
+    let Response::Ok { body: fp_hex, .. } = resp else {
+        panic!("put failed: {resp:?}");
+    };
+    let fp = u64::from_str_radix(&fp_hex, 16).expect("hex fingerprint");
+    let hot_req = workload(DatasetRef::Fp(fp));
+    match request(&addr, &hot_req).expect("warmup request") {
+        Response::Ok { .. } => {}
+        other => panic!("warmup failed: {other:?}"),
+    }
+
+    let hot_hist = fairsel_obs::Histogram::new();
+    let cold_hist = fairsel_obs::Histogram::new();
+    let shoot = |req: &Request, hist: &fairsel_obs::Histogram| {
+        let t0 = Instant::now();
+        let resp = request(&addr, req).expect("tail request");
+        hist.record(t0.elapsed().as_micros() as u64);
+        match resp {
+            Response::Ok { .. } => {}
+            other => panic!("tail request failed: {other:?}"),
+        }
+    };
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..hot_clients {
+            let (hot_req, hot_hist, shoot) = (&hot_req, &hot_hist, &shoot);
+            scope.spawn(move || {
+                for _ in 0..rounds {
+                    shoot(hot_req, hot_hist);
+                }
+            });
+        }
+        for csv_text in &cold_csvs {
+            let (cold_hist, shoot, workload) = (&cold_hist, &shoot, &workload);
+            scope.spawn(move || {
+                let req = workload(DatasetRef::Csv(csv_text.clone()));
+                for _ in 0..rounds {
+                    shoot(&req, cold_hist);
+                }
+            });
+        }
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    handle.shutdown();
+
+    let scenario = format!(
+        "serve/latency-tail/n={n_features}/rows={rows}/hot={hot_clients}/cold={cold_clients}"
+    );
+    let row = |algo: &str, hist: &fairsel_obs::Histogram, req_bytes: u64| -> BenchResult {
+        let mut r = BenchResult {
+            scenario: scenario.clone(),
+            algo: algo.to_owned(),
+            n_features,
+            wall_ms,
+            req_bytes,
+            ..Default::default()
+        };
+        r.set_latency(&hist.snapshot());
+        r
+    };
+    let hot_bytes = (hot_req.to_json().to_string().len() + 4) as u64;
+    let cold_bytes = cold_csvs.first().map_or(0, |c| {
+        (workload(DatasetRef::Csv(c.clone()))
+            .to_json()
+            .to_string()
+            .len()
+            + 4) as u64
+    });
+    vec![
+        row("tail-hot", &hot_hist, hot_bytes),
+        row("tail-cold", &cold_hist, cold_bytes),
+    ]
 }
 
 /// The cache story: the same workload replayed inside one session issues
@@ -680,6 +856,7 @@ pub fn cache_replay(n_features: usize) -> Vec<BenchResult> {
         wall_ms,
         req_bytes: 0,
         selected,
+        ..Default::default()
     };
     vec![first, second]
 }
@@ -712,6 +889,11 @@ pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
         serve_rows,
         if quick { 3 } else { 4 },
     ));
+    if quick {
+        out.extend(serve_latency_tail(serve_n, serve_rows, 2, 2, 2));
+    } else {
+        out.extend(serve_latency_tail(serve_n, serve_rows, 4, 3, 3));
+    }
     out
 }
 
@@ -727,11 +909,21 @@ pub fn smoke_suite() -> Vec<BenchResult> {
     let mut out = data_tester_modes(16, 800, 2, 1);
     out.extend(serve_cold_warm(12, 600));
     out.extend(serve_concurrent(12, 600, 3));
+    out.extend(serve_latency_tail(10, 400, 2, 2, 2));
     out
 }
 
 /// Read an integer field out of one run's flat JSON body.
 fn run_field(run: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = run.find(&pat)? + pat.len();
+    let rest = &run[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Read a float field out of one run's flat JSON body.
+fn run_field_f64(run: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let at = run.find(&pat)? + pat.len();
     let rest = &run[at..];
@@ -786,6 +978,11 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         "\"speculative_hits\":",
         "\"wall_ms\":",
         "\"req_bytes\":",
+        "\"p50_ms\":",
+        "\"p95_ms\":",
+        "\"p99_ms\":",
+        "\"max_ms\":",
+        "\"hist_total\":",
     ] {
         let runs = json.matches("\"scenario\":").count();
         if json.matches(key).count() != runs {
@@ -874,6 +1071,33 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         return Err(format!(
             "warm fp-addressed request payload is {req_bytes} bytes (must be in 1..1024)"
         ));
+    }
+    // Percentile sanity: wherever a run recorded a latency histogram, its
+    // percentiles must ascend (p50 <= p95 <= p99 <= max — guaranteed by
+    // the log2-bucket quantile construction, so a violation means a
+    // broken or hand-edited document).
+    for r in &runs {
+        let total = run_field(r, "hist_total").ok_or("unreadable hist_total")?;
+        if total == 0 {
+            continue;
+        }
+        let p50 = run_field_f64(r, "p50_ms").ok_or("unreadable p50_ms")?;
+        let p95 = run_field_f64(r, "p95_ms").ok_or("unreadable p95_ms")?;
+        let p99 = run_field_f64(r, "p99_ms").ok_or("unreadable p99_ms")?;
+        let max = run_field_f64(r, "max_ms").ok_or("unreadable max_ms")?;
+        if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            return Err(format!(
+                "percentiles not monotone in a run ({p50} / {p95} / {p99} / max {max})"
+            ));
+        }
+    }
+    // The tail-latency acceptance signal: the hot/cold mixed scenario ran
+    // and actually recorded per-request latencies.
+    let tail_ok = runs.iter().any(|r| {
+        r.starts_with("serve/latency-tail") && run_field(r, "hist_total").unwrap_or(0) > 0
+    });
+    if !tail_ok {
+        return Err("no serve/latency-tail run with hist_total > 0".into());
     }
     Ok(())
 }
@@ -1013,8 +1237,20 @@ mod tests {
             "{{\"scenario\":\"{scenario}\",\"algo\":\"{algo}\",\"issued\":{issued},\
              \"cache_hits\":9,\"speculative_issued\":{},\"speculative_hits\":{},\
              \"encode_hits\":{enc_hits},\"encode_misses\":9,\"wall_ms\":1.0,\
-             \"req_bytes\":{req_bytes}}}",
+             \"req_bytes\":{req_bytes},\"p50_ms\":0.000,\"p95_ms\":0.000,\
+             \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0}}",
             spec.0, spec.1
+        )
+    }
+
+    /// A fake latency-tail run with explicit percentile columns.
+    fn fake_tail_run(p50: f64, p95: f64, p99: f64, max: f64, total: u64) -> String {
+        format!(
+            "{{\"scenario\":\"serve/latency-tail/x\",\"algo\":\"tail-hot\",\"issued\":0,\
+             \"cache_hits\":9,\"speculative_issued\":0,\"speculative_hits\":0,\
+             \"encode_hits\":5,\"encode_misses\":9,\"wall_ms\":1.0,\
+             \"req_bytes\":300,\"p50_ms\":{p50},\"p95_ms\":{p95},\
+             \"p99_ms\":{p99},\"max_ms\":{max},\"hist_total\":{total}}}"
         )
     }
 
@@ -1034,6 +1270,7 @@ mod tests {
             fake_run("fisherz-batch/x", "grpsel-spec", 8, (6, 4), 5, 0),
             fake_run("serve/x", "serve-warm", 0, (0, 0), 5, 9000),
             fake_run("serve/concurrent/x", "serve-warm-fp", 0, (0, 0), 5, 300),
+            fake_tail_run(0.5, 1.0, 2.0, 3.0, 6),
         ]
     }
 
@@ -1092,6 +1329,61 @@ mod tests {
         assert!(validate_bench_json(&fake_doc(&missing))
             .unwrap_err()
             .contains("no grpsel-spec run"));
+    }
+
+    #[test]
+    fn validator_requires_monotone_percentiles_and_tail_run() {
+        // Missing the latency-tail row entirely.
+        let mut no_tail = valid_rows();
+        no_tail.pop();
+        assert!(validate_bench_json(&fake_doc(&no_tail))
+            .unwrap_err()
+            .contains("latency-tail"));
+        // Tail row present but its histogram never recorded anything.
+        let mut empty = valid_rows();
+        *empty.last_mut().unwrap() = fake_tail_run(0.0, 0.0, 0.0, 0.0, 0);
+        assert!(validate_bench_json(&fake_doc(&empty))
+            .unwrap_err()
+            .contains("latency-tail"));
+        // Percentiles out of order: the document is corrupt.
+        let mut bad = valid_rows();
+        *bad.last_mut().unwrap() = fake_tail_run(2.0, 1.0, 3.0, 4.0, 6);
+        assert!(validate_bench_json(&fake_doc(&bad))
+            .unwrap_err()
+            .contains("monotone"));
+        // p99 above max is just as corrupt.
+        let mut above = valid_rows();
+        *above.last_mut().unwrap() = fake_tail_run(0.5, 1.0, 5.0, 4.0, 6);
+        assert!(validate_bench_json(&fake_doc(&above))
+            .unwrap_err()
+            .contains("monotone"));
+    }
+
+    #[test]
+    fn serve_latency_tail_reports_ascending_percentiles() {
+        let rows = serve_latency_tail(10, 400, 2, 2, 2);
+        assert_eq!(rows.len(), 2);
+        let hot = &rows[0];
+        let cold = &rows[1];
+        assert_eq!(hot.algo, "tail-hot");
+        assert_eq!(cold.algo, "tail-cold");
+        for r in &rows {
+            assert_eq!(r.hist_total, 4, "{}: 2 clients x 2 rounds", r.algo);
+            assert!(
+                r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms && r.p99_ms <= r.max_ms,
+                "{}: percentiles must ascend ({} / {} / {} / {})",
+                r.algo,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.max_ms
+            );
+            assert!(r.max_ms > 0.0, "{}: requests take nonzero time", r.algo);
+        }
+        // The transport asymmetry: hot requests address by fingerprint,
+        // cold requests ship a whole CSV dataset.
+        assert!(hot.req_bytes < 1024, "hot request is fp-addressed");
+        assert!(cold.req_bytes > 1024, "cold request carries a dataset");
     }
 
     #[test]

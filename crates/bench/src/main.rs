@@ -32,8 +32,16 @@ fn main() -> ExitCode {
         default_suite(quick)
     };
     for r in &results {
+        let tail = if r.hist_total > 0 {
+            format!(
+                "  p50/p95/p99 {:.2}/{:.2}/{:.2} ms (n={})",
+                r.p50_ms, r.p95_ms, r.p99_ms, r.hist_total
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "{:<30} {:<20} issued {:>6}  hits {:>5}  spec {:>4}/{:<4}  enc-hits {:>6}  {:>9.2} ms  selected {:>4}/{}",
+            "{:<30} {:<20} issued {:>6}  hits {:>5}  spec {:>4}/{:<4}  enc-hits {:>6}  {:>9.2} ms  selected {:>4}/{}{}",
             r.scenario,
             r.algo,
             r.issued,
@@ -43,7 +51,8 @@ fn main() -> ExitCode {
             r.encode_hits,
             r.wall_ms,
             r.selected,
-            r.n_features
+            r.n_features,
+            tail
         );
     }
     let json = to_json(&results);

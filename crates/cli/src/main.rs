@@ -27,7 +27,7 @@ use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticCo
 use fairsel_engine::{default_workers, EngineStats};
 use fairsel_graph::{dag_from_text, Dag};
 use fairsel_server::{
-    DatasetRef, MaxGroupSpec, RegistryConfig, Request, Response, ServeConfig, Server,
+    DatasetRef, Json, MaxGroupSpec, RegistryConfig, Request, Response, ServeConfig, Server,
     WorkloadRequest,
 };
 use fairsel_table::{csv, EncodedTable, Table, DEFAULT_CACHE_CAP};
@@ -54,8 +54,9 @@ USAGE:
                   [--alpha F] [--classifier ...] [--max-group N|auto]
                   [--train-frac F] [--seed N] [--remote <host:port>]
   fairsel serve   [--addr <host:port>] [--cache-cap N] [--max-datasets N]
-                  [--conn-workers N] [--max-conns N]
-  fairsel stats   --remote <host:port>
+                  [--conn-workers N] [--max-conns N] [--trace true|false]
+  fairsel stats   --remote <host:port> [--prom] [--watch SECS [--iters N]]
+  fairsel trace   --remote <host:port> [--last N] [--trace-out <spans.jsonl>]
 
 `gen` writes a role-annotated CSV sampled from a paper fixture (default 1a)
 or from a fairness-structured synthetic DAG (--synthetic <n_features>).
@@ -87,8 +88,14 @@ wire (warm requests are a few hundred bytes), uploads it once via the
 binary column codec only when the server does not hold it yet, falls
 back to inline CSV against servers without fingerprint support, and to
 local execution when the server is unreachable or busy. `stats --remote` prints the server's registry and
-connection telemetry (active/shed connections, bytes moved, request
-wall time) as one JSON object.";
+connection telemetry (active/shed connections, bytes moved, per-command
+latency percentiles, admission queue wait) as one JSON object; `--prom`
+renders the same data in the Prometheus text format, `--watch SECS`
+polls it and prints one delta line per interval (`--iters N` bounds the
+loop; default runs until interrupted). `trace --remote` fetches the
+server's most recent completed spans (engine phases and the request
+lifecycle) as JSON lines — `--last N` picks how many, `--trace-out`
+writes them to a file instead of stdout.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,6 +116,7 @@ fn main() -> ExitCode {
         "methods" => cmd_methods(&opts),
         "serve" => cmd_serve(&opts),
         "stats" => cmd_stats(&opts),
+        "trace" => cmd_trace(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -132,13 +140,18 @@ struct Opts {
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut pairs = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(k) = it.next() {
             let key = k
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {k}"))?;
-            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-            pairs.push((key.to_owned(), val.clone()));
+            // A flag followed by another flag (or by nothing) is a bare
+            // boolean: `--prom` reads as `--prom true`.
+            let val = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_owned(),
+            };
+            pairs.push((key.to_owned(), val));
         }
         Ok(Opts { pairs })
     }
@@ -602,6 +615,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         },
         conn_workers: opts.num("conn-workers", 0)?,
         max_conns,
+        trace_spans: opts.get("trace").is_none_or(|v| v != "false"),
     };
     let server = Server::bind(addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
@@ -618,21 +632,121 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 
 /// Print a running server's registry + connection telemetry as one JSON
 /// object (the CI smoke step greps `shed_conns` / `bytes_rx` out of it).
+/// `--prom` renders it as Prometheus text; `--watch SECS` polls and
+/// prints per-interval deltas instead.
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
     let addr = opts
         .get("remote")
         .ok_or("stats: --remote <host:port> is required")?;
+    if let Some(secs) = opts.get("watch") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--watch: bad interval {secs:?}"))?;
+        if secs <= 0.0 || !secs.is_finite() {
+            return Err("--watch: interval must be positive".into());
+        }
+        let iters: u64 = opts.num("iters", 0)?;
+        return watch_stats(addr, secs, iters);
+    }
+    let s = fetch_stats(addr)?;
+    if opts.get("prom").is_some_and(|v| v != "false") {
+        print!("{}", fairsel_server::render_prom(&s));
+    } else {
+        println!("{s}");
+    }
+    Ok(())
+}
+
+/// One `stats` round trip, unwrapped to the JSON object.
+fn fetch_stats(addr: &str) -> Result<Json, String> {
     let resp =
         fairsel_server::request(addr, &Request::Stats).map_err(|e| format!("{addr}: {e}"))?;
     match resp {
-        Response::Ok { stats: Some(s), .. } => {
-            println!("{s}");
-            Ok(())
-        }
+        Response::Ok { stats: Some(s), .. } => Ok(s),
         Response::Ok { .. } => Err("server returned no stats".into()),
         Response::Busy => Err("server busy: connection limit reached".into()),
         Response::Err(e) => Err(e),
     }
+}
+
+/// Poll `stats` every `secs` seconds and print one line per interval:
+/// request/connection deltas plus the current latency percentiles.
+/// `iters == 0` polls until interrupted.
+fn watch_stats(addr: &str, secs: f64, iters: u64) -> Result<(), String> {
+    let field = |s: &Json, k: &str| s.get_num(k).unwrap_or(0.0);
+    let mut prev: Option<Json> = None;
+    let mut n = 0u64;
+    loop {
+        let s = fetch_stats(addr)?;
+        let delta = |k: &str| {
+            let before = prev.as_ref().map_or(0.0, |p| field(p, k));
+            field(&s, k) - before
+        };
+        println!(
+            "requests +{:<5} wall p50/p95/p99 {:.2}/{:.2}/{:.2} ms  \
+             qwait p95 {:.2} ms  active {}  shed +{}  rx +{}B tx +{}B",
+            delta("requests_handled"),
+            field(&s, "request_wall_p50_ms"),
+            field(&s, "request_wall_p95_ms"),
+            field(&s, "request_wall_p99_ms"),
+            field(&s, "queue_wait_p95_ms"),
+            field(&s, "active_conns"),
+            delta("shed_conns"),
+            delta("bytes_rx"),
+            delta("bytes_tx"),
+        );
+        prev = Some(s);
+        n += 1;
+        if iters > 0 && n >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    }
+}
+
+/// Fetch a running server's most recent completed spans and print them
+/// as JSON lines (one span object per line), oldest first. `--trace-out`
+/// redirects the lines to a file and prints a one-line summary instead.
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let addr = opts
+        .get("remote")
+        .ok_or("trace: --remote <host:port> is required")?;
+    let last: usize = opts.num("last", fairsel_server::proto::DEFAULT_TRACE_LAST)?;
+    let resp = fairsel_server::request(addr, &Request::Trace { last })
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let stats = match resp {
+        Response::Ok { stats: Some(s), .. } => s,
+        Response::Ok { .. } => return Err("server returned no trace".into()),
+        Response::Busy => return Err("server busy: connection limit reached".into()),
+        Response::Err(e) => return Err(e),
+    };
+    let Some(Json::Arr(spans)) = stats.get("spans") else {
+        return Err("trace response carried no spans array".into());
+    };
+    let dropped = stats.get_num("spans_dropped").unwrap_or(0.0) as u64;
+    let enabled = stats.get_bool("trace_enabled").unwrap_or(false);
+    let mut lines = String::new();
+    for span in spans {
+        lines.push_str(&span.to_string());
+        lines.push('\n');
+    }
+    match opts.get("trace-out") {
+        Some(path) => {
+            std::fs::write(path, &lines).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "{} spans written to {path} (spans_dropped {dropped}, trace_enabled {enabled})",
+                spans.len()
+            );
+        }
+        None => {
+            print!("{lines}");
+            eprintln!(
+                "{} spans (spans_dropped {dropped}, trace_enabled {enabled})",
+                spans.len()
+            );
+        }
+    }
+    Ok(())
 }
 
 fn cmd_methods(opts: &Opts) -> Result<(), String> {

@@ -93,6 +93,12 @@ impl<T: CiTest> CiSession<T> {
     pub fn run_batch(&mut self, queries: &[CiQuery]) -> Vec<CiOutcome> {
         let plan = plan(self, queries);
         let t0 = Instant::now();
+        let _sp = fairsel_obs::span_kv("tester.eval", || {
+            vec![
+                ("kind", "sequential".into()),
+                ("misses", plan.miss_repr.len().to_string()),
+            ]
+        });
         let evaluated: Vec<CiOutcome> = plan
             .miss_repr
             .iter()
@@ -151,6 +157,9 @@ impl<T: CiTestShared> CiSession<T> {
         }
 
         let t0 = Instant::now();
+        let _sp = fairsel_obs::span_kv("tester.eval", || {
+            vec![("kind", "parallel".into()), ("misses", n_miss.to_string())]
+        });
         let repr: Vec<&CiQuery> = plan.miss_repr.iter().map(|&i| &queries[i]).collect();
         let chunk = n_miss.div_ceil(workers);
         let chunks: Vec<&[&CiQuery]> = repr.chunks(chunk).collect();
@@ -161,6 +170,9 @@ impl<T: CiTestShared> CiSession<T> {
                 .zip(&chunks)
                 .map(|(slot, qs)| {
                     move || {
+                        let _sp = fairsel_obs::span_kv("pool.chunk", || {
+                            vec![("queries", qs.len().to_string())]
+                        });
                         *slot = Some(
                             qs.iter()
                                 .map(|q| tester.ci_shared(&q.x, &q.y, &q.z))
@@ -227,6 +239,12 @@ impl<T: CiTestBatch> CiSession<T> {
         }
 
         let t0 = Instant::now();
+        let _sp = fairsel_obs::span_kv("tester.eval", || {
+            vec![
+                ("kind", "batched_parallel".into()),
+                ("misses", n_miss.to_string()),
+            ]
+        });
         let repr = miss_repr_refs(&plan, queries);
         let chunk = n_miss.div_ceil(workers);
         let chunks: Vec<&[CiQueryRef<'_>]> = repr.chunks(chunk).collect();
@@ -235,7 +253,14 @@ impl<T: CiTestBatch> CiSession<T> {
         pool.run_scoped(
             outs.iter_mut()
                 .zip(&chunks)
-                .map(|(slot, qs)| move || *slot = Some(tester.eval_batch(qs)))
+                .map(|(slot, qs)| {
+                    move || {
+                        let _sp = fairsel_obs::span_kv("pool.chunk", || {
+                            vec![("queries", qs.len().to_string())]
+                        });
+                        *slot = Some(tester.eval_batch(qs));
+                    }
+                })
                 .collect(),
         );
         let evaluated: Vec<CiOutcome> = outs
@@ -260,6 +285,12 @@ impl<T: CiTestBatch> CiSession<T> {
     /// small-batch fallback.
     fn eval_batched(&mut self, queries: &[CiQuery], plan: BatchPlan) -> Vec<CiOutcome> {
         let t0 = Instant::now();
+        let _sp = fairsel_obs::span_kv("tester.eval", || {
+            vec![
+                ("kind", "batched".into()),
+                ("misses", plan.miss_repr.len().to_string()),
+            ]
+        });
         let repr = miss_repr_refs(&plan, queries);
         let evaluated = self.tester().eval_batch(&repr);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -350,11 +381,33 @@ impl<T: CiTestBatch> CiSession<T> {
 
         let parallel = workers > 1 && total > 1;
         let t0 = Instant::now();
+        let _sp = fairsel_obs::span_kv("tester.eval", || {
+            vec![
+                (
+                    "kind",
+                    if parallel {
+                        "grouped_parallel"
+                    } else {
+                        "grouped"
+                    }
+                    .into(),
+                ),
+                ("misses", n_demand.to_string()),
+                ("speculative", (total - n_demand).to_string()),
+                ("zgroups", groups.len().to_string()),
+            ]
+        });
         let mut evaluated: Vec<Option<CiOutcome>> = vec![None; total];
         if !parallel {
             let tester = self.tester();
             for (z, idxs) in &groups {
                 let refs: Vec<CiQueryRef<'_>> = idxs.iter().map(|&i| items[i]).collect();
+                let _sp = fairsel_obs::span_kv("zgroup.eval", || {
+                    vec![
+                        ("z_len", z.len().to_string()),
+                        ("queries", refs.len().to_string()),
+                    ]
+                });
                 let outs = tester.eval_z_group(z, &refs);
                 for (&i, o) in idxs.iter().zip(outs) {
                     evaluated[i] = Some(o);
@@ -379,6 +432,12 @@ impl<T: CiTestBatch> CiSession<T> {
                         move || {
                             let refs: Vec<CiQueryRef<'_>> =
                                 idxs.iter().map(|&i| items_ref[i]).collect();
+                            let _sp = fairsel_obs::span_kv("zgroup.eval", || {
+                                vec![
+                                    ("z_len", z.len().to_string()),
+                                    ("queries", refs.len().to_string()),
+                                ]
+                            });
                             *slot = Some(tester.eval_z_group(z, &refs));
                         }
                     })

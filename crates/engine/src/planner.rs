@@ -196,6 +196,13 @@ where
             .map(|&g| CiQuery::new(&groups[g], target, alt))
             .collect();
         let spec = if wave == 0 { speculative } else { &[] };
+        let _sp = fairsel_obs::span_kv("planner.level", || {
+            vec![
+                ("wave", wave.to_string()),
+                ("undecided", batch.len().to_string()),
+                ("speculative", spec.len().to_string()),
+            ]
+        });
         let outcomes = run(&batch, spec);
         let mut still = Vec::with_capacity(undecided.len());
         for (&g, out) in undecided.iter().zip(&outcomes) {

@@ -145,6 +145,10 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Busy-time integral across every pool in the process: each task's
+    // wall time lands in one monotone counter, so `busy_us / elapsed_us`
+    // gives mean pool utilization without per-task exposition.
+    let busy = fairsel_obs::counter("engine_pool_busy_us");
     loop {
         let task = {
             let mut queue = shared.queue.lock().expect("pool queue lock");
@@ -158,7 +162,9 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.available.wait(queue).expect("pool queue wait");
             }
         };
+        let t0 = std::time::Instant::now();
         task();
+        busy.add(t0.elapsed().as_micros() as u64);
     }
 }
 

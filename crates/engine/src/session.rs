@@ -233,6 +233,20 @@ pub(crate) enum BatchKind {
     GroupedParallel,
 }
 
+impl BatchKind {
+    /// Process-wide latency histogram for this batch kind.
+    pub(crate) fn histogram(self) -> std::sync::Arc<fairsel_obs::Histogram> {
+        fairsel_obs::histogram(match self {
+            BatchKind::Sequential => "engine_batch/sequential",
+            BatchKind::Parallel => "engine_batch/parallel",
+            BatchKind::Batched => "engine_batch/batched",
+            BatchKind::BatchedParallel => "engine_batch/batched_parallel",
+            BatchKind::Grouped => "engine_batch/grouped",
+            BatchKind::GroupedParallel => "engine_batch/grouped_parallel",
+        })
+    }
+}
+
 /// A memoizing execution session around any CI tester.
 ///
 /// Every query is canonicalized to a [`QueryKey`]; answers are cached so a
@@ -446,6 +460,9 @@ impl<T: CiTest> CiSession<T> {
         }
         st.max_batch = st.max_batch.max(issued as usize);
         st.wall_ms += wall_ms;
+        // Exact latency distribution per execution kind, beside the
+        // cumulative wall_ms mean; counting a batch never changes it.
+        kind.histogram().record((wall_ms * 1e3) as u64);
         if let Some(i) = self.current_phase {
             let p = &mut self.stats.phases[i];
             p.requested += requested;

@@ -1,0 +1,294 @@
+//! Log2-bucketed latency histograms with exact atomic counts.
+//!
+//! A [`Histogram`] is a fixed array of 65 atomic buckets: bucket 0 holds
+//! the value 0, bucket `i` (1..=64) holds values in `[2^(i-1), 2^i)`
+//! (bucket 64's upper edge clamps at `u64::MAX`). Recording is three
+//! relaxed atomic adds and one atomic max — cheap enough to leave on
+//! unconditionally, and *exact*: totals are never sampled or decayed, so
+//! a quiescent histogram's bucket sum equals the number of `record`
+//! calls, which lets tests assert on counts deterministically even when
+//! the recorded durations themselves are nondeterministic.
+//!
+//! Percentiles come from a [`HistSnapshot`]: the reported quantile is the
+//! upper edge of the bucket containing that rank, capped at the observed
+//! maximum, so `p50 <= p95 <= p99 <= max` holds by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Bucket count: one zero bucket plus one per power-of-two magnitude.
+pub const N_BUCKETS: usize = 65;
+
+/// Bucket holding `v`: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `i` (`u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log2-bucketed histogram safe for concurrent recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Thread-safe; counts are exact.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Point-in-time copy. `count` is the bucket sum, so a snapshot is
+    /// always self-consistent even if taken mid-record.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; N_BUCKETS];
+        let mut count = 0u64;
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Relaxed);
+            count += *out;
+        }
+        HistSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`] for exposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; N_BUCKETS],
+    /// Total observations (sum of buckets).
+    pub count: u64,
+    /// Sum of all recorded values (wraps on overflow).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Quantile `q` in `[0, 1]`: the upper edge of the bucket containing
+    /// rank `ceil(q * count)`, capped at `max`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_edge, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+}
+
+/// A monotone counter (e.g. the pool busy-time integral, in µs).
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.v.fetch_add(delta, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.v.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_edges_are_exact_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for k in 1..64usize {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_index(lo), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_index(hi), k, "upper edge of bucket {k}");
+            if k < 63 {
+                assert_eq!(bucket_index(hi + 1), k + 1, "first value past bucket {k}");
+            }
+        }
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(63), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn u64_max_clamps_into_last_bucket() {
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[64], 1);
+    }
+
+    #[test]
+    fn quantiles_walk_bucket_edges() {
+        let h = Histogram::new();
+        // 90 fast (bucket upper edge 127), 9 medium (edge 1023), 1 slow.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(50_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 50_000);
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.p95(), 1023);
+        assert_eq!(s.p99(), 1023);
+        assert_eq!(s.quantile(1.0), 50_000);
+    }
+
+    #[test]
+    fn quantiles_cap_at_observed_max() {
+        let h = Histogram::new();
+        h.record(3000); // bucket upper edge is 4095 — must not be reported
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 3000);
+        assert_eq!(s.p99(), 3000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 64, 900, 900, 12_345, 1 << 40] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.p95());
+        assert!(s.p95() <= s.p99());
+        assert!(s.p99() <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max, 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn concurrent_records_keep_exact_totals() {
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        h.record(t * 1_000 + (i % 37));
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per, "every record lands exactly once");
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        // The value multiset is deterministic, so sum and max are too.
+        let expect_sum: u64 = (0..threads)
+            .flat_map(|t| (0..per).map(move |i| t * 1_000 + (i % 37)))
+            .sum();
+        assert_eq!(s.sum, expect_sum);
+        assert_eq!(s.max, (threads - 1) * 1_000 + 36);
+    }
+
+    #[test]
+    fn nonzero_buckets_ascend() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5_000);
+        let nz = h.snapshot().nonzero_buckets();
+        assert_eq!(nz, vec![(0, 1), (7, 1), (8191, 1)]);
+    }
+}

@@ -1,0 +1,125 @@
+//! fairsel-obs: std-only observability primitives for the fairsel stack.
+//!
+//! Three pieces, no external crates:
+//!
+//! - [`hist`] — log2-bucketed latency [`Histogram`]s with atomic buckets,
+//!   exact counts, and `p50`/`p95`/`p99`/`max` exposition, plus a
+//!   monotone [`Counter`] for gauges like the pool busy-time integral.
+//! - [`trace`] — scoped [`span`]s with monotonic timestamps, parent
+//!   links, per-thread buffering, and a bounded process-wide
+//!   [`TraceSink`] (disabled by default; a disabled span is one atomic
+//!   load).
+//! - a process-wide **registry** of named histograms and counters
+//!   ([`histogram`] / [`counter`]), so instrumentation sites in the
+//!   engine don't have to thread handles through every call path, and
+//!   the server's `stats` response can enumerate everything by name.
+//!
+//! Metric names use `base/label` (e.g. `engine_batch/grouped`): the part
+//! after the slash is a label value (batch kind, command), which the
+//! Prometheus renderer in the server crate turns into
+//! `fairsel_engine_batch_ms_bucket{kind="grouped",...}`.
+//!
+//! This crate sits below everything else in the workspace (it depends on
+//! nothing) so engine, server, cli, and bench can all share one sink and
+//! one registry.
+
+pub mod hist;
+pub mod trace;
+
+pub use hist::{bucket_index, bucket_upper, Counter, HistSnapshot, Histogram, N_BUCKETS};
+pub use trace::{
+    enabled, now_us, record_span_at, set_enabled, sink, span, span_kv, CompletedSpan, SpanGuard,
+    SpanKv, TraceSink, DEFAULT_SINK_CAP,
+};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Default)]
+struct Registry {
+    hists: BTreeMap<String, Arc<Histogram>>,
+    counters: BTreeMap<String, Arc<Counter>>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// The process-wide histogram named `name`, created on first use.
+/// Callers on hot paths should cache the returned `Arc`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(
+        reg.hists
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new())),
+    )
+}
+
+/// The process-wide counter named `name`, created on first use.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(
+        reg.counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new())),
+    )
+}
+
+/// Snapshot every registered histogram, sorted by name.
+pub fn histograms_snapshot() -> Vec<(String, HistSnapshot)> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.hists
+        .iter()
+        .map(|(k, h)| (k.clone(), h.snapshot()))
+        .collect()
+}
+
+/// Read every registered counter, sorted by name.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.counters
+        .iter()
+        .map(|(k, c)| (k.clone(), c.get()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_interns_by_name() {
+        let a = histogram("test_reg/a");
+        let b = histogram("test_reg/a");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.record(7);
+        let snap = histograms_snapshot();
+        let (_, s) = snap
+            .iter()
+            .find(|(k, _)| k == "test_reg/a")
+            .expect("registered histogram is enumerable");
+        assert!(s.count >= 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_enumerate() {
+        let c = counter("test_reg/busy");
+        c.add(5);
+        c.add(7);
+        assert!(c.get() >= 12);
+        let snap = counters_snapshot();
+        assert!(snap.iter().any(|(k, v)| k == "test_reg/busy" && *v >= 12));
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted() {
+        histogram("test_sorted/b");
+        histogram("test_sorted/a");
+        let names: Vec<String> = histograms_snapshot().into_iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,398 @@
+//! Lightweight span tracing: scoped guards, per-thread buffers, and a
+//! bounded process-wide [`TraceSink`].
+//!
+//! [`span`] returns a guard that records a [`CompletedSpan`] on drop:
+//! name, optional key-values, a monotonic start timestamp (µs since the
+//! process trace epoch), duration, the recording thread, and a parent
+//! link to the enclosing span on the same thread. Completed spans
+//! accumulate in a small per-thread buffer and are drained into the
+//! global sink when the thread's span stack empties (end of a request /
+//! pool task) or the buffer fills — one lock acquisition per burst, not
+//! per span.
+//!
+//! The sink is disabled by default. A disabled [`span`] call is a single
+//! relaxed atomic load returning an inert guard: no clock read, no
+//! allocation, no thread-local touch — cheap enough that instrumented
+//! code needs no `cfg` gating, and (by property test) selections and
+//! engine counters are byte-identical with tracing on or off.
+//!
+//! The sink keeps the most recent `cap` spans; overflow evicts the
+//! oldest and increments an exact `spans_dropped` counter.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default capacity of the global sink's ring buffer.
+pub const DEFAULT_SINK_CAP: usize = 4096;
+
+/// Per-thread completed-span buffer size before a forced flush.
+const THREAD_BUF_CAP: usize = 128;
+
+/// Key-value annotations attached to a span.
+pub type SpanKv = Vec<(&'static str, String)>;
+
+/// A finished span, as stored in the sink.
+#[derive(Clone, Debug)]
+pub struct CompletedSpan {
+    /// Process-unique id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for roots.
+    pub parent: u64,
+    /// Small per-process id of the recording thread.
+    pub thread: u64,
+    pub name: &'static str,
+    /// µs since the process trace epoch (monotonic clock).
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub kv: SpanKv,
+}
+
+struct SinkInner {
+    ring: VecDeque<CompletedSpan>,
+    dropped: u64,
+}
+
+/// Bounded collector of completed spans.
+///
+/// The process-wide instance lives behind [`sink`]; tests can build
+/// private instances to exercise ring/drop semantics without global
+/// state.
+pub struct TraceSink {
+    enabled: AtomicBool,
+    cap: usize,
+    inner: Mutex<SinkInner>,
+}
+
+impl TraceSink {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            cap: cap.max(1),
+            inner: Mutex::new(SinkInner {
+                ring: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Move `spans` into the ring, evicting oldest entries on overflow.
+    pub fn push_all(&self, spans: &mut Vec<CompletedSpan>) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for s in spans.drain(..) {
+            if inner.ring.len() == self.cap {
+                inner.ring.pop_front();
+                inner.dropped += 1;
+            }
+            inner.ring.push_back(s);
+        }
+    }
+
+    /// The last `n` spans (at most), ordered by start time then id.
+    pub fn recent(&self, n: usize) -> Vec<CompletedSpan> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let skip = inner.ring.len().saturating_sub(n);
+        let mut out: Vec<CompletedSpan> = inner.ring.iter().skip(skip).cloned().collect();
+        out.sort_by_key(|s| (s.start_us, s.id));
+        out
+    }
+
+    /// Exact count of spans evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all buffered spans and reset the eviction counter.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.ring.clear();
+        inner.dropped = 0;
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic µs since the process trace epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// The process-wide sink. Disabled until [`set_enabled`]`(true)`.
+pub fn sink() -> &'static TraceSink {
+    static SINK: OnceLock<TraceSink> = OnceLock::new();
+    SINK.get_or_init(|| TraceSink::new(DEFAULT_SINK_CAP))
+}
+
+/// Enable or disable recording into the global sink.
+pub fn set_enabled(on: bool) {
+    sink().set_enabled(on);
+}
+
+/// Is the global sink recording?
+#[inline]
+pub fn enabled() -> bool {
+    sink().enabled()
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+struct ThreadBuf {
+    /// Ids of the open spans on this thread, innermost last.
+    stack: Vec<u64>,
+    /// Completed spans awaiting a flush into the global sink.
+    done: Vec<CompletedSpan>,
+    thread: u64,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        stack: Vec::new(),
+        done: Vec::new(),
+        thread: NEXT_THREAD_ID.fetch_add(1, Relaxed),
+    });
+}
+
+struct LiveSpan {
+    id: u64,
+    parent: u64,
+    thread: u64,
+    name: &'static str,
+    start_us: u64,
+    kv: SpanKv,
+}
+
+/// RAII guard from [`span`]; records the span into the sink on drop.
+/// Inert (a no-op drop) when tracing was disabled at creation.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+    // Parent links are thread-local; keep guards on their thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a span. Records only if the global sink is enabled *now*.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_kv(name, Vec::new)
+}
+
+/// Open a span with annotations; the closure runs only when enabled, so
+/// disabled call sites pay no allocation or formatting.
+#[inline]
+pub fn span_kv<F: FnOnce() -> SpanKv>(name: &'static str, kv: F) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            live: None,
+            _not_send: PhantomData,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Relaxed);
+    let (parent, thread) = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let parent = t.stack.last().copied().unwrap_or(0);
+        t.stack.push(id);
+        (parent, t.thread)
+    });
+    SpanGuard {
+        live: Some(LiveSpan {
+            id,
+            parent,
+            thread,
+            name,
+            start_us: now_us(),
+            kv: kv(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let dur_us = now_us().saturating_sub(live.start_us);
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            // Guards drop LIFO per thread; tolerate a stray mismatch
+            // (e.g. a leaked guard) rather than corrupting the stack.
+            if t.stack.last() == Some(&live.id) {
+                t.stack.pop();
+            } else {
+                t.stack.retain(|&x| x != live.id);
+            }
+            t.done.push(CompletedSpan {
+                id: live.id,
+                parent: live.parent,
+                thread: live.thread,
+                name: live.name,
+                start_us: live.start_us,
+                dur_us,
+                kv: live.kv,
+            });
+            if t.stack.is_empty() || t.done.len() >= THREAD_BUF_CAP {
+                sink().push_all(&mut t.done);
+            }
+        });
+    }
+}
+
+/// Record an already-measured interval (e.g. queue wait whose start was
+/// stamped on another thread). No parent link; flushes immediately.
+pub fn record_span_at(name: &'static str, start_us: u64, dur_us: u64, kv: SpanKv) {
+    if !enabled() {
+        return;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Relaxed);
+    let thread = TLS.with(|t| t.borrow().thread);
+    sink().push_all(&mut vec![CompletedSpan {
+        id,
+        parent: 0,
+        thread,
+        name,
+        start_us,
+        dur_us,
+        kv,
+    }]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Tests that toggle the global flag or read the global sink must not
+    /// interleave; everything else uses private `TraceSink` instances.
+    fn global_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops_exactly() {
+        let sink = TraceSink::new(4);
+        let mk = |i: u64| CompletedSpan {
+            id: i,
+            parent: 0,
+            thread: 1,
+            name: "t",
+            start_us: i,
+            dur_us: 1,
+            kv: Vec::new(),
+        };
+        sink.push_all(&mut (1..=10).map(mk).collect());
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 6);
+        let ids: Vec<u64> = sink.recent(100).iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10], "most recent spans survive");
+        let last2: Vec<u64> = sink.recent(2).iter().map(|s| s.id).collect();
+        assert_eq!(last2, vec![9, 10]);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = global_lock();
+        set_enabled(false);
+        sink().clear();
+        {
+            let _s = span("never.recorded");
+        }
+        assert!(sink().is_empty());
+        assert_eq!(sink().dropped(), 0);
+    }
+
+    #[test]
+    fn nested_spans_link_parents_and_flush_at_root() {
+        let _g = global_lock();
+        set_enabled(true);
+        sink().clear();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span_kv("inner", || vec![("k", "v".into())]);
+            }
+        }
+        set_enabled(false);
+        let spans = sink().recent(16);
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.thread, outer.thread);
+        assert_eq!(inner.kv, vec![("k", "v".to_string())]);
+        assert!(inner.start_us >= outer.start_us);
+        sink().clear();
+    }
+
+    #[test]
+    fn manual_record_lands_when_enabled_only() {
+        let _g = global_lock();
+        set_enabled(false);
+        sink().clear();
+        record_span_at("queue", 10, 5, Vec::new());
+        assert!(sink().is_empty());
+        set_enabled(true);
+        record_span_at("queue", 10, 5, vec![("conn", "3".into())]);
+        set_enabled(false);
+        let spans = sink().recent(4);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "queue");
+        assert_eq!(spans[0].start_us, 10);
+        assert_eq!(spans[0].dur_us, 5);
+        sink().clear();
+    }
+
+    #[test]
+    fn spans_from_worker_threads_reach_the_sink() {
+        let _g = global_lock();
+        set_enabled(true);
+        sink().clear();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span("worker.task");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let spans = sink().recent(16);
+        assert_eq!(spans.iter().filter(|s| s.name == "worker.task").count(), 4);
+        let threads: std::collections::HashSet<u64> = spans.iter().map(|s| s.thread).collect();
+        assert_eq!(threads.len(), 4, "each worker gets its own thread id");
+        sink().clear();
+    }
+}

@@ -26,11 +26,13 @@
 //! tests.
 
 pub mod json;
+pub mod prom;
 pub mod proto;
 pub mod registry;
 pub mod server;
 
 pub use json::{Json, JsonError};
+pub use prom::render_prom;
 pub use proto::{CacheInfo, DatasetRef, MaxGroupSpec, Request, Response, WorkloadRequest};
 pub use registry::{fingerprint_table, pipeline_config, Registry, RegistryConfig};
 pub use server::{

@@ -1,0 +1,218 @@
+//! Prometheus text exposition for the `stats` response.
+//!
+//! The server's `stats` JSON already carries everything a scraper needs —
+//! scalar counters/gauges plus the named latency histograms. This module
+//! renders that document into the Prometheus text format (version 0.0.4):
+//! scalars become `fairsel_<name>` samples, and each histogram named
+//! `base/label` becomes a `fairsel_<base>_ms` histogram family with
+//! cumulative `_bucket{le="..."}` lines (edges converted from µs to ms),
+//! a `+Inf` bucket, `_sum`, and `_count`. The label key is derived from
+//! the base: `request_wall` → `cmd`, `engine_batch` → `kind`, anything
+//! else → `tag`; a bare name (e.g. `queue_wait`) renders unlabeled.
+//!
+//! Rendering is a pure function of the JSON, so the CLI applies it to a
+//! *remote* server's stats without needing that server to speak a second
+//! protocol — `fairsel stats --remote ADDR --prom`.
+
+use crate::json::Json;
+
+/// Render a `stats` response object as Prometheus text.
+///
+/// Unknown or non-numeric fields are skipped, so the renderer stays
+/// forward-compatible with new telemetry. Histogram bucket counts in the
+/// JSON are per-bucket; this function accumulates them into the cumulative
+/// counts the Prometheus format requires.
+pub fn render_prom(stats: &Json) -> String {
+    let mut out = String::new();
+    if let Json::Obj(pairs) = stats {
+        for (k, v) in pairs {
+            match v {
+                Json::Num(n) => {
+                    out.push_str(&format!("fairsel_{k} {}\n", fmt_num(*n)));
+                }
+                Json::Bool(b) => {
+                    out.push_str(&format!("fairsel_{k} {}\n", u8::from(*b)));
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(Json::Obj(hists)) = stats.get("histograms") {
+        let mut last_base = String::new();
+        for (name, h) in hists {
+            render_histogram(&mut out, name, h, &mut last_base);
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Json, last_base: &mut String) {
+    let (base, label) = match name.split_once('/') {
+        Some((b, l)) => (b, Some(l)),
+        None => (name, None),
+    };
+    let metric = format!("fairsel_{base}_ms");
+    if base != last_base {
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        *last_base = base.to_owned();
+    }
+    let label_key = match base {
+        "request_wall" => "cmd",
+        "engine_batch" => "kind",
+        _ => "tag",
+    };
+    let labels = |le: Option<&str>| -> String {
+        let mut parts = Vec::new();
+        if let Some(l) = label {
+            parts.push(format!("{label_key}=\"{l}\""));
+        }
+        if let Some(le) = le {
+            parts.push(format!("le=\"{le}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    };
+    let mut cumulative = 0u64;
+    if let Some(Json::Arr(buckets)) = h.get("buckets") {
+        for b in buckets {
+            let Json::Arr(pair) = b else { continue };
+            let (Some(Json::Num(le_us)), Some(Json::Num(c))) = (pair.first(), pair.get(1)) else {
+                continue;
+            };
+            cumulative += *c as u64;
+            let le_ms = fmt_num(le_us / 1e3);
+            out.push_str(&format!(
+                "{metric}_bucket{} {cumulative}\n",
+                labels(Some(&le_ms))
+            ));
+        }
+    }
+    let count = h.get_num("count").unwrap_or(0.0) as u64;
+    out.push_str(&format!(
+        "{metric}_bucket{} {count}\n",
+        labels(Some("+Inf"))
+    ));
+    let sum_ms = h.get_num("sum_us").unwrap_or(0.0) / 1e3;
+    out.push_str(&format!(
+        "{metric}_sum{} {}\n",
+        labels(None),
+        fmt_num(sum_ms)
+    ));
+    out.push_str(&format!("{metric}_count{} {count}\n", labels(None)));
+}
+
+/// Integers render without a fraction (Prometheus accepts either, but
+/// `3` reads better than `3.0` for counters); floats keep full precision.
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(buckets: &[(u64, u64)]) -> Json {
+        let count: u64 = buckets.iter().map(|(_, c)| c).sum();
+        let sum_us: u64 = buckets.iter().map(|(le, c)| le * c).sum();
+        Json::obj(vec![
+            ("count", Json::Num(count as f64)),
+            ("sum_us", Json::Num(sum_us as f64)),
+            (
+                "max_us",
+                Json::Num(buckets.last().map_or(0, |(le, _)| *le) as f64),
+            ),
+            (
+                "buckets",
+                Json::Arr(
+                    buckets
+                        .iter()
+                        .map(|(le, c)| Json::Arr(vec![Json::Num(*le as f64), Json::Num(*c as f64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn request_wall_renders_cumulative_cmd_labeled_buckets() {
+        let stats = Json::obj(vec![(
+            "histograms",
+            Json::obj(vec![("request_wall/select", hist(&[(127, 3), (1023, 2)]))]),
+        )]);
+        let text = render_prom(&stats);
+        assert!(text.contains("# TYPE fairsel_request_wall_ms histogram"));
+        // 127 µs = 0.127 ms; cumulative counts: 3 then 3+2=5.
+        assert!(text.contains("fairsel_request_wall_ms_bucket{cmd=\"select\",le=\"0.127\"} 3"));
+        assert!(text.contains("fairsel_request_wall_ms_bucket{cmd=\"select\",le=\"1.023\"} 5"));
+        assert!(text.contains("fairsel_request_wall_ms_bucket{cmd=\"select\",le=\"+Inf\"} 5"));
+        assert!(text.contains("fairsel_request_wall_ms_count{cmd=\"select\"} 5"));
+        // sum = 3*127 + 2*1023 = 2427 µs = 2.427 ms
+        assert!(text.contains("fairsel_request_wall_ms_sum{cmd=\"select\"} 2.427"));
+    }
+
+    #[test]
+    fn bare_names_render_unlabeled_and_engine_batch_uses_kind() {
+        let stats = Json::obj(vec![(
+            "histograms",
+            Json::obj(vec![
+                ("engine_batch/grouped", hist(&[(63, 4)])),
+                ("queue_wait", hist(&[(15, 1)])),
+            ]),
+        )]);
+        let text = render_prom(&stats);
+        assert!(text.contains("fairsel_engine_batch_ms_bucket{kind=\"grouped\",le=\"0.063\"} 4"));
+        assert!(text.contains("fairsel_queue_wait_ms_bucket{le=\"0.015\"} 1"));
+        assert!(text.contains("fairsel_queue_wait_ms_sum 0.015"));
+        assert!(text.contains("fairsel_queue_wait_ms_count 1"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_family() {
+        let stats = Json::obj(vec![(
+            "histograms",
+            Json::obj(vec![
+                ("request_wall/all", hist(&[(1, 1)])),
+                ("request_wall/select", hist(&[(1, 1)])),
+            ]),
+        )]);
+        let text = render_prom(&stats);
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE fairsel_request_wall_ms"))
+            .count();
+        assert_eq!(type_lines, 1);
+    }
+
+    #[test]
+    fn scalars_become_samples_and_bools_become_01() {
+        let stats = Json::obj(vec![
+            ("requests_handled", Json::Num(42.0)),
+            ("request_wall_p95_ms", Json::Num(1.5)),
+            ("trace_enabled", Json::Bool(true)),
+            ("ignored", Json::Str("text".into())),
+        ]);
+        let text = render_prom(&stats);
+        assert!(text.contains("fairsel_requests_handled 42\n"));
+        assert!(text.contains("fairsel_request_wall_p95_ms 1.5\n"));
+        assert!(text.contains("fairsel_trace_enabled 1\n"));
+        assert!(!text.contains("ignored"));
+    }
+
+    #[test]
+    fn empty_histogram_still_emits_inf_sum_count() {
+        let stats = Json::obj(vec![(
+            "histograms",
+            Json::obj(vec![("request_wall/ping", hist(&[]))]),
+        )]);
+        let text = render_prom(&stats);
+        assert!(text.contains("fairsel_request_wall_ms_bucket{cmd=\"ping\",le=\"+Inf\"} 0"));
+        assert!(text.contains("fairsel_request_wall_ms_count{cmd=\"ping\"} 0"));
+    }
+}

@@ -20,7 +20,11 @@
 //!                      `body`), after which select/methods may address
 //!                      the dataset as {"fp":"..."} — bytes instead of
 //!                      megabytes on every warm request
-//! {"cmd":"stats"}      server-wide registry + connection telemetry
+//! {"cmd":"stats"}      server-wide registry + connection telemetry,
+//!                      latency histograms, and spans_dropped
+//! {"cmd":"trace", "last":64}
+//!                      the last N completed trace spans as JSON (requires
+//!                      the server's span sink, on by default for `serve`)
 //! {"cmd":"ping"}
 //! {"cmd":"shutdown"}   stop accepting, drain in-flight, then exit
 //! ```
@@ -258,9 +262,18 @@ pub enum Request {
     /// `fairsel_table::codec` payload — the payload is never JSON-encoded.
     Put,
     Stats,
+    /// The last `last` completed trace spans, most recent last. The
+    /// response's `stats` object carries `spans` (an array of span
+    /// objects) and `spans_dropped`.
+    Trace {
+        last: usize,
+    },
     Ping,
     Shutdown,
 }
+
+/// Default span count for `{"cmd":"trace"}` without a `last` field.
+pub const DEFAULT_TRACE_LAST: usize = 64;
 
 impl Request {
     pub fn to_json(&self) -> Json {
@@ -269,6 +282,10 @@ impl Request {
             Request::Methods(w) => w.to_json_fields("methods"),
             Request::Put => Json::obj(vec![("cmd", Json::Str("put".into()))]),
             Request::Stats => Json::obj(vec![("cmd", Json::Str("stats".into()))]),
+            Request::Trace { last } => Json::obj(vec![
+                ("cmd", Json::Str("trace".into())),
+                ("last", Json::Num(*last as f64)),
+            ]),
             Request::Ping => Json::obj(vec![("cmd", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj(vec![("cmd", Json::Str("shutdown".into()))]),
         }
@@ -280,6 +297,9 @@ impl Request {
             Some("methods") => Ok(Request::Methods(WorkloadRequest::from_json(v)?)),
             Some("put") => Ok(Request::Put),
             Some("stats") => Ok(Request::Stats),
+            Some("trace") => Ok(Request::Trace {
+                last: v.get_u64("last").unwrap_or(DEFAULT_TRACE_LAST as u64) as usize,
+            }),
             Some("ping") => Ok(Request::Ping),
             Some("shutdown") => Ok(Request::Shutdown),
             Some(other) => Err(format!("unknown cmd: {other}")),
@@ -471,6 +491,7 @@ mod tests {
             }),
             Request::Put,
             Request::Stats,
+            Request::Trace { last: 200 },
             Request::Ping,
             Request::Shutdown,
         ];
@@ -507,6 +528,17 @@ mod tests {
             let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(resp, back);
         }
+    }
+
+    #[test]
+    fn trace_without_last_uses_default() {
+        let v = Json::parse(r#"{"cmd":"trace"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&v).unwrap(),
+            Request::Trace {
+                last: DEFAULT_TRACE_LAST
+            }
+        );
     }
 
     #[test]

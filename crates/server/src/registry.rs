@@ -276,6 +276,9 @@ impl Registry {
         let w = &mut *guard;
         let cfg = pipeline_config(req, w.train.n_rows())?;
         let train = Arc::clone(&w.train);
+        let _sp = fairsel_obs::span_kv("registry.select", || {
+            vec![("fingerprint", format!("{fingerprint:016x}"))]
+        });
         let out = run_pipeline_batched_in(&mut w.session, &train, &w.test, &cfg);
         w.sessions_served += 1;
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -311,6 +314,9 @@ impl Registry {
         let w = &mut *guard;
         let cfg = pipeline_config(req, w.train.n_rows())?;
         let train = Arc::clone(&w.train);
+        let _sp = fairsel_obs::span_kv("registry.methods", || {
+            vec![("fingerprint", format!("{fingerprint:016x}"))]
+        });
         let outs = run_all_methods_in(&mut w.session, &train, &w.test, &cfg);
         w.sessions_served += 1;
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -376,6 +382,12 @@ impl Registry {
         // the publish step below keeps the first and discards the other
         // (the state is a pure function of the request, so either copy is
         // correct).
+        let _sp = fairsel_obs::span_kv("session.build", || {
+            vec![
+                ("fingerprint", format!("{fingerprint:016x}")),
+                ("rows", table.n_rows().to_string()),
+            ]
+        });
         let mut rng = StdRng::seed_from_u64(req.seed);
         let (train, test) = table.split_train_test(&mut rng, req.train_frac);
         let train = Arc::new(train);

@@ -24,6 +24,7 @@
 use crate::json::Json;
 use crate::proto::{read_frame, read_json, write_json, Request, Response};
 use crate::registry::{Registry, RegistryConfig};
+use fairsel_obs::{CompletedSpan, HistSnapshot, Histogram};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -77,7 +78,7 @@ fn self_addr(bound: &SocketAddr) -> SocketAddr {
 }
 
 /// Server configuration (see [`RegistryConfig`] for the cache knobs).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     pub registry: RegistryConfig,
     /// Handler threads serving admitted connections; `0` means
@@ -89,12 +90,95 @@ pub struct ServeConfig {
     /// turnaround away from service, so the cap never degenerates into
     /// a long silent queue.
     pub max_conns: usize,
+    /// Enable the process-wide span sink at bind time, so
+    /// `{"cmd":"trace"}` returns request/engine spans. On by default;
+    /// binding never *disables* an already-enabled sink (selections and
+    /// counters are byte-identical either way — tracing only records
+    /// timing). Latency histograms are exact counters and always on.
+    pub trace_spans: bool,
 }
 
-/// Accepted sockets waiting for a handler.
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            registry: RegistryConfig::default(),
+            conn_workers: 0,
+            max_conns: 0,
+            trace_spans: true,
+        }
+    }
+}
+
+/// Accepted sockets waiting for a handler, each stamped with its accept
+/// time so queue wait (accept → handler pickup) is measured separately
+/// from handler time.
 struct ConnQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
+}
+
+/// Request-latency histograms: one per command, one aggregate, and the
+/// admission queue wait. All values are recorded in microseconds;
+/// exposition converts to ms. Owned by the server (not the process-wide
+/// registry) so concurrent servers in one process don't mix counts.
+struct CmdHists {
+    select: Histogram,
+    methods: Histogram,
+    put: Histogram,
+    stats: Histogram,
+    trace: Histogram,
+    ping: Histogram,
+    shutdown: Histogram,
+    error: Histogram,
+    all: Histogram,
+    queue_wait: Histogram,
+}
+
+impl CmdHists {
+    fn new() -> Self {
+        Self {
+            select: Histogram::new(),
+            methods: Histogram::new(),
+            put: Histogram::new(),
+            stats: Histogram::new(),
+            trace: Histogram::new(),
+            ping: Histogram::new(),
+            shutdown: Histogram::new(),
+            error: Histogram::new(),
+            all: Histogram::new(),
+            queue_wait: Histogram::new(),
+        }
+    }
+
+    fn for_cmd(&self, cmd: &str) -> &Histogram {
+        match cmd {
+            "select" => &self.select,
+            "methods" => &self.methods,
+            "put" => &self.put,
+            "stats" => &self.stats,
+            "trace" => &self.trace,
+            "ping" => &self.ping,
+            "shutdown" => &self.shutdown,
+            _ => &self.error,
+        }
+    }
+
+    /// Every histogram with its exposition name (`base/label`; the
+    /// Prometheus renderer maps the label to `{cmd="..."}`).
+    fn named(&self) -> [(&'static str, &Histogram); 10] {
+        [
+            ("request_wall/select", &self.select),
+            ("request_wall/methods", &self.methods),
+            ("request_wall/put", &self.put),
+            ("request_wall/stats", &self.stats),
+            ("request_wall/trace", &self.trace),
+            ("request_wall/ping", &self.ping),
+            ("request_wall/shutdown", &self.shutdown),
+            ("request_wall/error", &self.error),
+            ("request_wall/all", &self.all),
+            ("queue_wait", &self.queue_wait),
+        ]
+    }
 }
 
 struct ServerState {
@@ -113,6 +197,10 @@ struct ServerState {
     requests_handled: AtomicU64,
     /// Cumulative request handling wall time, microseconds.
     request_wall_us: AtomicU64,
+    /// Cumulative admission queue wait (accept → handler pickup), µs.
+    queue_wait_us: AtomicU64,
+    /// Per-command and queue-wait latency distributions.
+    hists: CmdHists,
     /// Bytes read from / written to clients (frame headers included).
     bytes_rx: AtomicU64,
     bytes_tx: AtomicU64,
@@ -176,6 +264,9 @@ impl Server {
         } else {
             cfg.max_conns
         };
+        if cfg.trace_spans {
+            fairsel_obs::set_enabled(true);
+        }
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -192,6 +283,8 @@ impl Server {
                 accepted_conns: AtomicU64::new(0),
                 requests_handled: AtomicU64::new(0),
                 request_wall_us: AtomicU64::new(0),
+                queue_wait_us: AtomicU64::new(0),
+                hists: CmdHists::new(),
                 bytes_rx: AtomicU64::new(0),
                 bytes_tx: AtomicU64::new(0),
                 serving: Mutex::new(HashMap::new()),
@@ -263,7 +356,7 @@ impl Server {
             self.state.active_conns.fetch_add(1, Ordering::SeqCst);
             self.state.accepted_conns.fetch_add(1, Ordering::Relaxed);
             let mut q = self.state.conns.queue.lock().expect("conn queue");
-            q.push_back(stream);
+            q.push_back((stream, Instant::now()));
             drop(q);
             self.state.conns.ready.notify_one();
         }
@@ -344,7 +437,23 @@ fn handler_loop(state: &Arc<ServerState>) {
                 q = state.conns.ready.wait(q).expect("conn queue");
             }
         };
-        let Some(stream) = stream else { return };
+        let Some((stream, accepted_at)) = stream else {
+            return;
+        };
+        // Queue wait = accept → this pickup, the signal for tuning
+        // `--max-conns` against handler-pool saturation. Distinct from
+        // handler time, which starts below.
+        let wait_us = accepted_at.elapsed().as_micros() as u64;
+        state.queue_wait_us.fetch_add(wait_us, Ordering::Relaxed);
+        state.hists.queue_wait.record(wait_us);
+        if fairsel_obs::enabled() {
+            fairsel_obs::record_span_at(
+                "server.queue_wait",
+                fairsel_obs::now_us().saturating_sub(wait_us),
+                wait_us,
+                Vec::new(),
+            );
+        }
         if !state.stop.load(Ordering::SeqCst) {
             serve_connection(stream, state);
         }
@@ -398,10 +507,19 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> io::Result<()> {
     };
     while let Some(value) = read_json(&mut io)? {
         let t0 = Instant::now();
-        let (response, stop) = match Request::from_json(&value) {
+        // Label from the raw frame so the request span and histogram
+        // bucket are right even when full parsing fails.
+        let cmd = cmd_label(value.get_str("cmd"));
+        let _req_span = fairsel_obs::span_kv("server.request", || vec![("cmd", cmd.into())]);
+        let parsed = {
+            let _sp = fairsel_obs::span("server.parse");
+            Request::from_json(&value)
+        };
+        let (response, stop) = match parsed {
             Err(e) => (Response::Err(e), false),
             Ok(Request::Ping) => (Response::ok("pong"), false),
             Ok(Request::Stats) => (stats_response(state), false),
+            Ok(Request::Trace { last }) => (trace_response(last), false),
             Ok(Request::Shutdown) => (Response::ok("shutting down"), true),
             Ok(Request::Put) => match read_frame(&mut io)? {
                 // EOF where the payload frame belongs: client hung up.
@@ -437,11 +555,16 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> io::Result<()> {
                 false,
             ),
         };
-        write_json(&mut io, &response.to_json())?;
-        state
-            .request_wall_us
-            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        {
+            let _sp = fairsel_obs::span("server.respond");
+            write_json(&mut io, &response.to_json())?;
+        }
+        let wall_us = t0.elapsed().as_micros() as u64;
+        state.request_wall_us.fetch_add(wall_us, Ordering::Relaxed);
+        state.hists.for_cmd(cmd).record(wall_us);
+        state.hists.all.record(wall_us);
         state.requests_handled.fetch_add(1, Ordering::Relaxed);
+        drop(_req_span);
         if stop {
             state.stop.store(true, Ordering::SeqCst);
             // Wake the blocked accept with a throwaway loopback
@@ -481,10 +604,113 @@ fn put_response(bytes: &[u8], state: &ServerState) -> Response {
     }
 }
 
+/// Static command label for spans and histogram routing; unknown or
+/// missing commands land in the `error` bucket.
+fn cmd_label(cmd: Option<&str>) -> &'static str {
+    match cmd {
+        Some("select") => "select",
+        Some("methods") => "methods",
+        Some("put") => "put",
+        Some("stats") => "stats",
+        Some("trace") => "trace",
+        Some("ping") => "ping",
+        Some("shutdown") => "shutdown",
+        _ => "error",
+    }
+}
+
+/// One completed span as a JSON object (kv omitted when empty).
+fn span_json(s: &CompletedSpan) -> Json {
+    let mut pairs = vec![
+        ("id", Json::Num(s.id as f64)),
+        ("parent", Json::Num(s.parent as f64)),
+        ("thread", Json::Num(s.thread as f64)),
+        ("name", Json::Str(s.name.into())),
+        ("start_us", Json::Num(s.start_us as f64)),
+        ("dur_us", Json::Num(s.dur_us as f64)),
+    ];
+    if !s.kv.is_empty() {
+        pairs.push((
+            "kv",
+            Json::obj(
+                s.kv.iter()
+                    .map(|(k, v)| (*k, Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// `{"cmd":"trace"}`: the last `last` completed spans from the global
+/// sink, ordered by start time, plus the exact eviction count.
+fn trace_response(last: usize) -> Response {
+    let sink = fairsel_obs::sink();
+    let spans: Vec<Json> = sink
+        .recent(last.clamp(1, fairsel_obs::DEFAULT_SINK_CAP))
+        .iter()
+        .map(span_json)
+        .collect();
+    Response::Ok {
+        body: String::new(),
+        stats: Some(Json::obj(vec![
+            ("spans", Json::Arr(spans)),
+            ("spans_dropped", Json::Num(sink.dropped() as f64)),
+            ("trace_enabled", Json::Bool(sink.enabled())),
+        ])),
+        cache: None,
+    }
+}
+
+/// One histogram snapshot as JSON: exact count/sum/max (µs), the
+/// percentile edges, and the non-empty buckets as `[upper_edge_us,
+/// count]` pairs in ascending order.
+fn hist_json(s: &HistSnapshot) -> Json {
+    Json::obj(vec![
+        ("count", Json::Num(s.count as f64)),
+        ("sum_us", Json::Num(s.sum as f64)),
+        ("max_us", Json::Num(s.max as f64)),
+        ("p50_us", Json::Num(s.p50() as f64)),
+        ("p95_us", Json::Num(s.p95() as f64)),
+        ("p99_us", Json::Num(s.p99() as f64)),
+        (
+            "buckets",
+            Json::Arr(
+                s.nonzero_buckets()
+                    .into_iter()
+                    .map(|(le, c)| Json::Arr(vec![Json::Num(le as f64), Json::Num(c as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Every latency histogram by name: this server's per-command and
+/// queue-wait distributions plus the process-wide registry (engine batch
+/// kinds), name-sorted.
+fn histograms_json(state: &ServerState) -> Json {
+    let mut items: Vec<(String, HistSnapshot)> = state
+        .hists
+        .named()
+        .iter()
+        .map(|(name, h)| (name.to_string(), h.snapshot()))
+        .collect();
+    items.extend(fairsel_obs::histograms_snapshot());
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Obj(
+        items
+            .into_iter()
+            .map(|(name, snap)| (name, hist_json(&snap)))
+            .collect(),
+    )
+}
+
 fn stats_response(state: &ServerState) -> Response {
     let r = &state.registry;
     let handled = state.requests_handled.load(Ordering::Relaxed);
     let wall_ms = state.request_wall_us.load(Ordering::Relaxed) as f64 / 1e3;
+    let wall = state.hists.all.snapshot();
+    let qwait = state.hists.queue_wait.snapshot();
     Response::Ok {
         body: String::new(),
         stats: Some(Json::obj(vec![
@@ -516,6 +742,8 @@ fn stats_response(state: &ServerState) -> Response {
             ),
             ("requests_handled", Json::Num(handled as f64)),
             ("request_wall_ms", Json::Num(wall_ms)),
+            // Lifetime-cumulative mean, kept for compatibility; it hides
+            // tail latency — prefer the histogram percentiles below.
             (
                 "avg_request_wall_ms",
                 Json::Num(if handled == 0 {
@@ -524,6 +752,30 @@ fn stats_response(state: &ServerState) -> Response {
                     wall_ms / handled as f64
                 }),
             ),
+            ("request_wall_p50_ms", Json::Num(wall.p50() as f64 / 1e3)),
+            ("request_wall_p95_ms", Json::Num(wall.p95() as f64 / 1e3)),
+            ("request_wall_p99_ms", Json::Num(wall.p99() as f64 / 1e3)),
+            ("request_wall_max_ms", Json::Num(wall.max as f64 / 1e3)),
+            // Admission queue wait (accept → handler pickup), separate
+            // from handler time: the `--max-conns` tuning signal.
+            (
+                "queue_wait_ms",
+                Json::Num(state.queue_wait_us.load(Ordering::Relaxed) as f64 / 1e3),
+            ),
+            ("queue_wait_p50_ms", Json::Num(qwait.p50() as f64 / 1e3)),
+            ("queue_wait_p95_ms", Json::Num(qwait.p95() as f64 / 1e3)),
+            ("queue_wait_p99_ms", Json::Num(qwait.p99() as f64 / 1e3)),
+            ("queue_wait_max_ms", Json::Num(qwait.max as f64 / 1e3)),
+            (
+                "pool_busy_ms",
+                Json::Num(fairsel_obs::counter("engine_pool_busy_us").get() as f64 / 1e3),
+            ),
+            (
+                "spans_dropped",
+                Json::Num(fairsel_obs::sink().dropped() as f64),
+            ),
+            ("trace_enabled", Json::Bool(fairsel_obs::enabled())),
+            ("histograms", histograms_json(state)),
         ])),
         cache: None,
     }

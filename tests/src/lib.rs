@@ -1631,3 +1631,258 @@ mod fp_addressed_requests {
         handle.shutdown();
     }
 }
+
+#[cfg(test)]
+mod observability {
+    //! The tracing layer's core contract: telemetry observes, never
+    //! steers. With the span sink enabled or disabled, every selection
+    //! report is byte-identical and every engine counter unchanged, at
+    //! every worker count; and a served `select` leaves a span trail
+    //! covering the whole accept → respond lifecycle, with per-command
+    //! latency percentiles in `stats`.
+
+    use fairsel_ci::GTest;
+    use fairsel_core::{render_pipeline_report, run_pipeline_batched};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_engine::EngineStats;
+    use fairsel_server::{
+        pipeline_config, request, DatasetRef, Json, Request, Response, ServeConfig, Server,
+        WorkloadRequest,
+    };
+    use fairsel_table::{csv, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that flip the process-global span sink, so
+    /// the lifecycle test below never observes a mid-request disable.
+    static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+    fn workload_table(seed: u64, n_features: usize, rows: usize) -> Table {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    }
+
+    /// Every counter that must be invariant under tracing. `wall_ms` and
+    /// the per-phase wall times are timing, not behavior, and are the
+    /// only exclusions.
+    #[derive(Debug, PartialEq)]
+    struct Counters {
+        requested: u64,
+        issued: u64,
+        cache_hits: u64,
+        batches: u64,
+        parallel_batches: u64,
+        batched_batches: u64,
+        grouped_batches: u64,
+        speculative_issued: u64,
+        speculative_hits: u64,
+        max_batch: usize,
+        encode_cache_hits: u64,
+        encode_cache_misses: u64,
+        encode_cache_evictions: u64,
+        phases: Vec<(String, u64, u64, u64)>,
+    }
+
+    fn counter_tuple(s: &EngineStats) -> Counters {
+        Counters {
+            requested: s.requested,
+            issued: s.issued,
+            cache_hits: s.cache_hits,
+            batches: s.batches,
+            parallel_batches: s.parallel_batches,
+            batched_batches: s.batched_batches,
+            grouped_batches: s.grouped_batches,
+            speculative_issued: s.speculative_issued,
+            speculative_hits: s.speculative_hits,
+            max_batch: s.max_batch,
+            encode_cache_hits: s.encode_cache_hits,
+            encode_cache_misses: s.encode_cache_misses,
+            encode_cache_evictions: s.encode_cache_evictions,
+            phases: s
+                .phases
+                .iter()
+                .map(|p| (p.name.clone(), p.requested, p.issued, p.cache_hits))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tracing_toggle_is_invisible_to_selections_and_counters() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let table = workload_table(31, 12, 700);
+        for workers in [1usize, 2, 4, 8] {
+            let wl = WorkloadRequest {
+                dataset: DatasetRef::Csv(String::new()),
+                workers,
+                ..Default::default()
+            };
+            let run = || {
+                let mut rng = StdRng::seed_from_u64(wl.seed);
+                let (train, test) = table.split_train_test(&mut rng, wl.train_frac);
+                let cfg = pipeline_config(&wl, train.n_rows()).expect("config");
+                let out = run_pipeline_batched(GTest::new(&train, wl.alpha), &train, &test, &cfg);
+                let body = render_pipeline_report(&out, &train, &cfg, test.n_rows());
+                (body, counter_tuple(&out.engine))
+            };
+            fairsel_obs::set_enabled(false);
+            let (body_off, counters_off) = run();
+            fairsel_obs::set_enabled(true);
+            let (body_on, counters_on) = run();
+            assert_eq!(
+                body_off, body_on,
+                "workers={workers}: tracing changed the selection report"
+            );
+            assert_eq!(
+                counters_off, counters_on,
+                "workers={workers}: tracing changed engine counters"
+            );
+        }
+    }
+
+    #[test]
+    fn served_select_leaves_full_span_trail_and_percentile_stats() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let table = workload_table(33, 10, 500);
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let req = Request::Select(WorkloadRequest {
+            dataset: DatasetRef::Csv(csv::to_csv_string(&table)),
+            workers: 2,
+            ..Default::default()
+        });
+        match request(&addr, &req).expect("select") {
+            Response::Ok { .. } => {}
+            other => panic!("select failed: {other:?}"),
+        }
+
+        // Trace: spans covering accept → queue wait → parse → engine
+        // phases → respond. The sink is process-global, so other tests'
+        // spans may interleave; containment is the assertion. A handler
+        // thread flushes its span buffer when the root request span
+        // drops — *after* the response bytes are written — so a
+        // one-shot client can out-race the flush; poll briefly.
+        const EXPECTED: [&str; 8] = [
+            "server.queue_wait",
+            "server.request",
+            "server.parse",
+            "server.respond",
+            "registry.select",
+            "planner.level",
+            "tester.eval",
+            "zgroup.eval",
+        ];
+        let mut t = Json::Null;
+        for attempt in 0..40 {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            let resp = request(&addr, &Request::Trace { last: 2048 }).expect("trace");
+            let Response::Ok {
+                stats: Some(got), ..
+            } = resp
+            else {
+                panic!("trace failed: {resp:?}");
+            };
+            let done = match got.get("spans") {
+                Some(Json::Arr(spans)) => {
+                    let names: Vec<&str> = spans.iter().filter_map(|s| s.get_str("name")).collect();
+                    EXPECTED.iter().all(|e| names.contains(e))
+                }
+                _ => false,
+            };
+            t = got;
+            if done {
+                break;
+            }
+        }
+        let Some(Json::Arr(spans)) = t.get("spans") else {
+            panic!("trace response carried no spans array");
+        };
+        let names: Vec<&str> = spans.iter().filter_map(|s| s.get_str("name")).collect();
+        for expected in EXPECTED {
+            assert!(
+                names.contains(&expected),
+                "span {expected:?} missing from trace (got {names:?})"
+            );
+        }
+        // Child spans link to their parents.
+        let request_ids: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.get_str("name") == Some("server.request"))
+            .filter_map(|s| s.get_u64("id"))
+            .collect();
+        let parse_parents: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.get_str("name") == Some("server.parse"))
+            .filter_map(|s| s.get_u64("parent"))
+            .collect();
+        assert!(
+            parse_parents.iter().any(|p| request_ids.contains(p)),
+            "server.parse must nest under a server.request span"
+        );
+        assert!(t.get_num("spans_dropped").is_some());
+
+        // Stats: per-command percentiles, queue wait, named histograms.
+        let Response::Ok { stats: Some(s), .. } = request(&addr, &Request::Stats).expect("stats")
+        else {
+            panic!("stats failed");
+        };
+        for k in [
+            "request_wall_p50_ms",
+            "request_wall_p95_ms",
+            "request_wall_p99_ms",
+            "request_wall_max_ms",
+            "queue_wait_ms",
+            "queue_wait_p50_ms",
+            "queue_wait_p95_ms",
+            "queue_wait_p99_ms",
+            "pool_busy_ms",
+            "spans_dropped",
+        ] {
+            assert!(s.get_num(k).is_some(), "stats field {k} missing");
+        }
+        let p50 = s.get_num("request_wall_p50_ms").unwrap();
+        let p95 = s.get_num("request_wall_p95_ms").unwrap();
+        let p99 = s.get_num("request_wall_p99_ms").unwrap();
+        let max = s.get_num("request_wall_max_ms").unwrap();
+        assert!(
+            p50 <= p95 && p95 <= p99 && p99 <= max,
+            "request-wall percentiles must ascend ({p50} / {p95} / {p99} / max {max})"
+        );
+        let hists = s.get("histograms").expect("histograms object");
+        let select_hist = hists
+            .get("request_wall/select")
+            .expect("per-command histogram for select");
+        assert!(
+            select_hist.get_num("count").unwrap_or(0.0) >= 1.0,
+            "the select histogram must have counted the request"
+        );
+        let qwait = hists.get("queue_wait").expect("queue-wait histogram");
+        assert!(
+            qwait.get_num("count").unwrap_or(0.0) >= 2.0,
+            "every admitted connection records its queue wait"
+        );
+        // The Prometheus rendering of these stats carries the bucket
+        // lines the CI smoke step greps for.
+        let prom = fairsel_server::render_prom(&s);
+        assert!(
+            prom.contains("fairsel_request_wall_ms_bucket{cmd=\"select\",le="),
+            "prom rendering must expose select request-wall buckets"
+        );
+        assert!(prom.contains("# TYPE fairsel_request_wall_ms histogram"));
+
+        handle.shutdown();
+    }
+}
