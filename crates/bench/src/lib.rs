@@ -10,7 +10,7 @@
 //! more than the deltas being measured); counters are deterministic
 //! across repeats, so any repeat's counters are the counters.
 
-use fairsel_ci::{CiTest, CiTestBatch, FisherZ, GTest, OracleCi};
+use fairsel_ci::{CiTest, CiTestBatch, FisherZ, GTest, KernelMode, OracleCi};
 use fairsel_core::{
     grpsel_batched_in, grpsel_in, grpsel_par_in, grpsel_ungrouped_in, seqsel_in, Problem,
     SelectConfig,
@@ -72,6 +72,22 @@ pub struct BenchResult {
     pub max_ms: f64,
     /// Number of per-request samples behind the percentiles.
     pub hist_total: u64,
+    /// Table rows in the instance — `0` for scenarios that don't sweep
+    /// the row count (only `rows-scaling/*` populates it).
+    pub rows: u64,
+    /// Wall time normalized per table row, nanoseconds — the
+    /// hardware-shaped-kernel currency (`0` outside `rows-scaling/*`).
+    pub ns_per_row: f64,
+    /// Hex FNV digest of every memoized outcome's exact bit patterns
+    /// (p-value, statistic, verdict) in canonical key order. Rows of the
+    /// same scenario must agree — the validator-enforced proof that the
+    /// kernel variants being timed are byte-identical. Empty for
+    /// scenarios that don't compare kernels.
+    pub pvalue_hash: String,
+    /// Contingency cells filled through the dense counting arenas.
+    pub dense_count_cells: u64,
+    /// Bytes of width-adaptive (u8/u16/u32) code storage built.
+    pub narrow_code_bytes: u64,
 }
 
 impl BenchResult {
@@ -83,7 +99,9 @@ impl BenchResult {
              \"encode_hits\":{},\"encode_misses\":{},\
              \"wall_ms\":{:.3},\"req_bytes\":{},\"selected\":{},\
              \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
-             \"max_ms\":{:.3},\"hist_total\":{}}}",
+             \"max_ms\":{:.3},\"hist_total\":{},\"rows\":{},\
+             \"ns_per_row\":{:.3},\"pvalue_hash\":\"{}\",\
+             \"dense_count_cells\":{},\"narrow_code_bytes\":{}}}",
             self.scenario,
             self.algo,
             self.n_features,
@@ -101,7 +119,12 @@ impl BenchResult {
             self.p95_ms,
             self.p99_ms,
             self.max_ms,
-            self.hist_total
+            self.hist_total,
+            self.rows,
+            self.ns_per_row,
+            self.pvalue_hash,
+            self.dense_count_cells,
+            self.narrow_code_bytes
         )
     }
 
@@ -366,6 +389,114 @@ pub fn workers_scaling(n_features: usize, rows: usize, repeats: usize) -> Vec<Be
             })
         })
         .collect()
+}
+
+/// The hardware-shaped-kernel story: the same GrpSel workload at growing
+/// row counts, each kernel generation timed on identical queries. Two
+/// scenario families:
+///
+/// * `rows-scaling/gtest/rows=R` — `kernels-narrow` (width-adaptive
+///   codes, dense counting arenas, memoized CSR scaffolds) vs
+///   `kernels-reference` (the pre-kernel path: u32-widened codes, hashed
+///   or freshly allocated per-query counting);
+/// * `rows-scaling/fisherz/rows=R` — `kernels-blocked` (fused
+///   two-pass Pearson, cache-blocked products, triangular Gram
+///   formation) vs `kernels-naive` (the reference loops, forced via
+///   the process-wide toggle).
+///
+/// Every row carries `ns_per_row` (the per-row kernel cost) and
+/// `pvalue_hash`, a bit-exact digest of every cached outcome; the
+/// validator rejects the document if the two kernels of any scenario
+/// disagree on a single bit.
+pub fn rows_scaling(row_sizes: &[usize], workers: usize, repeats: usize) -> Vec<BenchResult> {
+    let n_features = 16;
+    let mut out = Vec::new();
+    for &rows in row_sizes {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.25,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(rows as u64);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        let table = sample_table(&scm, &inst.roles, rows, &mut rng);
+        let problem = Problem::from_table(&table);
+        let select = SelectConfig {
+            max_group: Some(SelectConfig::auto_max_group(rows)),
+            ..Default::default()
+        };
+        // Large instances are dominated by kernel time, not run-to-run
+        // jitter; one shot keeps the suite tractable.
+        let reps = if rows >= 100_000 { 1 } else { repeats };
+
+        let scenario = format!("rows-scaling/gtest/rows={rows}");
+        for (algo, mode) in [
+            ("kernels-narrow", KernelMode::Narrow),
+            ("kernels-reference", KernelMode::Reference),
+        ] {
+            if reps == 1 {
+                // Single-shot sizes get one untimed pass first: a fresh
+                // process pays page-fault and allocator warm-up that
+                // would otherwise land entirely on whichever variant
+                // runs first and swamp the kernel difference under test.
+                let tester = GTest::over(encoded(&table, true), 0.01).with_kernel_mode(mode);
+                let mut session = CiSession::new(tester);
+                let _ = grpsel_batched_in(&mut session, &problem, &select, None, workers);
+            }
+            out.push(median_of_repeats(reps, || {
+                let tester = GTest::over(encoded(&table, true), 0.01).with_kernel_mode(mode);
+                let mut session = CiSession::new(tester);
+                let mut row = measure(&scenario, algo, n_features, &mut session, |s| {
+                    let sel = grpsel_batched_in(s, &problem, &select, None, workers)
+                        .selected()
+                        .len();
+                    s.refresh_encode_stats();
+                    sel
+                });
+                finish_scaling_row(&mut row, rows, &session);
+                row
+            }));
+        }
+
+        let scenario = format!("rows-scaling/fisherz/rows={rows}");
+        for (algo, naive) in [("kernels-blocked", false), ("kernels-naive", true)] {
+            if reps == 1 {
+                // Same untimed warm-up as the G-test pair above.
+                fairsel_math::set_naive_kernels(naive);
+                let tester = FisherZ::over(encoded(&table, true), 0.01);
+                let mut session = CiSession::new(tester);
+                let _ = grpsel_batched_in(&mut session, &problem, &select, None, workers);
+                fairsel_math::set_naive_kernels(false);
+            }
+            out.push(median_of_repeats(reps, || {
+                fairsel_math::set_naive_kernels(naive);
+                let tester = FisherZ::over(encoded(&table, true), 0.01);
+                let mut session = CiSession::new(tester);
+                let mut row = measure(&scenario, algo, n_features, &mut session, |s| {
+                    let sel = grpsel_batched_in(s, &problem, &select, None, workers)
+                        .selected()
+                        .len();
+                    s.refresh_encode_stats();
+                    sel
+                });
+                fairsel_math::set_naive_kernels(false);
+                finish_scaling_row(&mut row, rows, &session);
+                row
+            }));
+        }
+    }
+    out
+}
+
+/// Fill the rows-scaling columns of a freshly measured row.
+fn finish_scaling_row<T: CiTest>(row: &mut BenchResult, rows: usize, session: &CiSession<T>) {
+    row.rows = rows as u64;
+    row.ns_per_row = row.wall_ms * 1e6 / rows.max(1) as f64;
+    row.pvalue_hash = format!("{:016x}", session.outcomes_fingerprint());
+    row.dense_count_cells = session.stats().dense_count_cells;
+    row.narrow_code_bytes = session.stats().narrow_code_bytes;
 }
 
 fn encoded(table: &Table, cached: bool) -> Arc<EncodedTable> {
@@ -881,6 +1012,12 @@ pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
     out.extend(data_scaling(data_n, data_rows, workers, repeats));
     out.extend(data_tester_modes(batch_n, batch_rows, 4, repeats));
     out.extend(workers_scaling(batch_n, batch_rows, repeats));
+    let row_sizes: &[usize] = if quick {
+        &[1000, 3000]
+    } else {
+        &[6000, 25_000, 100_000, 500_000]
+    };
+    out.extend(rows_scaling(row_sizes, 4, repeats));
     out.extend(cache_replay(if quick { 32 } else { 128 }));
     let (serve_n, serve_rows) = if quick { (16, 1200) } else { (24, 4000) };
     out.extend(serve_cold_warm(serve_n, serve_rows));
@@ -907,6 +1044,7 @@ pub fn default_suite(quick: bool) -> Vec<BenchResult> {
 /// cold/warm serve round trip, on tiny inputs.
 pub fn smoke_suite() -> Vec<BenchResult> {
     let mut out = data_tester_modes(16, 800, 2, 1);
+    out.extend(rows_scaling(&[2000, 6000], 2, 1));
     out.extend(serve_cold_warm(12, 600));
     out.extend(serve_concurrent(12, 600, 3));
     out.extend(serve_latency_tail(10, 400, 2, 2, 2));
@@ -929,6 +1067,14 @@ fn run_field_f64(run: &str, key: &str) -> Option<f64> {
     let rest = &run[at..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// Read a string field out of one run's flat JSON body.
+fn run_field_str<'a>(run: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let at = run.find(&pat)? + pat.len();
+    let rest = &run[at..];
+    Some(&rest[..rest.find('"')?])
 }
 
 /// Validate a serialized bench document the way the CI smoke job does:
@@ -983,6 +1129,11 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         "\"p99_ms\":",
         "\"max_ms\":",
         "\"hist_total\":",
+        "\"rows\":",
+        "\"ns_per_row\":",
+        "\"pvalue_hash\":",
+        "\"dense_count_cells\":",
+        "\"narrow_code_bytes\":",
     ] {
         let runs = json.matches("\"scenario\":").count();
         if json.matches(key).count() != runs {
@@ -1099,12 +1250,88 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
     if !tail_ok {
         return Err("no serve/latency-tail run with hist_total > 0".into());
     }
+    // The kernel acceptance signals: rows-scaling rows exist; every one
+    // reports a positive per-row cost and a nonempty outcome digest; row
+    // counts ascend within each (family, algo); the kernel variants of a
+    // scenario produce the SAME digest (the byte-identity contract, bit
+    // for bit); and the narrow G-test rows actually exercised the dense
+    // counting arenas and width-adaptive code storage.
+    let mut scaling_hashes: std::collections::HashMap<&str, &str> = Default::default();
+    let mut last_rows: std::collections::HashMap<String, u64> = Default::default();
+    let mut any_scaling = false;
+    for r in &runs {
+        if !r.starts_with("rows-scaling/") {
+            continue;
+        }
+        any_scaling = true;
+        let scenario = r.split('"').next().unwrap_or("");
+        let algo = run_field_str(r, "algo").ok_or("unreadable algo")?;
+        let nspr = run_field_f64(r, "ns_per_row").ok_or("unreadable ns_per_row")?;
+        if nspr <= 0.0 {
+            return Err(format!("{scenario}/{algo}: ns_per_row must be positive"));
+        }
+        let hash = run_field_str(r, "pvalue_hash").ok_or("unreadable pvalue_hash")?;
+        if hash.is_empty() {
+            return Err(format!("{scenario}/{algo}: empty pvalue_hash"));
+        }
+        if let Some(prev) = scaling_hashes.get(scenario) {
+            if *prev != hash {
+                return Err(format!(
+                    "{scenario}: kernel variants disagree on outcome bits \
+                     ({prev} vs {hash} at {algo})"
+                ));
+            }
+        } else {
+            scaling_hashes.insert(scenario, hash);
+        }
+        let rows_n = run_field(r, "rows").ok_or("unreadable rows")?;
+        let family = scenario.rsplit_once("/rows=").map_or(scenario, |(f, _)| f);
+        let key = format!("{family}/{algo}");
+        if let Some(&prev) = last_rows.get(&key) {
+            if rows_n <= prev {
+                return Err(format!("{key}: rows not ascending ({prev} -> {rows_n})"));
+            }
+        }
+        last_rows.insert(key, rows_n);
+        if family == "rows-scaling/gtest" && algo == "kernels-narrow" {
+            if run_field(r, "dense_count_cells").ok_or("unreadable dense_count_cells")? == 0 {
+                return Err(format!(
+                    "{scenario}: narrow kernels never filled a dense arena"
+                ));
+            }
+            if run_field(r, "narrow_code_bytes").ok_or("unreadable narrow_code_bytes")? == 0 {
+                return Err(format!(
+                    "{scenario}: narrow kernels built no narrow code storage"
+                ));
+            }
+        }
+    }
+    if !any_scaling {
+        return Err("no rows-scaling runs".into());
+    }
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Manual perf probe: repeated 500k rows-scaling rounds so run-to-run
+    /// noise is visible. Run with `--ignored --nocapture`; drop workers to
+    /// 1 when per-phase timings must not double-count scheduler waits on
+    /// a single-core box.
+    #[test]
+    #[ignore]
+    fn probe_rows_scaling_order() {
+        for round in 0..4 {
+            for r in rows_scaling(&[500_000], 4, 1) {
+                println!(
+                    "round {round} {:<34} {:<20} {:>8.1} ns/row",
+                    r.scenario, r.algo, r.ns_per_row
+                );
+            }
+        }
+    }
 
     #[test]
     fn quick_suite_runs_and_serializes() {
@@ -1238,8 +1465,30 @@ mod tests {
              \"cache_hits\":9,\"speculative_issued\":{},\"speculative_hits\":{},\
              \"encode_hits\":{enc_hits},\"encode_misses\":9,\"wall_ms\":1.0,\
              \"req_bytes\":{req_bytes},\"p50_ms\":0.000,\"p95_ms\":0.000,\
-             \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0}}",
+             \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":0,\
+             \"ns_per_row\":0.000,\"pvalue_hash\":\"\",\
+             \"dense_count_cells\":0,\"narrow_code_bytes\":0}}",
             spec.0, spec.1
+        )
+    }
+
+    /// A fake rows-scaling run with explicit kernel columns.
+    fn fake_scaling_run(
+        family: &str,
+        algo: &str,
+        rows: u64,
+        hash: &str,
+        dense: u64,
+        narrow: u64,
+    ) -> String {
+        format!(
+            "{{\"scenario\":\"rows-scaling/{family}/rows={rows}\",\"algo\":\"{algo}\",\
+             \"issued\":5,\"cache_hits\":9,\"speculative_issued\":0,\"speculative_hits\":0,\
+             \"encode_hits\":5,\"encode_misses\":9,\"wall_ms\":1.0,\
+             \"req_bytes\":0,\"p50_ms\":0.000,\"p95_ms\":0.000,\
+             \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":{rows},\
+             \"ns_per_row\":12.500,\"pvalue_hash\":\"{hash}\",\
+             \"dense_count_cells\":{dense},\"narrow_code_bytes\":{narrow}}}"
         )
     }
 
@@ -1250,7 +1499,9 @@ mod tests {
              \"cache_hits\":9,\"speculative_issued\":0,\"speculative_hits\":0,\
              \"encode_hits\":5,\"encode_misses\":9,\"wall_ms\":1.0,\
              \"req_bytes\":300,\"p50_ms\":{p50},\"p95_ms\":{p95},\
-             \"p99_ms\":{p99},\"max_ms\":{max},\"hist_total\":{total}}}"
+             \"p99_ms\":{p99},\"max_ms\":{max},\"hist_total\":{total},\"rows\":0,\
+             \"ns_per_row\":0.000,\"pvalue_hash\":\"\",\
+             \"dense_count_cells\":0,\"narrow_code_bytes\":0}}"
         )
     }
 
@@ -1270,6 +1521,12 @@ mod tests {
             fake_run("fisherz-batch/x", "grpsel-spec", 8, (6, 4), 5, 0),
             fake_run("serve/x", "serve-warm", 0, (0, 0), 5, 9000),
             fake_run("serve/concurrent/x", "serve-warm-fp", 0, (0, 0), 5, 300),
+            fake_scaling_run("gtest", "kernels-narrow", 1000, "abc1", 50, 40),
+            fake_scaling_run("gtest", "kernels-reference", 1000, "abc1", 0, 40),
+            fake_scaling_run("gtest", "kernels-narrow", 3000, "abc2", 150, 120),
+            fake_scaling_run("gtest", "kernels-reference", 3000, "abc2", 0, 120),
+            fake_scaling_run("fisherz", "kernels-blocked", 1000, "fff1", 0, 0),
+            fake_scaling_run("fisherz", "kernels-naive", 1000, "fff1", 0, 0),
             fake_tail_run(0.5, 1.0, 2.0, 3.0, 6),
         ]
     }
@@ -1384,6 +1641,70 @@ mod tests {
         // cold requests ship a whole CSV dataset.
         assert!(hot.req_bytes < 1024, "hot request is fp-addressed");
         assert!(cold.req_bytes > 1024, "cold request carries a dataset");
+    }
+
+    #[test]
+    fn validator_enforces_kernel_byte_identity() {
+        validate_bench_json(&fake_doc(&valid_rows())).expect("fixture should validate");
+        // The two kernels of one scenario disagree on outcome bits.
+        let mut split = valid_rows();
+        split[7] = fake_scaling_run("gtest", "kernels-reference", 1000, "deadbeef", 0, 40);
+        assert!(validate_bench_json(&fake_doc(&split))
+            .unwrap_err()
+            .contains("disagree"));
+        // Row counts regress within an algo.
+        let mut shrunk = valid_rows();
+        shrunk[8] = fake_scaling_run("gtest", "kernels-narrow", 500, "abc9", 150, 120);
+        shrunk[9] = fake_scaling_run("gtest", "kernels-reference", 500, "abc9", 0, 120);
+        assert!(validate_bench_json(&fake_doc(&shrunk))
+            .unwrap_err()
+            .contains("ascending"));
+        // A narrow G-test row that never touched a dense arena.
+        let mut hashed = valid_rows();
+        hashed[6] = fake_scaling_run("gtest", "kernels-narrow", 1000, "abc1", 0, 40);
+        assert!(validate_bench_json(&fake_doc(&hashed))
+            .unwrap_err()
+            .contains("dense"));
+        // A row with no outcome digest at all.
+        let mut blank = valid_rows();
+        blank[10] = fake_scaling_run("fisherz", "kernels-blocked", 1000, "", 0, 0);
+        assert!(validate_bench_json(&fake_doc(&blank))
+            .unwrap_err()
+            .contains("pvalue_hash"));
+        // No rows-scaling rows anywhere.
+        let mut none = valid_rows();
+        none.drain(6..12);
+        assert!(validate_bench_json(&fake_doc(&none))
+            .unwrap_err()
+            .contains("rows-scaling"));
+    }
+
+    #[test]
+    fn rows_scaling_kernels_agree_and_count() {
+        let rows = rows_scaling(&[600], 2, 1);
+        assert_eq!(rows.len(), 4);
+        let by_algo = |algo: &str| rows.iter().find(|r| r.algo == algo).unwrap();
+        let narrow = by_algo("kernels-narrow");
+        let reference = by_algo("kernels-reference");
+        let blocked = by_algo("kernels-blocked");
+        let naive = by_algo("kernels-naive");
+        // Byte-identity across kernel generations, per tester.
+        assert_eq!(narrow.pvalue_hash, reference.pvalue_hash);
+        assert_eq!(blocked.pvalue_hash, naive.pvalue_hash);
+        assert!(!narrow.pvalue_hash.is_empty());
+        // The narrow path counts its dense arena work; the reference path
+        // by construction never touches an arena.
+        assert!(narrow.dense_count_cells > 0);
+        assert_eq!(reference.dense_count_cells, 0);
+        assert!(narrow.narrow_code_bytes > 0);
+        for r in &rows {
+            assert_eq!(r.rows, 600);
+            assert!(r.ns_per_row > 0.0, "{}", r.algo);
+        }
+        // Selections agree across kernels of the same tester (different
+        // testers legitimately select differently).
+        assert_eq!(narrow.selected, reference.selected);
+        assert_eq!(blocked.selected, naive.selected);
     }
 
     #[test]

@@ -37,6 +37,8 @@ fn main() -> ExitCode {
                 "  p50/p95/p99 {:.2}/{:.2}/{:.2} ms (n={})",
                 r.p50_ms, r.p95_ms, r.p99_ms, r.hist_total
             )
+        } else if r.rows > 0 {
+            format!("  {:.1} ns/row  hash {}", r.ns_per_row, r.pvalue_hash)
         } else {
             String::new()
         };

@@ -7,18 +7,18 @@
 //! estimator. Slightly negative plug-in estimates are truncated to 0
 //! following Mukherjee et al. [39], as footnote 3 of the paper prescribes.
 
-use crate::contingency::{Strata, ZPartition};
-use crate::{CiOutcome, CiTest, VarId};
-use fairsel_table::{CappedCache, EncodedTable, Encoding, Table};
+use crate::contingency::{dense_cell_space, DenseArena, Strata, StratumRows, ZPartition};
+use crate::{CiOutcome, CiTest, KernelMode, VarId};
+use fairsel_table::{with_codes, CappedCache, CodeValue, EncodedTable, Encoding, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A conditioning set's stratification plus its per-stratum row lists —
-/// the scaffold one Z-group (and all `B + 1` statistic computations of
-/// each of its queries) shares.
-type CmiScaffold = (ZPartition, Vec<Vec<usize>>);
+/// A conditioning set's stratification plus its CSR per-stratum row
+/// layout — the scaffold one Z-group (and all `B + 1` statistic
+/// computations of each of its queries) shares.
+type CmiScaffold = (ZPartition, StratumRows);
 
 /// Plug-in conditional mutual information `I(X; Y | Z)` in nats from joint
 /// codes. Equals `G / (2n)` for the same contingency tables. Accumulation
@@ -76,6 +76,10 @@ pub struct PermutationCmi {
     permutations: usize,
     seed: u64,
     degenerate: AtomicU64,
+    kernel: KernelMode,
+    /// Cells zeroed+filled by the dense counting arena (telemetry:
+    /// `dense_count_cells`).
+    dense_cells: AtomicU64,
     /// Memoized conditioning-set scaffolds, keyed by canonical set and
     /// bounded like every other data-path cache — so concurrent chunks of
     /// one Z-group (and later frontier levels) share one stratification.
@@ -105,8 +109,18 @@ impl PermutationCmi {
             permutations,
             seed,
             degenerate: AtomicU64::new(0),
+            kernel: KernelMode::default(),
+            dense_cells: AtomicU64::new(0),
             partitions: CappedCache::new(cap),
         }
+    }
+
+    /// Select the counting-kernel generation (default: the narrow/arena
+    /// kernels). Outcomes are bit-identical either way; the reference
+    /// mode exists for benchmarking and bit-identity property tests.
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Scaffold for the canonical conditioning set `zkey`, memoized.
@@ -115,14 +129,14 @@ impl PermutationCmi {
             if let Some(hit) = self.partitions.get(zkey) {
                 return hit;
             }
-            let part = ZPartition::from_codes(&ze.codes);
-            let rows = part.rows();
+            let part = ZPartition::from_encoding(ze);
+            let rows = StratumRows::from_partition(&part);
             self.partitions
                 .insert(zkey.to_vec(), Arc::new((part, rows)))
         } else {
             self.partitions.note_miss();
-            let part = ZPartition::from_codes(&ze.codes);
-            let rows = part.rows();
+            let part = ZPartition::from_encoding(ze);
+            let rows = StratumRows::from_partition(&part);
             Arc::new((part, rows))
         }
     }
@@ -151,35 +165,133 @@ impl PermutationCmi {
         zkey: &[VarId],
         ze: &Encoding,
         part: &ZPartition,
-        rows: &[Vec<usize>],
+        rows: &StratumRows,
     ) -> CiOutcome {
         let (x, y) = crate::canonical_sides(x, y);
         let (x, y) = (x.as_slice(), y.as_slice());
         let xe = self.enc.encode(x);
         let ye = self.enc.encode(y);
         let n = ze.codes.len();
-        let observed = cmi_from_strata(&Strata::count_within(&xe.codes, &ye.codes, part), n);
-
-        let mut rng = StdRng::seed_from_u64(crate::derived_query_seed(self.seed, x, y, zkey));
-        let mut xperm = xe.codes.clone();
-        let mut at_least = 1usize; // the observed statistic counts itself
-        for _ in 0..self.permutations {
-            for stratum in rows {
-                // Fisher-Yates within the stratum.
-                for i in (1..stratum.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    xperm.swap(stratum[i], stratum[j]);
+        let seed = crate::derived_query_seed(self.seed, x, y, zkey);
+        let (observed, p) = if self.kernel == KernelMode::Reference {
+            permute_and_count_reference(
+                &xe.codes.to_u32_vec(),
+                &ye.codes.to_u32_vec(),
+                part,
+                rows,
+                n,
+                seed,
+                self.permutations,
+            )
+        } else {
+            let (xa, ya) = (xe.arity.max(1) as usize, ye.arity.max(1) as usize);
+            with_codes!(&xe.codes, |xc| with_codes!(&ye.codes, |yc| {
+                let (observed, p, cells) = permute_and_count_narrow(
+                    xc,
+                    xa,
+                    yc,
+                    ya,
+                    part,
+                    rows,
+                    n,
+                    seed,
+                    self.permutations,
+                );
+                if cells > 0 {
+                    self.dense_cells.fetch_add(cells, Ordering::Relaxed);
                 }
-            }
-            if cmi_from_strata(&Strata::count_within(&xperm, &ye.codes, part), n) >= observed {
-                at_least += 1;
-            }
-        }
-        let p = at_least as f64 / (self.permutations + 1) as f64;
+                (observed, p)
+            }))
+        };
         CiOutcome {
             independent: p > self.alpha,
             p_value: p,
             statistic: observed,
+        }
+    }
+}
+
+/// The observed statistic and permutation p-value through the narrow/arena
+/// kernels: one reusable dense arena (hashed fallback when the cell space
+/// is too large) serves the observed statistic and all `B` replicates, and
+/// the permutation runs at the codes' native width. The statistic values —
+/// and therefore the `>= observed` comparisons and the p-value — are
+/// bit-identical to [`permute_and_count_reference`]. Returns
+/// `(observed, p, dense cells used)`.
+#[allow(clippy::too_many_arguments)]
+fn permute_and_count_narrow<X: CodeValue, Y: CodeValue>(
+    xcodes: &[X],
+    xa: usize,
+    ycodes: &[Y],
+    ya: usize,
+    part: &ZPartition,
+    rows: &StratumRows,
+    n: usize,
+    seed: u64,
+    permutations: usize,
+) -> (f64, f64, u64) {
+    let dense = dense_cell_space(n, part.n_strata, xa, ya);
+    let mut arena = DenseArena::new();
+    let stat = |arena: &mut DenseArena, xs: &[X]| -> f64 {
+        match dense {
+            Some(cells) => {
+                arena.fill(xs, ycodes, xa, ya, part, cells);
+                arena.cmi_walk(n)
+            }
+            None => cmi_from_strata(&Strata::count_within(xs, ycodes, part), n),
+        }
+    };
+    let observed = stat(&mut arena, xcodes);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xperm: Vec<X> = xcodes.to_vec();
+    let mut at_least = 1usize; // the observed statistic counts itself
+    for _ in 0..permutations {
+        shuffle_within_strata(&mut xperm, rows, &mut rng);
+        if stat(&mut arena, &xperm) >= observed {
+            at_least += 1;
+        }
+    }
+    let p = at_least as f64 / (permutations + 1) as f64;
+    let cells_used = dense
+        .map(|c| c as u64 * (permutations as u64 + 1))
+        .unwrap_or(0);
+    (observed, p, cells_used)
+}
+
+/// The pre-kernel implementation, kept as the [`KernelMode::Reference`]
+/// path: full-width codes, hashed counting per replicate.
+fn permute_and_count_reference(
+    xcodes: &[u32],
+    ycodes: &[u32],
+    part: &ZPartition,
+    rows: &StratumRows,
+    n: usize,
+    seed: u64,
+    permutations: usize,
+) -> (f64, f64) {
+    let observed = cmi_from_strata(&Strata::count_within(xcodes, ycodes, part), n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xperm = xcodes.to_vec();
+    let mut at_least = 1usize; // the observed statistic counts itself
+    for _ in 0..permutations {
+        shuffle_within_strata(&mut xperm, rows, &mut rng);
+        if cmi_from_strata(&Strata::count_within(&xperm, ycodes, part), n) >= observed {
+            at_least += 1;
+        }
+    }
+    (observed, at_least as f64 / (permutations + 1) as f64)
+}
+
+/// Fisher-Yates within each stratum, strata in first-occurrence order,
+/// rows ascending — the CSR layout reproduces the old per-stratum row
+/// lists exactly, so the same randomness is consumed in the same order
+/// regardless of code width or kernel mode.
+fn shuffle_within_strata<T: Copy>(xperm: &mut [T], rows: &StratumRows, rng: &mut StdRng) {
+    for s in 0..rows.n_strata() {
+        let stratum = rows.stratum(s);
+        for i in (1..stratum.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            xperm.swap(stratum[i] as usize, stratum[j] as usize);
         }
     }
 }
@@ -266,7 +378,13 @@ impl crate::CiTestBatch for PermutationCmi {
     }
 
     fn encode_cache_stats(&self) -> crate::EncodeStats {
-        self.enc.stats().merged(self.partitions.stats())
+        self.enc
+            .stats()
+            .merged(self.partitions.stats())
+            .merged(crate::EncodeStats {
+                dense_count_cells: self.dense_cells.load(Ordering::Relaxed),
+                ..crate::EncodeStats::default()
+            })
     }
 }
 
@@ -363,6 +481,38 @@ mod tests {
         let mut tester = PermutationCmi::new(&t, 0.05, 199, 3);
         let out = tester.ci(&[0], &[1], &[]);
         assert!(out.p_value > 0.05, "independent data should not reject");
+    }
+
+    #[test]
+    fn kernel_modes_agree_bit_for_bit() {
+        use crate::CiTestShared;
+        let t = xor_table(800);
+        let narrow = PermutationCmi::new(&t, 0.05, 49, 7);
+        let reference =
+            PermutationCmi::new(&t, 0.05, 49, 7).with_kernel_mode(crate::KernelMode::Reference);
+        for (x, y, z) in [
+            (vec![0], vec![2], vec![]),
+            (vec![0, 1], vec![2], vec![]),
+            (vec![0], vec![2], vec![1]),
+            (vec![1], vec![0], vec![2]),
+        ] {
+            let a = narrow.ci_shared(&x, &y, &z);
+            let b = reference.ci_shared(&x, &y, &z);
+            assert_eq!(
+                a.p_value.to_bits(),
+                b.p_value.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+            assert_eq!(
+                a.statistic.to_bits(),
+                b.statistic.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+            assert_eq!(a.independent, b.independent);
+        }
+        use crate::CiTestBatch;
+        assert!(narrow.encode_cache_stats().dense_count_cells > 0);
+        assert_eq!(reference.encode_cache_stats().dense_count_cells, 0);
     }
 
     #[test]

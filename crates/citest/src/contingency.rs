@@ -7,7 +7,19 @@
 //! pure function of the input codes. That determinism is what lets the
 //! engine promise byte-identical outcomes across the per-query, batched,
 //! and worker-pool execution paths.
+//!
+//! Two kernel generations coexist here. The hashed structures
+//! ([`Strata`]) are the reference: exact, width-generic, allocation-heavy.
+//! The arena structures ([`StratumRows`], [`DenseArena`]) are the
+//! hardware-shaped fast path: CSR row layout, flat `stratum × xa × ya`
+//! count tables filled by an unrolled loop, reused across the queries (and
+//! permutation replicates) of a Z-group. Every statistic the arena
+//! produces is bit-identical to the hashed path: strata keep
+//! first-occurrence order, cells accumulate in first-occurrence row order,
+//! marginals are exact integer sums, and the statistic walk visits the
+//! same cells in the same order.
 
+use fairsel_table::{with_codes, CodeValue, Codes, Encoding};
 use std::collections::HashMap;
 
 /// Precomputed stratification of a conditioning-set encoding — the shared
@@ -23,34 +35,319 @@ use std::collections::HashMap;
 pub(crate) struct ZPartition {
     /// Per-row stratum index.
     pub stratum_of: Vec<u32>,
+    /// The same stratum indices at the narrowest width `n_strata` fits —
+    /// the copy the arena fill loops stream (1 byte/row for ≤256 strata
+    /// instead of 4). The full-width copy above stays for the reference
+    /// kernels and the hashed fallback.
+    pub strata: Codes,
     /// Number of distinct strata.
     pub n_strata: usize,
+    /// Rows per stratum — a property of the partition alone, computed
+    /// once here so the arena fill loops never pay a per-row total
+    /// increment. Exact integer counts, bit-identical to `n` accumulated
+    /// `+= 1.0` increments when converted.
+    pub sizes: Vec<u64>,
 }
 
 impl ZPartition {
-    /// Build from per-row conditioning codes.
-    pub fn from_codes(z: &[u32]) -> ZPartition {
+    fn from_stratum_of(stratum_of: Vec<u32>, n_strata: usize) -> ZPartition {
+        let strata = Codes::from_slice(&stratum_of, (n_strata as u32).max(1));
+        let mut sizes = vec![0u64; n_strata];
+        for &s in &stratum_of {
+            sizes[s as usize] += 1;
+        }
+        ZPartition {
+            stratum_of,
+            strata,
+            n_strata,
+            sizes,
+        }
+    }
+}
+
+impl ZPartition {
+    /// Build from per-row conditioning codes (hashed first-occurrence
+    /// numbering, any code width).
+    pub fn from_codes<C: CodeValue>(z: &[C]) -> ZPartition {
         let mut index: HashMap<u32, u32> = HashMap::new();
         let mut stratum_of = Vec::with_capacity(z.len());
         for &zv in z {
             let next = index.len() as u32;
-            stratum_of.push(*index.entry(zv).or_insert(next));
+            stratum_of.push(*index.entry(zv.widen()).or_insert(next));
         }
-        ZPartition {
-            stratum_of,
-            n_strata: index.len(),
+        let n_strata = index.len();
+        Self::from_stratum_of(stratum_of, n_strata)
+    }
+
+    /// Build from a conditioning-set encoding at its native width. When
+    /// the code space is small relative to the row count the
+    /// first-occurrence numbering runs on a flat array instead of a hash
+    /// map — the numbering (and therefore every downstream bit) is
+    /// identical either way.
+    pub fn from_encoding(ze: &Encoding) -> ZPartition {
+        with_codes!(&ze.codes, |c| Self::from_codes_bounded(c, ze.arity))
+    }
+
+    fn from_codes_bounded<C: CodeValue>(z: &[C], arity: u32) -> ZPartition {
+        if (arity as usize) > z.len().saturating_mul(4).max(1024) {
+            return Self::from_codes(z);
+        }
+        let mut index = vec![u32::MAX; arity as usize];
+        let mut n_strata = 0u32;
+        let mut stratum_of = Vec::with_capacity(z.len());
+        for &zv in z {
+            let slot = &mut index[zv.index()];
+            if *slot == u32::MAX {
+                *slot = n_strata;
+                n_strata += 1;
+            }
+            stratum_of.push(*slot);
+        }
+        Self::from_stratum_of(stratum_of, n_strata as usize)
+    }
+}
+
+/// CSR (offsets + row indices) layout of a partition's per-stratum rows:
+/// strata in first-occurrence order, rows ascending within each stratum —
+/// exactly the order the old per-stratum `Vec<Vec<usize>>` materialization
+/// produced, so the within-stratum permutation consumes identical
+/// randomness. Two flat allocations regardless of the stratum count.
+pub(crate) struct StratumRows {
+    offsets: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl StratumRows {
+    /// Build by counting sort over the partition's stratum indices.
+    pub fn from_partition(part: &ZPartition) -> StratumRows {
+        let n = part.stratum_of.len();
+        assert!(n <= u32::MAX as usize, "row count exceeds u32 CSR layout");
+        let mut offsets = vec![0u32; part.n_strata + 1];
+        for &s in &part.stratum_of {
+            offsets[s as usize + 1] += 1;
+        }
+        for s in 0..part.n_strata {
+            offsets[s + 1] += offsets[s];
+        }
+        let mut cursor: Vec<u32> = offsets[..part.n_strata].to_vec();
+        let mut rows = vec![0u32; n];
+        for (i, &s) in part.stratum_of.iter().enumerate() {
+            let c = &mut cursor[s as usize];
+            rows[*c as usize] = i as u32;
+            *c += 1;
+        }
+        StratumRows { offsets, rows }
+    }
+
+    /// Number of strata.
+    pub fn n_strata(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Row indices of stratum `s`, ascending.
+    pub fn stratum(&self, s: usize) -> &[u32] {
+        &self.rows[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+}
+
+/// Dense-counting threshold: the flat table is worth it only while the
+/// cell space stays within a small multiple of the row count (beyond
+/// that, zeroing the table dominates and the hashed path wins).
+pub(crate) fn dense_cell_space(n: usize, n_strata: usize, xa: usize, ya: usize) -> Option<usize> {
+    let cells = (n_strata as u64) * (xa as u64) * (ya as u64);
+    (cells <= (8 * n as u64).max(4096)).then_some(cells as usize)
+}
+
+/// Reusable dense counting arena: flat `stratum × xa × ya` cell counts,
+/// per-stratum first-occurrence cell order, totals and marginals. One
+/// arena serves every query of a Z-group (and every permutation replicate
+/// of a CMI query) — buffers are resized once and zeroed per fill instead
+/// of reallocated.
+#[derive(Default)]
+pub(crate) struct DenseArena {
+    /// Integer cell counts: an integer increment retires in one cycle
+    /// where the former `f64 += 1.0` serialized on FP-add latency for
+    /// hot cells, and the 4-byte width halves the cache footprint of the
+    /// randomly-addressed table. Counts are exact integers (a cell holds
+    /// at most the row count, bounded `u32` by the CSR layout), so
+    /// converting at walk time yields bit-for-bit the values the float
+    /// accumulation produced.
+    counts: Vec<u32>,
+    totals: Vec<u64>,
+    xm: Vec<f64>,
+    ym: Vec<f64>,
+    /// Per-stratum `(x, y)` cells in first-occurrence order — the order
+    /// every statistic walk must follow.
+    cell_order: Vec<Vec<(u32, u32)>>,
+    xa: usize,
+    ya: usize,
+    n_strata: usize,
+}
+
+impl DenseArena {
+    pub fn new() -> DenseArena {
+        DenseArena::default()
+    }
+
+    /// Count `(x, y)` cells per stratum into the flat table. `cells` must
+    /// come from [`dense_cell_space`] for the same shape. The fill loop is
+    /// unrolled ×4: flat indices for four rows are computed ahead (pure
+    /// reads), then applied in row order so same-cell collisions within a
+    /// chunk still accumulate sequentially.
+    pub fn fill<X: CodeValue, Y: CodeValue>(
+        &mut self,
+        x: &[X],
+        y: &[Y],
+        xa: usize,
+        ya: usize,
+        part: &ZPartition,
+        cells: usize,
+    ) {
+        let n = x.len();
+        assert_eq!(n, y.len(), "contingency: length mismatch");
+        assert_eq!(n, part.stratum_of.len(), "contingency: partition mismatch");
+        assert!(n <= u32::MAX as usize, "row count exceeds u32 cell counts");
+        self.xa = xa;
+        self.ya = ya;
+        self.n_strata = part.n_strata;
+        resize_zeroed(&mut self.counts, cells);
+        // Stratum totals come precomputed from the partition — no per-row
+        // accumulation in the fill loops.
+        self.totals.clear();
+        self.totals.extend_from_slice(&part.sizes);
+        resize_zeroed(&mut self.xm, part.n_strata * xa);
+        resize_zeroed(&mut self.ym, part.n_strata * ya);
+        if self.cell_order.len() < part.n_strata {
+            self.cell_order.resize_with(part.n_strata, Vec::new);
+        }
+        for order in &mut self.cell_order[..part.n_strata] {
+            order.clear();
+        }
+        if part.n_strata == 1 {
+            // Single stratum (empty or constant Z — a large share of real
+            // frontiers): no per-row stratum reads at all.
+            for r in 0..n {
+                let flat = x[r].index() * ya + y[r].index();
+                if self.counts[flat] == 0 {
+                    self.cell_order[0].push((x[r].widen(), y[r].widen()));
+                }
+                self.counts[flat] += 1;
+            }
+            return;
+        }
+        with_codes!(&part.strata, |strat| self.fill_rows(x, y, xa, ya, strat));
+    }
+
+    /// The general fill loop, streaming stratum indices at the partition's
+    /// narrow width.
+    fn fill_rows<X: CodeValue, Y: CodeValue, S: CodeValue>(
+        &mut self,
+        x: &[X],
+        y: &[Y],
+        xa: usize,
+        ya: usize,
+        strat: &[S],
+    ) {
+        let n = x.len();
+        let mut flats = [0usize; 4];
+        let mut i = 0;
+        while i + 4 <= n {
+            for (k, f) in flats.iter_mut().enumerate() {
+                let r = i + k;
+                *f = (strat[r].index() * xa + x[r].index()) * ya + y[r].index();
+            }
+            for (k, &flat) in flats.iter().enumerate() {
+                let r = i + k;
+                if self.counts[flat] == 0 {
+                    let s = strat[r].index();
+                    self.cell_order[s].push((x[r].widen(), y[r].widen()));
+                }
+                self.counts[flat] += 1;
+            }
+            i += 4;
+        }
+        while i < n {
+            let flat = (strat[i].index() * xa + x[i].index()) * ya + y[i].index();
+            if self.counts[flat] == 0 {
+                let s = strat[i].index();
+                self.cell_order[s].push((x[i].widen(), y[i].widen()));
+            }
+            self.counts[flat] += 1;
+            i += 1;
         }
     }
 
-    /// Row indices per stratum, strata in first-occurrence order, rows
-    /// ascending — the layout the within-stratum permutation needs.
-    pub fn rows(&self) -> Vec<Vec<usize>> {
-        let mut rows = vec![Vec::new(); self.n_strata];
-        for (i, &s) in self.stratum_of.iter().enumerate() {
-            rows[s as usize].push(i);
+    /// The G statistic and degrees of freedom from filled counts —
+    /// bit-identical to the hashed walk: integer cell counts convert
+    /// exactly to the `f64` values float accumulation would have built,
+    /// marginals are exact integer sums from the finished cells, the G
+    /// summation visits each stratum's cells in first-occurrence order,
+    /// df counts strata with more than one observed row and column value.
+    pub fn g_walk(&mut self) -> (f64, usize) {
+        let (xa, ya) = (self.xa, self.ya);
+        let mut g = 0.0;
+        let mut df = 0usize;
+        for s in 0..self.n_strata {
+            let mut r = 0usize;
+            let mut c = 0usize;
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                let xslot = &mut self.xm[s * xa + xv as usize];
+                if *xslot == 0.0 {
+                    r += 1;
+                }
+                *xslot += nxy;
+                let yslot = &mut self.ym[s * ya + yv as usize];
+                if *yslot == 0.0 {
+                    c += 1;
+                }
+                *yslot += nxy;
+            }
+            let total = self.totals[s] as f64;
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                let nx = self.xm[s * xa + xv as usize];
+                let ny = self.ym[s * ya + yv as usize];
+                g += 2.0 * nxy * ((nxy * total) / (nx * ny)).ln();
+            }
+            if r > 1 && c > 1 {
+                df += (r - 1) * (c - 1);
+            }
         }
-        rows
+        (g, df)
     }
+
+    /// Plug-in CMI from filled counts — the same walk order as
+    /// [`DenseArena::g_walk`] with the CMI weighting, bit-identical to the
+    /// hashed `cmi_from_strata` accumulation.
+    pub fn cmi_walk(&mut self, n: usize) -> f64 {
+        let nf = n as f64;
+        let (xa, ya) = (self.xa, self.ya);
+        let mut cmi = 0.0;
+        for s in 0..self.n_strata {
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                let xslot = &mut self.xm[s * xa + xv as usize];
+                *xslot += nxy;
+                let yslot = &mut self.ym[s * ya + yv as usize];
+                *yslot += nxy;
+            }
+            let total = self.totals[s] as f64;
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                let nx = self.xm[s * xa + xv as usize];
+                let ny = self.ym[s * ya + yv as usize];
+                cmi += (nxy / nf) * ((nxy * total) / (nx * ny)).ln();
+            }
+        }
+        cmi.max(0.0)
+    }
+}
+
+/// Resize to `len` and zero every element (keeping capacity across fills).
+fn resize_zeroed<T: Copy + Default>(buf: &mut Vec<T>, len: usize) {
+    buf.clear();
+    buf.resize(len, T::default());
 }
 
 /// Counts for one stratum of the conditioning variables.
@@ -126,14 +423,14 @@ impl Strata {
     ///
     /// # Panics
     /// Panics when the slices disagree in length with the partition.
-    pub fn count_within(x: &[u32], y: &[u32], part: &ZPartition) -> Strata {
+    pub fn count_within<X: CodeValue, Y: CodeValue>(x: &[X], y: &[Y], part: &ZPartition) -> Strata {
         let n = x.len();
         assert_eq!(n, y.len(), "contingency: length mismatch");
         assert_eq!(n, part.stratum_of.len(), "contingency: partition mismatch");
         let mut strata: Vec<Stratum> = (0..part.n_strata).map(|_| Stratum::default()).collect();
         for i in 0..n {
             let s = &mut strata[part.stratum_of[i] as usize];
-            let key = (x[i], y[i]);
+            let key = (x[i].widen(), y[i].widen());
             match s.cell_index.get(&key) {
                 Some(&ci) => s.cells[ci].1 += 1.0,
                 None => {
@@ -185,12 +482,16 @@ mod tests {
     #[test]
     fn count_within_matches_count() {
         // Irregular codes with repeats and a stratum of size one.
-        let x = [1, 0, 1, 1, 2, 0, 1, 2];
-        let y = [0, 0, 0, 1, 1, 2, 0, 1];
-        let z = [7, 3, 7, 3, 9, 7, 3, 7];
+        let x = [1u32, 0, 1, 1, 2, 0, 1, 2];
+        let y = [0u32, 0, 0, 1, 1, 2, 0, 1];
+        let z = [7u32, 3, 7, 3, 9, 7, 3, 7];
         let part = ZPartition::from_codes(&z);
         assert_eq!(part.n_strata, 3);
-        assert_eq!(part.rows()[0], vec![0, 2, 5, 7]); // stratum of z=7 first
+        let csr = StratumRows::from_partition(&part);
+        assert_eq!(csr.n_strata(), 3);
+        assert_eq!(csr.stratum(0), &[0, 2, 5, 7]); // stratum of z=7 first
+        assert_eq!(csr.stratum(1), &[1, 3, 6]);
+        assert_eq!(csr.stratum(2), &[4]);
         let a = Strata::count(&x, &y, &z);
         let b = Strata::count_within(&x, &y, &part);
         assert_eq!(a.strata.len(), b.strata.len());
@@ -200,5 +501,77 @@ mod tests {
             assert_eq!(sa.xm, sb.xm);
             assert_eq!(sa.ym, sb.ym);
         }
+    }
+
+    #[test]
+    fn narrow_widths_count_identically() {
+        let x8 = [1u8, 0, 1, 1, 2, 0, 1, 2];
+        let x32: Vec<u32> = x8.iter().map(|&v| v as u32).collect();
+        let y16 = [0u16, 0, 0, 1, 1, 2, 0, 1];
+        let y32: Vec<u32> = y16.iter().map(|&v| v as u32).collect();
+        let z = [7u32, 3, 7, 3, 9, 7, 3, 7];
+        let part = ZPartition::from_codes(&z);
+        let narrow = Strata::count_within(&x8, &y16, &part);
+        let wide = Strata::count_within(x32.as_slice(), y32.as_slice(), &part);
+        for (sa, sb) in narrow.strata.iter().zip(&wide.strata) {
+            assert_eq!(sa.cells, sb.cells);
+            assert_eq!(sa.xm, sb.xm);
+            assert_eq!(sa.ym, sb.ym);
+        }
+    }
+
+    #[test]
+    fn dense_bounded_partition_matches_hashed() {
+        // from_encoding's flat-array numbering must equal the hashed
+        // first-occurrence numbering.
+        let codes = [5u32, 2, 5, 9, 2, 0, 9, 5];
+        let enc = Encoding {
+            codes: fairsel_table::Codes::from_slice(&codes, 10),
+            arity: 10,
+            distinct: 4,
+        };
+        let dense = ZPartition::from_encoding(&enc);
+        let hashed = ZPartition::from_codes(&codes);
+        assert_eq!(dense.stratum_of, hashed.stratum_of);
+        assert_eq!(dense.n_strata, hashed.n_strata);
+    }
+
+    #[test]
+    fn arena_walks_match_hashed_statistics() {
+        // The dense arena's G and CMI walks must be bit-identical to the
+        // hashed reference on irregular data.
+        let x = [1u32, 0, 1, 1, 2, 0, 1, 2, 0, 1];
+        let y = [0u32, 0, 0, 1, 1, 2, 0, 1, 2, 2];
+        let z = [7u32, 3, 7, 3, 9, 7, 3, 7, 9, 3];
+        let part = ZPartition::from_codes(&z);
+        let (xa, ya) = (3usize, 3usize);
+        let cells = dense_cell_space(x.len(), part.n_strata, xa, ya).unwrap();
+        let mut arena = DenseArena::new();
+        arena.fill(&x, &y, xa, ya, &part, cells);
+        let (g_dense, df_dense) = arena.g_walk();
+        let hashed = Strata::count_within(&x, &y, &part);
+        let mut g = 0.0;
+        let mut df = 0usize;
+        for s in &hashed.strata {
+            for &((xv, yv), nxy) in &s.cells {
+                g += 2.0 * nxy * ((nxy * s.total) / (s.xm[&xv] * s.ym[&yv])).ln();
+            }
+            if s.xm.len() > 1 && s.ym.len() > 1 {
+                df += (s.xm.len() - 1) * (s.ym.len() - 1);
+            }
+        }
+        assert_eq!(g_dense.to_bits(), g.to_bits());
+        assert_eq!(df_dense, df);
+        // Refill (arena reuse) and take the CMI walk.
+        arena.fill(&x, &y, xa, ya, &part, cells);
+        let cmi_dense = arena.cmi_walk(x.len());
+        let nf = x.len() as f64;
+        let mut cmi = 0.0;
+        for s in &hashed.strata {
+            for &((xv, yv), nxy) in &s.cells {
+                cmi += (nxy / nf) * ((nxy * s.total) / (s.xm[&xv] * s.ym[&yv])).ln();
+            }
+        }
+        assert_eq!(cmi_dense.to_bits(), cmi.max(0.0).to_bits());
     }
 }

@@ -9,10 +9,10 @@
 //! keeps the test calibrated on sparse strata — important here because
 //! group testing multiplies arities together.
 
-use crate::contingency::{Strata, ZPartition};
-use crate::{CiOutcome, CiTest, VarId};
+use crate::contingency::{dense_cell_space, DenseArena, Strata, ZPartition};
+use crate::{CiOutcome, CiTest, KernelMode, VarId};
 use fairsel_math::special::chi2_sf;
-use fairsel_table::{CappedCache, EncodedTable, Table};
+use fairsel_table::{with_codes, CappedCache, CodeValue, EncodedTable, Table};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -35,6 +35,10 @@ pub struct GTest {
     enc: Arc<EncodedTable>,
     alpha: f64,
     degenerate: AtomicU64,
+    kernel: KernelMode,
+    /// Cells zeroed+filled by the dense counting arena (telemetry:
+    /// `dense_count_cells`).
+    dense_cells: AtomicU64,
     /// Memoized conditioning-set stratifications for grouped evaluation,
     /// keyed by the canonical (sorted, deduplicated) variable set and
     /// bounded like every other data-path cache.
@@ -58,8 +62,18 @@ impl GTest {
             enc,
             alpha,
             degenerate: AtomicU64::new(0),
+            kernel: KernelMode::default(),
+            dense_cells: AtomicU64::new(0),
             partitions: CappedCache::new(cap),
         }
+    }
+
+    /// Select the counting-kernel generation (default: the narrow/arena
+    /// kernels). Outcomes are bit-identical either way; the reference
+    /// mode exists for benchmarking and bit-identity property tests.
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The underlying table.
@@ -84,7 +98,8 @@ impl GTest {
         // arities past u32 (32 binary features already overflow); the G
         // statistic only depends on the induced partition, so dense
         // re-encoding is exact.
-        let ze = self.enc.encode(z);
+        let zkey = crate::canonical_set(z);
+        let ze = self.enc.encode(&zkey);
         if ze.all_singletons() {
             // Every row its own stratum: no stratum can be informative
             // (df = 0), so the full computation would return (0, 1) after
@@ -94,7 +109,37 @@ impl GTest {
         }
         let xe = self.enc.encode(x);
         let ye = self.enc.encode(y);
-        g_test_from_codes(&xe.codes, &ye.codes, &ze.codes)
+        if self.kernel == KernelMode::Reference {
+            return g_test_from_codes(
+                &xe.codes.to_u32_vec(),
+                &ye.codes.to_u32_vec(),
+                &ze.codes.to_u32_vec(),
+            );
+        }
+        // The per-query path runs the same grouped kernel against the
+        // (memoized) stratification scaffold — bit-identical to the hashed
+        // per-query statistic (see `grouped_statistic_is_byte_identical`).
+        let part = self.z_partition(&zkey, &ze);
+        let mut arena = DenseArena::new();
+        self.grouped_kernel(&xe, &ye, &part, &mut arena)
+    }
+
+    /// Dispatch the narrow grouped kernel over the encodings' native code
+    /// widths, accounting dense-arena traffic.
+    fn grouped_kernel(
+        &self,
+        xe: &fairsel_table::Encoding,
+        ye: &fairsel_table::Encoding,
+        part: &ZPartition,
+        arena: &mut DenseArena,
+    ) -> (f64, f64) {
+        let (g, p, cells) = with_codes!(&xe.codes, |xc| with_codes!(&ye.codes, |yc| {
+            g_test_grouped_narrow(xc, xe.arity, yc, ye.arity, part, arena)
+        }));
+        if cells > 0 {
+            self.dense_cells.fetch_add(cells, Ordering::Relaxed);
+        }
+        (g, p)
     }
 
     /// Stratification of the canonical conditioning set `zkey`, memoized
@@ -106,10 +151,10 @@ impl GTest {
                 return hit;
             }
             self.partitions
-                .insert(zkey.to_vec(), Arc::new(ZPartition::from_codes(&ze.codes)))
+                .insert(zkey.to_vec(), Arc::new(ZPartition::from_encoding(ze)))
         } else {
             self.partitions.note_miss();
-            Arc::new(ZPartition::from_codes(&ze.codes))
+            Arc::new(ZPartition::from_encoding(ze))
         }
     }
 }
@@ -150,7 +195,9 @@ impl crate::CiTestBatch for GTest {
     fn eval_z_group(&self, z: &[VarId], queries: &[crate::CiQueryRef<'_>]) -> Vec<CiOutcome> {
         let zkey = crate::canonical_set(z);
         // Built lazily so a group of empty-sided queries never encodes.
+        // One arena serves every query of the group.
         let mut scaffold: Option<(Arc<fairsel_table::Encoding>, Option<Arc<ZPartition>>)> = None;
+        let mut arena = DenseArena::new();
         queries
             .iter()
             .map(|q| {
@@ -178,7 +225,17 @@ impl crate::CiTestBatch for GTest {
                 };
                 let xe = self.enc.encode(q.x);
                 let ye = self.enc.encode(q.y);
-                let (g, p) = g_test_grouped(&xe.codes, xe.arity, &ye.codes, ye.arity, part);
+                let (g, p) = if self.kernel == KernelMode::Reference {
+                    g_test_grouped_reference(
+                        &xe.codes.to_u32_vec(),
+                        xe.arity,
+                        &ye.codes.to_u32_vec(),
+                        ye.arity,
+                        part,
+                    )
+                } else {
+                    self.grouped_kernel(&xe, &ye, part, &mut arena)
+                };
                 CiOutcome {
                     independent: p > self.alpha,
                     p_value: p,
@@ -189,7 +246,13 @@ impl crate::CiTestBatch for GTest {
     }
 
     fn encode_cache_stats(&self) -> crate::EncodeStats {
-        self.enc.stats().merged(self.partitions.stats())
+        self.enc
+            .stats()
+            .merged(self.partitions.stats())
+            .merged(crate::EncodeStats {
+                dense_count_cells: self.dense_cells.load(Ordering::Relaxed),
+                ..crate::EncodeStats::default()
+            })
     }
 }
 
@@ -208,15 +271,64 @@ pub fn g_test_from_codes(x: &[u32], y: &[u32], z: &[u32]) -> (f64, f64) {
     g_from_strata(&Strata::count(x, y, z))
 }
 
-/// The Z-grouped G computation. When the dense cell space
+/// The narrow/arena Z-grouped G computation. When the dense cell space
 /// `n_strata × xa × ya` is small relative to the row count, counting runs
-/// entirely on array indexing — no hashing at all; otherwise it falls back
-/// to the hashed scaffold counter ([`Strata::count_within`]). Both paths
-/// are byte-identical to [`g_test_from_codes`]: strata keep the
-/// partition's first-occurrence order, cells accumulate in
-/// first-occurrence row order, marginals are exact integer sums, and the
-/// G summation walks the same cells in the same order.
-fn g_test_grouped(x: &[u32], xa: u32, y: &[u32], ya: u32, part: &ZPartition) -> (f64, f64) {
+/// on the reusable flat arena — no hashing, no per-query allocation;
+/// otherwise it falls back to the hashed scaffold counter
+/// ([`Strata::count_within`]), generic over the stored code width either
+/// way. Both paths are byte-identical to [`g_test_from_codes`] and to
+/// [`g_test_grouped_reference`]: strata keep the partition's
+/// first-occurrence order, cells accumulate in first-occurrence row
+/// order, marginals are exact integer sums, and the G summation walks the
+/// same cells in the same order. Returns `(G, p, dense cells used)`.
+fn g_test_grouped_narrow<X: CodeValue, Y: CodeValue>(
+    x: &[X],
+    xa: u32,
+    y: &[Y],
+    ya: u32,
+    part: &ZPartition,
+    arena: &mut DenseArena,
+) -> (f64, f64, u64) {
+    let n = x.len();
+    if n == 0 {
+        return (0.0, 1.0, 0);
+    }
+    let (xa, ya) = (xa.max(1) as usize, ya.max(1) as usize);
+    match dense_cell_space(n, part.n_strata, xa, ya) {
+        Some(cells) => {
+            arena.fill(x, y, xa, ya, part, cells);
+            let (g, df) = arena.g_walk();
+            let (g, p) = finish_g(g, df);
+            (g, p, cells as u64)
+        }
+        None => {
+            let (g, p) = g_from_strata(&Strata::count_within(x, y, part));
+            (g, p, 0)
+        }
+    }
+}
+
+/// Finish the G statistic: df = 0 cannot reject; tiny negative G from
+/// float cancellation is clamped before the χ² tail.
+fn finish_g(g: f64, df: usize) -> (f64, f64) {
+    if df == 0 {
+        return (0.0, 1.0);
+    }
+    let g = g.max(0.0);
+    (g, chi2_sf(g, df as f64))
+}
+
+/// The pre-arena Z-grouped G computation, kept verbatim as the
+/// [`KernelMode::Reference`] implementation: full-width codes, per-query
+/// scratch allocation. Byte-identical to [`g_test_grouped_narrow`] — the
+/// property the kernel-mode tests pin.
+fn g_test_grouped_reference(
+    x: &[u32],
+    xa: u32,
+    y: &[u32],
+    ya: u32,
+    part: &ZPartition,
+) -> (f64, f64) {
     let n = x.len();
     if n == 0 {
         return (0.0, 1.0);
@@ -464,23 +576,64 @@ mod tests {
         assert_eq!(p, 1.0);
     }
 
-    /// The dense grouped counter and its hashed fallback are bit-for-bit
-    /// the per-query statistic, across arities small enough for the dense
-    /// path and large enough to force the fallback.
+    /// The arena grouped counter, the reference grouped counter, and the
+    /// hashed fallback are bit-for-bit the per-query statistic, across
+    /// arities small enough for the dense path, large enough to force the
+    /// fallback, and at every narrowed code width.
     #[test]
     fn grouped_statistic_is_byte_identical() {
-        use crate::contingency::ZPartition;
+        use crate::contingency::{DenseArena, ZPartition};
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(17);
+        let mut arena = DenseArena::new();
         for (xa, ya, za) in [(2u32, 3u32, 4u32), (40, 50, 60), (5000, 4000, 8)] {
             let n = 400;
             let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..xa)).collect();
             let y: Vec<u32> = (0..n).map(|_| rng.gen_range(0..ya)).collect();
             let z: Vec<u32> = (0..n).map(|_| rng.gen_range(0..za)).collect();
-            let part = ZPartition::from_codes(&z);
+            let part = ZPartition::from_codes(z.as_slice());
             let reference = g_test_from_codes(&x, &y, &z);
-            let grouped = g_test_grouped(&x, xa, &y, ya, &part);
+            let grouped = g_test_grouped_reference(&x, xa, &y, ya, &part);
             assert_eq!(reference, grouped, "arities ({xa},{ya},{za})");
+            // Arena kernel at full width (the arena is reused across cases).
+            let (g, p, _) = g_test_grouped_narrow(x.as_slice(), xa, &y[..], ya, &part, &mut arena);
+            assert_eq!(reference, (g, p), "narrow u32 ({xa},{ya},{za})");
+            // Narrowed storage widths count identically.
+            if xa <= 256 && ya <= 256 {
+                let x8: Vec<u8> = x.iter().map(|&v| v as u8).collect();
+                let y8: Vec<u8> = y.iter().map(|&v| v as u8).collect();
+                let (g, p, _) = g_test_grouped_narrow(&x8[..], xa, &y8[..], ya, &part, &mut arena);
+                assert_eq!(reference, (g, p), "narrow u8 ({xa},{ya},{za})");
+            }
+            let x16: Vec<u16> = x.iter().map(|&v| v as u16).collect();
+            if xa <= 65536 {
+                let (g, p, _) = g_test_grouped_narrow(&x16[..], xa, &y[..], ya, &part, &mut arena);
+                assert_eq!(reference, (g, p), "narrow u16/u32 ({xa},{ya},{za})");
+            }
         }
+    }
+
+    /// Per-query evaluation through both kernel modes returns identical
+    /// bit patterns (and exercises the per-query arena routing).
+    #[test]
+    fn kernel_modes_agree_per_query() {
+        let t = chain_table(2000, 9);
+        let narrow = GTest::new(&t, 0.01);
+        let reference = GTest::new(&t, 0.01).with_kernel_mode(crate::KernelMode::Reference);
+        for (x, y, z) in [
+            (vec![0], vec![2], vec![]),
+            (vec![0], vec![2], vec![1]),
+            (vec![1, 2], vec![0], vec![]),
+            (vec![0, 1], vec![2], vec![1]),
+        ] {
+            let a = narrow.g_statistic(&x, &y, &z);
+            let b = reference.g_statistic(&x, &y, &z);
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "statistic {x:?} {y:?} {z:?}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "p-value {x:?} {y:?} {z:?}");
+        }
+        // The narrow path counted through the dense arena.
+        use crate::CiTestBatch;
+        assert!(narrow.encode_cache_stats().dense_count_cells > 0);
+        assert_eq!(reference.encode_cache_stats().dense_count_cells, 0);
     }
 }

@@ -55,6 +55,23 @@ pub use fairsel_table::EncodeStats;
 /// index means (a table column, a graph node, ...).
 pub type VarId = usize;
 
+/// Which counting-kernel generation a discrete tester runs.
+///
+/// Both produce bit-identical statistics and p-values; the reference path
+/// exists so benchmarks can measure the narrow/arena kernels against the
+/// pre-existing implementation and so property tests can pin the
+/// bit-identity. Not a correctness knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Arity-narrowed code widths + reusable dense counting arenas
+    /// (hashed fallback when the cell space is too large).
+    #[default]
+    Narrow,
+    /// The pre-kernel implementation: codes widened to `u32`, hashed
+    /// counting structures allocated per query.
+    Reference,
+}
+
 /// Result of one CI test.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CiOutcome {

@@ -646,7 +646,7 @@ mod tests {
             fairsel_ci::EncodeStats {
                 hits: self.inner.calls.load(Ordering::Relaxed),
                 misses: 1,
-                evictions: 0,
+                ..Default::default()
             }
         }
     }

@@ -58,6 +58,12 @@ pub struct EngineStats {
     pub encode_cache_misses: u64,
     /// Encoding-layer values evicted by the LRU cache bound.
     pub encode_cache_evictions: u64,
+    /// Bytes of narrow (width-adaptive) code storage built by the
+    /// encoding layer — u8/u16/u32 per row depending on arity.
+    pub narrow_code_bytes: u64,
+    /// Contingency cells filled through the dense counting arenas
+    /// (G-test and permutation-CMI kernels; hashed fallbacks count 0).
+    pub dense_count_cells: u64,
     /// Per-phase breakdown, in phase order.
     pub phases: Vec<PhaseStats>,
 }
@@ -109,6 +115,12 @@ impl EngineStats {
             encode_cache_evictions: self
                 .encode_cache_evictions
                 .saturating_sub(before.encode_cache_evictions),
+            narrow_code_bytes: self
+                .narrow_code_bytes
+                .saturating_sub(before.narrow_code_bytes),
+            dense_count_cells: self
+                .dense_count_cells
+                .saturating_sub(before.dense_count_cells),
             phases: Vec::new(),
         }
     }
@@ -177,6 +189,18 @@ impl EngineStats {
             &mut s,
             "encode_cache_evictions",
             self.encode_cache_evictions as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "narrow_code_bytes",
+            self.narrow_code_bytes as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "dense_count_cells",
+            self.dense_count_cells as f64,
             false,
         );
         s.push_str("\"phases\":[");
@@ -358,6 +382,30 @@ impl<T: CiTest> CiSession<T> {
         self.cache.clear();
     }
 
+    /// Order-independent FNV-1a digest of every memoized outcome's exact
+    /// bit patterns (p-value, statistic, verdict), folded in canonical
+    /// query-key order. Two sessions that answered the same workload get
+    /// the same fingerprint **iff** every answer is bit-identical — the
+    /// hook the rows-scaling benchmark uses to enforce the byte-identity
+    /// contract across kernel implementations.
+    pub fn outcomes_fingerprint(&self) -> u64 {
+        let mut entries: Vec<(&QueryKey, &CiOutcome)> = self.cache.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (_, out) in entries {
+            fold(out.p_value.to_bits());
+            fold(out.statistic.to_bits());
+            fold(out.independent as u64);
+        }
+        h
+    }
+
     /// Borrow the wrapped tester.
     pub fn tester(&self) -> &T {
         &self.tester
@@ -425,6 +473,8 @@ impl<T: CiTest> CiSession<T> {
         self.stats.encode_cache_hits = stats.hits;
         self.stats.encode_cache_misses = stats.misses;
         self.stats.encode_cache_evictions = stats.evictions;
+        self.stats.narrow_code_bytes = stats.narrow_code_bytes;
+        self.stats.dense_count_cells = stats.dense_count_cells;
     }
 
     pub(crate) fn account_batch(

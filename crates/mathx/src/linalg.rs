@@ -5,8 +5,55 @@
 //! This is deliberately not a general linear-algebra library — it exists so
 //! the RCIT conditional-independence test and the logistic-regression IRLS
 //! step have exactly the kernels they need, with no `unsafe` and no
-//! dependencies. Dimensions in this workspace stay small (≤ a few hundred
-//! columns), so simple cache-friendly triple loops are fast enough.
+//! dependencies.
+//!
+//! The products come in two implementations: the blocked kernels
+//! ([`Mat::matmul`] / [`Mat::t_matmul`], cache-tiled over *independent
+//! output cells*) and the plain triple loops
+//! ([`Mat::matmul_naive`] / [`Mat::t_matmul_naive`]). Both accumulate each
+//! output cell's dot product in the same ascending-k order with the same
+//! zero skip, so they are bit-for-bit identical on finite inputs; the
+//! naive pair is kept as the benchmark/property-test reference and can be
+//! forced globally via [`set_naive_kernels`] or the
+//! `FAIRSEL_NAIVE_KERNELS` environment variable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static NAIVE_KERNELS: AtomicBool = AtomicBool::new(false);
+static NAIVE_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Route [`Mat::matmul`] / [`Mat::t_matmul`] through the naive reference
+/// loops (process-wide). Safe to toggle at any time: both implementations
+/// return bit-identical results — this exists so benchmarks can measure
+/// the blocked kernels against the reference.
+pub fn set_naive_kernels(on: bool) {
+    NAIVE_KERNELS.store(on, Ordering::Relaxed);
+}
+
+/// True when the naive reference kernels are forced, either via
+/// [`set_naive_kernels`] or `FAIRSEL_NAIVE_KERNELS=1` in the environment.
+pub fn naive_kernels() -> bool {
+    let env = *NAIVE_ENV.get_or_init(|| {
+        std::env::var("FAIRSEL_NAIVE_KERNELS")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    });
+    env || NAIVE_KERNELS.load(Ordering::Relaxed)
+}
+
+/// Output-column tile width for the blocked products: a `128`-wide f64
+/// panel is 1 KiB per row — a handful of these (one output panel row, one
+/// rhs panel row) sit comfortably in L1 while `k` streams.
+const JB: usize = 128;
+/// Row-block height for `matmul`: bounds the set of output rows touched
+/// per tile so the rhs panel stays resident across them.
+const IB: usize = 64;
+/// Minimum width at which [`Mat::gram`] switches from the full naive
+/// product to the upper-triangle kernel. Below this the triangle's short
+/// tail loops cost more than the saved FLOPs (measured break-even ≈16
+/// columns at 500k rows).
+const GRAM_TRI_MIN: usize = 16;
 
 /// Dense row-major `rows × cols` matrix of `f64`.
 #[derive(Clone, Debug, PartialEq)]
@@ -102,9 +149,52 @@ impl Mat {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Cache-blocked: the output is tiled into `IB × JB` panels and each
+    /// panel's cells are accumulated with the same ascending-`k` order and
+    /// zero skip as [`Mat::matmul_naive`], so the result is bit-identical.
+    ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if naive_kernels() || rhs.cols <= JB {
+            // One column panel covers the whole output: the naive i-k-j
+            // loop already visits exactly the blocked order.
+            return self.matmul_naive(rhs);
+        }
+        let m = rhs.cols;
+        let mut out = Mat::zeros(self.rows, m);
+        for jb in (0..m).step_by(JB) {
+            let jw = JB.min(m - jb);
+            for ib in (0..self.rows).step_by(IB) {
+                let iw = IB.min(self.rows - ib);
+                for i in ib..ib + iw {
+                    let arow = self.row(i);
+                    let obase = i * m + jb;
+                    for (k, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rrow = &rhs.row(k)[jb..jb + jw];
+                        let orow = &mut out.data[obase..obase + jw];
+                        for (o, &r) in orow.iter_mut().zip(rrow) {
+                            *o += a * r;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference matrix product: plain i-k-j triple loop. Bit-identical to
+    /// [`Mat::matmul`]; kept as the pre-blocking baseline for benchmarks
+    /// and property tests.
+    pub fn matmul_naive(&self, rhs: &Mat) -> Mat {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} * {}x{}",
@@ -130,7 +220,47 @@ impl Mat {
     }
 
     /// `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// Cache-blocked over output column panels: each `cols × JB` slab of
+    /// the output stays resident while both inputs stream top to bottom
+    /// once per panel. Per output cell the accumulation is the same
+    /// ascending-row order (and zero skip) as [`Mat::t_matmul_naive`], so
+    /// the result is bit-identical.
     pub fn t_matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul: {}x{} ᵀ* {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if naive_kernels() || rhs.cols <= JB {
+            return self.t_matmul_naive(rhs);
+        }
+        let m = rhs.cols;
+        let mut out = Mat::zeros(self.cols, m);
+        for jb in (0..m).step_by(JB) {
+            let jw = JB.min(m - jb);
+            for r in 0..self.rows {
+                let lrow = self.row(r);
+                let rrow = &rhs.row(r)[jb..jb + jw];
+                for (i, &l) in lrow.iter().enumerate() {
+                    if l == 0.0 {
+                        continue;
+                    }
+                    let obase = i * m + jb;
+                    let orow = &mut out.data[obase..obase + jw];
+                    for (o, &v) in orow.iter_mut().zip(rrow) {
+                        *o += l * v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference `selfᵀ * rhs`: single pass over the shared row dimension.
+    /// Bit-identical to [`Mat::t_matmul`]; kept as the pre-blocking
+    /// baseline for benchmarks and property tests.
+    pub fn t_matmul_naive(&self, rhs: &Mat) -> Mat {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul: {}x{} ᵀ* {}x{}",
@@ -148,6 +278,51 @@ impl Mat {
                 for (o, &v) in orow.iter_mut().zip(rrow) {
                     *o += l * v;
                 }
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ * self`, exploiting symmetry: only the upper
+    /// triangle (diagonal included) is accumulated — in exactly the order
+    /// `t_matmul_naive(self)` accumulates those cells — and the lower
+    /// triangle is mirrored. Mirroring is bit-identical on finite inputs:
+    /// cell `(j, i)` of the naive product sums the same `a·b` terms as
+    /// `(i, j)` (float multiplication is commutative), and the summands
+    /// present in one accumulation but not the other are exact `±0.0`
+    /// products, which never alter a finite running sum. Halves the FLOPs
+    /// of the normal-equation formation in [`Mat::ridge_solve`] — the
+    /// dominant cost of tall-skinny Fisher-z residualization.
+    ///
+    /// Falls back to the full [`Mat::t_matmul_naive`] when the naive
+    /// kernels are forced (see [`set_naive_kernels`]) or when the matrix
+    /// is narrower than [`GRAM_TRI_MIN`] columns: the triangle's
+    /// shrinking inner loops (average length `cols / 2`) lose more to
+    /// loop overhead than the halved FLOPs save until the width clears
+    /// the vectorization break-even. Both paths are bit-identical, so
+    /// the dispatch is purely a speed choice.
+    pub fn gram(&self) -> Mat {
+        if naive_kernels() || self.cols < GRAM_TRI_MIN {
+            return self.t_matmul_naive(self);
+        }
+        let c = self.cols;
+        let mut out = Mat::zeros(c, c);
+        for r in 0..self.rows {
+            let lrow = self.row(r);
+            for (i, &l) in lrow.iter().enumerate() {
+                if l == 0.0 {
+                    continue;
+                }
+                let obase = i * c;
+                let orow = &mut out.data[obase + i..obase + c];
+                for (o, &v) in orow.iter_mut().zip(&lrow[i..]) {
+                    *o += l * v;
+                }
+            }
+        }
+        for i in 0..c {
+            for j in 0..i {
+                out.data[i * c + j] = out.data[j * c + i];
             }
         }
         out
@@ -316,7 +491,7 @@ impl Mat {
     /// `lambda` must be positive, which guarantees positive-definiteness.
     pub fn ridge_solve(z: &Mat, t: &Mat, lambda: f64) -> Mat {
         assert!(lambda > 0.0, "ridge_solve: lambda must be positive");
-        let mut ztz = z.t_matmul(z);
+        let mut ztz = z.gram();
         for i in 0..ztz.rows {
             ztz[(i, i)] += lambda;
         }
@@ -462,6 +637,97 @@ mod tests {
         let a = Mat::from_rows(&[&[3.0, 0.0], &[4.0, 1.0]]);
         assert_close!(a.frob_sq(), 26.0, 1e-12);
         assert_close!(a.trace(), 4.0, 1e-12);
+    }
+
+    /// Deterministic pseudorandom matrix with a sprinkling of exact zeros,
+    /// so the zero-skip path is exercised.
+    fn pseudo_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let data = (0..rows * cols)
+            .map(|_| {
+                let r = next();
+                if r % 7 == 0 {
+                    0.0
+                } else {
+                    (r % 2001) as f64 / 1000.0 - 1.0
+                }
+            })
+            .collect();
+        Mat::from_vec(rows, cols, data)
+    }
+
+    fn assert_bits_eq(a: &Mat, b: &Mat) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_naive() {
+        // Shapes straddling the JB/IB tile sizes, including non-multiples.
+        for &(n, k, m, seed) in &[
+            (3, 5, 4, 1u64),
+            (65, 33, 129, 2),
+            (70, 40, 300, 3),
+            (128, 64, 256, 4),
+            (1, 200, 257, 5),
+        ] {
+            let a = pseudo_mat(n, k, seed);
+            let b = pseudo_mat(k, m, seed + 100);
+            assert_bits_eq(&a.matmul(&b), &a.matmul_naive(&b));
+        }
+    }
+
+    #[test]
+    fn blocked_t_matmul_bit_identical_to_naive() {
+        for &(n, p, m, seed) in &[
+            (5, 3, 4, 11u64),
+            (200, 17, 129, 12),
+            (333, 25, 300, 13),
+            (64, 128, 256, 14),
+        ] {
+            let a = pseudo_mat(n, p, seed);
+            let b = pseudo_mat(n, m, seed + 100);
+            assert_bits_eq(&a.t_matmul(&b), &a.t_matmul_naive(&b));
+        }
+    }
+
+    #[test]
+    fn gram_bit_identical_to_t_matmul_naive() {
+        // pseudo_mat plants exact zeros (~1/7 of entries), exercising the
+        // asymmetric zero-skip the mirror argument has to survive, at
+        // shapes from scalar to wider-than-tile.
+        for &(n, p, seed) in &[
+            (1, 1, 31u64),
+            (7, 3, 32),
+            (200, 17, 33),
+            (333, 25, 34),
+            (64, 140, 35),
+        ] {
+            let a = pseudo_mat(n, p, seed);
+            assert_bits_eq(&a.gram(), &a.t_matmul_naive(&a));
+        }
+    }
+
+    #[test]
+    fn naive_toggle_routes_both_products() {
+        let a = pseudo_mat(40, 20, 21);
+        let b = pseudo_mat(20, 150, 22);
+        let c = pseudo_mat(40, 150, 23);
+        let blocked = (a.matmul(&b), a.t_matmul(&c), a.gram());
+        set_naive_kernels(true);
+        let naive = (a.matmul(&b), a.t_matmul(&c), a.gram());
+        set_naive_kernels(false);
+        assert_bits_eq(&blocked.0, &naive.0);
+        assert_bits_eq(&blocked.1, &naive.1);
+        assert_bits_eq(&blocked.2, &naive.2);
     }
 
     #[test]

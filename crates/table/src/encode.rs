@@ -26,13 +26,158 @@
 use crate::lru::CappedCache;
 use crate::table::{ColId, Table};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Default bound on memoized set encodings (and, downstream, on Fisher-z's
 /// per-conditioning-set caches). Generous: a GrpSel run over hundreds of
 /// features touches a few thousand distinct sets; a long-lived service
-/// stays bounded at roughly `cap × rows × 4` bytes per dataset.
+/// stays bounded at roughly `cap × rows × width` bytes per dataset.
 pub const DEFAULT_CACHE_CAP: usize = 8192;
+
+/// A code element: `u8`, `u16` or `u32`. The counting kernels in the
+/// testers are generic over this, so a binary column is counted straight
+/// out of 1-byte storage without widening.
+pub trait CodeValue: Copy + Send + Sync + 'static {
+    /// Widen to `u32` (lossless by construction: codes are `< arity` and
+    /// the storage width is chosen from the arity).
+    fn widen(self) -> u32;
+    /// Widen to an index.
+    #[inline]
+    fn index(self) -> usize {
+        self.widen() as usize
+    }
+    /// Narrow a full-width code known (by arity bound) to fit this width.
+    fn truncate(v: u32) -> Self;
+}
+
+impl CodeValue for u8 {
+    #[inline]
+    fn widen(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn truncate(v: u32) -> u8 {
+        debug_assert!(v <= u8::MAX as u32);
+        v as u8
+    }
+}
+impl CodeValue for u16 {
+    #[inline]
+    fn widen(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn truncate(v: u32) -> u16 {
+        debug_assert!(v <= u16::MAX as u32);
+        v as u16
+    }
+}
+impl CodeValue for u32 {
+    #[inline]
+    fn widen(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn truncate(v: u32) -> u32 {
+        v
+    }
+}
+
+/// Width-adaptive code storage: per-row joint codes held at the narrowest
+/// unsigned width the code space fits (the same arity-derived rule the
+/// wire codec uses), so a binary column costs 1 byte/row instead of 4.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Codes {
+    /// Code space fits a byte (`arity <= 256`).
+    U8(Vec<u8>),
+    /// Code space fits two bytes (`arity <= 65536`).
+    U16(Vec<u16>),
+    /// Full-width codes.
+    U32(Vec<u32>),
+}
+
+/// Dispatch a generic expression over the concrete code slice held by a
+/// [`Codes`] value. `$s` binds the inner `Vec<u8>`/`Vec<u16>`/`Vec<u32>`
+/// (by reference when `$codes` is a reference), and `$body` is
+/// monomorphized per width — the counting kernels use this to run the
+/// narrow paths without per-element enum dispatch.
+#[macro_export]
+macro_rules! with_codes {
+    ($codes:expr, |$s:ident| $body:expr) => {
+        match $codes {
+            $crate::Codes::U8($s) => $body,
+            $crate::Codes::U16($s) => $body,
+            $crate::Codes::U32($s) => $body,
+        }
+    };
+}
+
+impl Codes {
+    /// Storage width in bytes for a code space of size `arity` — the same
+    /// rule as the wire codec: codes are `< arity`, so they fit one byte
+    /// when `arity <= 2^8`, two when `arity <= 2^16`, four otherwise.
+    pub fn width_for(arity: u32) -> usize {
+        if arity as u64 <= 1 << 8 {
+            1
+        } else if arity as u64 <= 1 << 16 {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Narrow a full-width code vector to the width chosen from `arity`.
+    pub fn from_u32(codes: Vec<u32>, arity: u32) -> Codes {
+        match Self::width_for(arity) {
+            1 => Codes::U8(codes.iter().map(|&c| c as u8).collect()),
+            2 => Codes::U16(codes.iter().map(|&c| c as u16).collect()),
+            _ => Codes::U32(codes),
+        }
+    }
+
+    /// Narrow a full-width code slice to the width chosen from `arity`.
+    pub fn from_slice(codes: &[u32], arity: u32) -> Codes {
+        match Self::width_for(arity) {
+            1 => Codes::U8(codes.iter().map(|&c| c as u8).collect()),
+            2 => Codes::U16(codes.iter().map(|&c| c as u16).collect()),
+            _ => Codes::U32(codes.to_vec()),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        with_codes!(self, |c| c.len())
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage width in bytes per row.
+    pub fn width(&self) -> usize {
+        match self {
+            Codes::U8(_) => 1,
+            Codes::U16(_) => 2,
+            Codes::U32(_) => 4,
+        }
+    }
+
+    /// Total bytes of code storage.
+    pub fn byte_len(&self) -> usize {
+        self.len() * self.width()
+    }
+
+    /// The code at `row`, widened.
+    pub fn get(&self, row: usize) -> u32 {
+        with_codes!(self, |c| c[row].widen())
+    }
+
+    /// Widen to a full `u32` vector (reference paths and tests).
+    pub fn to_u32_vec(&self) -> Vec<u32> {
+        with_codes!(self, |c| c.iter().map(|&v| v.widen()).collect())
+    }
+}
 
 /// Joint categorical encoding of a variable set: one code per row plus the
 /// code-space size and the number of *observed* distinct codes.
@@ -41,11 +186,11 @@ pub const DEFAULT_CACHE_CAP: usize = 8192;
 /// set: mixed-radix while the product of arities fits `u32`, densely
 /// re-numbered (first-occurrence order) on overflow. Count-based statistics
 /// (G-test, plug-in CMI) depend only on the partition the codes induce, so
-/// any injective re-encoding is exact.
+/// any injective re-encoding is exact — including the width narrowing.
 #[derive(Debug)]
 pub struct Encoding {
-    /// Per-row joint code.
-    pub codes: Vec<u32>,
+    /// Per-row joint code at arity-derived width.
+    pub codes: Codes,
     /// Size of the code space (`codes` values are `< arity`).
     pub arity: u32,
     /// Number of distinct codes actually observed.
@@ -72,6 +217,12 @@ pub struct EncodeStats {
     pub misses: u64,
     /// Cached values discarded by the LRU bound.
     pub evictions: u64,
+    /// Bytes of width-narrowed code storage built (cumulative over every
+    /// encoding computed; with u32 storage this would be 4 bytes/row).
+    pub narrow_code_bytes: u64,
+    /// Cells zeroed+filled by the dense counting arenas in the testers
+    /// (cumulative `strata × xa × ya` over every dense fill).
+    pub dense_count_cells: u64,
 }
 
 impl EncodeStats {
@@ -82,6 +233,8 @@ impl EncodeStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
+            narrow_code_bytes: self.narrow_code_bytes + other.narrow_code_bytes,
+            dense_count_cells: self.dense_count_cells + other.dense_count_cells,
         }
     }
 }
@@ -102,6 +255,11 @@ pub struct EncodedTable {
     numeric: RwLock<std::collections::HashMap<ColId, Arc<Vec<f64>>>>,
     numeric_hits: AtomicU64,
     numeric_misses: AtomicU64,
+    code_bytes: AtomicU64,
+    // Reusable scratch for the dense-renumber compose fallback: pre-sized
+    // once and cleared (capacity kept) between groups, so a 500k-row
+    // overflow composition doesn't pay a rehash storm per prefix step.
+    dense_scratch: Mutex<std::collections::HashMap<u64, u32>>,
 }
 
 impl std::fmt::Debug for EncodedTable {
@@ -150,6 +308,8 @@ impl EncodedTable {
             numeric: RwLock::new(std::collections::HashMap::new()),
             numeric_hits: AtomicU64::new(0),
             numeric_misses: AtomicU64::new(0),
+            code_bytes: AtomicU64::new(0),
+            dense_scratch: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -184,7 +344,8 @@ impl EncodedTable {
         self.sets.stats().merged(EncodeStats {
             hits: self.numeric_hits.load(Ordering::Relaxed),
             misses: self.numeric_misses.load(Ordering::Relaxed),
-            evictions: 0,
+            narrow_code_bytes: self.code_bytes.load(Ordering::Relaxed),
+            ..EncodeStats::default()
         })
     }
 
@@ -213,10 +374,15 @@ impl EncodedTable {
                 return hit;
             }
             let enc = Arc::new(self.build_encoding(&key));
+            self.code_bytes
+                .fetch_add(enc.codes.byte_len() as u64, Ordering::Relaxed);
             self.sets.insert(key, enc)
         } else {
             self.sets.note_miss();
-            Arc::new(self.build_encoding(&key))
+            let enc = self.build_encoding(&key);
+            self.code_bytes
+                .fetch_add(enc.codes.byte_len() as u64, Ordering::Relaxed);
+            Arc::new(enc)
         }
     }
 
@@ -226,15 +392,19 @@ impl EncodedTable {
         let n = self.table.n_rows();
         match key.len() {
             0 => Encoding {
-                codes: vec![0; n],
+                codes: Codes::U8(vec![0; n]),
                 arity: 1,
                 distinct: usize::from(n > 0),
             },
             1 => self.base_column(key[0]),
             _ => {
                 let prefix = self.encode_sorted(key[..key.len() - 1].to_vec());
-                let (codes, arity) = self.column_codes(key[key.len() - 1]);
-                compose(&prefix, codes, arity)
+                // The appended column goes through its cached single-set
+                // encoding, so compose streams two narrow inputs instead
+                // of the table's full-width storage.
+                let last = self.encode_sorted(vec![key[key.len() - 1]]);
+                let mut scratch = self.dense_scratch.lock().expect("dense scratch lock");
+                compose(&prefix, &last, &mut scratch)
             }
         }
     }
@@ -251,7 +421,7 @@ impl EncodedTable {
         let (codes, arity) = self.column_codes(col);
         let distinct = count_distinct(codes, arity);
         Encoding {
-            codes: codes.to_vec(),
+            codes: Codes::from_slice(codes, arity),
             arity,
             distinct,
         }
@@ -284,45 +454,81 @@ impl EncodedTable {
 /// product of code spaces fits `u32`, dense first-occurrence re-numbering
 /// otherwise. Either way the result is injective on distinct observed
 /// combinations, so the induced partition equals the full joint partition.
-fn compose(prefix: &Encoding, codes: &[u32], arity: u32) -> Encoding {
-    let n = codes.len();
+/// `scratch` is the caller's reusable dense-renumber map; it is cleared
+/// (capacity kept) and pre-sized before use.
+fn compose(
+    prefix: &Encoding,
+    last: &Encoding,
+    scratch: &mut std::collections::HashMap<u64, u32>,
+) -> Encoding {
+    let n = last.codes.len();
     debug_assert_eq!(prefix.codes.len(), n);
+    let arity = last.arity;
     let joint = prefix.arity as u64 * arity as u64;
     if joint <= u32::MAX as u64 {
-        let out: Vec<u32> = prefix
-            .codes
-            .iter()
-            .zip(codes)
-            .map(|(&p, &c)| p * arity + c)
-            .collect();
-        let distinct = count_distinct(&out, joint as u32);
+        let joint = joint as u32;
+        let (out, distinct) = with_codes!(&prefix.codes, |p| with_codes!(&last.codes, |q| {
+            compose_codes(p, q, arity, joint)
+        }));
         Encoding {
             codes: out,
-            arity: joint as u32,
+            arity: joint,
             distinct,
         }
     } else {
         // Dense re-encode pairs (prefix code, column code) in
         // first-occurrence order; the pair fits u64 by construction.
-        let mut dense: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        scratch.clear();
+        scratch.reserve(n);
         let mut out = Vec::with_capacity(n);
-        for (&p, &c) in prefix.codes.iter().zip(codes) {
-            let pair = p as u64 * arity as u64 + c as u64;
-            let next = dense.len() as u32;
-            out.push(*dense.entry(pair).or_insert(next));
-        }
-        let distinct = dense.len();
+        with_codes!(&prefix.codes, |p| with_codes!(&last.codes, |q| {
+            for (&pc, &c) in p.iter().zip(q) {
+                let pair = pc.widen() as u64 * arity as u64 + c.widen() as u64;
+                let next = scratch.len() as u32;
+                out.push(*scratch.entry(pair).or_insert(next));
+            }
+        }));
+        let distinct = scratch.len();
+        let out_arity = (distinct as u32).max(1);
         Encoding {
-            codes: out,
-            arity: (distinct as u32).max(1),
+            codes: Codes::from_u32(out, out_arity),
+            arity: out_arity,
             distinct,
         }
     }
 }
 
+/// Mixed-radix combine `prefix * arity + col`, written directly at the
+/// width the joint code space needs — no full-width intermediate vector,
+/// no separate narrowing pass. The distinct count runs as its own sweep
+/// over the (narrow) output: keeping the combine loop branch-free lets
+/// it vectorize, which beats folding the seen-bitmap probe into the
+/// same pass (measured ~2× at 500k rows).
+fn compose_codes<P: CodeValue, C: CodeValue>(
+    p: &[P],
+    col: &[C],
+    arity: u32,
+    joint: u32,
+) -> (Codes, usize) {
+    let out = match Codes::width_for(joint) {
+        1 => Codes::U8(combine(p, col, arity)),
+        2 => Codes::U16(combine(p, col, arity)),
+        _ => Codes::U32(combine(p, col, arity)),
+    };
+    let distinct = with_codes!(&out, |o| count_distinct(o, joint));
+    (out, distinct)
+}
+
+fn combine<P: CodeValue, C: CodeValue, O: CodeValue>(p: &[P], col: &[C], arity: u32) -> Vec<O> {
+    p.iter()
+        .zip(col)
+        .map(|(&pc, &c)| O::truncate(pc.widen() * arity + c.widen()))
+        .collect()
+}
+
 /// Count distinct code values; a bitmap when the code space is small
 /// relative to the row count, a hash set otherwise.
-fn count_distinct(codes: &[u32], arity: u32) -> usize {
+fn count_distinct<C: CodeValue>(codes: &[C], arity: u32) -> usize {
     if codes.is_empty() {
         return 0;
     }
@@ -330,14 +536,18 @@ fn count_distinct(codes: &[u32], arity: u32) -> usize {
         let mut seen = vec![false; arity as usize];
         let mut distinct = 0;
         for &c in codes {
-            if !seen[c as usize] {
-                seen[c as usize] = true;
+            if !seen[c.index()] {
+                seen[c.index()] = true;
                 distinct += 1;
             }
         }
         distinct
     } else {
-        codes.iter().collect::<std::collections::HashSet<_>>().len()
+        codes
+            .iter()
+            .map(|c| c.widen())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     }
 }
 
@@ -380,7 +590,7 @@ mod tests {
         let enc = EncodedTable::new(&t);
         let e = enc.encode(&[0, 1]);
         let (codes, arity) = t.joint_codes(&[0, 1]);
-        assert!(same_partition(&e.codes, &codes));
+        assert!(same_partition(&e.codes.to_u32_vec(), &codes));
         assert_eq!(e.arity, arity);
         assert_eq!(e.distinct, 3); // (0,2) (1,0) (1,1) (0,2)
     }
@@ -392,8 +602,9 @@ mod tests {
         let a = enc.encode(&[1, 0]);
         let b = enc.encode(&[0, 1, 0]);
         assert!(Arc::ptr_eq(&a, &b), "sorted set key must dedup spellings");
-        // One composed set costs two misses (prefix {0} + composition).
-        assert_eq!(enc.stats().misses, 2);
+        // One composed set costs three misses: prefix {0}, appended
+        // single {1}, and the composition itself.
+        assert_eq!(enc.stats().misses, 3);
         assert_eq!(enc.stats().hits, 1);
     }
 
@@ -403,9 +614,10 @@ mod tests {
         let enc = EncodedTable::new(&t);
         enc.encode(&[0, 1]);
         let before = enc.stats().misses;
-        enc.encode(&[0, 1, 2]); // prefix {0,1} already cached
-        assert_eq!(enc.stats().misses, before + 1);
-        assert_eq!(enc.cached_sets(), 3);
+        enc.encode(&[0, 1, 2]); // prefix {0,1} already cached; single {2} is new
+        assert_eq!(enc.stats().misses, before + 2);
+        // {0}, {1}, {0,1}, {2}, {0,1,2}
+        assert_eq!(enc.cached_sets(), 5);
     }
 
     #[test]
@@ -415,7 +627,7 @@ mod tests {
         let e = enc.encode(&[]);
         assert_eq!(e.arity, 1);
         assert_eq!(e.distinct, 1);
-        assert!(e.codes.iter().all(|&c| c == 0));
+        assert!(e.codes.to_u32_vec().iter().all(|&c| c == 0));
         assert!(!e.all_singletons());
     }
 
@@ -459,9 +671,71 @@ mod tests {
         let all: Vec<ColId> = (0..40).collect();
         let e = enc.encode(&all);
         let (reference, _) = t.joint_codes_dense(&all);
-        assert!(same_partition(&e.codes, &reference));
+        assert!(same_partition(&e.codes.to_u32_vec(), &reference));
         assert_eq!(e.distinct, 4);
         assert!(e.all_singletons());
+    }
+
+    #[test]
+    fn storage_width_follows_arity() {
+        let t = Table::new(vec![
+            Column::cat("bin", Role::Feature, vec![0, 1, 1, 0], 2),
+            Column::cat("mid", Role::Feature, vec![0, 299, 7, 12], 300),
+            Column::cat("big", Role::Feature, vec![0, 69999, 5, 1], 70000),
+        ])
+        .unwrap();
+        let enc = EncodedTable::new(&t);
+        assert_eq!(enc.encode(&[0]).codes.width(), 1);
+        assert_eq!(enc.encode(&[1]).codes.width(), 2);
+        assert_eq!(enc.encode(&[2]).codes.width(), 4);
+        // Composition widens to the joint code space: 2 × 300 = 600 → u16.
+        let joint = enc.encode(&[0, 1]);
+        assert_eq!(joint.codes.width(), 2);
+        assert_eq!(joint.arity, 600);
+        // Narrowed bytes are accounted: 4 + 8 + 16 + (prefix reuse) + 8.
+        assert!(enc.stats().narrow_code_bytes >= 4 + 8 + 16 + 8);
+    }
+
+    #[test]
+    fn dense_overflow_at_scale_matches_partition() {
+        // Satellite: the >u32-joint-arity path at scale. 40 binary columns
+        // over 50k rows overflow u32 on the last compose steps and take
+        // the pre-sized dense-renumber scratch.
+        let rows = 50_000usize;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let bits: Vec<Vec<u32>> = (0..40)
+            .map(|_| (0..rows).map(|_| (next() & 1) as u32).collect())
+            .collect();
+        let cols: Vec<Column> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Column::cat(format!("c{i}"), Role::Feature, b.clone(), 2))
+            .collect();
+        let t = Table::new(cols).unwrap();
+        let enc = EncodedTable::new(&t);
+        let all: Vec<ColId> = (0..40).collect();
+        let e = enc.encode(&all);
+        // The reference partition via 64-bit packing of the 40 bits.
+        let packed: Vec<u64> = (0..rows)
+            .map(|r| bits.iter().fold(0u64, |acc, b| acc << 1 | b[r] as u64))
+            .collect();
+        let distinct = packed.iter().collect::<std::collections::HashSet<_>>();
+        assert_eq!(e.distinct, distinct.len());
+        assert!(e.arity as usize >= e.distinct);
+        // Same partition: equal joint codes iff equal packed bit patterns.
+        let mut map: HashMap<u32, u64> = HashMap::new();
+        let widened = e.codes.to_u32_vec();
+        for (code, pack) in widened.iter().zip(&packed) {
+            assert_eq!(*map.entry(*code).or_insert(*pack), *pack);
+        }
+        // Codes stay within the declared code space.
+        assert!(widened.iter().all(|&c| c < e.arity));
     }
 
     #[test]

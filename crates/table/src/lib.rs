@@ -33,7 +33,7 @@ pub mod lru;
 pub mod table;
 
 pub use codec::{decode_table, encode_table, CodecError};
-pub use encode::{EncodeStats, EncodedTable, Encoding, DEFAULT_CACHE_CAP};
+pub use encode::{CodeValue, Codes, EncodeStats, EncodedTable, Encoding, DEFAULT_CACHE_CAP};
 pub use integrate::SourceRegistry;
 pub use lru::CappedCache;
 pub use table::{ColId, Column, ColumnData, Role, Table, TableError};

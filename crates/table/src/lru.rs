@@ -131,6 +131,7 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            ..EncodeStats::default()
         }
     }
 }

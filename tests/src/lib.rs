@@ -867,6 +867,212 @@ mod grouped_equivalence {
 }
 
 #[cfg(test)]
+mod kernel_identity {
+    //! The hardware-shaped kernel contract: every kernel generation —
+    //! narrow (u8/u16/u32) code widths + dense counting arenas vs the
+    //! pre-kernel reference paths, and blocked vs naive linear algebra —
+    //! produces **bit-identical** p-values, statistics, and selection
+    //! reports, at every worker count, on tables spanning all three
+    //! storage widths (including joints that overflow u16).
+
+    use fairsel_ci::{CiOutcome, CiTestBatch, FisherZ, GTest, KernelMode, PermutationCmi};
+    use fairsel_core::{grpsel_batched_in, Problem, SelectConfig};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_engine::{CiQuery, CiSession};
+    use fairsel_table::{Column, Role, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Mixed-width table: binary columns (u8 codes), ~300-arity columns
+    /// (u16), and a 70 000-arity column (u32); conditioning on the two
+    /// medium columns together overflows u16 at compose time.
+    fn mixed_width_table(rows: usize, seed: u64) -> Table {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let gen = |arity: u32, next: &mut dyn FnMut() -> u64| -> Vec<u32> {
+            (0..rows).map(|_| (next() % arity as u64) as u32).collect()
+        };
+        let mut cols = Vec::new();
+        for i in 0..4 {
+            cols.push(Column::cat(
+                format!("b{i}"),
+                Role::Feature,
+                gen(2, &mut next),
+                2,
+            ));
+        }
+        for i in 0..2 {
+            cols.push(Column::cat(
+                format!("m{i}"),
+                Role::Feature,
+                gen(300, &mut next),
+                300,
+            ));
+        }
+        cols.push(Column::cat(
+            "w0",
+            Role::Feature,
+            gen(70_000, &mut next),
+            70_000,
+        ));
+        Table::new(cols).unwrap()
+    }
+
+    /// Queries touching every width tier: u8/u16/u32 sides, empty and
+    /// wide conditioning sets, and a joint Z whose arity overflows u16.
+    fn width_workload() -> Vec<CiQuery> {
+        vec![
+            CiQuery::new(&[0], &[1], &[]),
+            CiQuery::new(&[0], &[4], &[2]),
+            CiQuery::new(&[1], &[2], &[4]),
+            CiQuery::new(&[0], &[1], &[4, 5]),
+            CiQuery::new(&[2], &[3], &[6]),
+            CiQuery::new(&[4], &[0], &[1, 6]),
+            CiQuery::new(&[0, 1], &[2], &[4]),
+            CiQuery::new(&[4], &[5], &[0, 1]),
+        ]
+    }
+
+    fn grouped_outcomes<T: CiTestBatch>(
+        t: &T,
+        queries: &[CiQuery],
+        workers: usize,
+    ) -> Vec<CiOutcome> {
+        let mut session = CiSession::new(t);
+        session.run_batch_grouped(queries, &[], workers)
+    }
+
+    fn assert_bits(a: &[CiOutcome], b: &[CiOutcome], label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.independent, y.independent, "{label}[{i}]: verdict");
+            assert_eq!(
+                x.p_value.to_bits(),
+                y.p_value.to_bits(),
+                "{label}[{i}]: p-value bits ({} vs {})",
+                x.p_value,
+                y.p_value
+            );
+            assert_eq!(
+                x.statistic.to_bits(),
+                y.statistic.to_bits(),
+                "{label}[{i}]: statistic bits ({} vs {})",
+                x.statistic,
+                y.statistic
+            );
+        }
+    }
+
+    #[test]
+    fn gtest_kernel_modes_bit_identical_across_widths() {
+        let table = mixed_width_table(1200, 3);
+        let queries = width_workload();
+        let reference = {
+            let t = GTest::new(&table, 0.01).with_kernel_mode(KernelMode::Reference);
+            grouped_outcomes(&t, &queries, 1)
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let t = GTest::new(&table, 0.01);
+            let got = grouped_outcomes(&t, &queries, workers);
+            assert_bits(&reference, &got, &format!("g-test workers={workers}"));
+        }
+    }
+
+    #[test]
+    fn perm_cmi_kernel_modes_bit_identical_across_widths() {
+        let table = mixed_width_table(700, 5);
+        let queries = width_workload();
+        let reference = {
+            let t =
+                PermutationCmi::new(&table, 0.05, 19, 7).with_kernel_mode(KernelMode::Reference);
+            grouped_outcomes(&t, &queries, 1)
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let t = PermutationCmi::new(&table, 0.05, 19, 7);
+            let got = grouped_outcomes(&t, &queries, workers);
+            assert_bits(&reference, &got, &format!("perm-cmi workers={workers}"));
+        }
+    }
+
+    fn sampled(seed: u64, n_features: usize, rows: usize) -> Table {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.25,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    }
+
+    #[test]
+    fn fisherz_blocked_vs_naive_bit_identical() {
+        let table = sampled(81, 14, 1100);
+        let n_vars = table.n_cols();
+        let queries: Vec<CiQuery> = (0..n_vars - 1)
+            .map(|i| CiQuery::new(&[i], &[i + 1], &[(i + 2) % n_vars, (i + 5) % n_vars]))
+            .collect();
+        let reference = {
+            fairsel_math::set_naive_kernels(true);
+            let t = FisherZ::new(&table, 0.01);
+            let out = grouped_outcomes(&t, &queries, 1);
+            fairsel_math::set_naive_kernels(false);
+            out
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let t = FisherZ::new(&table, 0.01);
+            let got = grouped_outcomes(&t, &queries, workers);
+            assert_bits(&reference, &got, &format!("fisher-z workers={workers}"));
+        }
+    }
+
+    /// End-to-end: GrpSel selection reports are identical across kernel
+    /// generations at every worker count.
+    #[test]
+    fn selections_identical_across_kernel_modes() {
+        let table = sampled(83, 18, 1400);
+        let problem = Problem::from_table(&table);
+        let cfg = SelectConfig {
+            max_group: Some(5),
+            ..Default::default()
+        };
+        let reference = {
+            let mut session =
+                CiSession::new(GTest::new(&table, 0.01).with_kernel_mode(KernelMode::Reference));
+            grpsel_batched_in(&mut session, &problem, &cfg, None, 1)
+        };
+        for workers in [1usize, 4, 8] {
+            let mut session = CiSession::new(GTest::new(&table, 0.01));
+            let got = grpsel_batched_in(&mut session, &problem, &cfg, None, workers);
+            assert_eq!(reference.c1, got.c1, "workers {workers}");
+            assert_eq!(reference.c2, got.c2, "workers {workers}");
+            assert_eq!(reference.rejected, got.rejected, "workers {workers}");
+        }
+        // Fisher-z selections: blocked vs forced-naive kernels.
+        let fz_ref = {
+            fairsel_math::set_naive_kernels(true);
+            let mut session = CiSession::new(FisherZ::new(&table, 0.01));
+            let out = grpsel_batched_in(&mut session, &problem, &cfg, None, 1);
+            fairsel_math::set_naive_kernels(false);
+            out
+        };
+        let mut session = CiSession::new(FisherZ::new(&table, 0.01));
+        let got = grpsel_batched_in(&mut session, &problem, &cfg, None, 4);
+        assert_eq!(fz_ref.c1, got.c1);
+        assert_eq!(fz_ref.c2, got.c2);
+        assert_eq!(fz_ref.rejected, got.rejected);
+    }
+}
+
+#[cfg(test)]
 mod wide_group_power {
     //! The `max_group` knob: on wide discrete data the all-features root
     //! group is statistically vacuous (one category per row ⇒ no degrees
