@@ -88,6 +88,15 @@ pub struct BenchResult {
     pub dense_count_cells: u64,
     /// Bytes of width-adaptive (u8/u16/u32) code storage built.
     pub narrow_code_bytes: u64,
+    /// Rows appended to a resident dataset before this run — nonzero only
+    /// for the `append/reselect` warm rows, where the validator requires
+    /// it (the proof the session was extended, not rebuilt).
+    pub append_rows: u64,
+    /// Cached variable-set encodings carried across the append by
+    /// [`fairsel_table::EncodedTable::extend`] instead of being recomputed
+    /// — the streaming-append reuse currency, validator-enforced nonzero
+    /// on the warm rows.
+    pub extended_encodings: u64,
 }
 
 impl BenchResult {
@@ -101,7 +110,8 @@ impl BenchResult {
              \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
              \"max_ms\":{:.3},\"hist_total\":{},\"rows\":{},\
              \"ns_per_row\":{:.3},\"pvalue_hash\":\"{}\",\
-             \"dense_count_cells\":{},\"narrow_code_bytes\":{}}}",
+             \"dense_count_cells\":{},\"narrow_code_bytes\":{},\
+             \"append_rows\":{},\"extended_encodings\":{}}}",
             self.scenario,
             self.algo,
             self.n_features,
@@ -124,7 +134,9 @@ impl BenchResult {
             self.ns_per_row,
             self.pvalue_hash,
             self.dense_count_cells,
-            self.narrow_code_bytes
+            self.narrow_code_bytes,
+            self.append_rows,
+            self.extended_encodings
         )
     }
 
@@ -992,6 +1004,119 @@ pub fn cache_replay(n_features: usize) -> Vec<BenchResult> {
     vec![first, second]
 }
 
+/// The streaming-append story: a dataset is resident and warm (selected
+/// once), then `batch` new rows arrive. Per batch size, two rows:
+///
+/// * `reselect-cold` — the pre-streaming path: the client re-uploads the
+///   whole concatenated dataset and the server pays CSV-free but full
+///   cost (fresh encode, fresh scaffolds, every CI test);
+/// * `append-reselect` — the streaming path: the resident encodings are
+///   extended in place over the batch ([`EncodedTable::extend`]), the
+///   session transfers lineage-aware ([`CiSession::extended_over`] —
+///   outcomes invalidated, scaffolds extended), and the workload re-runs.
+///
+/// Both rows must report the **same** `pvalue_hash` (every outcome bit
+/// identical to the cold run on the concatenated table) and the warm row
+/// must carry nonzero `append_rows`/`extended_encodings` — both enforced
+/// by [`validate_bench_json`]. `req_bytes` tells the transport story:
+/// the cold client re-ships the full dataset frame, the streaming client
+/// ships only the batch frame (zero re-upload of the base) and then
+/// addresses the child by fingerprint.
+pub fn append_reselect(
+    n_features: usize,
+    base_rows: usize,
+    batch_sizes: &[usize],
+    workers: usize,
+    repeats: usize,
+) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for &batch_rows in batch_sizes {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.25,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(base_rows as u64 ^ (batch_rows as u64).rotate_left(17));
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        let total_rows = base_rows + batch_rows;
+        let full = sample_table(&scm, &inst.roles, total_rows, &mut rng);
+        let base_idx: Vec<usize> = (0..base_rows).collect();
+        let batch_idx: Vec<usize> = (base_rows..total_rows).collect();
+        let base = full.take_rows(&base_idx);
+        let batch = full.take_rows(&batch_idx);
+        let problem = Problem::from_table(&full);
+        let select = SelectConfig {
+            max_group: Some(SelectConfig::auto_max_group(total_rows)),
+            ..Default::default()
+        };
+        let scenario =
+            format!("append/reselect/n={n_features}/rows={base_rows}/batch={batch_rows}");
+        // Wire cost, measured on the real codec frames: a cold client
+        // re-uploads the concatenated dataset; a streaming client ships
+        // the batch alone and re-selects by child fingerprint.
+        let full_bytes = (fairsel_table::encode_table(&full).len() + 8) as u64;
+        let batch_bytes = (fairsel_table::encode_row_batch(&batch).len() + 8) as u64;
+
+        out.push(median_of_repeats(repeats, || {
+            let mut session = CiSession::new(GTest::over(encoded(&full, true), 0.01));
+            let mut row = measure(&scenario, "reselect-cold", n_features, &mut session, |s| {
+                let sel = grpsel_batched_in(s, &problem, &select, None, workers)
+                    .selected()
+                    .len();
+                s.refresh_encode_stats();
+                sel
+            });
+            row.req_bytes = full_bytes;
+            row.rows = total_rows as u64;
+            row.pvalue_hash = format!("{:016x}", session.outcomes_fingerprint());
+            row
+        }));
+
+        out.push(median_of_repeats(repeats, || {
+            // Untimed warm-up: the parent session is resident and has
+            // answered the workload once (the steady-state a streaming
+            // client appends into).
+            let parent_enc = encoded(&base, true);
+            let mut parent = CiSession::new(GTest::over(Arc::clone(&parent_enc), 0.01));
+            let _ = grpsel_batched_in(&mut parent, &problem, &select, None, workers);
+            // Timed: extend the encodings over the batch, transfer the
+            // session, and re-run the selection.
+            let t0 = Instant::now();
+            let child_enc = Arc::new(parent_enc.extend(&batch).expect("batch matches schema"));
+            let mut child = parent
+                .extended_over(child_enc)
+                .expect("G-test scaffolds extend");
+            let selected = grpsel_batched_in(&mut child, &problem, &select, None, workers)
+                .selected()
+                .len();
+            child.refresh_encode_stats();
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let stats = child.stats();
+            BenchResult {
+                scenario: scenario.clone(),
+                algo: "append-reselect".to_owned(),
+                n_features,
+                requested: stats.requested,
+                issued: stats.issued,
+                cache_hits: stats.cache_hits,
+                encode_hits: stats.encode_cache_hits,
+                encode_misses: stats.encode_cache_misses,
+                wall_ms,
+                req_bytes: batch_bytes,
+                selected,
+                rows: total_rows as u64,
+                pvalue_hash: format!("{:016x}", child.outcomes_fingerprint()),
+                append_rows: stats.append_rows,
+                extended_encodings: stats.extended_encodings,
+                ..Default::default()
+            }
+        }));
+    }
+    out
+}
+
 /// The full suite. `quick` keeps sizes (and repeat counts) small enough
 /// for CI. The batch scenarios always run the Z-grouped scheduler at 4
 /// workers (`grpsel-batched-par4`) regardless of the host's core count —
@@ -1018,6 +1143,8 @@ pub fn bench_suite(quick: bool, workers: usize) -> Vec<BenchResult> {
         &[6000, 25_000, 100_000, 500_000]
     };
     out.extend(rows_scaling(row_sizes, 4, repeats));
+    let batch_sizes: &[usize] = if quick { &[32, 128] } else { &[128, 512, 2048] };
+    out.extend(append_reselect(data_n, data_rows, batch_sizes, 4, repeats));
     out.extend(cache_replay(if quick { 32 } else { 128 }));
     let (serve_n, serve_rows) = if quick { (16, 1200) } else { (24, 4000) };
     out.extend(serve_cold_warm(serve_n, serve_rows));
@@ -1045,6 +1172,7 @@ pub fn default_suite(quick: bool) -> Vec<BenchResult> {
 pub fn smoke_suite() -> Vec<BenchResult> {
     let mut out = data_tester_modes(16, 800, 2, 1);
     out.extend(rows_scaling(&[2000, 6000], 2, 1));
+    out.extend(append_reselect(12, 600, &[60], 2, 1));
     out.extend(serve_cold_warm(12, 600));
     out.extend(serve_concurrent(12, 600, 3));
     out.extend(serve_latency_tail(10, 400, 2, 2, 2));
@@ -1134,6 +1262,8 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         "\"pvalue_hash\":",
         "\"dense_count_cells\":",
         "\"narrow_code_bytes\":",
+        "\"append_rows\":",
+        "\"extended_encodings\":",
     ] {
         let runs = json.matches("\"scenario\":").count();
         if json.matches(key).count() != runs {
@@ -1309,6 +1439,47 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
     if !any_scaling {
         return Err("no rows-scaling runs".into());
     }
+    // The streaming-append acceptance signals: every `append-reselect`
+    // row has a `reselect-cold` twin with the **same** outcome digest
+    // (the extended session answers bit-for-bit what a cold run on the
+    // concatenated table answers), nonzero extend counters (the session
+    // was extended, not rebuilt), and a wire cost strictly under the cold
+    // re-upload (only the batch crosses the wire, never the base).
+    let mut any_append = false;
+    for r in &runs {
+        if !r.starts_with("append/reselect") || !r.contains("\"algo\":\"append-reselect\",") {
+            continue;
+        }
+        any_append = true;
+        let scenario = r.split('"').next().unwrap_or("");
+        let cold = find_run(scenario, "reselect-cold")
+            .ok_or_else(|| format!("{scenario}: no reselect-cold twin"))?;
+        let warm_hash = run_field_str(r, "pvalue_hash").ok_or("unreadable pvalue_hash")?;
+        let cold_hash = run_field_str(cold, "pvalue_hash").ok_or("unreadable pvalue_hash")?;
+        if warm_hash.is_empty() || warm_hash != cold_hash {
+            return Err(format!(
+                "{scenario}: extended re-select disagrees with cold outcome bits \
+                 ({warm_hash:?} vs {cold_hash:?})"
+            ));
+        }
+        if run_field(r, "append_rows").ok_or("unreadable append_rows")? == 0 {
+            return Err(format!("{scenario}: append-reselect appended no rows"));
+        }
+        if run_field(r, "extended_encodings").ok_or("unreadable extended_encodings")? == 0 {
+            return Err(format!("{scenario}: append-reselect reused no encodings"));
+        }
+        let warm_bytes = run_field(r, "req_bytes").ok_or("unreadable req_bytes")?;
+        let cold_bytes = run_field(cold, "req_bytes").ok_or("unreadable req_bytes")?;
+        if warm_bytes == 0 || warm_bytes >= cold_bytes {
+            return Err(format!(
+                "{scenario}: streaming wire cost {warm_bytes} not under the \
+                 cold re-upload {cold_bytes}"
+            ));
+        }
+    }
+    if !any_append {
+        return Err("no append/reselect runs".into());
+    }
     Ok(())
 }
 
@@ -1467,7 +1638,8 @@ mod tests {
              \"req_bytes\":{req_bytes},\"p50_ms\":0.000,\"p95_ms\":0.000,\
              \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":0,\
              \"ns_per_row\":0.000,\"pvalue_hash\":\"\",\
-             \"dense_count_cells\":0,\"narrow_code_bytes\":0}}",
+             \"dense_count_cells\":0,\"narrow_code_bytes\":0,\
+             \"append_rows\":0,\"extended_encodings\":0}}",
             spec.0, spec.1
         )
     }
@@ -1488,7 +1660,8 @@ mod tests {
              \"req_bytes\":0,\"p50_ms\":0.000,\"p95_ms\":0.000,\
              \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":{rows},\
              \"ns_per_row\":12.500,\"pvalue_hash\":\"{hash}\",\
-             \"dense_count_cells\":{dense},\"narrow_code_bytes\":{narrow}}}"
+             \"dense_count_cells\":{dense},\"narrow_code_bytes\":{narrow},\
+             \"append_rows\":0,\"extended_encodings\":0}}"
         )
     }
 
@@ -1501,7 +1674,28 @@ mod tests {
              \"req_bytes\":300,\"p50_ms\":{p50},\"p95_ms\":{p95},\
              \"p99_ms\":{p99},\"max_ms\":{max},\"hist_total\":{total},\"rows\":0,\
              \"ns_per_row\":0.000,\"pvalue_hash\":\"\",\
-             \"dense_count_cells\":0,\"narrow_code_bytes\":0}}"
+             \"dense_count_cells\":0,\"narrow_code_bytes\":0,\
+             \"append_rows\":0,\"extended_encodings\":0}}"
+        )
+    }
+
+    /// A fake append/reselect run with explicit streaming columns.
+    fn fake_append_run(
+        algo: &str,
+        hash: &str,
+        appended: u64,
+        extended: u64,
+        req_bytes: u64,
+    ) -> String {
+        format!(
+            "{{\"scenario\":\"append/reselect/x\",\"algo\":\"{algo}\",\"issued\":6,\
+             \"cache_hits\":9,\"speculative_issued\":0,\"speculative_hits\":0,\
+             \"encode_hits\":5,\"encode_misses\":9,\"wall_ms\":1.0,\
+             \"req_bytes\":{req_bytes},\"p50_ms\":0.000,\"p95_ms\":0.000,\
+             \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":1000,\
+             \"ns_per_row\":0.000,\"pvalue_hash\":\"{hash}\",\
+             \"dense_count_cells\":0,\"narrow_code_bytes\":0,\
+             \"append_rows\":{appended},\"extended_encodings\":{extended}}}"
         )
     }
 
@@ -1528,6 +1722,8 @@ mod tests {
             fake_scaling_run("fisherz", "kernels-blocked", 1000, "fff1", 0, 0),
             fake_scaling_run("fisherz", "kernels-naive", 1000, "fff1", 0, 0),
             fake_tail_run(0.5, 1.0, 2.0, 3.0, 6),
+            fake_append_run("reselect-cold", "aa11", 0, 0, 50_000),
+            fake_append_run("append-reselect", "aa11", 200, 3, 2_000),
         ]
     }
 
@@ -1592,28 +1788,92 @@ mod tests {
     fn validator_requires_monotone_percentiles_and_tail_run() {
         // Missing the latency-tail row entirely.
         let mut no_tail = valid_rows();
-        no_tail.pop();
+        no_tail.remove(12);
         assert!(validate_bench_json(&fake_doc(&no_tail))
             .unwrap_err()
             .contains("latency-tail"));
         // Tail row present but its histogram never recorded anything.
         let mut empty = valid_rows();
-        *empty.last_mut().unwrap() = fake_tail_run(0.0, 0.0, 0.0, 0.0, 0);
+        empty[12] = fake_tail_run(0.0, 0.0, 0.0, 0.0, 0);
         assert!(validate_bench_json(&fake_doc(&empty))
             .unwrap_err()
             .contains("latency-tail"));
         // Percentiles out of order: the document is corrupt.
         let mut bad = valid_rows();
-        *bad.last_mut().unwrap() = fake_tail_run(2.0, 1.0, 3.0, 4.0, 6);
+        bad[12] = fake_tail_run(2.0, 1.0, 3.0, 4.0, 6);
         assert!(validate_bench_json(&fake_doc(&bad))
             .unwrap_err()
             .contains("monotone"));
         // p99 above max is just as corrupt.
         let mut above = valid_rows();
-        *above.last_mut().unwrap() = fake_tail_run(0.5, 1.0, 5.0, 4.0, 6);
+        above[12] = fake_tail_run(0.5, 1.0, 5.0, 4.0, 6);
         assert!(validate_bench_json(&fake_doc(&above))
             .unwrap_err()
             .contains("monotone"));
+    }
+
+    #[test]
+    fn validator_enforces_append_reselect_identity() {
+        validate_bench_json(&fake_doc(&valid_rows())).expect("fixture should validate");
+        // The extended re-select disagrees with the cold run's bits.
+        let mut split = valid_rows();
+        split[14] = fake_append_run("append-reselect", "bb22", 200, 3, 2_000);
+        assert!(validate_bench_json(&fake_doc(&split))
+            .unwrap_err()
+            .contains("disagrees"));
+        // A warm row that never recorded appended rows.
+        let mut none_appended = valid_rows();
+        none_appended[14] = fake_append_run("append-reselect", "aa11", 0, 3, 2_000);
+        assert!(validate_bench_json(&fake_doc(&none_appended))
+            .unwrap_err()
+            .contains("appended no rows"));
+        // A warm row that rebuilt every encoding instead of extending.
+        let mut rebuilt = valid_rows();
+        rebuilt[14] = fake_append_run("append-reselect", "aa11", 200, 0, 2_000);
+        assert!(validate_bench_json(&fake_doc(&rebuilt))
+            .unwrap_err()
+            .contains("reused no encodings"));
+        // The streaming client re-shipped as much as the cold one.
+        let mut fat = valid_rows();
+        fat[14] = fake_append_run("append-reselect", "aa11", 200, 3, 50_000);
+        assert!(validate_bench_json(&fake_doc(&fat))
+            .unwrap_err()
+            .contains("wire cost"));
+        // A warm row with no cold twin to compare against.
+        let mut orphan = valid_rows();
+        orphan.remove(13);
+        assert!(validate_bench_json(&fake_doc(&orphan))
+            .unwrap_err()
+            .contains("no reselect-cold twin"));
+        // No append rows at all.
+        let mut missing = valid_rows();
+        missing.drain(13..15);
+        assert!(validate_bench_json(&fake_doc(&missing))
+            .unwrap_err()
+            .contains("no append/reselect runs"));
+    }
+
+    #[test]
+    fn append_reselect_extends_and_matches_cold() {
+        let rows = append_reselect(12, 600, &[60], 2, 1);
+        assert_eq!(rows.len(), 2);
+        let cold = rows.iter().find(|r| r.algo == "reselect-cold").unwrap();
+        let warm = rows.iter().find(|r| r.algo == "append-reselect").unwrap();
+        // Bit-identity: the extended session's memoized outcomes digest
+        // equals the cold run's on the concatenated table.
+        assert_eq!(warm.pvalue_hash, cold.pvalue_hash);
+        assert!(!warm.pvalue_hash.is_empty());
+        // The warm-birth ledger: the batch was appended and real
+        // encodings survived the extension.
+        assert_eq!(warm.append_rows, 60);
+        assert!(warm.extended_encodings > 0);
+        // Outcomes are invalidated on append, so the re-select issues
+        // exactly the cold query stream — the saving is encode/scaffold
+        // reuse and wire bytes, not skipped tests.
+        assert_eq!(warm.issued, cold.issued);
+        assert_eq!(warm.selected, cold.selected);
+        // Only the batch frame crosses the wire.
+        assert!(warm.req_bytes > 0 && warm.req_bytes < cold.req_bytes);
     }
 
     #[test]

@@ -84,6 +84,9 @@ pub struct PermutationCmi {
     /// bounded like every other data-path cache — so concurrent chunks of
     /// one Z-group (and later frontier levels) share one stratification.
     partitions: CappedCache<Vec<VarId>, Arc<CmiScaffold>>,
+    /// Scaffolds carried over from a parent tester on dataset extension
+    /// (see [`PermutationCmi::extended_from`]).
+    extended_scaffolds: u64,
 }
 
 impl PermutationCmi {
@@ -112,7 +115,36 @@ impl PermutationCmi {
             kernel: KernelMode::default(),
             dense_cells: AtomicU64::new(0),
             partitions: CappedCache::new(cap),
+            extended_scaffolds: 0,
         }
+    }
+
+    /// Build a tester over an extended (appended-to) dataset, carrying the
+    /// parent's memoized conditioning scaffolds forward: each resident
+    /// stratification is extended over the appended rows
+    /// ([`ZPartition::extend`]) and its CSR row layout rebuilt from the
+    /// extended partition — deterministic, so every transferred scaffold
+    /// is bit-identical to what a cold tester on the concatenated table
+    /// would derive. Test configuration (alpha, permutation count, base
+    /// seed, kernel mode) is inherited; evaluation telemetry starts fresh,
+    /// matching a cold run's counters.
+    pub fn extended_from(parent: &PermutationCmi, enc: Arc<EncodedTable>) -> PermutationCmi {
+        let mut child = PermutationCmi::over(enc, parent.alpha, parent.permutations, parent.seed)
+            .with_kernel_mode(parent.kernel);
+        if child.enc.caching() {
+            let mut snap = parent.partitions.snapshot();
+            snap.sort_by(|a, b| a.0.cmp(&b.0));
+            for (zkey, scaffold) in snap {
+                let ze = child.enc.encode(&zkey);
+                let part = ZPartition::extend(&scaffold.0, &ze);
+                let rows = StratumRows::from_partition(&part);
+                child
+                    .partitions
+                    .insert_transferred(zkey, Arc::new((part, rows)));
+                child.extended_scaffolds += 1;
+            }
+        }
+        child
     }
 
     /// Select the counting-kernel generation (default: the narrow/arena
@@ -386,6 +418,25 @@ impl crate::CiTestBatch for PermutationCmi {
                 ..crate::EncodeStats::default()
             })
     }
+
+    fn extend_over(
+        &self,
+        child: Arc<EncodedTable>,
+    ) -> Option<Box<dyn crate::CiTestBatch + Send + Sync>> {
+        Some(Box::new(PermutationCmi::extended_from(self, child)))
+    }
+
+    fn scaffold_stats(&self) -> crate::ScaffoldStats {
+        crate::ScaffoldStats {
+            extended: self.extended_scaffolds,
+            rebuilt: self
+                .partitions
+                .inserted()
+                .saturating_sub(self.extended_scaffolds),
+            resident: self.partitions.len() as u64,
+            evictions: self.partitions.evictions(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +564,50 @@ mod tests {
         use crate::CiTestBatch;
         assert!(narrow.encode_cache_stats().dense_count_cells > 0);
         assert_eq!(reference.encode_cache_stats().dense_count_cells, 0);
+    }
+
+    /// A tester extended over appended rows consumes the same derived
+    /// randomness and returns bit-identical outcomes to a cold tester on
+    /// the concatenated table, with the scaffold ledger conserved.
+    #[test]
+    fn extended_tester_matches_cold_and_conserves_scaffolds() {
+        use crate::{CiTestBatch, CiTestShared};
+        let parent_t = xor_table(700);
+        let batch = xor_table(300);
+        let parent = PermutationCmi::new(&parent_t, 0.05, 29, 7);
+        let warm: [(Vec<usize>, Vec<usize>, Vec<usize>); 2] =
+            [(vec![0], vec![2], vec![]), (vec![0], vec![2], vec![1])];
+        for (x, y, z) in &warm {
+            parent.ci_shared(x, y, z);
+        }
+        let child_enc = Arc::new(parent.encoded().extend(&batch).unwrap());
+        let ext = PermutationCmi::extended_from(&parent, child_enc);
+        let birth = ext.scaffold_stats();
+        assert_eq!(birth.extended, 2);
+        assert_eq!(birth.rebuilt, 0);
+        assert!(birth.conserved(), "{birth:?}");
+
+        let concat = parent_t.concat(&batch).unwrap();
+        let cold = PermutationCmi::new(&concat, 0.05, 29, 7);
+        let mut queries = warm.to_vec();
+        queries.push((vec![1], vec![2], vec![0])); // fresh conditioning set
+        for (x, y, z) in &queries {
+            let a = ext.ci_shared(x, y, z);
+            let b = cold.ci_shared(x, y, z);
+            assert_eq!(
+                a.p_value.to_bits(),
+                b.p_value.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+            assert_eq!(
+                a.statistic.to_bits(),
+                b.statistic.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+        }
+        let s = ext.scaffold_stats();
+        assert_eq!((s.extended, s.rebuilt), (2, 1));
+        assert!(s.conserved(), "{s:?}");
     }
 
     #[test]

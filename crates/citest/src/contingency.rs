@@ -88,6 +88,47 @@ impl ZPartition {
         with_codes!(&ze.codes, |c| Self::from_codes_bounded(c, ze.arity))
     }
 
+    /// Extend a parent partition to an appended table's conditioning
+    /// encoding. Stratum numbering is first-occurrence over rows and an
+    /// extended table's prefix rows *are* the parent's rows, so the
+    /// parent's `stratum_of` carries over verbatim (this holds even when
+    /// the parent and child encodings chose different code
+    /// *representations* for the same joint values — the induced row
+    /// partition is representation-independent). The code→stratum map is
+    /// replayed from the child codes against the parent numbering, and
+    /// strata first appearing in the appended suffix are numbered from
+    /// `n_strata` on — exactly the numbering [`ZPartition::from_encoding`]
+    /// on the full child produces, so the result is bit-identical to a
+    /// cold build. The narrow `strata` copy re-widens automatically when
+    /// new strata push `n_strata` past a width boundary.
+    pub fn extend(parent: &ZPartition, child_ze: &Encoding) -> ZPartition {
+        with_codes!(&child_ze.codes, |c| Self::extend_from_codes(parent, c))
+    }
+
+    fn extend_from_codes<C: CodeValue>(parent: &ZPartition, z: &[C]) -> ZPartition {
+        let n_parent = parent.stratum_of.len();
+        debug_assert!(z.len() >= n_parent, "child must not shrink the table");
+        let mut stratum_of = Vec::with_capacity(z.len());
+        stratum_of.extend_from_slice(&parent.stratum_of);
+        let mut index: HashMap<u32, u32> = HashMap::with_capacity(parent.n_strata);
+        for (i, &zv) in z[..n_parent].iter().enumerate() {
+            index.entry(zv.widen()).or_insert(parent.stratum_of[i]);
+        }
+        let mut n_strata = parent.n_strata as u32;
+        for &zv in &z[n_parent..] {
+            let s = match index.get(&zv.widen()) {
+                Some(&s) => s,
+                None => {
+                    index.insert(zv.widen(), n_strata);
+                    n_strata += 1;
+                    n_strata - 1
+                }
+            };
+            stratum_of.push(s);
+        }
+        Self::from_stratum_of(stratum_of, n_strata as usize)
+    }
+
     fn from_codes_bounded<C: CodeValue>(z: &[C], arity: u32) -> ZPartition {
         if (arity as usize) > z.len().saturating_mul(4).max(1024) {
             return Self::from_codes(z);
@@ -534,6 +575,31 @@ mod tests {
         let hashed = ZPartition::from_codes(&codes);
         assert_eq!(dense.stratum_of, hashed.stratum_of);
         assert_eq!(dense.n_strata, hashed.n_strata);
+    }
+
+    #[test]
+    fn extend_matches_cold_partition_and_rewidens() {
+        // Parent: 300 rows over 200 distinct codes (< 256 strata → u8
+        // narrow copy). Child appends 200 rows introducing 100 fresh
+        // codes, pushing n_strata to 300 → the narrow copy must re-widen
+        // to u16 and every field must match a cold build bit for bit.
+        let parent_codes: Vec<u32> = (0..300).map(|i| (i % 200) as u32).collect();
+        let mut child_codes = parent_codes.clone();
+        child_codes.extend((0..200).map(|i| 1000 + (i % 100) as u32));
+        let parent = ZPartition::from_codes(&parent_codes);
+        assert_eq!(parent.strata.width(), 1);
+        let child_ze = Encoding {
+            codes: fairsel_table::Codes::from_slice(&child_codes, 2000),
+            arity: 2000,
+            distinct: 300,
+        };
+        let ext = ZPartition::extend(&parent, &child_ze);
+        let cold = ZPartition::from_encoding(&child_ze);
+        assert_eq!(ext.stratum_of, cold.stratum_of);
+        assert_eq!(ext.n_strata, cold.n_strata);
+        assert_eq!(ext.sizes, cold.sizes);
+        assert_eq!(ext.strata.width(), 2, "narrow copy must re-widen");
+        assert_eq!(ext.strata.to_u32_vec(), cold.strata.to_u32_vec());
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct FisherZ {
     alpha: f64,
     designs: CappedCache<Vec<ColId>, Arc<Mat>>,
     residuals: ResidualCache,
+    /// Design matrices carried over from a parent tester on dataset
+    /// extension (see [`FisherZ::extended_from`]).
+    extended_scaffolds: u64,
 }
 
 impl FisherZ {
@@ -52,7 +55,41 @@ impl FisherZ {
             alpha,
             designs: CappedCache::new(cap),
             residuals: CappedCache::new(cap),
+            extended_scaffolds: 0,
         }
+    }
+
+    /// Build a tester over an extended (appended-to) dataset. Design
+    /// matrices carry over — a design is the raw conditioning columns plus
+    /// intercept, so appending the new rows reproduces exactly what a cold
+    /// build over the concatenated table assembles. Residual vectors do
+    /// **not** carry over: the ridge solution changes with `n`, so every
+    /// residual is recomputed on demand (bit-identical to cold, because it
+    /// is the cold computation).
+    pub fn extended_from(parent: &FisherZ, enc: Arc<EncodedTable>) -> FisherZ {
+        let mut child = FisherZ::over(enc, parent.alpha);
+        if child.enc.caching() {
+            let n_child = child.table().n_rows();
+            let mut snap = parent.designs.snapshot();
+            snap.sort_by(|a, b| a.0.cmp(&b.0));
+            for (zkey, mat) in snap {
+                let n_parent = mat.rows();
+                let mut data = mat.as_slice().to_vec();
+                data.reserve((n_child - n_parent) * (zkey.len() + 1));
+                let cols: Vec<Arc<Vec<f64>>> =
+                    zkey.iter().map(|&c| child.enc.numeric_col(c)).collect();
+                for i in n_parent..n_child {
+                    data.push(1.0);
+                    for col in &cols {
+                        data.push(col[i]);
+                    }
+                }
+                let extended = Arc::new(Mat::from_vec(n_child, zkey.len() + 1, data));
+                child.designs.insert_transferred(zkey, extended);
+                child.extended_scaffolds += 1;
+            }
+        }
+        child
     }
 
     /// The shared encoding layer.
@@ -272,6 +309,28 @@ impl crate::CiTestBatch for FisherZ {
             .merged(self.designs.stats())
             .merged(self.residuals.stats())
     }
+
+    fn extend_over(
+        &self,
+        child: Arc<EncodedTable>,
+    ) -> Option<Box<dyn crate::CiTestBatch + Send + Sync>> {
+        Some(Box::new(FisherZ::extended_from(self, child)))
+    }
+
+    fn scaffold_stats(&self) -> crate::ScaffoldStats {
+        // Two scaffold caches share one ledger: designs (extendable) and
+        // residuals (always rebuilt — the solution changes with n).
+        crate::ScaffoldStats {
+            extended: self.extended_scaffolds,
+            rebuilt: self
+                .designs
+                .inserted()
+                .saturating_sub(self.extended_scaffolds)
+                + self.residuals.inserted(),
+            resident: (self.designs.len() + self.residuals.len()) as u64,
+            evictions: self.designs.evictions() + self.residuals.evictions(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +407,51 @@ mod tests {
         let mut f = FisherZ::new(&t, 0.01);
         // dof <= 0 with |z|=1 and n=4: must not reject.
         assert!(f.ci(&[1], &[2], &[0]).independent);
+    }
+
+    /// An extended tester carries designs forward, rebuilds residuals, and
+    /// answers bit-for-bit what a cold tester on the concatenated table
+    /// answers; the scaffold ledger stays conserved.
+    #[test]
+    fn extended_tester_matches_cold_and_conserves_scaffolds() {
+        use crate::{CiTestBatch, CiTestShared};
+        let parent_t = fork_table(900, 11);
+        let batch = fork_table(300, 12);
+        let parent = FisherZ::new(&parent_t, 0.01);
+        parent.ci_shared(&[1], &[2], &[0]); // warms design [0] + two residuals
+        let child_enc = Arc::new(parent.encoded().extend(&batch).unwrap());
+        let ext = FisherZ::extended_from(&parent, child_enc);
+        let birth = ext.scaffold_stats();
+        assert_eq!(birth.extended, 1, "one design matrix carried over");
+        assert_eq!(birth.rebuilt, 0, "residuals must not carry over");
+        assert!(birth.conserved(), "{birth:?}");
+
+        let concat = parent_t.concat(&batch).unwrap();
+        let cold = FisherZ::new(&concat, 0.01);
+        for (x, y, z) in [
+            (vec![1], vec![2], vec![0]),
+            (vec![1], vec![2], vec![]),
+            (vec![0], vec![1, 2], vec![]),
+            (vec![2], vec![0], vec![1]), // fresh conditioning set
+        ] {
+            let a = ext.ci_shared(&x, &y, &z);
+            let b = cold.ci_shared(&x, &y, &z);
+            assert_eq!(
+                a.p_value.to_bits(),
+                b.p_value.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+            assert_eq!(
+                a.statistic.to_bits(),
+                b.statistic.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+        }
+        let s = ext.scaffold_stats();
+        assert_eq!(s.extended, 1);
+        // Rebuilt: design [1] plus residuals (1,[0]), (2,[0]), (2,[1]), (0,[1]).
+        assert_eq!(s.rebuilt, 5);
+        assert!(s.conserved(), "{s:?}");
     }
 
     #[test]

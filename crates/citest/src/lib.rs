@@ -49,7 +49,49 @@ pub use gtest::GTest;
 pub use oracle::{NoisyOracleCi, OracleCi};
 pub use rcit::{Rcit, RcitConfig};
 
-pub use fairsel_table::EncodeStats;
+pub use fairsel_table::{EncodeStats, EncodedTable};
+
+use std::sync::Arc;
+
+/// Conservation ledger for a tester's per-conditioning-set scaffolds
+/// (stratifications, design matrices, standardized conditioning blocks)
+/// across a dataset extension ([`CiTestBatch::extend_over`]).
+///
+/// Every scaffold a tester holds was either *extended* (structurally
+/// carried over from the parent tester and appended to) or *rebuilt*
+/// (computed from scratch on the child table), and every scaffold that
+/// ever took cache residency is still resident or was evicted. The exact
+/// law — enforced by the append property tests:
+///
+/// `extended + rebuilt == resident + evictions`
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScaffoldStats {
+    /// Scaffolds transferred from a parent tester and extended in place.
+    pub extended: u64,
+    /// Scaffolds computed from scratch (cache inserts minus transfers).
+    pub rebuilt: u64,
+    /// Scaffolds currently resident in the tester's caches.
+    pub resident: u64,
+    /// Scaffolds evicted by the cache bound since construction.
+    pub evictions: u64,
+}
+
+impl ScaffoldStats {
+    /// Does the conservation law hold?
+    pub fn conserved(&self) -> bool {
+        self.extended + self.rebuilt == self.resident + self.evictions
+    }
+
+    /// Sum two ledgers (a tester with several scaffold caches).
+    pub fn merged(&self, other: ScaffoldStats) -> ScaffoldStats {
+        ScaffoldStats {
+            extended: self.extended + other.extended,
+            rebuilt: self.rebuilt + other.rebuilt,
+            resident: self.resident + other.resident,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
 
 /// Variables are identified by opaque indices; each tester defines what an
 /// index means (a table column, a graph node, ...).
@@ -297,6 +339,31 @@ pub trait CiTestBatch: CiTestShared {
     fn encode_cache_stats(&self) -> EncodeStats {
         EncodeStats::default()
     }
+
+    /// Rebuild this tester over an *extended* encoding layer (`child` is
+    /// the result of [`fairsel_table::EncodedTable::extend`] on the layer
+    /// this tester reads), carrying over whatever per-conditioning-set
+    /// scaffolds stay valid under row append and extending them in place.
+    ///
+    /// Contract: the returned tester must be **byte-identical** to a cold
+    /// construction over the child table with the same configuration —
+    /// extension changes where scaffolds come from, never what any query
+    /// answers. Outcomes themselves are *not* carried over (every p-value
+    /// changes with `n`); memo invalidation is the session's job.
+    ///
+    /// The default declines (`None`), which tells callers to rebuild cold;
+    /// the data-driven testers override it.
+    fn extend_over(&self, child: Arc<EncodedTable>) -> Option<Box<dyn CiTestBatch + Send + Sync>> {
+        let _ = child;
+        None
+    }
+
+    /// Conservation ledger for this tester's scaffold caches (see
+    /// [`ScaffoldStats`]). Testers without scaffolds keep the default
+    /// all-zero ledger, which is trivially conserved.
+    fn scaffold_stats(&self) -> ScaffoldStats {
+        ScaffoldStats::default()
+    }
 }
 
 impl<T: CiTestBatch + ?Sized> CiTestBatch for &mut T {
@@ -309,6 +376,12 @@ impl<T: CiTestBatch + ?Sized> CiTestBatch for &mut T {
     fn encode_cache_stats(&self) -> EncodeStats {
         (**self).encode_cache_stats()
     }
+    fn extend_over(&self, child: Arc<EncodedTable>) -> Option<Box<dyn CiTestBatch + Send + Sync>> {
+        (**self).extend_over(child)
+    }
+    fn scaffold_stats(&self) -> ScaffoldStats {
+        (**self).scaffold_stats()
+    }
 }
 
 impl<T: CiTestBatch + ?Sized> CiTestBatch for &T {
@@ -320,6 +393,12 @@ impl<T: CiTestBatch + ?Sized> CiTestBatch for &T {
     }
     fn encode_cache_stats(&self) -> EncodeStats {
         (**self).encode_cache_stats()
+    }
+    fn extend_over(&self, child: Arc<EncodedTable>) -> Option<Box<dyn CiTestBatch + Send + Sync>> {
+        (**self).extend_over(child)
+    }
+    fn scaffold_stats(&self) -> ScaffoldStats {
+        (**self).scaffold_stats()
     }
 }
 
@@ -372,6 +451,12 @@ where
     }
     fn encode_cache_stats(&self) -> EncodeStats {
         (**self).encode_cache_stats()
+    }
+    fn extend_over(&self, child: Arc<EncodedTable>) -> Option<Box<dyn CiTestBatch + Send + Sync>> {
+        (**self).extend_over(child)
+    }
+    fn scaffold_stats(&self) -> ScaffoldStats {
+        (**self).scaffold_stats()
     }
 }
 

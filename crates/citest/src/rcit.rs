@@ -103,6 +103,15 @@ impl Rcit {
         }
     }
 
+    /// Build a tester over an extended (appended-to) dataset. Nothing
+    /// carries over beyond configuration and seed: every RCIT scaffold is
+    /// a whole-sample standardization plus median-heuristic bandwidth,
+    /// both of which change with `n`, so conditioning contexts are rebuilt
+    /// on demand — which also makes them trivially bit-identical to cold.
+    pub fn extended_from(parent: &Rcit, enc: Arc<EncodedTable>) -> Rcit {
+        Rcit::over(enc, parent.cfg.clone(), parent.seed)
+    }
+
     /// Conditioning context for the canonical set `zs`, memoized.
     fn z_context(&self, zs: &[VarId]) -> Arc<ZContext> {
         if self.enc.caching() {
@@ -130,6 +139,11 @@ impl Rcit {
             },
             seed,
         )
+    }
+
+    /// The shared encoding layer.
+    pub fn encoded(&self) -> &Arc<EncodedTable> {
+        &self.enc
     }
 
     fn table(&self) -> &Table {
@@ -364,6 +378,24 @@ impl crate::CiTestBatch for Rcit {
     fn encode_cache_stats(&self) -> crate::EncodeStats {
         self.enc.stats().merged(self.zctx.stats())
     }
+
+    fn extend_over(
+        &self,
+        child: Arc<EncodedTable>,
+    ) -> Option<Box<dyn crate::CiTestBatch + Send + Sync>> {
+        Some(Box::new(Rcit::extended_from(self, child)))
+    }
+
+    fn scaffold_stats(&self) -> crate::ScaffoldStats {
+        // No scaffold survives extension (whole-sample standardization),
+        // so `extended` is structurally zero here.
+        crate::ScaffoldStats {
+            extended: 0,
+            rebuilt: self.zctx.inserted(),
+            resident: self.zctx.len() as u64,
+            evictions: self.zctx.evictions(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -528,6 +560,71 @@ mod tests {
         let t = gauss_table(&[("x", "y", 2.0)], &["x", "y"], 4, 9);
         let mut r = Rcit::with_alpha(&t, 0.01, 3);
         assert!(r.ci(&[0], &[1], &[]).independent);
+    }
+
+    /// An extended RCIT rebuilds everything (whole-sample standardization
+    /// invalidates all scaffolds) yet stays bit-identical to a cold tester
+    /// on the concatenated table, and its ledger stays conserved.
+    #[test]
+    fn extended_tester_matches_cold_and_conserves_scaffolds() {
+        use crate::{CiQueryRef, CiTestBatch, CiTestShared};
+        let parent_t = gauss_table(
+            &[("x", "m", 1.0), ("m", "y", 1.0)],
+            &["x", "m", "y"],
+            600,
+            31,
+        );
+        let batch = gauss_table(
+            &[("x", "m", 1.0), ("m", "y", 1.0)],
+            &["x", "m", "y"],
+            200,
+            32,
+        );
+        let parent = Rcit::with_alpha(&parent_t, 0.01, 7);
+        // Warm a conditioning context on the parent via the grouped path.
+        let x: [usize; 1] = [0];
+        let y: [usize; 1] = [2];
+        let z: [usize; 1] = [1];
+        let q = [CiQueryRef {
+            x: &x,
+            y: &y,
+            z: &z,
+        }];
+        parent.eval_z_group(&z, &q);
+        let child_enc = Arc::new(parent.encoded().extend(&batch).unwrap());
+        let ext = Rcit::extended_from(&parent, child_enc);
+        let birth = ext.scaffold_stats();
+        assert_eq!((birth.extended, birth.rebuilt), (0, 0));
+        assert!(birth.conserved(), "{birth:?}");
+
+        let concat = parent_t.concat(&batch).unwrap();
+        let cold = Rcit::with_alpha(&concat, 0.01, 7);
+        for (x, y, z) in [
+            (vec![0], vec![2], vec![1]),
+            (vec![0], vec![2], vec![]),
+            (vec![0, 1], vec![2], vec![1]),
+        ] {
+            let a = ext.ci_shared(&x, &y, &z);
+            let b = cold.ci_shared(&x, &y, &z);
+            assert_eq!(
+                a.p_value.to_bits(),
+                b.p_value.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+            assert_eq!(
+                a.statistic.to_bits(),
+                b.statistic.to_bits(),
+                "{x:?} {y:?} {z:?}"
+            );
+        }
+        // The grouped path on the extended tester rebuilds the context.
+        let a = ext.eval_z_group(&z, &q);
+        let b = cold.eval_z_group(&z, &q);
+        assert_eq!(a[0].p_value.to_bits(), b[0].p_value.to_bits());
+        let s = ext.scaffold_stats();
+        assert_eq!(s.extended, 0);
+        assert_eq!(s.rebuilt, 1, "context rebuilt once on the child");
+        assert!(s.conserved(), "{s:?}");
     }
 
     #[test]

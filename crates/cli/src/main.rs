@@ -43,6 +43,7 @@ fairsel — causal feature selection for algorithmic fairness
 USAGE:
   fairsel gen     --out <file.csv> [--fixture 1a|1b|1c|6] [--synthetic N]
                   [--biased F] [--rows N] [--seed N] [--strength W]
+                  [--append-batches N --batch-rows M]
   fairsel select  --csv <file.csv> [--algo seqsel|grpsel] [--tester gtest|fisherz]
                   [--dag <graph.txt>] [--alpha F]
                   [--classifier logistic|tree|forest|adaboost|nb]
@@ -55,11 +56,24 @@ USAGE:
                   [--train-frac F] [--seed N] [--remote <host:port>]
   fairsel serve   [--addr <host:port>] [--cache-cap N] [--max-datasets N]
                   [--conn-workers N] [--max-conns N] [--trace true|false]
+  fairsel append  --remote <host:port> --csv <batch.csv>
+                  (--fp <16-hex> | --base <base.csv>)
   fairsel stats   --remote <host:port> [--prom] [--watch SECS [--iters N]]
   fairsel trace   --remote <host:port> [--last N] [--trace-out <spans.jsonl>]
 
 `gen` writes a role-annotated CSV sampled from a paper fixture (default 1a)
 or from a fairness-structured synthetic DAG (--synthetic <n_features>).
+`--append-batches N --batch-rows M` additionally writes N batch files
+(`<out>.batch1.csv`, …) of M rows each, drawn from the *same* generator
+state the base rows came from — streaming-append fodder for
+`fairsel append`.
+`append` streams a row batch to a running server: the parent dataset is
+addressed fingerprint-first (`--fp`, or `--base file.csv` to fingerprint
+a local copy), only the batch travels the wire (binary codec), and the
+server answers with the *child* dataset fingerprint. The recorded
+parent→child lineage means the first `select --remote` on the child is
+born warm from the parent's session — its tester scaffolds are extended
+over the appended rows, not rebuilt.
 `select` runs the full pipeline — GrpSel frontiers partitioned by
 conditioning set and evaluated through the Z-grouped scheduler on a
 persistent worker pool — and prints selection, fairness report, and
@@ -114,6 +128,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&opts),
         "select" => cmd_select(&opts),
         "methods" => cmd_methods(&opts),
+        "append" => cmd_append(&opts),
         "serve" => cmd_serve(&opts),
         "stats" => cmd_stats(&opts),
         "trace" => cmd_trace(&opts),
@@ -179,7 +194,7 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
     let strength: f64 = opts.num("strength", 1.5)?;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let (table, origin) = if let Some(n) = opts.get("synthetic") {
+    let (scm, roles, origin) = if let Some(n) = opts.get("synthetic") {
         let n_features: usize = n.parse().map_err(|_| "--synthetic: bad count")?;
         let biased: f64 = opts.num("biased", 0.1)?;
         let cfg = SyntheticConfig {
@@ -189,8 +204,11 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
         };
         let inst = synthetic_instance(&mut rng, &cfg);
         let scm = synthetic_scm(&mut rng, &inst, strength);
-        let table = sample_table(&scm, &inst.roles, rows, &mut rng);
-        (table, format!("synthetic n={n_features} biased={biased}"))
+        (
+            scm,
+            inst.roles,
+            format!("synthetic n={n_features} biased={biased}"),
+        )
     } else {
         let id = opts.get("fixture").unwrap_or("1a");
         let fixture = match id {
@@ -201,9 +219,9 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
             other => return Err(format!("unknown fixture: {other} (1a|1b|1c|6)")),
         };
         let scm = fixture.scm(strength);
-        let table = sample_table(&scm, &fixture.roles, rows, &mut rng);
-        (table, format!("figure {id}"))
+        (scm, fixture.roles, format!("figure {id}"))
     };
+    let table = sample_table(&scm, &roles, rows, &mut rng);
     csv::write_csv(&table, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "wrote {out}: {} rows x {} cols from {origin}\nschema: {}",
@@ -211,7 +229,74 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
         table.n_cols(),
         table.schema_string()
     );
+    // Streaming-append fodder: continue drawing from the *same* generator
+    // state, so base + batches are one long sample — exactly the rows a
+    // single `gen --rows base+N*M` run would have produced.
+    let batches: usize = opts.num("append-batches", 0)?;
+    if batches > 0 {
+        let batch_rows: usize = opts.num("batch-rows", 0)?;
+        if batch_rows == 0 {
+            return Err("--append-batches requires --batch-rows M (M >= 1)".into());
+        }
+        let stem = out.strip_suffix(".csv").unwrap_or(out);
+        for b in 1..=batches {
+            let batch = sample_table(&scm, &roles, batch_rows, &mut rng);
+            let path = format!("{stem}.batch{b}.csv");
+            csv::write_csv(&batch, Path::new(&path)).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}: {batch_rows} rows (append batch {b}/{batches})");
+        }
+    }
     Ok(())
+}
+
+/// `fairsel append`: stream a row batch to a running server,
+/// fingerprint-first. The parent is addressed by `--fp` (16 hex chars,
+/// as printed by a previous put/append) or by `--base file.csv`
+/// (fingerprinted locally — no upload). Only the batch rows travel, as
+/// the binary column codec; the server answers with the child dataset
+/// fingerprint, which later `select --remote` requests resolve warm.
+fn cmd_append(opts: &Opts) -> Result<(), String> {
+    let addr = opts
+        .get("remote")
+        .ok_or("append: --remote <host:port> is required")?;
+    let path = opts
+        .get("csv")
+        .ok_or("append: --csv <batch.csv> is required")?;
+    let batch = csv::read_csv(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if batch.n_rows() == 0 {
+        return Err(format!("{path}: batch has no rows"));
+    }
+    let fp = match (opts.get("fp"), opts.get("base")) {
+        (Some(hex), _) => u64::from_str_radix(hex, 16)
+            .map_err(|_| format!("--fp: bad fingerprint {hex:?} (expect 16 hex chars)"))?,
+        (None, Some(base)) => {
+            let table =
+                csv::read_csv(Path::new(base)).map_err(|e| format!("reading {base}: {e}"))?;
+            fairsel_server::fingerprint_table(&table)
+        }
+        (None, None) => return Err("append: --fp <16-hex> or --base <base.csv> is required".into()),
+    };
+    let bytes = fairsel_table::encode_row_batch(&batch);
+    let resp = fairsel_server::append_rows(addr, fp, &bytes).map_err(|e| format!("{addr}: {e}"))?;
+    match resp {
+        Response::Ok { body, stats, .. } => {
+            println!("child fingerprint           {body}");
+            println!("parent fingerprint          {fp:016x}");
+            println!(
+                "batch                       {} rows, {} bytes on the wire",
+                batch.n_rows(),
+                bytes.len()
+            );
+            if let Some(s) = stats {
+                if let Some(rows) = s.get_u64("rows") {
+                    println!("child rows                  {rows}");
+                }
+            }
+            Ok(())
+        }
+        Response::Busy => Err("server busy: connection limit reached".into()),
+        Response::Err(e) => Err(e),
+    }
 }
 
 /// Shared select/methods setup: load CSV, split, read common options.
@@ -231,8 +316,12 @@ fn load_workload(opts: &Opts) -> Result<Workload, String> {
     }
     let train_frac: f64 = opts.num("train-frac", 0.7)?;
     let seed: u64 = opts.num("seed", 0)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (train, test) = table.split_train_test(&mut rng, train_frac);
+    // Row-stable split — the same membership rule the server registry
+    // uses, so a local run and a `--remote` run of the same workload
+    // stay byte-identical (and appended datasets split into the parent's
+    // split plus the new rows).
+    let split = table.split_rows_stable(seed, train_frac);
+    let (train, test) = (split.train, split.test);
 
     let algo = match opts.get("algo").unwrap_or("grpsel") {
         "seqsel" => SelectionAlgo::SeqSel,

@@ -481,6 +481,39 @@ impl<T: CiTestBatch> CiSession<T> {
     pub fn refresh_encode_stats(&mut self) {
         let s = self.tester().encode_cache_stats();
         self.set_encode_stats(s);
+        let sc = self.tester().scaffold_stats();
+        self.set_scaffold_stats(sc);
+    }
+
+    /// Lineage-aware session transfer for dataset extension.
+    ///
+    /// Build a session over `child` — a table produced by appending rows
+    /// to this session's dataset ([`fairsel_ci::EncodedTable::extend`]) —
+    /// carrying forward what stays valid and discarding what doesn't:
+    ///
+    /// * **Outcomes are invalidated.** Every memoized p-value depends on
+    ///   `n`, so the child starts with an empty memo (and fresh
+    ///   [`EngineStats`], so its counters match a cold session's).
+    /// * **Tester scaffolds are extended.** The tester decides per
+    ///   scaffold kind what survives ([`CiTestBatch::extend_over`]):
+    ///   stratifications and design matrices extend over the appended
+    ///   rows; whole-sample artifacts (residuals, standardized blocks)
+    ///   rebuild on demand. Either way the child answers bit-for-bit what
+    ///   a cold session over the concatenated table answers.
+    ///
+    /// Returns `None` when the tester has no extension path (the default
+    /// for testers that never opted in) — the caller falls back to a cold
+    /// rebuild. The child's scaffold/encode counters are refreshed before
+    /// returning, so the warm-birth ledger (`extended_scaffolds`,
+    /// `extended_encodings`, `append_rows`) is visible before any query.
+    pub fn extended_over(
+        &self,
+        child: std::sync::Arc<fairsel_ci::EncodedTable>,
+    ) -> Option<CiSession<Box<dyn CiTestBatch + Send + Sync>>> {
+        let tester = self.tester().extend_over(child)?;
+        let mut session = CiSession::new(tester);
+        session.refresh_encode_stats();
+        Some(session)
     }
 }
 
@@ -783,5 +816,101 @@ mod tests {
         assert_eq!(s.stats().issued, 2);
         assert_eq!(s.tester().batch_calls.load(Ordering::Relaxed), 2);
         assert_eq!(s.tester().inner.calls.load(Ordering::Relaxed), 2);
+    }
+
+    /// Testers that never opt into extension make `extended_over` decline,
+    /// signalling the caller to rebuild cold.
+    #[test]
+    fn extended_over_declines_without_tester_support() {
+        use fairsel_table::{Column, Role, Table};
+        let t = Table::new(vec![Column::cat("a", Role::Feature, vec![0, 1], 2)]).unwrap();
+        let enc = std::sync::Arc::new(fairsel_ci::EncodedTable::new(&t));
+        let s = CiSession::new(BatchGapCi::new(8));
+        assert!(s.extended_over(enc).is_none());
+    }
+
+    /// Lineage-aware transfer with a real tester: the child session is
+    /// born warm (append/extension counters visible before any query),
+    /// memo-empty, and answers the whole workload byte-identically to a
+    /// cold session over the concatenated table — including every engine
+    /// counter that does not measure the transfer itself.
+    #[test]
+    fn extended_session_matches_cold_on_concatenated_table() {
+        use fairsel_ci::GTest;
+        use fairsel_table::{Column, Role, Table};
+
+        // Deterministic mixed rows (splitmix-style) — no RNG dependency.
+        let gen_rows = |n: usize, seed: u64| {
+            let mix = |i: u64| {
+                let mut v = (i + seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                v ^= v >> 31;
+                v
+            };
+            let a: Vec<u32> = (0..n).map(|i| (mix(i as u64) % 3) as u32).collect();
+            let b: Vec<u32> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v + (mix(i as u64 ^ 0xff) % 2) as u32) % 3)
+                .collect();
+            let c: Vec<u32> = (0..n)
+                .map(|i| (mix(i as u64 ^ 0xa5a5) % 2) as u32)
+                .collect();
+            Table::new(vec![
+                Column::cat("a", Role::Feature, a, 3),
+                Column::cat("b", Role::Feature, b, 3),
+                Column::cat("c", Role::Target, c, 2),
+            ])
+            .unwrap()
+        };
+        let parent_t = gen_rows(600, 5);
+        let batch = gen_rows(150, 6);
+        let qs = vec![
+            CiQuery::new(&[0], &[2], &[]),
+            CiQuery::new(&[0], &[2], &[1]),
+            CiQuery::new(&[1], &[2], &[0]),
+            CiQuery::new(&[0, 1], &[2], &[]),
+        ];
+
+        let parent_enc = std::sync::Arc::new(fairsel_ci::EncodedTable::new(&parent_t));
+        let mut parent = CiSession::new(GTest::over(parent_enc.clone(), 0.05));
+        parent.run_batch_grouped(&qs, &[], 1);
+
+        let child_enc = std::sync::Arc::new(parent_enc.extend(&batch).unwrap());
+        let mut warm = parent
+            .extended_over(child_enc)
+            .expect("GTest supports extension");
+        // Born warm: transfer ledger visible before any query runs.
+        let birth = warm.stats().clone();
+        assert!(birth.append_rows > 0, "{birth:?}");
+        assert!(birth.extended_encodings > 0, "{birth:?}");
+        assert!(birth.extended_scaffolds > 0, "{birth:?}");
+        assert_eq!(birth.rebuilt_scaffolds, 0, "{birth:?}");
+        assert!(birth.scaffolds_conserved(), "{birth:?}");
+        // Memo invalidated: no outcome survives the append.
+        assert_eq!(warm.cache_len(), 0);
+
+        let concat = parent_t.concat(&batch).unwrap();
+        let mut cold = CiSession::new(GTest::new(&concat, 0.05));
+        for workers in [1, 4] {
+            let a = warm.run_batch_grouped(&qs, &[], workers);
+            let b = cold.run_batch_grouped(&qs, &[], workers);
+            assert_eq!(a, b, "workers={workers}");
+        }
+        assert_eq!(warm.outcomes_fingerprint(), cold.outcomes_fingerprint());
+        // Engine counters that measure the workload (not the transfer)
+        // match a cold run exactly.
+        let (w, c) = (warm.stats(), cold.stats());
+        assert_eq!(w.requested, c.requested);
+        assert_eq!(w.issued, c.issued);
+        assert_eq!(w.cache_hits, c.cache_hits);
+        assert_eq!(w.batches, c.batches);
+        assert!(w.scaffolds_conserved(), "{w:?}");
+        // The savings: the warm session re-derived fewer scaffolds.
+        assert!(
+            w.rebuilt_scaffolds < c.rebuilt_scaffolds,
+            "warm rebuilt {} vs cold {}",
+            w.rebuilt_scaffolds,
+            c.rebuilt_scaffolds
+        );
     }
 }

@@ -64,6 +64,20 @@ pub struct EngineStats {
     /// Contingency cells filled through the dense counting arenas
     /// (G-test and permutation-CMI kernels; hashed fallbacks count 0).
     pub dense_count_cells: u64,
+    /// Rows appended to the encoding layer through dataset extension
+    /// (`EncodedTable::extend`) across this session's lineage.
+    pub append_rows: u64,
+    /// Cached joint encodings extended in place (not rebuilt) on append.
+    pub extended_encodings: u64,
+    /// Tester scaffolds (stratifications, design matrices, …) carried
+    /// over from a parent session on dataset extension.
+    pub extended_scaffolds: u64,
+    /// Tester scaffolds built from scratch on this session's dataset.
+    pub rebuilt_scaffolds: u64,
+    /// Tester scaffolds currently resident in the tester's caches.
+    pub resident_scaffolds: u64,
+    /// Tester scaffolds evicted by the cache bound.
+    pub scaffold_evictions: u64,
     /// Per-phase breakdown, in phase order.
     pub phases: Vec<PhaseStats>,
 }
@@ -121,8 +135,35 @@ impl EngineStats {
             dense_count_cells: self
                 .dense_count_cells
                 .saturating_sub(before.dense_count_cells),
+            append_rows: self.append_rows.saturating_sub(before.append_rows),
+            extended_encodings: self
+                .extended_encodings
+                .saturating_sub(before.extended_encodings),
+            extended_scaffolds: self
+                .extended_scaffolds
+                .saturating_sub(before.extended_scaffolds),
+            rebuilt_scaffolds: self
+                .rebuilt_scaffolds
+                .saturating_sub(before.rebuilt_scaffolds),
+            // Residency is a level, not a rate — carried as-is, like
+            // `max_batch`.
+            resident_scaffolds: self.resident_scaffolds,
+            scaffold_evictions: self
+                .scaffold_evictions
+                .saturating_sub(before.scaffold_evictions),
             phases: Vec::new(),
         }
+    }
+
+    /// The scaffold conservation law: every scaffold a session's tester
+    /// ever held residency for was either carried over from a parent
+    /// (`extended_scaffolds`) or built on this dataset
+    /// (`rebuilt_scaffolds`), and is now either resident or evicted.
+    /// Exact — not approximate — even under worker races, because the
+    /// underlying cache ledger counts only residency-taking inserts.
+    pub fn scaffolds_conserved(&self) -> bool {
+        self.extended_scaffolds + self.rebuilt_scaffolds
+            == self.resident_scaffolds + self.scaffold_evictions
     }
 
     /// Serialize to a self-contained JSON object (no external deps — the
@@ -201,6 +242,37 @@ impl EngineStats {
             &mut s,
             "dense_count_cells",
             self.dense_count_cells as f64,
+            false,
+        );
+        push_kv(&mut s, "append_rows", self.append_rows as f64, false);
+        push_kv(
+            &mut s,
+            "extended_encodings",
+            self.extended_encodings as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "extended_scaffolds",
+            self.extended_scaffolds as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "rebuilt_scaffolds",
+            self.rebuilt_scaffolds as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "resident_scaffolds",
+            self.resident_scaffolds as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "scaffold_evictions",
+            self.scaffold_evictions as f64,
             false,
         );
         s.push_str("\"phases\":[");
@@ -475,6 +547,17 @@ impl<T: CiTest> CiSession<T> {
         self.stats.encode_cache_evictions = stats.evictions;
         self.stats.narrow_code_bytes = stats.narrow_code_bytes;
         self.stats.dense_count_cells = stats.dense_count_cells;
+        self.stats.append_rows = stats.append_rows;
+        self.stats.extended_encodings = stats.extended_encodings;
+    }
+
+    /// Overwrite the cumulative scaffold-ledger counters (read back from
+    /// the tester alongside the encode-cache counters).
+    pub(crate) fn set_scaffold_stats(&mut self, stats: fairsel_ci::ScaffoldStats) {
+        self.stats.extended_scaffolds = stats.extended;
+        self.stats.rebuilt_scaffolds = stats.rebuilt;
+        self.stats.resident_scaffolds = stats.resident;
+        self.stats.scaffold_evictions = stats.evictions;
     }
 
     pub(crate) fn account_batch(

@@ -49,6 +49,14 @@ const JB: usize = 128;
 /// Row-block height for `matmul`: bounds the set of output rows touched
 /// per tile so the rhs panel stays resident across them.
 const IB: usize = 64;
+/// Inner-dimension block depth for `matmul`: caps the rhs panel at
+/// `KB × JB` f64 (256 KiB — L2-resident) so it is reused across all `IB`
+/// output rows of a tile instead of being streamed from memory once per
+/// row. Blocking `k` does not reassociate anything: each output cell
+/// still accumulates directly into its slot, k-block by k-block in
+/// ascending order, so the per-cell ascending-`k` contract (and with it
+/// bit-identity to the naive kernels) is preserved.
+const KB: usize = 256;
 /// Minimum width at which [`Mat::gram`] switches from the full naive
 /// product to the upper-triangle kernel. Below this the triangle's short
 /// tail loops cost more than the saved FLOPs (measured break-even ≈16
@@ -149,9 +157,16 @@ impl Mat {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Cache-blocked: the output is tiled into `IB × JB` panels and each
-    /// panel's cells are accumulated with the same ascending-`k` order and
-    /// zero skip as [`Mat::matmul_naive`], so the result is bit-identical.
+    /// Cache-blocked on all three dimensions: the output is tiled into
+    /// `IB × JB` panels, and the shared dimension is cut into `KB`-deep
+    /// blocks so each `KB × JB` rhs panel stays cache-resident across
+    /// every output row of the tile (above the tile sizes the old
+    /// two-level blocking re-streamed the full rhs column panel per
+    /// output row). Each output cell still accumulates its dot product
+    /// in the same ascending-`k` order with the same zero skip as
+    /// [`Mat::matmul_naive`] — k-blocks are visited in ascending order
+    /// and accumulate straight into the output slot, never into partial
+    /// sums — so the result is bit-identical.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -167,22 +182,26 @@ impl Mat {
             return self.matmul_naive(rhs);
         }
         let m = rhs.cols;
+        let kk = self.cols;
         let mut out = Mat::zeros(self.rows, m);
         for jb in (0..m).step_by(JB) {
             let jw = JB.min(m - jb);
             for ib in (0..self.rows).step_by(IB) {
                 let iw = IB.min(self.rows - ib);
-                for i in ib..ib + iw {
-                    let arow = self.row(i);
-                    let obase = i * m + jb;
-                    for (k, &a) in arow.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let rrow = &rhs.row(k)[jb..jb + jw];
-                        let orow = &mut out.data[obase..obase + jw];
-                        for (o, &r) in orow.iter_mut().zip(rrow) {
-                            *o += a * r;
+                for kb in (0..kk).step_by(KB) {
+                    let kw = KB.min(kk - kb);
+                    for i in ib..ib + iw {
+                        let arow = &self.row(i)[kb..kb + kw];
+                        let obase = i * m + jb;
+                        for (dk, &a) in arow.iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let rrow = &rhs.row(kb + dk)[jb..jb + jw];
+                            let orow = &mut out.data[obase..obase + jw];
+                            for (o, &r) in orow.iter_mut().zip(rrow) {
+                                *o += a * r;
+                            }
                         }
                     }
                 }
@@ -221,11 +240,15 @@ impl Mat {
 
     /// `selfᵀ * rhs` without materializing the transpose.
     ///
-    /// Cache-blocked over output column panels: each `cols × JB` slab of
-    /// the output stays resident while both inputs stream top to bottom
-    /// once per panel. Per output cell the accumulation is the same
-    /// ascending-row order (and zero skip) as [`Mat::t_matmul_naive`], so
-    /// the result is bit-identical.
+    /// Cache-blocked over output panels on *both* axes: `JB`-wide column
+    /// panels as before, and `IB`-tall output-row blocks so that at
+    /// feature-map widths above the tile (`self.cols > IB`) each pass
+    /// over the shared row dimension touches an `IB × JB` output slab
+    /// (64 KiB) instead of the full `cols × JB` slab, which stops
+    /// fitting cache exactly when RCIT's feature maps get wide. Each
+    /// output cell belongs to exactly one tile and accumulates in the
+    /// same ascending-row order (and zero skip) as
+    /// [`Mat::t_matmul_naive`], so the result is bit-identical.
     pub fn t_matmul(&self, rhs: &Mat) -> Mat {
         assert_eq!(
             self.rows, rhs.rows,
@@ -236,20 +259,24 @@ impl Mat {
             return self.t_matmul_naive(rhs);
         }
         let m = rhs.cols;
-        let mut out = Mat::zeros(self.cols, m);
+        let p = self.cols;
+        let mut out = Mat::zeros(p, m);
         for jb in (0..m).step_by(JB) {
             let jw = JB.min(m - jb);
-            for r in 0..self.rows {
-                let lrow = self.row(r);
-                let rrow = &rhs.row(r)[jb..jb + jw];
-                for (i, &l) in lrow.iter().enumerate() {
-                    if l == 0.0 {
-                        continue;
-                    }
-                    let obase = i * m + jb;
-                    let orow = &mut out.data[obase..obase + jw];
-                    for (o, &v) in orow.iter_mut().zip(rrow) {
-                        *o += l * v;
+            for ib in (0..p).step_by(IB) {
+                let iw = IB.min(p - ib);
+                for r in 0..self.rows {
+                    let lrow = &self.row(r)[ib..ib + iw];
+                    let rrow = &rhs.row(r)[jb..jb + jw];
+                    for (di, &l) in lrow.iter().enumerate() {
+                        if l == 0.0 {
+                            continue;
+                        }
+                        let obase = (ib + di) * m + jb;
+                        let orow = &mut out.data[obase..obase + jw];
+                        for (o, &v) in orow.iter_mut().zip(rrow) {
+                            *o += l * v;
+                        }
                     }
                 }
             }
@@ -671,13 +698,17 @@ mod tests {
 
     #[test]
     fn blocked_matmul_bit_identical_to_naive() {
-        // Shapes straddling the JB/IB tile sizes, including non-multiples.
+        // Shapes straddling the JB/IB/KB tile sizes, including
+        // non-multiples and shared dimensions deeper than one KB block.
         for &(n, k, m, seed) in &[
             (3, 5, 4, 1u64),
             (65, 33, 129, 2),
             (70, 40, 300, 3),
             (128, 64, 256, 4),
             (1, 200, 257, 5),
+            (64, 256, 129, 6),
+            (70, 300, 200, 7),
+            (129, 513, 257, 8),
         ] {
             let a = pseudo_mat(n, k, seed);
             let b = pseudo_mat(k, m, seed + 100);
@@ -687,11 +718,16 @@ mod tests {
 
     #[test]
     fn blocked_t_matmul_bit_identical_to_naive() {
+        // `p` spans scalar to above the IB output-row block, including
+        // non-multiples, so every tile edge of the two-axis blocking is hit.
         for &(n, p, m, seed) in &[
             (5, 3, 4, 11u64),
             (200, 17, 129, 12),
             (333, 25, 300, 13),
             (64, 128, 256, 14),
+            (100, 64, 129, 15),
+            (150, 65, 200, 16),
+            (333, 200, 257, 17),
         ] {
             let a = pseudo_mat(n, p, seed);
             let b = pseudo_mat(n, m, seed + 100);

@@ -36,5 +36,6 @@ pub use prom::render_prom;
 pub use proto::{CacheInfo, DatasetRef, MaxGroupSpec, Request, Response, WorkloadRequest};
 pub use registry::{fingerprint_table, pipeline_config, Registry, RegistryConfig};
 pub use server::{
-    default_conn_workers, put_dataset, request, request_raw, ServeConfig, Server, ServerHandle,
+    append_rows, default_conn_workers, put_dataset, request, request_raw, ServeConfig, Server,
+    ServerHandle,
 };

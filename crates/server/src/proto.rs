@@ -20,6 +20,16 @@
 //!                      `body`), after which select/methods may address
 //!                      the dataset as {"fp":"..."} — bytes instead of
 //!                      megabytes on every warm request
+//! {"cmd":"append", "fp":"<16-hex>"}
+//!                      followed by ONE raw binary frame: a row batch in
+//!                      the fairsel_table::codec append format (FSA1).
+//!                      Extends the fingerprinted dataset into a *child*
+//!                      dataset and responds with the child fingerprint in
+//!                      `body`; the registry records the parent→child
+//!                      lineage, so the first select/methods against the
+//!                      child is born warm (parent session scaffolds are
+//!                      extended instead of rebuilt) — only the appended
+//!                      rows ever travel on the wire
 //! {"cmd":"stats"}      server-wide registry + connection telemetry,
 //!                      latency histograms, and spans_dropped
 //! {"cmd":"trace", "last":64}
@@ -261,6 +271,14 @@ pub enum Request {
     /// is immediately followed by one **raw binary frame** holding the
     /// `fairsel_table::codec` payload — the payload is never JSON-encoded.
     Put,
+    /// Streaming append: extend the dataset fingerprinted `fp` with a row
+    /// batch. Like [`Request::Put`], the JSON frame is immediately
+    /// followed by one **raw binary frame** — the `FSA1` append payload
+    /// (`fairsel_table::codec::encode_row_batch`). Responds with the
+    /// child dataset's fingerprint.
+    Append {
+        fp: u64,
+    },
     Stats,
     /// The last `last` completed trace spans, most recent last. The
     /// response's `stats` object carries `spans` (an array of span
@@ -281,6 +299,10 @@ impl Request {
             Request::Select(w) => w.to_json_fields("select"),
             Request::Methods(w) => w.to_json_fields("methods"),
             Request::Put => Json::obj(vec![("cmd", Json::Str("put".into()))]),
+            Request::Append { fp } => Json::obj(vec![
+                ("cmd", Json::Str("append".into())),
+                ("fp", Json::Str(format!("{fp:016x}"))),
+            ]),
             Request::Stats => Json::obj(vec![("cmd", Json::Str("stats".into()))]),
             Request::Trace { last } => Json::obj(vec![
                 ("cmd", Json::Str("trace".into())),
@@ -296,6 +318,11 @@ impl Request {
             Some("select") => Ok(Request::Select(WorkloadRequest::from_json(v)?)),
             Some("methods") => Ok(Request::Methods(WorkloadRequest::from_json(v)?)),
             Some("put") => Ok(Request::Put),
+            Some("append") => {
+                let hex = v.get_str("fp").ok_or("append missing fp")?;
+                let fp = u64::from_str_radix(hex, 16).map_err(|_| format!("bad fp: {hex:?}"))?;
+                Ok(Request::Append { fp })
+            }
             Some("stats") => Ok(Request::Stats),
             Some("trace") => Ok(Request::Trace {
                 last: v.get_u64("last").unwrap_or(DEFAULT_TRACE_LAST as u64) as usize,
@@ -490,6 +517,11 @@ mod tests {
                 ..Default::default()
             }),
             Request::Put,
+            // A full-u64 fingerprint (high bit set) must survive the hex
+            // round trip on append too.
+            Request::Append {
+                fp: 0xfeed_beef_8000_0001,
+            },
             Request::Stats,
             Request::Trace { last: 200 },
             Request::Ping,
@@ -552,6 +584,13 @@ mod tests {
         );
         let v = Json::parse(r#"{"cmd":"select","fp":"not hex"}"#).unwrap();
         assert!(Request::from_json(&v).is_err(), "malformed fp rejected");
+        let v = Json::parse(r#"{"cmd":"append"}"#).unwrap();
+        assert!(
+            Request::from_json(&v).is_err(),
+            "append without fp must be rejected"
+        );
+        let v = Json::parse(r#"{"cmd":"append","fp":"zz"}"#).unwrap();
+        assert!(Request::from_json(&v).is_err(), "malformed append fp");
     }
 
     /// The busy response is structurally distinguishable from a plain

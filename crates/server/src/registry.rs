@@ -29,8 +29,6 @@ use fairsel_core::{
 };
 use fairsel_engine::CiSession;
 use fairsel_table::{csv, ColumnData, EncodedTable, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -102,6 +100,10 @@ pub fn fingerprint_table(table: &Table) -> u64 {
     h.finish()
 }
 
+/// The session type every workload holds: a boxed batch tester behind
+/// the engine's memoizing executor.
+pub type BoxedSession = CiSession<Box<dyn CiTestBatch + Send + Sync>>;
+
 /// One resident workload: split tables, shared encoding layer, memoizing
 /// session.
 pub struct Workload {
@@ -111,6 +113,10 @@ pub struct Workload {
     pub session: CiSession<Box<dyn CiTestBatch + Send + Sync>>,
     pub fingerprint: u64,
     pub sessions_served: u64,
+    /// True when the row-stable split degenerated to a prefix cut
+    /// ([`fairsel_table::StableSplit::fallback`]) — the prefix property
+    /// does not hold then, so this workload cannot seed a warm child.
+    pub split_fallback: bool,
 }
 
 struct Slot {
@@ -150,11 +156,20 @@ pub struct Registry {
     /// / `methods` requests with `{"fp":...}` resolve against. Bounded
     /// like the workload slots.
     puts: Mutex<HashMap<u64, PutSlot>>,
+    /// Append lineage: child fingerprint → parent fingerprint. When a
+    /// workload for a child dataset is first requested, a resident parent
+    /// workload (same tester knobs) seeds it warm — the parent session's
+    /// scaffolds are *extended* over the appended rows instead of
+    /// rebuilt. Unbounded by design: an entry is two u64s, and keeping
+    /// lineage past put-store eviction lets a long append chain stay warm
+    /// end to end.
+    lineage: Mutex<HashMap<u64, u64>>,
     cfg: RegistryConfig,
     tick: AtomicU64,
     requests: AtomicU64,
     evictions: AtomicU64,
     put_evictions: AtomicU64,
+    warm_children: AtomicU64,
 }
 
 impl Registry {
@@ -162,11 +177,13 @@ impl Registry {
         Self {
             slots: Mutex::new(HashMap::new()),
             puts: Mutex::new(HashMap::new()),
+            lineage: Mutex::new(HashMap::new()),
             cfg,
             tick: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             put_evictions: AtomicU64::new(0),
+            warm_children: AtomicU64::new(0),
         }
     }
 
@@ -193,6 +210,54 @@ impl Registry {
     /// Uploaded datasets evicted by the LRU bound so far.
     pub fn put_evictions(&self) -> u64 {
         self.put_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Workload sessions born warm from a parent via append lineage.
+    pub fn warm_children(&self) -> u64 {
+        self.warm_children.load(Ordering::Relaxed)
+    }
+
+    /// The recorded append parent of `child_fp`, if any.
+    pub fn parent_of(&self, child_fp: u64) -> Option<u64> {
+        self.lineage
+            .lock()
+            .expect("lineage lock")
+            .get(&child_fp)
+            .copied()
+    }
+
+    /// Streaming append: extend the dataset fingerprinted `fp` with a row
+    /// batch, producing a *child* dataset addressable by its own
+    /// fingerprint. The child is stored in the put store like any upload,
+    /// and the parent→child lineage is recorded so the first workload
+    /// session built on the child is born warm from a resident parent
+    /// session. Returns `(child fingerprint, child row count)`.
+    ///
+    /// Fails clean (no state change) when the parent fingerprint is
+    /// unknown or evicted, or when the batch's schema does not match —
+    /// the same validation discipline as [`Table::concat`].
+    pub fn append(&self, fp: u64, batch: Table) -> Result<(u64, usize), String> {
+        if batch.n_rows() == 0 {
+            return Err("append batch has no rows".into());
+        }
+        let parent = self.dataset(fp).ok_or_else(|| {
+            format!(
+                "unknown dataset fingerprint {fp:016x} \
+                 (not uploaded, or evicted — put it again)"
+            )
+        })?;
+        let child = parent
+            .concat(&batch)
+            .map_err(|e| format!("append batch rejected: {e}"))?;
+        let rows = child.n_rows();
+        let child_fp = self.put(child)?;
+        if child_fp != fp {
+            self.lineage
+                .lock()
+                .expect("lineage lock")
+                .insert(child_fp, fp);
+        }
+        Ok((child_fp, rows))
     }
 
     /// Store an uploaded dataset and return its fingerprint. Re-putting
@@ -349,6 +414,53 @@ impl Registry {
         h.finish()
     }
 
+    /// Attempt to seed a child workload warm from a resident parent
+    /// session recorded in the append lineage. The row-stable split's
+    /// prefix property guarantees the child's train table is exactly the
+    /// parent's train table followed by the appended train rows, so the
+    /// parent's encodings and tester scaffolds can be *extended* over the
+    /// suffix instead of rebuilt. Any missing precondition — no lineage,
+    /// parent session not resident, parent built on a fallback split,
+    /// tester declines extension, or no appended row landed in train —
+    /// returns `None` and the caller builds cold (always correct, just
+    /// slower).
+    fn try_warm_child(
+        &self,
+        child_fp: u64,
+        child_train: &Arc<Table>,
+        req: &WorkloadRequest,
+    ) -> Option<(Arc<EncodedTable>, BoxedSession)> {
+        let parent_fp = self.parent_of(child_fp)?;
+        let parent_key = self.workload_key(parent_fp, req);
+        let parent_state = {
+            let slots = self.slots.lock().expect("registry lock");
+            Arc::clone(&slots.get(&parent_key)?.state)
+        };
+        let pw = parent_state.lock().expect("workload lock");
+        if pw.split_fallback {
+            return None;
+        }
+        let n_parent = pw.train.n_rows();
+        let n_child = child_train.n_rows();
+        if n_child <= n_parent {
+            // No appended row landed on the train side (or something is
+            // inconsistent) — nothing to extend over.
+            return None;
+        }
+        let suffix: Vec<usize> = (n_parent..n_child).collect();
+        let batch = child_train.take_rows(&suffix);
+        let enc = Arc::new(pw.enc.extend(&batch).ok()?);
+        let session = pw.session.extended_over(Arc::clone(&enc))?;
+        let _sp = fairsel_obs::span_kv("session.warm_child", || {
+            vec![
+                ("fingerprint", format!("{child_fp:016x}")),
+                ("parent", format!("{parent_fp:016x}")),
+                ("appended_train_rows", (n_child - n_parent).to_string()),
+            ]
+        });
+        Some((enc, session))
+    }
+
     fn get_or_insert(
         &self,
         key: u64,
@@ -388,25 +500,48 @@ impl Registry {
                 ("rows", table.n_rows().to_string()),
             ]
         });
-        let mut rng = StdRng::seed_from_u64(req.seed);
-        let (train, test) = table.split_train_test(&mut rng, req.train_frac);
-        let train = Arc::new(train);
-        let enc = Arc::new(EncodedTable::from_arc_with_cap(
-            Arc::clone(&train),
-            self.cfg.cache_cap,
-        ));
-        let tester: Box<dyn CiTestBatch + Send + Sync> = match req.tester.as_str() {
-            "gtest" => Box::new(GTest::over(Arc::clone(&enc), req.alpha)),
-            "fisherz" => Box::new(FisherZ::over(Arc::clone(&enc), req.alpha)),
-            other => return Err(format!("unknown tester: {other} (gtest|fisherz)")),
+        // Row-stable split: membership depends only on (seed, row index),
+        // so a dataset extended by append splits into exactly the parent's
+        // split plus the new rows — the prefix property the warm-child
+        // path below relies on.
+        let split = table.split_rows_stable(req.seed, req.train_frac);
+        let test = split.test;
+        let mut train = Arc::new(split.train);
+        let warm = if split.fallback {
+            None
+        } else {
+            self.try_warm_child(fingerprint, &train, req)
+        };
+        let (enc, session) = match warm {
+            Some((enc, session)) => {
+                self.warm_children.fetch_add(1, Ordering::Relaxed);
+                // The extended layer already holds the concatenated train
+                // table (bit-identical to `train` by the prefix property);
+                // share it instead of keeping two copies resident.
+                train = Arc::clone(enc.table_arc());
+                (enc, session)
+            }
+            None => {
+                let enc = Arc::new(EncodedTable::from_arc_with_cap(
+                    Arc::clone(&train),
+                    self.cfg.cache_cap,
+                ));
+                let tester: Box<dyn CiTestBatch + Send + Sync> = match req.tester.as_str() {
+                    "gtest" => Box::new(GTest::over(Arc::clone(&enc), req.alpha)),
+                    "fisherz" => Box::new(FisherZ::over(Arc::clone(&enc), req.alpha)),
+                    other => return Err(format!("unknown tester: {other} (gtest|fisherz)")),
+                };
+                (enc, CiSession::new(tester))
+            }
         };
         let state = Arc::new(Mutex::new(Workload {
             train,
             test,
             enc,
-            session: CiSession::new(tester),
+            session,
             fingerprint,
             sessions_served: 0,
+            split_fallback: split.fallback,
         }));
 
         let mut slots = self.slots.lock().expect("registry lock");
@@ -668,6 +803,100 @@ mod tests {
         };
         let err = reg.select(&req).unwrap_err();
         assert!(err.contains("unknown dataset fingerprint"), "{err}");
+    }
+
+    /// The streaming-append tentpole, end to end at the registry layer:
+    /// `put` a parent, warm its session, `append` a batch, and the first
+    /// select on the child fingerprint is born warm from the parent's
+    /// session — byte-identical to a cold run on the concatenated table.
+    #[test]
+    fn append_child_select_is_warm_and_byte_identical() {
+        let reg = Registry::new(RegistryConfig::default());
+        let parent = small_table(200, false);
+        let batch = small_table(48, false);
+        let concat = parent.concat(&batch).unwrap();
+
+        let fp = reg.put(parent).unwrap();
+        let fp_req = |fp| WorkloadRequest {
+            dataset: DatasetRef::Fp(fp),
+            ..Default::default()
+        };
+        // Warm the parent session so the child has something to extend.
+        reg.select(&fp_req(fp)).unwrap();
+
+        let (child_fp, rows) = reg.append(fp, batch).unwrap();
+        assert_eq!(rows, 248);
+        assert_ne!(child_fp, fp);
+        assert_eq!(reg.parent_of(child_fp), Some(fp));
+        assert_eq!(reg.warm_children(), 0, "no child session built yet");
+
+        let (warm_body, warm_stats, warm_cache) = reg.select(&fp_req(child_fp)).unwrap();
+        assert_eq!(warm_cache.fingerprint, child_fp);
+        assert_eq!(
+            reg.warm_children(),
+            1,
+            "child session must be born warm from the lineage parent"
+        );
+        assert!(
+            warm_stats.contains("\"append_rows\":")
+                && !warm_stats.contains("\"append_rows\":0,")
+                && !warm_stats.contains("\"extended_scaffolds\":0,"),
+            "engine stats must surface a nonzero append ledger: {warm_stats}"
+        );
+
+        // Ground truth: a cold registry run on the concatenated table.
+        let cold = Registry::new(RegistryConfig::default());
+        let (cold_body, _, cold_cache) = cold
+            .select(&WorkloadRequest::with_csv(csv::to_csv_string(&concat)))
+            .unwrap();
+        assert_eq!(
+            cold_cache.fingerprint, child_fp,
+            "concat fingerprints as the child"
+        );
+        assert_eq!(
+            warm_body, cold_body,
+            "warm child select must be byte-identical to the cold run"
+        );
+        assert_eq!(cold.warm_children(), 0);
+    }
+
+    /// Appending to a fingerprint that was never uploaded — or whose
+    /// upload the LRU already evicted — is a clean structured error, not
+    /// a panic; a schema-mismatched batch is rejected with the concat
+    /// validator's message.
+    #[test]
+    fn append_failure_modes_are_clean_errors() {
+        let reg = Registry::new(RegistryConfig {
+            max_datasets: 2,
+            ..Default::default()
+        });
+        let err = reg.append(0xdead, small_table(40, false)).unwrap_err();
+        assert!(err.contains("unknown dataset fingerprint"), "{err}");
+
+        let fp_a = reg.put(small_table(120, false)).unwrap();
+        // Evict A's upload, then append to it.
+        reg.put(small_table(124, true)).unwrap();
+        reg.put(small_table(240, false)).unwrap();
+        assert!(reg.dataset(fp_a).is_none(), "A must be evicted");
+        let err = reg.append(fp_a, small_table(40, false)).unwrap_err();
+        assert!(err.contains("unknown dataset fingerprint"), "{err}");
+
+        // Schema mismatch (missing column) fails concat validation.
+        let fp_b = reg.put(small_table(120, false)).unwrap();
+        let skinny = Table::new(vec![Column::cat(
+            "s",
+            Role::Sensitive,
+            (0..20).map(|i| (i % 2) as u32).collect(),
+            2,
+        )])
+        .unwrap();
+        let err = reg.append(fp_b, skinny).unwrap_err();
+        assert!(err.contains("append batch rejected"), "{err}");
+
+        // Empty batches are refused before touching the store.
+        let empty = Table::new(vec![Column::cat("s", Role::Sensitive, vec![], 2)]).unwrap();
+        let err = reg.append(fp_b, empty).unwrap_err();
+        assert!(err.contains("no rows"), "{err}");
     }
 
     #[test]

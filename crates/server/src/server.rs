@@ -125,6 +125,7 @@ struct CmdHists {
     select: Histogram,
     methods: Histogram,
     put: Histogram,
+    append: Histogram,
     stats: Histogram,
     trace: Histogram,
     ping: Histogram,
@@ -140,6 +141,7 @@ impl CmdHists {
             select: Histogram::new(),
             methods: Histogram::new(),
             put: Histogram::new(),
+            append: Histogram::new(),
             stats: Histogram::new(),
             trace: Histogram::new(),
             ping: Histogram::new(),
@@ -155,6 +157,7 @@ impl CmdHists {
             "select" => &self.select,
             "methods" => &self.methods,
             "put" => &self.put,
+            "append" => &self.append,
             "stats" => &self.stats,
             "trace" => &self.trace,
             "ping" => &self.ping,
@@ -165,11 +168,12 @@ impl CmdHists {
 
     /// Every histogram with its exposition name (`base/label`; the
     /// Prometheus renderer maps the label to `{cmd="..."}`).
-    fn named(&self) -> [(&'static str, &Histogram); 10] {
+    fn named(&self) -> [(&'static str, &Histogram); 11] {
         [
             ("request_wall/select", &self.select),
             ("request_wall/methods", &self.methods),
             ("request_wall/put", &self.put),
+            ("request_wall/append", &self.append),
             ("request_wall/stats", &self.stats),
             ("request_wall/trace", &self.trace),
             ("request_wall/ping", &self.ping),
@@ -526,6 +530,10 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> io::Result<()> {
                 None => return Ok(()),
                 Some(bytes) => (put_response(&bytes, state), false),
             },
+            Ok(Request::Append { fp }) => match read_frame(&mut io)? {
+                None => return Ok(()),
+                Some(bytes) => (append_response(fp, &bytes, state), false),
+            },
             Ok(Request::Select(req)) => (
                 match state.registry.select(&req) {
                     Ok((body, stats_json, cache)) => {
@@ -604,6 +612,40 @@ fn put_response(bytes: &[u8], state: &ServerState) -> Response {
     }
 }
 
+/// `{"cmd":"append","fp":...}` + one raw batch frame: extend the
+/// fingerprinted dataset with the decoded rows. Only the appended rows
+/// travel; the response body is the *child* fingerprint, and the
+/// recorded lineage means the first select on the child is born warm
+/// from the parent's session.
+fn append_response(fp: u64, bytes: &[u8], state: &ServerState) -> Response {
+    // Append payloads carry the dedicated `FSA1` row-batch magic — a
+    // `put` table frame sent here (or vice versa) fails the magic check
+    // instead of being silently interpreted as the wrong thing.
+    let batch = match fairsel_table::decode_row_batch(bytes) {
+        Ok(t) => t,
+        Err(e) => return Response::Err(format!("decoding append batch: {e}")),
+    };
+    let batch_rows = batch.n_rows();
+    match state.registry.append(fp, batch) {
+        Ok((child_fp, rows)) => Response::Ok {
+            body: format!("{child_fp:016x}"),
+            stats: Some(Json::obj(vec![
+                ("fingerprint", Json::Str(format!("{child_fp:016x}"))),
+                ("parent", Json::Str(format!("{fp:016x}"))),
+                ("bytes", Json::Num(bytes.len() as f64)),
+                ("batch_rows", Json::Num(batch_rows as f64)),
+                ("rows", Json::Num(rows as f64)),
+                (
+                    "resident_puts",
+                    Json::Num(state.registry.resident_puts() as f64),
+                ),
+            ])),
+            cache: None,
+        },
+        Err(e) => Response::Err(e),
+    }
+}
+
 /// Static command label for spans and histogram routing; unknown or
 /// missing commands land in the `error` bucket.
 fn cmd_label(cmd: Option<&str>) -> &'static str {
@@ -611,6 +653,7 @@ fn cmd_label(cmd: Option<&str>) -> &'static str {
         Some("select") => "select",
         Some("methods") => "methods",
         Some("put") => "put",
+        Some("append") => "append",
         Some("stats") => "stats",
         Some("trace") => "trace",
         Some("ping") => "ping",
@@ -804,6 +847,17 @@ pub fn request_raw(addr: &str, payload: &[u8]) -> io::Result<Response> {
 pub fn put_dataset(addr: &str, codec_bytes: &[u8]) -> io::Result<Response> {
     let mut stream = connect(addr)?;
     write_json(&mut stream, &Request::Put.to_json())?;
+    crate::proto::write_frame(&mut stream, codec_bytes)?;
+    read_response(&mut stream)
+}
+
+/// One-shot streaming append: send `{"cmd":"append","fp":...}` plus the
+/// raw codec payload of the row batch, and return the server's response
+/// (`body` is the *child* dataset fingerprint as 16 hex chars on
+/// success). Only the appended rows travel the wire.
+pub fn append_rows(addr: &str, fp: u64, codec_bytes: &[u8]) -> io::Result<Response> {
+    let mut stream = connect(addr)?;
+    write_json(&mut stream, &Request::Append { fp }.to_json())?;
     crate::proto::write_frame(&mut stream, codec_bytes)?;
     read_response(&mut stream)
 }
@@ -1051,6 +1105,107 @@ mod tests {
             panic!("bad put must error");
         };
         assert!(e.contains("decoding dataset"), "{e}");
+
+        handle.shutdown();
+    }
+
+    /// Streaming append over real TCP: `put` the base, `append` a batch
+    /// (only the batch travels), then select the child fingerprint —
+    /// served warm from the parent session and byte-identical to a cold
+    /// run on the full concatenated table.
+    #[test]
+    fn put_append_then_warm_child_select_over_tcp() {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let base = small_table(200);
+        let full = small_table(248);
+        let suffix: Vec<usize> = (200..248).collect();
+        let batch = full.take_rows(&suffix);
+
+        let resp = put_dataset(&addr, &codec::encode_table(&base)).unwrap();
+        let Response::Ok { body: fp_hex, .. } = resp else {
+            panic!("put failed: {resp:?}");
+        };
+        let fp = u64::from_str_radix(&fp_hex, 16).unwrap();
+
+        // Warm the parent session, then extend it.
+        let parent_req = Request::Select(WorkloadRequest {
+            dataset: DatasetRef::Fp(fp),
+            ..Default::default()
+        });
+        assert!(matches!(
+            request(&addr, &parent_req).unwrap(),
+            Response::Ok { .. }
+        ));
+
+        // A put-style table frame must be rejected at the magic check —
+        // the append wire carries the dedicated FSA1 row-batch frame.
+        let wrong_magic = append_rows(&addr, fp, &codec::encode_table(&batch)).unwrap();
+        let Response::Err(e) = wrong_magic else {
+            panic!("table-framed append accepted: {wrong_magic:?}");
+        };
+        assert!(e.contains("bad magic"), "unexpected error: {e}");
+
+        let batch_bytes = codec::encode_row_batch(&batch);
+        let resp = append_rows(&addr, fp, &batch_bytes).unwrap();
+        let Response::Ok {
+            body: child_hex,
+            stats: Some(stats),
+            ..
+        } = resp
+        else {
+            panic!("append failed: {resp:?}");
+        };
+        let child_fp = u64::from_str_radix(&child_hex, 16).unwrap();
+        assert_ne!(child_fp, fp);
+        assert_eq!(stats.get_u64("batch_rows"), Some(48));
+        assert_eq!(stats.get_u64("rows"), Some(248));
+        assert_eq!(
+            child_fp,
+            crate::registry::fingerprint_table(&full),
+            "append child must fingerprint as the concatenated table"
+        );
+
+        // Child select: born warm, with the extend ledger in the engine
+        // stats, and byte-identical to a cold run on the full table.
+        let child_req = Request::Select(WorkloadRequest {
+            dataset: DatasetRef::Fp(child_fp),
+            ..Default::default()
+        });
+        let Response::Ok {
+            body: warm_body,
+            stats: Some(warm_stats),
+            ..
+        } = request(&addr, &child_req).unwrap()
+        else {
+            panic!("child select failed");
+        };
+        assert!(
+            warm_stats.get_u64("extended_encodings").unwrap_or(0) > 0,
+            "warm child must report extended encodings: {warm_stats:?}"
+        );
+        assert!(warm_stats.get_u64("append_rows").unwrap_or(0) > 0);
+
+        let Response::Ok {
+            body: cold_body, ..
+        } = request(
+            &addr,
+            &Request::Select(WorkloadRequest::with_csv(csv::to_csv_string(&full))),
+        )
+        .unwrap()
+        else {
+            panic!("cold select failed");
+        };
+        assert_eq!(warm_body, cold_body, "warm child must match cold run");
+
+        // Appending to a bogus fingerprint fails clean over the wire.
+        let resp = append_rows(&addr, fp ^ 0x5555, &batch_bytes).unwrap();
+        let Response::Err(e) = resp else {
+            panic!("append to unknown fp must error: {resp:?}");
+        };
+        assert!(e.contains("unknown dataset fingerprint"), "{e}");
 
         handle.shutdown();
     }

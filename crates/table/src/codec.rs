@@ -39,6 +39,12 @@ use std::fmt;
 /// Magic bytes opening every encoded table.
 pub const CODEC_MAGIC: [u8; 4] = *b"FSB1";
 
+/// Magic bytes opening an append row-batch frame. The payload layout is
+/// identical to a full table frame — a batch *is* a table whose schema
+/// must match the parent's — but the distinct magic keeps a `put` payload
+/// from ever being replayed as an `append` (or vice versa).
+pub const APPEND_MAGIC: [u8; 4] = *b"FSA1";
+
 /// Codec version this module reads and writes.
 pub const CODEC_VERSION: u8 = 1;
 
@@ -92,10 +98,20 @@ fn code_width(arity: u32) -> usize {
 
 /// Serialize a table to the binary column format.
 pub fn encode_table(table: &Table) -> Vec<u8> {
+    encode_frame(table, &CODEC_MAGIC)
+}
+
+/// Serialize a row batch (a table whose schema matches the parent it will
+/// extend) as an `FSA1` append frame.
+pub fn encode_row_batch(batch: &Table) -> Vec<u8> {
+    encode_frame(batch, &APPEND_MAGIC)
+}
+
+fn encode_frame(table: &Table, magic: &[u8; 4]) -> Vec<u8> {
     let n_rows = table.n_rows();
     // Worst-case estimate: 8 bytes per numeric cell dominates.
     let mut out = Vec::with_capacity(32 + table.n_cols() * (32 + n_rows * 8));
-    out.extend_from_slice(&CODEC_MAGIC);
+    out.extend_from_slice(magic);
     out.push(CODEC_VERSION);
     out.extend_from_slice(&(n_rows as u64).to_le_bytes());
     out.extend_from_slice(&(table.n_cols() as u32).to_le_bytes());
@@ -168,11 +184,22 @@ impl<'a> Reader<'a> {
 
 /// Decode a table from the binary column format, validating every field.
 pub fn decode_table(bytes: &[u8]) -> Result<Table, CodecError> {
+    decode_frame(bytes, &CODEC_MAGIC, "an encoded table")
+}
+
+/// Decode an `FSA1` append row batch, validating every field exactly like
+/// [`decode_table`] — truncation, forged counts, out-of-range codes and
+/// bad role/kind bytes all error cleanly with a byte offset.
+pub fn decode_row_batch(bytes: &[u8]) -> Result<Table, CodecError> {
+    decode_frame(bytes, &APPEND_MAGIC, "an append row batch")
+}
+
+fn decode_frame(bytes: &[u8], magic: &[u8; 4], what: &str) -> Result<Table, CodecError> {
     let mut r = Reader { bytes, pos: 0 };
-    if r.take(4, "magic")? != CODEC_MAGIC {
+    if r.take(4, "magic")? != magic {
         return Err(CodecError {
             offset: 0,
-            msg: "bad magic (not an encoded table)".into(),
+            msg: format!("bad magic (not {what})"),
         });
     }
     let version = r.u8("version")?;
@@ -434,6 +461,59 @@ mod tests {
         forged.extend_from_slice(&one[header + 4..]);
         let err = decode_table(&forged).unwrap_err();
         assert!(err.msg.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn append_frame_round_trips_and_magics_do_not_cross() {
+        let t = sample();
+        let bytes = encode_row_batch(&t);
+        assert_eq!(&bytes[..4], b"FSA1");
+        let back = decode_row_batch(&bytes).unwrap();
+        assert_eq!(back.columns(), t.columns());
+        // A put payload is not an append payload and vice versa.
+        assert!(decode_row_batch(&encode_table(&t))
+            .unwrap_err()
+            .msg
+            .contains("magic"));
+        assert!(decode_table(&bytes).unwrap_err().msg.contains("magic"));
+    }
+
+    #[test]
+    fn append_frame_rejects_truncation_anywhere() {
+        let bytes = encode_row_batch(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_row_batch(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn append_frame_rejects_lying_row_count() {
+        // A row count larger than the payload can hold must fail on the
+        // size check (huge counts) or on the per-column reads (small lies),
+        // never panic or over-allocate.
+        let bytes = encode_row_batch(&sample());
+        let mut huge = bytes.clone();
+        huge[5..13].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_row_batch(&huge)
+            .unwrap_err()
+            .msg
+            .contains("row count"));
+        let mut off_by_some = bytes;
+        off_by_some[5..13].copy_from_slice(&16u64.to_le_bytes());
+        assert!(decode_row_batch(&off_by_some).is_err());
+    }
+
+    #[test]
+    fn append_frame_rejects_out_of_range_codes() {
+        let t = Table::new(vec![Column::cat("c", Role::Feature, vec![0, 1], 2)]).unwrap();
+        let mut bytes = encode_row_batch(&t);
+        let n = bytes.len();
+        bytes[n - 1] = 9;
+        let err = decode_row_batch(&bytes).unwrap_err();
+        assert!(err.msg.contains("arity"), "{err}");
     }
 
     #[test]

@@ -223,6 +223,12 @@ pub struct EncodeStats {
     /// Cells zeroed+filled by the dense counting arenas in the testers
     /// (cumulative `strata × xa × ya` over every dense fill).
     pub dense_count_cells: u64,
+    /// Rows appended through [`EncodedTable::extend`] (cumulative over the
+    /// dataset's whole lineage).
+    pub append_rows: u64,
+    /// Cached joint encodings carried into a child dataset by incremental
+    /// extension instead of recomputation (cumulative over the lineage).
+    pub extended_encodings: u64,
 }
 
 impl EncodeStats {
@@ -235,6 +241,8 @@ impl EncodeStats {
             evictions: self.evictions + other.evictions,
             narrow_code_bytes: self.narrow_code_bytes + other.narrow_code_bytes,
             dense_count_cells: self.dense_count_cells + other.dense_count_cells,
+            append_rows: self.append_rows + other.append_rows,
+            extended_encodings: self.extended_encodings + other.extended_encodings,
         }
     }
 }
@@ -256,6 +264,8 @@ pub struct EncodedTable {
     numeric_hits: AtomicU64,
     numeric_misses: AtomicU64,
     code_bytes: AtomicU64,
+    append_rows: AtomicU64,
+    extended: AtomicU64,
     // Reusable scratch for the dense-renumber compose fallback: pre-sized
     // once and cleared (capacity kept) between groups, so a 500k-row
     // overflow composition doesn't pay a rehash storm per prefix step.
@@ -309,6 +319,8 @@ impl EncodedTable {
             numeric_hits: AtomicU64::new(0),
             numeric_misses: AtomicU64::new(0),
             code_bytes: AtomicU64::new(0),
+            append_rows: AtomicU64::new(0),
+            extended: AtomicU64::new(0),
             dense_scratch: Mutex::new(std::collections::HashMap::new()),
         }
     }
@@ -345,6 +357,8 @@ impl EncodedTable {
             hits: self.numeric_hits.load(Ordering::Relaxed),
             misses: self.numeric_misses.load(Ordering::Relaxed),
             narrow_code_bytes: self.code_bytes.load(Ordering::Relaxed),
+            append_rows: self.append_rows.load(Ordering::Relaxed),
+            extended_encodings: self.extended.load(Ordering::Relaxed),
             ..EncodeStats::default()
         })
     }
@@ -424,6 +438,193 @@ impl EncodedTable {
             codes: Codes::from_slice(codes, arity),
             arity,
             distinct,
+        }
+    }
+
+    /// Extend this dataset with an appended row batch, producing a child
+    /// `EncodedTable` over the concatenated table (schema-validated by
+    /// [`Table::concat`]) whose cache is pre-warmed by **extending** the
+    /// parent's resident joint encodings: each cached `Codes` vector keeps
+    /// the parent's rows verbatim and only the batch rows are encoded,
+    /// re-widening u8→u16→u32 storage only when the child's code space
+    /// outgrows the parent's width. Extended entries are inserted without
+    /// counting misses ([`CappedCache::insert_transferred`]) and tallied in
+    /// [`EncodeStats::extended_encodings`]; entries that cannot be provably
+    /// extended are simply left to rebuild cold on first use. Either way
+    /// every child encoding is bit-identical to a cold build over the
+    /// concatenated table.
+    pub fn extend(&self, batch: &Table) -> Result<EncodedTable, crate::table::TableError> {
+        let n_parent = self.table.n_rows();
+        let child_table = Arc::new(self.table.concat(batch)?);
+        let child = EncodedTable::build(child_table, self.caching, self.sets.cap());
+        child.append_rows.store(
+            self.append_rows.load(Ordering::Relaxed) + batch.n_rows() as u64,
+            Ordering::Relaxed,
+        );
+        child
+            .extended
+            .store(self.extended.load(Ordering::Relaxed), Ordering::Relaxed);
+        if !self.caching {
+            return Ok(child);
+        }
+        // Shortest keys first so extended prefixes are resident in the
+        // child cache before longer keys (the dense path reads them back).
+        let mut resident = self.sets.snapshot();
+        resident.sort_by(|(a, _), (b, _)| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        let parent_arities: std::collections::HashMap<Vec<ColId>, u32> =
+            resident.iter().map(|(k, e)| (k.clone(), e.arity)).collect();
+        // Keys whose child codes provably agree with the parent's codes on
+        // the first `n_parent` rows (extension preserves this invariant).
+        let mut stable: std::collections::HashSet<Vec<ColId>> = Default::default();
+        for (key, parent_enc) in resident {
+            if let Some(enc) =
+                child.extend_encoding(&key, &parent_enc, n_parent, &parent_arities, &stable)
+            {
+                child
+                    .code_bytes
+                    .fetch_add(enc.codes.byte_len() as u64, Ordering::Relaxed);
+                child.sets.insert_transferred(key.clone(), Arc::new(enc));
+                child.extended.fetch_add(1, Ordering::Relaxed);
+                stable.insert(key);
+            }
+        }
+        Ok(child)
+    }
+
+    /// Joint arity of a key when its whole compose chain stays in the
+    /// mixed-radix branch (the product of column arities fits `u32` — a
+    /// data-independent property, so parent and child agree on it).
+    fn mixed_key_arity(&self, key: &[ColId]) -> Option<u32> {
+        let mut arity: u64 = 1;
+        for &c in key {
+            let a = self.table.col(c).arity()? as u64;
+            arity = arity.checked_mul(a).filter(|&v| v <= u32::MAX as u64)?;
+        }
+        Some(arity as u32)
+    }
+
+    /// Try to extend one parent encoding onto this (child) table. Returns
+    /// the child encoding — bit-identical to a cold build — or `None` when
+    /// the parent value cannot be provably extended (a branch flip in the
+    /// compose chain, or an unverifiable prefix), in which case the key is
+    /// rebuilt cold on first use instead.
+    fn extend_encoding(
+        &self,
+        key: &[ColId],
+        parent: &Encoding,
+        n_parent: usize,
+        parent_arities: &std::collections::HashMap<Vec<ColId>, u32>,
+        stable: &std::collections::HashSet<Vec<ColId>>,
+    ) -> Option<Encoding> {
+        let n = self.table.n_rows();
+        if key.is_empty() {
+            return Some(Encoding {
+                codes: Codes::U8(vec![0; n]),
+                arity: 1,
+                distinct: usize::from(n > 0),
+            });
+        }
+        if key.len() == 1 {
+            let (codes, arity) = self.column_codes(key[0]);
+            let suffix = codes[n_parent..].to_vec();
+            let codes = extend_codes(&parent.codes, &suffix, arity);
+            let distinct = with_codes!(&codes, |c| count_distinct(c, arity));
+            return Some(Encoding {
+                codes,
+                arity,
+                distinct,
+            });
+        }
+        if let Some(joint) = self.mixed_key_arity(key) {
+            // Fully mixed chain: suffix codes fold straight off the raw
+            // columns (identical to the chained combine), the code space —
+            // and hence the storage width — matches the parent's exactly.
+            debug_assert_eq!(parent.arity, joint);
+            let mut suffix = vec![0u32; n - n_parent];
+            for &c in key {
+                let (codes, a) = self.column_codes(c);
+                for (o, &v) in suffix.iter_mut().zip(&codes[n_parent..]) {
+                    *o = *o * a + v;
+                }
+            }
+            let codes = extend_codes(&parent.codes, &suffix, joint);
+            let distinct = with_codes!(&codes, |c| count_distinct(c, joint));
+            return Some(Encoding {
+                codes,
+                arity: joint,
+                distinct,
+            });
+        }
+        // The chain overflows u32 somewhere. The final compose step can
+        // still be extended when the prefix is provably append-stable and
+        // parent and child take the same branch at this step.
+        let (prefix_key, last) = key.split_at(key.len() - 1);
+        if !stable.contains(prefix_key) && self.mixed_key_arity(prefix_key).is_none() {
+            return None;
+        }
+        let parent_prefix_arity = parent_arities
+            .get(prefix_key)
+            .copied()
+            .or_else(|| self.mixed_key_arity(prefix_key))?;
+        let child_p = self.encode_sorted(prefix_key.to_vec());
+        let child_c = self.encode_sorted(vec![last[0]]);
+        let arity_c = child_c.arity;
+        let parent_joint = parent_prefix_arity as u64 * arity_c as u64;
+        let child_joint = child_p.arity as u64 * arity_c as u64;
+        let fits = |j: u64| j <= u32::MAX as u64;
+        if fits(parent_joint) != fits(child_joint) {
+            // Branch flip: the prefix's dense code space grew past the
+            // radix bound, so the parent's codes live in a different code
+            // space than a cold child build would produce.
+            return None;
+        }
+        if fits(child_joint) {
+            let joint = child_joint as u32;
+            let mut suffix = vec![0u32; n - n_parent];
+            with_codes!(&child_p.codes, |p| with_codes!(&child_c.codes, |q| {
+                for ((o, &pc), &cc) in suffix.iter_mut().zip(&p[n_parent..]).zip(&q[n_parent..]) {
+                    *o = pc.widen() * arity_c + cc.widen();
+                }
+            }));
+            let codes = extend_codes(&parent.codes, &suffix, joint);
+            let distinct = with_codes!(&codes, |c| count_distinct(c, joint));
+            Some(Encoding {
+                codes,
+                arity: joint,
+                distinct,
+            })
+        } else {
+            // Both dense: replay the parent's first-occurrence numbering
+            // from its own codes, then number new pairs starting at the
+            // parent's distinct count — exactly what a cold build's
+            // first-occurrence sweep over the concatenated rows produces.
+            let mut map: std::collections::HashMap<u64, u32> =
+                std::collections::HashMap::with_capacity(parent.distinct + (n - n_parent));
+            let mut suffix = Vec::with_capacity(n - n_parent);
+            let mut next = parent.distinct as u32;
+            with_codes!(&child_p.codes, |p| with_codes!(&child_c.codes, |q| {
+                for i in 0..n_parent {
+                    let pair = p[i].widen() as u64 * arity_c as u64 + q[i].widen() as u64;
+                    map.entry(pair).or_insert_with(|| parent.codes.get(i));
+                }
+                for i in n_parent..n {
+                    let pair = p[i].widen() as u64 * arity_c as u64 + q[i].widen() as u64;
+                    let code = *map.entry(pair).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    });
+                    suffix.push(code);
+                }
+            }));
+            let distinct = next as usize;
+            let arity = (distinct as u32).max(1);
+            let codes = extend_codes(&parent.codes, &suffix, arity);
+            Some(Encoding {
+                codes,
+                arity,
+                distinct,
+            })
         }
     }
 
@@ -517,6 +718,42 @@ fn compose_codes<P: CodeValue, C: CodeValue>(
     };
     let distinct = with_codes!(&out, |o| count_distinct(o, joint));
     (out, distinct)
+}
+
+/// Append `suffix` (full-width codes already known to fit the child code
+/// space) onto a parent's narrow code vector, re-widening the storage only
+/// when `width_for(arity)` outgrows the parent's width.
+fn extend_codes(parent: &Codes, suffix: &[u32], arity: u32) -> Codes {
+    let width = Codes::width_for(arity);
+    debug_assert!(width >= parent.width(), "a child code space never shrinks");
+    if width == parent.width() {
+        match parent {
+            Codes::U8(v) => {
+                let mut v = v.clone();
+                v.extend(suffix.iter().map(|&c| c as u8));
+                Codes::U8(v)
+            }
+            Codes::U16(v) => {
+                let mut v = v.clone();
+                v.extend(suffix.iter().map(|&c| c as u16));
+                Codes::U16(v)
+            }
+            Codes::U32(v) => {
+                let mut v = v.clone();
+                v.extend_from_slice(suffix);
+                Codes::U32(v)
+            }
+        }
+    } else if width == 2 {
+        let mut v: Vec<u16> =
+            with_codes!(parent, |p| p.iter().map(|&c| c.widen() as u16).collect());
+        v.extend(suffix.iter().map(|&c| c as u16));
+        Codes::U16(v)
+    } else {
+        let mut v = parent.to_u32_vec();
+        v.extend_from_slice(suffix);
+        Codes::U32(v)
+    }
 }
 
 fn combine<P: CodeValue, C: CodeValue, O: CodeValue>(p: &[P], col: &[C], arity: u32) -> Vec<O> {
@@ -779,6 +1016,123 @@ mod tests {
         }
         assert_eq!(capped.cache_cap(), 2);
         assert_eq!(unbounded.cache_cap(), DEFAULT_CACHE_CAP);
+    }
+
+    #[test]
+    fn extend_matches_cold_build_bit_for_bit() {
+        let parent_t = table();
+        let parent = EncodedTable::new(&parent_t);
+        // Warm a spread of sets, including composed ones.
+        let sets: Vec<Vec<ColId>> = vec![vec![], vec![0], vec![2], vec![0, 1], vec![0, 1, 2]];
+        for s in &sets {
+            parent.encode(s);
+        }
+        let batch = Table::new(vec![
+            Column::cat("a", Role::Feature, vec![1, 0, 1], 2),
+            Column::cat("b", Role::Feature, vec![0, 2, 1], 3),
+            Column::cat("c", Role::Feature, vec![1, 1, 0], 2),
+            Column::num("x", Role::Feature, vec![5.0, 6.0, 7.0]),
+        ])
+        .unwrap();
+        let child = parent.extend(&batch).unwrap();
+        let cold = EncodedTable::new(&parent_t.concat(&batch).unwrap());
+        assert_eq!(child.n_rows(), 7);
+        // Every warm set was transferred, none of them cost a miss.
+        assert_eq!(child.stats().misses, 0);
+        assert!(child.cached_sets() >= sets.len());
+        for s in &sets {
+            let w = child.encode(s);
+            let c = cold.encode(s);
+            assert_eq!(w.codes, c.codes, "set {s:?}");
+            assert_eq!(w.arity, c.arity, "set {s:?}");
+            assert_eq!(w.distinct, c.distinct, "set {s:?}");
+        }
+        let stats = child.stats();
+        assert_eq!(stats.append_rows, 3);
+        // Resident in the parent: {}, {0}, {1}, {2}, {0,1}, {0,1,2} — the
+        // intermediate single {1} rides along with the requested sets.
+        assert_eq!(stats.extended_encodings, 6);
+        assert_eq!(stats.misses, 0, "transferred sets never recompute");
+    }
+
+    #[test]
+    fn extend_chains_accumulate_counters() {
+        let parent_t = table();
+        let parent = EncodedTable::new(&parent_t);
+        parent.encode(&[0, 1]);
+        let batch = Table::new(vec![
+            Column::cat("a", Role::Feature, vec![0], 2),
+            Column::cat("b", Role::Feature, vec![1], 3),
+            Column::cat("c", Role::Feature, vec![0], 2),
+            Column::num("x", Role::Feature, vec![9.0]),
+        ])
+        .unwrap();
+        let child = parent.extend(&batch).unwrap();
+        let grandchild = child.extend(&batch).unwrap();
+        let s = grandchild.stats();
+        assert_eq!(s.append_rows, 2, "lineage-cumulative rows");
+        // {a}, {b}, {a,b} transferred at each generation.
+        assert_eq!(s.extended_encodings, 6);
+        // The child encoding still matches a cold double-concat build.
+        let cold_t = parent_t.concat(&batch).unwrap().concat(&batch).unwrap();
+        let cold = EncodedTable::new(&cold_t);
+        assert_eq!(grandchild.encode(&[0, 1]).codes, cold.encode(&[0, 1]).codes);
+    }
+
+    #[test]
+    fn extend_rejects_schema_mismatch() {
+        let parent = EncodedTable::new(&table());
+        let bad = Table::new(vec![Column::cat("a", Role::Feature, vec![0], 2)]).unwrap();
+        assert!(parent.extend(&bad).is_err());
+    }
+
+    #[test]
+    fn extend_dense_path_rewidens_and_matches_cold() {
+        // Two wide columns overflow u32 at the final compose step, so the
+        // cached joint encoding is dense-renumbered. The parent observes
+        // few distinct pairs (u8 storage); the appended batch pushes the
+        // distinct count past 256, forcing the extension to re-widen the
+        // carried codes to u16 — and the result must still match a cold
+        // build on the concatenated table bit for bit.
+        let arity = 70_000u32;
+        let parent_rows = 300usize;
+        let batch_rows = 200usize;
+        let pcodes: Vec<u32> = (0..parent_rows).map(|i| (i % 200) as u32).collect();
+        let parent_t = Table::new(vec![
+            Column::cat("u", Role::Feature, pcodes.clone(), arity),
+            Column::cat(
+                "v",
+                Role::Feature,
+                pcodes.iter().map(|&c| c * 2).collect(),
+                arity,
+            ),
+        ])
+        .unwrap();
+        let parent = EncodedTable::new(&parent_t);
+        let e = parent.encode(&[0, 1]);
+        assert!(e.arity as usize <= parent_rows, "dense renumbering");
+        assert_eq!(e.codes.width(), 1, "parent fits u8");
+        // Batch rows introduce fresh pairs: distinct goes 200 -> 400.
+        let bcodes: Vec<u32> = (0..batch_rows).map(|i| 1000 + i as u32).collect();
+        let batch = Table::new(vec![
+            Column::cat("u", Role::Feature, bcodes.clone(), arity),
+            Column::cat(
+                "v",
+                Role::Feature,
+                bcodes.iter().map(|&c| c * 2).collect(),
+                arity,
+            ),
+        ])
+        .unwrap();
+        let child = parent.extend(&batch).unwrap();
+        let cold = EncodedTable::new(&parent_t.concat(&batch).unwrap());
+        let w = child.encode(&[0, 1]);
+        let c = cold.encode(&[0, 1]);
+        assert_eq!(w.codes, c.codes);
+        assert_eq!(w.arity, c.arity);
+        assert_eq!(w.distinct, c.distinct);
+        assert_eq!(w.codes.width(), 2, "extension re-widened u8 -> u16");
+        assert!(child.stats().extended_encodings > 0);
     }
 
     #[test]

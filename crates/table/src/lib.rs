@@ -32,8 +32,8 @@ pub mod integrate;
 pub mod lru;
 pub mod table;
 
-pub use codec::{decode_table, encode_table, CodecError};
+pub use codec::{decode_row_batch, decode_table, encode_row_batch, encode_table, CodecError};
 pub use encode::{CodeValue, Codes, EncodeStats, EncodedTable, Encoding, DEFAULT_CACHE_CAP};
 pub use integrate::SourceRegistry;
 pub use lru::CappedCache;
-pub use table::{ColId, Column, ColumnData, Role, Table, TableError};
+pub use table::{ColId, Column, ColumnData, Role, StableSplit, Table, TableError};

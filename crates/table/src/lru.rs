@@ -35,6 +35,10 @@ pub struct CappedCache<K, V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Inserts that actually took residency (racing duplicates excluded) —
+    /// with `evictions`, the exact ledger behind the scaffold conservation
+    /// law: `inserted == len() + evictions` at every instant.
+    inserted: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
@@ -47,6 +51,7 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
         }
     }
 
@@ -89,6 +94,16 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Resident entries, in unspecified order, without touching hit or
+    /// recency telemetry. The dataset-extension path walks a parent
+    /// cache's resident set through this to extend each value in place.
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let map = self.map.read().expect("cache lock");
+        map.iter()
+            .map(|(k, s)| (k.clone(), s.value.clone()))
+            .collect()
+    }
+
     /// Insert a freshly computed value, evicting the least-recently-used
     /// entry if the cache is full. Counts a miss. When another thread
     /// raced the same key in first, the resident value wins and is
@@ -96,6 +111,18 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
     /// and keeping one canonical handle preserves `Arc` sharing.
     pub fn insert(&self, key: K, value: V) -> V {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.insert_inner(key, value)
+    }
+
+    /// Insert a value carried over from a parent cache on dataset
+    /// extension. Identical to [`CappedCache::insert`] except no miss is
+    /// counted: the value was structurally extended, not recomputed, and
+    /// the miss counter is the honest measure of computation.
+    pub fn insert_transferred(&self, key: K, value: V) -> V {
+        self.insert_inner(key, value)
+    }
+
+    fn insert_inner(&self, key: K, value: V) -> V {
         let mut map = self.map.write().expect("cache lock");
         if let Some(existing) = map.get(&key) {
             return existing.value.clone();
@@ -115,6 +142,7 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
                 None => break,
             }
         }
+        self.inserted.fetch_add(1, Ordering::Relaxed);
         map.insert(
             key,
             Slot {
@@ -123,6 +151,17 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
             },
         );
         value
+    }
+
+    /// Inserts that took residency (transfers included, racing losers
+    /// excluded). Structurally `inserted() == len() + evictions()`.
+    pub fn inserted(&self) -> u64 {
+        self.inserted.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Cumulative telemetry.
@@ -164,6 +203,8 @@ mod tests {
         assert!(c.get(&1).is_some());
         assert!(c.get(&3).is_some());
         assert_eq!(c.stats().evictions, 1);
+        // Conservation ledger: every resident entry was inserted once.
+        assert_eq!(c.inserted(), c.len() as u64 + c.evictions());
     }
 
     #[test]
@@ -173,6 +214,22 @@ mod tests {
         let b = c.insert(7, Arc::new(2));
         assert!(Arc::ptr_eq(&a, &b), "second insert must return resident");
         assert_eq!(c.len(), 1);
+        assert_eq!(c.inserted(), 1, "racing loser must not count as inserted");
+    }
+
+    #[test]
+    fn snapshot_and_transfer_insert_skip_telemetry() {
+        let c: CappedCache<u32, Arc<u32>> = CappedCache::new(8);
+        c.insert(1, Arc::new(10));
+        c.insert_transferred(2, Arc::new(20));
+        let mut snap = c.snapshot();
+        snap.sort_by_key(|(k, _)| *k);
+        assert_eq!(snap.len(), 2);
+        assert_eq!((snap[0].0, *snap[0].1), (1, 10));
+        assert_eq!((snap[1].0, *snap[1].1), (2, 20));
+        let s = c.stats();
+        // One real insert, one transfer, no gets: 1 miss, 0 hits.
+        assert_eq!((s.hits, s.misses), (0, 1));
     }
 
     #[test]

@@ -185,6 +185,8 @@ pub enum TableError {
     UnknownColumn(String),
     /// Join key problems (missing key, non-unique right key, dangling FK).
     JoinError(String),
+    /// An appended row batch does not match the parent schema.
+    SchemaMismatch(String),
 }
 
 impl fmt::Display for TableError {
@@ -200,11 +202,36 @@ impl fmt::Display for TableError {
             TableError::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
             TableError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             TableError::JoinError(m) => write!(f, "join error: {m}"),
+            TableError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
         }
     }
 }
 
 impl std::error::Error for TableError {}
+
+/// Result of [`Table::split_rows_stable`]: both halves in ascending row
+/// order, plus whether the deterministic fallback cut was taken (in which
+/// case the append-stable prefix property does not hold).
+#[derive(Debug)]
+pub struct StableSplit {
+    /// Training rows (ascending original row order).
+    pub train: Table,
+    /// Held-out rows (ascending original row order).
+    pub test: Table,
+    /// True when thresholding left a side empty and a prefix cut was used.
+    pub fallback: bool,
+}
+
+/// Stable per-row hash (splitmix64 finalizer over a seed/row mix): the
+/// train-membership coin for [`Table::split_rows_stable`]. Depends only on
+/// `(seed, row)`, so appended rows never reshuffle existing ones.
+fn stable_row_hash(seed: u64, row: u64) -> u64 {
+    let mut z = seed ^ row.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A columnar table: equal-length named columns plus a name index.
 #[derive(Clone, Debug)]
@@ -381,6 +408,123 @@ impl Table {
         let cut = ((self.n_rows as f64) * train_frac).round() as usize;
         let cut = cut.clamp(1, self.n_rows.saturating_sub(1).max(1));
         (self.take_rows(&rows[..cut]), self.take_rows(&rows[cut..]))
+    }
+
+    /// Concatenate a row batch with an identical schema onto this table.
+    /// Every column must agree in name, order, role, kind, and (for
+    /// categorical columns) arity — an appended batch extends the parent's
+    /// code dictionaries, it never redefines them.
+    pub fn concat(&self, batch: &Table) -> Result<Table, TableError> {
+        if batch.n_cols() != self.n_cols() {
+            return Err(TableError::SchemaMismatch(format!(
+                "batch has {} columns, parent has {}",
+                batch.n_cols(),
+                self.n_cols()
+            )));
+        }
+        for (a, b) in self.columns.iter().zip(batch.columns()) {
+            if a.name != b.name {
+                return Err(TableError::SchemaMismatch(format!(
+                    "column {:?} in parent vs {:?} in batch",
+                    a.name, b.name
+                )));
+            }
+            if a.role != b.role {
+                return Err(TableError::SchemaMismatch(format!(
+                    "column {:?}: role {} in parent vs {} in batch",
+                    a.name, a.role, b.role
+                )));
+            }
+            match (&a.data, &b.data) {
+                (ColumnData::Cat { arity: pa, .. }, ColumnData::Cat { arity: ba, .. }) => {
+                    if pa != ba {
+                        return Err(TableError::SchemaMismatch(format!(
+                            "column {:?}: arity {pa} in parent vs {ba} in batch \
+                             (a batch may not widen or narrow the code dictionary)",
+                            a.name
+                        )));
+                    }
+                }
+                (ColumnData::Num(_), ColumnData::Num(_)) => {}
+                _ => {
+                    return Err(TableError::SchemaMismatch(format!(
+                        "column {:?}: categorical/numeric kind differs",
+                        a.name
+                    )))
+                }
+            }
+        }
+        let columns = self
+            .columns
+            .iter()
+            .zip(batch.columns())
+            .map(|(a, b)| {
+                let data = match (&a.data, &b.data) {
+                    (ColumnData::Cat { codes, arity }, ColumnData::Cat { codes: more, .. }) => {
+                        let mut all = Vec::with_capacity(codes.len() + more.len());
+                        all.extend_from_slice(codes);
+                        all.extend_from_slice(more);
+                        ColumnData::Cat {
+                            codes: all,
+                            arity: *arity,
+                        }
+                    }
+                    (ColumnData::Num(v), ColumnData::Num(more)) => {
+                        let mut all = Vec::with_capacity(v.len() + more.len());
+                        all.extend_from_slice(v);
+                        all.extend_from_slice(more);
+                        ColumnData::Num(all)
+                    }
+                    _ => unreachable!("kinds validated above"),
+                };
+                Column {
+                    name: a.name.clone(),
+                    role: a.role,
+                    data,
+                }
+            })
+            .collect();
+        Table::new(columns)
+    }
+
+    /// Row-stable train/test split: row `i` is a training row iff a stable
+    /// hash of `(seed, i)` falls below the `train_frac` threshold, and both
+    /// sides keep ascending row order. Membership depends only on
+    /// `(seed, i)` — never on the table length — so splitting a table
+    /// extended by appended rows yields exactly the parent's split plus the
+    /// new rows (the prefix property the streaming-append path relies on).
+    ///
+    /// When thresholding leaves either side empty (tiny tables, extreme
+    /// fractions) a deterministic prefix cut is used instead and
+    /// [`StableSplit::fallback`] is set — the prefix property does not hold
+    /// across a fallback, so extenders must rebuild cold in that case.
+    pub fn split_rows_stable(&self, seed: u64, train_frac: f64) -> StableSplit {
+        assert!(
+            (0.0..1.0).contains(&train_frac) && train_frac > 0.0,
+            "train_frac must be in (0,1)"
+        );
+        let threshold = (train_frac * (u64::MAX as f64)) as u64;
+        let mut train_rows = Vec::new();
+        let mut test_rows = Vec::new();
+        for i in 0..self.n_rows {
+            if stable_row_hash(seed, i as u64) < threshold {
+                train_rows.push(i);
+            } else {
+                test_rows.push(i);
+            }
+        }
+        let fallback = self.n_rows > 0 && (train_rows.is_empty() || test_rows.is_empty());
+        if fallback {
+            let cut = ((self.n_rows as f64) * train_frac).round() as usize;
+            let cut = cut.clamp(1, self.n_rows.saturating_sub(1).max(1));
+            train_rows = (0..cut.min(self.n_rows)).collect();
+            test_rows = (cut.min(self.n_rows)..self.n_rows).collect();
+        }
+        StableSplit {
+            train: self.take_rows(&train_rows),
+            test: self.take_rows(&test_rows),
+            fallback,
+        }
     }
 
     /// Hash PK-FK join: `self` (fact table, FK in `left_key`) against
@@ -622,6 +766,123 @@ mod tests {
             train.expect_column("income").to_f64(),
             train2.expect_column("income").to_f64()
         );
+    }
+
+    #[test]
+    fn concat_appends_rows_with_matching_schema() {
+        let t = people();
+        let batch = Table::new(vec![
+            Column::cat("id", Role::Key, vec![0], 4),
+            Column::cat("gender", Role::Sensitive, vec![1], 2),
+            Column::cat("plan", Role::Admissible, vec![0], 2),
+            Column::num("income", Role::Feature, vec![61.5]),
+            Column::cat("approved", Role::Target, vec![1], 2),
+        ])
+        .unwrap();
+        let child = t.concat(&batch).unwrap();
+        assert_eq!(child.n_rows(), 5);
+        assert_eq!(child.schema_string(), t.schema_string());
+        assert_eq!(
+            child.expect_column("income").to_f64(),
+            vec![30.0, 45.0, 52.0, 38.0, 61.5]
+        );
+        assert_eq!(
+            child.expect_column("gender").codes().unwrap(),
+            &[0, 1, 0, 1, 1]
+        );
+    }
+
+    #[test]
+    fn concat_rejects_schema_mismatches() {
+        let t = people();
+        // Wrong arity.
+        let wrong_arity = Table::new(vec![
+            Column::cat("id", Role::Key, vec![0], 4),
+            Column::cat("gender", Role::Sensitive, vec![2], 3),
+            Column::cat("plan", Role::Admissible, vec![0], 2),
+            Column::num("income", Role::Feature, vec![1.0]),
+            Column::cat("approved", Role::Target, vec![1], 2),
+        ])
+        .unwrap();
+        let err = t.concat(&wrong_arity).unwrap_err();
+        assert!(matches!(err, TableError::SchemaMismatch(_)), "{err}");
+        assert!(err.to_string().contains("arity"));
+        // Wrong column count.
+        let narrow = t.select(&["gender", "approved"]).unwrap();
+        assert!(matches!(
+            t.concat(&narrow),
+            Err(TableError::SchemaMismatch(_))
+        ));
+        // Wrong kind.
+        let wrong_kind = Table::new(vec![
+            Column::cat("id", Role::Key, vec![0], 4),
+            Column::cat("gender", Role::Sensitive, vec![1], 2),
+            Column::cat("plan", Role::Admissible, vec![0], 2),
+            Column::cat("income", Role::Feature, vec![0], 2),
+            Column::cat("approved", Role::Target, vec![1], 2),
+        ])
+        .unwrap();
+        assert!(matches!(
+            t.concat(&wrong_kind),
+            Err(TableError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn stable_split_is_append_stable() {
+        // The prefix property: splitting the concatenated table yields the
+        // parent's train rows followed by the batch's train rows.
+        let rows = 400usize;
+        let mk = |n: usize, offset: usize| {
+            Table::new(vec![
+                Column::cat(
+                    "s",
+                    Role::Sensitive,
+                    (0..n).map(|i| ((i + offset) % 2) as u32).collect(),
+                    2,
+                ),
+                Column::num(
+                    "x",
+                    Role::Feature,
+                    (0..n).map(|i| (i + offset) as f64).collect(),
+                ),
+            ])
+            .unwrap()
+        };
+        let parent = mk(rows, 0);
+        let batch = mk(60, rows);
+        let child = parent.concat(&batch).unwrap();
+        let ps = parent.split_rows_stable(7, 0.8);
+        let cs = child.split_rows_stable(7, 0.8);
+        assert!(!ps.fallback && !cs.fallback);
+        assert_eq!(
+            ps.train.n_rows() + ps.test.n_rows(),
+            rows,
+            "split partitions rows"
+        );
+        // Parent train rows are a prefix of the child train rows (x carries
+        // the original row index, so compare by value).
+        let pt = ps.train.expect_column("x").to_f64();
+        let ct = cs.train.expect_column("x").to_f64();
+        assert_eq!(&ct[..pt.len()], &pt[..]);
+        let pe = ps.test.expect_column("x").to_f64();
+        let ce = cs.test.expect_column("x").to_f64();
+        assert_eq!(&ce[..pe.len()], &pe[..]);
+        // Deterministic; different seeds differ.
+        let again = parent.split_rows_stable(7, 0.8);
+        assert_eq!(pt, again.train.expect_column("x").to_f64());
+        let other = parent.split_rows_stable(8, 0.8);
+        assert_ne!(pt, other.train.expect_column("x").to_f64());
+    }
+
+    #[test]
+    fn stable_split_falls_back_on_degenerate_tables() {
+        let t = people(); // 4 rows
+                          // With a fraction this extreme, thresholding will usually empty the
+                          // test side on 4 rows; either way both sides must end non-empty.
+        let s = t.split_rows_stable(3, 0.99);
+        assert!(s.train.n_rows() >= 1 && s.test.n_rows() >= 1);
+        assert_eq!(s.train.n_rows() + s.test.n_rows(), 4);
     }
 
     #[test]

@@ -1488,8 +1488,8 @@ mod server_equivalence {
     fn local_body(req: &WorkloadRequest) -> String {
         let table =
             csv::from_csv_string(req.dataset.as_csv().expect("inline csv workload")).expect("csv");
-        let mut rng = StdRng::seed_from_u64(req.seed);
-        let (train, test) = table.split_train_test(&mut rng, req.train_frac);
+        let split = table.split_rows_stable(req.seed, req.train_frac);
+        let (train, test) = (split.train, split.test);
         let cfg = pipeline_config(req, train.n_rows()).expect("config");
         let out = run_pipeline_batched(GTest::new(&train, req.alpha), &train, &test, &cfg);
         render_pipeline_report(&out, &train, &cfg, test.n_rows())
@@ -1614,8 +1614,8 @@ mod server_saturation {
 
     fn local_body(req: &WorkloadRequest) -> String {
         let table = csv::from_csv_string(req.dataset.as_csv().expect("inline csv")).expect("csv");
-        let mut rng = StdRng::seed_from_u64(req.seed);
-        let (train, test) = table.split_train_test(&mut rng, req.train_frac);
+        let split = table.split_rows_stable(req.seed, req.train_frac);
+        let (train, test) = (split.train, split.test);
         let cfg = pipeline_config(req, train.n_rows()).expect("config");
         let out = run_pipeline_batched(GTest::new(&train, req.alpha), &train, &test, &cfg);
         render_pipeline_report(&out, &train, &cfg, test.n_rows())
@@ -1763,8 +1763,8 @@ mod fp_addressed_requests {
         // The local reference body.
         let csv_wl = WorkloadRequest::with_csv(csv_text.clone());
         let parsed = csv::from_csv_string(&csv_text).expect("csv");
-        let mut rng = StdRng::seed_from_u64(csv_wl.seed);
-        let (train, test) = parsed.split_train_test(&mut rng, csv_wl.train_frac);
+        let split = parsed.split_rows_stable(csv_wl.seed, csv_wl.train_frac);
+        let (train, test) = (split.train, split.test);
         let cfg = pipeline_config(&csv_wl, train.n_rows()).expect("config");
         let out = run_pipeline_batched(GTest::new(&train, csv_wl.alpha), &train, &test, &cfg);
         let expected = render_pipeline_report(&out, &train, &cfg, test.n_rows());
@@ -1933,8 +1933,8 @@ mod observability {
                 ..Default::default()
             };
             let run = || {
-                let mut rng = StdRng::seed_from_u64(wl.seed);
-                let (train, test) = table.split_train_test(&mut rng, wl.train_frac);
+                let split = table.split_rows_stable(wl.seed, wl.train_frac);
+                let (train, test) = (split.train, split.test);
                 let cfg = pipeline_config(&wl, train.n_rows()).expect("config");
                 let out = run_pipeline_batched(GTest::new(&train, wl.alpha), &train, &test, &cfg);
                 let body = render_pipeline_report(&out, &train, &cfg, test.n_rows());
@@ -2090,5 +2090,247 @@ mod observability {
         assert!(prom.contains("# TYPE fairsel_request_wall_ms histogram"));
 
         handle.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod streaming_append {
+    //! The streaming-append tentpole contract, verified for every
+    //! batch-aware tester: a session **extended** over an appended row
+    //! batch (`CiSession::extended_over`) answers any workload
+    //! byte-identically to a **cold** session on the concatenated table
+    //! — same p-value and statistic bits, same engine counters — at
+    //! workers 1/2/4/8, and the scaffold ledger conserves exactly
+    //! (`extended + rebuilt == resident + evicted`) at birth and after
+    //! every query.
+
+    use fairsel_ci::{CiTestBatch, FisherZ, GTest, PermutationCmi, Rcit, VarId};
+    use fairsel_datasets::sim::sample_table;
+    use fairsel_datasets::synthetic::{synthetic_instance, synthetic_scm, SyntheticConfig};
+    use fairsel_engine::{CiQuery, CiSession};
+    use fairsel_table::{EncodedTable, Table, DEFAULT_CACHE_CAP};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn sampled(seed: u64, n_features: usize, rows: usize) -> Table {
+        let cfg = SyntheticConfig {
+            n_features,
+            biased_fraction: 0.2,
+            predictive_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = synthetic_instance(&mut rng, &cfg);
+        let scm = synthetic_scm(&mut rng, &inst, 1.5);
+        sample_table(&scm, &inst.roles, rows, &mut rng)
+    }
+
+    /// Selector-shaped random workload (same shape as the batch
+    /// equivalence suite uses): small group sides, conditioning sets of
+    /// 0–3 variables, deliberate repeats.
+    fn workload(rng: &mut StdRng, n_vars: usize, count: usize) -> Vec<CiQuery> {
+        let side = |max: usize, rng: &mut StdRng| -> Vec<VarId> {
+            let len = rng.gen_range(1..=max);
+            (0..len).map(|_| rng.gen_range(0..n_vars)).collect()
+        };
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let x = side(3, rng);
+            let y = side(2, rng);
+            let zlen = rng.gen_range(0..=3usize);
+            let z: Vec<VarId> = (0..zlen).map(|_| rng.gen_range(0..n_vars)).collect();
+            out.push(CiQuery::new(&x, &y, &z));
+            if rng.gen_range(0..4) == 0 {
+                out.push(CiQuery::new(&y, &x, &z));
+            }
+        }
+        out
+    }
+
+    /// Warm a parent session, extend it over `batch`, and drive the
+    /// extended session against a cold session on the concatenated
+    /// table with the same probe workload.
+    #[allow(clippy::too_many_arguments)]
+    fn assert_append_matches_cold<T: CiTestBatch, C: CiTestBatch>(
+        parent: T,
+        parent_enc: Arc<EncodedTable>,
+        cold: C,
+        batch: &Table,
+        warm: &[CiQuery],
+        probe: &[CiQuery],
+        workers: usize,
+        extendable: bool,
+        min_extended_encodings: u64,
+        label: &str,
+    ) {
+        let mut psession = CiSession::new(parent);
+        psession.run_batch_grouped(warm, &[], workers);
+
+        let child_enc = Arc::new(parent_enc.extend(batch).expect("schema-compatible batch"));
+        let mut ext = psession
+            .extended_over(Arc::clone(&child_enc))
+            .expect("every data tester must support extension");
+
+        // Warm-birth ledger: visible before any query, exactly conserved,
+        // outcomes invalidated (p-values change with n).
+        let (b_rows, b_enc, b_ext, b_rebuilt) = {
+            let s = ext.stats();
+            assert!(
+                s.scaffolds_conserved(),
+                "{label} workers {workers}: birth ledger must conserve"
+            );
+            (
+                s.append_rows,
+                s.extended_encodings,
+                s.extended_scaffolds,
+                s.rebuilt_scaffolds,
+            )
+        };
+        assert!(b_rows > 0, "{label}: append_rows ledger empty at birth");
+        assert!(
+            b_enc >= min_extended_encodings,
+            "{label}: extended_encodings {b_enc} < {min_extended_encodings}"
+        );
+        if extendable {
+            assert!(
+                b_ext > 0,
+                "{label} workers {workers}: warm scaffolds must carry over"
+            );
+            assert_eq!(
+                b_rebuilt, 0,
+                "{label} workers {workers}: nothing rebuilt at birth"
+            );
+        } else {
+            assert_eq!(b_ext, 0, "{label}: full-rebuild tester extends nothing");
+        }
+        assert_eq!(
+            ext.cache_len(),
+            0,
+            "{label}: outcome memo must be invalidated by append"
+        );
+
+        // Probe: extended vs cold, bit-for-bit, same counters.
+        let mut cold_session = CiSession::new(cold);
+        let got = ext.run_batch_grouped(probe, &[], workers);
+        let want = cold_session.run_batch_grouped(probe, &[], workers);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                g.independent, w.independent,
+                "{label} q{i} workers {workers}: verdict diverged"
+            );
+            assert_eq!(
+                g.p_value.to_bits(),
+                w.p_value.to_bits(),
+                "{label} q{i} workers {workers}: p-value bits diverged"
+            );
+            assert_eq!(
+                g.statistic.to_bits(),
+                w.statistic.to_bits(),
+                "{label} q{i} workers {workers}: statistic bits diverged"
+            );
+        }
+        assert_eq!(
+            ext.outcomes_fingerprint(),
+            cold_session.outcomes_fingerprint(),
+            "{label} workers {workers}: outcome fingerprints diverged"
+        );
+        let es = ext.stats();
+        let cs = cold_session.stats();
+        assert_eq!(es.requested, cs.requested, "{label}: requested");
+        assert_eq!(es.issued, cs.issued, "{label}: issued");
+        assert_eq!(es.cache_hits, cs.cache_hits, "{label}: cache_hits");
+        assert_eq!(es.batches, cs.batches, "{label}: batches");
+        assert!(
+            es.scaffolds_conserved(),
+            "{label} workers {workers}: ledger must conserve after queries \
+             (extended {} + rebuilt {} != resident {} + evicted {})",
+            es.extended_scaffolds,
+            es.rebuilt_scaffolds,
+            es.resident_scaffolds,
+            es.scaffold_evictions
+        );
+    }
+
+    #[test]
+    fn extended_sessions_match_cold_for_all_testers_at_all_worker_counts() {
+        let full = sampled(61, 10, 800);
+        let n = full.n_rows();
+        let split_at = 600;
+        let base = full.take_rows(&(0..split_at).collect::<Vec<_>>());
+        let batch = full.take_rows(&(split_at..n).collect::<Vec<_>>());
+        let n_vars = full.n_cols();
+        let mut rng = StdRng::seed_from_u64(991);
+        let warm = workload(&mut rng, n_vars, 18);
+        let probe = workload(&mut rng, n_vars, 30);
+
+        let enc_over = |t: &Table| {
+            Arc::new(EncodedTable::from_arc_with_cap(
+                Arc::new(t.clone()),
+                DEFAULT_CACHE_CAP,
+            ))
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let enc = enc_over(&base);
+            assert_append_matches_cold(
+                GTest::over(Arc::clone(&enc), 0.01),
+                enc,
+                GTest::new(&full, 0.01),
+                &batch,
+                &warm,
+                &probe,
+                workers,
+                true,
+                1,
+                "g-test",
+            );
+
+            let enc = enc_over(&base);
+            assert_append_matches_cold(
+                PermutationCmi::over(Arc::clone(&enc), 0.05, 11, 7),
+                enc,
+                PermutationCmi::new(&full, 0.05, 11, 7),
+                &batch,
+                &warm,
+                &probe,
+                workers,
+                true,
+                1,
+                "perm-cmi",
+            );
+
+            let enc = enc_over(&base);
+            assert_append_matches_cold(
+                FisherZ::over(Arc::clone(&enc), 0.01),
+                enc,
+                FisherZ::new(&full, 0.01),
+                &batch,
+                &warm,
+                &probe,
+                workers,
+                true,
+                0,
+                "fisher-z",
+            );
+
+            // RCIT standardizes over the whole sample, so its scaffolds
+            // rebuild rather than extend — the ledger records that and
+            // still conserves, and results still match cold exactly.
+            let parent = Rcit::with_alpha(&base, 0.01, 5);
+            let enc = Arc::clone(parent.encoded());
+            assert_append_matches_cold(
+                parent,
+                enc,
+                Rcit::with_alpha(&full, 0.01, 5),
+                &batch,
+                &warm,
+                &probe,
+                workers,
+                false,
+                0,
+                "rcit",
+            );
+        }
     }
 }
