@@ -97,6 +97,17 @@ pub struct BenchResult {
     /// — the streaming-append reuse currency, validator-enforced nonzero
     /// on the warm rows.
     pub extended_encodings: u64,
+    /// Memoized outcomes re-derived at the new `n` from patched
+    /// sufficient statistics at session extension — nonzero only on the
+    /// `append-reselect-patched` rows, where the validator requires it
+    /// (the proof the re-select paid O(batch) statistical work, not
+    /// O(workload)).
+    pub memo_patched: u64,
+    /// Memoized outcomes the extension could not patch (evicted counts,
+    /// unstable encodings, non-patchable tester) — re-issued on demand.
+    /// Together with `memo_patched` this conserves the parent's memo
+    /// size, validator-enforced against the invalidate-all baseline row.
+    pub memo_invalidated: u64,
 }
 
 impl BenchResult {
@@ -111,7 +122,8 @@ impl BenchResult {
              \"max_ms\":{:.3},\"hist_total\":{},\"rows\":{},\
              \"ns_per_row\":{:.3},\"pvalue_hash\":\"{}\",\
              \"dense_count_cells\":{},\"narrow_code_bytes\":{},\
-             \"append_rows\":{},\"extended_encodings\":{}}}",
+             \"append_rows\":{},\"extended_encodings\":{},\
+             \"memo_patched\":{},\"memo_invalidated\":{}}}",
             self.scenario,
             self.algo,
             self.n_features,
@@ -136,7 +148,9 @@ impl BenchResult {
             self.dense_count_cells,
             self.narrow_code_bytes,
             self.append_rows,
-            self.extended_encodings
+            self.extended_encodings,
+            self.memo_patched,
+            self.memo_invalidated
         )
     }
 
@@ -1005,23 +1019,31 @@ pub fn cache_replay(n_features: usize) -> Vec<BenchResult> {
 }
 
 /// The streaming-append story: a dataset is resident and warm (selected
-/// once), then `batch` new rows arrive. Per batch size, two rows:
+/// once), then `batch` new rows arrive. Per batch size, three rows:
 ///
 /// * `reselect-cold` — the pre-streaming path: the client re-uploads the
 ///   whole concatenated dataset and the server pays CSV-free but full
 ///   cost (fresh encode, fresh scaffolds, every CI test);
-/// * `append-reselect` — the streaming path: the resident encodings are
-///   extended in place over the batch ([`EncodedTable::extend`]), the
-///   session transfers lineage-aware ([`CiSession::extended_over`] —
-///   outcomes invalidated, scaffolds extended), and the workload re-runs.
+/// * `append-reselect` — the invalidate-all streaming path
+///   ([`CiSession::extended_over_invalidating`]): encodings extend in
+///   place, scaffolds transfer, but every memoized outcome is dropped
+///   and the workload re-issues — O(workload) statistical cost, kept as
+///   the measured baseline;
+/// * `append-reselect-patched` — the sufficient-statistic path
+///   ([`CiSession::extended_over`]): resident contingency tables are
+///   patched by counting only the appended rows and memoized outcomes
+///   are re-derived at the new `n` — O(batch) statistical cost.
 ///
-/// Both rows must report the **same** `pvalue_hash` (every outcome bit
-/// identical to the cold run on the concatenated table) and the warm row
-/// must carry nonzero `append_rows`/`extended_encodings` — both enforced
-/// by [`validate_bench_json`]. `req_bytes` tells the transport story:
-/// the cold client re-ships the full dataset frame, the streaming client
-/// ships only the batch frame (zero re-upload of the base) and then
-/// addresses the child by fingerprint.
+/// All three rows must report the **same** `pvalue_hash` (every outcome
+/// bit identical to the cold run on the concatenated table); the warm
+/// rows must carry nonzero `append_rows`/`extended_encodings`; the
+/// patched row must show nonzero `memo_patched`, a conserved ledger
+/// against the baseline's `memo_invalidated`, and `issued` strictly
+/// below the baseline — all enforced by [`validate_bench_json`].
+/// `req_bytes` tells the transport story: the cold client re-ships the
+/// full dataset frame, the streaming clients ship only the batch frame
+/// (zero re-upload of the base) and then address the child by
+/// fingerprint.
 pub fn append_reselect(
     n_features: usize,
     base_rows: usize,
@@ -1074,7 +1096,7 @@ pub fn append_reselect(
             row
         }));
 
-        out.push(median_of_repeats(repeats, || {
+        let warm_row = |algo: &str, patch: bool| {
             // Untimed warm-up: the parent session is resident and has
             // answered the workload once (the steady-state a streaming
             // client appends into).
@@ -1082,12 +1104,19 @@ pub fn append_reselect(
             let mut parent = CiSession::new(GTest::over(Arc::clone(&parent_enc), 0.01));
             let _ = grpsel_batched_in(&mut parent, &problem, &select, None, workers);
             // Timed: extend the encodings over the batch, transfer the
-            // session, and re-run the selection.
+            // session (patching sufficient statistics or invalidating
+            // the memo wholesale), and re-run the selection.
             let t0 = Instant::now();
             let child_enc = Arc::new(parent_enc.extend(&batch).expect("batch matches schema"));
-            let mut child = parent
-                .extended_over(child_enc)
-                .expect("G-test scaffolds extend");
+            let mut child = if patch {
+                parent
+                    .extended_over(child_enc)
+                    .expect("G-test scaffolds extend")
+            } else {
+                parent
+                    .extended_over_invalidating(child_enc)
+                    .expect("G-test scaffolds extend")
+            };
             let selected = grpsel_batched_in(&mut child, &problem, &select, None, workers)
                 .selected()
                 .len();
@@ -1096,7 +1125,7 @@ pub fn append_reselect(
             let stats = child.stats();
             BenchResult {
                 scenario: scenario.clone(),
-                algo: "append-reselect".to_owned(),
+                algo: algo.to_owned(),
                 n_features,
                 requested: stats.requested,
                 issued: stats.issued,
@@ -1110,8 +1139,16 @@ pub fn append_reselect(
                 pvalue_hash: format!("{:016x}", child.outcomes_fingerprint()),
                 append_rows: stats.append_rows,
                 extended_encodings: stats.extended_encodings,
+                memo_patched: stats.memo_patched,
+                memo_invalidated: stats.memo_invalidated,
                 ..Default::default()
             }
+        };
+        out.push(median_of_repeats(repeats, || {
+            warm_row("append-reselect", false)
+        }));
+        out.push(median_of_repeats(repeats, || {
+            warm_row("append-reselect-patched", true)
         }));
     }
     out
@@ -1264,6 +1301,8 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
         "\"narrow_code_bytes\":",
         "\"append_rows\":",
         "\"extended_encodings\":",
+        "\"memo_patched\":",
+        "\"memo_invalidated\":",
     ] {
         let runs = json.matches("\"scenario\":").count();
         if json.matches(key).count() != runs {
@@ -1480,12 +1519,82 @@ pub fn validate_bench_json(json: &str) -> Result<(), String> {
     if !any_append {
         return Err("no append/reselect runs".into());
     }
+    // The sufficient-statistic acceptance signals: every
+    // `append-reselect-patched` row matches the cold digest bit-for-bit,
+    // actually patched resident memos (`memo_patched > 0`), conserves
+    // the parent's memo against the invalidate-all baseline
+    // (patched + invalidated == baseline's invalidated, and the baseline
+    // itself patched nothing), and — the whole point — issued strictly
+    // fewer CI tests after the append than the invalidate-all path.
+    let mut any_patched = false;
+    for r in &runs {
+        if !r.starts_with("append/reselect") || !r.contains("\"algo\":\"append-reselect-patched\",")
+        {
+            continue;
+        }
+        any_patched = true;
+        let scenario = r.split('"').next().unwrap_or("");
+        let cold = find_run(scenario, "reselect-cold")
+            .ok_or_else(|| format!("{scenario}: no reselect-cold twin"))?;
+        let baseline = find_run(scenario, "append-reselect")
+            .ok_or_else(|| format!("{scenario}: no append-reselect baseline twin"))?;
+        let patched_hash = run_field_str(r, "pvalue_hash").ok_or("unreadable pvalue_hash")?;
+        let cold_hash = run_field_str(cold, "pvalue_hash").ok_or("unreadable pvalue_hash")?;
+        if patched_hash.is_empty() || patched_hash != cold_hash {
+            return Err(format!(
+                "{scenario}: patched re-select disagrees with cold outcome bits \
+                 ({patched_hash:?} vs {cold_hash:?})"
+            ));
+        }
+        let memo_patched = run_field(r, "memo_patched").ok_or("unreadable memo_patched")?;
+        if memo_patched == 0 {
+            return Err(format!("{scenario}: patched re-select patched no memos"));
+        }
+        let memo_invalidated =
+            run_field(r, "memo_invalidated").ok_or("unreadable memo_invalidated")?;
+        let base_patched = run_field(baseline, "memo_patched").ok_or("unreadable memo_patched")?;
+        let base_invalidated =
+            run_field(baseline, "memo_invalidated").ok_or("unreadable memo_invalidated")?;
+        if base_patched != 0 {
+            return Err(format!(
+                "{scenario}: invalidate-all baseline claims {base_patched} patched memos"
+            ));
+        }
+        if memo_patched + memo_invalidated != base_invalidated {
+            return Err(format!(
+                "{scenario}: patched memo ledger not conserved \
+                 ({memo_patched} + {memo_invalidated} != {base_invalidated})"
+            ));
+        }
+        let patched_issued = run_field(r, "issued").ok_or("unreadable issued")?;
+        let base_issued = run_field(baseline, "issued").ok_or("unreadable issued")?;
+        if patched_issued >= base_issued {
+            return Err(format!(
+                "{scenario}: patched re-select issued {patched_issued} CI tests, \
+                 not under the invalidate-all baseline's {base_issued}"
+            ));
+        }
+    }
+    if !any_patched {
+        return Err("no append-reselect-patched runs".into());
+    }
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The committed benchmark document must pass the same validator CI
+    /// runs on smoke output — including the append/reselect patched-row
+    /// ledger and issued-work checks. A hand-edited or stale
+    /// `BENCH_engine.json` fails tier-1, not just the bench workflow.
+    #[test]
+    fn committed_bench_document_validates() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+        let json = std::fs::read_to_string(path).expect("read committed BENCH_engine.json");
+        validate_bench_json(&json).expect("committed BENCH_engine.json must validate");
+    }
 
     /// Manual perf probe: repeated 500k rows-scaling rounds so run-to-run
     /// noise is visible. Run with `--ignored --nocapture`; drop workers to
@@ -1639,7 +1748,8 @@ mod tests {
              \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":0,\
              \"ns_per_row\":0.000,\"pvalue_hash\":\"\",\
              \"dense_count_cells\":0,\"narrow_code_bytes\":0,\
-             \"append_rows\":0,\"extended_encodings\":0}}",
+             \"append_rows\":0,\"extended_encodings\":0,\
+             \"memo_patched\":0,\"memo_invalidated\":0}}",
             spec.0, spec.1
         )
     }
@@ -1661,7 +1771,8 @@ mod tests {
              \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":{rows},\
              \"ns_per_row\":12.500,\"pvalue_hash\":\"{hash}\",\
              \"dense_count_cells\":{dense},\"narrow_code_bytes\":{narrow},\
-             \"append_rows\":0,\"extended_encodings\":0}}"
+             \"append_rows\":0,\"extended_encodings\":0,\
+             \"memo_patched\":0,\"memo_invalidated\":0}}"
         )
     }
 
@@ -1675,27 +1786,33 @@ mod tests {
              \"p99_ms\":{p99},\"max_ms\":{max},\"hist_total\":{total},\"rows\":0,\
              \"ns_per_row\":0.000,\"pvalue_hash\":\"\",\
              \"dense_count_cells\":0,\"narrow_code_bytes\":0,\
-             \"append_rows\":0,\"extended_encodings\":0}}"
+             \"append_rows\":0,\"extended_encodings\":0,\
+             \"memo_patched\":0,\"memo_invalidated\":0}}"
         )
     }
 
     /// A fake append/reselect run with explicit streaming columns.
+    /// `memo` is the `(memo_patched, memo_invalidated)` ledger pair.
     fn fake_append_run(
         algo: &str,
         hash: &str,
         appended: u64,
         extended: u64,
         req_bytes: u64,
+        issued: u64,
+        memo: (u64, u64),
     ) -> String {
         format!(
-            "{{\"scenario\":\"append/reselect/x\",\"algo\":\"{algo}\",\"issued\":6,\
+            "{{\"scenario\":\"append/reselect/x\",\"algo\":\"{algo}\",\"issued\":{issued},\
              \"cache_hits\":9,\"speculative_issued\":0,\"speculative_hits\":0,\
              \"encode_hits\":5,\"encode_misses\":9,\"wall_ms\":1.0,\
              \"req_bytes\":{req_bytes},\"p50_ms\":0.000,\"p95_ms\":0.000,\
              \"p99_ms\":0.000,\"max_ms\":0.000,\"hist_total\":0,\"rows\":1000,\
              \"ns_per_row\":0.000,\"pvalue_hash\":\"{hash}\",\
              \"dense_count_cells\":0,\"narrow_code_bytes\":0,\
-             \"append_rows\":{appended},\"extended_encodings\":{extended}}}"
+             \"append_rows\":{appended},\"extended_encodings\":{extended},\
+             \"memo_patched\":{},\"memo_invalidated\":{}}}",
+            memo.0, memo.1
         )
     }
 
@@ -1722,8 +1839,9 @@ mod tests {
             fake_scaling_run("fisherz", "kernels-blocked", 1000, "fff1", 0, 0),
             fake_scaling_run("fisherz", "kernels-naive", 1000, "fff1", 0, 0),
             fake_tail_run(0.5, 1.0, 2.0, 3.0, 6),
-            fake_append_run("reselect-cold", "aa11", 0, 0, 50_000),
-            fake_append_run("append-reselect", "aa11", 200, 3, 2_000),
+            fake_append_run("reselect-cold", "aa11", 0, 0, 50_000, 6, (0, 0)),
+            fake_append_run("append-reselect", "aa11", 200, 3, 2_000, 6, (0, 6)),
+            fake_append_run("append-reselect-patched", "aa11", 200, 3, 2_000, 2, (5, 1)),
         ]
     }
 
@@ -1817,25 +1935,25 @@ mod tests {
         validate_bench_json(&fake_doc(&valid_rows())).expect("fixture should validate");
         // The extended re-select disagrees with the cold run's bits.
         let mut split = valid_rows();
-        split[14] = fake_append_run("append-reselect", "bb22", 200, 3, 2_000);
+        split[14] = fake_append_run("append-reselect", "bb22", 200, 3, 2_000, 6, (0, 6));
         assert!(validate_bench_json(&fake_doc(&split))
             .unwrap_err()
             .contains("disagrees"));
         // A warm row that never recorded appended rows.
         let mut none_appended = valid_rows();
-        none_appended[14] = fake_append_run("append-reselect", "aa11", 0, 3, 2_000);
+        none_appended[14] = fake_append_run("append-reselect", "aa11", 0, 3, 2_000, 6, (0, 6));
         assert!(validate_bench_json(&fake_doc(&none_appended))
             .unwrap_err()
             .contains("appended no rows"));
         // A warm row that rebuilt every encoding instead of extending.
         let mut rebuilt = valid_rows();
-        rebuilt[14] = fake_append_run("append-reselect", "aa11", 200, 0, 2_000);
+        rebuilt[14] = fake_append_run("append-reselect", "aa11", 200, 0, 2_000, 6, (0, 6));
         assert!(validate_bench_json(&fake_doc(&rebuilt))
             .unwrap_err()
             .contains("reused no encodings"));
         // The streaming client re-shipped as much as the cold one.
         let mut fat = valid_rows();
-        fat[14] = fake_append_run("append-reselect", "aa11", 200, 3, 50_000);
+        fat[14] = fake_append_run("append-reselect", "aa11", 200, 3, 50_000, 6, (0, 6));
         assert!(validate_bench_json(&fake_doc(&fat))
             .unwrap_err()
             .contains("wire cost"));
@@ -1845,7 +1963,8 @@ mod tests {
         assert!(validate_bench_json(&fake_doc(&orphan))
             .unwrap_err()
             .contains("no reselect-cold twin"));
-        // No append rows at all.
+        // No append rows at all (the lone patched row does not count as
+        // an invalidate-all baseline).
         let mut missing = valid_rows();
         missing.drain(13..15);
         assert!(validate_bench_json(&fake_doc(&missing))
@@ -1854,24 +1973,87 @@ mod tests {
     }
 
     #[test]
+    fn validator_enforces_patched_reselect_ledger() {
+        validate_bench_json(&fake_doc(&valid_rows())).expect("fixture should validate");
+        // The patched re-select disagrees with the cold run's bits.
+        let mut split = valid_rows();
+        split[15] = fake_append_run("append-reselect-patched", "bb22", 200, 3, 2_000, 2, (5, 1));
+        assert!(validate_bench_json(&fake_doc(&split))
+            .unwrap_err()
+            .contains("disagrees"));
+        // A "patched" row that never patched a memo.
+        let mut unpatched = valid_rows();
+        unpatched[15] =
+            fake_append_run("append-reselect-patched", "aa11", 200, 3, 2_000, 2, (0, 6));
+        assert!(validate_bench_json(&fake_doc(&unpatched))
+            .unwrap_err()
+            .contains("patched no memos"));
+        // Patched + invalidated no longer covers the baseline's memo.
+        let mut leaky = valid_rows();
+        leaky[15] = fake_append_run("append-reselect-patched", "aa11", 200, 3, 2_000, 2, (5, 0));
+        assert!(validate_bench_json(&fake_doc(&leaky))
+            .unwrap_err()
+            .contains("not conserved"));
+        // The baseline claims patched memos: it is not an invalidate-all
+        // baseline and the comparison is meaningless.
+        let mut fake_baseline = valid_rows();
+        fake_baseline[14] = fake_append_run("append-reselect", "aa11", 200, 3, 2_000, 6, (1, 5));
+        assert!(validate_bench_json(&fake_doc(&fake_baseline))
+            .unwrap_err()
+            .contains("baseline claims"));
+        // Patching saved no issued work over invalidate-all.
+        let mut no_saving = valid_rows();
+        no_saving[15] =
+            fake_append_run("append-reselect-patched", "aa11", 200, 3, 2_000, 6, (5, 1));
+        assert!(validate_bench_json(&fake_doc(&no_saving))
+            .unwrap_err()
+            .contains("not under the invalidate-all baseline"));
+        // No patched row at all.
+        let mut missing = valid_rows();
+        missing.remove(15);
+        assert!(validate_bench_json(&fake_doc(&missing))
+            .unwrap_err()
+            .contains("no append-reselect-patched runs"));
+    }
+
+    #[test]
     fn append_reselect_extends_and_matches_cold() {
         let rows = append_reselect(12, 600, &[60], 2, 1);
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 3);
         let cold = rows.iter().find(|r| r.algo == "reselect-cold").unwrap();
         let warm = rows.iter().find(|r| r.algo == "append-reselect").unwrap();
-        // Bit-identity: the extended session's memoized outcomes digest
-        // equals the cold run's on the concatenated table.
+        let patched = rows
+            .iter()
+            .find(|r| r.algo == "append-reselect-patched")
+            .unwrap();
+        // Bit-identity: both extended sessions' memoized outcome digests
+        // equal the cold run's on the concatenated table.
         assert_eq!(warm.pvalue_hash, cold.pvalue_hash);
+        assert_eq!(patched.pvalue_hash, cold.pvalue_hash);
         assert!(!warm.pvalue_hash.is_empty());
         // The warm-birth ledger: the batch was appended and real
-        // encodings survived the extension.
+        // encodings survived the extension — on both streaming rows.
         assert_eq!(warm.append_rows, 60);
         assert!(warm.extended_encodings > 0);
-        // Outcomes are invalidated on append, so the re-select issues
-        // exactly the cold query stream — the saving is encode/scaffold
-        // reuse and wire bytes, not skipped tests.
+        assert_eq!(patched.append_rows, 60);
+        assert!(patched.extended_encodings > 0);
+        // The baseline invalidates every outcome on append, so its
+        // re-select issues exactly the cold query stream — the saving is
+        // encode/scaffold reuse and wire bytes, not skipped tests.
         assert_eq!(warm.issued, cold.issued);
+        assert_eq!(warm.memo_patched, 0);
+        assert!(warm.memo_invalidated > 0);
+        // The patched row pays O(batch): resident memos were re-derived
+        // from patched counts, the ledger conserves the baseline's memo,
+        // and the re-select issues strictly fewer tests.
+        assert!(patched.memo_patched > 0);
+        assert_eq!(
+            patched.memo_patched + patched.memo_invalidated,
+            warm.memo_invalidated
+        );
+        assert!(patched.issued < warm.issued);
         assert_eq!(warm.selected, cold.selected);
+        assert_eq!(patched.selected, cold.selected);
         // Only the batch frame crosses the wire.
         assert!(warm.req_bytes > 0 && warm.req_bytes < cold.req_bytes);
     }

@@ -7,7 +7,9 @@
 //! estimator. Slightly negative plug-in estimates are truncated to 0
 //! following Mukherjee et al. [39], as footnote 3 of the paper prescribes.
 
-use crate::contingency::{dense_cell_space, DenseArena, Strata, StratumRows, ZPartition};
+use crate::contingency::{
+    dense_cell_space, DenseArena, Strata, StratumRows, SuffKey, SuffTable, ZPartition,
+};
 use crate::{CiOutcome, CiTest, KernelMode, VarId};
 use fairsel_table::{with_codes, CappedCache, CodeValue, EncodedTable, Encoding, Table};
 use rand::rngs::StdRng;
@@ -84,6 +86,14 @@ pub struct PermutationCmi {
     /// bounded like every other data-path cache — so concurrent chunks of
     /// one Z-group (and later frontier levels) share one stratification.
     partitions: CappedCache<Vec<VarId>, Arc<CmiScaffold>>,
+    /// Retained sufficient statistics — the observed-data contingency
+    /// table of each evaluated query, keyed by the canonical query
+    /// triple. On dataset extension each resident table is patched with
+    /// the appended rows ([`SuffTable::patch`]), so re-answering the
+    /// query costs O(batch) counting for the observed statistic (the `B`
+    /// permutation replicates still recount — their tables depend on the
+    /// permuted codes, not on retained state).
+    suff: CappedCache<SuffKey, Arc<SuffTable>>,
     /// Scaffolds carried over from a parent tester on dataset extension
     /// (see [`PermutationCmi::extended_from`]).
     extended_scaffolds: u64,
@@ -115,6 +125,7 @@ impl PermutationCmi {
             kernel: KernelMode::default(),
             dense_cells: AtomicU64::new(0),
             partitions: CappedCache::new(cap),
+            suff: CappedCache::new(cap),
             extended_scaffolds: 0,
         }
     }
@@ -142,6 +153,19 @@ impl PermutationCmi {
                     .partitions
                     .insert_transferred(zkey, Arc::new((part, rows)));
                 child.extended_scaffolds += 1;
+            }
+            // Carry retained observed-data tables over, patching each
+            // with the appended rows now (O(batch) integer counting per
+            // table). Tables failing the patch preconditions are dropped;
+            // their queries take the invalidate path instead.
+            let mut tables = parent.suff.snapshot();
+            tables.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, t) in tables {
+                let patched =
+                    crate::contingency::patch_suff_table(&child.enc, &child.partitions, &key.2, &t);
+                if let Some(patched) = patched {
+                    child.suff.insert_transferred(key, Arc::new(patched));
+                }
             }
         }
         child
@@ -217,7 +241,15 @@ impl PermutationCmi {
             )
         } else {
             let (xa, ya) = (xe.arity.max(1) as usize, ye.arity.max(1) as usize);
-            with_codes!(&xe.codes, |xc| with_codes!(&ye.codes, |yc| {
+            // Sides are already canonical here, so the retained table's
+            // as-evaluated spelling *is* the canonical cache key.
+            let retain_key: Option<SuffKey> = self
+                .enc
+                .caching()
+                .then(|| (x.to_vec(), y.to_vec(), zkey.to_vec()))
+                .filter(|k| self.suff.peek(k).is_none());
+            let mut retained: Option<SuffTable> = None;
+            let (observed, p) = with_codes!(&xe.codes, |xc| with_codes!(&ye.codes, |yc| {
                 let (observed, p, cells) = permute_and_count_narrow(
                     xc,
                     xa,
@@ -228,12 +260,19 @@ impl PermutationCmi {
                     n,
                     seed,
                     self.permutations,
+                    retain_key.is_some().then_some(&mut retained),
                 );
                 if cells > 0 {
                     self.dense_cells.fetch_add(cells, Ordering::Relaxed);
                 }
                 (observed, p)
-            }))
+            }));
+            if let (Some(key), Some(mut t)) = (retain_key, retained) {
+                t.xset = x.to_vec();
+                t.yset = y.to_vec();
+                self.suff.insert(key, Arc::new(t));
+            }
+            (observed, p)
         };
         CiOutcome {
             independent: p > self.alpha,
@@ -261,33 +300,81 @@ fn permute_and_count_narrow<X: CodeValue, Y: CodeValue>(
     n: usize,
     seed: u64,
     permutations: usize,
+    suff_out: Option<&mut Option<SuffTable>>,
 ) -> (f64, f64, u64) {
     let dense = dense_cell_space(n, part.n_strata, xa, ya);
     let mut arena = DenseArena::new();
-    let stat = |arena: &mut DenseArena, xs: &[X]| -> f64 {
-        match dense {
-            Some(cells) => {
-                arena.fill(xs, ycodes, xa, ya, part, cells);
-                arena.cmi_walk(n)
-            }
-            None => cmi_from_strata(&Strata::count_within(xs, ycodes, part), n),
+    let observed = match dense {
+        Some(cells) => {
+            arena.fill(xcodes, ycodes, xa, ya, part, rows, cells);
+            arena.cmi_walk(n)
         }
+        None => cmi_from_strata(&Strata::count_within(xcodes, ycodes, part), n),
     };
-    let observed = stat(&mut arena, xcodes);
+    // Snapshot the observed-data counts before the replicates refill the
+    // arena — the table a later dataset extension can patch.
+    if let (Some(out), Some(_)) = (suff_out, dense) {
+        *out = Some(arena.snapshot_suff(n));
+    }
+    let (p, replicate_cells) = replicate_pvalue(
+        observed,
+        xcodes,
+        ycodes,
+        xa,
+        ya,
+        part,
+        rows,
+        n,
+        seed,
+        permutations,
+        &mut arena,
+    );
+    let cells_used = dense.map(|c| c as u64).unwrap_or(0) + replicate_cells;
+    (observed, p, cells_used)
+}
+
+/// The permutation-null tail probability of `observed`: run the `B`
+/// within-strata replicates and count those whose statistic is
+/// `>= observed` (the observed statistic counts itself). The replicate
+/// stream — randomness, counting arithmetic, comparisons — depends only
+/// on `(seed, codes, scaffold)`, never on *how* `observed` was produced,
+/// so the cold path and the append-patched path (observed from a patched
+/// [`SuffTable`] walk) consume identical randomness and return identical
+/// bits. Returns `(p, dense cells counted by the replicates)`.
+#[allow(clippy::too_many_arguments)]
+fn replicate_pvalue<X: CodeValue, Y: CodeValue>(
+    observed: f64,
+    xcodes: &[X],
+    ycodes: &[Y],
+    xa: usize,
+    ya: usize,
+    part: &ZPartition,
+    rows: &StratumRows,
+    n: usize,
+    seed: u64,
+    permutations: usize,
+    arena: &mut DenseArena,
+) -> (f64, u64) {
+    let dense = dense_cell_space(n, part.n_strata, xa, ya);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut xperm: Vec<X> = xcodes.to_vec();
     let mut at_least = 1usize; // the observed statistic counts itself
     for _ in 0..permutations {
         shuffle_within_strata(&mut xperm, rows, &mut rng);
-        if stat(&mut arena, &xperm) >= observed {
+        let stat = match dense {
+            Some(cells) => {
+                arena.fill(&xperm, ycodes, xa, ya, part, rows, cells);
+                arena.cmi_walk(n)
+            }
+            None => cmi_from_strata(&Strata::count_within(&xperm, ycodes, part), n),
+        };
+        if stat >= observed {
             at_least += 1;
         }
     }
     let p = at_least as f64 / (permutations + 1) as f64;
-    let cells_used = dense
-        .map(|c| c as u64 * (permutations as u64 + 1))
-        .unwrap_or(0);
-    (observed, p, cells_used)
+    let cells = dense.map(|c| c as u64 * permutations as u64).unwrap_or(0);
+    (p, cells)
 }
 
 /// The pre-kernel implementation, kept as the [`KernelMode::Reference`]
@@ -435,7 +522,72 @@ impl crate::CiTestBatch for PermutationCmi {
                 .saturating_sub(self.extended_scaffolds),
             resident: self.partitions.len() as u64,
             evictions: self.partitions.evictions(),
+            suff_tables: self.suff.len() as u64,
+            suff_evictions: self.suff.evictions(),
         }
+    }
+
+    /// Answer a memoized query from its retained-and-patched observed
+    /// table: the observed statistic is one [`SuffTable::cmi`] walk over
+    /// the already-patched counts (O(batch) counting happened at
+    /// extension); the `B` permutation replicates re-run against the
+    /// extended scaffold with the query's derived seed — the identical
+    /// randomness and arithmetic a cold evaluation consumes, so every
+    /// output bit matches. `None` routes the query to the invalidate
+    /// path.
+    fn patched_outcome(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> Option<CiOutcome> {
+        if self.kernel == KernelMode::Reference {
+            return None;
+        }
+        if x.is_empty() || y.is_empty() {
+            return Some(CiOutcome::decided(true));
+        }
+        let zkey = crate::canonical_set(z);
+        let ze = self.enc.encode(&zkey);
+        if ze.all_singletons() {
+            // Degenerate on the extended rows too — the same short-circuit
+            // a cold evaluation takes.
+            return Some(CiOutcome {
+                independent: true,
+                p_value: 1.0,
+                statistic: 0.0,
+            });
+        }
+        let (x, y) = crate::canonical_sides(x, y);
+        let n = ze.codes.len();
+        let t = self.suff.peek(&(x.clone(), y.clone(), zkey.clone()))?;
+        if t.n_rows != n {
+            return None;
+        }
+        let sc = self.partitions.peek(&zkey)?;
+        let xe = self.enc.encode(&x);
+        let ye = self.enc.encode(&y);
+        let seed = crate::derived_query_seed(self.seed, &x, &y, &zkey);
+        let observed = t.cmi(n);
+        let mut arena = DenseArena::new();
+        let (p, cells) = with_codes!(&xe.codes, |xc| with_codes!(&ye.codes, |yc| {
+            replicate_pvalue(
+                observed,
+                xc,
+                yc,
+                t.xa,
+                t.ya,
+                &sc.0,
+                &sc.1,
+                n,
+                seed,
+                self.permutations,
+                &mut arena,
+            )
+        }));
+        if cells > 0 {
+            self.dense_cells.fetch_add(cells, Ordering::Relaxed);
+        }
+        Some(CiOutcome {
+            independent: p > self.alpha,
+            p_value: p,
+            statistic: observed,
+        })
     }
 }
 
@@ -589,6 +741,18 @@ mod tests {
 
         let concat = parent_t.concat(&batch).unwrap();
         let cold = PermutationCmi::new(&concat, 0.05, 29, 7);
+        // Every warmed query's observed table was retained and patched at
+        // extension; its patched outcome — one table walk plus the
+        // replicate stream — is bit-identical to the cold evaluation.
+        assert_eq!(birth.suff_tables, 2, "{birth:?}");
+        assert!(ext.patched_outcome(&[1], &[2], &[0]).is_none());
+        for (x, y, z) in &warm {
+            let got = ext.patched_outcome(x, y, z).expect("patched table answers");
+            let want = cold.ci_shared(x, y, z);
+            assert_eq!(got.statistic.to_bits(), want.statistic.to_bits());
+            assert_eq!(got.p_value.to_bits(), want.p_value.to_bits());
+            assert_eq!(got.independent, want.independent);
+        }
         let mut queries = warm.to_vec();
         queries.push((vec![1], vec![2], vec![0])); // fresh conditioning set
         for (x, y, z) in &queries {

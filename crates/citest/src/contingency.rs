@@ -19,8 +19,9 @@
 //! marginals are exact integer sums, and the statistic walk visits the
 //! same cells in the same order.
 
-use fairsel_table::{with_codes, CodeValue, Codes, Encoding};
+use fairsel_table::{with_codes, CappedCache, CodeValue, EncodedTable, Encoding};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Precomputed stratification of a conditioning-set encoding — the shared
 /// scaffold of a *Z-group*: every query of a GrpSel frontier level
@@ -33,13 +34,10 @@ use std::collections::HashMap;
 /// through [`Strata::count_within`] accumulate in the same floating-point
 /// order and come out byte-identical.
 pub(crate) struct ZPartition {
-    /// Per-row stratum index.
+    /// Per-row stratum index. (The fill loops stream the CSR row layout
+    /// ([`StratumRows`]) rather than this per-row array; this stays for
+    /// the reference kernels, the hashed fallback, and append patching.)
     pub stratum_of: Vec<u32>,
-    /// The same stratum indices at the narrowest width `n_strata` fits —
-    /// the copy the arena fill loops stream (1 byte/row for ≤256 strata
-    /// instead of 4). The full-width copy above stays for the reference
-    /// kernels and the hashed fallback.
-    pub strata: Codes,
     /// Number of distinct strata.
     pub n_strata: usize,
     /// Rows per stratum — a property of the partition alone, computed
@@ -51,14 +49,12 @@ pub(crate) struct ZPartition {
 
 impl ZPartition {
     fn from_stratum_of(stratum_of: Vec<u32>, n_strata: usize) -> ZPartition {
-        let strata = Codes::from_slice(&stratum_of, (n_strata as u32).max(1));
         let mut sizes = vec![0u64; n_strata];
         for &s in &stratum_of {
             sizes[s as usize] += 1;
         }
         ZPartition {
             stratum_of,
-            strata,
             n_strata,
             sizes,
         }
@@ -231,10 +227,21 @@ impl DenseArena {
     }
 
     /// Count `(x, y)` cells per stratum into the flat table. `cells` must
-    /// come from [`dense_cell_space`] for the same shape. The fill loop is
-    /// unrolled ×4: flat indices for four rows are computed ahead (pure
-    /// reads), then applied in row order so same-cell collisions within a
-    /// chunk still accumulate sequentially.
+    /// come from [`dense_cell_space`] for the same shape.
+    ///
+    /// The multi-stratum loop iterates the partition's CSR stratum rows
+    /// (`rows`) stratum by stratum: the flat-index base `s·xa·ya` is a
+    /// loop constant, no per-row stratum index is ever read, and the
+    /// per-stratum body is unrolled by 8 lanes — the SIMD-shaped layout
+    /// the ROADMAP headroom note asked for (the flat-index computation
+    /// over a lane of gathered codes auto-vectorizes; the scatter
+    /// increments stay scalar, applied in row order so same-cell
+    /// collisions within a lane accumulate sequentially). Within a
+    /// stratum the CSR rows ascend, so a cell's first occurrence is found
+    /// at the same row the global row sweep found it at — per-stratum
+    /// `cell_order` is identical, counts are exact integers, and every
+    /// downstream statistic stays bit-identical.
+    #[allow(clippy::too_many_arguments)]
     pub fn fill<X: CodeValue, Y: CodeValue>(
         &mut self,
         x: &[X],
@@ -242,6 +249,7 @@ impl DenseArena {
         xa: usize,
         ya: usize,
         part: &ZPartition,
+        rows: &StratumRows,
         cells: usize,
     ) {
         let n = x.len();
@@ -266,7 +274,7 @@ impl DenseArena {
         }
         if part.n_strata == 1 {
             // Single stratum (empty or constant Z — a large share of real
-            // frontiers): no per-row stratum reads at all.
+            // frontiers): the row sweep is already stratum-contiguous.
             for r in 0..n {
                 let flat = x[r].index() * ya + y[r].index();
                 if self.counts[flat] == 0 {
@@ -276,45 +284,36 @@ impl DenseArena {
             }
             return;
         }
-        with_codes!(&part.strata, |strat| self.fill_rows(x, y, xa, ya, strat));
-    }
-
-    /// The general fill loop, streaming stratum indices at the partition's
-    /// narrow width.
-    fn fill_rows<X: CodeValue, Y: CodeValue, S: CodeValue>(
-        &mut self,
-        x: &[X],
-        y: &[Y],
-        xa: usize,
-        ya: usize,
-        strat: &[S],
-    ) {
-        let n = x.len();
-        let mut flats = [0usize; 4];
-        let mut i = 0;
-        while i + 4 <= n {
-            for (k, f) in flats.iter_mut().enumerate() {
-                let r = i + k;
-                *f = (strat[r].index() * xa + x[r].index()) * ya + y[r].index();
+        debug_assert_eq!(rows.n_strata(), part.n_strata, "CSR/partition mismatch");
+        for s in 0..part.n_strata {
+            let base = s * xa * ya;
+            let idx = rows.stratum(s);
+            let order = &mut self.cell_order[s];
+            let mut flats = [0usize; 8];
+            let mut i = 0;
+            while i + 8 <= idx.len() {
+                for (k, f) in flats.iter_mut().enumerate() {
+                    let r = idx[i + k] as usize;
+                    *f = base + x[r].index() * ya + y[r].index();
+                }
+                for (k, &flat) in flats.iter().enumerate() {
+                    let r = idx[i + k] as usize;
+                    if self.counts[flat] == 0 {
+                        order.push((x[r].widen(), y[r].widen()));
+                    }
+                    self.counts[flat] += 1;
+                }
+                i += 8;
             }
-            for (k, &flat) in flats.iter().enumerate() {
-                let r = i + k;
+            while i < idx.len() {
+                let r = idx[i] as usize;
+                let flat = base + x[r].index() * ya + y[r].index();
                 if self.counts[flat] == 0 {
-                    let s = strat[r].index();
-                    self.cell_order[s].push((x[r].widen(), y[r].widen()));
+                    order.push((x[r].widen(), y[r].widen()));
                 }
                 self.counts[flat] += 1;
+                i += 1;
             }
-            i += 4;
-        }
-        while i < n {
-            let flat = (strat[i].index() * xa + x[i].index()) * ya + y[i].index();
-            if self.counts[flat] == 0 {
-                let s = strat[i].index();
-                self.cell_order[s].push((x[i].widen(), y[i].widen()));
-            }
-            self.counts[flat] += 1;
-            i += 1;
         }
     }
 
@@ -358,6 +357,24 @@ impl DenseArena {
         (g, df)
     }
 
+    /// Snapshot the filled counts as a retainable [`SuffTable`] (the
+    /// statistic walks leave counts and cell order intact, so this is
+    /// valid any time after a fill). `n_rows` is the row count the fill
+    /// ran over; the caller stamps the side sets.
+    pub fn snapshot_suff(&self, n_rows: usize) -> SuffTable {
+        SuffTable {
+            xset: Vec::new(),
+            yset: Vec::new(),
+            xa: self.xa,
+            ya: self.ya,
+            n_strata: self.n_strata,
+            n_rows,
+            counts: self.counts.clone(),
+            totals: self.totals.clone(),
+            cell_order: self.cell_order[..self.n_strata].to_vec(),
+        }
+    }
+
     /// Plug-in CMI from filled counts — the same walk order as
     /// [`DenseArena::g_walk`] with the CMI weighting, bit-identical to the
     /// hashed `cmi_from_strata` accumulation.
@@ -389,6 +406,203 @@ impl DenseArena {
 fn resize_zeroed<T: Copy + Default>(buf: &mut Vec<T>, len: usize) {
     buf.clear();
     buf.resize(len, T::default());
+}
+
+/// Cache key of a retained sufficient statistic: the canonical query
+/// triple (sides via `canonical_sides`, conditioning set via
+/// `canonical_set`) — the same quotient the engine's memo key uses, so a
+/// session's patch loop can address tables by memoized query.
+pub(crate) type SuffKey = (Vec<crate::VarId>, Vec<crate::VarId>, Vec<crate::VarId>);
+
+/// The retained sufficient statistic of one memoized discrete-tester
+/// query: the per-stratum integer contingency table, its first-occurrence
+/// cell order, and the shape it was counted at. On dataset extension the
+/// table is *patched* — only the appended rows are counted — instead of
+/// refilled from scratch, which is what turns an appended re-select's
+/// statistical work from O(workload·n) into O(batch).
+///
+/// Patching is exact: counts are integers (integer adds never round),
+/// the flat cell index `(s·xa + x)·ya + y` is independent of the stratum
+/// count (grown strata extend the table without relayout), and appended
+/// rows are visited in ascending order, so a cell first observed in the
+/// batch joins `cell_order` exactly where a cold fill over the
+/// concatenated rows would discover it. The statistic walks below then
+/// visit the same cells in the same order as [`DenseArena::g_walk`] /
+/// [`DenseArena::cmi_walk`] — bit-identical to a cold evaluation.
+#[derive(Clone)]
+pub(crate) struct SuffTable {
+    /// Side variable sets exactly as the statistic was evaluated — the
+    /// spelling re-encoded against the extended table when patching.
+    pub xset: Vec<crate::VarId>,
+    pub yset: Vec<crate::VarId>,
+    /// Arities the flat table is laid out at. Patching requires the
+    /// extended encodings to still have these arities (a batch that
+    /// introduces new category values relays the cell space out — the
+    /// table must be rebuilt, not patched).
+    pub xa: usize,
+    pub ya: usize,
+    /// Strata counted so far.
+    pub n_strata: usize,
+    /// Rows counted so far.
+    pub n_rows: usize,
+    counts: Vec<u32>,
+    totals: Vec<u64>,
+    cell_order: Vec<Vec<(u32, u32)>>,
+}
+
+impl SuffTable {
+    /// Count only the appended rows `self.n_rows..` of the extended codes
+    /// into a copy of this table, against the extended partition (whose
+    /// prefix numbering equals the partition this table was counted
+    /// over — [`ZPartition::extend`] guarantees it).
+    pub fn patch<X: CodeValue, Y: CodeValue>(
+        &self,
+        x: &[X],
+        y: &[Y],
+        part: &ZPartition,
+    ) -> SuffTable {
+        let n = x.len();
+        debug_assert_eq!(n, y.len(), "suff patch: length mismatch");
+        debug_assert_eq!(n, part.stratum_of.len(), "suff patch: partition mismatch");
+        debug_assert!(part.n_strata >= self.n_strata, "strata cannot shrink");
+        debug_assert!(self.n_rows <= n, "rows cannot shrink");
+        let (xa, ya) = (self.xa, self.ya);
+        let mut counts = vec![0u32; part.n_strata * xa * ya];
+        counts[..self.counts.len()].copy_from_slice(&self.counts);
+        let mut cell_order: Vec<Vec<(u32, u32)>> = Vec::with_capacity(part.n_strata);
+        cell_order.extend(self.cell_order.iter().cloned());
+        cell_order.resize_with(part.n_strata, Vec::new);
+        for r in self.n_rows..n {
+            let s = part.stratum_of[r] as usize;
+            let flat = (s * xa + x[r].index()) * ya + y[r].index();
+            if counts[flat] == 0 {
+                cell_order[s].push((x[r].widen(), y[r].widen()));
+            }
+            counts[flat] += 1;
+        }
+        SuffTable {
+            xset: self.xset.clone(),
+            yset: self.yset.clone(),
+            xa,
+            ya,
+            n_strata: part.n_strata,
+            n_rows: n,
+            counts,
+            // Totals are a property of the partition alone — exact
+            // integers, identical to what a cold fill copies in.
+            totals: part.sizes.clone(),
+            cell_order,
+        }
+    }
+
+    /// The G statistic and degrees of freedom from the retained counts —
+    /// the [`DenseArena::g_walk`] loop verbatim against local marginal
+    /// scratch, so the accumulation order (and every output bit) is
+    /// identical to a cold arena walk over the same counts.
+    pub fn g(&self) -> (f64, usize) {
+        let (xa, ya) = (self.xa, self.ya);
+        let mut xm = vec![0.0f64; self.n_strata * xa];
+        let mut ym = vec![0.0f64; self.n_strata * ya];
+        let mut g = 0.0;
+        let mut df = 0usize;
+        for s in 0..self.n_strata {
+            let mut r = 0usize;
+            let mut c = 0usize;
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                let xslot = &mut xm[s * xa + xv as usize];
+                if *xslot == 0.0 {
+                    r += 1;
+                }
+                *xslot += nxy;
+                let yslot = &mut ym[s * ya + yv as usize];
+                if *yslot == 0.0 {
+                    c += 1;
+                }
+                *yslot += nxy;
+            }
+            let total = self.totals[s] as f64;
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                let nx = xm[s * xa + xv as usize];
+                let ny = ym[s * ya + yv as usize];
+                g += 2.0 * nxy * ((nxy * total) / (nx * ny)).ln();
+            }
+            if r > 1 && c > 1 {
+                df += (r - 1) * (c - 1);
+            }
+        }
+        (g, df)
+    }
+
+    /// Plug-in CMI from the retained counts — the [`DenseArena::cmi_walk`]
+    /// loop verbatim, bit-identical to a cold arena walk.
+    pub fn cmi(&self, n: usize) -> f64 {
+        let nf = n as f64;
+        let (xa, ya) = (self.xa, self.ya);
+        let mut xm = vec![0.0f64; self.n_strata * xa];
+        let mut ym = vec![0.0f64; self.n_strata * ya];
+        let mut cmi = 0.0;
+        for s in 0..self.n_strata {
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                xm[s * xa + xv as usize] += nxy;
+                ym[s * ya + yv as usize] += nxy;
+            }
+            let total = self.totals[s] as f64;
+            for &(xv, yv) in &self.cell_order[s] {
+                let nxy = self.counts[(s * xa + xv as usize) * ya + yv as usize] as f64;
+                let nx = xm[s * xa + xv as usize];
+                let ny = ym[s * ya + yv as usize];
+                cmi += (nxy / nf) * ((nxy * total) / (nx * ny)).ln();
+            }
+        }
+        cmi.max(0.0)
+    }
+}
+
+/// Verify the preconditions that make O(batch) patching exact against an
+/// *extended* tester, then patch the retained table with only the
+/// appended rows ([`SuffTable::patch`]). `None` means the table cannot be
+/// patched — its query must be re-evaluated from scratch:
+///
+/// - the table must cover exactly the parent rows (`enc.base_rows()`);
+/// - both side encodings must be provably *prefix-stable* under the
+///   append (the retained counts index cells by the parent's codes — a
+///   renumbered extension would scatter them differently);
+/// - the conditioning scaffold must be resident in the child's partition
+///   cache (probed with `peek`, leaving the hit/miss ledger untouched);
+/// - the side arities must be unchanged (a batch introducing new category
+///   values relays the flat cell space out);
+/// - the cell space must still be dense at the new row count (a resource
+///   bound: patching is exact either way, but the retained-table budget
+///   tracks the dense arena's).
+///
+/// Shared by both discrete testers — their scaffold caches store the same
+/// `(ZPartition, StratumRows)` tuple.
+pub(crate) fn patch_suff_table(
+    enc: &EncodedTable,
+    partitions: &CappedCache<Vec<crate::VarId>, Arc<(ZPartition, StratumRows)>>,
+    zkey: &[crate::VarId],
+    t: &SuffTable,
+) -> Option<SuffTable> {
+    if t.n_rows != enc.base_rows() {
+        return None;
+    }
+    if !enc.prefix_stable(&t.xset) || !enc.prefix_stable(&t.yset) {
+        return None;
+    }
+    let sc = partitions.peek(zkey)?;
+    let part = &sc.0;
+    let xe = enc.encode(&t.xset);
+    let ye = enc.encode(&t.yset);
+    if (xe.arity.max(1) as usize, ye.arity.max(1) as usize) != (t.xa, t.ya) {
+        return None;
+    }
+    dense_cell_space(enc.n_rows(), part.n_strata, t.xa, t.ya)?;
+    Some(with_codes!(&xe.codes, |xc| with_codes!(&ye.codes, |yc| {
+        t.patch(xc, yc, part)
+    })))
 }
 
 /// Counts for one stratum of the conditioning variables.
@@ -578,16 +792,16 @@ mod tests {
     }
 
     #[test]
-    fn extend_matches_cold_partition_and_rewidens() {
-        // Parent: 300 rows over 200 distinct codes (< 256 strata → u8
-        // narrow copy). Child appends 200 rows introducing 100 fresh
-        // codes, pushing n_strata to 300 → the narrow copy must re-widen
-        // to u16 and every field must match a cold build bit for bit.
+    fn extend_matches_cold_partition_past_width_boundary() {
+        // Parent: 300 rows over 200 distinct codes. Child appends 200
+        // rows introducing 100 fresh codes, pushing n_strata past the
+        // u8 boundary to 300 — every field must match a cold build bit
+        // for bit (numbering, stratum count, sizes).
         let parent_codes: Vec<u32> = (0..300).map(|i| (i % 200) as u32).collect();
         let mut child_codes = parent_codes.clone();
         child_codes.extend((0..200).map(|i| 1000 + (i % 100) as u32));
         let parent = ZPartition::from_codes(&parent_codes);
-        assert_eq!(parent.strata.width(), 1);
+        assert_eq!(parent.n_strata, 200);
         let child_ze = Encoding {
             codes: fairsel_table::Codes::from_slice(&child_codes, 2000),
             arity: 2000,
@@ -598,8 +812,6 @@ mod tests {
         assert_eq!(ext.stratum_of, cold.stratum_of);
         assert_eq!(ext.n_strata, cold.n_strata);
         assert_eq!(ext.sizes, cold.sizes);
-        assert_eq!(ext.strata.width(), 2, "narrow copy must re-widen");
-        assert_eq!(ext.strata.to_u32_vec(), cold.strata.to_u32_vec());
     }
 
     #[test]
@@ -610,10 +822,11 @@ mod tests {
         let y = [0u32, 0, 0, 1, 1, 2, 0, 1, 2, 2];
         let z = [7u32, 3, 7, 3, 9, 7, 3, 7, 9, 3];
         let part = ZPartition::from_codes(&z);
+        let rows = StratumRows::from_partition(&part);
         let (xa, ya) = (3usize, 3usize);
         let cells = dense_cell_space(x.len(), part.n_strata, xa, ya).unwrap();
         let mut arena = DenseArena::new();
-        arena.fill(&x, &y, xa, ya, &part, cells);
+        arena.fill(&x, &y, xa, ya, &part, &rows, cells);
         let (g_dense, df_dense) = arena.g_walk();
         let hashed = Strata::count_within(&x, &y, &part);
         let mut g = 0.0;
@@ -629,7 +842,7 @@ mod tests {
         assert_eq!(g_dense.to_bits(), g.to_bits());
         assert_eq!(df_dense, df);
         // Refill (arena reuse) and take the CMI walk.
-        arena.fill(&x, &y, xa, ya, &part, cells);
+        arena.fill(&x, &y, xa, ya, &part, &rows, cells);
         let cmi_dense = arena.cmi_walk(x.len());
         let nf = x.len() as f64;
         let mut cmi = 0.0;
@@ -639,5 +852,62 @@ mod tests {
             }
         }
         assert_eq!(cmi_dense.to_bits(), cmi.max(0.0).to_bits());
+    }
+
+    /// Patching a retained sufficient table with only the appended rows —
+    /// new cells and a brand-new stratum included — reproduces the cold
+    /// fill over the concatenated rows cell for cell, and both statistic
+    /// walks come out bit-identical to the cold arena walks.
+    #[test]
+    fn suff_patch_matches_cold_fill_and_walks() {
+        let x = [1u32, 0, 1, 1, 2, 0, 1, 2, 0, 1, 2, 2, 0, 1];
+        let y = [0u32, 0, 0, 1, 1, 2, 0, 1, 2, 2, 0, 2, 1, 1];
+        // Appended suffix (last 5 rows) introduces the fresh stratum z=4
+        // and revisits existing strata with previously unseen cells.
+        let z = [7u32, 3, 7, 3, 9, 7, 3, 7, 9, 3, 4, 4, 7, 9];
+        let n_parent = 9;
+        let (xa, ya) = (3usize, 3usize);
+
+        let parent_part = ZPartition::from_codes(&z[..n_parent]);
+        let parent_rows = StratumRows::from_partition(&parent_part);
+        let cells = dense_cell_space(n_parent, parent_part.n_strata, xa, ya).unwrap();
+        let mut arena = DenseArena::new();
+        arena.fill(
+            &x[..n_parent],
+            &y[..n_parent],
+            xa,
+            ya,
+            &parent_part,
+            &parent_rows,
+            cells,
+        );
+        let snap = arena.snapshot_suff(n_parent);
+
+        // First-occurrence numbering over the full rows extends the
+        // parent numbering (prefix rows are the parent rows).
+        let full_part = ZPartition::from_codes(&z);
+        let full_rows = StratumRows::from_partition(&full_part);
+        let patched = snap.patch(&x[..], &y[..], &full_part);
+        assert_eq!(patched.n_rows, x.len());
+        assert_eq!(patched.n_strata, full_part.n_strata);
+
+        let full_cells = dense_cell_space(x.len(), full_part.n_strata, xa, ya).unwrap();
+        arena.fill(&x, &y, xa, ya, &full_part, &full_rows, full_cells);
+        let cold = arena.snapshot_suff(x.len());
+        assert_eq!(patched.counts, cold.counts, "cell-for-cell equality");
+        assert_eq!(patched.cell_order, cold.cell_order, "walk order equality");
+        assert_eq!(patched.totals, cold.totals);
+
+        let (g_cold, df_cold) = arena.g_walk();
+        let (g_patched, df_patched) = patched.g();
+        assert_eq!(g_patched.to_bits(), g_cold.to_bits());
+        assert_eq!(df_patched, df_cold);
+        arena.fill(&x, &y, xa, ya, &full_part, &full_rows, full_cells);
+        let cmi_cold = arena.cmi_walk(x.len());
+        assert_eq!(patched.cmi(x.len()).to_bits(), cmi_cold.to_bits());
+        // An empty patch (no appended rows) is the identity.
+        let noop = patched.patch(&x[..], &y[..], &full_part);
+        assert_eq!(noop.counts, patched.counts);
+        assert_eq!(noop.cell_order, patched.cell_order);
     }
 }

@@ -329,6 +329,9 @@ impl crate::CiTestBatch for FisherZ {
                 + self.residuals.inserted(),
             resident: (self.designs.len() + self.residuals.len()) as u64,
             evictions: self.designs.evictions() + self.residuals.evictions(),
+            // Moment sums reassociate floats under append, so this tester
+            // never retains patchable sufficient statistics.
+            ..crate::ScaffoldStats::default()
         }
     }
 }

@@ -9,7 +9,9 @@
 //! keeps the test calibrated on sparse strata — important here because
 //! group testing multiplies arities together.
 
-use crate::contingency::{dense_cell_space, DenseArena, Strata, ZPartition};
+use crate::contingency::{
+    dense_cell_space, DenseArena, Strata, StratumRows, SuffKey, SuffTable, ZPartition,
+};
 use crate::{CiOutcome, CiTest, KernelMode, VarId};
 use fairsel_math::special::chi2_sf;
 use fairsel_table::{with_codes, CappedCache, CodeValue, EncodedTable, Table};
@@ -39,15 +41,26 @@ pub struct GTest {
     /// Cells zeroed+filled by the dense counting arena (telemetry:
     /// `dense_count_cells`).
     dense_cells: AtomicU64,
-    /// Memoized conditioning-set stratifications for grouped evaluation,
-    /// keyed by the canonical (sorted, deduplicated) variable set and
-    /// bounded like every other data-path cache.
-    partitions: CappedCache<Vec<VarId>, Arc<ZPartition>>,
+    /// Memoized conditioning-set stratifications (partition + CSR stratum
+    /// rows) for grouped evaluation, keyed by the canonical (sorted,
+    /// deduplicated) variable set and bounded like every other data-path
+    /// cache.
+    partitions: CappedCache<Vec<VarId>, Arc<GScaffold>>,
+    /// Retained sufficient statistics — the per-query contingency tables —
+    /// keyed by the canonical query triple. On dataset extension each
+    /// resident table is patched with the appended rows
+    /// ([`SuffTable::patch`]) so the re-evaluated query costs O(batch)
+    /// counting instead of O(n).
+    suff: CappedCache<SuffKey, Arc<SuffTable>>,
     /// Stratifications carried over (and extended) from a parent tester
     /// by [`GTest::extended_from`] — the `extended` side of the scaffold
     /// conservation ledger.
     extended_scaffolds: u64,
 }
+
+/// A conditioning set's memoized evaluation scaffold: the stratification
+/// and its CSR row layout (the arena fill iterates the CSR rows).
+type GScaffold = (ZPartition, StratumRows);
 
 impl GTest {
     /// Create a tester at significance level `alpha` (paper default: 0.01,
@@ -69,6 +82,7 @@ impl GTest {
             kernel: KernelMode::default(),
             dense_cells: AtomicU64::new(0),
             partitions: CappedCache::new(cap),
+            suff: CappedCache::new(cap),
             extended_scaffolds: 0,
         }
     }
@@ -85,11 +99,29 @@ impl GTest {
         if child.enc.caching() {
             let mut snap = parent.partitions.snapshot();
             snap.sort_by(|a, b| a.0.cmp(&b.0));
-            for (zkey, part) in snap {
+            for (zkey, sc) in snap {
                 let ze = child.enc.encode(&zkey);
-                let extended = Arc::new(ZPartition::extend(&part, &ze));
-                child.partitions.insert_transferred(zkey, extended);
+                let part = ZPartition::extend(&sc.0, &ze);
+                let rows = StratumRows::from_partition(&part);
+                child
+                    .partitions
+                    .insert_transferred(zkey, Arc::new((part, rows)));
                 child.extended_scaffolds += 1;
+            }
+            // Carry retained sufficient statistics over, patching each
+            // with the appended rows now — O(batch) integer counting per
+            // table. Tables whose preconditions fail (conditioning
+            // scaffold evicted, side encodings not provably append-stable,
+            // arity grown by the batch, cell space no longer dense) are
+            // dropped: their queries take the invalidate path instead.
+            let mut tables = parent.suff.snapshot();
+            tables.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, t) in tables {
+                let patched =
+                    crate::contingency::patch_suff_table(&child.enc, &child.partitions, &key.2, &t);
+                if let Some(patched) = patched {
+                    child.suff.insert_transferred(key, Arc::new(patched));
+                }
             }
         }
         child
@@ -146,42 +178,72 @@ impl GTest {
         // The per-query path runs the same grouped kernel against the
         // (memoized) stratification scaffold — bit-identical to the hashed
         // per-query statistic (see `grouped_statistic_is_byte_identical`).
-        let part = self.z_partition(&zkey, &ze);
+        let sc = self.z_partition(&zkey, &ze);
         let mut arena = DenseArena::new();
-        self.grouped_kernel(&xe, &ye, &part, &mut arena)
+        self.grouped_kernel(&xe, &ye, &sc, &mut arena, Some((x, y, &zkey)))
     }
 
     /// Dispatch the narrow grouped kernel over the encodings' native code
-    /// widths, accounting dense-arena traffic.
+    /// widths, accounting dense-arena traffic. When the dense path ran
+    /// and `retain` names the query, the filled counts are snapshot as
+    /// the query's sufficient statistic for later append-patching.
     fn grouped_kernel(
         &self,
         xe: &fairsel_table::Encoding,
         ye: &fairsel_table::Encoding,
-        part: &ZPartition,
+        sc: &GScaffold,
         arena: &mut DenseArena,
+        retain: Option<(&[VarId], &[VarId], &[VarId])>,
     ) -> (f64, f64) {
+        let (part, rows) = sc;
         let (g, p, cells) = with_codes!(&xe.codes, |xc| with_codes!(&ye.codes, |yc| {
-            g_test_grouped_narrow(xc, xe.arity, yc, ye.arity, part, arena)
+            g_test_grouped_narrow(xc, xe.arity, yc, ye.arity, part, rows, arena)
         }));
         if cells > 0 {
             self.dense_cells.fetch_add(cells, Ordering::Relaxed);
+            if let Some((x, y, zkey)) = retain {
+                self.retain_suff(x, y, zkey, arena, part.stratum_of.len());
+            }
         }
         (g, p)
+    }
+
+    /// Retain the arena's just-filled counts (the statistic walk leaves
+    /// them intact) as the query's sufficient statistic, so the next
+    /// dataset extension can patch them with only the appended rows
+    /// instead of recounting from scratch.
+    fn retain_suff(&self, x: &[VarId], y: &[VarId], zkey: &[VarId], arena: &DenseArena, n: usize) {
+        if !self.enc.caching() {
+            return;
+        }
+        let (xs, ys) = crate::canonical_sides(x, y);
+        let key = (xs, ys, zkey.to_vec());
+        if self.suff.peek(&key).is_some() {
+            return;
+        }
+        let mut t = arena.snapshot_suff(n);
+        t.xset = x.to_vec();
+        t.yset = y.to_vec();
+        self.suff.insert(key, Arc::new(t));
     }
 
     /// Stratification of the canonical conditioning set `zkey`, memoized
     /// so concurrent chunks of one Z-group (and later levels re-using the
     /// set) share a single scaffold.
-    fn z_partition(&self, zkey: &[VarId], ze: &fairsel_table::Encoding) -> Arc<ZPartition> {
+    fn z_partition(&self, zkey: &[VarId], ze: &fairsel_table::Encoding) -> Arc<GScaffold> {
         if self.enc.caching() {
             if let Some(hit) = self.partitions.get(zkey) {
                 return hit;
             }
+            let part = ZPartition::from_encoding(ze);
+            let rows = StratumRows::from_partition(&part);
             self.partitions
-                .insert(zkey.to_vec(), Arc::new(ZPartition::from_encoding(ze)))
+                .insert(zkey.to_vec(), Arc::new((part, rows)))
         } else {
             self.partitions.note_miss();
-            Arc::new(ZPartition::from_encoding(ze))
+            let part = ZPartition::from_encoding(ze);
+            let rows = StratumRows::from_partition(&part);
+            Arc::new((part, rows))
         }
     }
 }
@@ -223,7 +285,7 @@ impl crate::CiTestBatch for GTest {
         let zkey = crate::canonical_set(z);
         // Built lazily so a group of empty-sided queries never encodes.
         // One arena serves every query of the group.
-        let mut scaffold: Option<(Arc<fairsel_table::Encoding>, Option<Arc<ZPartition>>)> = None;
+        let mut scaffold: Option<(Arc<fairsel_table::Encoding>, Option<Arc<GScaffold>>)> = None;
         let mut arena = DenseArena::new();
         queries
             .iter()
@@ -240,7 +302,7 @@ impl crate::CiTestBatch for GTest {
                     };
                     (ze, part)
                 });
-                let Some(part) = part else {
+                let Some(sc) = part else {
                     // Degenerate conditioning: p = 1 without contingency
                     // work, exactly as the per-query short-circuit.
                     self.degenerate.fetch_add(1, Ordering::Relaxed);
@@ -258,10 +320,10 @@ impl crate::CiTestBatch for GTest {
                         xe.arity,
                         &ye.codes.to_u32_vec(),
                         ye.arity,
-                        part,
+                        &sc.0,
                     )
                 } else {
-                    self.grouped_kernel(&xe, &ye, part, &mut arena)
+                    self.grouped_kernel(&xe, &ye, sc, &mut arena, Some((q.x, q.y, &zkey)))
                 };
                 CiOutcome {
                     independent: p > self.alpha,
@@ -298,7 +360,50 @@ impl crate::CiTestBatch for GTest {
                 .saturating_sub(self.extended_scaffolds),
             resident: self.partitions.len() as u64,
             evictions: self.partitions.evictions(),
+            suff_tables: self.suff.len() as u64,
+            suff_evictions: self.suff.evictions(),
         }
+    }
+
+    /// Answer a memoized query from its retained-and-patched sufficient
+    /// statistic: the table already holds the concatenated counts (the
+    /// extension constructor patched it), so only the statistic walk —
+    /// identical, bit for bit, to a cold arena walk — runs here. `None`
+    /// routes the query to the invalidate path.
+    fn patched_outcome(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> Option<CiOutcome> {
+        if self.kernel == KernelMode::Reference {
+            // The reference kernels never fill the arena, so nothing was
+            // retained; decline rather than diverge from the cold path's
+            // counter accounting.
+            return None;
+        }
+        if x.is_empty() || y.is_empty() {
+            return Some(CiOutcome::decided(true));
+        }
+        let zkey = crate::canonical_set(z);
+        let ze = self.enc.encode(&zkey);
+        if ze.all_singletons() {
+            // Degenerate on the *extended* rows too — same short-circuit
+            // a cold evaluation takes (the counter is deliberately not
+            // bumped: patched answers do no contingency work to skip).
+            return Some(CiOutcome {
+                independent: true,
+                p_value: 1.0,
+                statistic: 0.0,
+            });
+        }
+        let (xs, ys) = crate::canonical_sides(x, y);
+        let t = self.suff.peek(&(xs, ys, zkey))?;
+        if t.n_rows != self.enc.n_rows() {
+            return None;
+        }
+        let (g, df) = t.g();
+        let (g, p) = finish_g(g, df);
+        Some(CiOutcome {
+            independent: p > self.alpha,
+            p_value: p,
+            statistic: g,
+        })
     }
 }
 
@@ -333,6 +438,7 @@ fn g_test_grouped_narrow<X: CodeValue, Y: CodeValue>(
     y: &[Y],
     ya: u32,
     part: &ZPartition,
+    rows: &StratumRows,
     arena: &mut DenseArena,
 ) -> (f64, f64, u64) {
     let n = x.len();
@@ -342,7 +448,7 @@ fn g_test_grouped_narrow<X: CodeValue, Y: CodeValue>(
     let (xa, ya) = (xa.max(1) as usize, ya.max(1) as usize);
     match dense_cell_space(n, part.n_strata, xa, ya) {
         Some(cells) => {
-            arena.fill(x, y, xa, ya, part, cells);
+            arena.fill(x, y, xa, ya, part, rows, cells);
             let (g, df) = arena.g_walk();
             let (g, p) = finish_g(g, df);
             (g, p, cells as u64)
@@ -628,7 +734,7 @@ mod tests {
     /// fallback, and at every narrowed code width.
     #[test]
     fn grouped_statistic_is_byte_identical() {
-        use crate::contingency::{DenseArena, ZPartition};
+        use crate::contingency::{DenseArena, StratumRows, ZPartition};
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(17);
         let mut arena = DenseArena::new();
@@ -638,22 +744,26 @@ mod tests {
             let y: Vec<u32> = (0..n).map(|_| rng.gen_range(0..ya)).collect();
             let z: Vec<u32> = (0..n).map(|_| rng.gen_range(0..za)).collect();
             let part = ZPartition::from_codes(z.as_slice());
+            let rows = StratumRows::from_partition(&part);
             let reference = g_test_from_codes(&x, &y, &z);
             let grouped = g_test_grouped_reference(&x, xa, &y, ya, &part);
             assert_eq!(reference, grouped, "arities ({xa},{ya},{za})");
             // Arena kernel at full width (the arena is reused across cases).
-            let (g, p, _) = g_test_grouped_narrow(x.as_slice(), xa, &y[..], ya, &part, &mut arena);
+            let (g, p, _) =
+                g_test_grouped_narrow(x.as_slice(), xa, &y[..], ya, &part, &rows, &mut arena);
             assert_eq!(reference, (g, p), "narrow u32 ({xa},{ya},{za})");
             // Narrowed storage widths count identically.
             if xa <= 256 && ya <= 256 {
                 let x8: Vec<u8> = x.iter().map(|&v| v as u8).collect();
                 let y8: Vec<u8> = y.iter().map(|&v| v as u8).collect();
-                let (g, p, _) = g_test_grouped_narrow(&x8[..], xa, &y8[..], ya, &part, &mut arena);
+                let (g, p, _) =
+                    g_test_grouped_narrow(&x8[..], xa, &y8[..], ya, &part, &rows, &mut arena);
                 assert_eq!(reference, (g, p), "narrow u8 ({xa},{ya},{za})");
             }
             let x16: Vec<u16> = x.iter().map(|&v| v as u16).collect();
             if xa <= 65536 {
-                let (g, p, _) = g_test_grouped_narrow(&x16[..], xa, &y[..], ya, &part, &mut arena);
+                let (g, p, _) =
+                    g_test_grouped_narrow(&x16[..], xa, &y[..], ya, &part, &rows, &mut arena);
                 assert_eq!(reference, (g, p), "narrow u16/u32 ({xa},{ya},{za})");
             }
         }
@@ -685,6 +795,17 @@ mod tests {
 
         let concat = parent_t.concat(&batch).unwrap();
         let cold = GTest::new(&concat, 0.01);
+        // Every warmed query's sufficient statistic was retained and
+        // patched at extension; it answers bit-for-bit what the cold
+        // tester computes. A query never evaluated has nothing to patch.
+        assert_eq!(birth.suff_tables, 3, "{birth:?}");
+        assert!(ext.patched_outcome(&[1], &[2], &[0]).is_none());
+        for (x, y, z) in &warm {
+            let got = ext.patched_outcome(x, y, z).expect("patched table answers");
+            let (cg, cp) = cold.g_statistic(x, y, z);
+            assert_eq!(got.statistic.to_bits(), cg.to_bits(), "patched statistic");
+            assert_eq!(got.p_value.to_bits(), cp.to_bits(), "patched p-value");
+        }
         let mut queries = warm.to_vec();
         queries.push((vec![1], vec![2], vec![0])); // fresh conditioning set
         for (x, y, z) in &queries {

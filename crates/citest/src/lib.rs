@@ -74,6 +74,13 @@ pub struct ScaffoldStats {
     pub resident: u64,
     /// Scaffolds evicted by the cache bound since construction.
     pub evictions: u64,
+    /// Sufficient-statistic tables (retained per-query contingency counts,
+    /// discrete testers only) currently resident. Kept out of the scaffold
+    /// conservation law above — suff tables have their own lifecycle (they
+    /// are dropped, not rebuilt, when patching preconditions fail).
+    pub suff_tables: u64,
+    /// Sufficient-statistic tables evicted by their cache bound.
+    pub suff_evictions: u64,
 }
 
 impl ScaffoldStats {
@@ -89,6 +96,8 @@ impl ScaffoldStats {
             rebuilt: self.rebuilt + other.rebuilt,
             resident: self.resident + other.resident,
             evictions: self.evictions + other.evictions,
+            suff_tables: self.suff_tables + other.suff_tables,
+            suff_evictions: self.suff_evictions + other.suff_evictions,
         }
     }
 }
@@ -358,6 +367,25 @@ pub trait CiTestBatch: CiTestShared {
         None
     }
 
+    /// On a tester produced by [`CiTestBatch::extend_over`]: answer the
+    /// query from a *patched* sufficient statistic — the memoized
+    /// contingency table carried over from the parent with only the
+    /// appended rows counted in — instead of re-evaluating from scratch.
+    ///
+    /// Contract: a `Some` outcome must be **byte-identical** to what
+    /// `ci_shared` on this tester (equivalently, on a cold tester over the
+    /// concatenated table) would return for the same query. `None` means
+    /// the query cannot be patched — the statistic was never retained, was
+    /// evicted, its encoding isn't provably append-stable, or the tester's
+    /// statistic fundamentally doesn't patch (Fisher-z / RCIT moment sums
+    /// reassociate floating point when split at the append boundary) —
+    /// and the caller must fall back to invalidation. The default declines
+    /// every query.
+    fn patched_outcome(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> Option<CiOutcome> {
+        let _ = (x, y, z);
+        None
+    }
+
     /// Conservation ledger for this tester's scaffold caches (see
     /// [`ScaffoldStats`]). Testers without scaffolds keep the default
     /// all-zero ledger, which is trivially conserved.
@@ -382,6 +410,9 @@ impl<T: CiTestBatch + ?Sized> CiTestBatch for &mut T {
     fn scaffold_stats(&self) -> ScaffoldStats {
         (**self).scaffold_stats()
     }
+    fn patched_outcome(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> Option<CiOutcome> {
+        (**self).patched_outcome(x, y, z)
+    }
 }
 
 impl<T: CiTestBatch + ?Sized> CiTestBatch for &T {
@@ -399,6 +430,9 @@ impl<T: CiTestBatch + ?Sized> CiTestBatch for &T {
     }
     fn scaffold_stats(&self) -> ScaffoldStats {
         (**self).scaffold_stats()
+    }
+    fn patched_outcome(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> Option<CiOutcome> {
+        (**self).patched_outcome(x, y, z)
     }
 }
 
@@ -457,6 +491,9 @@ where
     }
     fn scaffold_stats(&self) -> ScaffoldStats {
         (**self).scaffold_stats()
+    }
+    fn patched_outcome(&self, x: &[VarId], y: &[VarId], z: &[VarId]) -> Option<CiOutcome> {
+        (**self).patched_outcome(x, y, z)
     }
 }
 

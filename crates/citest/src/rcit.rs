@@ -394,6 +394,9 @@ impl crate::CiTestBatch for Rcit {
             rebuilt: self.zctx.inserted(),
             resident: self.zctx.len() as u64,
             evictions: self.zctx.evictions(),
+            // Random-feature moment sums reassociate floats under append:
+            // never patched, always rebuilt.
+            ..crate::ScaffoldStats::default()
         }
     }
 }

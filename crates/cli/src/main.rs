@@ -893,6 +893,15 @@ fn print_engine_stats(stats: &EngineStats, workers: usize) {
         "encode cache hits/misses    {}/{} (evictions {})",
         stats.encode_cache_hits, stats.encode_cache_misses, stats.encode_cache_evictions
     );
+    if stats.memoized_before > 0 {
+        println!(
+            "memo patched/invalidated    {}/{} of {} (patch hits {})",
+            stats.memo_patched,
+            stats.memo_invalidated,
+            stats.memoized_before,
+            stats.memo_patch_hits
+        );
+    }
     println!("ci wall time                {:.2} ms", stats.wall_ms);
     for p in &stats.phases {
         println!(

@@ -195,6 +195,39 @@ fn speculation_budget(workers: usize) -> usize {
     workers.max(1) * 16
 }
 
+/// Minimum speculative sample before the adaptive gate trusts the waste
+/// rate — below this, keep speculating to gather evidence.
+const SPECULATION_MIN_SAMPLE: u64 = 64;
+
+/// Waste-rate threshold for the adaptive gate, as (numerator,
+/// denominator): skip the wave once more than half of the speculative
+/// work issued so far was never consumed.
+const SPECULATION_MAX_WASTE: (u64, u64) = (1, 2);
+
+/// The adaptive speculation gate ([`SelectConfig::adaptive_speculation`]):
+/// should this level's speculative wave ride along?
+///
+/// * `workers <= 1`: never — there are no idle workers to absorb the
+///   ride-along, so speculation can only delay the demanded batch.
+/// * fewer than [`SPECULATION_MIN_SAMPLE`] speculated so far: yes —
+///   the waste rate isn't informative yet.
+/// * otherwise: yes iff the observed waste rate
+///   (`speculative_wasted / speculative_issued`) is at most
+///   [`SPECULATION_MAX_WASTE`].
+///
+/// Pure over the session's telemetry, so the decision is deterministic
+/// for a fixed workload and worker count.
+fn speculation_worthwhile(stats: &fairsel_engine::EngineStats, workers: usize) -> bool {
+    if workers <= 1 {
+        return false;
+    }
+    if stats.speculative_issued < SPECULATION_MIN_SAMPLE {
+        return true;
+    }
+    let (num, den) = SPECULATION_MAX_WASTE;
+    stats.speculative_wasted().saturating_mul(den) <= stats.speculative_issued.saturating_mul(num)
+}
+
 fn run<T: CiTest>(
     problem: &Problem,
     cfg: &SelectConfig,
@@ -228,7 +261,9 @@ fn run<T: CiTest>(
     let mut remaining: Vec<VarId> = Vec::new();
     let mut planner = root_planner(&features, cfg);
     while !planner.is_done() {
-        let spec: Vec<CiQuery> = if cfg.speculate {
+        let speculate_now = cfg.speculate
+            && (!cfg.adaptive_speculation || speculation_worthwhile(session.stats(), workers));
+        let spec: Vec<CiQuery> = if speculate_now {
             let frontier = planner.frontier();
             let halves = planner.speculative_halves();
             let later_waves = subsets
@@ -287,7 +322,9 @@ fn run<T: CiTest>(
             .iter()
             .map(|g| CiQuery::new(g, &[problem.target], &cond))
             .collect();
-        let spec: Vec<CiQuery> = if cfg.speculate {
+        let speculate_now = cfg.speculate
+            && (!cfg.adaptive_speculation || speculation_worthwhile(session.stats(), workers));
+        let spec: Vec<CiQuery> = if speculate_now {
             planner
                 .speculative_halves()
                 .iter()
@@ -353,6 +390,86 @@ mod tests {
         vars.iter()
             .map(|&v| dag.name(fairsel_graph::NodeId(v as u32)).to_owned())
             .collect()
+    }
+
+    /// The adaptive gate's decision table: no idle workers → never;
+    /// small sample → always; large sample → iff the waste rate is at
+    /// most the threshold.
+    #[test]
+    fn adaptive_gate_decision_table() {
+        let stats = |issued: u64, hits: u64| fairsel_engine::EngineStats {
+            speculative_issued: issued,
+            speculative_hits: hits,
+            ..Default::default()
+        };
+        // workers <= 1: gated off regardless of telemetry.
+        assert!(!speculation_worthwhile(&stats(0, 0), 1));
+        assert!(!speculation_worthwhile(&stats(100, 100), 0));
+        // Below the evidence threshold: speculate to learn.
+        assert!(speculation_worthwhile(&stats(0, 0), 4));
+        assert!(speculation_worthwhile(
+            &stats(SPECULATION_MIN_SAMPLE - 1, 0),
+            4
+        ));
+        // At or past the threshold: the waste rate decides. 100 issued /
+        // 50 consumed is exactly the 1/2 bound (allowed); one fewer hit
+        // tips it over.
+        assert!(speculation_worthwhile(&stats(100, 50), 4));
+        assert!(!speculation_worthwhile(&stats(100, 49), 4));
+        assert!(speculation_worthwhile(&stats(1000, 1000), 4));
+        assert!(!speculation_worthwhile(&stats(1000, 0), 4));
+    }
+
+    /// With the adaptive gate on, selections and the speculation
+    /// conservation law are unchanged — the gate can only skip waves,
+    /// never alter answers.
+    #[test]
+    fn adaptive_gate_preserves_selections() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let inst = synthetic_instance(
+            &mut rng,
+            &SyntheticConfig {
+                n_features: 12,
+                biased_fraction: 0.3,
+                ..Default::default()
+            },
+        );
+        let problem = Problem::from_roles(&inst.roles);
+        let base_cfg = SelectConfig {
+            speculate: true,
+            ..Default::default()
+        };
+        let adaptive_cfg = SelectConfig {
+            adaptive_speculation: true,
+            ..base_cfg.clone()
+        };
+        for workers in [1usize, 4] {
+            let run = |cfg: &SelectConfig| {
+                let mut tester = OracleCi::from_dag(inst.dag.clone());
+                let mut session = CiSession::new(&mut tester);
+                let sel =
+                    grpsel_batched_in(&mut session, &problem, cfg, None, workers).normalized();
+                (sel, session.stats().clone())
+            };
+            let (plain_sel, plain) = run(&base_cfg);
+            let (gated_sel, gated) = run(&adaptive_cfg);
+            assert_eq!(plain_sel.c1, gated_sel.c1, "workers={workers}");
+            assert_eq!(plain_sel.c2, gated_sel.c2, "workers={workers}");
+            assert_eq!(plain_sel.rejected, gated_sel.rejected, "workers={workers}");
+            // Conservation: issued + consumed speculation is the same
+            // total demanded work under both policies.
+            assert_eq!(
+                plain.issued + plain.speculative_hits,
+                gated.issued + gated.speculative_hits,
+                "workers={workers}"
+            );
+            if workers == 1 {
+                assert_eq!(
+                    gated.speculative_issued, 0,
+                    "no idle workers: the gate must skip every wave"
+                );
+            }
+        }
     }
 
     #[test]

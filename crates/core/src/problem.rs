@@ -102,6 +102,17 @@ pub struct SelectConfig {
     /// `speculative_hits` / `speculative_wasted` counters. Ignored by
     /// SeqSel and by the non-batched execution paths.
     pub speculate: bool,
+    /// Adaptive gate on top of [`SelectConfig::speculate`]: skip a
+    /// level's speculative wave when the session's observed waste rate
+    /// (`speculative_wasted / speculative_issued`) says prediction isn't
+    /// paying for itself, or when there are no idle workers to absorb
+    /// the ride-along (`workers <= 1`). Selections stay byte-identical —
+    /// the gate only changes *when* predictable work is computed, never
+    /// what is answered — and the conservation law
+    /// `issued + speculative_hits == issued_without_speculation` holds
+    /// regardless. Off by default so ungated runs keep exercising the
+    /// speculation ledger.
+    pub adaptive_speculation: bool,
 }
 
 impl Default for SelectConfig {
@@ -111,6 +122,7 @@ impl Default for SelectConfig {
             admissible_guard: 12,
             max_group: None,
             speculate: false,
+            adaptive_speculation: false,
         }
     }
 }

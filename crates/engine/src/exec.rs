@@ -338,7 +338,11 @@ impl<T: CiTestBatch> CiSession<T> {
             let mut seen: std::collections::HashSet<QueryKey> = std::collections::HashSet::new();
             for q in speculative {
                 let key = q.key();
+                // A parked patched outcome already answers the key; it is
+                // skipped *without* being consumed — only a demanded
+                // query may book the `memo_patch_hit`.
                 if self.cache_get(&key).is_some()
+                    || self.patched_pending_contains(&key)
                     || demanded.contains(&key)
                     || !seen.insert(key.clone())
                 {
@@ -489,29 +493,79 @@ impl<T: CiTestBatch> CiSession<T> {
     ///
     /// Build a session over `child` — a table produced by appending rows
     /// to this session's dataset ([`fairsel_ci::EncodedTable::extend`]) —
-    /// carrying forward what stays valid and discarding what doesn't:
+    /// carrying forward what stays valid and re-deriving what can be
+    /// re-derived in O(batch):
     ///
-    /// * **Outcomes are invalidated.** Every memoized p-value depends on
-    ///   `n`, so the child starts with an empty memo (and fresh
-    ///   [`EngineStats`], so its counters match a cold session's).
     /// * **Tester scaffolds are extended.** The tester decides per
     ///   scaffold kind what survives ([`CiTestBatch::extend_over`]):
     ///   stratifications and design matrices extend over the appended
     ///   rows; whole-sample artifacts (residuals, standardized blocks)
     ///   rebuild on demand. Either way the child answers bit-for-bit what
     ///   a cold session over the concatenated table answers.
+    /// * **Memoized outcomes are patched or invalidated.** Every memoized
+    ///   p-value depends on `n`, so none survives verbatim — but testers
+    ///   whose sufficient statistic is an integer contingency table
+    ///   ([`CiTestBatch::patched_outcome`]) re-derive the outcome at the
+    ///   new `n` from retained per-stratum counts patched by the appended
+    ///   rows alone. Patched outcomes are parked *outside* the memo and
+    ///   consumed on first demand, so the child is born memo-empty and
+    ///   its fingerprint covers exactly the demanded workload. Queries
+    ///   whose counts were evicted, whose encoding isn't prefix-stable,
+    ///   or whose tester can't patch (float moment sums reassociate) are
+    ///   invalidated and re-issued on demand — the PR-8 path. The ledger
+    ///   (`memoized_before = memo_patched + memo_invalidated`) is stamped
+    ///   at birth.
+    /// * **An empty batch patches everything trivially.** When the child
+    ///   has no appended rows, every memoized outcome is still exact:
+    ///   the whole memo parks as patched, zero invalidated, no tester
+    ///   calls.
     ///
     /// Returns `None` when the tester has no extension path (the default
     /// for testers that never opted in) — the caller falls back to a cold
     /// rebuild. The child's scaffold/encode counters are refreshed before
     /// returning, so the warm-birth ledger (`extended_scaffolds`,
-    /// `extended_encodings`, `append_rows`) is visible before any query.
+    /// `extended_encodings`, `append_rows`, `memo_patched`) is visible
+    /// before any query.
     pub fn extended_over(
+        &self,
+        child: std::sync::Arc<fairsel_ci::EncodedTable>,
+    ) -> Option<CiSession<Box<dyn CiTestBatch + Send + Sync>>> {
+        let empty_batch = child.n_rows() == child.base_rows();
+        let tester = self.tester().extend_over(child)?;
+        let mut session = CiSession::new(tester);
+        let mut patched: std::collections::HashMap<QueryKey, CiOutcome> =
+            std::collections::HashMap::new();
+        let mut invalidated = 0u64;
+        for (key, out) in self.memo_snapshot() {
+            if empty_batch {
+                // n is unchanged: the memoized outcome is still exact.
+                patched.insert(key, out);
+                continue;
+            }
+            match session.tester().patched_outcome(key.x(), key.y(), key.z()) {
+                Some(out) => {
+                    patched.insert(key, out);
+                }
+                None => invalidated += 1,
+            }
+        }
+        session.set_patched_pending(patched, invalidated);
+        session.refresh_encode_stats();
+        Some(session)
+    }
+
+    /// The invalidate-everything transfer: scaffolds extend exactly as in
+    /// [`CiSession::extended_over`], but no memoized outcome is patched —
+    /// every one is re-issued on demand. This is the pre-patching
+    /// baseline, kept callable so benchmarks can measure what patching
+    /// saves; the ledger records the whole memo as `memo_invalidated`.
+    pub fn extended_over_invalidating(
         &self,
         child: std::sync::Arc<fairsel_ci::EncodedTable>,
     ) -> Option<CiSession<Box<dyn CiTestBatch + Send + Sync>>> {
         let tester = self.tester().extend_over(child)?;
         let mut session = CiSession::new(tester);
+        session.set_patched_pending(std::collections::HashMap::new(), self.cache_len() as u64);
         session.refresh_encode_stats();
         Some(session)
     }
@@ -886,7 +940,14 @@ mod tests {
         assert!(birth.extended_scaffolds > 0, "{birth:?}");
         assert_eq!(birth.rebuilt_scaffolds, 0, "{birth:?}");
         assert!(birth.scaffolds_conserved(), "{birth:?}");
-        // Memo invalidated: no outcome survives the append.
+        // The extension ledger is stamped at birth and conserved: every
+        // parent memo either patched (sufficient statistic re-derived at
+        // the new n) or invalidated.
+        assert_eq!(birth.memoized_before, 4, "{birth:?}");
+        assert!(birth.memos_conserved(), "{birth:?}");
+        assert!(birth.memo_patched > 0, "{birth:?}");
+        // Patched outcomes are parked, not memoized: the child is born
+        // memo-empty so its fingerprint covers the demanded workload.
         assert_eq!(warm.cache_len(), 0);
 
         let concat = parent_t.concat(&batch).unwrap();
@@ -897,12 +958,18 @@ mod tests {
             assert_eq!(a, b, "workers={workers}");
         }
         assert_eq!(warm.outcomes_fingerprint(), cold.outcomes_fingerprint());
-        // Engine counters that measure the workload (not the transfer)
-        // match a cold run exactly.
+        // Engine counters: every consumed patch replaces one cold issue
+        // (and is booked as a cache hit), so issued + patch hits and
+        // hits − patch hits are conserved against the cold run.
         let (w, c) = (warm.stats(), cold.stats());
         assert_eq!(w.requested, c.requested);
-        assert_eq!(w.issued, c.issued);
-        assert_eq!(w.cache_hits, c.cache_hits);
+        assert_eq!(w.issued + w.memo_patch_hits, c.issued);
+        assert_eq!(w.cache_hits, c.cache_hits + w.memo_patch_hits);
+        assert_eq!(
+            w.memo_patch_hits, w.memo_patched,
+            "the workload demanded every patched key"
+        );
+        assert!(w.issued < c.issued, "patching must save issues");
         assert_eq!(w.batches, c.batches);
         assert!(w.scaffolds_conserved(), "{w:?}");
         // The savings: the warm session re-derived fewer scaffolds.

@@ -78,6 +78,27 @@ pub struct EngineStats {
     pub resident_scaffolds: u64,
     /// Tester scaffolds evicted by the cache bound.
     pub scaffold_evictions: u64,
+    /// Outcomes the parent session had memoized at the moment this
+    /// session was created by dataset extension — the total of the
+    /// patch-or-invalidate ledger.
+    pub memoized_before: u64,
+    /// Parent outcomes recomputed at the new row count by *patching* the
+    /// tester's retained sufficient statistic with the appended rows —
+    /// O(batch) counting, no tester issue.
+    pub memo_patched: u64,
+    /// Parent outcomes dropped at extension (tester can't patch — float
+    /// moment sums reassociate —, retained counts evicted, or a patch
+    /// precondition failed); re-issued on next demand.
+    pub memo_invalidated: u64,
+    /// Demanded queries answered by a parked patched outcome
+    /// (≤ `memo_patched`: patched answers stay outside the memo until
+    /// demanded, so fingerprints only ever cover demanded work).
+    pub memo_patch_hits: u64,
+    /// Sufficient statistics (per-query contingency tables) resident in
+    /// the tester's retention cache.
+    pub resident_suff_tables: u64,
+    /// Sufficient statistics evicted by the retention-cache bound.
+    pub suff_evictions: u64,
     /// Per-phase breakdown, in phase order.
     pub phases: Vec<PhaseStats>,
 }
@@ -151,6 +172,14 @@ impl EngineStats {
             scaffold_evictions: self
                 .scaffold_evictions
                 .saturating_sub(before.scaffold_evictions),
+            // The extension ledger is stamped once at session birth —
+            // a level, carried as-is; only its consumption is a rate.
+            memoized_before: self.memoized_before,
+            memo_patched: self.memo_patched,
+            memo_invalidated: self.memo_invalidated,
+            memo_patch_hits: self.memo_patch_hits.saturating_sub(before.memo_patch_hits),
+            resident_suff_tables: self.resident_suff_tables,
+            suff_evictions: self.suff_evictions.saturating_sub(before.suff_evictions),
             phases: Vec::new(),
         }
     }
@@ -164,6 +193,13 @@ impl EngineStats {
     pub fn scaffolds_conserved(&self) -> bool {
         self.extended_scaffolds + self.rebuilt_scaffolds
             == self.resident_scaffolds + self.scaffold_evictions
+    }
+
+    /// The append memo ledger: every outcome memoized at the moment of
+    /// dataset extension was either patched in place or invalidated —
+    /// nothing is silently dropped, nothing double-counted.
+    pub fn memos_conserved(&self) -> bool {
+        self.memo_patched + self.memo_invalidated == self.memoized_before
     }
 
     /// Serialize to a self-contained JSON object (no external deps — the
@@ -275,6 +311,32 @@ impl EngineStats {
             self.scaffold_evictions as f64,
             false,
         );
+        push_kv(
+            &mut s,
+            "memoized_before",
+            self.memoized_before as f64,
+            false,
+        );
+        push_kv(&mut s, "memo_patched", self.memo_patched as f64, false);
+        push_kv(
+            &mut s,
+            "memo_invalidated",
+            self.memo_invalidated as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "memo_patch_hits",
+            self.memo_patch_hits as f64,
+            false,
+        );
+        push_kv(
+            &mut s,
+            "resident_suff_tables",
+            self.resident_suff_tables as f64,
+            false,
+        );
+        push_kv(&mut s, "suff_evictions", self.suff_evictions as f64, false);
         s.push_str("\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -369,6 +431,14 @@ pub struct CiSession<T> {
     /// Speculatively computed keys not yet consumed by a demanded query —
     /// the ledger behind `speculative_hits` (each key counted once).
     spec_pending: HashSet<QueryKey>,
+    /// Outcomes recomputed by sufficient-statistic patching at dataset
+    /// extension, parked until demanded. Kept *outside* the memo so
+    /// `cache_len()` starts at 0 and `outcomes_fingerprint()` covers
+    /// exactly the queries this session's workload demanded — the same
+    /// set a cold session on the concatenated table would memoize. A
+    /// memo miss consumes from here first (booking `memo_patch_hits`)
+    /// before issuing to the tester.
+    patched_pending: HashMap<QueryKey, CiOutcome>,
 }
 
 impl<T: CiTest> CiSession<T> {
@@ -381,6 +451,7 @@ impl<T: CiTest> CiSession<T> {
             current_phase: None,
             pool: None,
             spec_pending: HashSet::new(),
+            patched_pending: HashMap::new(),
         }
     }
 
@@ -492,15 +563,58 @@ impl<T: CiTest> CiSession<T> {
         self.cache.get(key).copied()
     }
 
+    /// Every memoized entry in canonical key order — the deterministic
+    /// walk order the extension patch loop re-derives outcomes in.
+    pub(crate) fn memo_snapshot(&self) -> Vec<(QueryKey, CiOutcome)> {
+        let mut entries: Vec<(QueryKey, CiOutcome)> =
+            self.cache.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
     /// Cache lookup that also settles the speculation ledger: the first
     /// demanded hit on a speculatively computed key books one
     /// `speculative_hit` and retires the key.
     pub(crate) fn cache_get_tracked(&mut self, key: &QueryKey) -> Option<CiOutcome> {
-        let hit = self.cache.get(key).copied();
-        if hit.is_some() && self.spec_pending.remove(key) {
-            self.stats.speculative_hits += 1;
+        if let Some(hit) = self.cache.get(key).copied() {
+            if self.spec_pending.remove(key) {
+                self.stats.speculative_hits += 1;
+            }
+            return Some(hit);
         }
-        hit
+        // A memo miss consumes a parked patched outcome instead of
+        // issuing: the answer moves into the memo (so the fingerprint
+        // sees it, exactly as if this session had computed it cold) and
+        // one `memo_patch_hit` is booked. The caller still accounts the
+        // hit under `cache_hits`, keeping the per-batch arithmetic
+        // (`requested == issued + hits`) unchanged.
+        if let Some(out) = self.patched_pending.remove(key) {
+            self.cache.insert(key.clone(), out);
+            self.stats.memo_patch_hits += 1;
+            return Some(out);
+        }
+        None
+    }
+
+    /// Non-consuming probe: is a patched outcome parked for `key`?
+    /// Used by the speculation filter, which must not consume (only a
+    /// demanded query may book a `memo_patch_hit`).
+    pub(crate) fn patched_pending_contains(&self, key: &QueryKey) -> bool {
+        self.patched_pending.contains_key(key)
+    }
+
+    /// Park a batch of patched outcomes and stamp the extension ledger.
+    /// Called once at `extended_over` birth; `invalidated` counts the
+    /// parent memos whose sufficient statistics could not be patched.
+    pub(crate) fn set_patched_pending(
+        &mut self,
+        patched: HashMap<QueryKey, CiOutcome>,
+        invalidated: u64,
+    ) {
+        self.stats.memoized_before = patched.len() as u64 + invalidated;
+        self.stats.memo_patched = patched.len() as u64;
+        self.stats.memo_invalidated = invalidated;
+        self.patched_pending = patched;
     }
 
     pub(crate) fn cache_insert(&mut self, key: QueryKey, out: CiOutcome) {
@@ -558,6 +672,8 @@ impl<T: CiTest> CiSession<T> {
         self.stats.rebuilt_scaffolds = stats.rebuilt;
         self.stats.resident_scaffolds = stats.resident;
         self.stats.scaffold_evictions = stats.evictions;
+        self.stats.resident_suff_tables = stats.suff_tables;
+        self.stats.suff_evictions = stats.suff_evictions;
     }
 
     pub(crate) fn account_batch(

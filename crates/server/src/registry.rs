@@ -170,6 +170,11 @@ pub struct Registry {
     evictions: AtomicU64,
     put_evictions: AtomicU64,
     warm_children: AtomicU64,
+    /// Cumulative memo-ledger totals across every warm-child birth:
+    /// parent outcomes re-derived by sufficient-statistic patching vs
+    /// invalidated for on-demand re-issue.
+    memo_patched: AtomicU64,
+    memo_invalidated: AtomicU64,
 }
 
 impl Registry {
@@ -184,6 +189,8 @@ impl Registry {
             evictions: AtomicU64::new(0),
             put_evictions: AtomicU64::new(0),
             warm_children: AtomicU64::new(0),
+            memo_patched: AtomicU64::new(0),
+            memo_invalidated: AtomicU64::new(0),
         }
     }
 
@@ -215,6 +222,16 @@ impl Registry {
     /// Workload sessions born warm from a parent via append lineage.
     pub fn warm_children(&self) -> u64 {
         self.warm_children.load(Ordering::Relaxed)
+    }
+
+    /// Total memoized outcomes patched in place across warm-child births.
+    pub fn memo_patched(&self) -> u64 {
+        self.memo_patched.load(Ordering::Relaxed)
+    }
+
+    /// Total memoized outcomes invalidated across warm-child births.
+    pub fn memo_invalidated(&self) -> u64 {
+        self.memo_invalidated.load(Ordering::Relaxed)
     }
 
     /// The recorded append parent of `child_fp`, if any.
@@ -451,11 +468,23 @@ impl Registry {
         let batch = child_train.take_rows(&suffix);
         let enc = Arc::new(pw.enc.extend(&batch).ok()?);
         let session = pw.session.extended_over(Arc::clone(&enc))?;
+        // The child's birth stats carry the memo ledger: how many of the
+        // parent's memoized outcomes were re-derived in O(batch) from
+        // patched sufficient statistics vs invalidated for re-issue.
+        let (patched, invalidated) = {
+            let s = session.stats();
+            (s.memo_patched, s.memo_invalidated)
+        };
+        self.memo_patched.fetch_add(patched, Ordering::Relaxed);
+        self.memo_invalidated
+            .fetch_add(invalidated, Ordering::Relaxed);
         let _sp = fairsel_obs::span_kv("session.warm_child", || {
             vec![
                 ("fingerprint", format!("{child_fp:016x}")),
                 ("parent", format!("{parent_fp:016x}")),
                 ("appended_train_rows", (n_child - n_parent).to_string()),
+                ("memo_patched", patched.to_string()),
+                ("memo_invalidated", invalidated.to_string()),
             ]
         });
         Some((enc, session))
@@ -842,6 +871,16 @@ mod tests {
                 && !warm_stats.contains("\"append_rows\":0,")
                 && !warm_stats.contains("\"extended_scaffolds\":0,"),
             "engine stats must surface a nonzero append ledger: {warm_stats}"
+        );
+        // The memo ledger too: the warm child patched parent outcomes in
+        // place (G-test sufficient statistics re-derived over the batch)
+        // and the ledger conserves — patched + invalidated == before.
+        assert!(
+            warm_stats.contains("\"memoized_before\":")
+                && warm_stats.contains("\"memo_patched\":")
+                && !warm_stats.contains("\"memo_patched\":0,")
+                && !warm_stats.contains("\"memo_patch_hits\":0,"),
+            "warm child must patch parent memos in place: {warm_stats}"
         );
 
         // Ground truth: a cold registry run on the concatenated table.

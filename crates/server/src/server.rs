@@ -762,6 +762,12 @@ fn stats_response(state: &ServerState) -> Response {
             ("requests", Json::Num(r.requests() as f64)),
             ("dataset_evictions", Json::Num(r.evictions() as f64)),
             ("put_evictions", Json::Num(r.put_evictions() as f64)),
+            ("warm_children", Json::Num(r.warm_children() as f64)),
+            ("memo_patched_total", Json::Num(r.memo_patched() as f64)),
+            (
+                "memo_invalidated_total",
+                Json::Num(r.memo_invalidated() as f64),
+            ),
             (
                 "active_conns",
                 Json::Num(state.active_conns.load(Ordering::SeqCst) as f64),

@@ -478,6 +478,36 @@ mod tests {
         assert!(decode_table(&bytes).unwrap_err().msg.contains("magic"));
     }
 
+    /// A zero-row batch is a legal frame: the schema still round-trips
+    /// (names, roles, arities) with no row payload, so a streaming client
+    /// can send an empty append (e.g. a heartbeat flush) and the server
+    /// treats it as a schema-checked no-op rather than an error.
+    #[test]
+    fn append_frame_round_trips_zero_rows() {
+        let t = sample();
+        let empty = t.take_rows(&[]);
+        assert_eq!(empty.n_rows(), 0);
+        let bytes = encode_row_batch(&empty);
+        let back = decode_row_batch(&bytes).unwrap();
+        assert_eq!(back.n_rows(), 0);
+        assert_eq!(back.columns(), empty.columns());
+        // The parent accepts it: concat is the identity on rows.
+        let grown = t.concat(&back).unwrap();
+        assert_eq!(grown.n_rows(), t.n_rows());
+        assert_eq!(grown.columns(), t.columns());
+    }
+
+    /// A single-row batch is the smallest real append and must round-trip
+    /// exactly — categorical codes and f64 bit patterns alike.
+    #[test]
+    fn append_frame_round_trips_single_row() {
+        let t = sample();
+        let one = t.take_rows(&[1]);
+        assert_eq!(one.n_rows(), 1);
+        let back = decode_row_batch(&encode_row_batch(&one)).unwrap();
+        assert_eq!(back.columns(), one.columns());
+    }
+
     #[test]
     fn append_frame_rejects_truncation_anywhere() {
         let bytes = encode_row_batch(&sample());

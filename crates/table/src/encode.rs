@@ -266,6 +266,16 @@ pub struct EncodedTable {
     code_bytes: AtomicU64,
     append_rows: AtomicU64,
     extended: AtomicU64,
+    /// Parent row count at the last [`EncodedTable::extend`] (0 for a cold
+    /// build): the boundary between retained prefix rows and appended rows
+    /// that sufficient-statistic patching counts.
+    base_rows: usize,
+    /// Set keys whose codes provably agree with the parent's codes on the
+    /// first `base_rows` rows — the keys extended in place at the last
+    /// [`EncodedTable::extend`]. Data-independent stability (singleton and
+    /// fully mixed-radix chains) is decided structurally instead; see
+    /// [`EncodedTable::prefix_stable`].
+    stable_sets: std::collections::HashSet<Vec<ColId>>,
     // Reusable scratch for the dense-renumber compose fallback: pre-sized
     // once and cleared (capacity kept) between groups, so a 500k-row
     // overflow composition doesn't pay a rehash storm per prefix step.
@@ -321,6 +331,8 @@ impl EncodedTable {
             code_bytes: AtomicU64::new(0),
             append_rows: AtomicU64::new(0),
             extended: AtomicU64::new(0),
+            base_rows: 0,
+            stable_sets: Default::default(),
             dense_scratch: Mutex::new(std::collections::HashMap::new()),
         }
     }
@@ -348,6 +360,28 @@ impl EncodedTable {
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
         self.table.n_rows()
+    }
+
+    /// Rows inherited from the parent dataset at the last
+    /// [`EncodedTable::extend`] — 0 for a cold build. Sufficient-statistic
+    /// patching counts only the rows from here to [`EncodedTable::n_rows`].
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    /// Whether this (extended) table's joint codes for `cols` provably
+    /// equal the parent's codes on the first [`EncodedTable::base_rows`]
+    /// rows — the precondition for patching a contingency table that was
+    /// counted against the parent's codes. Singletons and fully
+    /// mixed-radix chains are stable by construction (the code of a row is
+    /// a pure function of its values and the declared arities); dense
+    /// re-numbered chains are stable exactly when the last extension
+    /// carried them over in place.
+    pub fn prefix_stable(&self, cols: &[ColId]) -> bool {
+        let mut key = cols.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        key.len() <= 1 || self.mixed_key_arity(&key).is_some() || self.stable_sets.contains(&key)
     }
 
     /// Cache telemetry so far (set encodings + materialized numeric
@@ -456,7 +490,8 @@ impl EncodedTable {
     pub fn extend(&self, batch: &Table) -> Result<EncodedTable, crate::table::TableError> {
         let n_parent = self.table.n_rows();
         let child_table = Arc::new(self.table.concat(batch)?);
-        let child = EncodedTable::build(child_table, self.caching, self.sets.cap());
+        let mut child = EncodedTable::build(child_table, self.caching, self.sets.cap());
+        child.base_rows = n_parent;
         child.append_rows.store(
             self.append_rows.load(Ordering::Relaxed) + batch.n_rows() as u64,
             Ordering::Relaxed,
@@ -488,6 +523,7 @@ impl EncodedTable {
                 stable.insert(key);
             }
         }
+        child.stable_sets = stable;
         Ok(child)
     }
 
@@ -1133,6 +1169,38 @@ mod tests {
         assert_eq!(w.distinct, c.distinct);
         assert_eq!(w.codes.width(), 2, "extension re-widened u8 -> u16");
         assert!(child.stats().extended_encodings > 0);
+        // The dense-renumbered joint set was carried over in place, so the
+        // child records it as prefix-stable; on a child whose parent never
+        // encoded it there is no proof, and the structural fallbacks don't
+        // apply (the chain overflows u32).
+        assert!(child.prefix_stable(&[0, 1]));
+        assert!(child.prefix_stable(&[1, 0]), "spelling-insensitive");
+        let unwarmed = EncodedTable::new(&parent_t).extend(&batch).unwrap();
+        assert!(!unwarmed.prefix_stable(&[0, 1]));
+        assert!(unwarmed.prefix_stable(&[0]), "singletons always stable");
+    }
+
+    #[test]
+    fn extension_records_base_rows() {
+        let parent_t = table();
+        let parent = EncodedTable::new(&parent_t);
+        assert_eq!(parent.base_rows(), 0, "cold build has no parent rows");
+        let batch = Table::new(vec![
+            Column::cat("a", Role::Feature, vec![1], 2),
+            Column::cat("b", Role::Feature, vec![0], 3),
+            Column::cat("c", Role::Feature, vec![1], 2),
+            Column::num("x", Role::Feature, vec![5.0]),
+        ])
+        .unwrap();
+        let child = parent.extend(&batch).unwrap();
+        assert_eq!(child.base_rows(), 4);
+        assert_eq!(child.n_rows(), 5);
+        // Mixed-radix chains are structurally prefix-stable even when the
+        // parent never encoded them.
+        assert!(child.prefix_stable(&[0, 1, 2]));
+        assert!(child.prefix_stable(&[]));
+        let grandchild = child.extend(&batch).unwrap();
+        assert_eq!(grandchild.base_rows(), 5, "boundary of the last append");
     }
 
     #[test]

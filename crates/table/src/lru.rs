@@ -94,6 +94,19 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Look a key up without touching hit or recency telemetry — a pure
+    /// residency probe. The dataset-extension patching path uses this to
+    /// check preconditions (is the scaffold resident in the child?)
+    /// without skewing the hit/miss ledger or the LRU ordering.
+    pub fn peek<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let map = self.map.read().expect("cache lock");
+        map.get(key).map(|slot| slot.value.clone())
+    }
+
     /// Resident entries, in unspecified order, without touching hit or
     /// recency telemetry. The dataset-extension path walks a parent
     /// cache's resident set through this to extend each value in place.
@@ -230,6 +243,21 @@ mod tests {
         let s = c.stats();
         // One real insert, one transfer, no gets: 1 miss, 0 hits.
         assert_eq!((s.hits, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn peek_skips_telemetry_and_recency() {
+        let c: CappedCache<u32, Arc<u32>> = CappedCache::new(2);
+        c.insert(1, Arc::new(10));
+        c.insert(2, Arc::new(20));
+        assert_eq!(*c.peek(&1).unwrap(), 10);
+        assert!(c.peek(&9).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 2), "peek must not count");
+        // Peeking 1 did not bump its recency: it is still the LRU victim.
+        c.insert(3, Arc::new(30));
+        assert!(c.peek(&1).is_none(), "peek must not protect from eviction");
+        assert!(c.peek(&2).is_some());
     }
 
     #[test]

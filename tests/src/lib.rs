@@ -2150,7 +2150,10 @@ mod streaming_append {
 
     /// Warm a parent session, extend it over `batch`, and drive the
     /// extended session against a cold session on the concatenated
-    /// table with the same probe workload.
+    /// table with the same probe workload. `patchable` marks testers
+    /// whose sufficient statistic is an integer contingency table
+    /// (G-test, permutation CMI): their memoized outcomes re-derive in
+    /// O(batch) and the probe must consume them instead of issuing.
     #[allow(clippy::too_many_arguments)]
     fn assert_append_matches_cold<T: CiTestBatch, C: CiTestBatch>(
         parent: T,
@@ -2161,11 +2164,13 @@ mod streaming_append {
         probe: &[CiQuery],
         workers: usize,
         extendable: bool,
+        patchable: bool,
         min_extended_encodings: u64,
         label: &str,
     ) {
         let mut psession = CiSession::new(parent);
         psession.run_batch_grouped(warm, &[], workers);
+        let memoized_before = psession.cache_len() as u64;
 
         let child_enc = Arc::new(parent_enc.extend(batch).expect("schema-compatible batch"));
         let mut ext = psession
@@ -2207,8 +2212,37 @@ mod streaming_append {
         assert_eq!(
             ext.cache_len(),
             0,
-            "{label}: outcome memo must be invalidated by append"
+            "{label}: patched outcomes park outside the memo until demanded"
         );
+        // The memo ledger is stamped at birth and conserves exactly:
+        // every parent memo either patched or invalidated.
+        {
+            let s = ext.stats();
+            assert_eq!(
+                s.memoized_before, memoized_before,
+                "{label} workers {workers}: memoized_before"
+            );
+            assert!(
+                s.memos_conserved(),
+                "{label} workers {workers}: memo ledger must conserve \
+                 (patched {} + invalidated {} != before {})",
+                s.memo_patched,
+                s.memo_invalidated,
+                s.memoized_before
+            );
+            if patchable {
+                assert!(
+                    s.memo_patched > 0,
+                    "{label} workers {workers}: a contingency-table tester must patch"
+                );
+            } else {
+                assert_eq!(
+                    s.memo_patched, 0,
+                    "{label} workers {workers}: float moment sums must never patch"
+                );
+                assert_eq!(s.memo_invalidated, memoized_before, "{label}");
+            }
+        }
 
         // Probe: extended vs cold, bit-for-bit, same counters.
         let mut cold_session = CiSession::new(cold);
@@ -2239,8 +2273,36 @@ mod streaming_append {
         let es = ext.stats();
         let cs = cold_session.stats();
         assert_eq!(es.requested, cs.requested, "{label}: requested");
-        assert_eq!(es.issued, cs.issued, "{label}: issued");
-        assert_eq!(es.cache_hits, cs.cache_hits, "{label}: cache_hits");
+        // Every consumed patch replaces one cold issue and is booked as
+        // a cache hit — the conservation the patched fast path lives by.
+        assert_eq!(
+            es.issued + es.memo_patch_hits,
+            cs.issued,
+            "{label} workers {workers}: issued + patch hits must conserve"
+        );
+        assert_eq!(
+            es.cache_hits,
+            cs.cache_hits + es.memo_patch_hits,
+            "{label} workers {workers}: cache_hits"
+        );
+        assert!(
+            es.memo_patch_hits <= es.memo_patched,
+            "{label}: consumed more patches than parked"
+        );
+        if patchable {
+            assert!(
+                es.memo_patch_hits > 0,
+                "{label} workers {workers}: the probe replays the warm workload, \
+                 so patched outcomes must be consumed"
+            );
+            assert!(
+                es.issued < cs.issued,
+                "{label} workers {workers}: patching must save issues"
+            );
+        } else {
+            assert_eq!(es.memo_patch_hits, 0, "{label}: nothing parked to consume");
+            assert_eq!(es.issued, cs.issued, "{label}: issued");
+        }
         assert_eq!(es.batches, cs.batches, "{label}: batches");
         assert!(
             es.scaffolds_conserved(),
@@ -2263,7 +2325,11 @@ mod streaming_append {
         let n_vars = full.n_cols();
         let mut rng = StdRng::seed_from_u64(991);
         let warm = workload(&mut rng, n_vars, 18);
-        let probe = workload(&mut rng, n_vars, 30);
+        // The probe replays the warm workload (the "re-select": every
+        // patched outcome gets demanded) and then branches into fresh
+        // queries that must issue cold.
+        let mut probe = warm.clone();
+        probe.extend(workload(&mut rng, n_vars, 30));
 
         let enc_over = |t: &Table| {
             Arc::new(EncodedTable::from_arc_with_cap(
@@ -2282,6 +2348,7 @@ mod streaming_append {
                 &probe,
                 workers,
                 true,
+                true,
                 1,
                 "g-test",
             );
@@ -2295,6 +2362,7 @@ mod streaming_append {
                 &warm,
                 &probe,
                 workers,
+                true,
                 true,
                 1,
                 "perm-cmi",
@@ -2310,6 +2378,7 @@ mod streaming_append {
                 &probe,
                 workers,
                 true,
+                false,
                 0,
                 "fisher-z",
             );
@@ -2328,8 +2397,138 @@ mod streaming_append {
                 &probe,
                 workers,
                 false,
+                false,
                 0,
                 "rcit",
+            );
+        }
+    }
+
+    /// Eviction-forced mixed sessions: with a tiny tester cache, many
+    /// sufficient-statistic tables are evicted before the append, so the
+    /// extension patches some memos and invalidates the rest — and the
+    /// re-select is still byte-identical to cold with a conserved ledger.
+    #[test]
+    fn eviction_forced_mixed_patch_and_invalidate_still_matches_cold() {
+        let full = sampled(67, 10, 700);
+        let n = full.n_rows();
+        let base = full.take_rows(&(0..560).collect::<Vec<_>>());
+        let batch = full.take_rows(&(560..n).collect::<Vec<_>>());
+        let n_vars = full.n_cols();
+        let mut rng = StdRng::seed_from_u64(733);
+        let warm = workload(&mut rng, n_vars, 40);
+        let probe = warm.clone();
+
+        // Cap of 6 against a 40-query warm workload: guaranteed churn.
+        let tiny = 6;
+        for workers in [1usize, 2, 4, 8] {
+            let enc = Arc::new(EncodedTable::from_arc_with_cap(
+                Arc::new(base.clone()),
+                tiny,
+            ));
+            let mut parent = CiSession::new(GTest::over(Arc::clone(&enc), 0.01));
+            parent.run_batch_grouped(&warm, &[], workers);
+            let memoized_before = parent.cache_len() as u64;
+
+            let child_enc = Arc::new(enc.extend(&batch).expect("compatible batch"));
+            let mut ext = parent.extended_over(child_enc).expect("extension path");
+            let birth = ext.stats().clone();
+            assert_eq!(birth.memoized_before, memoized_before);
+            assert!(birth.memos_conserved(), "workers {workers}: {birth:?}");
+            assert!(
+                birth.memo_invalidated > 0,
+                "workers {workers}: eviction churn must force invalidations ({birth:?})"
+            );
+
+            let concat = base.concat(&batch).unwrap();
+            let cold_enc = Arc::new(EncodedTable::from_arc_with_cap(Arc::new(concat), tiny));
+            let mut cold = CiSession::new(GTest::over(cold_enc, 0.01));
+            let got = ext.run_batch_grouped(&probe, &[], workers);
+            let want = cold.run_batch_grouped(&probe, &[], workers);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.p_value.to_bits(),
+                    w.p_value.to_bits(),
+                    "workers {workers} q{i}: p-value bits diverged"
+                );
+                assert_eq!(g.statistic.to_bits(), w.statistic.to_bits());
+            }
+            assert_eq!(ext.outcomes_fingerprint(), cold.outcomes_fingerprint());
+            let (es, cs) = (ext.stats(), cold.stats());
+            assert_eq!(es.issued + es.memo_patch_hits, cs.issued);
+            assert_eq!(es.cache_hits, cs.cache_hits + es.memo_patch_hits);
+        }
+    }
+
+    /// An empty append batch is a pure no-op: schema-validated, every
+    /// memoized outcome patches trivially (n unchanged), nothing is
+    /// invalidated, and replaying the warm workload issues zero tests.
+    #[test]
+    fn empty_batch_append_patches_everything_and_issues_nothing() {
+        let base = sampled(71, 8, 500);
+        let empty = base.take_rows(&[]);
+        assert_eq!(empty.n_rows(), 0);
+        let n_vars = base.n_cols();
+        let mut rng = StdRng::seed_from_u64(811);
+        let warm = workload(&mut rng, n_vars, 15);
+
+        let enc = Arc::new(EncodedTable::from_arc_with_cap(
+            Arc::new(base.clone()),
+            DEFAULT_CACHE_CAP,
+        ));
+        let mut parent = CiSession::new(GTest::over(Arc::clone(&enc), 0.01));
+        parent.run_batch_grouped(&warm, &[], 2);
+        let memoized_before = parent.cache_len() as u64;
+        let parent_fp = parent.outcomes_fingerprint();
+
+        let child_enc = Arc::new(enc.extend(&empty).expect("empty batch is schema-valid"));
+        assert_eq!(child_enc.n_rows(), base.n_rows());
+        let mut ext = parent.extended_over(child_enc).expect("extension path");
+        let birth = ext.stats().clone();
+        assert_eq!(birth.memoized_before, memoized_before, "{birth:?}");
+        assert_eq!(birth.memo_patched, memoized_before, "{birth:?}");
+        assert_eq!(birth.memo_invalidated, 0, "{birth:?}");
+        assert!(birth.memos_conserved());
+        assert_eq!(ext.cache_len(), 0, "patched outcomes park until demanded");
+
+        ext.run_batch_grouped(&warm, &[], 2);
+        let es = ext.stats();
+        assert_eq!(es.issued, 0, "n unchanged: nothing may be re-issued");
+        assert_eq!(es.memo_patch_hits, memoized_before);
+        assert_eq!(ext.outcomes_fingerprint(), parent_fp);
+    }
+
+    /// A single appended row exercises the smallest non-trivial patch:
+    /// one integer add per resident table, still byte-identical to cold.
+    #[test]
+    fn single_row_append_matches_cold() {
+        let full = sampled(73, 8, 501);
+        let n = full.n_rows();
+        let base = full.take_rows(&(0..n - 1).collect::<Vec<_>>());
+        let batch = full.take_rows(&[n - 1]);
+        assert_eq!(batch.n_rows(), 1);
+        let n_vars = full.n_cols();
+        let mut rng = StdRng::seed_from_u64(877);
+        let warm = workload(&mut rng, n_vars, 15);
+        let probe = warm.clone();
+
+        for workers in [1usize, 4] {
+            let enc = Arc::new(EncodedTable::from_arc_with_cap(
+                Arc::new(base.clone()),
+                DEFAULT_CACHE_CAP,
+            ));
+            assert_append_matches_cold(
+                GTest::over(Arc::clone(&enc), 0.01),
+                enc,
+                GTest::new(&full, 0.01),
+                &batch,
+                &warm,
+                &probe,
+                workers,
+                true,
+                true,
+                1,
+                "g-test/1row",
             );
         }
     }
