@@ -1,0 +1,591 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for source-level
+//! lint rules: nested block comments, raw strings, byte strings, char
+//! literals vs lifetimes, doc comments, raw identifiers. It does not parse;
+//! it produces a flat token stream with line/column positions that the rule
+//! engine walks with shape patterns.
+//!
+//! Fidelity matters here because the rules key off comments (annotation
+//! grammar) and string literals (`.expect("...")` vs a parser method named
+//! `expect` taking a byte literal). A regex-grade scanner gets both wrong.
+
+/// A lexed token. Comments are tokens too — the annotation grammar lives in
+/// them — and rules that only care about code filter them out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers `r#type` yield `type`).
+    Ident(String),
+    /// `'a`, `'static`, loop labels.
+    Lifetime(String),
+    /// `'x'`, `'\n'`, `b'['` (the `b` arrives as a separate ident).
+    CharLit,
+    /// `"..."`, `r#"..."#`, `b"..."` — the unquoted body.
+    StrLit(String),
+    /// Numeric literal (integer or float, any base, suffix folded in).
+    NumLit(String),
+    /// A single punctuation character; multi-char operators arrive as
+    /// adjacent tokens (`+=` is `+` then `=` at col+1).
+    Punct(char),
+    /// `// ...`; `doc` marks `///` and `//!`.
+    LineComment { doc: bool, text: String },
+    /// `/* ... */` with nesting; `doc` marks `/**` and `/*!`.
+    BlockComment { doc: bool, text: String },
+}
+
+/// Token with its source position (1-based line, 1-based column of the
+/// first character).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.tok, Tok::LineComment { .. } | Tok::BlockComment { .. })
+    }
+
+    /// Comment body for annotation scanning (empty for non-comments).
+    pub fn comment_text(&self) -> &str {
+        match &self.tok {
+            Tok::LineComment { text, .. } | Tok::BlockComment { text, .. } => text,
+            _ => "",
+        }
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.pos - start
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex a complete source file into tokens. Unterminated constructs (string,
+/// block comment) are closed at end of input rather than erroring — a linter
+/// should keep walking the rest of the tree.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let start = cur.pos;
+                cur.eat_while(|c| c != b'\n');
+                let text = src[start..cur.pos].to_string();
+                let doc = (text.starts_with("///") && !text.starts_with("////"))
+                    || text.starts_with("//!");
+                out.push(Token {
+                    tok: Tok::LineComment { doc, text },
+                    line,
+                    col,
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let doc = (cur.peek(0) == Some(b'*')
+                    && cur.peek(1) != Some(b'*')
+                    && cur.peek(1) != Some(b'/'))
+                    || cur.peek(0) == Some(b'!');
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = src[start..cur.pos].to_string();
+                out.push(Token {
+                    tok: Tok::BlockComment { doc, text },
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                let body = lex_quoted_string(&mut cur);
+                out.push(Token {
+                    tok: Tok::StrLit(body),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let tok = lex_quote(&mut cur);
+                out.push(Token { tok, line, col });
+            }
+            b'r' | b'b' if starts_string_prefix(&cur) => {
+                let tok = lex_prefixed_string(&mut cur);
+                out.push(Token { tok, line, col });
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                cur.eat_while(is_ident_cont);
+                out.push(Token {
+                    tok: Tok::Ident(src[start..cur.pos].to_string()),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let tok = lex_number(&mut cur, src);
+                out.push(Token { tok, line, col });
+            }
+            _ => {
+                cur.bump();
+                out.push(Token {
+                    tok: Tok::Punct(b as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// At an `r` or `b`: does a string/char prefix follow (`r"`, `r#"`, `br"`,
+/// `b"`, `b'`, `r#ident`)? Raw identifiers are handled here too so `r#type`
+/// does not get mistaken for a raw string opener.
+fn starts_string_prefix(cur: &Cursor) -> bool {
+    let b0 = cur.peek(0).unwrap_or(0);
+    match b0 {
+        b'b' => {
+            matches!(cur.peek(1), Some(b'"') | Some(b'\''))
+                || (cur.peek(1) == Some(b'r') && matches!(cur.peek(2), Some(b'"') | Some(b'#')))
+        }
+        b'r' => {
+            match cur.peek(1) {
+                Some(b'"') => true,
+                Some(b'#') => {
+                    // `r#"..."#` raw string vs `r#ident` raw identifier:
+                    // scan past the `#` run and look at what it introduces.
+                    let mut i = 1;
+                    while cur.peek(i) == Some(b'#') {
+                        i += 1;
+                    }
+                    cur.peek(i) == Some(b'"') || {
+                        // `r#ident` — claim it so the ident path below
+                        // strips the prefix.
+                        i == 1
+                            && cur.peek(1) == Some(b'#')
+                            && cur.peek(2).is_some_and(is_ident_start)
+                    }
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Lex starting at `r`/`b`: raw string, byte string, byte char, or raw
+/// identifier (the prefix check above guaranteed one of these).
+fn lex_prefixed_string(cur: &mut Cursor) -> Tok {
+    let b0 = cur.peek(0).unwrap_or(0);
+    if b0 == b'b' {
+        cur.bump(); // consume `b`
+        match cur.peek(0) {
+            Some(b'"') => return Tok::StrLit(lex_quoted_string(cur)),
+            Some(b'\'') => return lex_quote(cur),
+            Some(b'r') => {
+                cur.bump(); // consume `r`, fall through to raw-string body
+            }
+            _ => {}
+        }
+    } else {
+        cur.bump(); // consume `r`
+    }
+    // Either a raw string (`#`* then `"`) or a raw identifier (`#ident`).
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'"') {
+        cur.bump();
+        let start = cur.pos;
+        let end;
+        loop {
+            match cur.peek(0) {
+                None => {
+                    end = cur.pos;
+                    break;
+                }
+                Some(b'"') => {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if cur.peek(1 + i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        end = cur.pos;
+                        cur.bump();
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                    cur.bump();
+                }
+                Some(_) => {
+                    cur.bump();
+                }
+            }
+        }
+        let body: String = cur.src[start..end].iter().map(|&c| c as char).collect();
+        Tok::StrLit(body)
+    } else {
+        // raw identifier: `r#` already consumed one `#`.
+        let start = cur.pos;
+        cur.eat_while(is_ident_cont);
+        let name: String = cur.src[start..cur.pos].iter().map(|&c| c as char).collect();
+        Tok::Ident(name)
+    }
+}
+
+/// Lex a `"`-quoted (non-raw) string; cursor sits on the opening quote.
+/// Returns the raw body (escapes unprocessed).
+fn lex_quoted_string(cur: &mut Cursor) -> String {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    let end;
+    loop {
+        match cur.peek(0) {
+            None => {
+                end = cur.pos;
+                break;
+            }
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'"') => {
+                end = cur.pos;
+                cur.bump();
+                break;
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+    cur.src[start..end].iter().map(|&c| c as char).collect()
+}
+
+/// Lex starting at a `'`: a char literal (`'x'`, `'\n'`, `'('`) or a
+/// lifetime/label (`'a`, `'static`, `'outer`). The discriminator: after the
+/// quote, an identifier run of length 1 followed by a closing `'` is a char
+/// literal; a longer run (or no closing quote) is a lifetime.
+fn lex_quote(cur: &mut Cursor) -> Tok {
+    cur.bump(); // the `'`
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then scan to closing `'`.
+            cur.bump();
+            cur.bump();
+            while let Some(b) = cur.peek(0) {
+                cur.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            Tok::CharLit
+        }
+        Some(b) if is_ident_start(b) => {
+            let start = cur.pos;
+            cur.eat_while(is_ident_cont);
+            let len = cur.pos - start;
+            if len == 1 && cur.peek(0) == Some(b'\'') {
+                cur.bump();
+                Tok::CharLit
+            } else {
+                let name: String = cur.src[start..cur.pos].iter().map(|&c| c as char).collect();
+                Tok::Lifetime(name)
+            }
+        }
+        Some(_) => {
+            // `'('`, `' '`, `'+'` … one char then the closing quote.
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            Tok::CharLit
+        }
+        None => Tok::CharLit,
+    }
+}
+
+/// Lex a numeric literal: integers (any base), floats with exponents, type
+/// suffixes, `_` separators. Deliberately does not consume `..` (range).
+fn lex_number(cur: &mut Cursor, src: &str) -> Tok {
+    let start = cur.pos;
+    if cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+        return Tok::NumLit(src[start..cur.pos].to_string());
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+    }
+    if matches!(cur.peek(0), Some(b'e') | Some(b'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek(1), Some(b'+') | Some(b'-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+    }
+    // type suffix (`u64`, `f32`, `usize`)
+    cur.eat_while(is_ident_cont);
+    Tok::NumLit(src[start..cur.pos].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b();");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct('='),
+                Tok::Ident("a".into()),
+                Tok::Punct('.'),
+                Tok::Ident("b".into()),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let toks = kinds(r####"let s = r#"quote " inside"#;"####);
+        assert!(toks.contains(&Tok::StrLit("quote \" inside".into())));
+        // the `;` after the raw string is still lexed
+        assert_eq!(toks.last(), Some(&Tok::Punct(';')));
+    }
+
+    #[test]
+    fn raw_string_double_hash() {
+        let toks = kinds("r##\"a \"# b\"##");
+        assert_eq!(toks, vec![Tok::StrLit("a \"# b".into())]);
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let toks = kinds(r#"b"bytes" b'[' br"raw""#);
+        assert_eq!(
+            toks,
+            vec![
+                Tok::StrLit("bytes".into()),
+                Tok::CharLit,
+                Tok::StrLit("raw".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("/* outer /* inner */ still outer */ x");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0].tok, Tok::BlockComment { doc: false, .. }));
+        assert_eq!(toks[1].tok, Tok::Ident("x".into()));
+        assert_eq!(
+            toks[0].comment_text(),
+            "/* outer /* inner */ still outer */"
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(
+            lifetimes,
+            vec![
+                &Tok::Lifetime("a".into()),
+                &Tok::Lifetime("a".into()),
+                &Tok::Lifetime("static".into())
+            ]
+        );
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::CharLit).count(),
+            1,
+            "'a' is a char literal, 'a and 'static are lifetimes"
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"'\n' '\'' '\\' '\u{1F600}'");
+        assert_eq!(toks, vec![Tok::CharLit; 4]);
+    }
+
+    #[test]
+    fn punct_char_literal() {
+        let toks = kinds("'(' ' '");
+        assert_eq!(toks, vec![Tok::CharLit, Tok::CharLit]);
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let toks = lex("/// outer doc\n//! inner doc\n// plain\n//// rule of four\n/** block doc */\n/*! inner block */\n/* plain block */");
+        let docs: Vec<bool> = toks
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::LineComment { doc, .. } | Tok::BlockComment { doc, .. } => *doc,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(docs, vec![true, true, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&Tok::Ident("type".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("1_000 0xFF 1.5e-3 2u64 0..n 3.0f64");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::NumLit("1_000".into()),
+                Tok::NumLit("0xFF".into()),
+                Tok::NumLit("1.5e-3".into()),
+                Tok::NumLit("2u64".into()),
+                Tok::NumLit("0".into()),
+                Tok::Punct('.'),
+                Tok::Punct('.'),
+                Tok::Ident("n".into()),
+                Tok::NumLit("3.0f64".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let toks = kinds(r#"let s = "a \" b"; x"#);
+        assert!(toks.contains(&Tok::StrLit(r#"a \" b"#.into())));
+        assert!(toks.contains(&Tok::Ident("x".into())));
+    }
+
+    #[test]
+    fn unterminated_block_comment_does_not_hang() {
+        let toks = lex("x /* never closed");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn string_in_comment_not_lexed() {
+        let toks = kinds("// not a \" string\nx");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn comment_in_string_not_lexed() {
+        let toks = kinds(r#""has // no comment""#);
+        assert_eq!(toks, vec![Tok::StrLit("has // no comment".into())]);
+    }
+}

@@ -1,0 +1,21 @@
+//! `fairsel-analyze` — the workspace-native invariant linter.
+//!
+//! Every PR since the seed has pinned the same contract: batch / parallel /
+//! grouped / remote execution byte-identical to serial, every cache bounded,
+//! counters conserved. The dynamic property tests catch violations late and
+//! only on exercised paths; this crate makes the contract machine-checked at
+//! the *source* level, so a violating line fails CI before any test runs.
+//!
+//! The pass is std-only: a hand-rolled lexer ([`lexer`]) feeds a rule engine
+//! ([`rules`]) of deny-by-default shape rules R1–R6. See the README's
+//! "Static analysis" section for the rule catalog and annotation grammar,
+//! and run it locally as:
+//!
+//! ```text
+//! cargo run -p fairsel-analyze -- --deny-all
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{analyze_file, analyze_workspace, Finding};

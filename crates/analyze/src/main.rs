@@ -1,0 +1,192 @@
+//! CLI driver: walk `crates/*/src`, run the rules, filter through the
+//! committed `analyze.allow` baseline, print `path:line: rule: message`.
+//!
+//! Exit status is the contract: 0 when the tree is clean (every finding
+//! matched by an allowlist entry and every allowlist entry used), nonzero
+//! otherwise. CI runs `cargo run -p fairsel-analyze -- --deny-all` before
+//! the build.
+
+use fairsel_analyze::rules::{analyze_workspace, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct AllowEntry {
+    rule: String,
+    path: String,
+    substr: String,
+    line_no: usize,
+}
+
+fn parse_allow(text: &str) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let rule = parts.next().unwrap_or("").to_string();
+        let path = parts.next().unwrap_or("").to_string();
+        let substr = parts.next().unwrap_or("").trim().to_string();
+        out.push(AllowEntry {
+            rule,
+            path,
+            substr,
+            line_no: i + 1,
+        });
+    }
+    out
+}
+
+fn matches(entry: &AllowEntry, f: &Finding) -> bool {
+    entry.rule == f.rule
+        && entry.path == f.path
+        && (entry.substr.is_empty() || f.msg.contains(&entry.substr))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn workspace_root() -> PathBuf {
+    // `cargo run -p fairsel-analyze` runs from the workspace root; fall back
+    // to the manifest's grandparent when invoked from elsewhere.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_all = false;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-all" => deny_all = true,
+            "--allow" if i + 1 < args.len() => {
+                i += 1;
+                allow_path = Some(PathBuf::from(&args[i]));
+            }
+            "--root" if i + 1 < args.len() => {
+                i += 1;
+                root = Some(PathBuf::from(&args[i]));
+            }
+            other => {
+                eprintln!("fairsel-analyze: unknown argument `{other}`");
+                eprintln!("usage: fairsel-analyze [--deny-all] [--allow <file>] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let allow_path = allow_path.unwrap_or_else(|| root.join("analyze.allow"));
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd.filter_map(Result::ok).map(|e| e.path()).collect(),
+        Err(e) => {
+            eprintln!("fairsel-analyze: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    crate_dirs.sort();
+    let mut files: Vec<(String, String)> = Vec::new();
+    for cdir in crate_dirs {
+        let src_dir = cdir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        if collect_rs_files(&src_dir, &mut paths).is_err() {
+            continue;
+        }
+        for p in paths {
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(&p) {
+                Ok(src) => files.push((rel, src)),
+                Err(e) => {
+                    eprintln!("fairsel-analyze: cannot read {rel}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let findings = analyze_workspace(&files);
+
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let allow = parse_allow(&allow_text);
+    let mut allow_used = vec![false; allow.len()];
+    let mut denied: Vec<&Finding> = Vec::new();
+    let mut allowed = 0usize;
+    for f in &findings {
+        let mut hit = false;
+        for (ai, entry) in allow.iter().enumerate() {
+            if matches(entry, f) {
+                allow_used[ai] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            allowed += 1;
+        } else {
+            denied.push(f);
+        }
+    }
+
+    for f in &denied {
+        println!("{f}");
+    }
+    let mut stale = 0usize;
+    for (ai, used) in allow_used.iter().enumerate() {
+        if !used {
+            stale += 1;
+            let e = &allow[ai];
+            eprintln!(
+                "fairsel-analyze: stale allowlist entry (line {}): {} {} {} — the \
+                 allowlist must shrink, never grow; delete it",
+                e.line_no, e.rule, e.path, e.substr
+            );
+        }
+    }
+    eprintln!(
+        "fairsel-analyze: {} file(s), {} finding(s) ({} allowlisted), {} stale allow entr{}",
+        files.len(),
+        findings.len(),
+        allowed,
+        stale,
+        if stale == 1 { "y" } else { "ies" }
+    );
+
+    let failed = !denied.is_empty() || (deny_all && stale > 0);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,980 @@
+//! The rule engine: deny-by-default source rules encoding the fairsel
+//! determinism/boundedness contract.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1   | no `HashMap`/`HashSet` iteration escaping into ordered output — sort, collect into a `BTreeMap`, or annotate `// analyze: unordered-ok <reason>` |
+//! | R2   | no unbounded memoization: cache-like struct fields outside `CappedCache` need `// analyze: bounded-by <reason>` |
+//! | R3   | no wall-clock/thread-identity reads in deterministic crates (table/citest/engine/core) without `// analyze: wall-clock <reason>` |
+//! | R4   | no `unwrap()`/`expect("...")` in the server crate request paths (panic confinement budget) |
+//! | R5   | every `EngineStats` counter field is written by the stats JSON writer and checked by the bench validator |
+//! | R6   | float `+=` in the bit-identity kernel files sits under an `// order:` annotation |
+//!
+//! Rules are shape patterns over the token stream from [`crate::lexer`], not
+//! type analysis: name-based inventories (which identifiers are hash-typed)
+//! and block-scoped annotations stand in for dataflow. That makes the pass
+//! deliberately conservative — a same-named local shadows into the rule — and
+//! the escape hatch is an annotation stating *why*, which is the artifact the
+//! project actually wants in the source.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// One lint finding, printed as `path:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Annotation grammar recognized in comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnnKind {
+    /// `// analyze: bounded-by <reason>` — R2 field escape.
+    BoundedBy,
+    /// `// analyze: wall-clock <reason>` — R3 telemetry escape.
+    WallClock,
+    /// `// analyze: unordered-ok <reason>` — R1 order-independence claim.
+    UnorderedOk,
+    /// `// order: <accumulation order>` — R6 documentation.
+    Order,
+}
+
+struct Annotation {
+    kind: AnnKind,
+    /// Source lines the comment spans (inclusive).
+    line_start: u32,
+    line_end: u32,
+    /// First code-token index after the comment.
+    scope_start: usize,
+    /// First code-token index where the enclosing block has closed.
+    scope_end: usize,
+}
+
+/// Crates whose sources must be bit-reproducible: wall-clock and thread
+/// identity are contraband without a `wall-clock` annotation (R3).
+const DETERMINISTIC_CRATES: &[&str] = &["table", "citest", "engine", "core"];
+
+/// Files holding the bit-identity float kernels (R6). Reassociating these
+/// accumulations is the documented dead end; the annotation states the order.
+const KERNEL_FILES: &[&str] = &["crates/mathx/src/linalg.rs", "crates/mathx/src/stats.rs"];
+
+/// Types whose struct fields count as cache-like state for R2.
+const CACHE_TYPES: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque"];
+
+/// Iterator-producing methods whose order is the container's (R1).
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Per-file analysis context: token stream plus the derived structure the
+/// rules share (brace depths, test-code spans, function bodies, annotations).
+struct FileCtx<'a> {
+    path: &'a str,
+    crate_name: &'a str,
+    toks: Vec<Token>,
+    /// Indices into `toks` of non-comment tokens.
+    code: Vec<usize>,
+    /// Brace depth before each code token.
+    depth: Vec<usize>,
+    /// Code-index ranges (inclusive start, exclusive end) of `#[cfg(test)]`
+    /// / `#[test]` items — exempt from every rule.
+    excluded: Vec<(usize, usize)>,
+    /// Code-index ranges of `use` statements (type mentions there are not
+    /// reads — R3 skips them).
+    use_spans: Vec<(usize, usize)>,
+    /// `fn` bodies as (name, code-index range of `{..}` inclusive).
+    fns: Vec<(String, usize, usize)>,
+    annotations: Vec<Annotation>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn build(path: &'a str, src: &str) -> Self {
+        let toks = lex(src);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        let mut depth = Vec::with_capacity(code.len());
+        let mut d = 0usize;
+        for &ti in &code {
+            depth.push(d);
+            match toks[ti].tok {
+                Tok::Punct('{') => d += 1,
+                Tok::Punct('}') => d = d.saturating_sub(1),
+                _ => {}
+            }
+        }
+        let crate_name = crate_of(path);
+        let mut ctx = FileCtx {
+            path,
+            crate_name,
+            toks,
+            code,
+            depth,
+            excluded: Vec::new(),
+            use_spans: Vec::new(),
+            fns: Vec::new(),
+            annotations: Vec::new(),
+        };
+        ctx.find_excluded();
+        ctx.find_use_spans();
+        ctx.find_fns();
+        ctx.find_annotations();
+        ctx
+    }
+
+    fn ct(&self, ci: usize) -> &Token {
+        &self.toks[self.code[ci]]
+    }
+
+    fn ident_at(&self, ci: usize) -> Option<&str> {
+        self.code
+            .get(ci)
+            .map(|&ti| &self.toks[ti])
+            .and_then(Token::ident)
+    }
+
+    fn punct_at(&self, ci: usize, c: char) -> bool {
+        self.code
+            .get(ci)
+            .is_some_and(|&ti| self.toks[ti].is_punct(c))
+    }
+
+    fn in_ranges(ranges: &[(usize, usize)], ci: usize) -> bool {
+        ranges.iter().any(|&(s, e)| s <= ci && ci < e)
+    }
+
+    fn is_excluded(&self, ci: usize) -> bool {
+        Self::in_ranges(&self.excluded, ci)
+    }
+
+    /// Matching close-brace code index for the open brace at `open`.
+    fn match_brace(&self, open: usize) -> usize {
+        let mut d = 0usize;
+        let mut ci = open;
+        while ci < self.code.len() {
+            match self.ct(ci).tok {
+                Tok::Punct('{') => d += 1,
+                Tok::Punct('}') => {
+                    d -= 1;
+                    if d == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// `#[cfg(test)]` mods and `#[test]`/`#[cfg(test)]` fns are dynamic-test
+    /// territory — the rules police production code only.
+    fn find_excluded(&mut self) {
+        let mut ci = 0usize;
+        while ci < self.code.len() {
+            if self.punct_at(ci, '#') && self.punct_at(ci + 1, '[') {
+                let attr_start = ci;
+                let mut d = 0usize;
+                let mut j = ci + 1;
+                let mut test_attr = false;
+                while j < self.code.len() {
+                    match self.ct(j).tok {
+                        Tok::Punct('[') => d += 1,
+                        Tok::Punct(']') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(ref s) if s == "test" => test_attr = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if test_attr {
+                    // Skip any further attributes, then exclude the item.
+                    let mut k = j + 1;
+                    while self.punct_at(k, '#') && self.punct_at(k + 1, '[') {
+                        let mut dd = 0usize;
+                        while k < self.code.len() {
+                            match self.ct(k).tok {
+                                Tok::Punct('[') => dd += 1,
+                                Tok::Punct(']') => {
+                                    dd -= 1;
+                                    if dd == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                    // Find the item body `{..}` (or a terminating `;`).
+                    while k < self.code.len() {
+                        match self.ct(k).tok {
+                            Tok::Punct('{') => {
+                                let close = self.match_brace(k);
+                                self.excluded.push((attr_start, close + 1));
+                                ci = close;
+                                break;
+                            }
+                            Tok::Punct(';') => {
+                                self.excluded.push((attr_start, k + 1));
+                                ci = k;
+                                break;
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                }
+                ci = ci.max(j);
+            }
+            ci += 1;
+        }
+    }
+
+    fn find_use_spans(&mut self) {
+        let mut ci = 0usize;
+        while ci < self.code.len() {
+            if self.ident_at(ci) == Some("use") {
+                let start = ci;
+                while ci < self.code.len() && !self.punct_at(ci, ';') {
+                    ci += 1;
+                }
+                self.use_spans.push((start, ci + 1));
+            }
+            ci += 1;
+        }
+    }
+
+    fn find_fns(&mut self) {
+        let mut ci = 0usize;
+        while ci < self.code.len() {
+            if self.ident_at(ci) == Some("fn") {
+                if let Some(name) = self.ident_at(ci + 1).map(str::to_string) {
+                    // Scan the signature for the body brace; a `;` at paren
+                    // depth 0 first means a bodiless trait method.
+                    let mut j = ci + 2;
+                    let mut paren = 0usize;
+                    while j < self.code.len() {
+                        match self.ct(j).tok {
+                            Tok::Punct('(') => paren += 1,
+                            Tok::Punct(')') => paren = paren.saturating_sub(1),
+                            Tok::Punct('{') if paren == 0 => {
+                                let close = self.match_brace(j);
+                                self.fns.push((name, j, close + 1));
+                                break;
+                            }
+                            Tok::Punct(';') if paren == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            ci += 1;
+        }
+    }
+
+    /// Innermost function body containing code index `ci`.
+    fn enclosing_fn(&self, ci: usize) -> Option<&(String, usize, usize)> {
+        self.fns
+            .iter()
+            .filter(|(_, s, e)| *s <= ci && ci < *e)
+            .min_by_key(|(_, s, e)| e - s)
+    }
+
+    fn find_annotations(&mut self) {
+        // Map each comment to the next code token to anchor block scope.
+        let mut next_code = vec![self.code.len(); self.toks.len()];
+        let mut code_iter = self.code.iter().copied().peekable();
+        for (ti, slot) in next_code.iter_mut().enumerate() {
+            while let Some(&c) = code_iter.peek() {
+                if c < ti {
+                    code_iter.next();
+                } else {
+                    break;
+                }
+            }
+            *slot = code_iter
+                .peek()
+                .map_or(self.code.len(), |&c| self.code.partition_point(|&x| x < c));
+        }
+        for (ti, tok) in self.toks.iter().enumerate() {
+            if !tok.is_comment() {
+                continue;
+            }
+            let text = tok.comment_text();
+            let body = text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start_matches('!')
+                .trim();
+            let kind = if body.contains("analyze: bounded-by") {
+                Some(AnnKind::BoundedBy)
+            } else if body.contains("analyze: wall-clock") {
+                Some(AnnKind::WallClock)
+            } else if body.contains("analyze: unordered-ok") {
+                Some(AnnKind::UnorderedOk)
+            } else if body.starts_with("order:") {
+                Some(AnnKind::Order)
+            } else {
+                None
+            };
+            let Some(kind) = kind else { continue };
+            let scope_start = next_code[ti];
+            let d = self.depth.get(scope_start).copied().unwrap_or(0);
+            let mut scope_end = self.code.len();
+            for j in scope_start..self.code.len() {
+                if self.depth[j] < d {
+                    scope_end = j;
+                    break;
+                }
+            }
+            let line_end = tok.line + text.matches('\n').count() as u32;
+            self.annotations.push(Annotation {
+                kind,
+                line_start: tok.line,
+                line_end,
+                scope_start,
+                scope_end,
+            });
+        }
+    }
+
+    /// Is code index `ci` (at source line `line`) covered by an annotation
+    /// of `kind`? Coverage is same-line or rest-of-enclosing-block.
+    fn covered(&self, kind: AnnKind, ci: usize, line: u32) -> bool {
+        self.annotations.iter().any(|a| {
+            a.kind == kind
+                && ((a.line_start <= line && line <= a.line_end)
+                    || (a.scope_start <= ci && ci < a.scope_end)
+                    || (a.line_end + 1 == line && a.scope_start == ci))
+        })
+    }
+
+    /// Is a struct field declared at `line` annotated with `kind`, either on
+    /// its own line or in the contiguous comment block directly above it?
+    fn field_annotated(&self, kind: AnnKind, line: u32) -> bool {
+        // Collect comment line coverage once per call; files are small.
+        let mut has_ann = std::collections::BTreeSet::new();
+        let mut has_comment = std::collections::BTreeSet::new();
+        for a in &self.annotations {
+            for l in a.line_start..=a.line_end {
+                has_ann.insert((a.kind as u8, l));
+            }
+        }
+        for t in &self.toks {
+            if t.is_comment() {
+                let end = t.line + t.comment_text().matches('\n').count() as u32;
+                for l in t.line..=end {
+                    has_comment.insert(l);
+                }
+            }
+        }
+        if has_ann.contains(&(kind as u8, line)) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 && has_comment.contains(&l) {
+            if has_ann.contains(&(kind as u8, l)) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, msg: String) -> Finding {
+        Finding {
+            path: self.path.to_string(),
+            line,
+            rule,
+            msg,
+        }
+    }
+}
+
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    while let Some(p) = parts.next() {
+        if p == "crates" {
+            return parts.next().unwrap_or("");
+        }
+    }
+    ""
+}
+
+/// A struct field: name, source line, code index of the name token, and the
+/// idents appearing in its type.
+struct Field {
+    name: String,
+    line: u32,
+    ci: usize,
+    type_idents: Vec<String>,
+}
+
+/// Scan struct bodies for named fields. Tuple structs are skipped (no field
+/// names to annotate); that is acceptable because every long-lived cache in
+/// this workspace lives in a named field.
+fn struct_fields(ctx: &FileCtx) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut ci = 0usize;
+    while ci < ctx.code.len() {
+        if ctx.ident_at(ci) == Some("struct") {
+            let Some(_) = ctx.ident_at(ci + 1) else {
+                ci += 1;
+                continue;
+            };
+            // Find the body `{` before any `;` (unit/tuple struct) at
+            // paren/bracket depth 0.
+            let mut j = ci + 2;
+            let mut paren = 0usize;
+            let mut body = None;
+            while j < ctx.code.len() {
+                match ctx.ct(j).tok {
+                    Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => paren = paren.saturating_sub(1),
+                    Tok::Punct('{') if paren == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    Tok::Punct(';') if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = body else {
+                ci += 1;
+                continue;
+            };
+            let close = ctx.match_brace(open);
+            let field_depth = ctx.depth[open] + 1;
+            let mut k = open + 1;
+            while k < close {
+                // Skip attributes on the field.
+                while ctx.punct_at(k, '#') && ctx.punct_at(k + 1, '[') {
+                    let mut dd = 0usize;
+                    while k < close {
+                        match ctx.ct(k).tok {
+                            Tok::Punct('[') => dd += 1,
+                            Tok::Punct(']') => {
+                                dd -= 1;
+                                if dd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Skip visibility.
+                if ctx.ident_at(k) == Some("pub") {
+                    k += 1;
+                    if ctx.punct_at(k, '(') {
+                        while k < close && !ctx.punct_at(k, ')') {
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                }
+                let Some(name) = ctx.ident_at(k).map(str::to_string) else {
+                    k += 1;
+                    continue;
+                };
+                if !ctx.punct_at(k + 1, ':') {
+                    k += 1;
+                    continue;
+                }
+                let name_ci = k;
+                let line = ctx.ct(k).line;
+                // Type region: until `,` at field depth (outside any
+                // nesting) or the struct's closing brace.
+                let mut t = k + 2;
+                let mut type_idents = Vec::new();
+                let mut nest = 0isize;
+                while t < close {
+                    match ctx.ct(t).tok {
+                        Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => nest += 1,
+                        Tok::Punct('>') | Tok::Punct(')') | Tok::Punct(']') => nest -= 1,
+                        Tok::Punct(',') if nest <= 0 && ctx.depth[t] == field_depth => break,
+                        Tok::Ident(ref s) => type_idents.push(s.clone()),
+                        _ => {}
+                    }
+                    t += 1;
+                }
+                out.push(Field {
+                    name,
+                    line,
+                    ci: name_ci,
+                    type_idents,
+                });
+                k = t + 1;
+            }
+            ci = close;
+        }
+        ci += 1;
+    }
+    out
+}
+
+/// Names in this file that are hash-ordered containers: struct fields
+/// (scope `None` — visible file-wide through `self.`) and `let` bindings
+/// with `HashMap`/`HashSet` in their type or initializer, plus bindings
+/// initialized from a function this file declares with a hash-ordered
+/// return type. Let bindings carry the body start of their enclosing
+/// function so a `counts: Vec<_>` in one function is never poisoned by a
+/// `counts: HashMap<_, _>` in another.
+fn hash_named(ctx: &FileCtx, fields: &[Field]) -> Vec<(Option<usize>, String)> {
+    let mut names: Vec<(Option<usize>, String)> = Vec::new();
+    let mut hash_fns: Vec<String> = Vec::new();
+    for f in fields {
+        if f.type_idents
+            .iter()
+            .any(|t| t == "HashMap" || t == "HashSet")
+        {
+            names.push((None, f.name.clone()));
+        }
+    }
+    // Functions returning hash-ordered containers.
+    for (name, body_start, _) in &ctx.fns {
+        // Walk the signature backwards from the body for a `->` return type.
+        let mut j = *body_start;
+        let mut saw_arrow = false;
+        while j > 0 {
+            j -= 1;
+            if ctx.ident_at(j) == Some("fn") {
+                break;
+            }
+            if ctx.punct_at(j, '>') && ctx.punct_at(j.wrapping_sub(1), '-') {
+                saw_arrow = true;
+                break;
+            }
+        }
+        if saw_arrow {
+            for k in j..*body_start {
+                if matches!(ctx.ident_at(k), Some("HashMap") | Some("HashSet")) {
+                    hash_fns.push(name.clone());
+                    break;
+                }
+            }
+        }
+    }
+    // `let` bindings.
+    let mut ci = 0usize;
+    while ci < ctx.code.len() {
+        if ctx.ident_at(ci) == Some("let") {
+            let mut j = ci + 1;
+            if ctx.ident_at(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(bound) = ctx.ident_at(j).map(str::to_string) {
+                let let_depth = ctx.depth[ci];
+                let mut t = j + 1;
+                let mut hashy = false;
+                while t < ctx.code.len() {
+                    if ctx.punct_at(t, ';') && ctx.depth[t] == let_depth {
+                        break;
+                    }
+                    if let Some(id) = ctx.ident_at(t) {
+                        if id == "HashMap" || id == "HashSet" || hash_fns.iter().any(|f| f == id) {
+                            hashy = true;
+                        }
+                    }
+                    t += 1;
+                }
+                if hashy {
+                    let scope = ctx.enclosing_fn(ci).map(|(_, s, _)| *s);
+                    names.push((scope, bound));
+                }
+                ci = t;
+            }
+        }
+        ci += 1;
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// R1: iteration over a hash-ordered name must be sorted downstream in the
+/// same function, collected into an ordered map, or annotated
+/// `// analyze: unordered-ok <reason>`.
+fn rule_r1(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let fields = struct_fields(ctx);
+    let names = hash_named(ctx, &fields);
+    if names.is_empty() {
+        return;
+    }
+    // A name is hash-ordered at `ci` if it is a hash-typed struct field
+    // (file-wide) or a hash-bound `let` in the same enclosing function.
+    let is_hash_name = |s: &str, ci: usize| {
+        let scope_here = ctx.enclosing_fn(ci).map(|(_, start, _)| *start);
+        names
+            .iter()
+            .any(|(scope, n)| n == s && (scope.is_none() || *scope == scope_here))
+    };
+    let mut sites: Vec<(usize, String)> = Vec::new();
+    for ci in 0..ctx.code.len() {
+        // `name.iter()` / `self.name.values()` …
+        if ctx.punct_at(ci, '.') {
+            if let (Some(recv), Some(m)) = (ctx.ident_at(ci.wrapping_sub(1)), ctx.ident_at(ci + 1))
+            {
+                if ctx.punct_at(ci + 2, '(')
+                    && HASH_ITER_METHODS.contains(&m)
+                    && is_hash_name(recv, ci)
+                {
+                    sites.push((ci + 1, format!("{recv}.{m}()")));
+                }
+            }
+        }
+        // `for x in name` / `for x in &name` (not followed by `.` — that
+        // form is caught above or is a method producing something else).
+        if ctx.ident_at(ci) == Some("for") {
+            let mut j = ci + 1;
+            // skip the pattern up to `in` (patterns never contain `in`).
+            while j < ctx.code.len() && ctx.ident_at(j) != Some("in") {
+                j += 1;
+            }
+            let mut k = j + 1;
+            while ctx.punct_at(k, '&') || ctx.ident_at(k) == Some("mut") {
+                k += 1;
+            }
+            if let Some(head) = ctx.ident_at(k) {
+                if is_hash_name(head, ci) && ctx.punct_at(k + 1, '{') {
+                    sites.push((k, format!("for _ in {head}")));
+                }
+            }
+        }
+    }
+    for (ci, what) in sites {
+        if ctx.is_excluded(ci) {
+            continue;
+        }
+        let line = ctx.ct(ci).line;
+        if ctx.covered(AnnKind::UnorderedOk, ci, line) {
+            continue;
+        }
+        // Ordered-collect evidence: `BTreeMap`/`BTreeSet` anywhere in the
+        // same statement — scanned from the statement start, since the
+        // ordered type usually appears in a `let out: BTreeMap<..> = ...`
+        // annotation *before* the iteration call.
+        let let_depth = ctx.depth[ci];
+        let mut start = ci;
+        while start > 0 {
+            let p = start - 1;
+            if (ctx.punct_at(p, ';') || ctx.punct_at(p, '{') || ctx.punct_at(p, '}'))
+                && ctx.depth[p] <= let_depth
+            {
+                break;
+            }
+            start = p;
+        }
+        let mut t = start;
+        let mut ordered_collect = false;
+        while t < ctx.code.len() {
+            if t > ci && ctx.punct_at(t, ';') && ctx.depth[t] <= let_depth {
+                break;
+            }
+            if matches!(ctx.ident_at(t), Some("BTreeMap") | Some("BTreeSet")) {
+                ordered_collect = true;
+                break;
+            }
+            t += 1;
+        }
+        if ordered_collect {
+            continue;
+        }
+        // Sorting evidence anywhere in the enclosing function counts:
+        // a rebind-then-iterate (`let v: Vec<_> = set.into_iter().collect();
+        // v.sort(); for x in v`) puts the sort *before* the loop.
+        let sorted_in_fn = ctx.enclosing_fn(ci).is_some_and(|(_, start, end)| {
+            (*start..*end).any(|j| ctx.ident_at(j).is_some_and(|id| id.starts_with("sort")))
+        });
+        if sorted_in_fn {
+            continue;
+        }
+        findings.push(ctx.finding(
+            "R1",
+            line,
+            format!(
+                "hash-ordered iteration `{what}` without a downstream sort, ordered \
+                 collect, or `// analyze: unordered-ok <reason>` annotation"
+            ),
+        ));
+    }
+}
+
+/// R2: cache-like struct fields must be `CappedCache` or carry
+/// `// analyze: bounded-by <reason>`.
+fn rule_r2(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for f in struct_fields(ctx) {
+        if ctx.is_excluded(f.ci) {
+            continue;
+        }
+        let cache_like = f
+            .type_idents
+            .iter()
+            .any(|t| CACHE_TYPES.contains(&t.as_str()));
+        let capped = f.type_idents.iter().any(|t| t == "CappedCache");
+        if cache_like && !capped && !ctx.field_annotated(AnnKind::BoundedBy, f.line) {
+            findings.push(ctx.finding(
+                "R2",
+                f.line,
+                format!(
+                    "field `{}` has cache-like type ({}) outside CappedCache; annotate \
+                     `// analyze: bounded-by <reason>` or bound it",
+                    f.name,
+                    f.type_idents
+                        .iter()
+                        .find(|t| CACHE_TYPES.contains(&t.as_str()))
+                        .map(String::as_str)
+                        .unwrap_or("?")
+                ),
+            ));
+        }
+    }
+}
+
+/// R3: `Instant`/`SystemTime`/thread-identity in deterministic crates.
+fn rule_r3(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.is_excluded(ci) || FileCtx::in_ranges(&ctx.use_spans, ci) {
+            continue;
+        }
+        let Some(id) = ctx.ident_at(ci) else { continue };
+        let hit = match id {
+            "Instant" | "SystemTime" | "ThreadId" => Some(id.to_string()),
+            "thread"
+                if ctx.punct_at(ci + 1, ':')
+                    && ctx.punct_at(ci + 2, ':')
+                    && ctx.ident_at(ci + 3) == Some("current") =>
+            {
+                Some("thread::current".to_string())
+            }
+            _ => None,
+        };
+        let Some(what) = hit else { continue };
+        let line = ctx.ct(ci).line;
+        if ctx.covered(AnnKind::WallClock, ci, line) {
+            continue;
+        }
+        findings.push(ctx.finding(
+            "R3",
+            line,
+            format!(
+                "`{what}` in deterministic crate `{}`; telemetry-only reads need \
+                 `// analyze: wall-clock <reason>`",
+                ctx.crate_name
+            ),
+        ));
+    }
+}
+
+/// R4: no `unwrap()` / `expect("...")` in server request paths. The string
+/// literal requirement distinguishes `Result::expect` from the in-crate JSON
+/// parser's `expect(b'[')` method.
+fn rule_r4(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    if ctx.crate_name != "server" {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        if !ctx.punct_at(ci, '.') {
+            continue;
+        }
+        let Some(m) = ctx.ident_at(ci + 1) else {
+            continue;
+        };
+        let bad = match m {
+            "unwrap" => ctx.punct_at(ci + 2, '(') && ctx.punct_at(ci + 3, ')'),
+            "expect" => {
+                ctx.punct_at(ci + 2, '(')
+                    && ctx
+                        .code
+                        .get(ci + 3)
+                        .is_some_and(|&ti| matches!(ctx.toks[ti].tok, Tok::StrLit(_)))
+            }
+            _ => false,
+        };
+        if !bad || ctx.is_excluded(ci) {
+            continue;
+        }
+        let line = ctx.ct(ci).line;
+        findings.push(ctx.finding(
+            "R4",
+            line,
+            format!(
+                "`.{m}(..)` in server request path — the panic confinement budget \
+                 is catch_unwind only; recover (poison-tolerant lock, error frame) instead"
+            ),
+        ));
+    }
+}
+
+/// R6: float `+=` in the bit-identity kernel files needs `// order:`.
+/// Integer-literal steps (`i += 1`) are exempt — exact in any order.
+fn rule_r6(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    if !KERNEL_FILES.iter().any(|k| ctx.path.ends_with(k)) {
+        return;
+    }
+    for ci in 0..ctx.code.len().saturating_sub(1) {
+        let (a, b) = (ctx.ct(ci), ctx.ct(ci + 1));
+        if !(a.is_punct('+') && b.is_punct('=') && a.line == b.line && b.col == a.col + 1) {
+            continue;
+        }
+        if ctx.is_excluded(ci) {
+            continue;
+        }
+        // `+= <integer literal>` is an index step, not accumulation.
+        if let Some(&ti) = ctx.code.get(ci + 2) {
+            if let Tok::NumLit(ref n) = ctx.toks[ti].tok {
+                let int_step = !n.contains('.') && !n.contains('f');
+                if int_step
+                    && ctx
+                        .code
+                        .get(ci + 3)
+                        .is_some_and(|&t2| ctx.toks[t2].is_punct(';'))
+                {
+                    continue;
+                }
+            }
+        }
+        let line = a.line;
+        if ctx.covered(AnnKind::Order, ci, line) {
+            continue;
+        }
+        findings.push(
+            ctx.finding(
+                "R6",
+                line,
+                "float `+=` accumulation in a bit-identity kernel file without an \
+             `// order: <accumulation order>` annotation (reassociation is the \
+             documented dead end)"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+/// Analyze one file with every single-file rule that applies to its path.
+pub fn analyze_file(path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileCtx::build(path, src);
+    let mut findings = Vec::new();
+    rule_r1(&ctx, &mut findings);
+    rule_r2(&ctx, &mut findings);
+    rule_r3(&ctx, &mut findings);
+    rule_r4(&ctx, &mut findings);
+    rule_r6(&ctx, &mut findings);
+    findings
+}
+
+/// R5 (cross-file): every `EngineStats` counter field must appear quoted in
+/// the stats JSON writer (session.rs, where `to_json` lives) and in the
+/// bench validator file — the counter is only real if it is serialized and
+/// smoke-checked.
+pub fn rule_r5(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let session = files
+        .iter()
+        .find(|(p, _)| p.ends_with("crates/engine/src/session.rs"));
+    let bench = files
+        .iter()
+        .find(|(p, _)| p.ends_with("crates/bench/src/lib.rs"));
+    let (Some((spath, ssrc)), Some((_, bsrc))) = (session, bench) else {
+        return findings;
+    };
+    let ctx = FileCtx::build(spath, ssrc);
+    // Locate the EngineStats struct body so only *its* fields are checked
+    // (session.rs declares other structs with their own serialization).
+    let mut stats_span = None;
+    for ci in 0..ctx.code.len() {
+        if ctx.ident_at(ci) == Some("struct") && ctx.ident_at(ci + 1) == Some("EngineStats") {
+            let mut j = ci + 2;
+            while j < ctx.code.len() && !ctx.punct_at(j, '{') {
+                j += 1;
+            }
+            if j < ctx.code.len() {
+                stats_span = Some((j, ctx.match_brace(j)));
+            }
+            break;
+        }
+    }
+    let mut counters: Vec<(String, u32)> = Vec::new();
+    if let Some((open, close)) = stats_span {
+        for f in struct_fields(&ctx) {
+            if f.ci <= open || f.ci >= close {
+                continue;
+            }
+            // Only the counter fields (plain unsigned scalars); nested
+            // structures like `phases: Vec<PhaseStats>` have their own
+            // serialization shape.
+            let scalar = f.type_idents.len() == 1
+                && matches!(f.type_idents[0].as_str(), "u64" | "u32" | "usize");
+            if scalar {
+                counters.push((f.name, f.line));
+            }
+        }
+    }
+    for (name, line) in counters {
+        let quoted = format!("\"{name}\"");
+        if !ssrc.contains(&quoted) {
+            findings.push(Finding {
+                path: spath.clone(),
+                line,
+                rule: "R5",
+                msg: format!(
+                    "EngineStats counter `{name}` is not written by the stats JSON \
+                     writer (no {quoted} key in session.rs)"
+                ),
+            });
+        } else if !bsrc.contains(&quoted) {
+            findings.push(Finding {
+                path: spath.clone(),
+                line,
+                rule: "R5",
+                msg: format!(
+                    "EngineStats counter `{name}` is not checked by the bench \
+                     validator (no {quoted} key in crates/bench/src/lib.rs)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Analyze the whole workspace: per-file rules plus the cross-file R5.
+/// Findings are sorted by (path, line, rule).
+pub fn analyze_workspace(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, src) in files {
+        findings.extend(analyze_file(path, src));
+    }
+    findings.extend(rule_r5(files));
+    findings.sort();
+    findings
+}

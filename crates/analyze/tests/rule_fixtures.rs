@@ -1,0 +1,324 @@
+//! Rule self-tests: for every rule R1–R6, one seeded violation the
+//! analyzer must flag (positive) and one clean spelling it must accept
+//! (negative). These fixtures are the analyzer's contract — if a rule's
+//! heuristics change, these pin what "violation" means.
+
+use fairsel_analyze::{analyze_file, analyze_workspace, Finding};
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn r1_flags_hash_iteration_reaching_output() {
+    let src = r#"
+use std::collections::HashMap;
+pub fn render(m: &HashMap<String, u64>) -> String {
+    let counts: HashMap<String, u64> = m.clone();
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+"#;
+    let f = analyze_file("crates/engine/src/fixture.rs", src);
+    assert_eq!(rules(&f), vec!["R1"], "{f:?}");
+    assert!(f[0].msg.contains("counts.iter()"), "{}", f[0].msg);
+}
+
+#[test]
+fn r1_accepts_sorted_collect_annotation_and_btree() {
+    // Sorted before iteration (rebind), collected into a BTreeMap, and an
+    // explicitly annotated unordered use — all three clean spellings.
+    let src = r#"
+use std::collections::{BTreeMap, HashMap, HashSet};
+pub fn sorted(m: &HashMap<String, u64>) -> Vec<String> {
+    let set: HashSet<String> = m.keys().cloned().collect();
+    let mut v: Vec<String> = set.into_iter().collect();
+    v.sort();
+    v
+}
+pub fn ordered(m: &HashMap<String, u64>) -> BTreeMap<String, u64> {
+    let copy: HashMap<String, u64> = m.clone();
+    let out: BTreeMap<String, u64> = copy.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    out
+}
+pub fn annotated(m: &HashMap<String, u64>) -> u64 {
+    let copy: HashMap<String, u64> = m.clone();
+    // analyze: unordered-ok summation of u64 is exact in any order
+    copy.values().sum()
+}
+"#;
+    let f = analyze_file("crates/engine/src/fixture.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r1_scopes_let_bindings_per_function() {
+    // `counts` is a HashMap in one function and a sorted Vec in another;
+    // iterating the Vec must not inherit the other binding's hash taint.
+    let src = r#"
+use std::collections::HashMap;
+pub fn build(xs: &[u32]) -> HashMap<u32, u64> {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+pub fn total(v: &[(u32, u64)]) -> u64 {
+    let counts = v.to_vec();
+    counts.iter().map(|(_, c)| c).sum()
+}
+"#;
+    let f = analyze_file("crates/engine/src/fixture.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn r2_flags_unbounded_cache_like_field() {
+    let src = r#"
+use std::collections::HashMap;
+pub struct Memo {
+    entries: HashMap<u64, Vec<f64>>,
+}
+"#;
+    let f = analyze_file("crates/engine/src/fixture.rs", src);
+    assert_eq!(rules(&f), vec!["R2"], "{f:?}");
+    assert!(f[0].msg.contains("entries"), "{}", f[0].msg);
+}
+
+#[test]
+fn r2_accepts_capped_cache_and_bounded_by() {
+    let src = r#"
+use std::collections::HashMap;
+pub struct Memo {
+    entries: CappedCache<u64, Vec<f64>>,
+    // analyze: bounded-by one entry per worker thread, fixed at startup
+    scratch: HashMap<u64, Vec<f64>>,
+}
+"#;
+    let f = analyze_file("crates/engine/src/fixture.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn r3_flags_wall_clock_in_deterministic_crate() {
+    let src = r#"
+use std::time::Instant;
+pub fn timed() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+"#;
+    let f = analyze_file("crates/table/src/fixture.rs", src);
+    // The `use` line is exempt; the body read is the finding.
+    assert_eq!(rules(&f), vec!["R3"], "{f:?}");
+    assert!(f[0].msg.contains("Instant"), "{}", f[0].msg);
+}
+
+#[test]
+fn r3_accepts_annotation_and_non_deterministic_crates() {
+    let annotated = r#"
+use std::time::Instant;
+pub fn timed() -> u64 {
+    // analyze: wall-clock telemetry only; never branches execution
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+"#;
+    assert!(analyze_file("crates/engine/src/fixture.rs", annotated).is_empty());
+    // The same unannotated code is fine outside the deterministic crates.
+    let bare = r#"
+use std::time::Instant;
+pub fn timed() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+"#;
+    assert!(analyze_file("crates/obs/src/fixture.rs", bare).is_empty());
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn r4_flags_unwrap_and_expect_in_server() {
+    let src = r#"
+pub fn handle(input: &str) -> String {
+    let n: u64 = input.parse().unwrap();
+    let m: u64 = input.parse().expect("numeric field");
+    format!("{}", n + m)
+}
+"#;
+    let f = analyze_file("crates/server/src/fixture.rs", src);
+    assert_eq!(rules(&f), vec!["R4", "R4"], "{f:?}");
+}
+
+#[test]
+fn r4_ignores_parser_method_tests_and_other_crates() {
+    // `self.expect(b'[')` is the in-crate JSON parser's method (byte-char
+    // argument, not a panic message); test code is out of scope; and the
+    // rule only covers the server crate.
+    let src = r#"
+impl Parser {
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        Ok(())
+    }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parses() {
+        let v: u64 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}
+"#;
+    assert!(analyze_file("crates/server/src/fixture.rs", src).is_empty());
+    let elsewhere = r#"
+pub fn load(input: &str) -> u64 {
+    input.parse().expect("caller validated")
+}
+"#;
+    assert!(analyze_file("crates/engine/src/fixture.rs", elsewhere).is_empty());
+}
+
+// ---------------------------------------------------------------- R5
+
+const R5_BENCH_OK: &str = r#"
+pub const ENGINE_STATS_KEYS: &[&str] = &["requested", "cache_hits"];
+"#;
+
+#[test]
+fn r5_flags_counter_missing_from_writer_or_validator() {
+    // `cache_hits` is declared but never serialized; `requested` is
+    // serialized but the bench validator does not know the key.
+    let session = r#"
+pub struct EngineStats {
+    pub requested: u64,
+    pub cache_hits: u64,
+}
+impl EngineStats {
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        push_kv(&mut s, "requested", self.requested);
+        s
+    }
+}
+"#;
+    let bench = r#"pub const ENGINE_STATS_KEYS: &[&str] = &[];"#;
+    let files = vec![
+        (
+            "crates/engine/src/session.rs".to_string(),
+            session.to_string(),
+        ),
+        ("crates/bench/src/lib.rs".to_string(), bench.to_string()),
+    ];
+    let f = analyze_workspace(&files);
+    assert_eq!(rules(&f), vec!["R5", "R5"], "{f:?}");
+    assert!(f
+        .iter()
+        .any(|x| x.msg.contains("`cache_hits`") && x.msg.contains("writer")));
+    assert!(f
+        .iter()
+        .any(|x| x.msg.contains("`requested`") && x.msg.contains("validator")));
+}
+
+#[test]
+fn r5_accepts_fully_plumbed_counters() {
+    let session = r#"
+pub struct EngineStats {
+    pub requested: u64,
+    pub cache_hits: u64,
+    pub phases: Vec<PhaseStats>,
+}
+impl EngineStats {
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        push_kv(&mut s, "requested", self.requested);
+        push_kv(&mut s, "cache_hits", self.cache_hits);
+        s
+    }
+}
+"#;
+    let files = vec![
+        (
+            "crates/engine/src/session.rs".to_string(),
+            session.to_string(),
+        ),
+        (
+            "crates/bench/src/lib.rs".to_string(),
+            R5_BENCH_OK.to_string(),
+        ),
+    ];
+    // `phases: Vec<PhaseStats>` is not a scalar counter — no finding.
+    assert!(analyze_workspace(&files).is_empty());
+}
+
+// ---------------------------------------------------------------- R6
+
+#[test]
+fn r6_flags_unannotated_float_accumulation_in_kernel() {
+    let src = r#"
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < a.len() {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc
+}
+"#;
+    let f = analyze_file("crates/mathx/src/linalg.rs", src);
+    // `i += 1` is an exempt integer step; only the float accumulation hits.
+    assert_eq!(rules(&f), vec!["R6"], "{f:?}");
+}
+
+#[test]
+fn r6_accepts_order_annotation_and_non_kernel_files() {
+    let annotated = r#"
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    // order: index i ascending, one product per step
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+"#;
+    assert!(analyze_file("crates/mathx/src/linalg.rs", annotated).is_empty());
+    let bare = r#"
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+"#;
+    // Same code outside the kernel files is out of scope for R6.
+    assert!(analyze_file("crates/mathx/src/other.rs", bare).is_empty());
+}
+
+// ------------------------------------------------------- output format
+
+#[test]
+fn findings_render_as_path_line_rule_message() {
+    let src = "pub fn f(x: &str) -> u64 { x.parse().unwrap() }\n";
+    let f = analyze_file("crates/server/src/fixture.rs", src);
+    assert_eq!(f.len(), 1);
+    let line = f[0].to_string();
+    assert!(
+        line.starts_with("crates/server/src/fixture.rs:1: R4: "),
+        "{line}"
+    );
+}

@@ -203,6 +203,12 @@ where
     let selected = run(session);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let stats = session.stats();
+    // Counter-completeness self-check: every EngineStats counter must
+    // survive into the serialized stats document (the R5 contract),
+    // verified live on every measured run.
+    if let Err(e) = validate_stats_json(&stats.to_json()) {
+        panic!("engine stats serialization lost a counter: {e}");
+    }
     BenchResult {
         scenario: scenario.to_owned(),
         algo: algo.to_owned(),
@@ -1240,6 +1246,55 @@ fn run_field_str<'a>(run: &'a str, key: &str) -> Option<&'a str> {
     let at = run.find(&pat)? + pat.len();
     let rest = &run[at..];
     Some(&rest[..rest.find('"')?])
+}
+
+/// Every `EngineStats` counter key, exactly as serialized by
+/// `EngineStats::to_json`. The static analyzer's R5 rule requires every
+/// counter declared in `engine/src/session.rs` to appear here — a counter
+/// is only real once it is serialized *and* validator-checked — and
+/// [`validate_stats_json`] enforces the presence of each key at runtime on
+/// every stats document a bench session produces.
+pub const ENGINE_STATS_KEYS: &[&str] = &[
+    "requested",
+    "issued",
+    "cache_hits",
+    "batches",
+    "parallel_batches",
+    "batched_batches",
+    "grouped_batches",
+    "speculative_issued",
+    "speculative_hits",
+    "max_batch",
+    "wall_ms",
+    "encode_cache_hits",
+    "encode_cache_misses",
+    "encode_cache_evictions",
+    "narrow_code_bytes",
+    "dense_count_cells",
+    "append_rows",
+    "extended_encodings",
+    "extended_scaffolds",
+    "rebuilt_scaffolds",
+    "resident_scaffolds",
+    "scaffold_evictions",
+    "memoized_before",
+    "memo_patched",
+    "memo_invalidated",
+    "memo_patch_hits",
+    "resident_suff_tables",
+    "suff_evictions",
+];
+
+/// Check a session stats JSON document (the `--stats-out` shape) carries
+/// every [`ENGINE_STATS_KEYS`] counter.
+pub fn validate_stats_json(json: &str) -> Result<(), String> {
+    for key in ENGINE_STATS_KEYS {
+        let quoted = format!("\"{key}\":");
+        if !json.contains(&quoted) {
+            return Err(format!("stats JSON missing counter {quoted}"));
+        }
+    }
+    Ok(())
 }
 
 /// Validate a serialized bench document the way the CI smoke job does:

@@ -608,12 +608,15 @@ pub(crate) fn patch_suff_table(
 /// Counts for one stratum of the conditioning variables.
 #[derive(Default)]
 pub(crate) struct Stratum {
+    // analyze: bounded-by distinct (x, y) cells of one stratum, capped by the joint arity
     cell_index: HashMap<(u32, u32), usize>,
     /// `(x, y) -> count`, in first-occurrence order.
     pub cells: Vec<((u32, u32), f64)>,
     /// Marginal counts per x value.
+    // analyze: bounded-by distinct x values, capped by the column arity
     pub xm: HashMap<u32, f64>,
     /// Marginal counts per y value.
+    // analyze: bounded-by distinct y values, capped by the column arity
     pub ym: HashMap<u32, f64>,
     /// Rows in this stratum.
     pub total: f64,
@@ -622,6 +625,7 @@ pub(crate) struct Stratum {
 /// Stratified contingency counts over parallel code slices, strata in
 /// first-occurrence order.
 pub(crate) struct Strata {
+    // analyze: bounded-by one entry per stratum of the conditioning set (joint arity)
     index: HashMap<u32, usize>,
     pub strata: Vec<Stratum>,
 }

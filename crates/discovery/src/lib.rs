@@ -27,8 +27,10 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct Cpdag {
     n: usize,
     /// Directed edges `i -> j`.
+    // analyze: bounded-by at most n^2 edges of the fixed n-variable graph
     directed: BTreeSet<(VarId, VarId)>,
     /// Undirected edges, stored with `i < j`.
+    // analyze: bounded-by at most n(n-1)/2 edges of the fixed n-variable graph
     undirected: BTreeSet<(VarId, VarId)>,
 }
 

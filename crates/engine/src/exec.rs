@@ -92,6 +92,7 @@ impl<T: CiTest> CiSession<T> {
     /// input order.
     pub fn run_batch(&mut self, queries: &[CiQuery]) -> Vec<CiOutcome> {
         let plan = plan(self, queries);
+        // analyze: wall-clock batch wall_ms telemetry only; never branches execution
         let t0 = Instant::now();
         let _sp = fairsel_obs::span_kv("tester.eval", || {
             vec![
@@ -136,6 +137,7 @@ impl<T: CiTestShared> CiSession<T> {
         if workers <= 1 {
             // Evaluate the misses inline (identical to run_batch) but keep
             // the plan we already computed.
+            // analyze: wall-clock batch wall_ms telemetry only; never branches execution
             let t0 = Instant::now();
             let evaluated: Vec<CiOutcome> = plan
                 .miss_repr
@@ -156,6 +158,7 @@ impl<T: CiTestShared> CiSession<T> {
             );
         }
 
+        // analyze: wall-clock batch wall_ms telemetry only; never branches execution
         let t0 = Instant::now();
         let _sp = fairsel_obs::span_kv("tester.eval", || {
             vec![("kind", "parallel".into()), ("misses", n_miss.to_string())]
@@ -238,6 +241,7 @@ impl<T: CiTestBatch> CiSession<T> {
             return self.eval_batched(queries, plan);
         }
 
+        // analyze: wall-clock batch wall_ms telemetry only; never branches execution
         let t0 = Instant::now();
         let _sp = fairsel_obs::span_kv("tester.eval", || {
             vec![
@@ -284,6 +288,7 @@ impl<T: CiTestBatch> CiSession<T> {
     /// shared by the sequential batched path and the parallel path's
     /// small-batch fallback.
     fn eval_batched(&mut self, queries: &[CiQuery], plan: BatchPlan) -> Vec<CiOutcome> {
+        // analyze: wall-clock batch wall_ms telemetry only; never branches execution
         let t0 = Instant::now();
         let _sp = fairsel_obs::span_kv("tester.eval", || {
             vec![
@@ -384,6 +389,7 @@ impl<T: CiTestBatch> CiSession<T> {
         }
 
         let parallel = workers > 1 && total > 1;
+        // analyze: wall-clock batch wall_ms telemetry only; never branches execution
         let t0 = Instant::now();
         let _sp = fairsel_obs::span_kv("tester.eval", || {
             vec![

@@ -18,22 +18,24 @@
 //! borrows a task captures therefore outlive its execution. A worker
 //! panic is re-raised on the caller's thread after the batch drains.
 
+use fairsel_obs::TrackedMutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
-    queue: Mutex<VecDeque<Task>>,
+    // analyze: bounded-by holds one frontier batch of tasks; fully drained every wave
+    queue: TrackedMutex<VecDeque<Task>>,
     available: Condvar,
     shutdown: AtomicBool,
 }
 
 /// Completion latch for one `run_scoped` batch.
 struct Latch {
-    remaining: Mutex<usize>,
+    remaining: TrackedMutex<usize>,
     done: Condvar,
     panicked: AtomicBool,
 }
@@ -41,7 +43,7 @@ struct Latch {
 impl Latch {
     fn new(count: usize) -> Self {
         Self {
-            remaining: Mutex::new(count),
+            remaining: TrackedMutex::new("engine.pool.latch", count),
             done: Condvar::new(),
             panicked: AtomicBool::new(false),
         }
@@ -51,7 +53,7 @@ impl Latch {
         if !ok {
             self.panicked.store(true, Ordering::SeqCst);
         }
-        let mut remaining = self.remaining.lock().expect("latch lock");
+        let mut remaining = self.remaining.lock();
         *remaining -= 1;
         if *remaining == 0 {
             self.done.notify_all();
@@ -59,9 +61,9 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("latch lock");
+        let mut remaining = self.remaining.lock();
         while *remaining > 0 {
-            remaining = self.done.wait(remaining).expect("latch wait");
+            remaining = self.remaining.wait(&self.done, remaining);
         }
     }
 }
@@ -77,7 +79,7 @@ impl WorkerPool {
     /// condvar until tasks arrive, so an idle pool costs nothing.
     pub fn new(threads: usize) -> Self {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: TrackedMutex::new("engine.pool.queue", VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
@@ -109,7 +111,7 @@ impl WorkerPool {
         }
         let latch = Arc::new(Latch::new(tasks.len()));
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            let mut queue = self.shared.queue.lock();
             for task in tasks {
                 let latch = Arc::clone(&latch);
                 let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
@@ -151,7 +153,7 @@ fn worker_loop(shared: &Shared) {
     let busy = fairsel_obs::counter("engine_pool_busy_us");
     loop {
         let task = {
-            let mut queue = shared.queue.lock().expect("pool queue lock");
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some(task) = queue.pop_front() {
                     break task;
@@ -159,9 +161,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.available.wait(queue).expect("pool queue wait");
+                queue = shared.queue.wait(&shared.available, queue);
             }
         };
+        // analyze: wall-clock worker busy-time counter only; never branches execution
         let t0 = std::time::Instant::now();
         task();
         busy.add(t0.elapsed().as_micros() as u64);

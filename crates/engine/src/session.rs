@@ -420,6 +420,7 @@ impl BatchKind {
 /// (the behavior a real cached service would exhibit).
 pub struct CiSession<T> {
     tester: T,
+    // analyze: bounded-by session memo; one per demanded query, sessions are LRU-evicted by the server registry and batch-scoped in the CLI
     cache: HashMap<QueryKey, CiOutcome>,
     stats: EngineStats,
     /// Index into `stats.phases` receiving current accounting.
@@ -430,6 +431,7 @@ pub struct CiSession<T> {
     pool: Option<WorkerPool>,
     /// Speculatively computed keys not yet consumed by a demanded query —
     /// the ledger behind `speculative_hits` (each key counted once).
+    // analyze: bounded-by subset of the memo keys (speculative wave size <= frontier size)
     spec_pending: HashSet<QueryKey>,
     /// Outcomes recomputed by sufficient-statistic patching at dataset
     /// extension, parked until demanded. Kept *outside* the memo so
@@ -438,6 +440,7 @@ pub struct CiSession<T> {
     /// set a cold session on the concatenated table would memoize. A
     /// memo miss consumes from here first (booking `memo_patch_hits`)
     /// before issuing to the tester.
+    // analyze: bounded-by subset of the pre-extension memo; drained into the memo on demand
     patched_pending: HashMap<QueryKey, CiOutcome>,
 }
 
@@ -465,6 +468,7 @@ impl<T: CiTest> CiSession<T> {
             self.bump_phase(|p| p.cache_hits += 1);
             return hit;
         }
+        // analyze: wall-clock per-query wall_ms telemetry only; never branches execution
         let t0 = Instant::now();
         let out = self.tester.ci(x, y, z);
         let ms = t0.elapsed().as_secs_f64() * 1e3;

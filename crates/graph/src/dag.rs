@@ -66,6 +66,7 @@ impl std::error::Error for GraphError {}
 #[derive(Clone, Debug)]
 pub struct Dag {
     names: Vec<String>,
+    // analyze: bounded-by one entry per node of the fixed graph
     name_index: HashMap<String, NodeId>,
     parents: Vec<Vec<NodeId>>,
     children: Vec<Vec<NodeId>>,

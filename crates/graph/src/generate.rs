@@ -62,6 +62,12 @@ pub fn random_dag<R: Rng + ?Sized>(rng: &mut R, cfg: &RandomDagConfig) -> Dag {
         while chosen.len() < k {
             chosen.insert(rng.gen_range(0..i));
         }
+        // Insert edges in ascending predecessor order: HashSet iteration
+        // order is seeded per process, and parent order decides float
+        // summation order downstream (SCM sampling), so iterating the set
+        // directly would make "same seed" DAGs process-dependent.
+        let mut chosen: Vec<usize> = chosen.into_iter().collect();
+        chosen.sort_unstable();
         for p in chosen {
             dag.add_edge(handles[p], handles[i])
                 .expect("forward edges cannot create cycles");

@@ -199,6 +199,9 @@ impl Mat {
                             }
                             let rrow = &rhs.row(kb + dk)[jb..jb + jw];
                             let orow = &mut out.data[obase..obase + jw];
+                            // order: each out cell accumulates over k
+                            // ascending (kb blocks in order, dk ascending
+                            // within) — identical to the naive i-k-j walk.
                             for (o, &r) in orow.iter_mut().zip(rrow) {
                                 *o += a * r;
                             }
@@ -230,6 +233,8 @@ impl Mat {
                 }
                 let rrow = rhs.row(k);
                 let orow = out.row_mut(i);
+                // order: k ascending per out cell — the reference order the
+                // blocked kernel reproduces.
                 for (o, &r) in orow.iter_mut().zip(rrow) {
                     *o += a * r;
                 }
@@ -274,6 +279,9 @@ impl Mat {
                         }
                         let obase = (ib + di) * m + jb;
                         let orow = &mut out.data[obase..obase + jw];
+                        // order: each out cell accumulates over the shared
+                        // row dimension r ascending — identical to the
+                        // naive single-pass walk.
                         for (o, &v) in orow.iter_mut().zip(rrow) {
                             *o += l * v;
                         }
@@ -302,6 +310,8 @@ impl Mat {
                     continue;
                 }
                 let orow = out.row_mut(i);
+                // order: shared row dimension r ascending per out cell —
+                // the reference order the blocked kernel reproduces.
                 for (o, &v) in orow.iter_mut().zip(rrow) {
                     *o += l * v;
                 }
@@ -342,6 +352,9 @@ impl Mat {
                 }
                 let obase = i * c;
                 let orow = &mut out.data[obase + i..obase + c];
+                // order: row dimension r ascending per upper-triangle cell;
+                // register-chunking this loop reassociates the sums and
+                // breaks bit-identity (known dead end — do not retry).
                 for (o, &v) in orow.iter_mut().zip(&lrow[i..]) {
                     *o += l * v;
                 }
@@ -419,6 +432,7 @@ impl Mat {
     /// Per-column means.
     pub fn col_means(&self) -> Vec<f64> {
         let mut m = vec![0.0; self.cols];
+        // order: row index i ascending per column accumulator.
         for i in 0..self.rows {
             for (acc, &v) in m.iter_mut().zip(self.row(i)) {
                 *acc += v;
@@ -519,6 +533,7 @@ impl Mat {
     pub fn ridge_solve(z: &Mat, t: &Mat, lambda: f64) -> Mat {
         assert!(lambda > 0.0, "ridge_solve: lambda must be positive");
         let mut ztz = z.gram();
+        // order: single ridge add per diagonal cell, after the gram sums.
         for i in 0..ztz.rows {
             ztz[(i, i)] += lambda;
         }

@@ -62,12 +62,16 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let nf = xs.len() as f64;
     let (mut sx, mut sy) = (0.0f64, 0.0f64);
+    // order: row index ascending, one fused pass per moment set — the
+    // same element order as the unfused baseline, so the fusion is
+    // bit-identical (reassociating either sum is the known dead end).
     for (&x, &y) in xs.iter().zip(ys) {
         sx += x;
         sy += y;
     }
     let (mx, my) = (sx / nf, sy / nf);
     let (mut vxx, mut vyy, mut vxy) = (0.0f64, 0.0f64, 0.0f64);
+    // order: row index ascending for all three centered moments.
     for (&x, &y) in xs.iter().zip(ys) {
         let dx = x - mx;
         let dy = y - my;
@@ -152,6 +156,7 @@ pub fn median_pairwise_distance(data: &[f64], n: usize, d: usize, cap: usize) ->
     for i in 0..m {
         for j in (i + 1)..m {
             let mut acc = 0.0;
+            // order: feature index k ascending per pair distance.
             for k in 0..d {
                 let diff = data[i * d + k] - data[j * d + k];
                 acc += diff * diff;

@@ -88,6 +88,20 @@ pub fn group_counts(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> HashMap<u3
     out
 }
 
+/// [`group_counts`] in ascending group-code order — the deterministic
+/// iteration every report-facing metric walks, so per-group arithmetic
+/// happens in the same order on every run regardless of hash seeding.
+pub fn sorted_group_counts(
+    y_true: &[u32],
+    y_pred: &[u32],
+    group: &[u32],
+) -> Vec<(u32, GroupCounts)> {
+    let counts = group_counts(y_true, y_pred, group);
+    let mut out: Vec<(u32, GroupCounts)> = counts.into_iter().collect();
+    out.sort_by_key(|&(g, _)| g);
+    out
+}
+
 /// Maximum pairwise absolute difference of a per-group scalar.
 fn max_pairwise_diff(values: &[f64]) -> f64 {
     let mut max = 0.0f64;
@@ -102,11 +116,11 @@ fn max_pairwise_diff(values: &[f64]) -> f64 {
 /// Absolute odds difference: `(|ΔFPR| + |ΔTPR|) / 2`, maximized over group
 /// pairs. 0 = perfectly equalized odds.
 pub fn abs_odds_difference(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
-    let counts = group_counts(y_true, y_pred, group);
+    let counts = sorted_group_counts(y_true, y_pred, group);
     if counts.len() < 2 {
         return 0.0;
     }
-    let groups: Vec<&GroupCounts> = counts.values().collect();
+    let groups: Vec<&GroupCounts> = counts.iter().map(|(_, c)| c).collect();
     let mut max = 0.0f64;
     for i in 0..groups.len() {
         for j in (i + 1)..groups.len() {
@@ -121,8 +135,8 @@ pub fn abs_odds_difference(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64
 
 /// Statistical parity difference: max pairwise |selection-rate gap|.
 pub fn statistical_parity_difference(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
-    let counts = group_counts(y_true, y_pred, group);
-    let rates: Vec<f64> = counts.values().map(GroupCounts::selection_rate).collect();
+    let counts = sorted_group_counts(y_true, y_pred, group);
+    let rates: Vec<f64> = counts.iter().map(|(_, c)| c.selection_rate()).collect();
     max_pairwise_diff(&rates)
 }
 
@@ -131,11 +145,11 @@ pub fn statistical_parity_difference(y_true: &[u32], y_pred: &[u32], group: &[u3
 /// when fewer than two groups appear, 0.0 when a group is never selected
 /// while another is.
 pub fn disparate_impact(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
-    let counts = group_counts(y_true, y_pred, group);
+    let counts = sorted_group_counts(y_true, y_pred, group);
     if counts.len() < 2 {
         return 1.0;
     }
-    let rates: Vec<f64> = counts.values().map(GroupCounts::selection_rate).collect();
+    let rates: Vec<f64> = counts.iter().map(|(_, c)| c.selection_rate()).collect();
     let mut min_ratio = 1.0f64;
     for i in 0..rates.len() {
         for j in (i + 1)..rates.len() {
@@ -153,8 +167,8 @@ pub fn disparate_impact(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
 
 /// Equal-opportunity difference: max pairwise |ΔTPR|.
 pub fn equal_opportunity_difference(y_true: &[u32], y_pred: &[u32], group: &[u32]) -> f64 {
-    let counts = group_counts(y_true, y_pred, group);
-    let tprs: Vec<f64> = counts.values().map(GroupCounts::tpr).collect();
+    let counts = sorted_group_counts(y_true, y_pred, group);
+    let tprs: Vec<f64> = counts.iter().map(|(_, c)| c.tpr()).collect();
     max_pairwise_diff(&tprs)
 }
 

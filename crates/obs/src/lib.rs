@@ -24,32 +24,36 @@
 //! one registry.
 
 pub mod hist;
+pub mod lockorder;
 pub mod trace;
 
 pub use hist::{bucket_index, bucket_upper, Counter, HistSnapshot, Histogram, N_BUCKETS};
+pub use lockorder::{TrackedGuard, TrackedMutex};
 pub use trace::{
     enabled, now_us, record_span_at, set_enabled, sink, span, span_kv, CompletedSpan, SpanGuard,
     SpanKv, TraceSink, DEFAULT_SINK_CAP,
 };
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 #[derive(Default)]
 struct Registry {
+    // analyze: bounded-by one entry per distinct metric name, a static set in the code
     hists: BTreeMap<String, Arc<Histogram>>,
+    // analyze: bounded-by one entry per distinct metric name, a static set in the code
     counters: BTreeMap<String, Arc<Counter>>,
 }
 
-fn registry() -> &'static Mutex<Registry> {
-    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(Registry::default()))
+fn registry() -> &'static TrackedMutex<Registry> {
+    static REG: OnceLock<TrackedMutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| TrackedMutex::new("obs.registry", Registry::default()))
 }
 
 /// The process-wide histogram named `name`, created on first use.
 /// Callers on hot paths should cache the returned `Arc`.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut reg = registry().lock();
     Arc::clone(
         reg.hists
             .entry(name.to_string())
@@ -59,7 +63,7 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 
 /// The process-wide counter named `name`, created on first use.
 pub fn counter(name: &str) -> Arc<Counter> {
-    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut reg = registry().lock();
     Arc::clone(
         reg.counters
             .entry(name.to_string())
@@ -69,7 +73,7 @@ pub fn counter(name: &str) -> Arc<Counter> {
 
 /// Snapshot every registered histogram, sorted by name.
 pub fn histograms_snapshot() -> Vec<(String, HistSnapshot)> {
-    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let reg = registry().lock();
     reg.hists
         .iter()
         .map(|(k, h)| (k.clone(), h.snapshot()))
@@ -78,7 +82,7 @@ pub fn histograms_snapshot() -> Vec<(String, HistSnapshot)> {
 
 /// Read every registered counter, sorted by name.
 pub fn counters_snapshot() -> Vec<(String, u64)> {
-    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let reg = registry().lock();
     reg.counters
         .iter()
         .map(|(k, c)| (k.clone(), c.get()))

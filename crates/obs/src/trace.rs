@@ -19,11 +19,12 @@
 //! The sink keeps the most recent `cap` spans; overflow evicts the
 //! oldest and increments an exact `spans_dropped` counter.
 
+use crate::lockorder::TrackedMutex;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Default capacity of the global sink's ring buffer.
@@ -52,6 +53,7 @@ pub struct CompletedSpan {
 }
 
 struct SinkInner {
+    // analyze: bounded-by ring capped at `cap`; push evicts the oldest span
     ring: VecDeque<CompletedSpan>,
     dropped: u64,
 }
@@ -64,7 +66,7 @@ struct SinkInner {
 pub struct TraceSink {
     enabled: AtomicBool,
     cap: usize,
-    inner: Mutex<SinkInner>,
+    inner: TrackedMutex<SinkInner>,
 }
 
 impl TraceSink {
@@ -72,10 +74,13 @@ impl TraceSink {
         Self {
             enabled: AtomicBool::new(false),
             cap: cap.max(1),
-            inner: Mutex::new(SinkInner {
-                ring: VecDeque::new(),
-                dropped: 0,
-            }),
+            inner: TrackedMutex::new(
+                "obs.trace_sink",
+                SinkInner {
+                    ring: VecDeque::new(),
+                    dropped: 0,
+                },
+            ),
         }
     }
 
@@ -93,7 +98,7 @@ impl TraceSink {
         if spans.is_empty() {
             return;
         }
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         for s in spans.drain(..) {
             if inner.ring.len() == self.cap {
                 inner.ring.pop_front();
@@ -105,7 +110,7 @@ impl TraceSink {
 
     /// The last `n` spans (at most), ordered by start time then id.
     pub fn recent(&self, n: usize) -> Vec<CompletedSpan> {
-        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = self.inner.lock();
         let skip = inner.ring.len().saturating_sub(n);
         let mut out: Vec<CompletedSpan> = inner.ring.iter().skip(skip).cloned().collect();
         out.sort_by_key(|s| (s.start_us, s.id));
@@ -114,15 +119,11 @@ impl TraceSink {
 
     /// Exact count of spans evicted from the ring so far.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+        self.inner.lock().dropped
     }
 
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .ring
-            .len()
+        self.inner.lock().ring.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -131,7 +132,7 @@ impl TraceSink {
 
     /// Drop all buffered spans and reset the eviction counter.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         inner.ring.clear();
         inner.dropped = 0;
     }
@@ -289,7 +290,7 @@ pub fn record_span_at(name: &'static str, start_us: u64, dur_us: u64, kv: SpanKv
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::MutexGuard;
+    use std::sync::{Mutex, MutexGuard};
 
     /// Tests that toggle the global flag or read the global sink must not
     /// interleave; everything else uses private `TraceSink` instances.

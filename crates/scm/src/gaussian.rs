@@ -20,6 +20,7 @@ pub struct GaussianScm {
     /// Noise standard deviation per node.
     sigma: Vec<f64>,
     /// Edge weights keyed by (parent, child).
+    // analyze: bounded-by one entry per edge of the fixed DAG
     weights: HashMap<(NodeId, NodeId), f64>,
     topo: Vec<NodeId>,
 }
@@ -101,6 +102,7 @@ pub struct GaussianScmBuilder {
     dag: Dag,
     bias: Vec<f64>,
     sigma: Vec<f64>,
+    // analyze: bounded-by one entry per edge of the fixed DAG
     weights: HashMap<(NodeId, NodeId), f64>,
 }
 

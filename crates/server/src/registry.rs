@@ -28,10 +28,11 @@ use fairsel_core::{
     ClassifierKind, PipelineConfig, Problem, SelectConfig, SelectionAlgo,
 };
 use fairsel_engine::CiSession;
+use fairsel_obs::TrackedMutex;
 use fairsel_table::{csv, ColumnData, EncodedTable, Table};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Stable FNV-1a-with-finalizer hasher (the same construction the
 /// testers' per-query seeds use; independent of `std`'s randomized
@@ -120,7 +121,7 @@ pub struct Workload {
 }
 
 struct Slot {
-    state: Arc<Mutex<Workload>>,
+    state: Arc<TrackedMutex<Workload>>,
     last_used: u64,
 }
 
@@ -151,11 +152,13 @@ struct PutSlot {
 
 /// The fingerprint-sharded workload registry.
 pub struct Registry {
-    slots: Mutex<HashMap<u64, Slot>>,
+    // analyze: bounded-by LRU-evicted at cfg.max_sessions by get_or_insert
+    slots: TrackedMutex<HashMap<u64, Slot>>,
     /// Uploaded raw tables, keyed by dataset fingerprint — what `select`
     /// / `methods` requests with `{"fp":...}` resolve against. Bounded
     /// like the workload slots.
-    puts: Mutex<HashMap<u64, PutSlot>>,
+    // analyze: bounded-by LRU-evicted at cfg.max_puts by put_table
+    puts: TrackedMutex<HashMap<u64, PutSlot>>,
     /// Append lineage: child fingerprint → parent fingerprint. When a
     /// workload for a child dataset is first requested, a resident parent
     /// workload (same tester knobs) seeds it warm — the parent session's
@@ -163,7 +166,8 @@ pub struct Registry {
     /// rebuilt. Unbounded by design: an entry is two u64s, and keeping
     /// lineage past put-store eviction lets a long append chain stay warm
     /// end to end.
-    lineage: Mutex<HashMap<u64, u64>>,
+    // analyze: bounded-by two u64s per append event; see doc comment for the retention rationale
+    lineage: TrackedMutex<HashMap<u64, u64>>,
     cfg: RegistryConfig,
     tick: AtomicU64,
     requests: AtomicU64,
@@ -180,9 +184,9 @@ pub struct Registry {
 impl Registry {
     pub fn new(cfg: RegistryConfig) -> Self {
         Self {
-            slots: Mutex::new(HashMap::new()),
-            puts: Mutex::new(HashMap::new()),
-            lineage: Mutex::new(HashMap::new()),
+            slots: TrackedMutex::new("server.registry.slots", HashMap::new()),
+            puts: TrackedMutex::new("server.registry.puts", HashMap::new()),
+            lineage: TrackedMutex::new("server.registry.lineage", HashMap::new()),
             cfg,
             tick: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -196,12 +200,12 @@ impl Registry {
 
     /// Resident workload count.
     pub fn resident(&self) -> usize {
-        self.slots.lock().expect("registry lock").len()
+        self.slots.lock().len()
     }
 
     /// Resident uploaded-dataset count.
     pub fn resident_puts(&self) -> usize {
-        self.puts.lock().expect("put lock").len()
+        self.puts.lock().len()
     }
 
     /// Total workload requests served.
@@ -236,11 +240,7 @@ impl Registry {
 
     /// The recorded append parent of `child_fp`, if any.
     pub fn parent_of(&self, child_fp: u64) -> Option<u64> {
-        self.lineage
-            .lock()
-            .expect("lineage lock")
-            .get(&child_fp)
-            .copied()
+        self.lineage.lock().get(&child_fp).copied()
     }
 
     /// Streaming append: extend the dataset fingerprinted `fp` with a row
@@ -269,10 +269,7 @@ impl Registry {
         let rows = child.n_rows();
         let child_fp = self.put(child)?;
         if child_fp != fp {
-            self.lineage
-                .lock()
-                .expect("lineage lock")
-                .insert(child_fp, fp);
+            self.lineage.lock().insert(child_fp, fp);
         }
         Ok((child_fp, rows))
     }
@@ -285,16 +282,20 @@ impl Registry {
             return Err(format!("too few rows ({})", table.n_rows()));
         }
         let fp = fingerprint_table(&table);
-        let mut puts = self.puts.lock().expect("put lock");
+        let mut puts = self.puts.lock();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = puts.get_mut(&fp) {
             slot.last_used = tick;
             return Ok(fp);
         }
         while puts.len() >= self.cfg.max_datasets {
+            // Tie-break equal recency ticks by fingerprint so the evicted
+            // victim never depends on hash iteration order.
+            // analyze: unordered-ok min over the strict total order
+            // (last_used, fp) is unique, so iteration order cannot leak.
             let victim = puts
                 .iter()
-                .min_by_key(|(_, s)| s.last_used)
+                .min_by_key(|(k, s)| (s.last_used, **k))
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
@@ -316,7 +317,7 @@ impl Registry {
 
     /// Look up an uploaded dataset by fingerprint (touches its LRU slot).
     pub fn dataset(&self, fp: u64) -> Option<Arc<Table>> {
-        let mut puts = self.puts.lock().expect("put lock");
+        let mut puts = self.puts.lock();
         let slot = puts.get_mut(&fp)?;
         slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
         Some(Arc::clone(&slot.table))
@@ -354,7 +355,7 @@ impl Registry {
         let key = self.workload_key(fingerprint, req);
         let state = self.get_or_insert(key, fingerprint, table, req)?;
 
-        let mut guard = state.lock().expect("workload lock");
+        let mut guard = state.lock();
         let w = &mut *guard;
         let cfg = pipeline_config(req, w.train.n_rows())?;
         let train = Arc::clone(&w.train);
@@ -392,7 +393,7 @@ impl Registry {
         let key = self.workload_key(fingerprint, req);
         let state = self.get_or_insert(key, fingerprint, table, req)?;
 
-        let mut guard = state.lock().expect("workload lock");
+        let mut guard = state.lock();
         let w = &mut *guard;
         let cfg = pipeline_config(req, w.train.n_rows())?;
         let train = Arc::clone(&w.train);
@@ -450,10 +451,10 @@ impl Registry {
         let parent_fp = self.parent_of(child_fp)?;
         let parent_key = self.workload_key(parent_fp, req);
         let parent_state = {
-            let slots = self.slots.lock().expect("registry lock");
+            let slots = self.slots.lock();
             Arc::clone(&slots.get(&parent_key)?.state)
         };
-        let pw = parent_state.lock().expect("workload lock");
+        let pw = parent_state.lock();
         if pw.split_fallback {
             return None;
         }
@@ -496,9 +497,9 @@ impl Registry {
         fingerprint: u64,
         table: Option<Arc<Table>>,
         req: &WorkloadRequest,
-    ) -> Result<Arc<Mutex<Workload>>, String> {
+    ) -> Result<Arc<TrackedMutex<Workload>>, String> {
         {
-            let mut slots = self.slots.lock().expect("registry lock");
+            let mut slots = self.slots.lock();
             if let Some(slot) = slots.get_mut(&key) {
                 slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&slot.state));
@@ -563,17 +564,20 @@ impl Registry {
                 (enc, CiSession::new(tester))
             }
         };
-        let state = Arc::new(Mutex::new(Workload {
-            train,
-            test,
-            enc,
-            session,
-            fingerprint,
-            sessions_served: 0,
-            split_fallback: split.fallback,
-        }));
+        let state = Arc::new(TrackedMutex::new(
+            "server.registry.workload",
+            Workload {
+                train,
+                test,
+                enc,
+                session,
+                fingerprint,
+                sessions_served: 0,
+                split_fallback: split.fallback,
+            },
+        ));
 
-        let mut slots = self.slots.lock().expect("registry lock");
+        let mut slots = self.slots.lock();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = slots.get_mut(&key) {
             // Lost the build race: keep the published workload (it may
@@ -582,9 +586,13 @@ impl Registry {
             return Ok(Arc::clone(&slot.state));
         }
         while slots.len() >= self.cfg.max_datasets {
+            // Tie-break equal recency ticks by key so the evicted victim
+            // never depends on hash iteration order.
+            // analyze: unordered-ok min over the strict total order
+            // (last_used, key) is unique, so iteration order cannot leak.
             let victim = slots
                 .iter()
-                .min_by_key(|(_, s)| s.last_used)
+                .min_by_key(|(k, s)| (s.last_used, **k))
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {

@@ -24,12 +24,13 @@
 use crate::json::Json;
 use crate::proto::{read_frame, read_json, write_json, Request, Response};
 use crate::registry::{Registry, RegistryConfig};
+use fairsel_obs::TrackedMutex;
 use fairsel_obs::{CompletedSpan, HistSnapshot, Histogram};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 /// Per-connection I/O timeout: a stalled client cannot pin a handler
@@ -113,7 +114,8 @@ impl Default for ServeConfig {
 /// time so queue wait (accept → handler pickup) is measured separately
 /// from handler time.
 struct ConnQueue {
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    // analyze: bounded-by admission cap max_conns sheds before enqueue
+    queue: TrackedMutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
 }
 
@@ -213,7 +215,8 @@ struct ServerState {
     /// clients (shut the read side ⇒ EOF) instead of waiting out
     /// [`IO_TIMEOUT`]. Keyed by a serial id; entries live exactly as
     /// long as `handle_connection` runs.
-    serving: Mutex<HashMap<u64, TcpStream>>,
+    // analyze: bounded-by at most conn_workers live entries; removed when the handler returns
+    serving: TrackedMutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
 }
 
@@ -278,7 +281,7 @@ impl Server {
                 stop: AtomicBool::new(false),
                 addr,
                 conns: ConnQueue {
-                    queue: Mutex::new(VecDeque::new()),
+                    queue: TrackedMutex::new("server.conn_queue", VecDeque::new()),
                     ready: Condvar::new(),
                 },
                 max_conns: max_conns.max(1) as u64,
@@ -291,7 +294,7 @@ impl Server {
                 hists: CmdHists::new(),
                 bytes_rx: AtomicU64::new(0),
                 bytes_tx: AtomicU64::new(0),
-                serving: Mutex::new(HashMap::new()),
+                serving: TrackedMutex::new("server.serving", HashMap::new()),
                 next_conn_id: AtomicU64::new(0),
             }),
             conn_workers,
@@ -359,7 +362,7 @@ impl Server {
             }
             self.state.active_conns.fetch_add(1, Ordering::SeqCst);
             self.state.accepted_conns.fetch_add(1, Ordering::Relaxed);
-            let mut q = self.state.conns.queue.lock().expect("conn queue");
+            let mut q = self.state.conns.queue.lock();
             q.push_back((stream, Instant::now()));
             drop(q);
             self.state.conns.ready.notify_one();
@@ -372,7 +375,7 @@ impl Server {
         // in-flight request finish, then join the pool.
         self.state.stop.store(true, Ordering::SeqCst);
         drop(self.listener);
-        for conn in self.state.serving.lock().expect("serving set").values() {
+        for conn in self.state.serving.lock().values() {
             let _ = conn.shutdown(std::net::Shutdown::Read);
         }
         self.state.conns.ready.notify_all();
@@ -430,7 +433,7 @@ impl ServerHandle {
 fn handler_loop(state: &Arc<ServerState>) {
     loop {
         let stream = {
-            let mut q = state.conns.queue.lock().expect("conn queue");
+            let mut q = state.conns.queue.lock();
             loop {
                 if let Some(s) = q.pop_front() {
                     break Some(s);
@@ -438,7 +441,7 @@ fn handler_loop(state: &Arc<ServerState>) {
                 if state.stop.load(Ordering::SeqCst) {
                     break None;
                 }
-                q = state.conns.ready.wait(q).expect("conn queue");
+                q = state.conns.queue.wait(&state.conns.ready, q);
             }
         };
         let Some((stream, accepted_at)) = stream else {
@@ -473,7 +476,7 @@ fn handler_loop(state: &Arc<ServerState>) {
 fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
     if let Ok(clone) = stream.try_clone() {
-        state.serving.lock().expect("serving set").insert(id, clone);
+        state.serving.lock().insert(id, clone);
     }
     // Close the race with the drain sweep: if stop landed between the
     // handler's check and this registration, the sweep may have already
@@ -486,7 +489,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _ = handle_connection(stream, state);
     }));
-    state.serving.lock().expect("serving set").remove(&id);
+    state.serving.lock().remove(&id);
 }
 
 /// Refuse a connection at the admission cap: one structured `busy` frame,

@@ -260,6 +260,7 @@ pub struct EncodedTable {
     table: Arc<Table>,
     caching: bool,
     sets: CappedCache<Vec<ColId>, Arc<Encoding>>,
+    // analyze: bounded-by at most one entry per column of the dataset
     numeric: RwLock<std::collections::HashMap<ColId, Arc<Vec<f64>>>>,
     numeric_hits: AtomicU64,
     numeric_misses: AtomicU64,
@@ -275,10 +276,12 @@ pub struct EncodedTable {
     /// [`EncodedTable::extend`]. Data-independent stability (singleton and
     /// fully mixed-radix chains) is decided structurally instead; see
     /// [`EncodedTable::prefix_stable`].
+    // analyze: bounded-by subset of the resident cache keys at the last extend
     stable_sets: std::collections::HashSet<Vec<ColId>>,
     // Reusable scratch for the dense-renumber compose fallback: pre-sized
     // once and cleared (capacity kept) between groups, so a 500k-row
     // overflow composition doesn't pay a rehash storm per prefix step.
+    // analyze: bounded-by cleared between groups; peak size is one group's distinct prefixes
     dense_scratch: Mutex<std::collections::HashMap<u64, u32>>,
 }
 

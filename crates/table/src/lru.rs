@@ -29,6 +29,7 @@ struct Slot<V> {
 /// A bounded concurrent memo cache. `V` is cloned out on every hit, so it
 /// should be a cheap handle (`Arc<...>` in every use here).
 pub struct CappedCache<K, V> {
+    // analyze: bounded-by this IS the capped cache; insert evicts at `cap`
     map: RwLock<HashMap<K, Slot<V>>>,
     cap: usize,
     tick: AtomicU64,
@@ -112,6 +113,9 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
     /// cache's resident set through this to extend each value in place.
     pub fn snapshot(&self) -> Vec<(K, V)> {
         let map = self.map.read().expect("cache lock");
+        // analyze: unordered-ok callers own the ordering contract — the
+        // extension path sorts snapshots before iterating (K is not Ord
+        // here, so this method cannot sort for them).
         map.iter()
             .map(|(k, s)| (k.clone(), s.value.clone()))
             .collect()
@@ -143,6 +147,10 @@ impl<K: Eq + Hash + Clone, V: Clone> CappedCache<K, V> {
         while map.len() >= self.cap {
             // Approximate LRU: evict the minimum recency tick. O(n) scan,
             // but only on inserts into a full cache.
+            // analyze: unordered-ok the victim choice on recency ties is
+            // arbitrary by contract (K is not Ord) — eviction only ever
+            // discards memoized values recomputed bit-identically, so it
+            // changes memory behavior and nothing else.
             let victim = map
                 .iter()
                 .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))

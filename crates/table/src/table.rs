@@ -237,6 +237,7 @@ fn stable_row_hash(seed: u64, row: u64) -> u64 {
 #[derive(Clone, Debug)]
 pub struct Table {
     columns: Vec<Column>,
+    // analyze: bounded-by one entry per column of the dataset
     index: HashMap<String, ColId>,
     n_rows: usize,
 }

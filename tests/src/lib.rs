@@ -2533,3 +2533,67 @@ mod streaming_append {
         }
     }
 }
+
+/// The serialized stats JSON is part of the byte-identity surface: bench
+/// artifact diffs and the server's `stats_json` frame both compare it
+/// verbatim, so key order and number formatting are pinned to the byte.
+#[cfg(test)]
+mod serialization_order {
+    use fairsel_engine::EngineStats;
+
+    /// Every byte of a default `EngineStats` serialization, literally.
+    /// If this fails, either a counter was added (extend the literal AND
+    /// `fairsel_bench::ENGINE_STATS_KEYS` AND the R5 analyzer contract)
+    /// or key order / number formatting drifted — which silently breaks
+    /// stored bench baselines.
+    #[test]
+    fn engine_stats_json_bytes_are_pinned() {
+        let expected = concat!(
+            "{\"requested\":0,\"issued\":0,\"cache_hits\":0,\"batches\":0,",
+            "\"parallel_batches\":0,\"batched_batches\":0,\"grouped_batches\":0,",
+            "\"speculative_issued\":0,\"speculative_hits\":0,\"speculative_wasted\":0,",
+            "\"max_batch\":0,\"dedup_rate\":0,\"wall_ms\":0,",
+            "\"encode_cache_hits\":0,\"encode_cache_misses\":0,",
+            "\"encode_cache_evictions\":0,\"narrow_code_bytes\":0,",
+            "\"dense_count_cells\":0,\"append_rows\":0,\"extended_encodings\":0,",
+            "\"extended_scaffolds\":0,\"rebuilt_scaffolds\":0,",
+            "\"resident_scaffolds\":0,\"scaffold_evictions\":0,",
+            "\"memoized_before\":0,\"memo_patched\":0,\"memo_invalidated\":0,",
+            "\"memo_patch_hits\":0,\"resident_suff_tables\":0,\"suff_evictions\":0,",
+            "\"phases\":[]}"
+        );
+        assert_eq!(EngineStats::default().to_json(), expected);
+    }
+
+    /// Non-integer values use fixed 6-decimal formatting — no shortest-
+    /// round-trip drift between toolchains.
+    #[test]
+    fn fractional_values_format_fixed_width() {
+        let stats = EngineStats {
+            requested: 3,
+            cache_hits: 1,
+            wall_ms: 1.5,
+            ..Default::default()
+        };
+        let json = stats.to_json();
+        assert!(json.contains("\"dedup_rate\":0.333333,"), "{json}");
+        assert!(json.contains("\"wall_ms\":1.500000,"), "{json}");
+    }
+
+    /// The bench validator's key list and the writer agree exactly: every
+    /// declared key appears in the serialization, in declaration order —
+    /// the runtime half of the analyzer's cross-file R5 rule.
+    #[test]
+    fn bench_keys_match_writer_order() {
+        let json = EngineStats::default().to_json();
+        fairsel_bench::validate_stats_json(&json).expect("default stats must validate");
+        let mut pos = 0usize;
+        for key in fairsel_bench::ENGINE_STATS_KEYS {
+            let quoted = format!("\"{key}\":");
+            let at = json[pos..]
+                .find(&quoted)
+                .unwrap_or_else(|| panic!("key {key} missing or out of order in {json}"));
+            pos += at + quoted.len();
+        }
+    }
+}
